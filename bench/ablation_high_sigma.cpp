@@ -1,0 +1,71 @@
+// High-sigma yield verification on the fused op-amp moments: plain Monte
+// Carlo vs mean-shift importance sampling.
+//
+// The introduction's motivation is yield estimation under tight sample
+// budgets; once the moments are fused, verifying a *tight* spec (4-5 sigma)
+// by plain MC needs millions of draws. This bench shows the importance
+// sampler reaching percent-level relative error on the failure probability
+// with 10^4 draws where plain MC at the same budget sees zero or a handful
+// of failures.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/mle.hpp"
+#include "core/yield.hpp"
+#include "stats/rng.hpp"
+#include "stats/special.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bmfusion;
+  using linalg::Vector;
+  CliParser cli(
+      "ablation_high_sigma: plain MC vs mean-shift importance sampling for "
+      "tight-spec yield on the op-amp moments");
+  bench::add_common_flags(cli, 5000);
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    const bench::StageData data = bench::load_opamp_data(
+        cli.get_string("data-dir"),
+        static_cast<std::size_t>(cli.get_int("samples")));
+    const core::GaussianMoments moments =
+        core::estimate_mle(data.late.samples());
+
+    const double inf = std::numeric_limits<double>::infinity();
+    std::printf("\nHigh-sigma yield: gain >= mean - k*sigma (op-amp)\n");
+    ConsoleTable table({"k_sigma", "exact_pfail", "mc_pfail(1e5)",
+                        "is_pfail(1e4)", "is_rel_stderr"});
+    for (const double k : {2.0, 3.0, 4.0, 5.0}) {
+      const double sd = std::sqrt(moments.covariance(0, 0));
+      const double bound = moments.mean[0] - k * sd;
+      core::SpecBox box{Vector{bound, -inf, -inf, -inf, -inf},
+                        Vector{inf, inf, inf, inf, inf}};
+      // Exact for a single-face Gaussian spec: Phi(-k).
+      const double exact = stats::standard_normal_cdf(-k);
+
+      stats::Xoshiro256pp rng(99);
+      const core::YieldEstimate mc =
+          core::estimate_yield(moments, box, rng, 100000);
+      const core::ImportanceSamplingResult is =
+          core::estimate_yield_importance(moments, box, rng, 10000);
+      table.add_row(
+          {format_double(k, 3), format_double(exact, 4),
+           format_double(1.0 - mc.yield, 4),
+           format_double(is.failure_probability, 4),
+           format_double(is.standard_error /
+                             std::max(1e-300, is.failure_probability),
+                         3)});
+    }
+    table.print(std::cout);
+    std::printf(
+        "# at 5 sigma (pfail ~ 2.9e-7) plain MC with 1e5 draws expects "
+        "0.03 failures; IS with 1e4 draws resolves it to a few percent.\n");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ablation_high_sigma: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

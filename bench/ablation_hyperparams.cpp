@@ -1,0 +1,129 @@
+// Ablation of the hyper-parameters themselves: sweep fixed (kappa0, nu0)
+// pairs — including the Section 3.3 extremes — on the op-amp workload and
+// compare against the cross-validated choice.
+//
+//   kappa0 -> 0, nu0 -> d   : MAP collapses to MLE (paper eqs. 34/36)
+//   kappa0, nu0 -> infinity : MAP collapses to the prior (eqs. 33/35)
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/mle.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace bmfusion;
+using linalg::Matrix;
+
+Matrix gather(const Matrix& samples, stats::Xoshiro256pp& rng,
+              std::size_t n) {
+  Matrix out(n, samples.cols());
+  std::vector<std::size_t> pool(samples.rows());
+  for (std::size_t i = 0; i < pool.size(); ++i) pool[i] = i;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.next_below(pool.size() - i));
+    std::swap(pool[i], pool[j]);
+    out.set_row(i, samples.row(pool[i]));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bmfusion;
+  CliParser cli(
+      "ablation_hyperparams: error at fixed (kappa0, nu0) pairs incl. the "
+      "Section 3.3 extremes, vs the cross-validated choice (op-amp, n=32)");
+  bench::add_common_flags(cli, 5000);
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    const bench::StageData data = bench::load_opamp_data(
+        cli.get_string("data-dir"),
+        static_cast<std::size_t>(cli.get_int("samples")));
+    const core::MomentExperiment experiment(data.early, data.early_nominal,
+                                            data.late, data.late_nominal);
+    const core::GaussianMoments& early = experiment.early_scaled();
+    const core::GaussianMoments& exact = experiment.exact_scaled();
+    const Matrix& late = experiment.late_scaled();
+
+    std::size_t reps = static_cast<std::size_t>(cli.get_int("runs"));
+    if (cli.get_bool("quick")) reps = std::max<std::size_t>(3, reps / 10);
+    constexpr std::size_t kN = 32;
+    const double d = 5.0;
+
+    struct Fixed {
+      const char* label;
+      double kappa0;
+      double nu0;
+    };
+    const Fixed fixed[] = {
+        {"mle_limit (k->0, nu->d)", 1e-9, d + 1e-9},
+        {"weak prior", 1.0, d + 5.0},
+        {"balanced", 10.0, 50.0},
+        {"strong covariance prior", 10.0, 600.0},
+        {"strong full prior", 600.0, 600.0},
+        {"prior_limit (k,nu->inf)", 1e9, 1e9},
+    };
+
+    std::printf("\nAblation: fixed hyper-parameters (op-amp, n=32)\n");
+    ConsoleTable table({"setting", "kappa0", "nu0", "mean_err", "cov_err"});
+    for (const Fixed& f : fixed) {
+      double mean_err = 0.0, cov_err = 0.0;
+      for (std::size_t r = 0; r < reps; ++r) {
+        stats::Xoshiro256pp rng(7000 + r);
+        const Matrix subset = gather(late, rng, kN);
+        const core::GaussianMoments map =
+            core::BmfEstimator::fuse_at(early, subset, f.kappa0, f.nu0);
+        mean_err += core::mean_error(map.mean, exact.mean);
+        cov_err += core::covariance_error(map.covariance, exact.covariance);
+      }
+      const double inv = 1.0 / static_cast<double>(reps);
+      table.add_row({f.label, format_double(f.kappa0, 3),
+                     format_double(f.nu0, 3),
+                     format_double(mean_err * inv, 5),
+                     format_double(cov_err * inv, 5)});
+    }
+    // Reference rows: plain MLE and the cross-validated BMF.
+    {
+      double mle_mean = 0.0, mle_cov = 0.0, cv_mean = 0.0, cv_cov = 0.0;
+      std::vector<double> kappas, nus;
+      for (std::size_t r = 0; r < reps; ++r) {
+        stats::Xoshiro256pp rng(7000 + r);
+        const Matrix subset = gather(late, rng, kN);
+        const core::GaussianMoments mle = core::estimate_mle(subset);
+        mle_mean += core::mean_error(mle.mean, exact.mean);
+        mle_cov += core::covariance_error(mle.covariance, exact.covariance);
+        const core::BmfResult bmf =
+            core::BmfEstimator::estimate_scaled(early, subset, {});
+        cv_mean += core::mean_error(bmf.scaled_moments.mean, exact.mean);
+        cv_cov += core::covariance_error(bmf.scaled_moments.covariance,
+                                         exact.covariance);
+        kappas.push_back(bmf.kappa0);
+        nus.push_back(bmf.nu0);
+      }
+      const double inv = 1.0 / static_cast<double>(reps);
+      table.add_row({"MLE (reference)", "-", "-",
+                     format_double(mle_mean * inv, 5),
+                     format_double(mle_cov * inv, 5)});
+      table.add_row({"BMF cross-validated",
+                     format_double(stats::median(kappas), 4),
+                     format_double(stats::median(nus), 4),
+                     format_double(cv_mean * inv, 5),
+                     format_double(cv_cov * inv, 5)});
+    }
+    table.print(std::cout);
+    std::printf(
+        "# the mle_limit row must match the MLE reference; the "
+        "cross-validated row should sit near the best fixed setting.\n");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ablation_hyperparams: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

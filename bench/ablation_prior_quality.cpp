@@ -1,0 +1,92 @@
+// Ablation of prior quality: where does BMF stop beating MLE?
+//
+// Two degradation axes, both evaluated on the op-amp workload at n = 16:
+//   1. the early-stage population size (noisy prior moments), and
+//   2. an injected distortion of the early-stage mean (in units of the
+//      scaled sigma) — emulating a schematic that predicts the layout
+//      poorly.
+// The expected behaviour is graceful: as the prior degrades, cross
+// validation drives kappa0/nu0 down and BMF converges to MLE instead of
+// being dragged toward the bad prior.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/mle.hpp"
+#include "common/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bmfusion;
+  using linalg::Vector;
+  CliParser cli(
+      "ablation_prior_quality: BMF-vs-MLE as the early-stage prior degrades "
+      "(op-amp workload, n = 16)");
+  bench::add_common_flags(cli, 5000);
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    const bench::StageData data = bench::load_opamp_data(
+        cli.get_string("data-dir"),
+        static_cast<std::size_t>(cli.get_int("samples")));
+
+    core::ExperimentConfig cfg = bench::experiment_config_from_cli(cli, {16});
+    cfg.repetitions = std::max<std::size_t>(3, cfg.repetitions / 2);
+
+    // Axis 1: early-population size.
+    std::printf("\nAblation: early-stage population size (op-amp, n=16)\n");
+    ConsoleTable size_table({"early_n", "mle_cov_err", "bmf_cov_err",
+                             "bmf_mean_err", "kappa0", "nu0"});
+    for (const std::size_t early_n : {50u, 200u, 1000u, 5000u}) {
+      const circuit::Dataset early_subset = data.early.head(
+          std::min<std::size_t>(early_n, data.early.sample_count()));
+      const core::MomentExperiment experiment(
+          early_subset, data.early_nominal, data.late, data.late_nominal);
+      const core::ExperimentResult res = experiment.run(cfg);
+      size_table.add_numeric_row(
+          {static_cast<double>(early_subset.sample_count()),
+           res.rows[0].mle_cov_error, res.rows[0].bmf_cov_error,
+           res.rows[0].bmf_mean_error, res.rows[0].median_kappa0,
+           res.rows[0].median_nu0});
+    }
+    size_table.print(std::cout);
+
+    // Axis 2: injected early-mean distortion (in scaled sigma units). The
+    // distortion is applied to the raw early samples along every metric
+    // using the early-stage standard deviations.
+    std::printf(
+        "\nAblation: injected early-stage mean distortion (op-amp, n=16)\n");
+    ConsoleTable dist_table({"distortion_sigma", "mle_mean_err",
+                             "bmf_mean_err", "kappa0", "nu0"});
+    const core::GaussianMoments early_raw =
+        core::estimate_mle(data.early.samples());
+    Vector sigma(early_raw.dimension());
+    for (std::size_t i = 0; i < sigma.size(); ++i) {
+      sigma[i] = std::sqrt(early_raw.covariance(i, i));
+    }
+    for (const double distortion : {0.0, 0.25, 0.5, 1.0, 2.0}) {
+      linalg::Matrix shifted = data.early.samples();
+      for (std::size_t r = 0; r < shifted.rows(); ++r) {
+        for (std::size_t c = 0; c < shifted.cols(); ++c) {
+          shifted(r, c) += distortion * sigma[c];
+        }
+      }
+      const circuit::Dataset early_shifted(data.early.metric_names(),
+                                           std::move(shifted));
+      const core::MomentExperiment experiment(
+          early_shifted, data.early_nominal, data.late, data.late_nominal);
+      const core::ExperimentResult res = experiment.run(cfg);
+      dist_table.add_numeric_row(
+          {distortion, res.rows[0].mle_mean_error,
+           res.rows[0].bmf_mean_error, res.rows[0].median_kappa0,
+           res.rows[0].median_nu0});
+    }
+    dist_table.print(std::cout);
+    std::printf(
+        "# as the prior mean degrades, kappa0 collapses and BMF's mean "
+        "error approaches (never greatly exceeds) MLE's.\n");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ablation_prior_quality: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Ablation of the Section 4.1 performance shift & scaling: how much
+// accuracy does BMF lose when the normalization is skipped and the raw
+// metric values (spanning ~7 orders of magnitude between bandwidth in Hz
+// and power in W) are fused directly?
+//
+// Errors are always evaluated in the scaled space (the paper's error
+// definition), whichever way the estimate was produced.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "core/mle.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace bmfusion;
+using linalg::Matrix;
+using linalg::Vector;
+
+Matrix gather(const Matrix& samples, stats::Xoshiro256pp& rng,
+              std::size_t n) {
+  Matrix out(n, samples.cols());
+  std::vector<std::size_t> pool(samples.rows());
+  for (std::size_t i = 0; i < pool.size(); ++i) pool[i] = i;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.next_below(pool.size() - i));
+    std::swap(pool[i], pool[j]);
+    out.set_row(i, samples.row(pool[i]));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bmfusion;
+  CliParser cli(
+      "ablation_shift_scale: BMF accuracy with and without the Section 4.1 "
+      "shift/scale normalization (op-amp workload)");
+  bench::add_common_flags(cli, 5000);
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    const bench::StageData data = bench::load_opamp_data(
+        cli.get_string("data-dir"),
+        static_cast<std::size_t>(cli.get_int("samples")));
+
+    const core::GaussianMoments early_raw =
+        core::estimate_mle(data.early.samples());
+    const core::StageTransforms transforms = core::make_stage_transforms(
+        data.early_nominal, data.late_nominal, early_raw);
+    const core::GaussianMoments exact_scaled =
+        core::estimate_mle(transforms.late.apply(data.late.samples()));
+
+    core::BmfConfig with_cfg;
+    core::BmfConfig without_cfg;
+    without_cfg.apply_shift_scale = false;
+    const core::BmfEstimator with_ss(
+        core::EarlyStageKnowledge{early_raw, data.early_nominal}, with_cfg);
+    const core::BmfEstimator without_ss(
+        core::EarlyStageKnowledge{early_raw, data.early_nominal},
+        without_cfg);
+
+    std::size_t reps =
+        static_cast<std::size_t>(cli.get_int("runs")) / 2 + 1;
+    if (cli.get_bool("quick")) reps = std::max<std::size_t>(3, reps / 10);
+
+    std::printf("\nAblation: Section 4.1 shift & scaling (op-amp)\n");
+    ConsoleTable table({"n", "mean_err_with", "mean_err_without",
+                        "cov_err_with", "cov_err_without"});
+    for (const std::size_t n : {8u, 16u, 32u, 64u, 128u}) {
+      std::vector<double> m_with, m_without, c_with, c_without;
+      for (std::size_t r = 0; r < reps; ++r) {
+        stats::Xoshiro256pp rng(9000 + 31 * n + r);
+        const Matrix subset = gather(data.late.samples(), rng, n);
+
+        const core::BmfResult a = with_ss.estimate(subset,
+                                                   data.late_nominal);
+        m_with.push_back(
+            core::mean_error(a.scaled_moments.mean, exact_scaled.mean));
+        c_with.push_back(core::covariance_error(
+            a.scaled_moments.covariance, exact_scaled.covariance));
+
+        const core::BmfResult b =
+            without_ss.estimate(subset, data.late_nominal);
+        const core::GaussianMoments b_scaled =
+            transforms.late.apply(b.moments);
+        m_without.push_back(
+            core::mean_error(b_scaled.mean, exact_scaled.mean));
+        c_without.push_back(core::covariance_error(
+            b_scaled.covariance, exact_scaled.covariance));
+      }
+      table.add_numeric_row({static_cast<double>(n), stats::mean_of(m_with),
+                             stats::mean_of(m_without),
+                             stats::mean_of(c_with),
+                             stats::mean_of(c_without)});
+    }
+    table.print(std::cout);
+    std::printf(
+        "# The MAP fuse is affine-equivariant, so the per-dimension\n"
+        "# *scaling* changes nothing; what Section 4.1 buys is the per-stage\n"
+        "# *shift*: without it the prior mean is off by the nominal\n"
+        "# schematic-vs-extracted gap, costing mean accuracy at the\n"
+        "# smallest n until cross validation rescues the fuse by driving\n"
+        "# kappa0 down (covariance is unaffected either way).\n");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ablation_shift_scale: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

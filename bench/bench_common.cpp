@@ -1,0 +1,153 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <functional>
+#include <iostream>
+
+#include "circuit/flash_adc.hpp"
+#include "circuit/montecarlo.hpp"
+#include "circuit/opamp.hpp"
+#include "common/csv.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+
+namespace bmfusion::bench {
+
+namespace {
+
+using circuit::Dataset;
+using circuit::DesignStage;
+using circuit::MonteCarloConfig;
+using circuit::ProcessModel;
+using linalg::Vector;
+
+/// Loads `path` when present, else runs `generate` and caches the result.
+Dataset load_or_generate(const std::string& path,
+                         const std::function<Dataset()>& generate) {
+  if (std::filesystem::exists(path)) {
+    std::printf("# using cached %s\n", path.c_str());
+    return Dataset::load_csv(path);
+  }
+  Stopwatch sw;
+  Dataset ds = generate();
+  std::printf("# generated %s (%zu samples, %.1f s)\n", path.c_str(),
+              ds.sample_count(), sw.seconds());
+  std::filesystem::create_directories(
+      std::filesystem::path(path).parent_path());
+  ds.save_csv(path);
+  return ds;
+}
+
+std::string tagged(const std::string& dir, const std::string& base,
+                   std::size_t count) {
+  return dir + "/" + base + "_" + std::to_string(count) + ".csv";
+}
+
+}  // namespace
+
+StageData load_opamp_data(const std::string& data_dir,
+                          std::size_t sample_count) {
+  const circuit::TwoStageOpAmp early_bench(DesignStage::kSchematic,
+                                           ProcessModel::cmos45());
+  const circuit::TwoStageOpAmp late_bench(DesignStage::kPostLayout,
+                                          ProcessModel::cmos45());
+  MonteCarloConfig cfg;
+  cfg.sample_count = sample_count;
+  Dataset early = load_or_generate(
+      tagged(data_dir, "opamp_early", sample_count), [&] {
+        MonteCarloConfig c = cfg;
+        c.seed = 11;
+        return run_monte_carlo(early_bench, c);
+      });
+  Dataset late = load_or_generate(
+      tagged(data_dir, "opamp_late", sample_count), [&] {
+        MonteCarloConfig c = cfg;
+        c.seed = 22;
+        return run_monte_carlo(late_bench, c);
+      });
+  return StageData{std::move(early), early_bench.nominal_metrics(),
+                   std::move(late), late_bench.nominal_metrics()};
+}
+
+StageData load_adc_data(const std::string& data_dir,
+                        std::size_t sample_count) {
+  const circuit::FlashAdc early_bench(DesignStage::kSchematic,
+                                      ProcessModel::cmos180());
+  const circuit::FlashAdc late_bench(DesignStage::kPostLayout,
+                                     ProcessModel::cmos180());
+  MonteCarloConfig cfg;
+  cfg.sample_count = sample_count;
+  Dataset early = load_or_generate(
+      tagged(data_dir, "adc_early", sample_count), [&] {
+        MonteCarloConfig c = cfg;
+        c.seed = 33;
+        return run_monte_carlo(early_bench, c);
+      });
+  Dataset late = load_or_generate(
+      tagged(data_dir, "adc_late", sample_count), [&] {
+        MonteCarloConfig c = cfg;
+        c.seed = 44;
+        return run_monte_carlo(late_bench, c);
+      });
+  return StageData{std::move(early), early_bench.nominal_metrics(),
+                   std::move(late), late_bench.nominal_metrics()};
+}
+
+void add_common_flags(CliParser& cli, std::size_t default_samples) {
+  cli.add_flag("data-dir", "bench_data",
+               "directory for cached Monte-Carlo populations");
+  cli.add_flag("runs", "100",
+               "repeated runs per sample size (paper: 100)");
+  cli.add_flag("samples", std::to_string(default_samples),
+               "Monte-Carlo population size per stage");
+  cli.add_flag("quick", "false", "divide the run count by 10 (smoke mode)");
+  cli.add_flag("csv", "", "also write the table to this CSV file");
+  cli.add_flag("threads", "0", "worker threads (0 = hardware concurrency)");
+}
+
+core::ExperimentConfig experiment_config_from_cli(
+    const CliParser& cli, std::vector<std::size_t> sample_sizes) {
+  core::ExperimentConfig cfg;
+  cfg.sample_sizes = std::move(sample_sizes);
+  cfg.repetitions = static_cast<std::size_t>(cli.get_int("runs"));
+  if (cli.get_bool("quick")) {
+    cfg.repetitions = std::max<std::size_t>(3, cfg.repetitions / 10);
+  }
+  cfg.threads = static_cast<std::size_t>(cli.get_int("threads"));
+  return cfg;
+}
+
+void print_error_figure(const std::string& title,
+                        const core::ExperimentResult& result, bool use_cov,
+                        const std::string& csv_path) {
+  std::printf("\n%s\n", title.c_str());
+  ConsoleTable table({"n", use_cov ? "mle_cov_error" : "mle_mean_error",
+                      use_cov ? "bmf_cov_error" : "bmf_mean_error",
+                      "mle_stderr", "bmf_stderr", "cost_reduction_x",
+                      "median_kappa0", "median_nu0"});
+  for (const core::ExperimentRow& row : result.rows) {
+    const double mle = use_cov ? row.mle_cov_error : row.mle_mean_error;
+    const double bmf = use_cov ? row.bmf_cov_error : row.bmf_mean_error;
+    const double mle_se = use_cov ? row.mle_cov_stderr : row.mle_mean_stderr;
+    const double bmf_se = use_cov ? row.bmf_cov_stderr : row.bmf_mean_stderr;
+    table.add_numeric_row({static_cast<double>(row.n), mle, bmf, mle_se,
+                           bmf_se,
+                           core::cost_reduction_factor(result.rows, row.n,
+                                                       use_cov),
+                           row.median_kappa0, row.median_nu0});
+  }
+  table.print(std::cout);
+  std::printf(
+      "# prior (early-stage) error vs exact: mean %.4f, covariance %.4f\n",
+      core::mean_error(result.early_scaled.mean, result.exact_scaled.mean),
+      core::covariance_error(result.early_scaled.covariance,
+                             result.exact_scaled.covariance));
+  if (!csv_path.empty()) {
+    write_csv_file(csv_path, table.to_csv());
+    std::printf("# table written to %s\n", csv_path.c_str());
+  }
+}
+
+}  // namespace bmfusion::bench

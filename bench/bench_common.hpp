@@ -1,0 +1,53 @@
+// Shared machinery for the figure-reproduction benches.
+//
+// Each bench binary regenerates one of the paper's evaluation artifacts
+// (Figure 4(a)/4(b)/5(a)/5(b), the cost-reduction claims, or an ablation).
+// The Monte-Carlo populations are expensive relative to the estimation
+// sweep, so they are cached as CSV under --data-dir and shared between
+// binaries.
+#pragma once
+
+#include <string>
+
+#include "circuit/dataset.hpp"
+#include "common/cli.hpp"
+#include "core/experiment.hpp"
+
+namespace bmfusion::bench {
+
+/// One stage pair ready for a MomentExperiment.
+struct StageData {
+  circuit::Dataset early;
+  linalg::Vector early_nominal;
+  circuit::Dataset late;
+  linalg::Vector late_nominal;
+};
+
+/// Op-amp populations (Section 5.1): 5000 samples per stage by default,
+/// cached in `data_dir`. `sample_count` scales the population for quick
+/// runs.
+[[nodiscard]] StageData load_opamp_data(const std::string& data_dir,
+                                        std::size_t sample_count);
+
+/// Flash-ADC populations (Section 5.2): 1000 samples per stage by default.
+[[nodiscard]] StageData load_adc_data(const std::string& data_dir,
+                                      std::size_t sample_count);
+
+/// Registers the flags shared by every figure bench: --data-dir, --runs,
+/// --samples, --quick, --csv.
+void add_common_flags(CliParser& cli, std::size_t default_samples);
+
+/// Experiment configuration derived from the parsed flags. `--quick`
+/// divides the repetition count by 10 (min 3) for smoke runs.
+[[nodiscard]] core::ExperimentConfig experiment_config_from_cli(
+    const CliParser& cli, std::vector<std::size_t> sample_sizes);
+
+/// Prints one figure: a row per sample size with the MLE and BMF error
+/// series (`use_cov` picks eq. 38 over eq. 37), median selected
+/// hyper-parameters, and the BMF-vs-MLE cost-reduction factor. When
+/// `csv_path` is non-empty the table is also written there.
+void print_error_figure(const std::string& title,
+                        const core::ExperimentResult& result, bool use_cov,
+                        const std::string& csv_path);
+
+}  // namespace bmfusion::bench

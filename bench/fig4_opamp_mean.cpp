@@ -1,0 +1,37 @@
+// Figure 4(a) reproduction: two-stage op-amp (45 nm) — estimation error of
+// the late-stage MEAN VECTOR (eq. 37) vs. number of late-stage samples,
+// MLE vs. the proposed BMF, averaged over repeated runs.
+//
+// Expected shape (paper Section 5.1): BMF gives a modest (~3x at the very
+// smallest n) cost reduction on the mean, because the post-layout mean is
+// only partially predictable from the schematic (cross validation picks a
+// *small* kappa0).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bmfusion;
+  CliParser cli(
+      "fig4_opamp_mean: paper Figure 4(a) — op-amp mean-vector error vs "
+      "late-stage sample count");
+  bench::add_common_flags(cli, 5000);
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    const bench::StageData data = bench::load_opamp_data(
+        cli.get_string("data-dir"),
+        static_cast<std::size_t>(cli.get_int("samples")));
+    const core::MomentExperiment experiment(data.early, data.early_nominal,
+                                            data.late, data.late_nominal);
+    const core::ExperimentConfig cfg = bench::experiment_config_from_cli(
+        cli, {8, 16, 32, 64, 128, 256, 512});
+    const core::ExperimentResult result = experiment.run(cfg);
+    bench::print_error_figure(
+        "Figure 4(a): op-amp late-stage mean-vector error (eq. 37)", result,
+        /*use_cov=*/false, cli.get_string("csv"));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fig4_opamp_mean: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

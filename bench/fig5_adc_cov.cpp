@@ -1,0 +1,34 @@
+// Figure 5(b) reproduction: flash ADC (0.18 um) — estimation error of the
+// late-stage COVARIANCE MATRIX (eq. 38) vs. number of late-stage samples.
+//
+// Expected shape (paper Section 5.2): BMF beats MLE by >10x; nu0 selected
+// large (~559 at n = 32 in the paper).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bmfusion;
+  CliParser cli(
+      "fig5_adc_cov: paper Figure 5(b) — flash-ADC covariance-matrix error "
+      "vs late-stage sample count");
+  bench::add_common_flags(cli, 1000);
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    const bench::StageData data = bench::load_adc_data(
+        cli.get_string("data-dir"),
+        static_cast<std::size_t>(cli.get_int("samples")));
+    const core::MomentExperiment experiment(data.early, data.early_nominal,
+                                            data.late, data.late_nominal);
+    const core::ExperimentConfig cfg = bench::experiment_config_from_cli(
+        cli, {8, 16, 32, 64, 128, 256});
+    const core::ExperimentResult result = experiment.run(cfg);
+    bench::print_error_figure(
+        "Figure 5(b): flash-ADC late-stage covariance-matrix error (eq. 38)",
+        result, /*use_cov=*/true, cli.get_string("csv"));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fig5_adc_cov: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

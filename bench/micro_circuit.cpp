@@ -1,0 +1,70 @@
+// Micro-benchmarks for the circuit substrate: one DC operating point, one
+// AC sweep, one full op-amp Monte-Carlo sample, one flash-ADC sample.
+#include <benchmark/benchmark.h>
+
+#include "circuit/ac.hpp"
+#include "circuit/dc.hpp"
+#include "circuit/flash_adc.hpp"
+#include "circuit/opamp.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace bmfusion;
+using namespace bmfusion::circuit;
+
+void BM_OpAmpDcSolve(benchmark::State& state) {
+  const TwoStageOpAmp amp(DesignStage::kSchematic, ProcessModel::cmos45());
+  const Netlist net = amp.build_netlist({});
+  const DcSolver solver;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(net));
+  }
+}
+BENCHMARK(BM_OpAmpDcSolve);
+
+void BM_OpAmpAcSweep(benchmark::State& state) {
+  const TwoStageOpAmp amp(DesignStage::kSchematic, ProcessModel::cmos45());
+  const Netlist net = amp.build_netlist({});
+  const OperatingPoint op = DcSolver().solve(net);
+  const AcAnalysis ac(net, op);
+  const std::vector<double> freqs = log_frequency_grid(10.0, 10e9, 10);
+  const NodeId out = net.find_node("out");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ac.sweep(freqs, out));
+  }
+}
+BENCHMARK(BM_OpAmpAcSweep);
+
+void BM_OpAmpFullSample(benchmark::State& state) {
+  const TwoStageOpAmp amp(DesignStage::kPostLayout, ProcessModel::cmos45());
+  stats::Xoshiro256pp rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(amp.sample_metrics(rng));
+  }
+}
+BENCHMARK(BM_OpAmpFullSample);
+
+void BM_FlashAdcFullSample(benchmark::State& state) {
+  const FlashAdc adc(DesignStage::kPostLayout, ProcessModel::cmos180());
+  stats::Xoshiro256pp rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adc.sample_metrics(rng));
+  }
+}
+BENCHMARK(BM_FlashAdcFullSample);
+
+void BM_MosfetEval(benchmark::State& state) {
+  MosfetModel model;
+  const MosfetGeometry geom{2e-6, 0.2e-6};
+  double vg = 0.6;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluate_mosfet(model, geom, {}, vg, 1.0, 0.0));
+    vg = vg == 0.6 ? 0.61 : 0.6;
+  }
+}
+BENCHMARK(BM_MosfetEval);
+
+}  // namespace
+
+BENCHMARK_MAIN();

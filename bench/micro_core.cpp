@@ -1,0 +1,95 @@
+// Micro-benchmarks for the BMF estimation core: one MAP fusion, the
+// held-out likelihood score, a full 2-D cross-validated estimate, and the
+// posterior-predictive evaluation.
+#include <benchmark/benchmark.h>
+
+#include "core/bmf_estimator.hpp"
+#include "core/cross_validation.hpp"
+#include "core/mle.hpp"
+#include "core/normal_wishart.hpp"
+#include "stats/mvn.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace bmfusion;
+using linalg::Matrix;
+using linalg::Vector;
+
+core::GaussianMoments make_moments(std::size_t d) {
+  stats::Xoshiro256pp rng(9);
+  Matrix b(d, d);
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j < d; ++j) b(i, j) = rng.next_uniform(-1, 1);
+  }
+  core::GaussianMoments m;
+  m.mean = Vector(d, 0.1);
+  m.covariance = b * b.transposed();
+  for (std::size_t i = 0; i < d; ++i) m.covariance(i, i) += 1.0;
+  m.covariance.symmetrize();
+  return m;
+}
+
+Matrix make_samples(const core::GaussianMoments& m, std::size_t n) {
+  stats::Xoshiro256pp rng(10);
+  return stats::MultivariateNormal(m.mean, m.covariance).sample_matrix(rng,
+                                                                       n);
+}
+
+void BM_MapFusion(benchmark::State& state) {
+  const auto d = static_cast<std::size_t>(state.range(0));
+  const core::GaussianMoments early = make_moments(d);
+  const Matrix samples = make_samples(early, 32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::BmfEstimator::fuse_at(early, samples, 10.0, 50.0));
+  }
+}
+BENCHMARK(BM_MapFusion)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_LogLikelihood(benchmark::State& state) {
+  const core::GaussianMoments m = make_moments(5);
+  const Matrix samples = make_samples(m, static_cast<std::size_t>(
+                                             state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::log_likelihood(m, samples));
+  }
+}
+BENCHMARK(BM_LogLikelihood)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_CrossValidatedEstimate(benchmark::State& state) {
+  const core::GaussianMoments early = make_moments(5);
+  const Matrix samples = make_samples(early, static_cast<std::size_t>(
+                                                 state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::BmfEstimator::estimate_scaled(early, samples, {}));
+  }
+}
+BENCHMARK(BM_CrossValidatedEstimate)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_MleEstimate(benchmark::State& state) {
+  const core::GaussianMoments m = make_moments(5);
+  const Matrix samples = make_samples(m, static_cast<std::size_t>(
+                                             state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::estimate_mle(samples));
+  }
+}
+BENCHMARK(BM_MleEstimate)->Arg(8)->Arg(128)->Arg(1024);
+
+void BM_PosteriorPredictive(benchmark::State& state) {
+  const core::GaussianMoments early = make_moments(5);
+  const core::NormalWishart prior =
+      core::NormalWishart::from_early_stage(early, 5.0, 20.0);
+  const Vector x(5, 0.2);
+  const core::NormalWishart::StudentT t = prior.posterior_predictive();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::NormalWishart::student_t_log_pdf(t, x));
+  }
+}
+BENCHMARK(BM_PosteriorPredictive);
+
+}  // namespace
+
+BENCHMARK_MAIN();

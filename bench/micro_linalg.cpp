@@ -1,0 +1,115 @@
+// Micro-benchmarks (google-benchmark) for the linear-algebra substrate at
+// the sizes the estimation core actually uses (d = 5..20 covariances,
+// ~15-unknown MNA systems).
+#include <benchmark/benchmark.h>
+
+#include "circuit/parasitic.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/eigen_sym.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/sparse.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace bmfusion;
+using linalg::Matrix;
+using linalg::Vector;
+
+Matrix random_spd(std::size_t n, std::uint64_t seed) {
+  stats::Xoshiro256pp rng(seed);
+  Matrix b(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) b(i, j) = rng.next_uniform(-1, 1);
+  }
+  Matrix a = b * b.transposed();
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  a.symmetrize();
+  return a;
+}
+
+void BM_CholeskyFactor(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_spd(n, 1);
+  for (auto _ : state) {
+    linalg::Cholesky chol(a);
+    benchmark::DoNotOptimize(chol.log_determinant());
+  }
+}
+BENCHMARK(BM_CholeskyFactor)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_CholeskySolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const linalg::Cholesky chol(random_spd(n, 2));
+  Vector b(n, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chol.solve(b));
+  }
+}
+BENCHMARK(BM_CholeskySolve)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_LuSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_spd(n, 3);
+  Vector b(n, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::Lu(a).solve(b));
+  }
+}
+BENCHMARK(BM_LuSolve)->Arg(10)->Arg(15)->Arg(30);
+
+void BM_JacobiEigen(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_spd(n, 4);
+  for (auto _ : state) {
+    linalg::JacobiEigenSolver eig(a);
+    benchmark::DoNotOptimize(eig.min_eigenvalue());
+  }
+}
+BENCHMARK(BM_JacobiEigen)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_SparseCgLadder(benchmark::State& state) {
+  // IR-drop solve of an n-segment parasitic ladder via sparse CG: the
+  // workload dense LU cannot scale to.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  circuit::WireModel wire;
+  wire.segments = n;
+  const circuit::RcLadder ladder(wire, 50.0, 1e-15);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ladder.ir_drop_profile(1.0, 1e-4));
+  }
+}
+BENCHMARK(BM_SparseCgLadder)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_DenseLuLadderEquivalent(benchmark::State& state) {
+  // The same tridiagonal system assembled dense and solved with LU, for
+  // the scaling comparison against BM_SparseCgLadder.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a(i, i) = 2.0;
+    if (i + 1 < n) {
+      a(i, i + 1) = -1.0;
+      a(i + 1, i) = -1.0;
+    }
+  }
+  Vector b(n, 1e-4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::Lu(a).solve(b));
+  }
+}
+BENCHMARK(BM_DenseLuLadderEquivalent)->Arg(100)->Arg(400);
+
+void BM_MatrixMultiply(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_spd(n, 5);
+  const Matrix b = random_spd(n, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+}
+BENCHMARK(BM_MatrixMultiply)->Arg(5)->Arg(20)->Arg(50);
+
+}  // namespace
+
+BENCHMARK_MAIN();

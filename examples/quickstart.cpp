@@ -1,0 +1,72 @@
+// Quickstart: fuse early-stage knowledge with a handful of late-stage
+// samples to estimate a mean vector and covariance matrix.
+//
+// This example is fully synthetic so it runs in milliseconds; see
+// opamp_validation / adc_validation for the circuit workloads.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+#include <iostream>
+
+#include "core/bmf_estimator.hpp"
+#include "core/mle.hpp"
+#include "stats/mvn.hpp"
+#include "stats/rng.hpp"
+
+int main() {
+  using namespace bmfusion;
+  using linalg::Matrix;
+  using linalg::Vector;
+
+  // ------------------------------------------------------------------
+  // 1. Early stage: suppose a cheap simulation already produced accurate
+  //    moments for three correlated performance metrics.
+  core::GaussianMoments early;
+  early.mean = Vector{1.0, -0.5, 2.0};
+  early.covariance = Matrix{{1.00, 0.60, 0.20},
+                            {0.60, 2.00, -0.30},
+                            {0.20, -0.30, 0.50}};
+  const Vector early_nominal = early.mean;  // nominal run of the early stage
+
+  // ------------------------------------------------------------------
+  // 2. Late stage: the real distribution is shifted (new nominal) but keeps
+  //    the same shape. We can only afford n = 8 late-stage "simulations".
+  core::GaussianMoments late_truth = early;
+  const Vector late_nominal{1.4, -0.8, 2.5};
+  late_truth.mean = late_nominal + (early.mean - early_nominal);
+
+  stats::Xoshiro256pp rng(42);
+  const stats::MultivariateNormal late_dist(late_truth.mean,
+                                            late_truth.covariance);
+  const Matrix late_samples = late_dist.sample_matrix(rng, 8);
+
+  // ------------------------------------------------------------------
+  // 3. Fuse: Algorithm 1 — shift/scale, 2-D cross validation, MAP.
+  const core::BmfEstimator estimator(
+      core::EarlyStageKnowledge{early, early_nominal});
+  const core::BmfResult fused = estimator.estimate(late_samples,
+                                                   late_nominal);
+
+  // 4. Baseline: plain MLE on the same 8 samples.
+  const core::GaussianMoments mle = core::estimate_mle(late_samples);
+
+  std::printf("selected hyper-parameters: kappa0 = %.2f, nu0 = %.2f\n\n",
+              fused.kappa0, fused.nu0);
+  std::cout << "truth mean : " << late_truth.mean << "\n"
+            << "bmf  mean  : " << fused.moments.mean << "\n"
+            << "mle  mean  : " << mle.mean << "\n\n";
+  std::printf("mean error    : bmf %.4f   mle %.4f\n",
+              core::mean_error(fused.moments.mean, late_truth.mean),
+              core::mean_error(mle.mean, late_truth.mean));
+  std::printf("cov error (F) : bmf %.4f   mle %.4f\n",
+              core::covariance_error(fused.moments.covariance,
+                                     late_truth.covariance),
+              core::covariance_error(mle.covariance, late_truth.covariance));
+  std::printf(
+      "\nWith 8 samples the MLE covariance is badly under-determined; the\n"
+      "fused estimate leans on the early-stage shape and lands much "
+      "closer.\n");
+  return 0;
+}

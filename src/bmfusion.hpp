@@ -1,0 +1,88 @@
+// bmfusion — multivariate moment estimation via Bayesian model fusion for
+// analog/mixed-signal circuits (reproduction of Huang et al., DAC 2015).
+//
+// Umbrella header: pulls in the full public API. Fine for applications and
+// examples; library code should include the specific headers it uses.
+//
+// Layering (each layer depends only on those above it):
+//   common   — contracts, CSV, CLI, tables, parallel_for
+//   linalg   — dense/sparse vectors & matrices, factorizations, CG
+//   stats    — RNG, distributions, moments, diagnostics
+//   dsp      — FFT, windows, single-tone spectral metrics
+//   circuit  — netlists, SPICE parser, DC/AC/transient/noise analyses,
+//              process variation, the two paper testbenches, Monte Carlo
+//   core     — the paper's contribution: normal-Wishart fusion, shift/
+//              scaling, hyper-parameter selection, yield, experiments
+#pragma once
+
+// common
+#include "common/cli.hpp"
+#include "common/contracts.hpp"
+#include "common/csv.hpp"
+#include "common/parallel.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+
+// linalg
+#include "linalg/cholesky.hpp"
+#include "linalg/complex_lu.hpp"
+#include "linalg/eigen_sym.hpp"
+#include "linalg/ldlt.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/sparse.hpp"
+#include "linalg/spd.hpp"
+#include "linalg/svd.hpp"
+#include "linalg/vector.hpp"
+
+// stats
+#include "stats/descriptive.hpp"
+#include "stats/moments.hpp"
+#include "stats/mvn.hpp"
+#include "stats/rng.hpp"
+#include "stats/special.hpp"
+#include "stats/student_t.hpp"
+#include "stats/univariate.hpp"
+#include "stats/wishart.hpp"
+
+// dsp
+#include "dsp/fft.hpp"
+#include "dsp/spectrum.hpp"
+#include "dsp/window.hpp"
+
+// circuit
+#include "circuit/ac.hpp"
+#include "circuit/dataset.hpp"
+#include "circuit/dc.hpp"
+#include "circuit/flash_adc.hpp"
+#include "circuit/lint.hpp"
+#include "circuit/montecarlo.hpp"
+#include "circuit/mosfet.hpp"
+#include "circuit/netlist.hpp"
+#include "circuit/noise.hpp"
+#include "circuit/opamp.hpp"
+#include "circuit/parasitic.hpp"
+#include "circuit/process.hpp"
+#include "circuit/spice.hpp"
+#include "circuit/stage.hpp"
+#include "circuit/sweep.hpp"
+#include "circuit/transient.hpp"
+
+// core (the paper)
+#include "core/bernoulli_bmf.hpp"
+#include "core/bmf_estimator.hpp"
+#include "core/cross_validation.hpp"
+#include "core/experiment.hpp"
+#include "core/higher_moments.hpp"
+#include "core/mle.hpp"
+#include "core/moments.hpp"
+#include "core/normal_wishart.hpp"
+#include "core/pdf_bmf.hpp"
+#include "core/report.hpp"
+#include "core/sequential.hpp"
+#include "core/serialization.hpp"
+#include "core/shift_scale.hpp"
+#include "core/univariate_bmf.hpp"
+#include "core/yield.hpp"

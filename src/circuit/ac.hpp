@@ -1,0 +1,75 @@
+// Small-signal AC analysis.
+//
+// Linearizes every device at a previously solved operating point and solves
+// the complex MNA system (G + j*omega*C) x = b over a frequency sweep.
+#pragma once
+
+#include <vector>
+
+#include "circuit/dc.hpp"
+#include "circuit/netlist.hpp"
+#include "linalg/complex_lu.hpp"
+#include "linalg/matrix.hpp"
+
+namespace bmfusion::circuit {
+
+/// AC analysis bound to one netlist + operating point. The real conductance
+/// and capacitance stamps are assembled once; each frequency point costs one
+/// complex LU solve.
+class AcAnalysis {
+ public:
+  AcAnalysis(const Netlist& netlist, const OperatingPoint& op);
+
+  /// Complex node voltages and branch currents at `freq_hz` (>= 0).
+  [[nodiscard]] linalg::ComplexVector response(double freq_hz) const;
+
+  /// Complex voltage of one node at `freq_hz`.
+  [[nodiscard]] linalg::Complex node_response(double freq_hz,
+                                              NodeId node) const;
+
+  /// Transfer sweep: node voltage at each frequency (the AC sources in the
+  /// netlist are the stimulus).
+  [[nodiscard]] std::vector<linalg::Complex> sweep(
+      const std::vector<double>& freqs_hz, NodeId probe) const;
+
+  /// Transfer impedance: voltage at `probe` per unit AC current injected
+  /// into node `into` and drawn out of node `out_of`, with the netlist's
+  /// own AC sources silenced. This is the propagation kernel used by the
+  /// noise analysis.
+  [[nodiscard]] linalg::Complex transfer_impedance(double freq_hz,
+                                                   NodeId into,
+                                                   NodeId out_of,
+                                                   NodeId probe) const;
+
+ private:
+  std::size_t n_nodes_;
+  std::size_t n_unknowns_;
+  linalg::Matrix g_;  ///< conductance stamps
+  linalg::Matrix c_;  ///< capacitance stamps
+  linalg::ComplexVector rhs_;
+};
+
+/// Logarithmic frequency grid from `f_start` to `f_stop` (inclusive) with
+/// `points_per_decade` points per decade.
+[[nodiscard]] std::vector<double> log_frequency_grid(double f_start,
+                                                     double f_stop,
+                                                     std::size_t
+                                                         points_per_decade);
+
+/// Amplifier metrics extracted from a transfer-function sweep.
+struct AmplifierAcMetrics {
+  double dc_gain_db = 0.0;        ///< gain at the first sweep point
+  double f3db_hz = 0.0;           ///< -3 dB corner (log-interpolated)
+  double unity_gain_freq_hz = 0.0;///< |H| = 1 crossing
+  double phase_margin_deg = 0.0;  ///< 180 + unwrapped phase at unity
+  bool unity_crossing_found = false;
+};
+
+/// Extracts gain/bandwidth/phase margin from a Bode sweep. `freqs_hz` must be
+/// ascending and the same length as `response`. The phase is unwrapped along
+/// the sweep before the margin is read.
+[[nodiscard]] AmplifierAcMetrics measure_amplifier(
+    const std::vector<double>& freqs_hz,
+    const std::vector<linalg::Complex>& response);
+
+}  // namespace bmfusion::circuit

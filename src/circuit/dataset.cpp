@@ -1,0 +1,70 @@
+#include "circuit/dataset.hpp"
+
+#include "common/contracts.hpp"
+#include "common/csv.hpp"
+
+namespace bmfusion::circuit {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+Dataset::Dataset(std::vector<std::string> metric_names, Matrix samples)
+    : names_(std::move(metric_names)), samples_(std::move(samples)) {
+  BMFUSION_REQUIRE(!names_.empty(), "dataset needs at least one metric");
+  BMFUSION_REQUIRE(samples_.cols() == names_.size(),
+                   "dataset column count must match metric names");
+}
+
+std::size_t Dataset::metric_index(const std::string& name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return i;
+  }
+  throw ContractError("dataset has no metric named '" + name + "'");
+}
+
+Vector Dataset::metric_column(const std::string& name) const {
+  return samples_.col(metric_index(name));
+}
+
+Dataset Dataset::select_rows(const std::vector<std::size_t>& rows) const {
+  Matrix out(rows.size(), metric_count());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    BMFUSION_REQUIRE(rows[i] < sample_count(), "row index out of range");
+    out.set_row(i, samples_.row(rows[i]));
+  }
+  return Dataset(names_, std::move(out));
+}
+
+Dataset Dataset::head(std::size_t count) const {
+  BMFUSION_REQUIRE(count <= sample_count(),
+                   "head count exceeds sample count");
+  Matrix out(count, metric_count());
+  for (std::size_t i = 0; i < count; ++i) out.set_row(i, samples_.row(i));
+  return Dataset(names_, std::move(out));
+}
+
+void Dataset::save_csv(const std::string& path) const {
+  CsvTable table;
+  table.header = names_;
+  table.rows.reserve(sample_count());
+  for (std::size_t i = 0; i < sample_count(); ++i) {
+    std::vector<double> row(metric_count());
+    for (std::size_t j = 0; j < metric_count(); ++j) row[j] = samples_(i, j);
+    table.rows.push_back(std::move(row));
+  }
+  write_csv_file(path, table);
+}
+
+Dataset Dataset::load_csv(const std::string& path) {
+  const CsvTable table = read_csv_file(path, /*expect_header=*/true);
+  BMFUSION_REQUIRE(!table.header.empty(), "dataset csv needs a header row");
+  Matrix samples(table.rows.size(), table.header.size());
+  for (std::size_t i = 0; i < table.rows.size(); ++i) {
+    for (std::size_t j = 0; j < table.header.size(); ++j) {
+      samples(i, j) = table.rows[i][j];
+    }
+  }
+  return Dataset(table.header, std::move(samples));
+}
+
+}  // namespace bmfusion::circuit

@@ -1,0 +1,47 @@
+// Named sample matrix: the interchange type between the circuit substrate
+// and the moment-estimation core.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace bmfusion::circuit {
+
+/// An n x d matrix of performance samples with named metric columns.
+class Dataset {
+ public:
+  /// `samples` rows are Monte-Carlo draws, columns are the named metrics.
+  Dataset(std::vector<std::string> metric_names, linalg::Matrix samples);
+
+  [[nodiscard]] std::size_t sample_count() const { return samples_.rows(); }
+  [[nodiscard]] std::size_t metric_count() const { return samples_.cols(); }
+  [[nodiscard]] const std::vector<std::string>& metric_names() const {
+    return names_;
+  }
+  [[nodiscard]] const linalg::Matrix& samples() const { return samples_; }
+
+  /// Index of a metric by name; throws ContractError when absent.
+  [[nodiscard]] std::size_t metric_index(const std::string& name) const;
+
+  /// One metric as a column vector.
+  [[nodiscard]] linalg::Vector metric_column(const std::string& name) const;
+
+  /// New dataset holding the given row indices (in the given order).
+  [[nodiscard]] Dataset select_rows(const std::vector<std::size_t>& rows)
+      const;
+
+  /// First `count` rows.
+  [[nodiscard]] Dataset head(std::size_t count) const;
+
+  /// CSV round-trip (header row = metric names).
+  void save_csv(const std::string& path) const;
+  [[nodiscard]] static Dataset load_csv(const std::string& path);
+
+ private:
+  std::vector<std::string> names_;
+  linalg::Matrix samples_;
+};
+
+}  // namespace bmfusion::circuit

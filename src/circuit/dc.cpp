@@ -1,0 +1,256 @@
+#include "circuit/dc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+
+namespace bmfusion::circuit {
+
+using linalg::Lu;
+using linalg::Matrix;
+using linalg::Vector;
+
+OperatingPoint::OperatingPoint(Vector node_voltages,
+                               std::vector<double> source_currents,
+                               std::vector<MosfetOp> mosfet_ops)
+    : voltages_(std::move(node_voltages)),
+      source_currents_(std::move(source_currents)),
+      mosfet_ops_(std::move(mosfet_ops)) {}
+
+double OperatingPoint::voltage(NodeId id) const {
+  if (id == kGround) return 0.0;
+  BMFUSION_REQUIRE(id - 1 < voltages_.size(), "node id out of range");
+  return voltages_[id - 1];
+}
+
+double OperatingPoint::source_current(std::size_t index) const {
+  BMFUSION_REQUIRE(index < source_currents_.size(),
+                   "voltage source index out of range");
+  return source_currents_[index];
+}
+
+const MosfetOp& OperatingPoint::mosfet_op(std::size_t index) const {
+  BMFUSION_REQUIRE(index < mosfet_ops_.size(), "mosfet index out of range");
+  return mosfet_ops_[index];
+}
+
+namespace {
+
+/// One Newton solve at fixed gmin and source scale. `x` holds node voltages
+/// then branch currents; updated in place. Returns true on convergence.
+bool newton_solve(const Netlist& netlist, const DcSolverConfig& config,
+                  double gmin, double source_scale, Vector& x,
+                  std::vector<MosfetOp>& mosfet_ops) {
+  const std::size_t n_nodes = netlist.node_count();
+  const std::size_t n_unknowns = netlist.unknown_count();
+  mosfet_ops.resize(netlist.mosfets().size());
+
+  // Row/column helpers: node id k (>=1) lives at index k-1; branch b lives
+  // at index n_nodes + b. Ground contributions are dropped.
+  const auto vid = [&](NodeId id) -> std::ptrdiff_t {
+    return id == kGround ? -1 : static_cast<std::ptrdiff_t>(id - 1);
+  };
+
+  for (int iter = 0; iter < config.max_iterations; ++iter) {
+    Matrix jac(n_unknowns, n_unknowns);
+    Vector residual(n_unknowns);
+
+    const auto voltage = [&](NodeId id) {
+      return id == kGround ? 0.0 : x[id - 1];
+    };
+    const auto add_f = [&](NodeId id, double value) {
+      const std::ptrdiff_t r = vid(id);
+      if (r >= 0) residual[static_cast<std::size_t>(r)] += value;
+    };
+    const auto add_j = [&](std::ptrdiff_t row, std::ptrdiff_t col,
+                           double value) {
+      if (row >= 0 && col >= 0) {
+        jac(static_cast<std::size_t>(row), static_cast<std::size_t>(col)) +=
+            value;
+      }
+    };
+
+    // gmin leak from every node to ground.
+    for (std::size_t k = 0; k < n_nodes; ++k) {
+      residual[k] += gmin * x[k];
+      jac(k, k) += gmin;
+    }
+
+    for (const Resistor& r : netlist.resistors()) {
+      const double g = 1.0 / r.resistance;
+      const double i = g * (voltage(r.n1) - voltage(r.n2));
+      add_f(r.n1, i);
+      add_f(r.n2, -i);
+      const std::ptrdiff_t a = vid(r.n1);
+      const std::ptrdiff_t b = vid(r.n2);
+      add_j(a, a, g);
+      add_j(a, b, -g);
+      add_j(b, a, -g);
+      add_j(b, b, g);
+    }
+
+    for (const Vccs& v : netlist.vccs()) {
+      const double i = v.gm * (voltage(v.cp) - voltage(v.cn));
+      add_f(v.np, i);
+      add_f(v.nn, -i);
+      const std::ptrdiff_t p = vid(v.np);
+      const std::ptrdiff_t n = vid(v.nn);
+      const std::ptrdiff_t cp = vid(v.cp);
+      const std::ptrdiff_t cn = vid(v.cn);
+      add_j(p, cp, v.gm);
+      add_j(p, cn, -v.gm);
+      add_j(n, cp, -v.gm);
+      add_j(n, cn, v.gm);
+    }
+
+    for (const CurrentSource& s : netlist.current_sources()) {
+      const double i = source_scale * s.dc;
+      add_f(s.np, i);
+      add_f(s.nn, -i);
+    }
+
+    for (std::size_t b = 0; b < netlist.voltage_sources().size(); ++b) {
+      const VoltageSource& s = netlist.voltage_sources()[b];
+      const std::size_t brow = n_nodes + b;
+      const double ib = x[brow];
+      add_f(s.np, ib);
+      add_f(s.nn, -ib);
+      residual[brow] =
+          voltage(s.np) - voltage(s.nn) - source_scale * s.dc;
+      const std::ptrdiff_t p = vid(s.np);
+      const std::ptrdiff_t n = vid(s.nn);
+      add_j(p, static_cast<std::ptrdiff_t>(brow), 1.0);
+      add_j(n, static_cast<std::ptrdiff_t>(brow), -1.0);
+      add_j(static_cast<std::ptrdiff_t>(brow), p, 1.0);
+      add_j(static_cast<std::ptrdiff_t>(brow), n, -1.0);
+    }
+
+    for (std::size_t m = 0; m < netlist.mosfets().size(); ++m) {
+      const MosfetInstance& inst = netlist.mosfets()[m];
+      const MosfetOp op = evaluate_mosfet(
+          inst.model, inst.geometry, inst.variation, voltage(inst.gate),
+          voltage(inst.drain), voltage(inst.source));
+      mosfet_ops[m] = op;
+      add_f(inst.drain, op.id);
+      add_f(inst.source, -op.id);
+      const std::ptrdiff_t d = vid(inst.drain);
+      const std::ptrdiff_t g = vid(inst.gate);
+      const std::ptrdiff_t s = vid(inst.source);
+      add_j(d, g, op.a_g);
+      add_j(d, d, op.a_d);
+      add_j(d, s, op.a_s);
+      add_j(s, g, -op.a_g);
+      add_j(s, d, -op.a_d);
+      add_j(s, s, -op.a_s);
+    }
+
+    // Convergence on the KCL residual (node rows only — branch rows are
+    // voltage constraints with different units).
+    double residual_norm = 0.0;
+    for (std::size_t k = 0; k < n_nodes; ++k) {
+      residual_norm = std::max(residual_norm, std::fabs(residual[k]));
+    }
+    double branch_norm = 0.0;
+    for (std::size_t k = n_nodes; k < n_unknowns; ++k) {
+      branch_norm = std::max(branch_norm, std::fabs(residual[k]));
+    }
+
+    Vector delta;
+    try {
+      delta = Lu(jac).solve(residual);
+    } catch (const NumericError&) {
+      return false;  // singular Jacobian: let the caller escalate
+    }
+
+    // Damping: clamp the voltage part of the step.
+    double vstep = 0.0;
+    for (std::size_t k = 0; k < n_nodes; ++k) {
+      vstep = std::max(vstep, std::fabs(delta[k]));
+    }
+    const double damp =
+        vstep > config.max_voltage_step ? config.max_voltage_step / vstep : 1.0;
+    for (std::size_t k = 0; k < n_unknowns; ++k) x[k] -= damp * delta[k];
+
+    if (!x.is_finite()) return false;
+    if (damp == 1.0 && vstep < config.voltage_tolerance &&
+        residual_norm < config.current_tolerance &&
+        branch_norm < config.voltage_tolerance * 10.0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Vector initial_state(const Netlist& netlist) {
+  Vector x(netlist.unknown_count());
+  for (const auto& [node, v] : netlist.initial_guesses()) {
+    x[node - 1] = v;
+  }
+  // Nodes directly pinned by a grounded voltage source start at its value.
+  for (const VoltageSource& s : netlist.voltage_sources()) {
+    if (s.nn == kGround && s.np != kGround) x[s.np - 1] = s.dc;
+    if (s.np == kGround && s.nn != kGround) x[s.nn - 1] = -s.dc;
+  }
+  return x;
+}
+
+}  // namespace
+
+DcSolver::DcSolver(DcSolverConfig config) : config_(std::move(config)) {
+  BMFUSION_REQUIRE(!config_.gmin_sequence.empty(),
+                   "gmin sequence must be non-empty");
+  BMFUSION_REQUIRE(config_.max_iterations > 0, "need positive iteration cap");
+}
+
+OperatingPoint DcSolver::solve(const Netlist& netlist) const {
+  BMFUSION_REQUIRE(netlist.node_count() > 0, "netlist has no nodes");
+  std::vector<MosfetOp> mosfet_ops;
+
+  // Strategy 1: gmin stepping from the initial guess.
+  Vector x = initial_state(netlist);
+  bool converged = true;
+  for (const double gmin : config_.gmin_sequence) {
+    if (!newton_solve(netlist, config_, gmin, 1.0, x, mosfet_ops)) {
+      converged = false;
+      break;
+    }
+  }
+
+  // Strategy 2: source stepping (with mild gmin), then final gmin descent.
+  if (!converged) {
+    x = initial_state(netlist);
+    converged = true;
+    for (int step = 1; step <= config_.source_steps; ++step) {
+      const double scale =
+          static_cast<double>(step) / static_cast<double>(config_.source_steps);
+      if (!newton_solve(netlist, config_, 1e-9, scale, x, mosfet_ops)) {
+        converged = false;
+        break;
+      }
+    }
+    if (converged) {
+      converged =
+          newton_solve(netlist, config_, config_.gmin_sequence.back(), 1.0, x,
+                       mosfet_ops);
+    }
+  }
+
+  if (!converged) {
+    throw NumericError("dc solver failed to converge");
+  }
+
+  const std::size_t n_nodes = netlist.node_count();
+  Vector voltages(n_nodes);
+  for (std::size_t k = 0; k < n_nodes; ++k) voltages[k] = x[k];
+  std::vector<double> currents(netlist.voltage_sources().size());
+  for (std::size_t b = 0; b < currents.size(); ++b) {
+    currents[b] = x[n_nodes + b];
+  }
+  return OperatingPoint(std::move(voltages), std::move(currents),
+                        std::move(mosfet_ops));
+}
+
+}  // namespace bmfusion::circuit

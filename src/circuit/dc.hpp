@@ -1,0 +1,74 @@
+// Nonlinear DC operating-point solver (Newton-Raphson on the MNA residual).
+//
+// Robustness features mirror SPICE practice: gmin stepping (a shrinking
+// leak conductance from every node to ground) and source stepping (ramping
+// all independent sources) as a fallback, plus per-iteration voltage step
+// limiting.
+#pragma once
+
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "linalg/vector.hpp"
+
+namespace bmfusion::circuit {
+
+/// Solved bias point: node voltages, source branch currents, device states.
+class OperatingPoint {
+ public:
+  OperatingPoint(linalg::Vector node_voltages,
+                 std::vector<double> source_currents,
+                 std::vector<MosfetOp> mosfet_ops);
+
+  /// Voltage of any node id (ground reports 0).
+  [[nodiscard]] double voltage(NodeId id) const;
+
+  /// Branch current of voltage source `index` (positive from np through the
+  /// source to nn). The power a source delivers is -dc * current.
+  [[nodiscard]] double source_current(std::size_t index) const;
+
+  /// Evaluated state of mosfet `index` (netlist order).
+  [[nodiscard]] const MosfetOp& mosfet_op(std::size_t index) const;
+
+  [[nodiscard]] const linalg::Vector& node_voltages() const {
+    return voltages_;
+  }
+  [[nodiscard]] const std::vector<MosfetOp>& mosfet_ops() const {
+    return mosfet_ops_;
+  }
+
+ private:
+  linalg::Vector voltages_;  ///< voltages_[id-1] for node ids >= 1
+  std::vector<double> source_currents_;
+  std::vector<MosfetOp> mosfet_ops_;
+};
+
+struct DcSolverConfig {
+  // High-gain servo loops (op-amp measurement fixtures) take many damped
+  // steps; converging circuits exit long before this cap.
+  int max_iterations = 800;        ///< Newton iterations per continuation step
+  double voltage_tolerance = 1e-9; ///< step-size convergence threshold [V]
+  double current_tolerance = 1e-9; ///< KCL residual threshold [A]
+  double max_voltage_step = 0.5;   ///< per-iteration damping clamp [V]
+  /// Leak conductances tried in order; the last must be small enough not to
+  /// perturb results (it stays in the final solve).
+  std::vector<double> gmin_sequence{1e-3, 1e-6, 1e-9, 1e-12};
+  /// Source-stepping ramp used only when plain gmin stepping fails.
+  int source_steps = 10;
+};
+
+/// Newton DC solver. Stateless apart from its configuration; safe to share
+/// across threads.
+class DcSolver {
+ public:
+  explicit DcSolver(DcSolverConfig config = {});
+
+  /// Computes the operating point. Throws NumericError when no continuation
+  /// strategy converges.
+  [[nodiscard]] OperatingPoint solve(const Netlist& netlist) const;
+
+ private:
+  DcSolverConfig config_;
+};
+
+}  // namespace bmfusion::circuit

@@ -1,0 +1,133 @@
+#include "circuit/lint.hpp"
+
+#include <map>
+#include <numeric>
+#include <set>
+
+namespace bmfusion::circuit {
+
+namespace {
+
+/// Union-find over node ids.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  /// Returns false when x and y were already connected.
+  bool unite(std::size_t x, std::size_t y) {
+    const std::size_t rx = find(x);
+    const std::size_t ry = find(y);
+    if (rx == ry) return false;
+    parent_[rx] = ry;
+    return true;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+std::vector<LintIssue> lint_netlist(const Netlist& netlist) {
+  std::vector<LintIssue> issues;
+  const std::size_t n = netlist.node_count() + 1;  // incl. ground
+
+  // --- connectivity bookkeeping -------------------------------------
+  std::vector<bool> touched(n, false);
+  touched[kGround] = true;
+  UnionFind dc_paths(n);   // edges that conduct at DC
+  UnionFind v_loops(n);    // voltage-source edges only
+  std::map<std::string, int> name_counts;
+
+  const auto touch = [&](NodeId a) { touched[a] = true; };
+  const auto count_name = [&](const std::string& name) {
+    name_counts[name]++;
+  };
+
+  for (const Resistor& r : netlist.resistors()) {
+    touch(r.n1);
+    touch(r.n2);
+    dc_paths.unite(r.n1, r.n2);
+    count_name(r.name);
+  }
+  for (const Capacitor& c : netlist.capacitors()) {
+    touch(c.n1);
+    touch(c.n2);
+    // No DC conduction.
+    count_name(c.name);
+  }
+  for (const VoltageSource& v : netlist.voltage_sources()) {
+    touch(v.np);
+    touch(v.nn);
+    dc_paths.unite(v.np, v.nn);
+    if (!v_loops.unite(v.np, v.nn)) {
+      issues.push_back(
+          {LintIssue::Severity::kError,
+           "voltage-source loop closed by '" + v.name +
+               "' (sources fight over the same potential difference)"});
+    }
+    count_name(v.name);
+  }
+  for (const CurrentSource& s : netlist.current_sources()) {
+    touch(s.np);
+    touch(s.nn);
+    // An ideal current source conducts any DC current: it is a path.
+    dc_paths.unite(s.np, s.nn);
+    count_name(s.name);
+  }
+  for (const Vccs& g : netlist.vccs()) {
+    touch(g.np);
+    touch(g.nn);
+    touch(g.cp);
+    touch(g.cn);
+    dc_paths.unite(g.np, g.nn);  // its output branch carries current
+    count_name(g.name);
+  }
+  for (const MosfetInstance& m : netlist.mosfets()) {
+    touch(m.drain);
+    touch(m.gate);
+    touch(m.source);
+    dc_paths.unite(m.drain, m.source);  // channel conducts; gate does not
+    count_name(m.name);
+  }
+
+  // --- reports --------------------------------------------------------
+  for (NodeId id = 1; id <= netlist.node_count(); ++id) {
+    if (!touched[id]) {
+      issues.push_back({LintIssue::Severity::kWarning,
+                        "node '" + netlist.node_name(id) +
+                            "' is declared but connected to nothing"});
+    } else if (dc_paths.find(id) != dc_paths.find(kGround)) {
+      issues.push_back(
+          {LintIssue::Severity::kError,
+           "node '" + netlist.node_name(id) +
+               "' has no DC path to ground (only gates/capacitors attach); "
+               "its bias is set by the gmin leak, not the circuit"});
+    }
+  }
+  for (const auto& [name, count] : name_counts) {
+    if (count > 1) {
+      issues.push_back({LintIssue::Severity::kWarning,
+                        "element name '" + name + "' used " +
+                            std::to_string(count) + " times"});
+    }
+  }
+  return issues;
+}
+
+bool lint_clean(const std::vector<LintIssue>& issues) {
+  for (const LintIssue& issue : issues) {
+    if (issue.severity == LintIssue::Severity::kError) return false;
+  }
+  return true;
+}
+
+}  // namespace bmfusion::circuit

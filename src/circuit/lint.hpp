@@ -1,0 +1,36 @@
+// Netlist sanity checks (lint).
+//
+// The DC solver's gmin leak will quietly "solve" circuits that are actually
+// broken — floating gate nets, capacitor-isolated islands, voltage-source
+// loops. This pass finds those before simulation, which matters once
+// netlists arrive from the SPICE parser instead of from testbench builders.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+
+namespace bmfusion::circuit {
+
+struct LintIssue {
+  enum class Severity {
+    kWarning,  ///< suspicious but simulable
+    kError,    ///< simulation results will be meaningless
+  };
+  Severity severity = Severity::kWarning;
+  std::string message;
+};
+
+/// Runs all checks; returns the issues found (empty = clean):
+///   * unconnected node (declared, touched by nothing)        -> warning
+///   * duplicate element name                                  -> warning
+///   * node with no DC conduction path to ground (only gates
+///     or capacitors attach)                                   -> error
+///   * loop of voltage sources (including through ground)      -> error
+[[nodiscard]] std::vector<LintIssue> lint_netlist(const Netlist& netlist);
+
+/// True when no issue of severity kError is present.
+[[nodiscard]] bool lint_clean(const std::vector<LintIssue>& issues);
+
+}  // namespace bmfusion::circuit

@@ -1,0 +1,43 @@
+#include "circuit/montecarlo.hpp"
+
+#include "common/contracts.hpp"
+#include "common/parallel.hpp"
+
+namespace bmfusion::circuit {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+stats::Xoshiro256pp sample_rng(std::uint64_t seed, std::size_t index) {
+  // Mix the run seed and the sample index through SplitMix64 so per-sample
+  // streams are decorrelated even for adjacent indices.
+  stats::SplitMix64 mixer(seed ^ (0xA5A5A5A55A5A5A5AULL +
+                                  static_cast<std::uint64_t>(index) *
+                                      0x9E3779B97F4A7C15ULL));
+  return stats::Xoshiro256pp(mixer.next());
+}
+
+Dataset run_monte_carlo(const Testbench& bench,
+                        const MonteCarloConfig& config) {
+  BMFUSION_REQUIRE(config.sample_count >= 1, "need at least one sample");
+  const std::vector<std::string> names = bench.metric_names();
+  BMFUSION_REQUIRE(!names.empty(), "testbench reports no metrics");
+
+  Matrix samples(config.sample_count, names.size());
+  parallel_for(
+      config.sample_count,
+      [&](std::size_t i) {
+        stats::Xoshiro256pp rng = sample_rng(config.seed, i);
+        const Vector metrics = bench.sample_metrics(rng);
+        BMFUSION_REQUIRE(metrics.size() == names.size(),
+                         "testbench metric count mismatch");
+        // Rows are disjoint across workers; no synchronization needed.
+        for (std::size_t j = 0; j < metrics.size(); ++j) {
+          samples(i, j) = metrics[j];
+        }
+      },
+      config.threads);
+  return Dataset(names, std::move(samples));
+}
+
+}  // namespace bmfusion::circuit

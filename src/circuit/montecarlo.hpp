@@ -1,0 +1,50 @@
+// Monte Carlo engine over circuit testbenches.
+//
+// Results are deterministic for a given seed regardless of thread count:
+// each sample gets its own RNG derived from (seed, index).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/dataset.hpp"
+#include "linalg/vector.hpp"
+#include "stats/rng.hpp"
+
+namespace bmfusion::circuit {
+
+/// A randomized measurement: one call = one simulated die.
+class Testbench {
+ public:
+  virtual ~Testbench() = default;
+
+  /// Names of the metrics this bench reports, in column order.
+  [[nodiscard]] virtual std::vector<std::string> metric_names() const = 0;
+
+  /// Variation-free (nominal) metrics: the paper's P_NOM used by the
+  /// shift/scale transform (Section 4.1).
+  [[nodiscard]] virtual linalg::Vector nominal_metrics() const = 0;
+
+  /// One Monte-Carlo draw: samples process variations from `rng`, simulates
+  /// the die and returns its metrics.
+  [[nodiscard]] virtual linalg::Vector sample_metrics(
+      stats::Xoshiro256pp& rng) const = 0;
+};
+
+struct MonteCarloConfig {
+  std::size_t sample_count = 1000;
+  std::uint64_t seed = 1;
+  std::size_t threads = 0;  ///< 0 = hardware concurrency
+};
+
+/// Runs `config.sample_count` independent draws of the testbench.
+[[nodiscard]] Dataset run_monte_carlo(const Testbench& bench,
+                                      const MonteCarloConfig& config);
+
+/// RNG for sample `index` of run `seed` (exposed so tests can reproduce a
+/// single sample without running the whole sweep).
+[[nodiscard]] stats::Xoshiro256pp sample_rng(std::uint64_t seed,
+                                             std::size_t index);
+
+}  // namespace bmfusion::circuit

@@ -1,0 +1,214 @@
+#include "circuit/mosfet.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace bmfusion::circuit {
+
+namespace {
+
+/// Core square-law evaluation in forward orientation: `vct` is the
+/// control voltage (vgs for NMOS, vsg for PMOS) and `vch` >= 0 the channel
+/// voltage (vds for NMOS, vsd for PMOS). Returns current i >= 0 flowing in
+/// the forward channel direction plus dI/dvct (gm) and dI/dvch (gds).
+struct CoreOp {
+  double i = 0.0;
+  double gm = 0.0;
+  double gds = 0.0;
+  MosfetRegion region = MosfetRegion::kCutoff;
+};
+
+CoreOp evaluate_square_law(double beta, double vth, double lambda,
+                           double vct, double vch) {
+  CoreOp op;
+  const double vov = vct - vth;
+  if (vov <= 0.0) {
+    op.region = MosfetRegion::kCutoff;
+    return op;
+  }
+  const double clm = 1.0 + lambda * vch;
+  if (vch >= vov) {
+    op.region = MosfetRegion::kSaturation;
+    const double i_sat = 0.5 * beta * vov * vov;
+    op.i = i_sat * clm;
+    op.gm = beta * vov * clm;
+    op.gds = i_sat * lambda;
+  } else {
+    op.region = MosfetRegion::kTriode;
+    const double i_tri = beta * (vov * vch - 0.5 * vch * vch);
+    op.i = i_tri * clm;
+    op.gm = beta * vch * clm;
+    op.gds = beta * (vov - vch) * clm + i_tri * lambda;
+  }
+  return op;
+}
+
+/// softplus ln(1 + e^x) evaluated without overflow.
+double softplus(double x) {
+  if (x > 36.0) return x;
+  if (x < -36.0) return std::exp(x);
+  return std::log1p(std::exp(x));
+}
+
+/// logistic sigmoid, the derivative of softplus.
+double sigmoid(double x) {
+  if (x >= 0.0) {
+    const double e = std::exp(-x);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+/// EKV-style interpolation (source-referenced, simplified):
+///   Id = Is [ f(xf)^2 - f(xr)^2 ] (1 + lambda vch),  f = softplus,
+///   Is = 2 n beta vt^2,
+///   xf = (vct - vth) / (2 n vt),  xr = xf - vch / (2 vt).
+/// Strong inversion & saturation reduces to beta/(2n) (vct-vth)^2;
+/// weak inversion conducts exp((vct - vth)/(n vt)).
+CoreOp evaluate_ekv(double beta, double vth, double lambda, double n,
+                    double vt, double vct, double vch) {
+  CoreOp op;
+  const double is = 2.0 * n * beta * vt * vt;
+  const double xf = (vct - vth) / (2.0 * n * vt);
+  const double xr = xf - vch / (2.0 * vt);
+  const double ff = softplus(xf);
+  const double fr = softplus(xr);
+  const double clm = 1.0 + lambda * vch;
+  const double base = is * (ff * ff - fr * fr);
+  op.i = base * clm;
+  // d/dvct: both x's move by 1/(2 n vt).
+  op.gm = is * (ff * sigmoid(xf) - fr * sigmoid(xr)) / (n * vt) * clm;
+  // d/dvch: only xr moves, by -1/(2 vt); plus the CLM term.
+  op.gds = is * fr * sigmoid(xr) / vt * clm + base * lambda;
+
+  // Region labels (for diagnostics/caps) from the same thresholds the
+  // square law uses; the current itself is smooth.
+  const double vov = vct - vth;
+  if (vov <= 0.0) {
+    op.region = MosfetRegion::kCutoff;
+  } else if (vch >= vov) {
+    op.region = MosfetRegion::kSaturation;
+  } else {
+    op.region = MosfetRegion::kTriode;
+  }
+  return op;
+}
+
+CoreOp evaluate_core(const MosfetModel& model, double beta, double vth,
+                     double vct, double vch) {
+  if (model.equation == MosfetEquation::kEkv) {
+    return evaluate_ekv(beta, vth, model.lambda, model.slope_n,
+                        model.thermal_v, vct, vch);
+  }
+  return evaluate_square_law(beta, vth, model.lambda, vct, vch);
+}
+
+}  // namespace
+
+MosfetOp evaluate_mosfet(const MosfetModel& model,
+                         const MosfetGeometry& geometry,
+                         const MosfetVariation& variation, double vg,
+                         double vd, double vs) {
+  BMFUSION_REQUIRE(geometry.w > 0.0 && geometry.l > 0.0,
+                   "mosfet geometry must be positive");
+  BMFUSION_REQUIRE(variation.kp_factor > 0.0,
+                   "kp variation factor must stay positive");
+  const double beta =
+      model.kp * variation.kp_factor * geometry.w / geometry.l;
+  const double vth = model.vth0 + variation.dvth;
+  const bool pmos = model.type == MosfetType::kPmos;
+
+  // Map node voltages into forward-orientation control/channel voltages.
+  // For NMOS: vct = vg - v_low, vch = v_high - v_low with (high, low) the
+  // actual drain/source by potential. For PMOS the same with all signs
+  // flipped (vct = v_low' - vg in source-referenced PMOS terms).
+  double vct = 0.0;
+  double vch = 0.0;
+  bool swapped = false;  // true when the nominal drain acts as the source
+  if (!pmos) {
+    swapped = vd < vs;
+    const double v_src = swapped ? vd : vs;
+    const double v_drn = swapped ? vs : vd;
+    vct = vg - v_src;
+    vch = v_drn - v_src;
+  } else {
+    // PMOS conducts when the gate is below the source; the terminal at the
+    // *higher* potential acts as the source.
+    swapped = vd > vs;
+    const double v_src = swapped ? vd : vs;
+    const double v_drn = swapped ? vs : vd;
+    vct = v_src - vg;
+    vch = v_src - v_drn;
+  }
+
+  const CoreOp core = evaluate_core(model, beta, vth, vct, vch);
+
+  MosfetOp op;
+  op.region = core.region;
+  // Forward current flows high->low terminal for NMOS (low->high for PMOS
+  // when expressed as drain current into the nominal drain). Map the core
+  // current and conductances back to node-referenced quantities.
+  //
+  // NMOS, not swapped:  id = +i; dId/dVg = gm; dId/dVd = gds;
+  //                     dId/dVs = -gm - gds.
+  // NMOS, swapped:      id = -i; vct = vg - vd, vch = vs - vd
+  //                     dId/dVg = -gm; dId/dVs = -gds; dId/dVd = gm + gds.
+  // PMOS, not swapped:  forward current flows s->d, so id = -i;
+  //                     vct = vs - vg, vch = vs - vd
+  //                     dId/dVg = +gm; dId/dVd = +gds; dId/dVs = -gm - gds.
+  // PMOS, swapped:      id = +i; vct = vd - vg, vch = vd - vs
+  //                     dId/dVg = -gm; dId/dVs = -gds; dId/dVd = gm + gds.
+  const double sign_i = (!pmos ? 1.0 : -1.0) * (swapped ? -1.0 : 1.0);
+  op.id = sign_i * core.i;
+  if (!swapped) {
+    op.a_g = core.gm;
+    op.a_d = core.gds;
+    op.a_s = -core.gm - core.gds;
+  } else {
+    op.a_g = -core.gm;
+    op.a_s = -core.gds;
+    op.a_d = core.gm + core.gds;
+  }
+
+  // Capacitances from the Meyer partition of the gate capacitance.
+  const double c_gate = model.cox_area * geometry.w * geometry.l;
+  const double c_ov = model.cov_width * geometry.w;
+  const double c_j = model.cj_width * geometry.w;
+  double cgs_ch = 0.0;
+  double cgd_ch = 0.0;
+  switch (core.region) {
+    case MosfetRegion::kCutoff:
+      break;
+    case MosfetRegion::kSaturation:
+      cgs_ch = (2.0 / 3.0) * c_gate;
+      break;
+    case MosfetRegion::kTriode:
+      cgs_ch = 0.5 * c_gate;
+      cgd_ch = 0.5 * c_gate;
+      break;
+  }
+  // Channel capacitance follows the *effective* source/drain.
+  if (swapped) std::swap(cgs_ch, cgd_ch);
+  op.cgs = cgs_ch + c_ov;
+  op.cgd = cgd_ch + c_ov;
+  op.cdb = c_j;
+  op.csb = c_j;
+  return op;
+}
+
+std::string to_string(MosfetRegion region) {
+  switch (region) {
+    case MosfetRegion::kCutoff:
+      return "cutoff";
+    case MosfetRegion::kTriode:
+      return "triode";
+    case MosfetRegion::kSaturation:
+      return "saturation";
+  }
+  return "unknown";
+}
+
+}  // namespace bmfusion::circuit

@@ -1,0 +1,83 @@
+#include "circuit/noise.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace bmfusion::circuit {
+
+NoiseAnalysis::NoiseAnalysis(const Netlist& netlist, const OperatingPoint& op,
+                             NoiseConfig config)
+    : netlist_(netlist), op_(op), config_(config), ac_(netlist, op) {
+  BMFUSION_REQUIRE(config_.temperature_k > 0.0,
+                   "temperature must be positive");
+  BMFUSION_REQUIRE(config_.gamma > 0.0, "channel noise factor positive");
+}
+
+NoiseSpectrumPoint NoiseAnalysis::output_noise(double freq_hz,
+                                               NodeId output) const {
+  BMFUSION_REQUIRE(freq_hz > 0.0, "noise analysis needs f > 0 (flicker)");
+  NoiseSpectrumPoint point;
+  point.frequency_hz = freq_hz;
+  const double four_kt = 4.0 * kBoltzmann * config_.temperature_k;
+
+  const auto add_source = [&](const std::string& name, NodeId a, NodeId b,
+                              double current_psd) {
+    if (current_psd <= 0.0) return;
+    const linalg::Complex z =
+        ac_.transfer_impedance(freq_hz, a, b, output);
+    const double psd = std::norm(z) * current_psd;
+    point.contributions.push_back(NoiseContribution{name, psd});
+    point.output_psd += psd;
+  };
+
+  for (const Resistor& r : netlist_.resistors()) {
+    add_source(r.name, r.n1, r.n2, four_kt / r.resistance);
+  }
+  for (std::size_t m = 0; m < netlist_.mosfets().size(); ++m) {
+    const MosfetInstance& inst = netlist_.mosfets()[m];
+    const MosfetOp& mop = op_.mosfet_op(m);
+    const double gm = std::fabs(mop.a_g);
+    if (gm <= 0.0) continue;
+    // Channel thermal noise between drain and source.
+    add_source(inst.name, inst.drain, inst.source,
+               four_kt * config_.gamma * gm);
+    // Flicker noise: S_id = kf * gm^2 / (Cox W L f).
+    if (inst.model.kf > 0.0) {
+      const double cox_wl =
+          inst.model.cox_area * inst.geometry.w * inst.geometry.l;
+      add_source(inst.name + ".fl", inst.drain, inst.source,
+                 inst.model.kf * gm * gm / (cox_wl * freq_hz));
+    }
+  }
+  std::sort(point.contributions.begin(), point.contributions.end(),
+            [](const NoiseContribution& a, const NoiseContribution& b) {
+              return a.output_psd > b.output_psd;
+            });
+  return point;
+}
+
+double NoiseAnalysis::integrated_output_noise(
+    NodeId output, double f_start, double f_stop,
+    std::size_t points_per_decade) const {
+  const std::vector<double> freqs =
+      log_frequency_grid(f_start, f_stop, points_per_decade);
+  std::vector<double> psd(freqs.size());
+  for (std::size_t i = 0; i < freqs.size(); ++i) {
+    psd[i] = output_noise(freqs[i], output).output_psd;
+  }
+  double total = 0.0;
+  for (std::size_t i = 1; i < freqs.size(); ++i) {
+    total += 0.5 * (psd[i - 1] + psd[i]) * (freqs[i] - freqs[i - 1]);
+  }
+  return total;
+}
+
+double NoiseAnalysis::input_referred_psd(double output_psd,
+                                         double gain_magnitude) {
+  BMFUSION_REQUIRE(gain_magnitude > 0.0, "gain magnitude must be positive");
+  return output_psd / (gain_magnitude * gain_magnitude);
+}
+
+}  // namespace bmfusion::circuit

@@ -1,0 +1,69 @@
+// Small-signal noise analysis.
+//
+// Every resistor contributes thermal noise (4kT/R) and every MOSFET channel
+// thermal noise (4kT gamma gm) plus optional 1/f flicker noise; each source
+// is injected as a current between its terminals and propagated to the
+// output through the linearized (G + jwC) system — one complex solve per
+// source per frequency, which is exact and cheap at this circuit scale.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/ac.hpp"
+#include "circuit/dc.hpp"
+#include "circuit/netlist.hpp"
+
+namespace bmfusion::circuit {
+
+/// One noise source's contribution to the output at one frequency.
+struct NoiseContribution {
+  std::string source;   ///< element name (+ ".fl" for flicker parts)
+  double output_psd = 0.0;  ///< V^2/Hz at the output node
+};
+
+/// Total output noise at one frequency with a per-source breakdown,
+/// sorted by decreasing contribution.
+struct NoiseSpectrumPoint {
+  double frequency_hz = 0.0;
+  double output_psd = 0.0;  ///< total V^2/Hz
+  std::vector<NoiseContribution> contributions;
+};
+
+struct NoiseConfig {
+  double temperature_k = 300.0;  ///< for 4kT terms
+  double gamma = 2.0 / 3.0;      ///< MOSFET channel-noise factor
+};
+
+/// Frequency-domain noise engine bound to one netlist + operating point.
+class NoiseAnalysis {
+ public:
+  NoiseAnalysis(const Netlist& netlist, const OperatingPoint& op,
+                NoiseConfig config = {});
+
+  /// Output noise PSD at `freq_hz` observed on `output` (V^2/Hz).
+  [[nodiscard]] NoiseSpectrumPoint output_noise(double freq_hz,
+                                                NodeId output) const;
+
+  /// Total integrated output noise power over [f_start, f_stop] via
+  /// log-spaced trapezoidal integration; returns V^2 (take sqrt for Vrms).
+  [[nodiscard]] double integrated_output_noise(
+      NodeId output, double f_start, double f_stop,
+      std::size_t points_per_decade = 10) const;
+
+  /// Input-referred noise PSD: output PSD divided by |H(f)|^2, where H is
+  /// the transfer magnitude supplied by the caller (e.g. from AcAnalysis).
+  [[nodiscard]] static double input_referred_psd(double output_psd,
+                                                 double gain_magnitude);
+
+ private:
+  const Netlist& netlist_;
+  const OperatingPoint& op_;
+  NoiseConfig config_;
+  AcAnalysis ac_;
+};
+
+/// Boltzmann constant [J/K].
+inline constexpr double kBoltzmann = 1.380649e-23;
+
+}  // namespace bmfusion::circuit

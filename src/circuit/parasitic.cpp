@@ -1,0 +1,81 @@
+#include "circuit/parasitic.hpp"
+
+#include "common/contracts.hpp"
+
+namespace bmfusion::circuit {
+
+using linalg::SparseMatrix;
+using linalg::Triplet;
+using linalg::Vector;
+
+RcLadder::RcLadder(WireModel wire, double driver_resistance,
+                   double load_capacitance)
+    : wire_(wire),
+      driver_resistance_(driver_resistance),
+      load_capacitance_(load_capacitance) {
+  BMFUSION_REQUIRE(wire_.segments >= 1, "ladder needs >= 1 segment");
+  BMFUSION_REQUIRE(wire_.length > 0.0 && wire_.resistance_per_meter > 0.0 &&
+                       wire_.capacitance_per_meter >= 0.0,
+                   "wire model values must be positive");
+  BMFUSION_REQUIRE(driver_resistance_ >= 0.0 && load_capacitance_ >= 0.0,
+                   "driver/load values must be non-negative");
+}
+
+double RcLadder::elmore_delay() const {
+  const std::size_t n = wire_.segments;
+  const double r_seg = wire_.total_resistance() / static_cast<double>(n);
+  const double c_seg = wire_.total_capacitance() / static_cast<double>(n);
+  // Driver resistance sees the whole wire + load capacitance.
+  double tau = driver_resistance_ *
+               (wire_.total_capacitance() + load_capacitance_);
+  // Each segment's resistance sees everything downstream of it.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double downstream_c =
+        c_seg * static_cast<double>(n - i) + load_capacitance_;
+    tau += r_seg * downstream_c;
+  }
+  return tau;
+}
+
+double RcLadder::delay_50_percent() const { return 0.69 * elmore_delay(); }
+
+SparseMatrix RcLadder::conductance_matrix() const {
+  const std::size_t n = wire_.segments;
+  const double r_seg = wire_.total_resistance() / static_cast<double>(n);
+  const double g_seg = 1.0 / r_seg;
+  // Node i sits after segment i+1; node 0 reaches the driver through the
+  // driver resistance in series with the first wire segment.
+  const double g_drv = 1.0 / (driver_resistance_ + r_seg);
+
+  std::vector<Triplet> triplets;
+  triplets.reserve(3 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Conductance to the previous node (the driver for i = 0).
+    const double g_prev = (i == 0) ? g_drv : g_seg;
+    triplets.push_back({i, i, g_prev});
+    if (i > 0) {
+      triplets.push_back({i, i - 1, -g_seg});
+      triplets.push_back({i - 1, i, -g_seg});
+    }
+    // Conductance to the next node, if any.
+    if (i + 1 < n) triplets.push_back({i, i, g_seg});
+  }
+  return SparseMatrix(n, n, triplets);
+}
+
+Vector RcLadder::ir_drop_profile(double driver_voltage,
+                                 double load_current) const {
+  const std::size_t n = wire_.segments;
+  const double r_seg = wire_.total_resistance() / static_cast<double>(n);
+  const double g_drv = 1.0 / (driver_resistance_ + r_seg);
+  Vector rhs(n);
+  rhs[0] = g_drv * driver_voltage;  // driver source folded into node 0
+  rhs[n - 1] -= load_current;       // load draws current at the far end
+  const linalg::CgResult result = solve_cg(conductance_matrix(), rhs);
+  if (!result.converged) {
+    throw NumericError("parasitic: CG failed to converge on the ladder");
+  }
+  return result.solution;
+}
+
+}  // namespace bmfusion::circuit

@@ -1,0 +1,70 @@
+// Extracted-interconnect parasitics: RC ladder models, Elmore delay, and
+// large sparse IR-drop solves.
+//
+// The paper's "late stage" is the post-layout netlist, whose defining
+// feature is exactly this: thousands of parasitic RC elements on every
+// routed net. The testbench classes lump them into a few capacitors; this
+// module provides the full distributed model for nets where the lumping
+// itself must be justified — plus the sparse solver path that makes
+// thousand-node networks tractable.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/sparse.hpp"
+#include "linalg/vector.hpp"
+
+namespace bmfusion::circuit {
+
+/// Uniform wire model: total resistance/capacitance distributed over
+/// `segments` RC sections.
+struct WireModel {
+  double resistance_per_meter = 50e3;   ///< [ohm/m] (thin metal)
+  double capacitance_per_meter = 200e-12;  ///< [F/m]
+  double length = 1e-3;                 ///< [m]
+  std::size_t segments = 100;
+
+  [[nodiscard]] double total_resistance() const {
+    return resistance_per_meter * length;
+  }
+  [[nodiscard]] double total_capacitance() const {
+    return capacitance_per_meter * length;
+  }
+};
+
+/// Distributed RC ladder driven through `driver_resistance` and loaded by
+/// `load_capacitance` at the far end.
+class RcLadder {
+ public:
+  RcLadder(WireModel wire, double driver_resistance,
+           double load_capacitance);
+
+  [[nodiscard]] const WireModel& wire() const { return wire_; }
+  [[nodiscard]] std::size_t node_count() const { return wire_.segments; }
+
+  /// Elmore delay from the driver to the far end:
+  /// sum over resistances of the capacitance downstream of each.
+  /// Converges to Rdrv (Cw + Cl) + Rw (Cw/2 + Cl) as segments -> inf.
+  [[nodiscard]] double elmore_delay() const;
+
+  /// Sparse nodal conductance matrix of the ladder (the driver source
+  /// node eliminated into the first diagonal). SPD by construction.
+  [[nodiscard]] linalg::SparseMatrix conductance_matrix() const;
+
+  /// Node voltages when `load_current` is drawn from the far end and the
+  /// driver holds `driver_voltage`: the static IR-drop profile, solved by
+  /// preconditioned CG. Index i is ladder node i (0 = nearest the driver).
+  [[nodiscard]] linalg::Vector ir_drop_profile(double driver_voltage,
+                                               double load_current) const;
+
+  /// First-order (single-pole) estimate of the step-response 50% delay,
+  /// 0.69 * elmore_delay — the standard static-timing approximation.
+  [[nodiscard]] double delay_50_percent() const;
+
+ private:
+  WireModel wire_;
+  double driver_resistance_;
+  double load_capacitance_;
+};
+
+}  // namespace bmfusion::circuit

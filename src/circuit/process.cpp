@@ -1,0 +1,136 @@
+#include "circuit/process.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "stats/univariate.hpp"
+
+namespace bmfusion::circuit {
+
+ProcessModel::ProcessModel(TechnologyStatistics statistics)
+    : statistics_(statistics) {
+  BMFUSION_REQUIRE(statistics_.avt >= 0.0 && statistics_.akp >= 0.0,
+                   "pelgrom coefficients must be non-negative");
+}
+
+ProcessModel ProcessModel::cmos45() {
+  TechnologyStatistics s;
+  s.avt = 3.5e-9;            // ~3.5 mV*um
+  s.akp = 1.0e-8;            // ~1 %*um
+  s.sigma_vth_global = 0.020;
+  s.sigma_kp_global = 0.05;
+  s.sigma_res_global = 0.05;
+  s.sigma_res_local = 0.01;
+  s.sigma_cap_global = 0.05;
+  s.sigma_cap_local = 0.01;
+  return ProcessModel(s);
+}
+
+ProcessModel ProcessModel::cmos180() {
+  TechnologyStatistics s;
+  s.avt = 5.0e-9;            // ~5 mV*um
+  s.akp = 1.5e-8;
+  s.sigma_vth_global = 0.025;
+  s.sigma_kp_global = 0.04;
+  s.sigma_res_global = 0.06;
+  s.sigma_res_local = 0.012;
+  s.sigma_cap_global = 0.04;
+  s.sigma_cap_local = 0.008;
+  return ProcessModel(s);
+}
+
+GlobalVariation ProcessModel::corner(ProcessCorner corner_tag,
+                                     double sigma_count) const {
+  BMFUSION_REQUIRE(sigma_count >= 0.0, "corner sigma count non-negative");
+  const TechnologyStatistics& s = statistics_;
+  // "Fast" = lower threshold + stronger transconductance.
+  const auto fast = [&](bool is_fast, double& dvth, double& kp_factor) {
+    const double sign = is_fast ? 1.0 : -1.0;
+    dvth = -sign * sigma_count * s.sigma_vth_global;
+    kp_factor =
+        std::max(0.3, 1.0 + sign * sigma_count * s.sigma_kp_global);
+  };
+  GlobalVariation g;
+  switch (corner_tag) {
+    case ProcessCorner::kTypical:
+      break;
+    case ProcessCorner::kFastFast:
+      fast(true, g.dvth_nmos, g.kp_factor_nmos);
+      fast(true, g.dvth_pmos, g.kp_factor_pmos);
+      break;
+    case ProcessCorner::kSlowSlow:
+      fast(false, g.dvth_nmos, g.kp_factor_nmos);
+      fast(false, g.dvth_pmos, g.kp_factor_pmos);
+      break;
+    case ProcessCorner::kFastSlow:
+      fast(true, g.dvth_nmos, g.kp_factor_nmos);
+      fast(false, g.dvth_pmos, g.kp_factor_pmos);
+      break;
+    case ProcessCorner::kSlowFast:
+      fast(false, g.dvth_nmos, g.kp_factor_nmos);
+      fast(true, g.dvth_pmos, g.kp_factor_pmos);
+      break;
+  }
+  return g;
+}
+
+GlobalVariation ProcessModel::sample_global(stats::Xoshiro256pp& rng) const {
+  const TechnologyStatistics& s = statistics_;
+  GlobalVariation g;
+  g.dvth_nmos = stats::sample_normal(rng, 0.0, s.sigma_vth_global);
+  g.dvth_pmos = stats::sample_normal(rng, 0.0, s.sigma_vth_global);
+  g.kp_factor_nmos =
+      std::max(0.5, 1.0 + stats::sample_normal(rng, 0.0, s.sigma_kp_global));
+  g.kp_factor_pmos =
+      std::max(0.5, 1.0 + stats::sample_normal(rng, 0.0, s.sigma_kp_global));
+  g.res_factor =
+      std::max(0.5, 1.0 + stats::sample_normal(rng, 0.0, s.sigma_res_global));
+  g.cap_factor =
+      std::max(0.5, 1.0 + stats::sample_normal(rng, 0.0, s.sigma_cap_global));
+  return g;
+}
+
+double ProcessModel::local_vth_sigma(const MosfetGeometry& geometry) const {
+  BMFUSION_REQUIRE(geometry.w > 0.0 && geometry.l > 0.0,
+                   "geometry must be positive");
+  return statistics_.avt / std::sqrt(geometry.w * geometry.l);
+}
+
+MosfetVariation ProcessModel::sample_device(
+    stats::Xoshiro256pp& rng, const GlobalVariation& global, MosfetType type,
+    const MosfetGeometry& geometry) const {
+  const double area_sqrt = std::sqrt(geometry.w * geometry.l);
+  const double sigma_vth_local = statistics_.avt / area_sqrt;
+  const double sigma_kp_local = statistics_.akp / area_sqrt;
+
+  MosfetVariation v;
+  const double dvth_global =
+      type == MosfetType::kNmos ? global.dvth_nmos : global.dvth_pmos;
+  const double kp_global = type == MosfetType::kNmos ? global.kp_factor_nmos
+                                                     : global.kp_factor_pmos;
+  v.dvth = dvth_global + stats::sample_normal(rng, 0.0, sigma_vth_local);
+  v.kp_factor = std::max(
+      0.3, kp_global * (1.0 + stats::sample_normal(rng, 0.0, sigma_kp_local)));
+  return v;
+}
+
+double ProcessModel::sample_resistor_factor(stats::Xoshiro256pp& rng,
+                                            const GlobalVariation& global)
+    const {
+  return std::max(
+      0.3, global.res_factor *
+               (1.0 +
+                stats::sample_normal(rng, 0.0, statistics_.sigma_res_local)));
+}
+
+double ProcessModel::sample_capacitor_factor(stats::Xoshiro256pp& rng,
+                                             const GlobalVariation& global)
+    const {
+  return std::max(
+      0.3, global.cap_factor *
+               (1.0 +
+                stats::sample_normal(rng, 0.0, statistics_.sigma_cap_local)));
+}
+
+}  // namespace bmfusion::circuit

@@ -1,0 +1,99 @@
+// Process variation model: inter-die (global) and intra-die (local,
+// Pelgrom-scaled) variations for devices and passives.
+//
+// Local mismatch follows the Pelgrom model: sigma(dVth) = AVT / sqrt(W*L),
+// sigma(dKp/Kp) = AKP / sqrt(W*L). Global components shift every device on
+// the die together, separately for NMOS and PMOS.
+#pragma once
+
+#include "circuit/mosfet.hpp"
+#include "stats/rng.hpp"
+
+namespace bmfusion::circuit {
+
+/// Technology statistics; the named factories below provide representative
+/// values for the paper's two nodes.
+struct TechnologyStatistics {
+  // Local (Pelgrom) coefficients.
+  double avt = 3.5e-9;    ///< Vth mismatch coefficient [V*m]
+  double akp = 1.0e-8;    ///< relative Kp mismatch coefficient [m]
+  // Global (inter-die) one-sigma values.
+  double sigma_vth_global = 0.02;  ///< [V], applied per device polarity
+  double sigma_kp_global = 0.04;   ///< relative
+  double sigma_res_global = 0.05;  ///< relative sheet-resistance variation
+  double sigma_res_local = 0.01;   ///< relative per-resistor mismatch
+  double sigma_cap_global = 0.04;  ///< relative dielectric/metal variation
+  double sigma_cap_local = 0.01;   ///< relative per-capacitor mismatch
+};
+
+/// One inter-die draw shared by every element of a simulated die.
+struct GlobalVariation {
+  double dvth_nmos = 0.0;     ///< [V]
+  double dvth_pmos = 0.0;     ///< [V]
+  double kp_factor_nmos = 1.0;
+  double kp_factor_pmos = 1.0;
+  double res_factor = 1.0;    ///< sheet-resistance multiplier
+  double cap_factor = 1.0;    ///< capacitance multiplier
+};
+
+/// Classical sign-corner tags (fast/slow refer to drive strength: lower
+/// Vth and higher mobility is "fast").
+enum class ProcessCorner {
+  kTypical,
+  kFastFast,  ///< NMOS fast, PMOS fast
+  kSlowSlow,
+  kFastSlow,  ///< NMOS fast, PMOS slow
+  kSlowFast,
+};
+
+/// Samples process variations. Stateless; thread safety comes from passing
+/// distinct RNGs.
+class ProcessModel {
+ public:
+  explicit ProcessModel(TechnologyStatistics statistics);
+
+  /// Representative 45 nm CMOS statistics (op-amp example, Section 5.1).
+  [[nodiscard]] static ProcessModel cmos45();
+
+  /// Representative 0.18 um CMOS statistics (flash ADC example, Section 5.2).
+  [[nodiscard]] static ProcessModel cmos180();
+
+  [[nodiscard]] const TechnologyStatistics& statistics() const {
+    return statistics_;
+  }
+
+  /// Draws the inter-die variation for one simulated die.
+  [[nodiscard]] GlobalVariation sample_global(stats::Xoshiro256pp& rng) const;
+
+  /// Draws one device's total variation (global + Pelgrom local) for a
+  /// device of the given type and geometry.
+  [[nodiscard]] MosfetVariation sample_device(stats::Xoshiro256pp& rng,
+                                              const GlobalVariation& global,
+                                              MosfetType type,
+                                              const MosfetGeometry&
+                                                  geometry) const;
+
+  /// Resistance multiplier for one resistor (global x local mismatch).
+  [[nodiscard]] double sample_resistor_factor(stats::Xoshiro256pp& rng,
+                                              const GlobalVariation&
+                                                  global) const;
+
+  /// Capacitance multiplier for one capacitor (global x local mismatch).
+  [[nodiscard]] double sample_capacitor_factor(stats::Xoshiro256pp& rng,
+                                               const GlobalVariation&
+                                                   global) const;
+
+  /// Pelgrom local sigma for Vth given a geometry [V].
+  [[nodiscard]] double local_vth_sigma(const MosfetGeometry& geometry) const;
+
+  /// Deterministic corner as a GlobalVariation at `sigma_count` standard
+  /// deviations of the inter-die statistics (local mismatch excluded, as in
+  /// standard corner decks). Passives sit at typical.
+  [[nodiscard]] GlobalVariation corner(ProcessCorner corner_tag,
+                                       double sigma_count = 3.0) const;
+
+ private:
+  TechnologyStatistics statistics_;
+};
+
+}  // namespace bmfusion::circuit

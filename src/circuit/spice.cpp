@@ -1,0 +1,404 @@
+#include "circuit/spice.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/contracts.hpp"
+#include "common/strings.hpp"
+
+namespace bmfusion::circuit {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  std::ostringstream os;
+  os << "spice: line " << line << ": " << message;
+  throw DataError(os.str());
+}
+
+/// Splits a logical line into whitespace-separated tokens.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+/// Joins physical lines into logical lines ('+' continuations), strips
+/// comments, and keeps 1-based line numbers of the first physical line.
+std::vector<std::pair<std::size_t, std::string>> logical_lines(
+    std::istream& in) {
+  std::vector<std::pair<std::size_t, std::string>> lines;
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    if (!raw.empty() && raw.back() == '\r') raw.pop_back();
+    const std::size_t semi = raw.find(';');
+    if (semi != std::string::npos) raw.erase(semi);
+    const std::string_view t = trim(raw);
+    if (t.empty() || t.front() == '*') continue;
+    if (t.front() == '+') {
+      if (lines.empty()) fail(line_no, "continuation with no previous card");
+      lines.back().second += ' ';
+      lines.back().second += std::string(t.substr(1));
+    } else {
+      lines.emplace_back(line_no, std::string(t));
+    }
+  }
+  return lines;
+}
+
+}  // namespace
+
+double parse_spice_value(const std::string& token) {
+  const std::string lower = to_lower(trim(token));
+  if (lower.empty()) throw DataError("spice: empty value token");
+
+  // Numeric prefix.
+  std::size_t pos = 0;
+  try {
+    const double base = std::stod(lower, &pos);
+    std::string suffix = lower.substr(pos);
+    // Ignore trailing unit letters after the scale suffix (e.g. "2pF").
+    double scale = 1.0;
+    if (!suffix.empty()) {
+      if (starts_with(suffix, "meg")) {
+        scale = 1e6;
+      } else {
+        switch (suffix.front()) {
+          case 't': scale = 1e12; break;
+          case 'g': scale = 1e9; break;
+          case 'k': scale = 1e3; break;
+          case 'm': scale = 1e-3; break;
+          case 'u': scale = 1e-6; break;
+          case 'n': scale = 1e-9; break;
+          case 'p': scale = 1e-12; break;
+          case 'f': scale = 1e-15; break;
+          default:
+            throw DataError("spice: unknown value suffix '" + suffix + "'");
+        }
+      }
+    }
+    return base * scale;
+  } catch (const std::invalid_argument&) {
+    throw DataError("spice: malformed value '" + token + "'");
+  } catch (const std::out_of_range&) {
+    throw DataError("spice: value out of range '" + token + "'");
+  }
+}
+
+namespace {
+
+/// Parsed "KEY=value" assignment (key lower-cased).
+bool parse_assignment(const std::string& token, std::string& key,
+                      double& value) {
+  const std::size_t eq = token.find('=');
+  if (eq == std::string::npos) return false;
+  key = to_lower(token.substr(0, eq));
+  value = parse_spice_value(token.substr(eq + 1));
+  return true;
+}
+
+struct PendingMosfet {
+  std::size_t line = 0;
+  std::string name;
+  std::string drain, gate, source;
+  std::string model;
+  MosfetGeometry geometry;
+  MosfetVariation variation;
+};
+
+}  // namespace
+
+Netlist parse_spice(std::istream& in) {
+  Netlist net;
+  std::map<std::string, MosfetModel> models;
+  std::vector<PendingMosfet> pending;  // resolved after .model cards
+
+  for (const auto& [line_no, text] : logical_lines(in)) {
+    const std::vector<std::string> tok = tokenize(text);
+    if (tok.empty()) continue;
+    const std::string head = to_lower(tok[0]);
+
+    if (head == ".end") break;
+
+    if (head == ".model") {
+      if (tok.size() < 3) fail(line_no, ".model needs a name and a type");
+      MosfetModel model;
+      const std::string type = to_lower(tok[2]);
+      if (type == "nmos") {
+        model.type = MosfetType::kNmos;
+      } else if (type == "pmos") {
+        model.type = MosfetType::kPmos;
+      } else {
+        fail(line_no, "unknown model type '" + tok[2] + "'");
+      }
+      for (std::size_t i = 3; i < tok.size(); ++i) {
+        std::string key;
+        double value = 0.0;
+        if (!parse_assignment(tok[i], key, value)) {
+          fail(line_no, "expected key=value, got '" + tok[i] + "'");
+        }
+        if (key == "vth0") model.vth0 = value;
+        else if (key == "kp") model.kp = value;
+        else if (key == "lambda") model.lambda = value;
+        else if (key == "cox") model.cox_area = value;
+        else if (key == "cov") model.cov_width = value;
+        else if (key == "cj") model.cj_width = value;
+        else if (key == "kf") model.kf = value;
+        else if (key == "n") model.slope_n = value;
+        else if (key == "level") {
+          if (value == 1.0) model.equation = MosfetEquation::kSquareLaw;
+          else if (value == 2.0) model.equation = MosfetEquation::kEkv;
+          else fail(line_no, "unsupported model level (1 or 2)");
+        }
+        else fail(line_no, "unknown model parameter '" + key + "'");
+      }
+      models[to_lower(tok[1])] = model;
+      continue;
+    }
+
+    if (head == ".nodeset") {
+      // Accept ".nodeset v(x)=0.5" and ".nodeset x 0.5".
+      if (tok.size() == 2) {
+        const std::string& spec = tok[1];
+        const std::size_t open = to_lower(spec).find("v(");
+        const std::size_t close = spec.find(')');
+        const std::size_t eq = spec.find('=');
+        if (open == std::string::npos || close == std::string::npos ||
+            eq == std::string::npos || close < open + 2 || eq < close) {
+          fail(line_no, "malformed .nodeset '" + spec + "'");
+        }
+        const std::string node = spec.substr(open + 2, close - open - 2);
+        net.set_initial_guess(net.node(node),
+                              parse_spice_value(spec.substr(eq + 1)));
+      } else if (tok.size() == 3) {
+        net.set_initial_guess(net.node(tok[1]), parse_spice_value(tok[2]));
+      } else {
+        fail(line_no, ".nodeset needs 'v(node)=value' or 'node value'");
+      }
+      continue;
+    }
+
+    if (starts_with(head, ".")) {
+      fail(line_no, "unsupported control card '" + tok[0] + "'");
+    }
+
+    const char kind = static_cast<char>(std::tolower(
+        static_cast<unsigned char>(tok[0].front())));
+    switch (kind) {
+      case 'r': {
+        if (tok.size() != 4) fail(line_no, "R card: R<name> n1 n2 value");
+        net.add_resistor(tok[0], net.node(tok[1]), net.node(tok[2]),
+                         parse_spice_value(tok[3]));
+        break;
+      }
+      case 'c': {
+        if (tok.size() != 4) fail(line_no, "C card: C<name> n1 n2 value");
+        net.add_capacitor(tok[0], net.node(tok[1]), net.node(tok[2]),
+                          parse_spice_value(tok[3]));
+        break;
+      }
+      case 'v':
+      case 'i': {
+        if (tok.size() != 4 && tok.size() != 6) {
+          fail(line_no, "source card: X<name> n+ n- dc [AC mag]");
+        }
+        double ac = 0.0;
+        if (tok.size() == 6) {
+          if (to_lower(tok[4]) != "ac") {
+            fail(line_no, "expected 'AC', got '" + tok[4] + "'");
+          }
+          ac = parse_spice_value(tok[5]);
+        }
+        const double dc = parse_spice_value(tok[3]);
+        if (kind == 'v') {
+          net.add_voltage_source(tok[0], net.node(tok[1]), net.node(tok[2]),
+                                 dc, ac);
+        } else {
+          net.add_current_source(tok[0], net.node(tok[1]), net.node(tok[2]),
+                                 dc, ac);
+        }
+        break;
+      }
+      case 'g': {
+        if (tok.size() != 6) {
+          fail(line_no, "G card: G<name> n+ n- nc+ nc- gm");
+        }
+        net.add_vccs(tok[0], net.node(tok[1]), net.node(tok[2]),
+                     net.node(tok[3]), net.node(tok[4]),
+                     parse_spice_value(tok[5]));
+        break;
+      }
+      case 'm': {
+        if (tok.size() < 5) {
+          fail(line_no, "M card: M<name> d g s model W=.. L=..");
+        }
+        PendingMosfet m;
+        m.line = line_no;
+        m.name = tok[0];
+        m.drain = tok[1];
+        m.gate = tok[2];
+        m.source = tok[3];
+        m.model = to_lower(tok[4]);
+        bool have_w = false;
+        bool have_l = false;
+        for (std::size_t i = 5; i < tok.size(); ++i) {
+          std::string key;
+          double value = 0.0;
+          if (!parse_assignment(tok[i], key, value)) {
+            fail(line_no, "expected key=value, got '" + tok[i] + "'");
+          }
+          if (key == "w") {
+            m.geometry.w = value;
+            have_w = true;
+          } else if (key == "l") {
+            m.geometry.l = value;
+            have_l = true;
+          } else if (key == "dvth") {
+            m.variation.dvth = value;
+          } else if (key == "kpf") {
+            m.variation.kp_factor = value;
+          } else {
+            fail(line_no, "unknown instance parameter '" + key + "'");
+          }
+        }
+        if (!have_w || !have_l) fail(line_no, "M card needs W= and L=");
+        // Create the nodes now so ordering matches the file.
+        net.node(m.drain);
+        net.node(m.gate);
+        net.node(m.source);
+        pending.push_back(std::move(m));
+        break;
+      }
+      default:
+        fail(line_no, "unknown element card '" + tok[0] + "'");
+    }
+  }
+
+  for (const PendingMosfet& m : pending) {
+    const auto it = models.find(m.model);
+    if (it == models.end()) {
+      fail(m.line, "mosfet '" + m.name + "' references undefined model '" +
+                       m.model + "'");
+    }
+    net.add_mosfet(m.name, net.node(m.drain), net.node(m.gate),
+                   net.node(m.source), it->second, m.geometry, m.variation);
+  }
+  return net;
+}
+
+Netlist parse_spice_string(const std::string& text) {
+  std::istringstream is(text);
+  return parse_spice(is);
+}
+
+Netlist parse_spice_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw DataError("spice: cannot open file: " + path);
+  return parse_spice(in);
+}
+
+namespace {
+
+bool same_model(const MosfetModel& a, const MosfetModel& b) {
+  return a.type == b.type && a.equation == b.equation &&
+         a.vth0 == b.vth0 && a.kp == b.kp && a.lambda == b.lambda &&
+         a.cox_area == b.cox_area && a.cov_width == b.cov_width &&
+         a.cj_width == b.cj_width && a.kf == b.kf &&
+         a.slope_n == b.slope_n;
+}
+
+std::string fmt(double v) { return format_double(v, 12); }
+
+}  // namespace
+
+void write_spice(std::ostream& out, const Netlist& netlist,
+                 const std::string& title) {
+  out << "* " << title << '\n';
+  const auto node_name = [&](NodeId id) -> const std::string& {
+    return netlist.node_name(id);
+  };
+
+  // Deduplicate model cards.
+  std::vector<MosfetModel> model_cards;
+  std::vector<std::size_t> instance_model(netlist.mosfets().size());
+  for (std::size_t i = 0; i < netlist.mosfets().size(); ++i) {
+    const MosfetModel& model = netlist.mosfets()[i].model;
+    std::size_t found = model_cards.size();
+    for (std::size_t k = 0; k < model_cards.size(); ++k) {
+      if (same_model(model_cards[k], model)) {
+        found = k;
+        break;
+      }
+    }
+    if (found == model_cards.size()) model_cards.push_back(model);
+    instance_model[i] = found;
+  }
+  for (std::size_t k = 0; k < model_cards.size(); ++k) {
+    const MosfetModel& m = model_cards[k];
+    out << ".model mod" << k
+        << (m.type == MosfetType::kNmos ? " nmos" : " pmos")
+        << " vth0=" << fmt(m.vth0) << " kp=" << fmt(m.kp)
+        << " lambda=" << fmt(m.lambda) << " cox=" << fmt(m.cox_area)
+        << " cov=" << fmt(m.cov_width) << " cj=" << fmt(m.cj_width)
+        << " kf=" << fmt(m.kf)
+        << " level=" << (m.equation == MosfetEquation::kEkv ? 2 : 1)
+        << " n=" << fmt(m.slope_n) << '\n';
+  }
+
+  for (const Resistor& r : netlist.resistors()) {
+    out << r.name << ' ' << node_name(r.n1) << ' ' << node_name(r.n2) << ' '
+        << fmt(r.resistance) << '\n';
+  }
+  for (const Capacitor& c : netlist.capacitors()) {
+    out << c.name << ' ' << node_name(c.n1) << ' ' << node_name(c.n2) << ' '
+        << fmt(c.capacitance) << '\n';
+  }
+  for (const VoltageSource& v : netlist.voltage_sources()) {
+    out << v.name << ' ' << node_name(v.np) << ' ' << node_name(v.nn) << ' '
+        << fmt(v.dc);
+    if (v.ac != 0.0) out << " AC " << fmt(v.ac);
+    out << '\n';
+  }
+  for (const CurrentSource& s : netlist.current_sources()) {
+    out << s.name << ' ' << node_name(s.np) << ' ' << node_name(s.nn) << ' '
+        << fmt(s.dc);
+    if (s.ac != 0.0) out << " AC " << fmt(s.ac);
+    out << '\n';
+  }
+  for (const Vccs& g : netlist.vccs()) {
+    out << g.name << ' ' << node_name(g.np) << ' ' << node_name(g.nn) << ' '
+        << node_name(g.cp) << ' ' << node_name(g.cn) << ' ' << fmt(g.gm)
+        << '\n';
+  }
+  for (std::size_t i = 0; i < netlist.mosfets().size(); ++i) {
+    const MosfetInstance& m = netlist.mosfets()[i];
+    out << m.name << ' ' << node_name(m.drain) << ' ' << node_name(m.gate)
+        << ' ' << node_name(m.source) << " mod" << instance_model[i]
+        << " W=" << fmt(m.geometry.w) << " L=" << fmt(m.geometry.l);
+    if (m.variation.dvth != 0.0) out << " DVTH=" << fmt(m.variation.dvth);
+    if (m.variation.kp_factor != 1.0) {
+      out << " KPF=" << fmt(m.variation.kp_factor);
+    }
+    out << '\n';
+  }
+  for (const auto& [node, v] : netlist.initial_guesses()) {
+    out << ".nodeset " << node_name(node) << ' ' << fmt(v) << '\n';
+  }
+  out << ".end\n";
+}
+
+std::string to_spice_string(const Netlist& netlist,
+                            const std::string& title) {
+  std::ostringstream os;
+  write_spice(os, netlist, title);
+  return os.str();
+}
+
+}  // namespace bmfusion::circuit

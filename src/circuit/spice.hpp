@@ -1,0 +1,52 @@
+// SPICE-like netlist text format: parser and writer.
+//
+// Supported cards (case-insensitive element letters, '*'/';' comments,
+// '+' continuation lines, standard engineering suffixes):
+//
+//   R<name> n1 n2 value
+//   C<name> n1 n2 value
+//   V<name> n+ n- dc [AC mag]
+//   I<name> n+ n- dc [AC mag]
+//   G<name> n+ n- nc+ nc- gm                  (VCCS)
+//   M<name> d g s model W=.. L=.. [DVTH=..] [KPF=..]
+//   .model <name> nmos|pmos [vth0=..] [kp=..] [lambda=..]
+//                          [cox=..] [cov=..] [cj=..]
+//   .nodeset v(<node>)=value | .nodeset <node> value
+//   .end
+//
+// Node "0", "gnd" or "GND" is ground. DVTH/KPF carry the per-instance
+// process variation so Monte-Carlo netlists round-trip exactly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "circuit/netlist.hpp"
+
+namespace bmfusion::circuit {
+
+/// Parses a netlist from a stream. Throws DataError with a line number on
+/// malformed input.
+[[nodiscard]] Netlist parse_spice(std::istream& in);
+
+/// Parses a netlist from text.
+[[nodiscard]] Netlist parse_spice_string(const std::string& text);
+
+/// Parses a netlist file from disk.
+[[nodiscard]] Netlist parse_spice_file(const std::string& path);
+
+/// Writes `netlist` in the dialect above. Model cards are deduplicated:
+/// devices sharing identical model parameters share one .model card.
+void write_spice(std::ostream& out, const Netlist& netlist,
+                 const std::string& title);
+
+/// Writer convenience returning a string.
+[[nodiscard]] std::string to_spice_string(const Netlist& netlist,
+                                          const std::string& title);
+
+/// Parses one SPICE engineering value: "4.7k", "2p", "1meg", "10u", "1e-9".
+/// Suffixes: t g meg k m u n p f (case-insensitive). Throws DataError on
+/// malformed numbers.
+[[nodiscard]] double parse_spice_value(const std::string& token);
+
+}  // namespace bmfusion::circuit

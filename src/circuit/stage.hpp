@@ -1,0 +1,21 @@
+// Design-stage tag shared by the circuit testbenches.
+#pragma once
+
+#include <string>
+
+namespace bmfusion::circuit {
+
+/// Which design database a testbench simulates. In the paper's terminology
+/// the schematic is the "early stage" and the extracted post-layout design
+/// the "late stage".
+enum class DesignStage {
+  kSchematic,   ///< early stage: pre-layout
+  kPostLayout,  ///< late stage: extracted parasitics + litho bias
+};
+
+/// Human-readable stage name.
+[[nodiscard]] inline std::string to_string(DesignStage stage) {
+  return stage == DesignStage::kSchematic ? "schematic" : "post-layout";
+}
+
+}  // namespace bmfusion::circuit

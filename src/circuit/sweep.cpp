@@ -1,0 +1,61 @@
+#include "circuit/sweep.hpp"
+
+#include "common/contracts.hpp"
+
+namespace bmfusion::circuit {
+
+using linalg::Matrix;
+
+DcSweepResult::DcSweepResult(std::vector<double> values, Matrix voltages)
+    : values_(std::move(values)), voltages_(std::move(voltages)) {
+  BMFUSION_REQUIRE(values_.size() == voltages_.rows(),
+                   "sweep record shape mismatch");
+}
+
+double DcSweepResult::voltage(std::size_t index, NodeId node) const {
+  BMFUSION_REQUIRE(index < values_.size(), "sweep index out of range");
+  if (node == kGround) return 0.0;
+  return voltages_(index, node - 1);
+}
+
+std::vector<double> DcSweepResult::transfer_curve(NodeId node) const {
+  std::vector<double> out(point_count());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = voltage(i, node);
+  return out;
+}
+
+DcSweepResult dc_sweep(const Netlist& netlist, std::size_t source_index,
+                       const std::vector<double>& values,
+                       const DcSolverConfig& config) {
+  BMFUSION_REQUIRE(source_index < netlist.voltage_sources().size(),
+                   "sweep source index out of range");
+  BMFUSION_REQUIRE(!values.empty(), "sweep needs at least one value");
+
+  // Work on a copy so the caller's netlist is untouched; warm-start each
+  // point by seeding the initial guesses with the previous solution.
+  Netlist work = netlist;
+  const DcSolver solver(config);
+  Matrix record(values.size(), netlist.node_count());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    work.set_voltage_source_dc(source_index, values[i]);
+    const OperatingPoint op = solver.solve(work);
+    for (std::size_t k = 0; k < netlist.node_count(); ++k) {
+      record(i, k) = op.node_voltages()[k];
+      work.set_initial_guess(k + 1, op.node_voltages()[k]);
+    }
+  }
+  return DcSweepResult(values, std::move(record));
+}
+
+std::vector<double> linear_sweep(double start, double stop,
+                                 std::size_t count) {
+  BMFUSION_REQUIRE(count >= 2, "sweep needs >= 2 points");
+  std::vector<double> values(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(count - 1);
+    values[i] = start + t * (stop - start);
+  }
+  return values;
+}
+
+}  // namespace bmfusion::circuit

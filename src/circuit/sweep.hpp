@@ -1,0 +1,47 @@
+// DC sweep: re-solve the operating point across a source-value ramp
+// (transfer curves, VTCs, bias sensitivity), warm-starting each point from
+// the previous solution.
+#pragma once
+
+#include <vector>
+
+#include "circuit/dc.hpp"
+#include "circuit/netlist.hpp"
+#include "linalg/matrix.hpp"
+
+namespace bmfusion::circuit {
+
+/// Result of a DC sweep: one row of node voltages per swept value.
+class DcSweepResult {
+ public:
+  DcSweepResult(std::vector<double> values, linalg::Matrix voltages);
+
+  [[nodiscard]] std::size_t point_count() const { return values_.size(); }
+  [[nodiscard]] const std::vector<double>& swept_values() const {
+    return values_;
+  }
+
+  /// Voltage of `node` at sweep point `index`.
+  [[nodiscard]] double voltage(std::size_t index, NodeId node) const;
+
+  /// Transfer curve of one node across the sweep.
+  [[nodiscard]] std::vector<double> transfer_curve(NodeId node) const;
+
+ private:
+  std::vector<double> values_;
+  linalg::Matrix voltages_;
+};
+
+/// Sweeps the DC value of voltage source `source_index` (netlist order)
+/// over `values`, solving the operating point at each step. `values` must
+/// be non-empty; each solution seeds the next step's Newton start.
+[[nodiscard]] DcSweepResult dc_sweep(const Netlist& netlist,
+                                     std::size_t source_index,
+                                     const std::vector<double>& values,
+                                     const DcSolverConfig& config = {});
+
+/// Uniform helper: `count` points from `start` to `stop` inclusive.
+[[nodiscard]] std::vector<double> linear_sweep(double start, double stop,
+                                               std::size_t count);
+
+}  // namespace bmfusion::circuit

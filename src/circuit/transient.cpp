@@ -1,0 +1,382 @@
+#include "circuit/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "linalg/lu.hpp"
+
+namespace bmfusion::circuit {
+
+using linalg::Lu;
+using linalg::Matrix;
+using linalg::Vector;
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586476925286766559005768;
+}
+
+void TransientStimulus::set_voltage_waveform(
+    std::size_t index, std::function<double(double)> waveform) {
+  BMFUSION_REQUIRE(static_cast<bool>(waveform), "waveform must be callable");
+  voltage_waveforms_[index] = std::move(waveform);
+}
+
+void TransientStimulus::set_current_waveform(
+    std::size_t index, std::function<double(double)> waveform) {
+  BMFUSION_REQUIRE(static_cast<bool>(waveform), "waveform must be callable");
+  current_waveforms_[index] = std::move(waveform);
+}
+
+double TransientStimulus::voltage(const Netlist& netlist, std::size_t index,
+                                  double t) const {
+  BMFUSION_REQUIRE(index < netlist.voltage_sources().size(),
+                   "voltage source index out of range");
+  const auto it = voltage_waveforms_.find(index);
+  if (it != voltage_waveforms_.end()) return it->second(t);
+  return netlist.voltage_sources()[index].dc;
+}
+
+double TransientStimulus::current(const Netlist& netlist, std::size_t index,
+                                  double t) const {
+  BMFUSION_REQUIRE(index < netlist.current_sources().size(),
+                   "current source index out of range");
+  const auto it = current_waveforms_.find(index);
+  if (it != current_waveforms_.end()) return it->second(t);
+  return netlist.current_sources()[index].dc;
+}
+
+std::function<double(double)> TransientStimulus::step(double v0, double v1,
+                                                      double t_step,
+                                                      double t_rise) {
+  BMFUSION_REQUIRE(t_rise >= 0.0, "rise time must be non-negative");
+  return [=](double t) {
+    if (t <= t_step) return v0;
+    if (t_rise <= 0.0 || t >= t_step + t_rise) return v1;
+    return v0 + (v1 - v0) * (t - t_step) / t_rise;
+  };
+}
+
+std::function<double(double)> TransientStimulus::sine(double offset,
+                                                      double amplitude,
+                                                      double frequency_hz) {
+  return [=](double t) {
+    return offset + amplitude * std::sin(kTwoPi * frequency_hz * t);
+  };
+}
+
+TransientResult::TransientResult(std::vector<double> time, Matrix voltages)
+    : time_(std::move(time)), voltages_(std::move(voltages)) {
+  BMFUSION_REQUIRE(time_.size() == voltages_.rows(),
+                   "time/voltage record length mismatch");
+}
+
+double TransientResult::voltage(std::size_t step, NodeId node) const {
+  BMFUSION_REQUIRE(step < time_.size(), "time index out of range");
+  if (node == kGround) return 0.0;
+  return voltages_(step, node - 1);
+}
+
+std::vector<double> TransientResult::waveform(NodeId node) const {
+  std::vector<double> out(step_count());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = voltage(i, node);
+  return out;
+}
+
+TransientAnalysis::TransientAnalysis(const Netlist& netlist,
+                                     TransientConfig config)
+    : netlist_(netlist), config_(config) {
+  BMFUSION_REQUIRE(config_.t_stop > 0.0 && config_.dt > 0.0,
+                   "transient needs positive t_stop and dt");
+  BMFUSION_REQUIRE(config_.dt < config_.t_stop,
+                   "time step must be smaller than the stop time");
+}
+
+TransientResult TransientAnalysis::run(
+    const TransientStimulus& stimulus) const {
+  const std::size_t n_nodes = netlist_.node_count();
+  const std::size_t n_unknowns = netlist_.unknown_count();
+  BMFUSION_REQUIRE(n_nodes > 0, "netlist has no nodes");
+
+  // Initial condition: DC solve with the t = 0 stimulus values.
+  Netlist t0 = netlist_;
+  {
+    // Rebuild with overridden source values (Netlist stores by value).
+    Netlist rebuilt;
+    for (NodeId id = 1; id <= netlist_.node_count(); ++id) {
+      rebuilt.node(netlist_.node_name(id));
+    }
+    for (const Resistor& r : netlist_.resistors()) {
+      rebuilt.add_resistor(r.name, r.n1, r.n2, r.resistance);
+    }
+    for (const Capacitor& c : netlist_.capacitors()) {
+      rebuilt.add_capacitor(c.name, c.n1, c.n2, c.capacitance);
+    }
+    for (std::size_t i = 0; i < netlist_.voltage_sources().size(); ++i) {
+      const VoltageSource& v = netlist_.voltage_sources()[i];
+      rebuilt.add_voltage_source(v.name, v.np, v.nn,
+                                 stimulus.voltage(netlist_, i, 0.0), v.ac);
+    }
+    for (std::size_t i = 0; i < netlist_.current_sources().size(); ++i) {
+      const CurrentSource& s = netlist_.current_sources()[i];
+      rebuilt.add_current_source(s.name, s.np, s.nn,
+                                 stimulus.current(netlist_, i, 0.0), s.ac);
+    }
+    for (const Vccs& g : netlist_.vccs()) {
+      rebuilt.add_vccs(g.name, g.np, g.nn, g.cp, g.cn, g.gm);
+    }
+    for (const MosfetInstance& m : netlist_.mosfets()) {
+      rebuilt.add_mosfet(m.name, m.drain, m.gate, m.source, m.model,
+                         m.geometry, m.variation);
+    }
+    for (const auto& [node, v] : netlist_.initial_guesses()) {
+      rebuilt.set_initial_guess(node, v);
+    }
+    t0 = std::move(rebuilt);
+  }
+  const OperatingPoint op0 = DcSolver().solve(t0);
+
+  const auto steps =
+      static_cast<std::size_t>(std::ceil(config_.t_stop / config_.dt));
+  std::vector<double> time;
+  time.reserve(steps + 1);
+  Matrix record(steps + 1, n_nodes);
+  time.push_back(0.0);
+  for (std::size_t k = 0; k < n_nodes; ++k) {
+    record(0, k) = op0.node_voltages()[k];
+  }
+
+  // State vector: node voltages then branch currents.
+  Vector x(n_unknowns);
+  for (std::size_t k = 0; k < n_nodes; ++k) x[k] = op0.node_voltages()[k];
+  for (std::size_t b = 0; b < netlist_.voltage_sources().size(); ++b) {
+    x[n_nodes + b] = op0.source_current(b);
+  }
+  Vector v_prev(n_nodes);
+  for (std::size_t k = 0; k < n_nodes; ++k) v_prev[k] = x[k];
+
+  // Quasi-static MOSFET capacitances, refreshed at each accepted step.
+  std::vector<MosfetOp> device_state = op0.mosfet_ops();
+
+  const double h = config_.dt;
+  const auto vid = [&](NodeId id) -> std::ptrdiff_t {
+    return id == kGround ? -1 : static_cast<std::ptrdiff_t>(id - 1);
+  };
+
+  for (std::size_t step = 1; step <= steps; ++step) {
+    const double t = std::min(static_cast<double>(step) * h, config_.t_stop);
+
+    bool converged = false;
+    std::vector<MosfetOp> iter_state = device_state;
+    for (int iter = 0; iter < config_.max_newton_iterations; ++iter) {
+      Matrix jac(n_unknowns, n_unknowns);
+      Vector residual(n_unknowns);
+      const auto voltage = [&](NodeId id) {
+        return id == kGround ? 0.0 : x[id - 1];
+      };
+      const auto voltage_prev = [&](NodeId id) {
+        return id == kGround ? 0.0 : v_prev[id - 1];
+      };
+      const auto add_f = [&](NodeId id, double value) {
+        const std::ptrdiff_t r = vid(id);
+        if (r >= 0) residual[static_cast<std::size_t>(r)] += value;
+      };
+      const auto add_j = [&](std::ptrdiff_t r, std::ptrdiff_t c,
+                             double value) {
+        if (r >= 0 && c >= 0) {
+          jac(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) +=
+              value;
+        }
+      };
+      // Backward-Euler companion for a capacitance between two nodes.
+      const auto stamp_cap = [&](NodeId a, NodeId b, double cap) {
+        if (cap <= 0.0) return;
+        const double g = cap / h;
+        const double i =
+            g * ((voltage(a) - voltage(b)) -
+                 (voltage_prev(a) - voltage_prev(b)));
+        add_f(a, i);
+        add_f(b, -i);
+        const std::ptrdiff_t ra = vid(a);
+        const std::ptrdiff_t rb = vid(b);
+        add_j(ra, ra, g);
+        add_j(rb, rb, g);
+        add_j(ra, rb, -g);
+        add_j(rb, ra, -g);
+      };
+
+      for (std::size_t k = 0; k < n_nodes; ++k) {
+        residual[k] += config_.gmin * x[k];
+        jac(k, k) += config_.gmin;
+      }
+      for (const Resistor& r : netlist_.resistors()) {
+        const double g = 1.0 / r.resistance;
+        const double i = g * (voltage(r.n1) - voltage(r.n2));
+        add_f(r.n1, i);
+        add_f(r.n2, -i);
+        const std::ptrdiff_t a = vid(r.n1);
+        const std::ptrdiff_t b = vid(r.n2);
+        add_j(a, a, g);
+        add_j(a, b, -g);
+        add_j(b, a, -g);
+        add_j(b, b, g);
+      }
+      for (const Capacitor& c : netlist_.capacitors()) {
+        stamp_cap(c.n1, c.n2, c.capacitance);
+      }
+      for (const Vccs& v : netlist_.vccs()) {
+        const double i = v.gm * (voltage(v.cp) - voltage(v.cn));
+        add_f(v.np, i);
+        add_f(v.nn, -i);
+        add_j(vid(v.np), vid(v.cp), v.gm);
+        add_j(vid(v.np), vid(v.cn), -v.gm);
+        add_j(vid(v.nn), vid(v.cp), -v.gm);
+        add_j(vid(v.nn), vid(v.cn), v.gm);
+      }
+      for (std::size_t i = 0; i < netlist_.current_sources().size(); ++i) {
+        const CurrentSource& s = netlist_.current_sources()[i];
+        const double value = stimulus.current(netlist_, i, t);
+        add_f(s.np, value);
+        add_f(s.nn, -value);
+      }
+      for (std::size_t b = 0; b < netlist_.voltage_sources().size(); ++b) {
+        const VoltageSource& s = netlist_.voltage_sources()[b];
+        const std::size_t brow = n_nodes + b;
+        const double ib = x[brow];
+        add_f(s.np, ib);
+        add_f(s.nn, -ib);
+        residual[brow] = voltage(s.np) - voltage(s.nn) -
+                         stimulus.voltage(netlist_, b, t);
+        add_j(vid(s.np), static_cast<std::ptrdiff_t>(brow), 1.0);
+        add_j(vid(s.nn), static_cast<std::ptrdiff_t>(brow), -1.0);
+        add_j(static_cast<std::ptrdiff_t>(brow), vid(s.np), 1.0);
+        add_j(static_cast<std::ptrdiff_t>(brow), vid(s.nn), -1.0);
+      }
+      for (std::size_t m = 0; m < netlist_.mosfets().size(); ++m) {
+        const MosfetInstance& inst = netlist_.mosfets()[m];
+        const MosfetOp op = evaluate_mosfet(
+            inst.model, inst.geometry, inst.variation, voltage(inst.gate),
+            voltage(inst.drain), voltage(inst.source));
+        iter_state[m] = op;
+        add_f(inst.drain, op.id);
+        add_f(inst.source, -op.id);
+        const std::ptrdiff_t d = vid(inst.drain);
+        const std::ptrdiff_t g = vid(inst.gate);
+        const std::ptrdiff_t s = vid(inst.source);
+        add_j(d, g, op.a_g);
+        add_j(d, d, op.a_d);
+        add_j(d, s, op.a_s);
+        add_j(s, g, -op.a_g);
+        add_j(s, d, -op.a_d);
+        add_j(s, s, -op.a_s);
+        // Quasi-static device capacitances at the previous step's bias.
+        const MosfetOp& prev = device_state[m];
+        stamp_cap(inst.gate, inst.source, prev.cgs);
+        stamp_cap(inst.gate, inst.drain, prev.cgd);
+        stamp_cap(inst.drain, kGround, prev.cdb);
+        stamp_cap(inst.source, kGround, prev.csb);
+      }
+
+      // Scaled residual: stiff companion stamps (e.g. a farad-scale fixture
+      // capacitor at g = C/h ~ 1e12 S) make an absolute ampere tolerance
+      // unreachable in double precision, so each node's KCL residual is
+      // judged relative to its row conductance — effectively a voltage
+      // criterion.
+      double residual_norm = 0.0;
+      for (std::size_t k = 0; k < n_nodes; ++k) {
+        double row_scale = 1.0;
+        for (std::size_t c = 0; c < n_unknowns; ++c) {
+          row_scale = std::max(row_scale, std::fabs(jac(k, c)));
+        }
+        residual_norm =
+            std::max(residual_norm, std::fabs(residual[k]) / row_scale);
+      }
+      Vector delta;
+      try {
+        delta = Lu(jac).solve(residual);
+      } catch (const NumericError&) {
+        break;
+      }
+      double vstep = 0.0;
+      for (std::size_t k = 0; k < n_nodes; ++k) {
+        vstep = std::max(vstep, std::fabs(delta[k]));
+      }
+      const double damp = vstep > config_.max_voltage_step
+                              ? config_.max_voltage_step / vstep
+                              : 1.0;
+      for (std::size_t k = 0; k < n_unknowns; ++k) x[k] -= damp * delta[k];
+      if (!x.is_finite()) break;
+      if (damp == 1.0 && vstep < config_.voltage_tolerance &&
+          residual_norm < std::max(config_.current_tolerance,
+                                   config_.voltage_tolerance)) {
+        converged = true;
+        break;
+      }
+    }
+    if (!converged) {
+      throw NumericError("transient: newton failed at t = " +
+                         std::to_string(t));
+    }
+
+    device_state = iter_state;
+    for (std::size_t k = 0; k < n_nodes; ++k) {
+      record(step, k) = x[k];
+      v_prev[k] = x[k];
+    }
+    time.push_back(t);
+  }
+  return TransientResult(std::move(time), std::move(record));
+}
+
+StepResponse measure_step_response(const std::vector<double>& time,
+                                   const std::vector<double>& waveform) {
+  BMFUSION_REQUIRE(time.size() == waveform.size(),
+                   "time/waveform length mismatch");
+  BMFUSION_REQUIRE(time.size() >= 8, "step response needs >= 8 points");
+
+  StepResponse r;
+  r.initial_value = waveform.front();
+  // Final value: mean of the last 5% of the record (at least 2 points).
+  const std::size_t tail =
+      std::max<std::size_t>(2, waveform.size() / 20);
+  double acc = 0.0;
+  for (std::size_t i = waveform.size() - tail; i < waveform.size(); ++i) {
+    acc += waveform[i];
+  }
+  r.final_value = acc / static_cast<double>(tail);
+  const double span = r.final_value - r.initial_value;
+  BMFUSION_REQUIRE(std::fabs(span) > 1e-15,
+                   "waveform does not contain a step");
+
+  const auto crossing = [&](double level) {
+    for (std::size_t i = 1; i < waveform.size(); ++i) {
+      const double a = (waveform[i - 1] - r.initial_value) / span;
+      const double b = (waveform[i] - r.initial_value) / span;
+      if (a < level && b >= level) {
+        const double f = (level - a) / (b - a);
+        return time[i - 1] + f * (time[i] - time[i - 1]);
+      }
+    }
+    return time.back();
+  };
+  r.rise_time = crossing(0.9) - crossing(0.1);
+
+  // Settling: last exit from the 2% band.
+  r.settling_time = 0.0;
+  for (std::size_t i = 0; i < waveform.size(); ++i) {
+    if (std::fabs(waveform[i] - r.final_value) >
+        0.02 * std::fabs(span)) {
+      r.settling_time = time[i];
+    }
+  }
+
+  // Overshoot beyond the final value, relative to the step span.
+  double peak = 0.0;
+  for (const double v : waveform) {
+    peak = std::max(peak, (v - r.final_value) / span);
+  }
+  r.overshoot_fraction = std::max(0.0, peak);
+  return r;
+}
+
+}  // namespace bmfusion::circuit

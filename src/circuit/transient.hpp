@@ -1,0 +1,118 @@
+// Large-signal transient analysis (fixed-step backward Euler).
+//
+// Each time step solves the nonlinear MNA system with capacitors replaced
+// by their backward-Euler companion model (g = C/h plus a history current).
+// MOSFET capacitances are handled quasi-statically: the Meyer capacitance
+// at the previous step's bias linearizes the charge storage for the step.
+// Backward Euler is chosen over trapezoidal for its L-stability — no
+// trapezoidal ringing on the stiff op-amp servo time constants — at the
+// cost of first-order accuracy, which the fixed step keeps controlled.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "circuit/dc.hpp"
+#include "circuit/netlist.hpp"
+#include "linalg/matrix.hpp"
+
+namespace bmfusion::circuit {
+
+/// Time-dependent overrides for the independent sources. Sources without a
+/// waveform hold their DC value.
+class TransientStimulus {
+ public:
+  /// Overrides voltage source `index` (netlist order) with `waveform(t)`.
+  void set_voltage_waveform(std::size_t index,
+                            std::function<double(double)> waveform);
+
+  /// Overrides current source `index` with `waveform(t)`.
+  void set_current_waveform(std::size_t index,
+                            std::function<double(double)> waveform);
+
+  /// Value of voltage source `index` at time `t`.
+  [[nodiscard]] double voltage(const Netlist& netlist, std::size_t index,
+                               double t) const;
+
+  /// Value of current source `index` at time `t`.
+  [[nodiscard]] double current(const Netlist& netlist, std::size_t index,
+                               double t) const;
+
+  /// A step from `v0` to `v1` at time `t_step` with linear `t_rise`.
+  [[nodiscard]] static std::function<double(double)> step(double v0,
+                                                          double v1,
+                                                          double t_step,
+                                                          double t_rise);
+
+  /// A sine v_offset + amplitude * sin(2 pi f t).
+  [[nodiscard]] static std::function<double(double)> sine(double offset,
+                                                          double amplitude,
+                                                          double
+                                                              frequency_hz);
+
+ private:
+  std::map<std::size_t, std::function<double(double)>> voltage_waveforms_;
+  std::map<std::size_t, std::function<double(double)>> current_waveforms_;
+};
+
+struct TransientConfig {
+  double t_stop = 1e-6;   ///< simulation end time [s]
+  double dt = 1e-9;       ///< fixed time step [s]
+  int max_newton_iterations = 200;
+  double voltage_tolerance = 1e-9;
+  double current_tolerance = 1e-9;
+  double max_voltage_step = 0.5;  ///< Newton damping clamp [V]
+  double gmin = 1e-12;            ///< leak to ground for floating nodes
+};
+
+/// Waveform record: node voltages at every accepted time point (the initial
+/// DC point is row 0 at t = 0).
+class TransientResult {
+ public:
+  TransientResult(std::vector<double> time, linalg::Matrix voltages);
+
+  [[nodiscard]] std::size_t step_count() const { return time_.size(); }
+  [[nodiscard]] const std::vector<double>& time() const { return time_; }
+
+  /// Voltage of `node` at time index `step` (ground reports 0).
+  [[nodiscard]] double voltage(std::size_t step, NodeId node) const;
+
+  /// Full waveform of one node.
+  [[nodiscard]] std::vector<double> waveform(NodeId node) const;
+
+ private:
+  std::vector<double> time_;
+  linalg::Matrix voltages_;  ///< rows = time points, cols = node ids - 1
+};
+
+/// Fixed-step backward-Euler transient engine.
+class TransientAnalysis {
+ public:
+  TransientAnalysis(const Netlist& netlist, TransientConfig config = {});
+
+  /// Runs from the DC operating point at the t = 0 stimulus values. Throws
+  /// NumericError if any step fails to converge.
+  [[nodiscard]] TransientResult run(
+      const TransientStimulus& stimulus = {}) const;
+
+ private:
+  const Netlist& netlist_;
+  TransientConfig config_;
+};
+
+/// Step-response measurements extracted from one waveform.
+struct StepResponse {
+  double initial_value = 0.0;   ///< value at t = 0
+  double final_value = 0.0;     ///< mean of the last 5% of the record
+  double rise_time = 0.0;       ///< 10%-90% transition time [s]
+  double settling_time = 0.0;   ///< last entry into the +/-2% band [s]
+  double overshoot_fraction = 0.0;  ///< peak beyond final, relative to step
+};
+
+/// Analyzes a step response; `time` and `waveform` must be equal-length
+/// (>= 8 points) and the step must actually move the output.
+[[nodiscard]] StepResponse measure_step_response(
+    const std::vector<double>& time, const std::vector<double>& waveform);
+
+}  // namespace bmfusion::circuit

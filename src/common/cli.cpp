@@ -1,0 +1,115 @@
+#include "common/cli.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <sstream>
+
+#include "common/contracts.hpp"
+#include "common/strings.hpp"
+
+namespace bmfusion {
+
+CliParser::CliParser(std::string program_summary)
+    : summary_(std::move(program_summary)) {}
+
+void CliParser::add_flag(const std::string& name,
+                         const std::string& default_value,
+                         const std::string& help) {
+  BMFUSION_REQUIRE(!name.empty(), "flag name must be non-empty");
+  BMFUSION_REQUIRE(flags_.find(name) == flags_.end(),
+                   "flag registered twice: " + name);
+  flags_[name] = Flag{default_value, default_value, help};
+  order_.push_back(name);
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(help().c_str(), stdout);
+      return false;
+    }
+    if (!starts_with(arg, "--")) {
+      throw DataError("cli: positional arguments are not supported: " + arg);
+    }
+    arg.erase(0, 2);
+    std::string name;
+    std::string value;
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      const auto it = flags_.find(name);
+      if (it == flags_.end()) throw DataError("cli: unknown flag --" + name);
+      const bool is_bool = it->second.default_value == "true" ||
+                           it->second.default_value == "false";
+      if (is_bool) {
+        value = "true";
+      } else {
+        if (i + 1 >= argc) {
+          throw DataError("cli: flag --" + name + " needs a value");
+        }
+        value = argv[++i];
+      }
+    }
+    const auto it = flags_.find(name);
+    if (it == flags_.end()) throw DataError("cli: unknown flag --" + name);
+    it->second.value = value;
+  }
+  return true;
+}
+
+const CliParser::Flag& CliParser::find(const std::string& name) const {
+  const auto it = flags_.find(name);
+  BMFUSION_REQUIRE(it != flags_.end(), "flag not registered: " + name);
+  return it->second;
+}
+
+std::string CliParser::get_string(const std::string& name) const {
+  return find(name).value;
+}
+
+double CliParser::get_double(const std::string& name) const {
+  const std::string& v = find(name).value;
+  double out = 0.0;
+  const auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec != std::errc{} || ptr != v.data() + v.size()) {
+    throw DataError("cli: flag --" + name + " expects a number, got '" + v +
+                    "'");
+  }
+  return out;
+}
+
+long CliParser::get_int(const std::string& name) const {
+  const std::string& v = find(name).value;
+  long out = 0;
+  const auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec != std::errc{} || ptr != v.data() + v.size()) {
+    throw DataError("cli: flag --" + name + " expects an integer, got '" + v +
+                    "'");
+  }
+  return out;
+}
+
+bool CliParser::get_bool(const std::string& name) const {
+  const std::string v = to_lower(find(name).value);
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw DataError("cli: flag --" + name + " expects a boolean, got '" + v +
+                  "'");
+}
+
+std::string CliParser::help() const {
+  std::ostringstream os;
+  os << summary_ << "\n\nFlags:\n";
+  for (const std::string& name : order_) {
+    const Flag& f = flags_.at(name);
+    os << "  --" << name << " (default: " << f.default_value << ")\n      "
+       << f.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace bmfusion

@@ -1,0 +1,51 @@
+// Tiny command-line flag parser for benches and examples.
+//
+// Supported syntax: --name=value, --name value, and boolean --name.
+// Unknown flags are an error so typos fail loudly instead of silently
+// running the default experiment.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bmfusion {
+
+/// Declarative flag set: register flags with defaults, then parse argv.
+class CliParser {
+ public:
+  /// `program_summary` is printed by help().
+  explicit CliParser(std::string program_summary);
+
+  /// Registers a flag (without the leading "--"). `help` documents it.
+  void add_flag(const std::string& name, const std::string& default_value,
+                const std::string& help);
+
+  /// Parses argv. Returns false (after printing help) when --help is given.
+  /// Throws DataError on unknown flags or missing values.
+  bool parse(int argc, const char* const* argv);
+
+  /// Typed accessors; throw DataError if the value does not convert.
+  [[nodiscard]] std::string get_string(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] long get_int(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  /// Renders the flag documentation block.
+  [[nodiscard]] std::string help() const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string default_value;
+    std::string help;
+  };
+  [[nodiscard]] const Flag& find(const std::string& name) const;
+
+  std::string summary_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace bmfusion

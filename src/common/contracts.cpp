@@ -1,0 +1,15 @@
+#include "common/contracts.hpp"
+
+#include <sstream>
+
+namespace bmfusion::detail {
+
+void throw_contract_error(const char* expr, const char* file, int line,
+                          const std::string& message) {
+  std::ostringstream os;
+  os << "contract violation: " << message << " [" << expr << " at " << file
+     << ":" << line << "]";
+  throw ContractError(os.str());
+}
+
+}  // namespace bmfusion::detail

@@ -1,0 +1,49 @@
+// Contract checking for the bmfusion library.
+//
+// All public entry points validate their preconditions with BMFUSION_REQUIRE
+// and signal violations by throwing ContractError (derived from
+// std::logic_error). Numeric failures discovered mid-computation (e.g. a
+// Cholesky factorization of a non-SPD matrix) throw NumericError instead so
+// callers can distinguish caller bugs from data problems.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace bmfusion {
+
+/// Thrown when a documented precondition of a public API is violated.
+class ContractError : public std::logic_error {
+ public:
+  explicit ContractError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when a computation fails for numeric reasons (singular matrix,
+/// non-SPD input, non-convergence) even though the call was well-formed.
+class NumericError : public std::runtime_error {
+ public:
+  explicit NumericError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown on malformed external data (CSV parse failures, bad netlists).
+class DataError : public std::runtime_error {
+ public:
+  explicit DataError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_contract_error(const char* expr, const char* file,
+                                       int line, const std::string& message);
+}  // namespace detail
+
+}  // namespace bmfusion
+
+/// Precondition check: throws bmfusion::ContractError with location info when
+/// `cond` is false. `msg` is any expression convertible to std::string.
+#define BMFUSION_REQUIRE(cond, msg)                                        \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::bmfusion::detail::throw_contract_error(#cond, __FILE__, __LINE__,  \
+                                               (msg));                     \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,98 @@
+#include "common/csv.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "common/contracts.hpp"
+#include "common/strings.hpp"
+
+namespace bmfusion {
+
+namespace {
+
+double parse_cell(std::string_view cell, std::size_t line_no) {
+  const std::string_view trimmed = trim(cell);
+  double value = 0.0;
+  const auto* begin = trimmed.data();
+  const auto* end = trimmed.data() + trimmed.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) {
+    std::ostringstream os;
+    os << "csv: non-numeric cell '" << std::string(cell) << "' on line "
+       << line_no;
+    throw DataError(os.str());
+  }
+  return value;
+}
+
+bool is_comment_or_blank(std::string_view line) {
+  const std::string_view t = trim(line);
+  return t.empty() || t.front() == '#';
+}
+
+}  // namespace
+
+CsvTable read_csv(std::istream& in, bool expect_header) {
+  CsvTable table;
+  std::string line;
+  std::size_t line_no = 0;
+  bool header_done = !expect_header;
+  std::size_t width = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (is_comment_or_blank(line)) continue;
+    if (!header_done) {
+      for (const std::string& name : split(line, ',')) {
+        table.header.emplace_back(trim(name));
+      }
+      width = table.header.size();
+      header_done = true;
+      continue;
+    }
+    const std::vector<std::string> cells = split(line, ',');
+    if (width == 0) {
+      width = cells.size();
+    } else if (cells.size() != width) {
+      std::ostringstream os;
+      os << "csv: ragged row on line " << line_no << " (expected " << width
+         << " cells, got " << cells.size() << ")";
+      throw DataError(os.str());
+    }
+    std::vector<double> row;
+    row.reserve(cells.size());
+    for (const std::string& cell : cells) {
+      row.push_back(parse_cell(cell, line_no));
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+CsvTable read_csv_file(const std::string& path, bool expect_header) {
+  std::ifstream in(path);
+  if (!in) throw DataError("csv: cannot open file for reading: " + path);
+  return read_csv(in, expect_header);
+}
+
+void write_csv(std::ostream& out, const CsvTable& table) {
+  if (!table.header.empty()) {
+    out << join(table.header, ",") << '\n';
+  }
+  for (const std::vector<double>& row : table.rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) out << ',';
+      out << format_double(row[i], 17);
+    }
+    out << '\n';
+  }
+}
+
+void write_csv_file(const std::string& path, const CsvTable& table) {
+  std::ofstream out(path);
+  if (!out) throw DataError("csv: cannot open file for writing: " + path);
+  write_csv(out, table);
+}
+
+}  // namespace bmfusion

@@ -1,0 +1,41 @@
+// Minimal CSV reader/writer used for dataset persistence and bench output.
+//
+// The dialect is deliberately simple: comma-separated, no quoting, '#'
+// comment lines, optional single header row. All numeric tables in this
+// project are plain doubles, which this dialect covers exactly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bmfusion {
+
+/// A parsed CSV table: optional header plus a dense rectangular body.
+struct CsvTable {
+  std::vector<std::string> header;          ///< empty when no header present
+  std::vector<std::vector<double>> rows;    ///< rectangular numeric body
+
+  [[nodiscard]] std::size_t row_count() const { return rows.size(); }
+  [[nodiscard]] std::size_t column_count() const {
+    return rows.empty() ? header.size() : rows.front().size();
+  }
+};
+
+/// Parses CSV text from `in`. When `expect_header` is true the first
+/// non-comment line is treated as column names. Throws DataError on ragged
+/// rows or non-numeric body cells.
+CsvTable read_csv(std::istream& in, bool expect_header);
+
+/// Reads a CSV file from disk. Throws DataError when the file cannot be
+/// opened.
+CsvTable read_csv_file(const std::string& path, bool expect_header);
+
+/// Writes `table` to `out` (header row first when non-empty), 17 significant
+/// digits so doubles round-trip exactly.
+void write_csv(std::ostream& out, const CsvTable& table);
+
+/// Writes `table` to `path`. Throws DataError when the file cannot be opened.
+void write_csv_file(const std::string& path, const CsvTable& table);
+
+}  // namespace bmfusion

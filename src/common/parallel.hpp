@@ -1,0 +1,26 @@
+// Deterministic data-parallel loop helper.
+//
+// parallel_for splits [0, count) into contiguous chunks, one per worker, so a
+// given index is always processed exactly once and independent of thread
+// scheduling. Work items must not throw across threads; exceptions are
+// captured and the first one is rethrown on the calling thread.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace bmfusion {
+
+/// Number of workers parallel_for uses when `threads == 0` (hardware
+/// concurrency, at least 1).
+std::size_t default_thread_count();
+
+/// Invokes `body(i)` for every i in [0, count). When `threads <= 1` (or count
+/// is small) runs inline on the calling thread; otherwise spreads contiguous
+/// index ranges across `threads` workers. The first exception thrown by any
+/// invocation is rethrown on the calling thread after all workers join.
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t threads = 0);
+
+}  // namespace bmfusion

@@ -1,0 +1,76 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <ostream>
+
+#include "common/contracts.hpp"
+#include "common/strings.hpp"
+
+namespace bmfusion {
+
+ConsoleTable::ConsoleTable(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  BMFUSION_REQUIRE(!columns_.empty(), "table needs at least one column");
+}
+
+void ConsoleTable::add_row(std::vector<std::string> cells) {
+  BMFUSION_REQUIRE(cells.size() == columns_.size(),
+                   "row width must match column count");
+  rows_.push_back(std::move(cells));
+}
+
+void ConsoleTable::add_numeric_row(const std::vector<double>& values,
+                                   int digits) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (const double v : values) cells.push_back(format_double(v, digits));
+  add_row(std::move(cells));
+}
+
+void ConsoleTable::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) out << "  ";
+      out << std::string(widths[c] - cells[c].size(), ' ') << cells[c];
+    }
+    out << '\n';
+  };
+  print_row(columns_);
+  std::size_t total = 0;
+  for (const std::size_t w : widths) total += w + 2;
+  out << std::string(total >= 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+CsvTable ConsoleTable::to_csv() const {
+  CsvTable table;
+  table.header = columns_;
+  table.rows.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<double> numeric;
+    numeric.reserve(row.size());
+    for (const std::string& cell : row) {
+      double value = 0.0;
+      const auto* begin = cell.data();
+      const auto* end = cell.data() + cell.size();
+      const auto [ptr, ec] = std::from_chars(begin, end, value);
+      if (ec != std::errc{} || ptr != end) {
+        throw DataError("table: non-numeric cell '" + cell +
+                        "' cannot convert to csv");
+      }
+      numeric.push_back(value);
+    }
+    table.rows.push_back(std::move(numeric));
+  }
+  return table;
+}
+
+}  // namespace bmfusion

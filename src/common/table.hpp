@@ -1,0 +1,45 @@
+// Aligned console table printer for the figure-reproduction benches.
+//
+// The benches print the same rows/series the paper's figures report; this
+// class keeps that output readable (fixed-width, right-aligned numerics)
+// and can also emit the table as CSV for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+
+namespace bmfusion {
+
+/// Builds a rectangular text table column-by-column or row-by-row and prints
+/// it with aligned columns. Cells are stored as strings; numeric helpers
+/// format through format_double.
+class ConsoleTable {
+ public:
+  /// Creates a table with the given column names.
+  explicit ConsoleTable(std::vector<std::string> columns);
+
+  /// Appends a fully formatted row. Must match the column count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a numeric row formatted with `digits` significant digits.
+  void add_numeric_row(const std::vector<double>& values, int digits = 5);
+
+  /// Number of body rows.
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Prints the table with a header rule and aligned columns.
+  void print(std::ostream& out) const;
+
+  /// Converts the table body to CSV (numeric cells only; throws DataError if
+  /// a cell does not parse as a double).
+  [[nodiscard]] CsvTable to_csv() const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bmfusion

@@ -1,0 +1,82 @@
+#include "core/bernoulli_bmf.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/contracts.hpp"
+#include "core/cross_validation.hpp"
+#include "stats/special.hpp"
+
+namespace bmfusion::core {
+
+double BetaPosterior::map_estimate() const {
+  BMFUSION_REQUIRE(alpha + beta > 2.0,
+                   "beta map needs alpha + beta > 2 (unimodal posterior)");
+  return (alpha - 1.0) / (alpha + beta - 2.0);
+}
+
+double BetaPosterior::mean() const { return alpha / (alpha + beta); }
+
+BetaPosterior::Interval BetaPosterior::credible_interval(double level) const {
+  BMFUSION_REQUIRE(level > 0.0 && level < 1.0,
+                   "credible level must lie in (0, 1)");
+  const double tail = 0.5 * (1.0 - level);
+  Interval iv;
+  iv.lower = stats::beta_quantile(alpha, beta, tail);
+  iv.upper = stats::beta_quantile(alpha, beta, 1.0 - tail);
+  return iv;
+}
+
+BetaPosterior beta_prior_from_early_yield(double early_yield,
+                                          double concentration) {
+  BMFUSION_REQUIRE(early_yield > 0.0 && early_yield < 1.0,
+                   "early yield must lie strictly inside (0, 1)");
+  BMFUSION_REQUIRE(concentration > 2.0,
+                   "prior concentration must exceed 2 for a modal prior");
+  BetaPosterior prior;
+  prior.alpha = 1.0 + early_yield * (concentration - 2.0);
+  prior.beta = 1.0 + (1.0 - early_yield) * (concentration - 2.0);
+  return prior;
+}
+
+BetaPosterior update_beta(const BetaPosterior& prior, std::size_t passes,
+                          std::size_t total) {
+  BMFUSION_REQUIRE(passes <= total, "passes cannot exceed trials");
+  BetaPosterior post = prior;
+  post.alpha += static_cast<double>(passes);
+  post.beta += static_cast<double>(total - passes);
+  return post;
+}
+
+double beta_bernoulli_log_evidence(const BetaPosterior& prior,
+                                   std::size_t passes, std::size_t total) {
+  BMFUSION_REQUIRE(passes <= total, "passes cannot exceed trials");
+  const BetaPosterior post = update_beta(prior, passes, total);
+  return stats::log_beta(post.alpha, post.beta) -
+         stats::log_beta(prior.alpha, prior.beta);
+}
+
+BernoulliBmfResult estimate_bernoulli_bmf(double early_yield,
+                                          std::size_t passes,
+                                          std::size_t total,
+                                          const BernoulliBmfConfig& config) {
+  BMFUSION_REQUIRE(total >= 1, "bmf-bd needs at least one late-stage trial");
+  BMFUSION_REQUIRE(config.points >= 2, "need at least two grid points");
+
+  BernoulliBmfResult best;
+  best.log_evidence = -std::numeric_limits<double>::infinity();
+  for (const double c : log_spaced(config.concentration_min,
+                                   config.concentration_max, config.points)) {
+    const BetaPosterior prior = beta_prior_from_early_yield(early_yield, c);
+    const double evidence = beta_bernoulli_log_evidence(prior, passes, total);
+    if (evidence > best.log_evidence) {
+      best.log_evidence = evidence;
+      best.concentration = c;
+      best.posterior = update_beta(prior, passes, total);
+    }
+  }
+  best.yield = best.posterior.map_estimate();
+  return best;
+}
+
+}  // namespace bmfusion::core

@@ -1,0 +1,82 @@
+// BMF-BD: Bayesian model fusion on the Bernoulli distribution (ref. [5] of
+// the paper, Fang et al., DAC 2014).
+//
+// The prior-art baseline for *direct* yield estimation: every die is a
+// pass/fail observation, modeled as Bernoulli(y). The early-stage yield
+// estimate anchors a Beta conjugate prior (via its mode, mirroring how the
+// multivariate method anchors the normal-Wishart mode), a handful of
+// late-stage pass/fail results update it, and the MAP of the posterior is
+// the fused yield. The prior concentration — how strongly the early stage
+// is trusted — is selected by maximizing the closed-form Beta-Bernoulli
+// model evidence over a log-spaced grid, the direct analogue of the
+// hyper-parameter search in Section 4.2.
+//
+// Comparing this to the moment-based flow (examples/yield_estimation)
+// shows what the multivariate method adds: BMF-BD only ever learns the
+// one-dimensional yield, not which metrics cause the loss.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/vector.hpp"
+
+namespace bmfusion::core {
+
+/// Beta(alpha, beta) distribution over a yield value.
+struct BetaPosterior {
+  double alpha = 1.0;
+  double beta = 1.0;
+
+  /// Posterior mode (MAP yield); requires alpha + beta > 2.
+  [[nodiscard]] double map_estimate() const;
+
+  /// Posterior mean alpha / (alpha + beta).
+  [[nodiscard]] double mean() const;
+
+  /// Central credible interval [lo, hi] at the given level (e.g. 0.95).
+  struct Interval {
+    double lower = 0.0;
+    double upper = 1.0;
+  };
+  [[nodiscard]] Interval credible_interval(double level) const;
+};
+
+struct BernoulliBmfConfig {
+  /// Prior concentrations (equivalent early sample counts) searched; the
+  /// grid is log-spaced over [min, max] with `points` entries.
+  double concentration_min = 2.5;
+  double concentration_max = 2000.0;
+  std::size_t points = 25;
+};
+
+struct BernoulliBmfResult {
+  double yield = 0.0;           ///< MAP fused yield
+  BetaPosterior posterior;      ///< full posterior over the yield
+  double concentration = 0.0;   ///< selected prior strength
+  double log_evidence = 0.0;    ///< evidence of the selected model
+};
+
+/// Beta prior whose *mode* equals `early_yield` with total concentration
+/// `concentration` (> 2): alpha = 1 + y (c - 2), beta = 1 + (1-y)(c - 2).
+[[nodiscard]] BetaPosterior beta_prior_from_early_yield(double early_yield,
+                                                        double
+                                                            concentration);
+
+/// Conjugate update: `passes` successes out of `total` trials.
+[[nodiscard]] BetaPosterior update_beta(const BetaPosterior& prior,
+                                        std::size_t passes,
+                                        std::size_t total);
+
+/// Closed-form log evidence of the Beta-Bernoulli model:
+/// log p(D) = log B(alpha_n, beta_n) - log B(alpha_0, beta_0).
+[[nodiscard]] double beta_bernoulli_log_evidence(const BetaPosterior& prior,
+                                                 std::size_t passes,
+                                                 std::size_t total);
+
+/// Full BMF-BD flow: evidence-selected concentration, conjugate update,
+/// MAP yield. `early_yield` in (0, 1); `passes <= total`, `total >= 1`.
+[[nodiscard]] BernoulliBmfResult estimate_bernoulli_bmf(
+    double early_yield, std::size_t passes, std::size_t total,
+    const BernoulliBmfConfig& config = {});
+
+}  // namespace bmfusion::core

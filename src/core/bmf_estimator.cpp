@@ -1,0 +1,69 @@
+#include "core/bmf_estimator.hpp"
+
+#include "common/contracts.hpp"
+#include "core/normal_wishart.hpp"
+
+namespace bmfusion::core {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+BmfEstimator::BmfEstimator(EarlyStageKnowledge early, BmfConfig config)
+    : early_(std::move(early)), config_(std::move(config)) {
+  early_.moments.validate();
+  BMFUSION_REQUIRE(early_.nominal.size() == early_.moments.dimension(),
+                   "early nominal must match the moment dimension");
+}
+
+ShiftScale BmfEstimator::late_transform(const Vector& late_nominal) const {
+  return make_stage_transforms(early_.nominal, late_nominal, early_.moments)
+      .late;
+}
+
+GaussianMoments BmfEstimator::fuse_at(const GaussianMoments& early_scaled,
+                                      const Matrix& late_scaled,
+                                      double kappa0, double nu0) {
+  const NormalWishart prior =
+      NormalWishart::from_early_stage(early_scaled, kappa0, nu0);
+  return prior.posterior(late_scaled).map_estimate();
+}
+
+BmfResult BmfEstimator::estimate_scaled(const GaussianMoments& early_scaled,
+                                        const Matrix& late_scaled,
+                                        const CrossValidationConfig& cv) {
+  const CrossValidationResult selected =
+      select_hyperparameters(early_scaled, late_scaled, cv);
+  BmfResult result;
+  result.kappa0 = selected.kappa0;
+  result.nu0 = selected.nu0;
+  result.cv_score = selected.best_score;
+  result.scaled_moments =
+      fuse_at(early_scaled, late_scaled, selected.kappa0, selected.nu0);
+  result.moments = result.scaled_moments;  // identical when no transform
+  return result;
+}
+
+BmfResult BmfEstimator::estimate(const Matrix& late_samples,
+                                 const Vector& late_nominal) const {
+  BMFUSION_REQUIRE(late_samples.cols() == early_.moments.dimension(),
+                   "late samples must match the early-stage dimension");
+  BMFUSION_REQUIRE(late_samples.rows() >= 2,
+                   "bmf estimation needs >= 2 late-stage samples");
+
+  if (!config_.apply_shift_scale) {
+    BmfResult result =
+        estimate_scaled(early_.moments, late_samples, config_.cv);
+    return result;
+  }
+
+  const StageTransforms transforms =
+      make_stage_transforms(early_.nominal, late_nominal, early_.moments);
+  const GaussianMoments early_scaled = transforms.early.apply(early_.moments);
+  const Matrix late_scaled = transforms.late.apply(late_samples);
+
+  BmfResult result = estimate_scaled(early_scaled, late_scaled, config_.cv);
+  result.moments = transforms.late.invert(result.scaled_moments);
+  return result;
+}
+
+}  // namespace bmfusion::core

@@ -1,0 +1,164 @@
+#include "core/cross_validation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/contracts.hpp"
+#include "core/normal_wishart.hpp"
+#include "stats/mvn.hpp"
+
+namespace bmfusion::core {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+std::vector<double> log_spaced(double lo, double hi, std::size_t points) {
+  BMFUSION_REQUIRE(lo > 0.0 && hi > lo, "log grid needs 0 < lo < hi");
+  BMFUSION_REQUIRE(points >= 2, "log grid needs >= 2 points");
+  std::vector<double> grid(points);
+  const double log_lo = std::log(lo);
+  const double log_hi = std::log(hi);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(points - 1);
+    grid[i] = std::exp(log_lo + t * (log_hi - log_lo));
+  }
+  return grid;
+}
+
+namespace {
+
+/// Extracts the rows of `samples` whose fold id (round-robin) matches /
+/// differs from `fold`.
+Matrix fold_rows(const Matrix& samples, std::size_t folds, std::size_t fold,
+                 bool training) {
+  std::vector<std::size_t> keep;
+  for (std::size_t i = 0; i < samples.rows(); ++i) {
+    const bool in_test = (i % folds) == fold;
+    if (in_test != training) keep.push_back(i);
+  }
+  Matrix out(keep.size(), samples.cols());
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    out.set_row(i, samples.row(keep[i]));
+  }
+  return out;
+}
+
+}  // namespace
+
+CrossValidationResult select_hyperparameters(
+    const GaussianMoments& early_scaled, const Matrix& late_scaled,
+    const CrossValidationConfig& config) {
+  early_scaled.validate();
+  BMFUSION_REQUIRE(late_scaled.cols() == early_scaled.dimension(),
+                   "late samples must match the early-stage dimension");
+  BMFUSION_REQUIRE(late_scaled.rows() >= 2,
+                   "cross validation needs >= 2 late-stage samples");
+  BMFUSION_REQUIRE(config.folds >= 2, "cross validation needs >= 2 folds");
+
+  const std::size_t folds = std::min(config.folds, late_scaled.rows());
+  const double d = static_cast<double>(early_scaled.dimension());
+  const std::vector<double> kappas =
+      log_spaced(config.kappa_min, config.kappa_max, config.kappa_points);
+  const std::vector<double> nu_offsets = log_spaced(
+      config.nu_offset_min, config.nu_offset_max, config.nu_points);
+
+  CrossValidationResult result;
+  result.best_score = -std::numeric_limits<double>::infinity();
+  result.table.reserve(kappas.size() * nu_offsets.size());
+
+  // Pre-split folds once; identical for every grid point, as in Fig. 2(b).
+  std::vector<Matrix> train_sets;
+  std::vector<Matrix> test_sets;
+  train_sets.reserve(folds);
+  test_sets.reserve(folds);
+  for (std::size_t q = 0; q < folds; ++q) {
+    train_sets.push_back(fold_rows(late_scaled, folds, q, /*training=*/true));
+    test_sets.push_back(fold_rows(late_scaled, folds, q, /*training=*/false));
+  }
+
+  for (const double kappa0 : kappas) {
+    for (const double nu_offset : nu_offsets) {
+      const double nu0 = d + nu_offset;
+      const NormalWishart prior =
+          NormalWishart::from_early_stage(early_scaled, kappa0, nu0);
+      double total_loglik = 0.0;
+      std::size_t total_count = 0;
+      bool valid = true;
+      for (std::size_t q = 0; q < folds && valid; ++q) {
+        if (train_sets[q].rows() == 0 || test_sets[q].rows() == 0) continue;
+        try {
+          const GaussianMoments map =
+              prior.posterior(train_sets[q]).map_estimate();
+          const stats::MultivariateNormal mvn(map.mean, map.covariance);
+          total_loglik += mvn.log_likelihood(test_sets[q]);
+          total_count += test_sets[q].rows();
+        } catch (const NumericError&) {
+          valid = false;  // degenerate fit: disqualify this grid point
+        }
+      }
+      GridScore gs;
+      gs.kappa0 = kappa0;
+      gs.nu0 = nu0;
+      gs.score = (valid && total_count > 0)
+                     ? total_loglik / static_cast<double>(total_count)
+                     : -std::numeric_limits<double>::infinity();
+      if (gs.score > result.best_score) {
+        result.best_score = gs.score;
+        result.kappa0 = kappa0;
+        result.nu0 = nu0;
+      }
+      result.table.push_back(gs);
+    }
+  }
+  BMFUSION_REQUIRE(std::isfinite(result.best_score),
+                   "cross validation found no valid hyper-parameters");
+  return result;
+}
+
+CrossValidationResult select_hyperparameters_evidence(
+    const GaussianMoments& early_scaled, const Matrix& late_scaled,
+    const CrossValidationConfig& config) {
+  early_scaled.validate();
+  BMFUSION_REQUIRE(late_scaled.cols() == early_scaled.dimension(),
+                   "late samples must match the early-stage dimension");
+  BMFUSION_REQUIRE(late_scaled.rows() >= 1,
+                   "evidence selection needs >= 1 late-stage sample");
+
+  const double d = static_cast<double>(early_scaled.dimension());
+  const double n = static_cast<double>(late_scaled.rows());
+  const std::vector<double> kappas =
+      log_spaced(config.kappa_min, config.kappa_max, config.kappa_points);
+  const std::vector<double> nu_offsets = log_spaced(
+      config.nu_offset_min, config.nu_offset_max, config.nu_points);
+
+  CrossValidationResult result;
+  result.best_score = -std::numeric_limits<double>::infinity();
+  result.table.reserve(kappas.size() * nu_offsets.size());
+  for (const double kappa0 : kappas) {
+    for (const double nu_offset : nu_offsets) {
+      const double nu0 = d + nu_offset;
+      GridScore gs;
+      gs.kappa0 = kappa0;
+      gs.nu0 = nu0;
+      try {
+        const NormalWishart prior =
+            NormalWishart::from_early_stage(early_scaled, kappa0, nu0);
+        gs.score = prior.log_marginal_likelihood(late_scaled) / n;
+      } catch (const NumericError&) {
+        gs.score = -std::numeric_limits<double>::infinity();
+      }
+      if (gs.score > result.best_score) {
+        result.best_score = gs.score;
+        result.kappa0 = kappa0;
+        result.nu0 = nu0;
+      }
+      result.table.push_back(gs);
+    }
+  }
+  BMFUSION_REQUIRE(std::isfinite(result.best_score),
+                   "evidence selection found no valid hyper-parameters");
+  return result;
+}
+
+}  // namespace bmfusion::core

@@ -1,0 +1,89 @@
+// Repeated-run moment-estimation experiment — the machinery behind the
+// paper's Figures 4 and 5.
+//
+// Given full early- and late-stage Monte-Carlo populations plus the two
+// nominal runs, the harness:
+//   1. builds the Section 4.1 transforms and moves everything to scaled
+//      space (the paper computes its errors there),
+//   2. treats the full late population's moments as "exact",
+//   3. for each sample size n and repetition r, draws n late samples
+//      without replacement, runs MLE and BMF (optionally univariate BMF),
+//      and records the eq. 37/38 errors,
+//   4. averages errors over repetitions per sample size.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/dataset.hpp"
+#include "core/bmf_estimator.hpp"
+#include "core/moments.hpp"
+
+namespace bmfusion::core {
+
+struct ExperimentConfig {
+  std::vector<std::size_t> sample_sizes{8, 16, 32, 64, 128, 256, 512};
+  std::size_t repetitions = 100;  ///< paper: "100 repeated runs"
+  std::uint64_t seed = 2015;
+  CrossValidationConfig cv;
+  bool include_univariate = false;  ///< also run the per-metric baseline
+  std::size_t threads = 0;          ///< parallelism over repetitions
+};
+
+/// Averaged errors at one sample size (with standard errors of the means
+/// over the repetition set, for error bars).
+struct ExperimentRow {
+  std::size_t n = 0;
+  double mle_mean_error = 0.0;
+  double mle_cov_error = 0.0;
+  double bmf_mean_error = 0.0;
+  double bmf_cov_error = 0.0;
+  double mle_mean_stderr = 0.0;
+  double mle_cov_stderr = 0.0;
+  double bmf_mean_stderr = 0.0;
+  double bmf_cov_stderr = 0.0;
+  double uni_mean_error = 0.0;  ///< NaN when univariate disabled
+  double uni_cov_error = 0.0;   ///< NaN when univariate disabled
+  double median_kappa0 = 0.0;   ///< median selected hyper-parameter
+  double median_nu0 = 0.0;
+};
+
+struct ExperimentResult {
+  std::vector<ExperimentRow> rows;
+  GaussianMoments exact_scaled;   ///< ground-truth late moments (scaled)
+  GaussianMoments early_scaled;   ///< prior knowledge (scaled)
+};
+
+/// Cost-reduction factor for one BMF row: how many MLE samples reach the
+/// same error as BMF does with `row.n` samples (log-log interpolation along
+/// the MLE curve; extrapolates at the ends). `use_cov` selects the
+/// covariance (true) or mean (false) error curve.
+[[nodiscard]] double cost_reduction_factor(
+    const std::vector<ExperimentRow>& rows, std::size_t n, bool use_cov);
+
+/// The experiment itself, bound to one early/late dataset pair.
+class MomentExperiment {
+ public:
+  MomentExperiment(circuit::Dataset early, linalg::Vector early_nominal,
+                   circuit::Dataset late, linalg::Vector late_nominal);
+
+  [[nodiscard]] ExperimentResult run(const ExperimentConfig& config) const;
+
+  /// Scaled late-stage population (for diagnostics/tests).
+  [[nodiscard]] const linalg::Matrix& late_scaled() const {
+    return late_scaled_;
+  }
+  [[nodiscard]] const GaussianMoments& exact_scaled() const {
+    return exact_scaled_;
+  }
+  [[nodiscard]] const GaussianMoments& early_scaled() const {
+    return early_scaled_;
+  }
+
+ private:
+  linalg::Matrix late_scaled_;
+  GaussianMoments early_scaled_;
+  GaussianMoments exact_scaled_;
+};
+
+}  // namespace bmfusion::core

@@ -1,0 +1,94 @@
+#include "core/higher_moments.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "stats/moments.hpp"
+#include "stats/special.hpp"
+
+namespace bmfusion::core {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+HigherMoments estimate_higher_moments(const Matrix& samples) {
+  BMFUSION_REQUIRE(samples.rows() >= 4,
+                   "higher moments need at least 4 samples");
+  const std::size_t n = samples.rows();
+  const std::size_t d = samples.cols();
+  const Vector mean = stats::sample_mean(samples);
+
+  HigherMoments hm;
+  hm.skewness = Vector(d);
+  hm.excess_kurtosis = Vector(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    double m2 = 0.0, m3 = 0.0, m4 = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double c = samples(i, j) - mean[j];
+      const double c2 = c * c;
+      m2 += c2;
+      m3 += c2 * c;
+      m4 += c2 * c2;
+    }
+    const double inv_n = 1.0 / static_cast<double>(n);
+    m2 *= inv_n;
+    m3 *= inv_n;
+    m4 *= inv_n;
+    BMFUSION_REQUIRE(m2 > 0.0, "degenerate (constant) metric column");
+    hm.skewness[j] = m3 / std::pow(m2, 1.5);
+    hm.excess_kurtosis[j] = m4 / (m2 * m2) - 3.0;
+  }
+  return hm;
+}
+
+namespace {
+
+/// Cornish-Fisher z-adjustment: maps a Gaussian quantile z to the
+/// standardized quantile of the skewed/kurtotic distribution.
+double cf_adjust(double z, double skew, double ex_kurt) {
+  const double z2 = z * z;
+  return z + skew * (z2 - 1.0) / 6.0 +
+         ex_kurt * z * (z2 - 3.0) / 24.0 -
+         skew * skew * z * (2.0 * z2 - 5.0) / 36.0;
+}
+
+}  // namespace
+
+double cornish_fisher_quantile(double mean, double stddev, double skewness,
+                               double excess_kurtosis, double p) {
+  BMFUSION_REQUIRE(stddev > 0.0, "quantile needs a positive stddev");
+  const double z = stats::standard_normal_quantile(p);
+  return mean + stddev * cf_adjust(z, skewness, excess_kurtosis);
+}
+
+double cornish_fisher_yield(double mean, double stddev, double skewness,
+                            double excess_kurtosis, double upper_spec) {
+  BMFUSION_REQUIRE(stddev > 0.0, "yield needs a positive stddev");
+  const double target = (upper_spec - mean) / stddev;
+
+  // The CF polynomial is only monotone on a central interval; outside it
+  // the expansion is invalid anyway. Find the monotone bracket around 0 by
+  // scanning, then bisect inside it.
+  const auto f = [&](double z) {
+    return cf_adjust(z, skewness, excess_kurtosis);
+  };
+  double lo = 0.0;
+  double hi = 0.0;
+  constexpr double kScanStep = 0.01;
+  while (hi < 12.0 && f(hi + kScanStep) > f(hi)) hi += kScanStep;
+  while (lo > -12.0 && f(lo - kScanStep) < f(lo)) lo -= kScanStep;
+
+  if (target <= f(lo)) return stats::standard_normal_cdf(lo);
+  if (target >= f(hi)) return stats::standard_normal_cdf(hi);
+  for (int i = 0; i < 80; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (f(mid) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return stats::standard_normal_cdf(0.5 * (lo + hi));
+}
+
+}  // namespace bmfusion::core

@@ -1,0 +1,44 @@
+// Higher-order moment estimation and non-Gaussian quantile correction.
+//
+// The paper restricts itself to the first two moments and names
+// "estimating and matching the high-order moments" as future work
+// (Section 1). This module provides that extension's building blocks:
+// per-metric standardized skewness / excess kurtosis, and Cornish-Fisher
+// quantiles that correct Gaussian spec margins for the measured asymmetry
+// — e.g. for the mildly non-Gaussian ADC spectral metrics.
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace bmfusion::core {
+
+/// Sample higher moments of each column of a sample matrix.
+struct HigherMoments {
+  linalg::Vector skewness;         ///< standardized third central moment
+  linalg::Vector excess_kurtosis;  ///< standardized fourth minus 3
+};
+
+/// Estimates per-metric skewness and excess kurtosis from the rows of
+/// `samples` (biased, moment-definition estimators; needs >= 4 samples and
+/// non-degenerate columns).
+[[nodiscard]] HigherMoments estimate_higher_moments(
+    const linalg::Matrix& samples);
+
+/// Cornish-Fisher expansion: the p-quantile of a distribution with the
+/// given mean/stddev/skewness/excess-kurtosis. With skew = kurt = 0 it
+/// reduces to the Gaussian quantile. Requires stddev > 0 and p in (0, 1).
+[[nodiscard]] double cornish_fisher_quantile(double mean, double stddev,
+                                             double skewness,
+                                             double excess_kurtosis,
+                                             double p);
+
+/// One-sided yield P(x <= upper_spec) under the Cornish-Fisher model:
+/// inverts the quantile correction to map the spec back to a Gaussian
+/// z-value (monotone bisection), then applies Phi.
+[[nodiscard]] double cornish_fisher_yield(double mean, double stddev,
+                                          double skewness,
+                                          double excess_kurtosis,
+                                          double upper_spec);
+
+}  // namespace bmfusion::core

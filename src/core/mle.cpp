@@ -1,0 +1,16 @@
+#include "core/mle.hpp"
+
+#include "common/contracts.hpp"
+#include "stats/moments.hpp"
+
+namespace bmfusion::core {
+
+GaussianMoments estimate_mle(const linalg::Matrix& samples) {
+  BMFUSION_REQUIRE(samples.rows() >= 1, "mle needs at least one sample");
+  GaussianMoments moments;
+  moments.mean = stats::sample_mean(samples);
+  moments.covariance = stats::sample_covariance_mle(samples);
+  return moments;
+}
+
+}  // namespace bmfusion::core

@@ -1,0 +1,16 @@
+// Maximum-likelihood moment estimation — the paper's baseline (eqs. 10-11).
+#pragma once
+
+#include "core/moments.hpp"
+#include "linalg/matrix.hpp"
+
+namespace bmfusion::core {
+
+/// MLE of the mean vector and covariance matrix from the rows of `samples`
+/// (paper eqs. 10 and 11, the 1/n covariance normalization). The covariance
+/// of fewer samples than dimensions is rank deficient; this function still
+/// returns it (callers that need SPD must regularize), matching what the
+/// paper's baseline would compute.
+[[nodiscard]] GaussianMoments estimate_mle(const linalg::Matrix& samples);
+
+}  // namespace bmfusion::core

@@ -1,0 +1,43 @@
+#include "core/moments.hpp"
+
+#include "common/contracts.hpp"
+#include "stats/mvn.hpp"
+
+namespace bmfusion::core {
+
+void GaussianMoments::validate() const {
+  BMFUSION_REQUIRE(mean.size() >= 1, "moments need dimension >= 1");
+  BMFUSION_REQUIRE(covariance.rows() == mean.size() &&
+                       covariance.cols() == mean.size(),
+                   "covariance shape must match mean dimension");
+  BMFUSION_REQUIRE(covariance.is_symmetric(1e-9),
+                   "covariance must be symmetric");
+  BMFUSION_REQUIRE(mean.is_finite() && covariance.is_finite(),
+                   "moments must be finite");
+  if (!linalg::Cholesky::is_positive_definite(covariance)) {
+    throw NumericError("moments: covariance is not positive definite");
+  }
+}
+
+double log_likelihood(const GaussianMoments& moments,
+                      const linalg::Matrix& samples) {
+  const stats::MultivariateNormal mvn(moments.mean, moments.covariance);
+  return mvn.log_likelihood(samples);
+}
+
+double mean_error(const linalg::Vector& estimated,
+                  const linalg::Vector& exact) {
+  BMFUSION_REQUIRE(estimated.size() == exact.size(),
+                   "mean error dimension mismatch");
+  return (estimated - exact).norm2();
+}
+
+double covariance_error(const linalg::Matrix& estimated,
+                        const linalg::Matrix& exact) {
+  BMFUSION_REQUIRE(estimated.rows() == exact.rows() &&
+                       estimated.cols() == exact.cols(),
+                   "covariance error shape mismatch");
+  return (estimated - exact).norm_frobenius();
+}
+
+}  // namespace bmfusion::core

@@ -1,0 +1,37 @@
+// First two multivariate moments: the quantity the whole paper estimates.
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace bmfusion::core {
+
+/// Mean vector + covariance matrix of a d-dimensional Gaussian model
+/// (paper eqs. 5-7).
+struct GaussianMoments {
+  linalg::Vector mean;
+  linalg::Matrix covariance;
+
+  [[nodiscard]] std::size_t dimension() const { return mean.size(); }
+
+  /// Throws ContractError when shapes mismatch or the covariance is not
+  /// symmetric; NumericError when it is not positive definite.
+  void validate() const;
+};
+
+/// Gaussian log-likelihood of the rows of `samples` under `moments` — the
+/// log of the paper's likelihood function eq. (9). Used as the
+/// cross-validation score.
+[[nodiscard]] double log_likelihood(const GaussianMoments& moments,
+                                    const linalg::Matrix& samples);
+
+/// Estimation error of a mean vector, ||est - exact||_2 (paper eq. 37).
+[[nodiscard]] double mean_error(const linalg::Vector& estimated,
+                                const linalg::Vector& exact);
+
+/// Estimation error of a covariance matrix, ||est - exact||_F (paper
+/// eq. 38).
+[[nodiscard]] double covariance_error(const linalg::Matrix& estimated,
+                                      const linalg::Matrix& exact);
+
+}  // namespace bmfusion::core

@@ -1,0 +1,154 @@
+#include "core/pdf_bmf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/contracts.hpp"
+#include "core/cross_validation.hpp"
+
+namespace bmfusion::core {
+
+HistogramPdf::HistogramPdf(double lo, double hi,
+                           std::vector<double> probabilities)
+    : lo_(lo), hi_(hi), prob_(std::move(probabilities)) {
+  BMFUSION_REQUIRE(hi_ > lo_, "histogram needs hi > lo");
+  BMFUSION_REQUIRE(prob_.size() >= 2, "histogram needs >= 2 bins");
+  double total = 0.0;
+  for (const double p : prob_) {
+    BMFUSION_REQUIRE(p >= 0.0, "bin probabilities must be non-negative");
+    total += p;
+  }
+  BMFUSION_REQUIRE(total > 0.0, "histogram has no mass");
+  for (double& p : prob_) p /= total;
+}
+
+std::size_t HistogramPdf::bin_of(double x) const {
+  const double t = (x - lo_) / (hi_ - lo_) * static_cast<double>(prob_.size());
+  const double clamped =
+      std::clamp(t, 0.0, static_cast<double>(prob_.size()) - 1.0);
+  return static_cast<std::size_t>(clamped);
+}
+
+double HistogramPdf::pdf(double x) const {
+  if (x < lo_ || x >= hi_) return 0.0;
+  return prob_[bin_of(x)] / bin_width();
+}
+
+double HistogramPdf::cdf(double x) const {
+  if (x <= lo_) return 0.0;
+  if (x >= hi_) return 1.0;
+  const std::size_t k = bin_of(x);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < k; ++i) acc += prob_[i];
+  const double within = (x - (lo_ + bin_width() * static_cast<double>(k))) /
+                        bin_width();
+  return acc + prob_[k] * within;
+}
+
+double HistogramPdf::mean() const {
+  double acc = 0.0;
+  for (std::size_t k = 0; k < prob_.size(); ++k) {
+    const double mid = lo_ + bin_width() * (static_cast<double>(k) + 0.5);
+    acc += prob_[k] * mid;
+  }
+  return acc;
+}
+
+double HistogramPdf::stddev() const {
+  const double m = mean();
+  double acc = 0.0;
+  for (std::size_t k = 0; k < prob_.size(); ++k) {
+    const double mid = lo_ + bin_width() * (static_cast<double>(k) + 0.5);
+    acc += prob_[k] * (mid - m) * (mid - m);
+  }
+  return std::sqrt(acc);
+}
+
+double dirichlet_multinomial_log_evidence(const std::vector<double>& alpha,
+                                          const std::vector<double>& counts) {
+  BMFUSION_REQUIRE(alpha.size() == counts.size() && !alpha.empty(),
+                   "alpha/count size mismatch");
+  double a_sum = 0.0;
+  double n_sum = 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < alpha.size(); ++i) {
+    BMFUSION_REQUIRE(alpha[i] > 0.0, "dirichlet alpha must be positive");
+    BMFUSION_REQUIRE(counts[i] >= 0.0, "counts must be non-negative");
+    acc += std::lgamma(alpha[i] + counts[i]) - std::lgamma(alpha[i]);
+    a_sum += alpha[i];
+    n_sum += counts[i];
+  }
+  return acc + std::lgamma(a_sum) - std::lgamma(a_sum + n_sum);
+}
+
+PdfBmfResult estimate_pdf_bmf(const std::vector<double>& early_samples,
+                              const std::vector<double>& late_samples,
+                              const PdfBmfConfig& config) {
+  BMFUSION_REQUIRE(early_samples.size() >= 10,
+                   "pdf fusion needs >= 10 early samples");
+  BMFUSION_REQUIRE(!late_samples.empty(), "pdf fusion needs late samples");
+  BMFUSION_REQUIRE(config.bins >= 4, "pdf fusion needs >= 4 bins");
+
+  // Bin range: both sample sets plus a 5% margin on each side.
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -lo;
+  for (const double x : early_samples) {
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  }
+  for (const double x : late_samples) {
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  }
+  BMFUSION_REQUIRE(hi > lo, "all samples identical: no density to estimate");
+  const double margin = 0.05 * (hi - lo);
+  lo -= margin;
+  hi += margin;
+
+  const auto histogram_of = [&](const std::vector<double>& samples) {
+    std::vector<double> counts(config.bins, 0.0);
+    const HistogramPdf grid(lo, hi, std::vector<double>(config.bins, 1.0));
+    for (const double x : samples) counts[grid.bin_of(x)] += 1.0;
+    return counts;
+  };
+  const std::vector<double> early_counts = histogram_of(early_samples);
+  const std::vector<double> late_counts = histogram_of(late_samples);
+
+  // Smoothed early-stage shape: the prior base measure.
+  std::vector<double> early_shape(config.bins);
+  double shape_total = 0.0;
+  for (std::size_t k = 0; k < config.bins; ++k) {
+    early_shape[k] = early_counts[k] + config.smoothing;
+    shape_total += early_shape[k];
+  }
+  for (double& s : early_shape) s /= shape_total;
+
+  // Evidence-selected concentration (prior pseudo-count total).
+  PdfBmfResult best{
+      HistogramPdf(lo, hi, std::vector<double>(config.bins, 1.0)), 0.0,
+      -std::numeric_limits<double>::infinity()};
+  for (const double c :
+       log_spaced(config.concentration_min, config.concentration_max,
+                  config.concentration_points)) {
+    std::vector<double> alpha(config.bins);
+    for (std::size_t k = 0; k < config.bins; ++k) {
+      alpha[k] = c * early_shape[k];
+    }
+    const double evidence =
+        dirichlet_multinomial_log_evidence(alpha, late_counts) /
+        static_cast<double>(late_samples.size());
+    if (evidence > best.log_evidence) {
+      std::vector<double> posterior(config.bins);
+      for (std::size_t k = 0; k < config.bins; ++k) {
+        posterior[k] = alpha[k] + late_counts[k];  // Dirichlet posterior
+      }
+      best.pdf = HistogramPdf(lo, hi, std::move(posterior));  // post. mean
+      best.concentration = c;
+      best.log_evidence = evidence;
+    }
+  }
+  return best;
+}
+
+}  // namespace bmfusion::core

@@ -1,0 +1,36 @@
+// Validation report generator.
+//
+// Renders one BMF estimation run as the report a validation engineer would
+// file: per-metric fused moments with credible intervals, the correlation
+// matrix, the selected hyper-parameters with their interpretation, optional
+// spec-box yield, and Gaussianity diagnostics.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/bmf_estimator.hpp"
+#include "core/yield.hpp"
+#include "linalg/matrix.hpp"
+
+namespace bmfusion::core {
+
+struct ReportInput {
+  std::vector<std::string> metric_names;
+  BmfResult result;                  ///< from BmfEstimator::estimate
+  linalg::Matrix late_samples;       ///< the raw late-stage samples used
+  std::size_t early_sample_count = 0;
+  std::optional<SpecBox> specs;      ///< enables the yield section
+  std::uint64_t yield_seed = 1;      ///< MC seed for the yield section
+};
+
+/// Writes the formatted report to `out`. Throws ContractError when the
+/// metric names do not match the result's dimension.
+void write_validation_report(std::ostream& out, const ReportInput& input);
+
+/// Convenience: report as a string.
+[[nodiscard]] std::string validation_report(const ReportInput& input);
+
+}  // namespace bmfusion::core

@@ -1,0 +1,38 @@
+#include "core/sequential.hpp"
+
+#include "common/contracts.hpp"
+
+namespace bmfusion::core {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+SequentialFusion::SequentialFusion(NormalWishart prior)
+    : state_(std::move(prior)) {}
+
+void SequentialFusion::observe(const Vector& sample) {
+  BMFUSION_REQUIRE(sample.size() == state_.dimension(),
+                   "sample dimension mismatch");
+  Matrix one(1, sample.size());
+  one.set_row(0, sample);
+  state_ = state_.posterior(one);
+  ++count_;
+}
+
+void SequentialFusion::observe(const Matrix& samples) {
+  BMFUSION_REQUIRE(samples.cols() == state_.dimension(),
+                   "sample dimension mismatch");
+  if (samples.rows() == 0) return;
+  state_ = state_.posterior(samples);
+  count_ += samples.rows();
+}
+
+GaussianMoments SequentialFusion::current_estimate() const {
+  return state_.map_estimate();
+}
+
+double SequentialFusion::predictive_log_pdf(const Vector& x) const {
+  return NormalWishart::student_t_log_pdf(state_.posterior_predictive(), x);
+}
+
+}  // namespace bmfusion::core

@@ -1,0 +1,50 @@
+// Streaming (sample-at-a-time) Bayesian model fusion.
+//
+// Conjugacy makes the posterior after each new late-stage sample another
+// normal-Wishart, so validation can be monitored live: after every silicon
+// measurement the current MAP moments (and the predictive density) are
+// available in O(d^3). A practical extension beyond the paper's batch
+// formulation — useful when each measurement takes hours and one wants to
+// stop as soon as the estimate stabilizes.
+#pragma once
+
+#include "core/moments.hpp"
+#include "core/normal_wishart.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace bmfusion::core {
+
+/// Accumulates late-stage samples into a normal-Wishart posterior.
+class SequentialFusion {
+ public:
+  /// Starts from a (typically early-stage-anchored) prior.
+  explicit SequentialFusion(NormalWishart prior);
+
+  /// Folds in one sample (dimension must match).
+  void observe(const linalg::Vector& sample);
+
+  /// Folds in a batch of samples (rows).
+  void observe(const linalg::Matrix& samples);
+
+  /// Number of samples observed so far.
+  [[nodiscard]] std::size_t observed_count() const { return count_; }
+
+  /// The current posterior distribution.
+  [[nodiscard]] const NormalWishart& posterior() const { return state_; }
+
+  /// Current MAP moment estimate (paper eqs. 29-32 applied to the running
+  /// posterior). Valid from zero observations (then: the prior mode).
+  [[nodiscard]] GaussianMoments current_estimate() const;
+
+  /// Predictive log-density of a would-be next sample under the current
+  /// posterior (multivariate Student-t). Useful as an online outlier score
+  /// for incoming measurements.
+  [[nodiscard]] double predictive_log_pdf(const linalg::Vector& x) const;
+
+ private:
+  NormalWishart state_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace bmfusion::core

@@ -1,0 +1,136 @@
+#include "core/serialization.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/contracts.hpp"
+#include "common/strings.hpp"
+
+namespace bmfusion::core {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+namespace {
+
+constexpr const char* kMagic = "bmfusion-moments v1";
+
+std::vector<std::string> read_tokens(std::istream& in,
+                                     const std::string& expected_tag) {
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string_view t = trim(line);
+    if (t.empty() || t.front() == '#') continue;
+    std::istringstream is{std::string(t)};
+    std::string tag;
+    is >> tag;
+    if (tag != expected_tag) {
+      throw DataError("knowledge file: expected '" + expected_tag +
+                      "', got '" + tag + "'");
+    }
+    std::vector<std::string> tokens;
+    std::string tok;
+    while (is >> tok) tokens.push_back(tok);
+    return tokens;
+  }
+  throw DataError("knowledge file: missing '" + expected_tag + "' line");
+}
+
+double parse_number(const std::string& token) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(token, &pos);
+    if (pos != token.size()) throw std::invalid_argument(token);
+    return v;
+  } catch (const std::exception&) {
+    throw DataError("knowledge file: bad number '" + token + "'");
+  }
+}
+
+}  // namespace
+
+void write_knowledge(std::ostream& out, const NamedKnowledge& nk) {
+  const std::size_t d = nk.knowledge.moments.dimension();
+  BMFUSION_REQUIRE(nk.metric_names.size() == d,
+                   "metric names must match the moment dimension");
+  nk.knowledge.moments.validate();
+  BMFUSION_REQUIRE(nk.knowledge.nominal.size() == d,
+                   "nominal must match the moment dimension");
+
+  out << kMagic << '\n';
+  out << "# early-stage knowledge hand-off (see core/serialization.hpp)\n";
+  out << "metrics " << join(nk.metric_names, " ") << '\n';
+  const auto write_vector = [&](const char* tag, const Vector& v) {
+    out << tag;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      out << ' ' << format_double(v[i], 17);
+    }
+    out << '\n';
+  };
+  write_vector("nominal", nk.knowledge.nominal);
+  write_vector("mean", nk.knowledge.moments.mean);
+  for (std::size_t r = 0; r < d; ++r) {
+    out << "cov";
+    for (std::size_t c = 0; c < d; ++c) {
+      out << ' ' << format_double(nk.knowledge.moments.covariance(r, c), 17);
+    }
+    out << '\n';
+  }
+}
+
+void write_knowledge_file(const std::string& path,
+                          const NamedKnowledge& knowledge) {
+  std::ofstream out(path);
+  if (!out) throw DataError("knowledge file: cannot open for writing: " +
+                            path);
+  write_knowledge(out, knowledge);
+}
+
+NamedKnowledge read_knowledge(std::istream& in) {
+  std::string line;
+  // Magic line (skipping blank/comment lines).
+  while (std::getline(in, line)) {
+    const std::string_view t = trim(line);
+    if (t.empty() || t.front() == '#') continue;
+    if (t != kMagic) {
+      throw DataError("knowledge file: bad header '" + std::string(t) + "'");
+    }
+    break;
+  }
+
+  NamedKnowledge nk;
+  nk.metric_names = read_tokens(in, "metrics");
+  if (nk.metric_names.empty()) {
+    throw DataError("knowledge file: no metric names");
+  }
+  const std::size_t d = nk.metric_names.size();
+
+  const auto to_vector = [&](const std::vector<std::string>& tokens,
+                             const char* what) {
+    if (tokens.size() != d) {
+      throw DataError(std::string("knowledge file: ") + what +
+                      " has wrong width");
+    }
+    Vector v(d);
+    for (std::size_t i = 0; i < d; ++i) v[i] = parse_number(tokens[i]);
+    return v;
+  };
+  nk.knowledge.nominal = to_vector(read_tokens(in, "nominal"), "nominal");
+  nk.knowledge.moments.mean = to_vector(read_tokens(in, "mean"), "mean");
+  nk.knowledge.moments.covariance = Matrix(d, d);
+  for (std::size_t r = 0; r < d; ++r) {
+    const Vector row = to_vector(read_tokens(in, "cov"), "cov row");
+    nk.knowledge.moments.covariance.set_row(r, row);
+  }
+  nk.knowledge.moments.validate();  // throws on asymmetry / non-SPD
+  return nk;
+}
+
+NamedKnowledge read_knowledge_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw DataError("knowledge file: cannot open for reading: " +
+                           path);
+  return read_knowledge(in);
+}
+
+}  // namespace bmfusion::core

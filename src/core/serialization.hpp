@@ -1,0 +1,42 @@
+// Persistence of early-stage knowledge.
+//
+// In a real flow the early-stage (schematic) team runs its Monte Carlo once
+// and hands the result to every later validation step; this module defines
+// that hand-off artifact: a single self-describing text file carrying the
+// metric names, nominal vector, mean vector and covariance matrix.
+//
+// Format (line-oriented, '#' comments, locale-independent):
+//   bmfusion-moments v1
+//   metrics <name1> <name2> ...
+//   nominal <d values>
+//   mean    <d values>
+//   cov     <d lines of d values>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/bmf_estimator.hpp"
+#include "core/moments.hpp"
+
+namespace bmfusion::core {
+
+/// Early-stage knowledge plus the metric names it applies to.
+struct NamedKnowledge {
+  std::vector<std::string> metric_names;
+  EarlyStageKnowledge knowledge;
+};
+
+/// Writes the hand-off file. Values use 17 significant digits so the
+/// moments round-trip exactly.
+void write_knowledge(std::ostream& out, const NamedKnowledge& knowledge);
+void write_knowledge_file(const std::string& path,
+                          const NamedKnowledge& knowledge);
+
+/// Parses the hand-off file. Throws DataError on malformed input and
+/// validates the covariance (symmetry + positive definiteness).
+[[nodiscard]] NamedKnowledge read_knowledge(std::istream& in);
+[[nodiscard]] NamedKnowledge read_knowledge_file(const std::string& path);
+
+}  // namespace bmfusion::core

@@ -1,0 +1,98 @@
+#include "core/shift_scale.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace bmfusion::core {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+ShiftScale::ShiftScale(Vector shift, Vector scale)
+    : shift_(std::move(shift)), scale_(std::move(scale)) {
+  BMFUSION_REQUIRE(shift_.size() == scale_.size(),
+                   "shift/scale size mismatch");
+  BMFUSION_REQUIRE(shift_.size() >= 1, "transform needs dimension >= 1");
+  for (std::size_t i = 0; i < scale_.size(); ++i) {
+    BMFUSION_REQUIRE(scale_[i] > 0.0 && std::isfinite(scale_[i]),
+                     "scale entries must be positive and finite");
+  }
+}
+
+Vector ShiftScale::apply(const Vector& x) const {
+  BMFUSION_REQUIRE(x.size() == dimension(), "transform dimension mismatch");
+  Vector y(dimension());
+  for (std::size_t i = 0; i < dimension(); ++i) {
+    y[i] = (x[i] - shift_[i]) / scale_[i];
+  }
+  return y;
+}
+
+Matrix ShiftScale::apply(const Matrix& samples) const {
+  BMFUSION_REQUIRE(samples.cols() == dimension(),
+                   "transform dimension mismatch");
+  Matrix out(samples.rows(), samples.cols());
+  for (std::size_t r = 0; r < samples.rows(); ++r) {
+    for (std::size_t c = 0; c < dimension(); ++c) {
+      out(r, c) = (samples(r, c) - shift_[c]) / scale_[c];
+    }
+  }
+  return out;
+}
+
+GaussianMoments ShiftScale::apply(const GaussianMoments& moments) const {
+  BMFUSION_REQUIRE(moments.dimension() == dimension(),
+                   "transform dimension mismatch");
+  GaussianMoments out;
+  out.mean = apply(moments.mean);
+  out.covariance = Matrix(dimension(), dimension());
+  for (std::size_t i = 0; i < dimension(); ++i) {
+    for (std::size_t j = 0; j < dimension(); ++j) {
+      out.covariance(i, j) =
+          moments.covariance(i, j) / (scale_[i] * scale_[j]);
+    }
+  }
+  return out;
+}
+
+Vector ShiftScale::invert(const Vector& y) const {
+  BMFUSION_REQUIRE(y.size() == dimension(), "transform dimension mismatch");
+  Vector x(dimension());
+  for (std::size_t i = 0; i < dimension(); ++i) {
+    x[i] = y[i] * scale_[i] + shift_[i];
+  }
+  return x;
+}
+
+GaussianMoments ShiftScale::invert(const GaussianMoments& moments) const {
+  BMFUSION_REQUIRE(moments.dimension() == dimension(),
+                   "transform dimension mismatch");
+  GaussianMoments out;
+  out.mean = invert(moments.mean);
+  out.covariance = Matrix(dimension(), dimension());
+  for (std::size_t i = 0; i < dimension(); ++i) {
+    for (std::size_t j = 0; j < dimension(); ++j) {
+      out.covariance(i, j) =
+          moments.covariance(i, j) * (scale_[i] * scale_[j]);
+    }
+  }
+  return out;
+}
+
+StageTransforms make_stage_transforms(const Vector& early_nominal,
+                                      const Vector& late_nominal,
+                                      const GaussianMoments& early_moments) {
+  early_moments.validate();
+  const std::size_t d = early_moments.dimension();
+  BMFUSION_REQUIRE(early_nominal.size() == d && late_nominal.size() == d,
+                   "nominal vectors must match the moment dimension");
+  Vector sigma(d);
+  for (std::size_t i = 0; i < d; ++i) {
+    sigma[i] = std::sqrt(early_moments.covariance(i, i));
+  }
+  return StageTransforms{ShiftScale(early_nominal, sigma),
+                         ShiftScale(late_nominal, sigma)};
+}
+
+}  // namespace bmfusion::core

@@ -1,0 +1,59 @@
+// Performance shift and scaling (paper Section 4.1).
+//
+// Early- and late-stage distributions share a shape but not nominal values,
+// and raw metrics span many orders of magnitude (gain in dB vs. power in
+// watts). Each stage's samples are therefore shifted by that stage's
+// *nominal* simulation result and scaled by the *early-stage* per-dimension
+// standard deviation, making both distributions origin-centered and
+// "isotropic" before fusion.
+#pragma once
+
+#include "core/moments.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace bmfusion::core {
+
+/// Per-dimension affine map y = (x - shift) / scale.
+class ShiftScale {
+ public:
+  /// `scale` entries must be strictly positive.
+  ShiftScale(linalg::Vector shift, linalg::Vector scale);
+
+  [[nodiscard]] std::size_t dimension() const { return shift_.size(); }
+  [[nodiscard]] const linalg::Vector& shift() const { return shift_; }
+  [[nodiscard]] const linalg::Vector& scale() const { return scale_; }
+
+  /// Forward transform of one point.
+  [[nodiscard]] linalg::Vector apply(const linalg::Vector& x) const;
+
+  /// Forward transform of a sample matrix (row-wise).
+  [[nodiscard]] linalg::Matrix apply(const linalg::Matrix& samples) const;
+
+  /// Exact push-forward of Gaussian moments:
+  /// mean' = (mean - shift)/scale, cov'_ij = cov_ij/(scale_i scale_j).
+  [[nodiscard]] GaussianMoments apply(const GaussianMoments& moments) const;
+
+  /// Inverse transform of one point.
+  [[nodiscard]] linalg::Vector invert(const linalg::Vector& y) const;
+
+  /// Exact pull-back of Gaussian moments into original units.
+  [[nodiscard]] GaussianMoments invert(const GaussianMoments& moments) const;
+
+ private:
+  linalg::Vector shift_;
+  linalg::Vector scale_;
+};
+
+/// Builds the two stage transforms of Section 4.1: both use the early
+/// stage's standard deviations (square roots of the early covariance
+/// diagonal), shifted by the respective stage's nominal metrics.
+struct StageTransforms {
+  ShiftScale early;
+  ShiftScale late;
+};
+[[nodiscard]] StageTransforms make_stage_transforms(
+    const linalg::Vector& early_nominal, const linalg::Vector& late_nominal,
+    const GaussianMoments& early_moments);
+
+}  // namespace bmfusion::core

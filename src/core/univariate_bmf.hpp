@@ -1,0 +1,37 @@
+// Univariate BMF baseline (the prior art this paper extends, ref. [7]).
+//
+// Estimates each metric independently with a normal-gamma conjugate prior —
+// mathematically the d = 1 special case of the normal-Wishart machinery, so
+// it reuses NormalWishart per dimension. Comparing it against the
+// multivariate estimator quantifies the value of fusing *correlations*,
+// which is exactly the paper's motivation (Section 2, last paragraph).
+#pragma once
+
+#include <vector>
+
+#include "core/cross_validation.hpp"
+#include "core/moments.hpp"
+#include "linalg/matrix.hpp"
+
+namespace bmfusion::core {
+
+struct UnivariateBmfResult {
+  linalg::Vector mean;       ///< per-metric MAP means
+  linalg::Vector variance;   ///< per-metric MAP variances
+  std::vector<double> kappa0;  ///< selected per dimension
+  std::vector<double> nu0;     ///< selected per dimension
+
+  /// Moments with a diagonal covariance (the best a univariate method can
+  /// report); usable with the same error metrics as the multivariate
+  /// estimators.
+  [[nodiscard]] GaussianMoments as_moments() const;
+};
+
+/// Runs per-dimension univariate BMF (1-D cross validation per metric) in
+/// the scaled space. `early_scaled` supplies each dimension's prior mean and
+/// variance; off-diagonal early knowledge is deliberately ignored.
+[[nodiscard]] UnivariateBmfResult estimate_univariate_bmf(
+    const GaussianMoments& early_scaled, const linalg::Matrix& late_scaled,
+    const CrossValidationConfig& config = {});
+
+}  // namespace bmfusion::core

@@ -1,0 +1,162 @@
+#include "core/yield.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "stats/mvn.hpp"
+#include "stats/special.hpp"
+
+namespace bmfusion::core {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+void SpecBox::validate() const {
+  BMFUSION_REQUIRE(lower.size() == upper.size(), "spec box size mismatch");
+  BMFUSION_REQUIRE(lower.size() >= 1, "spec box needs dimension >= 1");
+  for (std::size_t i = 0; i < lower.size(); ++i) {
+    BMFUSION_REQUIRE(lower[i] <= upper[i],
+                     "spec box lower bound exceeds upper bound");
+  }
+}
+
+bool SpecBox::contains(const Vector& x) const {
+  BMFUSION_REQUIRE(x.size() == dimension(), "spec box dimension mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] < lower[i] || x[i] > upper[i]) return false;
+  }
+  return true;
+}
+
+SpecBox SpecBox::unconstrained(std::size_t d) {
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  return SpecBox{Vector(d, -inf), Vector(d, inf)};
+}
+
+YieldEstimate::Interval YieldEstimate::wilson_interval(double level) const {
+  BMFUSION_REQUIRE(level > 0.0 && level < 1.0,
+                   "confidence level must lie in (0, 1)");
+  BMFUSION_REQUIRE(sample_count >= 1, "interval needs samples");
+  const double z =
+      stats::standard_normal_quantile(0.5 * (1.0 + level));
+  const double n = static_cast<double>(sample_count);
+  const double p = yield;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  Interval iv;
+  iv.lower = std::max(0.0, center - half);
+  iv.upper = std::min(1.0, center + half);
+  return iv;
+}
+
+namespace {
+
+YieldEstimate from_counts(std::size_t pass, std::size_t total) {
+  YieldEstimate est;
+  est.sample_count = total;
+  est.yield = static_cast<double>(pass) / static_cast<double>(total);
+  est.standard_error =
+      std::sqrt(est.yield * (1.0 - est.yield) / static_cast<double>(total));
+  return est;
+}
+
+}  // namespace
+
+YieldEstimate estimate_yield(const GaussianMoments& moments,
+                             const SpecBox& specs, stats::Xoshiro256pp& rng,
+                             std::size_t sample_count) {
+  moments.validate();
+  specs.validate();
+  BMFUSION_REQUIRE(specs.dimension() == moments.dimension(),
+                   "spec box must match the moment dimension");
+  BMFUSION_REQUIRE(sample_count >= 1, "yield needs >= 1 sample");
+  const stats::MultivariateNormal mvn(moments.mean, moments.covariance);
+  std::size_t pass = 0;
+  for (std::size_t i = 0; i < sample_count; ++i) {
+    if (specs.contains(mvn.sample(rng))) ++pass;
+  }
+  return from_counts(pass, sample_count);
+}
+
+ImportanceSamplingResult estimate_yield_importance(
+    const GaussianMoments& moments, const SpecBox& specs,
+    stats::Xoshiro256pp& rng, std::size_t sample_count) {
+  moments.validate();
+  specs.validate();
+  BMFUSION_REQUIRE(specs.dimension() == moments.dimension(),
+                   "spec box must match the moment dimension");
+  BMFUSION_REQUIRE(sample_count >= 2, "importance sampling needs >= 2");
+
+  // Dominant failure face: the finite bound with the smallest single-face
+  // Mahalanobis distance (bound - mu_i)^2 / Sigma_ii. The shift point is
+  // the conditional mean of X given x_i = bound, which is the
+  // minimum-Mahalanobis point on that hyperplane.
+  const std::size_t d = moments.dimension();
+  double best_dist = std::numeric_limits<double>::infinity();
+  std::ptrdiff_t best_face = -1;
+  double best_bound = 0.0;
+  for (std::size_t i = 0; i < d; ++i) {
+    for (const double bound : {specs.lower[i], specs.upper[i]}) {
+      if (!std::isfinite(bound)) continue;
+      const double dist = (bound - moments.mean[i]) * (bound - moments.mean[i]) /
+                          moments.covariance(i, i);
+      if (dist < best_dist) {
+        best_dist = dist;
+        best_face = static_cast<std::ptrdiff_t>(i);
+        best_bound = bound;
+      }
+    }
+  }
+  BMFUSION_REQUIRE(best_face >= 0,
+                   "importance sampling needs at least one finite spec");
+
+  const auto face = static_cast<std::size_t>(best_face);
+  const double scale = (best_bound - moments.mean[face]) /
+                       moments.covariance(face, face);
+  Vector shift = moments.mean;
+  for (std::size_t j = 0; j < d; ++j) {
+    shift[j] += scale * moments.covariance(j, face);
+  }
+
+  const stats::MultivariateNormal nominal(moments.mean, moments.covariance);
+  const stats::MultivariateNormal shifted(shift, moments.covariance);
+  double sum_w = 0.0;
+  double sum_w2 = 0.0;
+  for (std::size_t k = 0; k < sample_count; ++k) {
+    const Vector x = shifted.sample(rng);
+    if (specs.contains(x)) continue;
+    const double w = std::exp(nominal.log_pdf(x) - shifted.log_pdf(x));
+    sum_w += w;
+    sum_w2 += w * w;
+  }
+  const double n = static_cast<double>(sample_count);
+  ImportanceSamplingResult result;
+  result.failure_probability = sum_w / n;
+  result.yield = 1.0 - result.failure_probability;
+  const double var =
+      std::max(0.0, sum_w2 / n -
+                        result.failure_probability *
+                            result.failure_probability) /
+      n;
+  result.standard_error = std::sqrt(var);
+  result.shift_point = std::move(shift);
+  result.sample_count = sample_count;
+  return result;
+}
+
+YieldEstimate empirical_yield(const Matrix& samples, const SpecBox& specs) {
+  specs.validate();
+  BMFUSION_REQUIRE(samples.rows() >= 1, "yield needs >= 1 sample");
+  BMFUSION_REQUIRE(samples.cols() == specs.dimension(),
+                   "spec box must match the sample dimension");
+  std::size_t pass = 0;
+  for (std::size_t i = 0; i < samples.rows(); ++i) {
+    if (specs.contains(samples.row(i))) ++pass;
+  }
+  return from_counts(pass, samples.rows());
+}
+
+}  // namespace bmfusion::core

@@ -1,0 +1,71 @@
+#include "dsp/fft.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace bmfusion::dsp {
+
+namespace {
+constexpr double kPi = 3.141592653589793238462643383279502884;
+}
+
+bool is_power_of_two(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+void fft_inplace(std::vector<Complex>& data, bool inverse) {
+  const std::size_t n = data.size();
+  BMFUSION_REQUIRE(is_power_of_two(n), "fft length must be a power of two");
+  if (n == 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; (j & bit) != 0; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  // Butterfly stages.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * kPi /
+                         static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = data[i + k];
+        const Complex v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (Complex& c : data) c *= scale;
+  }
+}
+
+std::vector<Complex> fft(const std::vector<Complex>& data) {
+  std::vector<Complex> out = data;
+  fft_inplace(out, /*inverse=*/false);
+  return out;
+}
+
+std::vector<Complex> ifft(const std::vector<Complex>& data) {
+  std::vector<Complex> out = data;
+  fft_inplace(out, /*inverse=*/true);
+  return out;
+}
+
+std::vector<Complex> fft_real(const std::vector<double>& data) {
+  std::vector<Complex> complex_data;
+  complex_data.reserve(data.size());
+  for (const double v : data) complex_data.emplace_back(v, 0.0);
+  fft_inplace(complex_data, /*inverse=*/false);
+  return complex_data;
+}
+
+}  // namespace bmfusion::dsp

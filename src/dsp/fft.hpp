@@ -1,0 +1,33 @@
+// Iterative radix-2 FFT.
+//
+// The flash-ADC testbench captures power-of-two-length coherent sine records,
+// so radix-2 covers every use in this project; the API rejects other lengths
+// loudly rather than silently zero-padding.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace bmfusion::dsp {
+
+using Complex = std::complex<double>;
+
+/// True when n is a power of two (n >= 1).
+[[nodiscard]] bool is_power_of_two(std::size_t n);
+
+/// In-place decimation-in-time radix-2 FFT. `data.size()` must be a power of
+/// two. `inverse` applies the conjugate transform *and* the 1/N scaling, so
+/// fft(fft(x), inverse=true) == x.
+void fft_inplace(std::vector<Complex>& data, bool inverse);
+
+/// Out-of-place forward FFT.
+[[nodiscard]] std::vector<Complex> fft(const std::vector<Complex>& data);
+
+/// Out-of-place inverse FFT (includes 1/N scaling).
+[[nodiscard]] std::vector<Complex> ifft(const std::vector<Complex>& data);
+
+/// Forward FFT of a real signal; returns the full complex spectrum (length
+/// n) for simplicity.
+[[nodiscard]] std::vector<Complex> fft_real(const std::vector<double>& data);
+
+}  // namespace bmfusion::dsp

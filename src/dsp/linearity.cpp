@@ -1,0 +1,78 @@
+#include "dsp/linearity.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace bmfusion::dsp {
+
+namespace {
+constexpr double kPi = 3.141592653589793238462643383279502884;
+
+/// DNL/INL from estimated decision levels via an endpoint-fit line.
+LinearityResult from_levels(const std::vector<double>& levels) {
+  const std::size_t m = levels.size();
+  BMFUSION_REQUIRE(m >= 3, "linearity needs at least 3 decision levels");
+  for (std::size_t i = 1; i < m; ++i) {
+    BMFUSION_REQUIRE(levels[i] >= levels[i - 1],
+                     "decision levels must be non-decreasing");
+  }
+  const double lsb =
+      (levels[m - 1] - levels[0]) / static_cast<double>(m - 1);
+  BMFUSION_REQUIRE(lsb > 0.0, "degenerate decision-level range");
+
+  LinearityResult out;
+  out.dnl.reserve(m - 1);
+  out.inl.reserve(m);
+  for (std::size_t k = 0; k + 1 < m; ++k) {
+    const double dnl = (levels[k + 1] - levels[k]) / lsb - 1.0;
+    out.dnl.push_back(dnl);
+    out.max_abs_dnl = std::max(out.max_abs_dnl, std::fabs(dnl));
+  }
+  for (std::size_t k = 0; k < m; ++k) {
+    const double ideal = levels[0] + lsb * static_cast<double>(k);
+    const double inl = (levels[k] - ideal) / lsb;
+    out.inl.push_back(inl);
+    out.max_abs_inl = std::max(out.max_abs_inl, std::fabs(inl));
+  }
+  return out;
+}
+
+}  // namespace
+
+LinearityResult linearity_from_thresholds(
+    const std::vector<double>& thresholds) {
+  return from_levels(thresholds);
+}
+
+LinearityResult sine_histogram_linearity(const std::vector<int>& codes,
+                                         std::size_t code_count) {
+  BMFUSION_REQUIRE(code_count >= 4, "need at least 4 codes");
+  BMFUSION_REQUIRE(codes.size() >= 16 * code_count,
+                   "histogram test needs >> samples than codes");
+
+  std::vector<double> histogram(code_count, 0.0);
+  for (const int code : codes) {
+    BMFUSION_REQUIRE(code >= 0 &&
+                         static_cast<std::size_t>(code) < code_count,
+                     "code out of range");
+    histogram[static_cast<std::size_t>(code)] += 1.0;
+  }
+  BMFUSION_REQUIRE(histogram.front() > 0.0 && histogram.back() > 0.0,
+                   "sine must overdrive both end codes (clipped bins)");
+
+  // Cumulative density -> decision levels via the arcsine inversion:
+  // T_k = -cos(pi * C_k / N) in normalized full-scale units, where C_k is
+  // the cumulative count strictly below code k.
+  const double total = static_cast<double>(codes.size());
+  std::vector<double> levels;
+  levels.reserve(code_count - 1);
+  double cumulative = 0.0;
+  for (std::size_t k = 0; k + 1 < code_count; ++k) {
+    cumulative += histogram[k];
+    levels.push_back(-std::cos(kPi * cumulative / total));
+  }
+  return from_levels(levels);
+}
+
+}  // namespace bmfusion::dsp

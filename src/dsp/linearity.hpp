@@ -1,0 +1,40 @@
+// ADC static-linearity extraction: DNL and INL.
+//
+// Two independent routes are provided, and the tests cross-check them on
+// the flash-ADC workload:
+//   * linearity_from_thresholds — the "truth" when the converter's decision
+//     levels are known (simulation);
+//   * sine_histogram_linearity — the standard code-density *measurement*:
+//     capture a full-scale sine, histogram the output codes, and invert the
+//     arcsine amplitude distribution to estimate every decision level.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace bmfusion::dsp {
+
+/// Static linearity of one converter.
+struct LinearityResult {
+  /// DNL per code transition, in LSB: dnl[k] = (w_k - lsb)/lsb where w_k is
+  /// the width of code bin k (first/last bins excluded, as is standard).
+  std::vector<double> dnl;
+  /// INL per transition, in LSB (endpoint-fit line removed).
+  std::vector<double> inl;
+  double max_abs_dnl = 0.0;
+  double max_abs_inl = 0.0;
+};
+
+/// Linearity from known decision thresholds (ascending, size = codes - 1).
+/// The endpoint-fit line runs through the first and last threshold.
+[[nodiscard]] LinearityResult linearity_from_thresholds(
+    const std::vector<double>& thresholds);
+
+/// Code-density test: `codes` is a captured sequence of output codes in
+/// [0, code_count); the stimulus must be a sine overdriving both ends of
+/// the range slightly (so the end bins clip, as the standard test
+/// prescribes). Needs several thousand samples for stable estimates.
+[[nodiscard]] LinearityResult sine_histogram_linearity(
+    const std::vector<int>& codes, std::size_t code_count);
+
+}  // namespace bmfusion::dsp

@@ -1,0 +1,66 @@
+#include "dsp/window.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace bmfusion::dsp {
+
+namespace {
+constexpr double kPi = 3.141592653589793238462643383279502884;
+}
+
+std::vector<double> make_window(WindowKind kind, std::size_t n) {
+  BMFUSION_REQUIRE(n >= 1, "window length must be positive");
+  std::vector<double> w(n, 1.0);
+  const double denom = static_cast<double>(n);  // periodic windows
+  switch (kind) {
+    case WindowKind::kRectangular:
+      break;
+    case WindowKind::kHann:
+      for (std::size_t i = 0; i < n; ++i) {
+        w[i] = 0.5 - 0.5 * std::cos(2.0 * kPi * static_cast<double>(i) / denom);
+      }
+      break;
+    case WindowKind::kBlackmanHarris: {
+      constexpr double a0 = 0.35875;
+      constexpr double a1 = 0.48829;
+      constexpr double a2 = 0.14128;
+      constexpr double a3 = 0.01168;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double t = 2.0 * kPi * static_cast<double>(i) / denom;
+        w[i] = a0 - a1 * std::cos(t) + a2 * std::cos(2.0 * t) -
+               a3 * std::cos(3.0 * t);
+      }
+      break;
+    }
+  }
+  return w;
+}
+
+double window_noise_gain(const std::vector<double>& window) {
+  double acc = 0.0;
+  for (const double v : window) acc += v * v;
+  return acc;
+}
+
+double window_coherent_gain(const std::vector<double>& window) {
+  BMFUSION_REQUIRE(!window.empty(), "window must be non-empty");
+  double acc = 0.0;
+  for (const double v : window) acc += v;
+  return acc / static_cast<double>(window.size());
+}
+
+std::size_t window_tone_halfwidth(WindowKind kind) {
+  switch (kind) {
+    case WindowKind::kRectangular:
+      return 0;
+    case WindowKind::kHann:
+      return 2;
+    case WindowKind::kBlackmanHarris:
+      return 4;
+  }
+  return 0;
+}
+
+}  // namespace bmfusion::dsp

@@ -1,0 +1,27 @@
+// Window functions for spectral analysis.
+#pragma once
+
+#include <vector>
+
+namespace bmfusion::dsp {
+
+enum class WindowKind {
+  kRectangular,     ///< no taper; exact for coherent sampling
+  kHann,            ///< general-purpose 3-bin main lobe
+  kBlackmanHarris,  ///< 4-term, -92 dB sidelobes; for non-coherent tones
+};
+
+/// Generates an n-point window of the given kind.
+[[nodiscard]] std::vector<double> make_window(WindowKind kind, std::size_t n);
+
+/// Sum of squared window coefficients (noise power normalization).
+[[nodiscard]] double window_noise_gain(const std::vector<double>& window);
+
+/// Coherent (DC) gain: sum of coefficients / n.
+[[nodiscard]] double window_coherent_gain(const std::vector<double>& window);
+
+/// Half-width (in bins) over which a windowed tone's energy is gathered when
+/// integrating spectral peaks.
+[[nodiscard]] std::size_t window_tone_halfwidth(WindowKind kind);
+
+}  // namespace bmfusion::dsp

@@ -1,0 +1,101 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace bmfusion::linalg {
+
+bool Cholesky::factor_into(const Matrix& a, Matrix& l) {
+  const std::size_t n = a.rows();
+  l = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (!(diag > 0.0) || !std::isfinite(diag)) return false;
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double acc = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
+      l(i, j) = acc / ljj;
+    }
+  }
+  return true;
+}
+
+Cholesky::Cholesky(const Matrix& a) {
+  BMFUSION_REQUIRE(a.is_square(), "cholesky requires a square matrix");
+  BMFUSION_REQUIRE(a.is_symmetric(1e-9),
+                   "cholesky requires a symmetric matrix");
+  if (!factor_into(a, l_)) {
+    throw NumericError(
+        "cholesky: matrix is not positive definite (non-positive pivot)");
+  }
+}
+
+bool Cholesky::is_positive_definite(const Matrix& a) {
+  if (!a.is_square() || !a.is_symmetric(1e-9)) return false;
+  Matrix l;
+  return factor_into(a, l);
+}
+
+Vector Cholesky::solve_lower(const Vector& b) const {
+  BMFUSION_REQUIRE(b.size() == dimension(), "rhs size mismatch");
+  const std::size_t n = dimension();
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t k = 0; k < i; ++k) acc -= l_(i, k) * y[k];
+    y[i] = acc / l_(i, i);
+  }
+  return y;
+}
+
+Vector Cholesky::solve_upper(const Vector& b) const {
+  BMFUSION_REQUIRE(b.size() == dimension(), "rhs size mismatch");
+  const std::size_t n = dimension();
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = b[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) acc -= l_(k, ii) * x[k];
+    x[ii] = acc / l_(ii, ii);
+  }
+  return x;
+}
+
+Vector Cholesky::solve(const Vector& b) const {
+  return solve_upper(solve_lower(b));
+}
+
+Matrix Cholesky::solve(const Matrix& b) const {
+  BMFUSION_REQUIRE(b.rows() == dimension(), "rhs row count mismatch");
+  Matrix x(b.rows(), b.cols());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    x.set_col(c, solve(b.col(c)));
+  }
+  return x;
+}
+
+Matrix Cholesky::inverse() const {
+  Matrix inv = solve(Matrix::identity(dimension()));
+  // The exact inverse is symmetric; remove rounding asymmetry so downstream
+  // SPD checks do not trip on it.
+  inv.symmetrize();
+  return inv;
+}
+
+double Cholesky::log_determinant() const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < dimension(); ++i) acc += std::log(l_(i, i));
+  return 2.0 * acc;
+}
+
+double Cholesky::determinant() const { return std::exp(log_determinant()); }
+
+double Cholesky::mahalanobis_squared(const Vector& x) const {
+  const Vector y = solve_lower(x);
+  return dot(y, y);
+}
+
+}  // namespace bmfusion::linalg

@@ -1,0 +1,65 @@
+// Cholesky (LL^T) factorization of symmetric positive-definite matrices.
+//
+// This is the workhorse of the whole project: multivariate normal log-pdfs,
+// Wishart sampling (Bartlett), covariance inversion in the MAP update, and
+// held-out likelihood scoring in cross validation all go through it.
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace bmfusion::linalg {
+
+/// Lower-triangular Cholesky factorization A = L L^T.
+///
+/// Construction throws NumericError when `a` is not symmetric positive
+/// definite (to tolerance); use Cholesky::try_factor to probe without
+/// exceptions.
+class Cholesky {
+ public:
+  /// Factors the SPD matrix `a`. Throws ContractError when `a` is not square
+  /// or not symmetric; NumericError when a pivot is non-positive.
+  explicit Cholesky(const Matrix& a);
+
+  /// Factors without throwing on numeric failure; returns false and leaves
+  /// the object unusable when `a` is not positive definite.
+  [[nodiscard]] static bool is_positive_definite(const Matrix& a);
+
+  [[nodiscard]] std::size_t dimension() const { return l_.rows(); }
+
+  /// The lower-triangular factor L.
+  [[nodiscard]] const Matrix& factor() const { return l_; }
+
+  /// Solves A x = b.
+  [[nodiscard]] Vector solve(const Vector& b) const;
+
+  /// Solves A X = B column-by-column.
+  [[nodiscard]] Matrix solve(const Matrix& b) const;
+
+  /// Solves L y = b (forward substitution).
+  [[nodiscard]] Vector solve_lower(const Vector& b) const;
+
+  /// Solves L^T x = b (backward substitution).
+  [[nodiscard]] Vector solve_upper(const Vector& b) const;
+
+  /// A^{-1}, symmetric by construction.
+  [[nodiscard]] Matrix inverse() const;
+
+  /// log(det A) = 2 * sum_i log L_ii. Never overflows for representable A.
+  [[nodiscard]] double log_determinant() const;
+
+  /// det A; may overflow for large well-scaled matrices — prefer
+  /// log_determinant.
+  [[nodiscard]] double determinant() const;
+
+  /// Squared Mahalanobis distance x^T A^{-1} x via one triangular solve.
+  [[nodiscard]] double mahalanobis_squared(const Vector& x) const;
+
+ private:
+  Cholesky() = default;
+  [[nodiscard]] static bool factor_into(const Matrix& a, Matrix& l);
+
+  Matrix l_;
+};
+
+}  // namespace bmfusion::linalg

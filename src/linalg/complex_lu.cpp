@@ -1,0 +1,108 @@
+#include "linalg/complex_lu.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/contracts.hpp"
+
+namespace bmfusion::linalg {
+
+Complex& ComplexVector::operator[](std::size_t i) {
+  BMFUSION_REQUIRE(i < data_.size(), "complex vector index out of range");
+  return data_[i];
+}
+
+Complex ComplexVector::operator[](std::size_t i) const {
+  BMFUSION_REQUIRE(i < data_.size(), "complex vector index out of range");
+  return data_[i];
+}
+
+double ComplexVector::norm_inf() const {
+  double best = 0.0;
+  for (const Complex& v : data_) best = std::max(best, std::abs(v));
+  return best;
+}
+
+ComplexMatrix ComplexMatrix::from_real_imag(const Matrix& real,
+                                            const Matrix& imag) {
+  BMFUSION_REQUIRE(real.rows() == imag.rows() && real.cols() == imag.cols(),
+                   "real/imag shape mismatch");
+  ComplexMatrix out(real.rows(), real.cols());
+  for (std::size_t r = 0; r < real.rows(); ++r) {
+    for (std::size_t c = 0; c < real.cols(); ++c) {
+      out(r, c) = Complex{real(r, c), imag(r, c)};
+    }
+  }
+  return out;
+}
+
+Complex& ComplexMatrix::operator()(std::size_t r, std::size_t c) {
+  BMFUSION_REQUIRE(r < rows_ && c < cols_,
+                   "complex matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+Complex ComplexMatrix::operator()(std::size_t r, std::size_t c) const {
+  BMFUSION_REQUIRE(r < rows_ && c < cols_,
+                   "complex matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+ComplexLu::ComplexLu(const ComplexMatrix& a) : lu_(a) {
+  BMFUSION_REQUIRE(a.rows() == a.cols(), "complex lu requires square matrix");
+  const std::size_t n = a.rows();
+  perm_.resize(n);
+  std::iota(perm_.begin(), perm_.end(), std::size_t{0});
+
+  // Circuit matrices legitimately span many orders of magnitude (pF device
+  // capacitances next to farad-scale servo fixtures), so the singularity
+  // test is a near-absolute floor: partial pivoting handles the grading and
+  // callers validate finiteness of the results.
+  constexpr double singular_floor = 1e-250;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t pivot_row = k;
+    double pivot_mag = std::abs(lu_(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double mag = std::abs(lu_(i, k));
+      if (mag > pivot_mag) {
+        pivot_mag = mag;
+        pivot_row = i;
+      }
+    }
+    if (pivot_mag < singular_floor || !std::isfinite(pivot_mag)) {
+      throw NumericError("complex lu: matrix is numerically singular");
+    }
+    if (pivot_row != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(pivot_row, c));
+      std::swap(perm_[k], perm_[pivot_row]);
+    }
+    const Complex pivot = lu_(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const Complex factor = lu_(i, k) / pivot;
+      lu_(i, k) = factor;
+      if (factor == Complex{}) continue;
+      for (std::size_t c = k + 1; c < n; ++c) lu_(i, c) -= factor * lu_(k, c);
+    }
+  }
+}
+
+ComplexVector ComplexLu::solve(const ComplexVector& b) const {
+  BMFUSION_REQUIRE(b.size() == dimension(), "rhs size mismatch");
+  const std::size_t n = dimension();
+  ComplexVector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Complex acc = b[perm_[i]];
+    for (std::size_t k = 0; k < i; ++k) acc -= lu_(i, k) * y[k];
+    y[i] = acc;
+  }
+  ComplexVector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    Complex acc = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) acc -= lu_(ii, k) * x[k];
+    x[ii] = acc / lu_(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace bmfusion::linalg

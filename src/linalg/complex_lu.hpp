@@ -1,0 +1,73 @@
+// Complex dense matrix/vector and LU solve for AC small-signal analysis.
+//
+// The circuit simulator's AC sweep solves (G + j*omega*C) x = b at each
+// frequency point; this header provides exactly that capability without
+// dragging complex arithmetic into the real-valued Matrix class.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace bmfusion::linalg {
+
+using Complex = std::complex<double>;
+
+/// Dense complex column vector.
+class ComplexVector {
+ public:
+  ComplexVector() = default;
+  explicit ComplexVector(std::size_t size) : data_(size, Complex{}) {}
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] Complex& operator[](std::size_t i);
+  [[nodiscard]] Complex operator[](std::size_t i) const;
+
+  /// Largest modulus entry.
+  [[nodiscard]] double norm_inf() const;
+
+ private:
+  std::vector<Complex> data_;
+};
+
+/// Dense row-major complex matrix.
+class ComplexMatrix {
+ public:
+  ComplexMatrix() = default;
+  ComplexMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, Complex{}) {}
+
+  /// Builds real + j*imag; shapes must match.
+  static ComplexMatrix from_real_imag(const Matrix& real, const Matrix& imag);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] Complex& operator()(std::size_t r, std::size_t c);
+  [[nodiscard]] Complex operator()(std::size_t r, std::size_t c) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<Complex> data_;
+};
+
+/// LU factorization with partial pivoting over the complex field.
+class ComplexLu {
+ public:
+  /// Factors `a`. Throws ContractError for non-square input, NumericError
+  /// when singular.
+  explicit ComplexLu(const ComplexMatrix& a);
+
+  [[nodiscard]] std::size_t dimension() const { return lu_.rows(); }
+
+  /// Solves A x = b.
+  [[nodiscard]] ComplexVector solve(const ComplexVector& b) const;
+
+ private:
+  ComplexMatrix lu_;
+  std::vector<std::size_t> perm_;
+};
+
+}  // namespace bmfusion::linalg

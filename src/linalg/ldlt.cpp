@@ -1,0 +1,76 @@
+#include "linalg/ldlt.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace bmfusion::linalg {
+
+Ldlt::Ldlt(const Matrix& a) {
+  BMFUSION_REQUIRE(a.is_square(), "ldlt requires a square matrix");
+  BMFUSION_REQUIRE(a.is_symmetric(1e-9), "ldlt requires a symmetric matrix");
+  const std::size_t n = a.rows();
+  l_ = Matrix::identity(n);
+  d_ = Vector(n);
+  // Tolerance for treating a pivot as numerically zero, relative to the
+  // matrix scale.
+  const double pivot_floor = 1e-300 + 1e-15 * a.norm_max();
+  for (std::size_t j = 0; j < n; ++j) {
+    double dj = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) dj -= l_(j, k) * l_(j, k) * d_[k];
+    if (std::fabs(dj) < pivot_floor || !std::isfinite(dj)) {
+      throw NumericError("ldlt: zero pivot encountered (singular matrix)");
+    }
+    d_[j] = dj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double acc = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) acc -= l_(i, k) * l_(j, k) * d_[k];
+      l_(i, j) = acc / dj;
+    }
+  }
+}
+
+Vector Ldlt::solve(const Vector& b) const {
+  BMFUSION_REQUIRE(b.size() == dimension(), "rhs size mismatch");
+  const std::size_t n = dimension();
+  // Forward: L y = b.
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t k = 0; k < i; ++k) acc -= l_(i, k) * y[k];
+    y[i] = acc;
+  }
+  // Diagonal: D z = y.
+  for (std::size_t i = 0; i < n; ++i) y[i] /= d_[i];
+  // Backward: L^T x = z.
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) acc -= l_(k, ii) * x[k];
+    x[ii] = acc;
+  }
+  return x;
+}
+
+bool Ldlt::is_positive_definite() const {
+  for (std::size_t i = 0; i < d_.size(); ++i) {
+    if (!(d_[i] > 0.0)) return false;
+  }
+  return true;
+}
+
+double Ldlt::log_abs_determinant() const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < d_.size(); ++i) acc += std::log(std::fabs(d_[i]));
+  return acc;
+}
+
+int Ldlt::determinant_sign() const {
+  int sign = 1;
+  for (std::size_t i = 0; i < d_.size(); ++i) {
+    if (d_[i] < 0.0) sign = -sign;
+  }
+  return sign;
+}
+
+}  // namespace bmfusion::linalg

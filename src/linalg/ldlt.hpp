@@ -1,0 +1,46 @@
+// LDL^T factorization for symmetric (possibly indefinite but non-singular-
+// pivot) matrices.
+//
+// Used where matrices are symmetric but only semi-definite up to rounding
+// (e.g. scatter matrices built from fewer samples than dimensions) and for
+// robust solves in the SPD utilities.
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace bmfusion::linalg {
+
+/// Symmetric factorization A = L D L^T with unit lower-triangular L and
+/// diagonal D (no pivoting; suited to diagonally dominant or near-SPD
+/// inputs).
+class Ldlt {
+ public:
+  /// Factors `a`. Throws ContractError for non-square/non-symmetric input,
+  /// NumericError when a pivot collapses to zero.
+  explicit Ldlt(const Matrix& a);
+
+  [[nodiscard]] std::size_t dimension() const { return l_.rows(); }
+
+  /// Unit lower-triangular factor L.
+  [[nodiscard]] const Matrix& factor_l() const { return l_; }
+
+  /// Diagonal of D.
+  [[nodiscard]] const Vector& factor_d() const { return d_; }
+
+  /// Solves A x = b.
+  [[nodiscard]] Vector solve(const Vector& b) const;
+
+  /// True when all pivots are strictly positive (matrix is SPD).
+  [[nodiscard]] bool is_positive_definite() const;
+
+  /// log|det A| and the sign of det A.
+  [[nodiscard]] double log_abs_determinant() const;
+  [[nodiscard]] int determinant_sign() const;
+
+ private:
+  Matrix l_;
+  Vector d_;
+};
+
+}  // namespace bmfusion::linalg

@@ -1,0 +1,99 @@
+#include "linalg/lu.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/contracts.hpp"
+
+namespace bmfusion::linalg {
+
+Lu::Lu(const Matrix& a) : lu_(a) {
+  BMFUSION_REQUIRE(a.is_square(), "lu requires a square matrix");
+  const std::size_t n = a.rows();
+  perm_.resize(n);
+  std::iota(perm_.begin(), perm_.end(), std::size_t{0});
+  // Near-absolute floor: MNA systems mix wildly scaled conductances, so a
+  // relative threshold would reject legitimately solvable matrices. Partial
+  // pivoting keeps the elimination stable; callers check result finiteness.
+  const double singular_floor = 1e-250 + 1e-20 * a.norm_max();
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: bring the largest |entry| in column k to the pivot.
+    std::size_t pivot_row = k;
+    double pivot_mag = std::fabs(lu_(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double mag = std::fabs(lu_(i, k));
+      if (mag > pivot_mag) {
+        pivot_mag = mag;
+        pivot_row = i;
+      }
+    }
+    if (pivot_mag < singular_floor || !std::isfinite(pivot_mag)) {
+      throw NumericError("lu: matrix is numerically singular");
+    }
+    if (pivot_row != k) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(lu_(k, c), lu_(pivot_row, c));
+      }
+      std::swap(perm_[k], perm_[pivot_row]);
+      pivot_sign_ = -pivot_sign_;
+    }
+    const double pivot = lu_(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double factor = lu_(i, k) / pivot;
+      lu_(i, k) = factor;
+      if (factor == 0.0) continue;
+      for (std::size_t c = k + 1; c < n; ++c) {
+        lu_(i, c) -= factor * lu_(k, c);
+      }
+    }
+  }
+}
+
+Vector Lu::solve(const Vector& b) const {
+  BMFUSION_REQUIRE(b.size() == dimension(), "rhs size mismatch");
+  const std::size_t n = dimension();
+  // Apply permutation, then forward substitution with unit-diagonal L.
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[perm_[i]];
+    for (std::size_t k = 0; k < i; ++k) acc -= lu_(i, k) * y[k];
+    y[i] = acc;
+  }
+  // Backward substitution with U.
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) acc -= lu_(ii, k) * x[k];
+    x[ii] = acc / lu_(ii, ii);
+  }
+  return x;
+}
+
+Matrix Lu::solve(const Matrix& b) const {
+  BMFUSION_REQUIRE(b.rows() == dimension(), "rhs row count mismatch");
+  Matrix x(b.rows(), b.cols());
+  for (std::size_t c = 0; c < b.cols(); ++c) x.set_col(c, solve(b.col(c)));
+  return x;
+}
+
+Matrix Lu::inverse() const { return solve(Matrix::identity(dimension())); }
+
+double Lu::determinant() const {
+  double det = static_cast<double>(pivot_sign_);
+  for (std::size_t i = 0; i < dimension(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+double Lu::reciprocal_condition_estimate() const {
+  double min_pivot = std::fabs(lu_(0, 0));
+  double max_pivot = min_pivot;
+  for (std::size_t i = 1; i < dimension(); ++i) {
+    const double mag = std::fabs(lu_(i, i));
+    min_pivot = std::min(min_pivot, mag);
+    max_pivot = std::max(max_pivot, mag);
+  }
+  return max_pivot == 0.0 ? 0.0 : min_pivot / max_pivot;
+}
+
+}  // namespace bmfusion::linalg

@@ -1,0 +1,45 @@
+// LU factorization with partial pivoting for general square systems.
+//
+// This backs the circuit simulator's MNA solves, where matrices are square
+// but neither symmetric nor definite.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace bmfusion::linalg {
+
+/// PA = LU with row partial pivoting.
+class Lu {
+ public:
+  /// Factors `a`. Throws ContractError for non-square input, NumericError
+  /// when the matrix is numerically singular.
+  explicit Lu(const Matrix& a);
+
+  [[nodiscard]] std::size_t dimension() const { return lu_.rows(); }
+
+  /// Solves A x = b.
+  [[nodiscard]] Vector solve(const Vector& b) const;
+
+  /// Solves A X = B.
+  [[nodiscard]] Matrix solve(const Matrix& b) const;
+
+  /// A^{-1}.
+  [[nodiscard]] Matrix inverse() const;
+
+  /// det(A), including the pivoting sign.
+  [[nodiscard]] double determinant() const;
+
+  /// Reciprocal condition estimate: min |U_ii| / max |U_ii| — cheap and
+  /// adequate for detecting near-singular MNA systems.
+  [[nodiscard]] double reciprocal_condition_estimate() const;
+
+ private:
+  Matrix lu_;                     ///< packed L (unit diagonal) and U
+  std::vector<std::size_t> perm_;  ///< row permutation
+  int pivot_sign_ = 1;
+};
+
+}  // namespace bmfusion::linalg

@@ -1,0 +1,290 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+#include <ostream>
+
+#include "common/contracts.hpp"
+#include "common/strings.hpp"
+
+namespace bmfusion::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    BMFUSION_REQUIRE(row.size() == cols_,
+                     "matrix initializer rows must have equal width");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+double& Matrix::operator()(std::size_t r, std::size_t c) {
+  BMFUSION_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+  return data_[index(r, c)];
+}
+
+double Matrix::operator()(std::size_t r, std::size_t c) const {
+  BMFUSION_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+  return data_[index(r, c)];
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  BMFUSION_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+                   "matrix shape mismatch in +=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& rhs) {
+  BMFUSION_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+                   "matrix shape mismatch in -=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scale) {
+  for (double& v : data_) v *= scale;
+  return *this;
+}
+
+Matrix& Matrix::operator/=(double scale) {
+  BMFUSION_REQUIRE(scale != 0.0, "matrix division by zero");
+  for (double& v : data_) v /= scale;
+  return *this;
+}
+
+Vector Matrix::row(std::size_t r) const {
+  BMFUSION_REQUIRE(r < rows_, "row index out of range");
+  Vector out(cols_);
+  for (std::size_t c = 0; c < cols_; ++c) out[c] = data_[index(r, c)];
+  return out;
+}
+
+Vector Matrix::col(std::size_t c) const {
+  BMFUSION_REQUIRE(c < cols_, "column index out of range");
+  Vector out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = data_[index(r, c)];
+  return out;
+}
+
+Vector Matrix::diagonal() const {
+  const std::size_t n = std::min(rows_, cols_);
+  Vector out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = data_[index(i, i)];
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out(c, r) = data_[index(r, c)];
+    }
+  }
+  return out;
+}
+
+void Matrix::set_row(std::size_t r, const Vector& values) {
+  BMFUSION_REQUIRE(r < rows_, "row index out of range");
+  BMFUSION_REQUIRE(values.size() == cols_, "row width mismatch");
+  for (std::size_t c = 0; c < cols_; ++c) data_[index(r, c)] = values[c];
+}
+
+void Matrix::set_col(std::size_t c, const Vector& values) {
+  BMFUSION_REQUIRE(c < cols_, "column index out of range");
+  BMFUSION_REQUIRE(values.size() == rows_, "column height mismatch");
+  for (std::size_t r = 0; r < rows_; ++r) data_[index(r, c)] = values[r];
+}
+
+double Matrix::trace() const {
+  BMFUSION_REQUIRE(is_square(), "trace requires a square matrix");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < rows_; ++i) acc += data_[index(i, i)];
+  return acc;
+}
+
+double Matrix::norm_frobenius() const {
+  double max_abs = 0.0;
+  for (const double v : data_) max_abs = std::max(max_abs, std::fabs(v));
+  if (max_abs == 0.0) return 0.0;
+  double acc = 0.0;
+  for (const double v : data_) {
+    const double s = v / max_abs;
+    acc += s * s;
+  }
+  return max_abs * std::sqrt(acc);
+}
+
+double Matrix::norm_max() const {
+  double max_abs = 0.0;
+  for (const double v : data_) max_abs = std::max(max_abs, std::fabs(v));
+  return max_abs;
+}
+
+double Matrix::norm1() const {
+  double best = 0.0;
+  for (std::size_t c = 0; c < cols_; ++c) {
+    double acc = 0.0;
+    for (std::size_t r = 0; r < rows_; ++r) acc += std::fabs(data_[index(r, c)]);
+    best = std::max(best, acc);
+  }
+  return best;
+}
+
+double Matrix::norm_inf() const {
+  double best = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += std::fabs(data_[index(r, c)]);
+    best = std::max(best, acc);
+  }
+  return best;
+}
+
+bool Matrix::is_finite() const {
+  for (const double v : data_) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+bool Matrix::is_symmetric(double tol) const {
+  if (!is_square()) return false;
+  const double scale = std::max(1.0, norm_max());
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = r + 1; c < cols_; ++c) {
+      if (std::fabs(data_[index(r, c)] - data_[index(c, r)]) > tol * scale) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+Matrix& Matrix::symmetrize() {
+  BMFUSION_REQUIRE(is_square(), "symmetrize requires a square matrix");
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = r + 1; c < cols_; ++c) {
+      const double avg = 0.5 * (data_[index(r, c)] + data_[index(c, r)]);
+      data_[index(r, c)] = avg;
+      data_[index(c, r)] = avg;
+    }
+  }
+  return *this;
+}
+
+Matrix Matrix::zeros(std::size_t rows, std::size_t cols) {
+  return Matrix(rows, cols);
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix out(n, n);
+  for (std::size_t i = 0; i < n; ++i) out(i, i) = 1.0;
+  return out;
+}
+
+Matrix Matrix::diagonal_matrix(const Vector& d) {
+  Matrix out(d.size(), d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) out(i, i) = d[i];
+  return out;
+}
+
+Matrix operator+(Matrix lhs, const Matrix& rhs) { return lhs += rhs; }
+Matrix operator-(Matrix lhs, const Matrix& rhs) { return lhs -= rhs; }
+Matrix operator*(Matrix lhs, double scale) { return lhs *= scale; }
+Matrix operator*(double scale, Matrix rhs) { return rhs *= scale; }
+Matrix operator/(Matrix lhs, double scale) { return lhs /= scale; }
+
+Matrix operator-(Matrix value) { return value *= -1.0; }
+
+bool operator==(const Matrix& lhs, const Matrix& rhs) {
+  if (lhs.rows() != rhs.rows() || lhs.cols() != rhs.cols()) return false;
+  for (std::size_t r = 0; r < lhs.rows(); ++r) {
+    for (std::size_t c = 0; c < lhs.cols(); ++c) {
+      if (lhs(r, c) != rhs(r, c)) return false;
+    }
+  }
+  return true;
+}
+
+Matrix operator*(const Matrix& lhs, const Matrix& rhs) {
+  BMFUSION_REQUIRE(lhs.cols() == rhs.rows(),
+                   "matrix product inner dimension mismatch");
+  Matrix out(lhs.rows(), rhs.cols());
+  // i-k-j loop order keeps the inner loop contiguous for row-major storage.
+  for (std::size_t i = 0; i < lhs.rows(); ++i) {
+    for (std::size_t k = 0; k < lhs.cols(); ++k) {
+      const double a = lhs(i, k);
+      if (a == 0.0) continue;
+      for (std::size_t j = 0; j < rhs.cols(); ++j) {
+        out(i, j) += a * rhs(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Vector operator*(const Matrix& lhs, const Vector& rhs) {
+  BMFUSION_REQUIRE(lhs.cols() == rhs.size(),
+                   "matrix-vector dimension mismatch");
+  Vector out(lhs.rows());
+  for (std::size_t r = 0; r < lhs.rows(); ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < lhs.cols(); ++c) acc += lhs(r, c) * rhs[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+double quadratic_form(const Vector& x, const Matrix& a, const Vector& y) {
+  BMFUSION_REQUIRE(a.rows() == x.size() && a.cols() == y.size(),
+                   "quadratic form dimension mismatch");
+  double acc = 0.0;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    double row_acc = 0.0;
+    for (std::size_t c = 0; c < a.cols(); ++c) row_acc += a(r, c) * y[c];
+    acc += x[r] * row_acc;
+  }
+  return acc;
+}
+
+Matrix outer(const Vector& x, const Vector& y) {
+  Matrix out(x.size(), y.size());
+  for (std::size_t r = 0; r < x.size(); ++r) {
+    for (std::size_t c = 0; c < y.size(); ++c) out(r, c) = x[r] * y[c];
+  }
+  return out;
+}
+
+bool approx_equal(const Matrix& lhs, const Matrix& rhs, double tol) {
+  if (lhs.rows() != rhs.rows() || lhs.cols() != rhs.cols()) return false;
+  for (std::size_t r = 0; r < lhs.rows(); ++r) {
+    for (std::size_t c = 0; c < lhs.cols(); ++c) {
+      if (std::fabs(lhs(r, c) - rhs(r, c)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+std::ostream& operator<<(std::ostream& out, const Matrix& m) {
+  out << '[';
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    if (r != 0) out << ", ";
+    out << '[';
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      if (c != 0) out << ", ";
+      out << format_double(m(r, c), 6);
+    }
+    out << ']';
+  }
+  return out << ']';
+}
+
+}  // namespace bmfusion::linalg

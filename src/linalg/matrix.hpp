@@ -1,0 +1,131 @@
+// Dense real matrix (row-major) for the bmfusion linear-algebra substrate.
+//
+// The moment-estimation core works with small dense symmetric matrices
+// (d ~ 5-10), and the circuit simulator with small MNA systems (tens of
+// nodes), so this class favors clarity and strict checking over blocking or
+// vectorization tricks.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <vector>
+
+#include "linalg/vector.hpp"
+
+namespace bmfusion::linalg {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// rows x cols zeros.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  /// rows x cols copies of `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill);
+
+  /// From nested braces: Matrix{{1,2},{3,4}}. All rows must have equal width.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] bool empty() const { return rows_ == 0 || cols_ == 0; }
+  [[nodiscard]] bool is_square() const { return rows_ == cols_; }
+
+  /// Bounds-checked element access.
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c);
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const;
+
+  [[nodiscard]] const double* data() const { return data_.data(); }
+  [[nodiscard]] double* data() { return data_.data(); }
+
+  /// In-place arithmetic; shapes must match.
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator-=(const Matrix& rhs);
+  Matrix& operator*=(double scale);
+  Matrix& operator/=(double scale);
+
+  /// Copies of structural pieces.
+  [[nodiscard]] Vector row(std::size_t r) const;
+  [[nodiscard]] Vector col(std::size_t c) const;
+  [[nodiscard]] Vector diagonal() const;
+  [[nodiscard]] Matrix transposed() const;
+
+  /// Writes `values` into row r / column c; sizes must match.
+  void set_row(std::size_t r, const Vector& values);
+  void set_col(std::size_t c, const Vector& values);
+
+  /// Sum of diagonal entries; square only.
+  [[nodiscard]] double trace() const;
+
+  /// Frobenius norm (entry-wise 2-norm).
+  [[nodiscard]] double norm_frobenius() const;
+
+  /// Largest absolute entry.
+  [[nodiscard]] double norm_max() const;
+
+  /// Induced 1-norm (max absolute column sum).
+  [[nodiscard]] double norm1() const;
+
+  /// Induced infinity-norm (max absolute row sum).
+  [[nodiscard]] double norm_inf() const;
+
+  /// True when every entry is finite.
+  [[nodiscard]] bool is_finite() const;
+
+  /// True when square and |a_ij - a_ji| <= tol * max(1, norm_max()).
+  [[nodiscard]] bool is_symmetric(double tol = 1e-12) const;
+
+  /// Replaces the matrix with (A + A^T)/2; square only. Returns *this.
+  Matrix& symmetrize();
+
+  static Matrix zeros(std::size_t rows, std::size_t cols);
+  static Matrix identity(std::size_t n);
+
+  /// Diagonal matrix from `d`.
+  static Matrix diagonal_matrix(const Vector& d);
+
+ private:
+  [[nodiscard]] std::size_t index(std::size_t r, std::size_t c) const {
+    return r * cols_ + c;
+  }
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+[[nodiscard]] Matrix operator+(Matrix lhs, const Matrix& rhs);
+[[nodiscard]] Matrix operator-(Matrix lhs, const Matrix& rhs);
+[[nodiscard]] Matrix operator*(Matrix lhs, double scale);
+[[nodiscard]] Matrix operator*(double scale, Matrix rhs);
+[[nodiscard]] Matrix operator/(Matrix lhs, double scale);
+[[nodiscard]] Matrix operator-(Matrix value);
+
+/// Exact element-wise equality (shapes must also match).
+[[nodiscard]] bool operator==(const Matrix& lhs, const Matrix& rhs);
+
+/// Matrix-matrix product; inner dimensions must agree.
+[[nodiscard]] Matrix operator*(const Matrix& lhs, const Matrix& rhs);
+
+/// Matrix-vector product; lhs.cols() must equal rhs.size().
+[[nodiscard]] Vector operator*(const Matrix& lhs, const Vector& rhs);
+
+/// x^T * A * y; A must be rows x cols compatible with x and y.
+[[nodiscard]] double quadratic_form(const Vector& x, const Matrix& a,
+                                    const Vector& y);
+
+/// Outer product x y^T.
+[[nodiscard]] Matrix outer(const Vector& x, const Vector& y);
+
+/// True when shapes match and |lhs-rhs| <= tol entry-wise.
+[[nodiscard]] bool approx_equal(const Matrix& lhs, const Matrix& rhs,
+                                double tol);
+
+/// Prints row per line: "[[a, b], [c, d]]".
+std::ostream& operator<<(std::ostream& out, const Matrix& m);
+
+}  // namespace bmfusion::linalg

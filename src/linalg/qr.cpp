@@ -1,0 +1,61 @@
+#include "linalg/qr.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace bmfusion::linalg {
+
+Qr::Qr(const Matrix& a) {
+  BMFUSION_REQUIRE(a.rows() >= a.cols(),
+                   "qr requires rows >= cols (tall or square)");
+  BMFUSION_REQUIRE(!a.empty(), "qr requires a non-empty matrix");
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+
+  // Modified Gram-Schmidt with re-orthogonalization: numerically adequate
+  // for the small, well-conditioned systems used here and much simpler than
+  // accumulating Householder reflectors explicitly.
+  q_ = a;
+  r_ = Matrix(n, n);
+  const double dependent_floor = 1e-13 * (1.0 + a.norm_frobenius());
+  for (std::size_t j = 0; j < n; ++j) {
+    Vector v = q_.col(j);
+    for (int pass = 0; pass < 2; ++pass) {
+      for (std::size_t i = 0; i < j; ++i) {
+        const Vector qi = q_.col(i);
+        const double proj = dot(qi, v);
+        r_(i, j) += proj;
+        for (std::size_t k = 0; k < m; ++k) v[k] -= proj * qi[k];
+      }
+    }
+    const double norm = v.norm2();
+    if (norm < dependent_floor || !std::isfinite(norm)) {
+      throw NumericError("qr: columns are numerically linearly dependent");
+    }
+    r_(j, j) = norm;
+    v /= norm;
+    q_.set_col(j, v);
+  }
+}
+
+Vector Qr::solve_least_squares(const Vector& b) const {
+  BMFUSION_REQUIRE(b.size() == rows(), "rhs size mismatch");
+  const std::size_t n = cols();
+  // x = R^{-1} Q^T b.
+  Vector qtb(n);
+  for (std::size_t j = 0; j < n; ++j) qtb[j] = dot(q_.col(j), b);
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = qtb[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) acc -= r_(ii, k) * x[k];
+    x[ii] = acc / r_(ii, ii);
+  }
+  return x;
+}
+
+Vector least_squares(const Matrix& a, const Vector& b) {
+  return Qr(a).solve_least_squares(b);
+}
+
+}  // namespace bmfusion::linalg

@@ -1,0 +1,40 @@
+// Householder QR factorization and least-squares solving.
+//
+// Used by the experiment harness for regression fits (cost-reduction factor
+// interpolation) and exposed as part of the general linear-algebra API.
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace bmfusion::linalg {
+
+/// A = Q R with orthonormal Q (m x n, thin) and upper-triangular R (n x n),
+/// for m >= n.
+class Qr {
+ public:
+  /// Factors `a` (rows >= cols). Throws ContractError on a wide matrix,
+  /// NumericError when columns are linearly dependent to rounding.
+  explicit Qr(const Matrix& a);
+
+  [[nodiscard]] std::size_t rows() const { return q_.rows(); }
+  [[nodiscard]] std::size_t cols() const { return r_.cols(); }
+
+  /// Thin orthonormal factor Q (rows x cols).
+  [[nodiscard]] const Matrix& q() const { return q_; }
+
+  /// Upper-triangular factor R (cols x cols).
+  [[nodiscard]] const Matrix& r() const { return r_; }
+
+  /// Minimizes ||A x - b||_2; `b` must have rows() entries.
+  [[nodiscard]] Vector solve_least_squares(const Vector& b) const;
+
+ private:
+  Matrix q_;
+  Matrix r_;
+};
+
+/// Convenience: least-squares solve of A x = b via QR.
+[[nodiscard]] Vector least_squares(const Matrix& a, const Vector& b);
+
+}  // namespace bmfusion::linalg

@@ -1,0 +1,144 @@
+#include "linalg/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/contracts.hpp"
+
+namespace bmfusion::linalg {
+
+SparseMatrix::SparseMatrix(std::size_t rows, std::size_t cols,
+                           const std::vector<Triplet>& triplets)
+    : rows_(rows), cols_(cols) {
+  BMFUSION_REQUIRE(rows >= 1 && cols >= 1, "sparse matrix must be non-empty");
+  for (const Triplet& t : triplets) {
+    BMFUSION_REQUIRE(t.row < rows && t.col < cols,
+                     "triplet index out of range");
+  }
+  // Sort by (row, col) and merge duplicates.
+  std::vector<std::size_t> order(triplets.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (triplets[a].row != triplets[b].row) {
+      return triplets[a].row < triplets[b].row;
+    }
+    return triplets[a].col < triplets[b].col;
+  });
+  row_ptr_.assign(rows + 1, 0);
+  std::vector<std::size_t> counts(rows, 0);
+  std::size_t last_row = static_cast<std::size_t>(-1);
+  std::size_t last_col = static_cast<std::size_t>(-1);
+  for (const std::size_t k : order) {
+    const Triplet& t = triplets[k];
+    if (t.value == 0.0) continue;
+    if (t.row == last_row && t.col == last_col) {
+      values_.back() += t.value;  // merge duplicate stamp
+    } else {
+      col_idx_.push_back(t.col);
+      values_.push_back(t.value);
+      counts[t.row]++;
+      last_row = t.row;
+      last_col = t.col;
+    }
+  }
+  row_ptr_[0] = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    row_ptr_[r + 1] = row_ptr_[r] + counts[r];
+  }
+}
+
+Vector SparseMatrix::multiply(const Vector& x) const {
+  BMFUSION_REQUIRE(x.size() == cols_, "spmv dimension mismatch");
+  Vector y(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      acc += values_[k] * x[col_idx_[k]];
+    }
+    y[r] = acc;
+  }
+  return y;
+}
+
+double SparseMatrix::at(std::size_t row, std::size_t col) const {
+  BMFUSION_REQUIRE(row < rows_ && col < cols_, "sparse index out of range");
+  const auto begin = col_idx_.begin() +
+                     static_cast<std::ptrdiff_t>(row_ptr_[row]);
+  const auto end = col_idx_.begin() +
+                   static_cast<std::ptrdiff_t>(row_ptr_[row + 1]);
+  const auto it = std::lower_bound(begin, end, col);
+  if (it == end || *it != col) return 0.0;
+  return values_[static_cast<std::size_t>(it - col_idx_.begin())];
+}
+
+Vector SparseMatrix::diagonal() const {
+  const std::size_t n = std::min(rows_, cols_);
+  Vector d(n);
+  for (std::size_t i = 0; i < n; ++i) d[i] = at(i, i);
+  return d;
+}
+
+bool SparseMatrix::is_symmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      if (std::fabs(values_[k] - at(col_idx_[k], r)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+CgResult solve_cg(const SparseMatrix& a, const Vector& b,
+                  const CgConfig& config) {
+  BMFUSION_REQUIRE(a.rows() == a.cols(), "cg requires a square matrix");
+  BMFUSION_REQUIRE(b.size() == a.rows(), "cg rhs size mismatch");
+  const std::size_t n = a.rows();
+  const std::size_t max_iter =
+      config.max_iterations == 0 ? 10 * n : config.max_iterations;
+
+  // Jacobi preconditioner: M^-1 = 1/diag(A).
+  Vector inv_diag = a.diagonal();
+  for (std::size_t i = 0; i < n; ++i) {
+    BMFUSION_REQUIRE(inv_diag[i] > 0.0,
+                     "cg needs a positive diagonal (SPD system)");
+    inv_diag[i] = 1.0 / inv_diag[i];
+  }
+
+  CgResult result;
+  result.solution = Vector(n);
+  Vector r = b;  // r = b - A*0
+  Vector z = hadamard(inv_diag, r);
+  Vector p = z;
+  double rz = dot(r, z);
+  const double b_norm = b.norm2();
+  if (b_norm == 0.0) {
+    result.converged = true;
+    return result;
+  }
+
+  for (std::size_t it = 0; it < max_iter; ++it) {
+    const Vector ap = a.multiply(p);
+    const double p_ap = dot(p, ap);
+    if (p_ap <= 0.0) break;  // not SPD (or breakdown)
+    const double alpha = rz / p_ap;
+    for (std::size_t i = 0; i < n; ++i) {
+      result.solution[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    result.iterations = it + 1;
+    result.residual_norm = r.norm2() / b_norm;
+    if (result.residual_norm < config.tolerance) {
+      result.converged = true;
+      break;
+    }
+    z = hadamard(inv_diag, r);
+    const double rz_next = dot(r, z);
+    const double beta = rz_next / rz;
+    rz = rz_next;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  return result;
+}
+
+}  // namespace bmfusion::linalg

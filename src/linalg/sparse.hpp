@@ -1,0 +1,73 @@
+// Sparse matrix (CSR) and a preconditioned conjugate-gradient solver.
+//
+// Dense LU is fine for the handful-of-nodes testbench circuits, but
+// extracted parasitic networks have thousands of RC elements whose
+// conductance matrices are large, sparse and SPD — exactly CG territory.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/vector.hpp"
+
+namespace bmfusion::linalg {
+
+/// One (row, col, value) entry used to assemble a sparse matrix.
+struct Triplet {
+  std::size_t row = 0;
+  std::size_t col = 0;
+  double value = 0.0;
+};
+
+/// Compressed-sparse-row matrix. Built once from triplets (duplicates are
+/// summed, as MNA stamping produces), then read-only.
+class SparseMatrix {
+ public:
+  /// Assembles rows x cols from `triplets`; entries beyond the shape throw.
+  SparseMatrix(std::size_t rows, std::size_t cols,
+               const std::vector<Triplet>& triplets);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t nonzero_count() const { return values_.size(); }
+
+  /// y = A x.
+  [[nodiscard]] Vector multiply(const Vector& x) const;
+
+  /// Element lookup (binary search within the row); zero when absent.
+  [[nodiscard]] double at(std::size_t row, std::size_t col) const;
+
+  /// Copy of the diagonal (zeros where absent).
+  [[nodiscard]] Vector diagonal() const;
+
+  /// True when the stored pattern and values are symmetric to `tol`.
+  [[nodiscard]] bool is_symmetric(double tol = 1e-12) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::size_t> col_idx_;
+  std::vector<double> values_;
+};
+
+/// Outcome of a CG solve.
+struct CgResult {
+  Vector solution;
+  std::size_t iterations = 0;
+  double residual_norm = 0.0;  ///< final ||b - A x|| / ||b||
+  bool converged = false;
+};
+
+struct CgConfig {
+  std::size_t max_iterations = 0;  ///< 0 = 10 * n
+  double tolerance = 1e-10;        ///< relative residual target
+};
+
+/// Jacobi(diagonal)-preconditioned conjugate gradients for SPD systems.
+/// Throws ContractError on shape mismatch; returns converged=false (with
+/// the best iterate) when the iteration cap is hit.
+[[nodiscard]] CgResult solve_cg(const SparseMatrix& a, const Vector& b,
+                                const CgConfig& config = {});
+
+}  // namespace bmfusion::linalg

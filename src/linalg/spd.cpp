@@ -1,0 +1,87 @@
+#include "linalg/spd.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "linalg/eigen_sym.hpp"
+
+namespace bmfusion::linalg {
+
+bool is_spd(const Matrix& a, double min_eigenvalue) {
+  if (!a.is_square() || !a.is_symmetric(1e-9)) return false;
+  const JacobiEigenSolver eig(a);
+  return eig.min_eigenvalue() > min_eigenvalue;
+}
+
+Matrix nearest_spd(const Matrix& a, double min_eigenvalue) {
+  BMFUSION_REQUIRE(a.is_square(), "nearest_spd requires a square matrix");
+  BMFUSION_REQUIRE(min_eigenvalue > 0.0,
+                   "nearest_spd needs a positive eigenvalue floor");
+  Matrix sym = a;
+  sym.symmetrize();
+  const JacobiEigenSolver eig(sym);
+  const double max_eig = eig.max_eigenvalue();
+  const double floor =
+      max_eig > 0.0 ? min_eigenvalue * max_eig : min_eigenvalue;
+  const std::size_t n = sym.rows();
+  Matrix result(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double w = std::max(eig.eigenvalues()[k], floor);
+    const Vector vk = eig.eigenvectors().col(k);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        result(i, j) += w * vk[i] * vk[j];
+      }
+    }
+  }
+  result.symmetrize();
+  return result;
+}
+
+double spd_condition_number(const Matrix& a) {
+  return JacobiEigenSolver(a).condition_number();
+}
+
+Matrix spd_sqrt(const Matrix& a) {
+  const JacobiEigenSolver eig(a);
+  if (!(eig.min_eigenvalue() > 0.0)) {
+    throw NumericError("spd_sqrt: matrix is not positive definite");
+  }
+  const std::size_t n = a.rows();
+  Matrix result(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double w = std::sqrt(eig.eigenvalues()[k]);
+    const Vector vk = eig.eigenvectors().col(k);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        result(i, j) += w * vk[i] * vk[j];
+      }
+    }
+  }
+  result.symmetrize();
+  return result;
+}
+
+Matrix covariance_to_correlation(const Matrix& covariance) {
+  BMFUSION_REQUIRE(covariance.is_square(),
+                   "correlation requires a square covariance");
+  const std::size_t n = covariance.rows();
+  Vector inv_sd(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double var = covariance(i, i);
+    if (!(var > 0.0)) {
+      throw NumericError(
+          "covariance_to_correlation: non-positive variance on diagonal");
+    }
+    inv_sd[i] = 1.0 / std::sqrt(var);
+  }
+  Matrix corr(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      corr(i, j) = covariance(i, j) * inv_sd[i] * inv_sd[j];
+    }
+  }
+  return corr;
+}
+
+}  // namespace bmfusion::linalg

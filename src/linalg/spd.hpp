@@ -1,0 +1,33 @@
+// Utilities for symmetric positive-definite matrices.
+//
+// Estimated covariance matrices can lose definiteness through rounding or
+// tiny sample counts; these helpers project them back onto the SPD cone so
+// downstream Cholesky-based code stays valid.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace bmfusion::linalg {
+
+/// True when `a` is symmetric and all eigenvalues exceed `min_eigenvalue`.
+[[nodiscard]] bool is_spd(const Matrix& a, double min_eigenvalue = 0.0);
+
+/// Nearest symmetric positive-definite matrix in the Frobenius sense
+/// (Higham-style): symmetrize, eigendecompose, clamp eigenvalues to
+/// `min_eigenvalue` (relative to the largest eigenvalue when it is positive),
+/// and reassemble. The result always passes Cholesky.
+[[nodiscard]] Matrix nearest_spd(const Matrix& a,
+                                 double min_eigenvalue = 1e-12);
+
+/// Spectral condition number of a symmetric matrix.
+[[nodiscard]] double spd_condition_number(const Matrix& a);
+
+/// Unique SPD square root B with B*B = A. Throws NumericError when `a` is
+/// not SPD.
+[[nodiscard]] Matrix spd_sqrt(const Matrix& a);
+
+/// Correlation matrix from a covariance matrix: C_ij = S_ij/sqrt(S_ii S_jj).
+/// Throws NumericError when a diagonal entry is non-positive.
+[[nodiscard]] Matrix covariance_to_correlation(const Matrix& covariance);
+
+}  // namespace bmfusion::linalg

@@ -1,0 +1,121 @@
+#include "linalg/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/contracts.hpp"
+
+namespace bmfusion::linalg {
+
+Svd::Svd(const Matrix& a) {
+  BMFUSION_REQUIRE(!a.empty(), "svd of an empty matrix");
+  BMFUSION_REQUIRE(a.rows() >= a.cols(),
+                   "svd requires rows >= cols (transpose first)");
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+
+  // One-sided Jacobi: orthogonalize the columns of W = A V by plane
+  // rotations accumulated into V; singular values are the column norms.
+  Matrix w = a;
+  Matrix v = Matrix::identity(n);
+  const double eps = 1e-15;
+  const int max_sweeps = 60;
+  bool converged = (n < 2);
+  for (int sweep = 0; sweep < max_sweeps && !converged; ++sweep) {
+    converged = true;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        double alpha = 0.0, beta = 0.0, gamma = 0.0;
+        for (std::size_t i = 0; i < m; ++i) {
+          alpha += w(i, p) * w(i, p);
+          beta += w(i, q) * w(i, q);
+          gamma += w(i, p) * w(i, q);
+        }
+        if (std::fabs(gamma) <= eps * std::sqrt(alpha * beta) ||
+            gamma == 0.0) {
+          continue;
+        }
+        converged = false;
+        const double zeta = (beta - alpha) / (2.0 * gamma);
+        const double t =
+            (zeta >= 0.0)
+                ? 1.0 / (zeta + std::sqrt(1.0 + zeta * zeta))
+                : -1.0 / (-zeta + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (std::size_t i = 0; i < m; ++i) {
+          const double wp = w(i, p);
+          const double wq = w(i, q);
+          w(i, p) = c * wp - s * wq;
+          w(i, q) = s * wp + c * wq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double vp = v(i, p);
+          const double vq = v(i, q);
+          v(i, p) = c * vp - s * vq;
+          v(i, q) = s * vp + c * vq;
+        }
+      }
+    }
+  }
+  if (!converged) throw NumericError("svd failed to converge");
+
+  // Column norms -> singular values; normalize U columns.
+  Vector s(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double norm = 0.0;
+    for (std::size_t i = 0; i < m; ++i) norm += w(i, j) * w(i, j);
+    s[j] = std::sqrt(norm);
+  }
+  // Sort descending.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t i, std::size_t j) { return s[i] > s[j]; });
+  u_ = Matrix(m, n);
+  v_ = Matrix(n, n);
+  s_ = Vector(n);
+  for (std::size_t out = 0; out < n; ++out) {
+    const std::size_t src = order[out];
+    s_[out] = s[src];
+    for (std::size_t i = 0; i < n; ++i) v_(i, out) = v(i, src);
+    if (s[src] > 0.0) {
+      for (std::size_t i = 0; i < m; ++i) u_(i, out) = w(i, src) / s[src];
+    }
+  }
+}
+
+std::size_t Svd::rank(double tolerance) const {
+  if (s_.empty()) return 0;
+  const double cutoff = tolerance * s_[0] *
+                        static_cast<double>(std::max(rows(), cols()));
+  std::size_t r = 0;
+  for (std::size_t i = 0; i < s_.size(); ++i) {
+    if (s_[i] > cutoff) ++r;
+  }
+  return r;
+}
+
+double Svd::condition_number() const {
+  BMFUSION_REQUIRE(!s_.empty(), "empty decomposition");
+  const double smin = s_[s_.size() - 1];
+  if (smin == 0.0) return std::numeric_limits<double>::infinity();
+  return s_[0] / smin;
+}
+
+Vector Svd::solve_least_squares(const Vector& b, double tolerance) const {
+  BMFUSION_REQUIRE(b.size() == rows(), "rhs size mismatch");
+  const double cutoff = tolerance * s_[0] *
+                        static_cast<double>(std::max(rows(), cols()));
+  Vector x(cols());
+  for (std::size_t j = 0; j < cols(); ++j) {
+    if (s_[j] <= cutoff) continue;
+    const double coeff = dot(u_.col(j), b) / s_[j];
+    for (std::size_t i = 0; i < cols(); ++i) x[i] += coeff * v_(i, j);
+  }
+  return x;
+}
+
+}  // namespace bmfusion::linalg

@@ -1,0 +1,46 @@
+// Singular value decomposition via one-sided Jacobi (Hestenes) rotations.
+//
+// Accurate for the small dense matrices used here; backs PCA-style
+// diagnostics of metric correlation structure and rank analysis of
+// near-degenerate sample covariances.
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace bmfusion::linalg {
+
+/// Thin SVD A = U diag(s) V^T for rows >= cols: U is rows x cols with
+/// orthonormal columns, V is cols x cols orthogonal, s sorted descending.
+class Svd {
+ public:
+  /// Decomposes `a` (rows >= cols, non-empty). Throws NumericError when the
+  /// Jacobi sweeps fail to converge.
+  explicit Svd(const Matrix& a);
+
+  [[nodiscard]] std::size_t rows() const { return u_.rows(); }
+  [[nodiscard]] std::size_t cols() const { return v_.rows(); }
+
+  [[nodiscard]] const Matrix& u() const { return u_; }
+  [[nodiscard]] const Matrix& v() const { return v_; }
+  [[nodiscard]] const Vector& singular_values() const { return s_; }
+
+  /// Numerical rank: count of singular values above
+  /// `tolerance * s_max * max(rows, cols)`.
+  [[nodiscard]] std::size_t rank(double tolerance = 1e-12) const;
+
+  /// Spectral condition number s_max / s_min (infinity when singular).
+  [[nodiscard]] double condition_number() const;
+
+  /// Minimum-norm least-squares solution of A x = b using the
+  /// pseudo-inverse (singular values below the rank tolerance dropped).
+  [[nodiscard]] Vector solve_least_squares(const Vector& b,
+                                           double tolerance = 1e-12) const;
+
+ private:
+  Matrix u_;
+  Vector s_;
+  Matrix v_;
+};
+
+}  // namespace bmfusion::linalg

@@ -1,0 +1,131 @@
+#include "linalg/vector.hpp"
+
+#include <cmath>
+#include <ostream>
+
+#include "common/contracts.hpp"
+#include "common/strings.hpp"
+
+namespace bmfusion::linalg {
+
+Vector::Vector(std::size_t size) : data_(size, 0.0) {}
+
+Vector::Vector(std::size_t size, double fill) : data_(size, fill) {}
+
+Vector::Vector(std::initializer_list<double> values) : data_(values) {}
+
+Vector::Vector(std::vector<double> values) : data_(std::move(values)) {}
+
+double& Vector::operator[](std::size_t i) {
+  BMFUSION_REQUIRE(i < data_.size(), "vector index out of range");
+  return data_[i];
+}
+
+double Vector::operator[](std::size_t i) const {
+  BMFUSION_REQUIRE(i < data_.size(), "vector index out of range");
+  return data_[i];
+}
+
+Vector& Vector::operator+=(const Vector& rhs) {
+  BMFUSION_REQUIRE(size() == rhs.size(), "vector size mismatch in +=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator-=(const Vector& rhs) {
+  BMFUSION_REQUIRE(size() == rhs.size(), "vector size mismatch in -=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator*=(double scale) {
+  for (double& v : data_) v *= scale;
+  return *this;
+}
+
+Vector& Vector::operator/=(double scale) {
+  BMFUSION_REQUIRE(scale != 0.0, "vector division by zero");
+  for (double& v : data_) v /= scale;
+  return *this;
+}
+
+double Vector::norm2() const {
+  // Scaled two-pass form to avoid overflow/underflow for extreme entries.
+  double max_abs = 0.0;
+  for (const double v : data_) max_abs = std::max(max_abs, std::fabs(v));
+  if (max_abs == 0.0) return 0.0;
+  double acc = 0.0;
+  for (const double v : data_) {
+    const double s = v / max_abs;
+    acc += s * s;
+  }
+  return max_abs * std::sqrt(acc);
+}
+
+double Vector::norm_inf() const {
+  double max_abs = 0.0;
+  for (const double v : data_) max_abs = std::max(max_abs, std::fabs(v));
+  return max_abs;
+}
+
+double Vector::sum() const {
+  double acc = 0.0;
+  for (const double v : data_) acc += v;
+  return acc;
+}
+
+bool Vector::is_finite() const {
+  for (const double v : data_) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+Vector operator+(Vector lhs, const Vector& rhs) { return lhs += rhs; }
+Vector operator-(Vector lhs, const Vector& rhs) { return lhs -= rhs; }
+Vector operator*(Vector lhs, double scale) { return lhs *= scale; }
+Vector operator*(double scale, Vector rhs) { return rhs *= scale; }
+Vector operator/(Vector lhs, double scale) { return lhs /= scale; }
+
+Vector operator-(Vector value) {
+  for (double& v : value) v = -v;
+  return value;
+}
+
+bool operator==(const Vector& lhs, const Vector& rhs) {
+  return lhs.values() == rhs.values();
+}
+
+double dot(const Vector& lhs, const Vector& rhs) {
+  BMFUSION_REQUIRE(lhs.size() == rhs.size(), "vector size mismatch in dot");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < lhs.size(); ++i) acc += lhs[i] * rhs[i];
+  return acc;
+}
+
+Vector hadamard(const Vector& lhs, const Vector& rhs) {
+  BMFUSION_REQUIRE(lhs.size() == rhs.size(),
+                   "vector size mismatch in hadamard");
+  Vector out(lhs.size());
+  for (std::size_t i = 0; i < lhs.size(); ++i) out[i] = lhs[i] * rhs[i];
+  return out;
+}
+
+bool approx_equal(const Vector& lhs, const Vector& rhs, double tol) {
+  if (lhs.size() != rhs.size()) return false;
+  for (std::size_t i = 0; i < lhs.size(); ++i) {
+    if (std::fabs(lhs[i] - rhs[i]) > tol) return false;
+  }
+  return true;
+}
+
+std::ostream& operator<<(std::ostream& out, const Vector& v) {
+  out << '[';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i != 0) out << ", ";
+    out << format_double(v[i], 6);
+  }
+  return out << ']';
+}
+
+}  // namespace bmfusion::linalg

@@ -1,0 +1,101 @@
+// Dense real vector for the bmfusion linear-algebra substrate.
+//
+// Design notes
+// ------------
+// * Value semantics throughout; copies are explicit data copies.
+// * Element type is double only — every consumer in this project works in
+//   double precision, so the class is deliberately not templated.
+// * Out-of-range indexing and size mismatches throw ContractError.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <vector>
+
+namespace bmfusion::linalg {
+
+/// Dense column vector of doubles.
+class Vector {
+ public:
+  /// Empty (size-0) vector.
+  Vector() = default;
+
+  /// `size` zeros.
+  explicit Vector(std::size_t size);
+
+  /// `size` copies of `fill`.
+  Vector(std::size_t size, double fill);
+
+  /// From a braced list: Vector v{1.0, 2.0, 3.0}.
+  Vector(std::initializer_list<double> values);
+
+  /// Takes ownership of `values`.
+  explicit Vector(std::vector<double> values);
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  /// Bounds-checked element access.
+  [[nodiscard]] double& operator[](std::size_t i);
+  [[nodiscard]] double operator[](std::size_t i) const;
+
+  [[nodiscard]] const double* data() const { return data_.data(); }
+  [[nodiscard]] double* data() { return data_.data(); }
+  [[nodiscard]] const std::vector<double>& values() const { return data_; }
+
+  [[nodiscard]] auto begin() { return data_.begin(); }
+  [[nodiscard]] auto end() { return data_.end(); }
+  [[nodiscard]] auto begin() const { return data_.begin(); }
+  [[nodiscard]] auto end() const { return data_.end(); }
+
+  /// In-place arithmetic; sizes must match.
+  Vector& operator+=(const Vector& rhs);
+  Vector& operator-=(const Vector& rhs);
+  Vector& operator*=(double scale);
+  Vector& operator/=(double scale);
+
+  /// Euclidean (2-) norm.
+  [[nodiscard]] double norm2() const;
+
+  /// Largest absolute entry (0 for the empty vector).
+  [[nodiscard]] double norm_inf() const;
+
+  /// Sum of entries.
+  [[nodiscard]] double sum() const;
+
+  /// True when every entry is finite.
+  [[nodiscard]] bool is_finite() const;
+
+  /// All-zeros / all-ones factories.
+  static Vector zeros(std::size_t size) { return Vector(size); }
+  static Vector ones(std::size_t size) { return Vector(size, 1.0); }
+
+ private:
+  std::vector<double> data_;
+};
+
+[[nodiscard]] Vector operator+(Vector lhs, const Vector& rhs);
+[[nodiscard]] Vector operator-(Vector lhs, const Vector& rhs);
+[[nodiscard]] Vector operator*(Vector lhs, double scale);
+[[nodiscard]] Vector operator*(double scale, Vector rhs);
+[[nodiscard]] Vector operator/(Vector lhs, double scale);
+[[nodiscard]] Vector operator-(Vector value);
+
+/// True when sizes match and all entries are exactly equal.
+[[nodiscard]] bool operator==(const Vector& lhs, const Vector& rhs);
+
+/// Inner product; sizes must match.
+[[nodiscard]] double dot(const Vector& lhs, const Vector& rhs);
+
+/// Component-wise product; sizes must match.
+[[nodiscard]] Vector hadamard(const Vector& lhs, const Vector& rhs);
+
+/// True when sizes match and |lhs[i]-rhs[i]| <= tol everywhere.
+[[nodiscard]] bool approx_equal(const Vector& lhs, const Vector& rhs,
+                                double tol);
+
+/// Prints as "[a, b, c]".
+std::ostream& operator<<(std::ostream& out, const Vector& v);
+
+}  // namespace bmfusion::linalg

@@ -1,0 +1,103 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "linalg/cholesky.hpp"
+#include "stats/moments.hpp"
+
+namespace bmfusion::stats {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+double quantile(std::vector<double> values, double p) {
+  BMFUSION_REQUIRE(!values.empty(), "quantile of empty set");
+  BMFUSION_REQUIRE(p >= 0.0 && p <= 1.0, "quantile probability in [0,1]");
+  std::sort(values.begin(), values.end());
+  const double pos = p * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+double median(std::vector<double> values) {
+  return quantile(std::move(values), 0.5);
+}
+
+double mean_of(const std::vector<double>& values) {
+  BMFUSION_REQUIRE(!values.empty(), "mean of empty set");
+  double acc = 0.0;
+  for (const double v : values) acc += v;
+  return acc / static_cast<double>(values.size());
+}
+
+double stddev_of(const std::vector<double>& values) {
+  BMFUSION_REQUIRE(values.size() >= 2, "stddev needs >= 2 values");
+  const double m = mean_of(values);
+  double acc = 0.0;
+  for (const double v : values) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values.size() - 1));
+}
+
+std::vector<std::size_t> histogram(const std::vector<double>& values,
+                                   double lo, double hi, std::size_t bins) {
+  BMFUSION_REQUIRE(bins >= 1, "histogram needs >= 1 bin");
+  BMFUSION_REQUIRE(lo < hi, "histogram needs lo < hi");
+  std::vector<std::size_t> counts(bins, 0);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (const double v : values) {
+    double idx = (v - lo) / width;
+    idx = std::clamp(idx, 0.0, static_cast<double>(bins) - 0.5);
+    counts[static_cast<std::size_t>(idx)]++;
+  }
+  return counts;
+}
+
+MardiaTest mardia_test(const Matrix& samples) {
+  const std::size_t n = samples.rows();
+  const std::size_t d = samples.cols();
+  BMFUSION_REQUIRE(n > d, "mardia test needs more samples than dimensions");
+  const Vector mu = sample_mean(samples);
+  const Matrix cov = sample_covariance_mle(samples);
+  const linalg::Cholesky chol(cov);  // throws NumericError when singular
+
+  // Whitened samples z_i = L^{-1}(x_i - mu); then
+  // b1 = mean_{ij} (z_i . z_j)^3 and b2 = mean_i |z_i|^4.
+  Matrix z(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    z.set_row(i, chol.solve_lower(samples.row(i) - mu));
+  }
+  double b1 = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vector zi = z.row(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double g = dot(zi, z.row(j));
+      b1 += g * g * g;
+    }
+  }
+  b1 /= static_cast<double>(n) * static_cast<double>(n);
+  double b2 = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vector zi = z.row(i);
+    const double g = dot(zi, zi);
+    b2 += g * g;
+  }
+  b2 /= static_cast<double>(n);
+
+  const double dn = static_cast<double>(d);
+  const double nn = static_cast<double>(n);
+  MardiaTest result;
+  result.skewness = b1;
+  result.kurtosis = b2;
+  result.skewness_statistic = nn * b1 / 6.0;
+  const double expected_kurtosis = dn * (dn + 2.0);
+  const double kurtosis_var = 8.0 * dn * (dn + 2.0) / nn;
+  result.kurtosis_statistic =
+      (b2 - expected_kurtosis) / std::sqrt(kurtosis_var);
+  return result;
+}
+
+}  // namespace bmfusion::stats

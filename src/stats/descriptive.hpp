@@ -1,0 +1,44 @@
+// Descriptive statistics and normality diagnostics.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace bmfusion::stats {
+
+/// Linear-interpolation quantile (type-7, the numpy/R default) of `values`
+/// at probability p in [0, 1]. `values` need not be sorted; must be
+/// non-empty.
+[[nodiscard]] double quantile(std::vector<double> values, double p);
+
+/// Median shortcut.
+[[nodiscard]] double median(std::vector<double> values);
+
+/// Arithmetic mean; `values` must be non-empty.
+[[nodiscard]] double mean_of(const std::vector<double>& values);
+
+/// Unbiased standard deviation; needs >= 2 values.
+[[nodiscard]] double stddev_of(const std::vector<double>& values);
+
+/// Equal-width histogram of `values` over [lo, hi] with `bins` bins;
+/// out-of-range values clamp to the edge bins.
+[[nodiscard]] std::vector<std::size_t> histogram(
+    const std::vector<double>& values, double lo, double hi,
+    std::size_t bins);
+
+/// Result of Mardia's multivariate normality test.
+struct MardiaTest {
+  double skewness;            ///< b_{1,d} multivariate skewness statistic
+  double kurtosis;            ///< b_{2,d} multivariate kurtosis statistic
+  double skewness_statistic;  ///< n*b1/6, ~ chi^2 with d(d+1)(d+2)/6 dof
+  double kurtosis_statistic;  ///< normalized kurtosis z-score
+};
+
+/// Computes Mardia's skewness/kurtosis for the rows of `samples`. Flags how
+/// strained the paper's jointly-Gaussian assumption is for a given dataset.
+/// Requires n > d and a non-singular sample covariance.
+[[nodiscard]] MardiaTest mardia_test(const linalg::Matrix& samples);
+
+}  // namespace bmfusion::stats

@@ -1,0 +1,132 @@
+#include "stats/moments.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace bmfusion::stats {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+Vector sample_mean(const Matrix& samples) {
+  BMFUSION_REQUIRE(samples.rows() >= 1, "sample_mean needs >= 1 sample");
+  const std::size_t n = samples.rows();
+  const std::size_t d = samples.cols();
+  Vector mean(d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) mean[j] += samples(i, j);
+  }
+  mean /= static_cast<double>(n);
+  return mean;
+}
+
+Matrix scatter_matrix(const Matrix& samples) {
+  BMFUSION_REQUIRE(samples.rows() >= 1, "scatter_matrix needs >= 1 sample");
+  const std::size_t n = samples.rows();
+  const std::size_t d = samples.cols();
+  const Vector mean = sample_mean(samples);
+  Matrix s(d, d);
+  Vector centered(d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) centered[j] = samples(i, j) - mean[j];
+    for (std::size_t r = 0; r < d; ++r) {
+      for (std::size_t c = r; c < d; ++c) {
+        s(r, c) += centered[r] * centered[c];
+      }
+    }
+  }
+  for (std::size_t r = 0; r < d; ++r) {
+    for (std::size_t c = 0; c < r; ++c) s(r, c) = s(c, r);
+  }
+  return s;
+}
+
+Matrix sample_covariance_mle(const Matrix& samples) {
+  return scatter_matrix(samples) / static_cast<double>(samples.rows());
+}
+
+Matrix sample_covariance_unbiased(const Matrix& samples) {
+  BMFUSION_REQUIRE(samples.rows() >= 2,
+                   "unbiased covariance needs >= 2 samples");
+  return scatter_matrix(samples) / static_cast<double>(samples.rows() - 1);
+}
+
+Vector sample_stddev(const Matrix& samples) {
+  const Matrix cov = sample_covariance_mle(samples);
+  Vector sd(cov.rows());
+  for (std::size_t i = 0; i < cov.rows(); ++i) sd[i] = std::sqrt(cov(i, i));
+  return sd;
+}
+
+MomentAccumulator::MomentAccumulator(std::size_t dimension)
+    : mean_(dimension), m2_(dimension, dimension) {
+  BMFUSION_REQUIRE(dimension >= 1, "accumulator dimension must be positive");
+}
+
+void MomentAccumulator::add(const Vector& sample) {
+  BMFUSION_REQUIRE(sample.size() == dimension(),
+                   "sample dimension mismatch in accumulator");
+  ++count_;
+  const double inv_n = 1.0 / static_cast<double>(count_);
+  Vector delta(dimension());
+  for (std::size_t j = 0; j < dimension(); ++j) {
+    delta[j] = sample[j] - mean_[j];
+    mean_[j] += delta[j] * inv_n;
+  }
+  // m2 += delta * (x - new_mean)^T; symmetric rank-1-style update.
+  for (std::size_t r = 0; r < dimension(); ++r) {
+    const double post_r = sample[r] - mean_[r];
+    for (std::size_t c = 0; c < dimension(); ++c) {
+      m2_(r, c) += delta[c] * post_r;
+    }
+  }
+}
+
+void MomentAccumulator::merge(const MomentAccumulator& other) {
+  BMFUSION_REQUIRE(other.dimension() == dimension(),
+                   "accumulator dimension mismatch in merge");
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  // Chan et al. pairwise combination.
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double n = na + nb;
+  Vector delta = other.mean_ - mean_;
+  for (std::size_t r = 0; r < dimension(); ++r) {
+    for (std::size_t c = 0; c < dimension(); ++c) {
+      m2_(r, c) += other.m2_(r, c) + delta[r] * delta[c] * na * nb / n;
+    }
+  }
+  for (std::size_t j = 0; j < dimension(); ++j) {
+    mean_[j] += delta[j] * nb / n;
+  }
+  count_ += other.count_;
+}
+
+Vector MomentAccumulator::mean() const {
+  BMFUSION_REQUIRE(count_ >= 1, "accumulator mean needs >= 1 sample");
+  return mean_;
+}
+
+Matrix MomentAccumulator::scatter() const {
+  Matrix s = m2_;
+  s.symmetrize();
+  return s;
+}
+
+Matrix MomentAccumulator::covariance_mle() const {
+  BMFUSION_REQUIRE(count_ >= 1, "accumulator covariance needs >= 1 sample");
+  return scatter() / static_cast<double>(count_);
+}
+
+Matrix MomentAccumulator::covariance_unbiased() const {
+  BMFUSION_REQUIRE(count_ >= 2,
+                   "accumulator unbiased covariance needs >= 2 samples");
+  return scatter() / static_cast<double>(count_ - 1);
+}
+
+}  // namespace bmfusion::stats

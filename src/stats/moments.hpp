@@ -1,0 +1,64 @@
+// Sample moment computation (batch and streaming).
+//
+// Sample sets are represented as linalg::Matrix with one row per sample and
+// one column per variable, matching the paper's D = [X_1 ... X_n].
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace bmfusion::stats {
+
+/// Sample mean vector (paper eq. 10); `samples` must have at least one row.
+[[nodiscard]] linalg::Vector sample_mean(const linalg::Matrix& samples);
+
+/// Scatter matrix S = sum_i (X_i - Xbar)(X_i - Xbar)^T (paper eq. 26).
+[[nodiscard]] linalg::Matrix scatter_matrix(const linalg::Matrix& samples);
+
+/// MLE covariance S/n (paper eq. 11); needs n >= 1.
+[[nodiscard]] linalg::Matrix sample_covariance_mle(
+    const linalg::Matrix& samples);
+
+/// Unbiased covariance S/(n-1); needs n >= 2.
+[[nodiscard]] linalg::Matrix sample_covariance_unbiased(
+    const linalg::Matrix& samples);
+
+/// Per-column standard deviations from the MLE covariance.
+[[nodiscard]] linalg::Vector sample_stddev(const linalg::Matrix& samples);
+
+/// Streaming mean/covariance accumulator (Welford / Chan update). Numerically
+/// stable single pass; used by the Monte Carlo engine so the full sample
+/// matrix never needs to stay resident for moment queries.
+class MomentAccumulator {
+ public:
+  /// Tracks `dimension` variables.
+  explicit MomentAccumulator(std::size_t dimension);
+
+  /// Folds one sample in; size must match dimension().
+  void add(const linalg::Vector& sample);
+
+  /// Merges another accumulator over the same dimension (parallel reduce).
+  void merge(const MomentAccumulator& other);
+
+  [[nodiscard]] std::size_t dimension() const { return mean_.size(); }
+  [[nodiscard]] std::size_t count() const { return count_; }
+
+  /// Running mean; requires count() >= 1.
+  [[nodiscard]] linalg::Vector mean() const;
+
+  /// Scatter matrix sum (X_i - mean)(X_i - mean)^T.
+  [[nodiscard]] linalg::Matrix scatter() const;
+
+  /// MLE covariance scatter()/n; requires count() >= 1.
+  [[nodiscard]] linalg::Matrix covariance_mle() const;
+
+  /// Unbiased covariance scatter()/(n-1); requires count() >= 2.
+  [[nodiscard]] linalg::Matrix covariance_unbiased() const;
+
+ private:
+  std::size_t count_ = 0;
+  linalg::Vector mean_;
+  linalg::Matrix m2_;  ///< centered second-moment sum
+};
+
+}  // namespace bmfusion::stats

@@ -1,0 +1,134 @@
+#include "stats/mvn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "linalg/lu.hpp"
+#include "stats/univariate.hpp"
+
+namespace bmfusion::stats {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+namespace {
+constexpr double kLog2Pi = 1.837877066409345483560659472811235279;
+}
+
+MultivariateNormal::MultivariateNormal(Vector mean, Matrix covariance)
+    : mean_(std::move(mean)),
+      covariance_(std::move(covariance)),
+      chol_(covariance_) {
+  BMFUSION_REQUIRE(covariance_.rows() == mean_.size(),
+                   "mvn covariance size must match mean size");
+}
+
+Vector MultivariateNormal::sample(Xoshiro256pp& rng) const {
+  const std::size_t d = dimension();
+  Vector z(d);
+  for (std::size_t i = 0; i < d; ++i) z[i] = sample_standard_normal(rng);
+  const Matrix& l = chol_.factor();
+  Vector x = mean_;
+  for (std::size_t r = 0; r < d; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c <= r; ++c) acc += l(r, c) * z[c];
+    x[r] += acc;
+  }
+  return x;
+}
+
+Matrix MultivariateNormal::sample_matrix(Xoshiro256pp& rng,
+                                         std::size_t count) const {
+  Matrix out(count, dimension());
+  for (std::size_t i = 0; i < count; ++i) {
+    out.set_row(i, sample(rng));
+  }
+  return out;
+}
+
+double MultivariateNormal::log_pdf(const Vector& x) const {
+  BMFUSION_REQUIRE(x.size() == dimension(), "mvn log_pdf size mismatch");
+  const double maha = chol_.mahalanobis_squared(x - mean_);
+  return -0.5 * (static_cast<double>(dimension()) * kLog2Pi +
+                 chol_.log_determinant() + maha);
+}
+
+double MultivariateNormal::log_likelihood(const Matrix& samples) const {
+  BMFUSION_REQUIRE(samples.cols() == dimension(),
+                   "mvn log_likelihood dimension mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < samples.rows(); ++i) {
+    acc += log_pdf(samples.row(i));
+  }
+  return acc;
+}
+
+double MultivariateNormal::mahalanobis_squared(const Vector& x) const {
+  BMFUSION_REQUIRE(x.size() == dimension(), "mahalanobis size mismatch");
+  return chol_.mahalanobis_squared(x - mean_);
+}
+
+MultivariateNormal MultivariateNormal::marginal(
+    const std::vector<std::size_t>& keep) const {
+  BMFUSION_REQUIRE(!keep.empty(), "marginal needs at least one coordinate");
+  for (const std::size_t k : keep) {
+    BMFUSION_REQUIRE(k < dimension(), "marginal coordinate out of range");
+  }
+  const std::size_t m = keep.size();
+  Vector mu(m);
+  Matrix cov(m, m);
+  for (std::size_t i = 0; i < m; ++i) {
+    mu[i] = mean_[keep[i]];
+    for (std::size_t j = 0; j < m; ++j) {
+      cov(i, j) = covariance_(keep[i], keep[j]);
+    }
+  }
+  return MultivariateNormal(std::move(mu), std::move(cov));
+}
+
+MultivariateNormal MultivariateNormal::conditional(
+    const std::vector<std::size_t>& given, const Vector& values) const {
+  BMFUSION_REQUIRE(given.size() == values.size(),
+                   "conditional values must match given coordinates");
+  BMFUSION_REQUIRE(!given.empty() && given.size() < dimension(),
+                   "conditional needs a proper non-empty subset");
+  std::vector<bool> is_given(dimension(), false);
+  for (const std::size_t g : given) {
+    BMFUSION_REQUIRE(g < dimension(), "conditional coordinate out of range");
+    BMFUSION_REQUIRE(!is_given[g], "conditional coordinate repeated");
+    is_given[g] = true;
+  }
+  std::vector<std::size_t> rest;
+  for (std::size_t i = 0; i < dimension(); ++i) {
+    if (!is_given[i]) rest.push_back(i);
+  }
+  const std::size_t a = rest.size();
+  const std::size_t b = given.size();
+  // Partition: Sigma_aa, Sigma_ab, Sigma_bb.
+  Matrix s_aa(a, a);
+  Matrix s_ab(a, b);
+  Matrix s_bb(b, b);
+  for (std::size_t i = 0; i < a; ++i) {
+    for (std::size_t j = 0; j < a; ++j) s_aa(i, j) = covariance_(rest[i], rest[j]);
+    for (std::size_t j = 0; j < b; ++j) s_ab(i, j) = covariance_(rest[i], given[j]);
+  }
+  for (std::size_t i = 0; i < b; ++i) {
+    for (std::size_t j = 0; j < b; ++j) s_bb(i, j) = covariance_(given[i], given[j]);
+  }
+  Vector delta(b);
+  for (std::size_t i = 0; i < b; ++i) delta[i] = values[i] - mean_[given[i]];
+
+  const linalg::Cholesky bb(s_bb);
+  const Vector w = bb.solve(delta);                 // Sigma_bb^{-1} (v - mu_b)
+  const Matrix k = bb.solve(s_ab.transposed());     // Sigma_bb^{-1} Sigma_ba
+  Vector mu(a);
+  for (std::size_t i = 0; i < a; ++i) {
+    mu[i] = mean_[rest[i]] + dot(s_ab.row(i), w);
+  }
+  Matrix cov = s_aa - s_ab * k;
+  cov.symmetrize();
+  return MultivariateNormal(std::move(mu), std::move(cov));
+}
+
+}  // namespace bmfusion::stats

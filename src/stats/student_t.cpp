@@ -1,0 +1,101 @@
+#include "stats/student_t.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "stats/univariate.hpp"
+
+namespace bmfusion::stats {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+namespace {
+constexpr double kLogPi = 1.144729885849400174143427351353058712;
+}
+
+MultivariateStudentT::MultivariateStudentT(double dof, Vector location,
+                                           Matrix scale)
+    : dof_(dof),
+      location_(std::move(location)),
+      scale_(std::move(scale)),
+      chol_(scale_) {
+  BMFUSION_REQUIRE(dof_ > 0.0, "student-t needs positive dof");
+  BMFUSION_REQUIRE(scale_.rows() == location_.size(),
+                   "student-t scale shape must match location");
+}
+
+Matrix MultivariateStudentT::covariance() const {
+  BMFUSION_REQUIRE(dof_ > 2.0, "covariance defined only for dof > 2");
+  return scale_ * (dof_ / (dof_ - 2.0));
+}
+
+Vector MultivariateStudentT::sample(Xoshiro256pp& rng) const {
+  const std::size_t d = dimension();
+  Vector z(d);
+  for (std::size_t i = 0; i < d; ++i) z[i] = sample_standard_normal(rng);
+  const double u = sample_chi_squared(rng, dof_);
+  const double mix = std::sqrt(dof_ / u);
+  const Matrix& l = chol_.factor();
+  Vector x = location_;
+  for (std::size_t r = 0; r < d; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c <= r; ++c) acc += l(r, c) * z[c];
+    x[r] += mix * acc;
+  }
+  return x;
+}
+
+double MultivariateStudentT::log_pdf(const Vector& x) const {
+  BMFUSION_REQUIRE(x.size() == dimension(), "student-t dimension mismatch");
+  const auto d = static_cast<double>(dimension());
+  const double maha = chol_.mahalanobis_squared(x - location_);
+  return std::lgamma(0.5 * (dof_ + d)) - std::lgamma(0.5 * dof_) -
+         0.5 * d * (std::log(dof_) + kLogPi) -
+         0.5 * chol_.log_determinant() -
+         0.5 * (dof_ + d) * std::log1p(maha / dof_);
+}
+
+double ks_statistic(std::vector<double> a, std::vector<double> b) {
+  BMFUSION_REQUIRE(!a.empty() && !b.empty(),
+                   "ks statistic needs non-empty samples");
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  double max_gap = 0.0;
+  while (ia < a.size() && ib < b.size()) {
+    // Advance past the smaller value (both on ties) so the CDFs are
+    // compared *between* data points, never mid-tie.
+    const double v = std::min(a[ia], b[ib]);
+    while (ia < a.size() && a[ia] == v) ++ia;
+    while (ib < b.size() && b[ib] == v) ++ib;
+    const double fa = static_cast<double>(ia) / static_cast<double>(a.size());
+    const double fb = static_cast<double>(ib) / static_cast<double>(b.size());
+    max_gap = std::max(max_gap, std::fabs(fa - fb));
+  }
+  return max_gap;
+}
+
+double ks_p_value(double statistic, std::size_t n, std::size_t m) {
+  BMFUSION_REQUIRE(statistic >= 0.0 && statistic <= 1.0,
+                   "ks statistic must lie in [0, 1]");
+  BMFUSION_REQUIRE(n >= 1 && m >= 1, "ks p-value needs sample sizes");
+  const double ne = static_cast<double>(n) * static_cast<double>(m) /
+                    static_cast<double>(n + m);
+  const double lambda =
+      (std::sqrt(ne) + 0.12 + 0.11 / std::sqrt(ne)) * statistic;
+  // Kolmogorov tail series: 2 sum_{k>=1} (-1)^{k-1} exp(-2 k^2 lambda^2).
+  double acc = 0.0;
+  double sign = 1.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = std::exp(-2.0 * k * k * lambda * lambda);
+    acc += sign * term;
+    if (term < 1e-12) break;
+    sign = -sign;
+  }
+  return std::clamp(2.0 * acc, 0.0, 1.0);
+}
+
+}  // namespace bmfusion::stats

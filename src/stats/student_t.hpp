@@ -1,0 +1,55 @@
+// Multivariate Student-t distribution: sampling and goodness-of-fit
+// helpers. The posterior predictive of the normal-Wishart model is a
+// multivariate t, so this enables predictive-yield Monte Carlo and tests.
+#pragma once
+
+#include <vector>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+#include "stats/rng.hpp"
+
+namespace bmfusion::stats {
+
+/// t_dof(location, scale): scale is the *scale matrix* (the covariance is
+/// scale * dof/(dof-2) for dof > 2).
+class MultivariateStudentT {
+ public:
+  /// `dof` > 0; `scale` SPD and matching `location`.
+  MultivariateStudentT(double dof, linalg::Vector location,
+                       linalg::Matrix scale);
+
+  [[nodiscard]] std::size_t dimension() const { return location_.size(); }
+  [[nodiscard]] double dof() const { return dof_; }
+  [[nodiscard]] const linalg::Vector& location() const { return location_; }
+  [[nodiscard]] const linalg::Matrix& scale() const { return scale_; }
+
+  /// Covariance scale * dof/(dof - 2); requires dof > 2.
+  [[nodiscard]] linalg::Matrix covariance() const;
+
+  /// One draw: location + L z sqrt(dof / chi2_dof).
+  [[nodiscard]] linalg::Vector sample(Xoshiro256pp& rng) const;
+
+  /// Log-density at x.
+  [[nodiscard]] double log_pdf(const linalg::Vector& x) const;
+
+ private:
+  double dof_;
+  linalg::Vector location_;
+  linalg::Matrix scale_;
+  linalg::Cholesky chol_;
+};
+
+/// Two-sample Kolmogorov-Smirnov statistic between 1-D samples: the
+/// maximum distance between their empirical CDFs. Both sets must be
+/// non-empty.
+[[nodiscard]] double ks_statistic(std::vector<double> a,
+                                  std::vector<double> b);
+
+/// Asymptotic p-value for the two-sample KS statistic (Kolmogorov
+/// distribution tail; adequate for n, m >= ~25).
+[[nodiscard]] double ks_p_value(double statistic, std::size_t n,
+                                std::size_t m);
+
+}  // namespace bmfusion::stats

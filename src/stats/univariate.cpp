@@ -1,0 +1,85 @@
+#include "stats/univariate.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace bmfusion::stats {
+
+namespace {
+constexpr double kLogSqrt2Pi = 0.918938533204672741780329736405617639;
+}
+
+double sample_standard_normal(Xoshiro256pp& rng) {
+  // Marsaglia polar method. Discards the second variate for a stateless
+  // interface; throughput is irrelevant next to the circuit simulation.
+  while (true) {
+    const double u = rng.next_uniform(-1.0, 1.0);
+    const double v = rng.next_uniform(-1.0, 1.0);
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+double sample_normal(Xoshiro256pp& rng, double mean, double stddev) {
+  BMFUSION_REQUIRE(stddev >= 0.0, "normal sampling needs stddev >= 0");
+  return mean + stddev * sample_standard_normal(rng);
+}
+
+double sample_gamma(Xoshiro256pp& rng, double shape, double scale) {
+  BMFUSION_REQUIRE(shape > 0.0 && scale > 0.0,
+                   "gamma sampling needs positive shape and scale");
+  // Marsaglia & Tsang (2000). For shape < 1 boost via the standard
+  // U^(1/shape) trick.
+  if (shape < 1.0) {
+    const double boost =
+        std::pow(rng.next_double() + 1e-300, 1.0 / shape);
+    return boost * sample_gamma(rng, shape + 1.0, scale);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  while (true) {
+    double x = 0.0;
+    double v = 0.0;
+    do {
+      x = sample_standard_normal(rng);
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = rng.next_double();
+    const double x2 = x * x;
+    if (u < 1.0 - 0.0331 * x2 * x2) return scale * d * v;
+    if (u > 0.0 &&
+        std::log(u) < 0.5 * x2 + d * (1.0 - v + std::log(v))) {
+      return scale * d * v;
+    }
+  }
+}
+
+double sample_chi_squared(Xoshiro256pp& rng, double dof) {
+  BMFUSION_REQUIRE(dof > 0.0, "chi-squared sampling needs dof > 0");
+  return sample_gamma(rng, 0.5 * dof, 2.0);
+}
+
+double sample_exponential(Xoshiro256pp& rng, double rate) {
+  BMFUSION_REQUIRE(rate > 0.0, "exponential sampling needs rate > 0");
+  return -std::log1p(-rng.next_double()) / rate;
+}
+
+double normal_log_pdf(double x, double mean, double stddev) {
+  BMFUSION_REQUIRE(stddev > 0.0, "normal log-pdf needs stddev > 0");
+  const double z = (x - mean) / stddev;
+  return -0.5 * z * z - std::log(stddev) - kLogSqrt2Pi;
+}
+
+double gamma_log_pdf(double x, double shape, double scale) {
+  BMFUSION_REQUIRE(shape > 0.0 && scale > 0.0,
+                   "gamma log-pdf needs positive shape and scale");
+  BMFUSION_REQUIRE(x > 0.0, "gamma log-pdf needs x > 0");
+  return (shape - 1.0) * std::log(x) - x / scale - std::lgamma(shape) -
+         shape * std::log(scale);
+}
+
+}  // namespace bmfusion::stats

@@ -1,0 +1,68 @@
+#include "stats/wishart.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "stats/special.hpp"
+#include "stats/univariate.hpp"
+
+namespace bmfusion::stats {
+
+using linalg::Matrix;
+
+Wishart::Wishart(double dof, Matrix scale)
+    : dof_(dof), scale_(std::move(scale)), scale_chol_(scale_) {
+  BMFUSION_REQUIRE(
+      dof_ > static_cast<double>(scale_.rows()) - 1.0,
+      "wishart dof must exceed d - 1");
+}
+
+Matrix Wishart::mean() const { return scale_ * dof_; }
+
+Matrix Wishart::mode() const {
+  const double d = static_cast<double>(dimension());
+  BMFUSION_REQUIRE(dof_ > d + 1.0, "wishart mode needs dof > d + 1");
+  return scale_ * (dof_ - d - 1.0);
+}
+
+Matrix Wishart::sample(Xoshiro256pp& rng) const {
+  const std::size_t d = dimension();
+  // Bartlett: A lower-triangular, A_ii ~ sqrt(chi^2_{nu-i}), A_ij ~ N(0,1).
+  Matrix a(d, d);
+  for (std::size_t i = 0; i < d; ++i) {
+    a(i, i) = std::sqrt(
+        sample_chi_squared(rng, dof_ - static_cast<double>(i)));
+    for (std::size_t j = 0; j < i; ++j) {
+      a(i, j) = sample_standard_normal(rng);
+    }
+  }
+  const Matrix& l = scale_chol_.factor();
+  const Matrix la = l * a;
+  Matrix lambda = la * la.transposed();
+  lambda.symmetrize();
+  return lambda;
+}
+
+double Wishart::log_pdf(const Matrix& lambda) const {
+  BMFUSION_REQUIRE(lambda.rows() == dimension() && lambda.is_square(),
+                   "wishart log_pdf dimension mismatch");
+  const double d = static_cast<double>(dimension());
+  const linalg::Cholesky lam_chol(lambda);  // throws if not SPD
+  // tr(T^{-1} Lambda) = sum_ij [T^{-1}]_ij Lambda_ij.
+  const Matrix t_inv = scale_chol_.inverse();
+  double trace_term = 0.0;
+  for (std::size_t r = 0; r < dimension(); ++r) {
+    for (std::size_t c = 0; c < dimension(); ++c) {
+      trace_term += t_inv(r, c) * lambda(c, r);
+    }
+  }
+  const double log_det_lambda = lam_chol.log_determinant();
+  const double log_det_scale = scale_chol_.log_determinant();
+  const double log_norm =
+      0.5 * dof_ * d * std::log(2.0) + 0.5 * dof_ * log_det_scale +
+      log_multivariate_gamma(0.5 * dof_, dimension());
+  return 0.5 * (dof_ - d - 1.0) * log_det_lambda - 0.5 * trace_term -
+         log_norm;
+}
+
+}  // namespace bmfusion::stats

@@ -1,0 +1,44 @@
+// Wishart distribution Wi_nu(Lambda | T) over precision matrices.
+//
+// Used to encode (and, in tests, to sample from) the Wishart component of
+// the paper's normal-Wishart prior (eq. 12). The parameterization matches
+// the paper / Bishop: density ∝ |Lambda|^{(nu-d-1)/2} exp(-tr(T^{-1} Lambda)/2),
+// with mean nu*T and mode (nu-d-1)*T for nu > d+1.
+#pragma once
+
+#include "linalg/cholesky.hpp"
+#include "linalg/matrix.hpp"
+#include "stats/rng.hpp"
+
+namespace bmfusion::stats {
+
+/// Immutable Wishart distribution with cached factorization of the scale.
+class Wishart {
+ public:
+  /// `dof` must exceed d-1; `scale` must be SPD d x d.
+  Wishart(double dof, linalg::Matrix scale);
+
+  [[nodiscard]] std::size_t dimension() const { return scale_.rows(); }
+  [[nodiscard]] double dof() const { return dof_; }
+  [[nodiscard]] const linalg::Matrix& scale() const { return scale_; }
+
+  /// E[Lambda] = nu * T.
+  [[nodiscard]] linalg::Matrix mean() const;
+
+  /// Mode (nu - d - 1) * T; requires nu > d + 1.
+  [[nodiscard]] linalg::Matrix mode() const;
+
+  /// One draw via the Bartlett decomposition: Lambda = L A A^T L^T with
+  /// chol(T) = L L^T, A lower-triangular with chi-distributed diagonal.
+  [[nodiscard]] linalg::Matrix sample(Xoshiro256pp& rng) const;
+
+  /// Log-density at an SPD matrix `lambda`.
+  [[nodiscard]] double log_pdf(const linalg::Matrix& lambda) const;
+
+ private:
+  double dof_;
+  linalg::Matrix scale_;
+  linalg::Cholesky scale_chol_;
+};
+
+}  // namespace bmfusion::stats

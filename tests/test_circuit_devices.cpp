@@ -1,0 +1,294 @@
+// Tests for the MOSFET model, netlist construction and the process model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/mosfet.hpp"
+#include "circuit/netlist.hpp"
+#include "circuit/process.hpp"
+#include "common/contracts.hpp"
+#include "stats/rng.hpp"
+
+namespace bmfusion::circuit {
+namespace {
+
+MosfetModel nmos_model() {
+  MosfetModel m;
+  m.type = MosfetType::kNmos;
+  m.vth0 = 0.4;
+  m.kp = 400e-6;
+  m.lambda = 0.1;
+  return m;
+}
+
+MosfetModel pmos_model() {
+  MosfetModel m = nmos_model();
+  m.type = MosfetType::kPmos;
+  m.vth0 = 0.42;
+  m.kp = 180e-6;
+  return m;
+}
+
+constexpr MosfetGeometry kGeom{2e-6, 0.2e-6};  // W/L = 10
+
+// ------------------------------------------------------------------ mosfet
+
+TEST(Mosfet, CutoffBelowThreshold) {
+  const MosfetOp op = evaluate_mosfet(nmos_model(), kGeom, {}, 0.3, 1.0, 0.0);
+  EXPECT_EQ(op.region, MosfetRegion::kCutoff);
+  EXPECT_EQ(op.id, 0.0);
+  EXPECT_EQ(op.a_g, 0.0);
+}
+
+TEST(Mosfet, SaturationCurrentMatchesSquareLaw) {
+  // vgs = 0.6, vds = 1.0 >= vov = 0.2 -> saturation.
+  const MosfetOp op = evaluate_mosfet(nmos_model(), kGeom, {}, 0.6, 1.0, 0.0);
+  EXPECT_EQ(op.region, MosfetRegion::kSaturation);
+  const double beta = 400e-6 * 10.0;
+  const double expected = 0.5 * beta * 0.04 * (1.0 + 0.1 * 1.0);
+  EXPECT_NEAR(op.id, expected, 1e-12);
+}
+
+TEST(Mosfet, TriodeCurrentMatchesSquareLaw) {
+  // vgs = 1.0 (vov = 0.6), vds = 0.2 < vov -> triode.
+  const MosfetOp op = evaluate_mosfet(nmos_model(), kGeom, {}, 1.0, 0.2, 0.0);
+  EXPECT_EQ(op.region, MosfetRegion::kTriode);
+  const double beta = 400e-6 * 10.0;
+  const double expected =
+      beta * (0.6 * 0.2 - 0.5 * 0.04) * (1.0 + 0.1 * 0.2);
+  EXPECT_NEAR(op.id, expected, 1e-12);
+}
+
+TEST(Mosfet, CurrentContinuousAtRegionBoundary) {
+  // At vds = vov the triode and saturation formulas agree.
+  const double vov = 0.2;
+  const MosfetOp sat = evaluate_mosfet(nmos_model(), kGeom, {}, 0.4 + vov,
+                                       vov + 1e-9, 0.0);
+  const MosfetOp tri = evaluate_mosfet(nmos_model(), kGeom, {}, 0.4 + vov,
+                                       vov - 1e-9, 0.0);
+  EXPECT_NEAR(sat.id, tri.id, 1e-10);
+}
+
+TEST(Mosfet, ReverseOperationIsAntisymmetric) {
+  // Swapping drain and source negates the current (ignoring lambda asymmetry
+  // the square law is symmetric; with same vch magnitude this holds).
+  const MosfetOp fwd = evaluate_mosfet(nmos_model(), kGeom, {}, 0.8, 0.3, 0.0);
+  const MosfetOp rev = evaluate_mosfet(nmos_model(), kGeom, {}, 0.8, 0.0, 0.3);
+  EXPECT_NEAR(fwd.id, -rev.id, 1e-12);
+}
+
+TEST(Mosfet, PmosConductsWithNegativeGate) {
+  // PMOS source at 1.1 V, gate at 0.5 V -> vsg = 0.6 > vth: conducting,
+  // current flows source->drain so drain current is negative.
+  const MosfetOp op =
+      evaluate_mosfet(pmos_model(), kGeom, {}, 0.5, 0.0, 1.1);
+  EXPECT_EQ(op.region, MosfetRegion::kSaturation);
+  EXPECT_LT(op.id, 0.0);
+}
+
+TEST(Mosfet, PmosCutoffWithHighGate) {
+  const MosfetOp op =
+      evaluate_mosfet(pmos_model(), kGeom, {}, 1.1, 0.0, 1.1);
+  EXPECT_EQ(op.region, MosfetRegion::kCutoff);
+  EXPECT_EQ(op.id, 0.0);
+}
+
+TEST(Mosfet, DerivativesMatchFiniteDifferences) {
+  // Check a_g, a_d, a_s against central differences in all four cases:
+  // NMOS/PMOS x forward/reverse.
+  const double h = 1e-7;
+  struct Case {
+    MosfetModel model;
+    double vg, vd, vs;
+  };
+  const Case cases[] = {
+      {nmos_model(), 0.7, 0.8, 0.0},   // NMOS saturation
+      {nmos_model(), 0.9, 0.1, 0.0},   // NMOS triode
+      {nmos_model(), 0.9, 0.0, 0.25},  // NMOS reversed
+      {pmos_model(), 0.3, 0.2, 1.1},   // PMOS saturation
+      {pmos_model(), 0.3, 1.0, 1.1},   // PMOS triode
+      {pmos_model(), 0.3, 1.1, 0.2},   // PMOS reversed
+  };
+  for (const Case& c : cases) {
+    const MosfetOp op =
+        evaluate_mosfet(c.model, kGeom, {}, c.vg, c.vd, c.vs);
+    const auto id_at = [&](double vg, double vd, double vs) {
+      return evaluate_mosfet(c.model, kGeom, {}, vg, vd, vs).id;
+    };
+    const double fd_g =
+        (id_at(c.vg + h, c.vd, c.vs) - id_at(c.vg - h, c.vd, c.vs)) / (2 * h);
+    const double fd_d =
+        (id_at(c.vg, c.vd + h, c.vs) - id_at(c.vg, c.vd - h, c.vs)) / (2 * h);
+    const double fd_s =
+        (id_at(c.vg, c.vd, c.vs + h) - id_at(c.vg, c.vd, c.vs - h)) / (2 * h);
+    EXPECT_NEAR(op.a_g, fd_g, 1e-6) << "a_g mismatch";
+    EXPECT_NEAR(op.a_d, fd_d, 1e-6) << "a_d mismatch";
+    EXPECT_NEAR(op.a_s, fd_s, 1e-6) << "a_s mismatch";
+    EXPECT_NEAR(op.a_s, -(op.a_g + op.a_d), 1e-15);
+  }
+}
+
+TEST(Mosfet, VariationShiftsThresholdAndGain) {
+  MosfetVariation v;
+  v.dvth = 0.05;
+  const MosfetOp shifted =
+      evaluate_mosfet(nmos_model(), kGeom, v, 0.6, 1.0, 0.0);
+  const MosfetOp nominal =
+      evaluate_mosfet(nmos_model(), kGeom, {}, 0.6, 1.0, 0.0);
+  EXPECT_LT(shifted.id, nominal.id);  // higher vth -> less current
+
+  MosfetVariation g;
+  g.kp_factor = 1.2;
+  const MosfetOp boosted =
+      evaluate_mosfet(nmos_model(), kGeom, g, 0.6, 1.0, 0.0);
+  EXPECT_NEAR(boosted.id, 1.2 * nominal.id, 1e-15);
+}
+
+TEST(Mosfet, CapacitancesFollowRegion) {
+  const MosfetOp sat = evaluate_mosfet(nmos_model(), kGeom, {}, 0.6, 1.0, 0.0);
+  const MosfetOp tri = evaluate_mosfet(nmos_model(), kGeom, {}, 1.0, 0.1, 0.0);
+  const MosfetOp off = evaluate_mosfet(nmos_model(), kGeom, {}, 0.0, 1.0, 0.0);
+  // Saturation: cgs dominated by 2/3 channel; cgd only overlap.
+  EXPECT_GT(sat.cgs, sat.cgd);
+  // Triode: symmetric split.
+  EXPECT_NEAR(tri.cgs, tri.cgd, 1e-18);
+  // Cutoff: only overlap on both.
+  EXPECT_NEAR(off.cgs, off.cgd, 1e-20);
+  EXPECT_LT(off.cgs, sat.cgs);
+}
+
+TEST(Mosfet, InvalidInputsRejected) {
+  EXPECT_THROW(
+      (void)evaluate_mosfet(nmos_model(), {0.0, 1e-7}, {}, 0, 0, 0),
+      ContractError);
+  MosfetVariation bad;
+  bad.kp_factor = 0.0;
+  EXPECT_THROW((void)evaluate_mosfet(nmos_model(), kGeom, bad, 0, 0, 0),
+               ContractError);
+}
+
+TEST(Mosfet, RegionNames) {
+  EXPECT_EQ(to_string(MosfetRegion::kCutoff), "cutoff");
+  EXPECT_EQ(to_string(MosfetRegion::kTriode), "triode");
+  EXPECT_EQ(to_string(MosfetRegion::kSaturation), "saturation");
+}
+
+// ----------------------------------------------------------------- netlist
+
+TEST(Netlist, NodeCreationAndLookup) {
+  Netlist net;
+  const NodeId a = net.node("a");
+  EXPECT_EQ(a, net.node("a"));  // idempotent
+  EXPECT_EQ(net.node("gnd"), kGround);
+  EXPECT_EQ(net.node("0"), kGround);
+  EXPECT_EQ(net.find_node("a"), a);
+  EXPECT_THROW((void)net.find_node("missing"), ContractError);
+  EXPECT_EQ(net.node_name(a), "a");
+  EXPECT_EQ(net.node_count(), 1u);
+}
+
+TEST(Netlist, ElementValidation) {
+  Netlist net;
+  const NodeId a = net.node("a");
+  EXPECT_THROW(net.add_resistor("R1", a, a, 1e3), ContractError);
+  EXPECT_THROW(net.add_resistor("R1", a, kGround, 0.0), ContractError);
+  EXPECT_THROW(net.add_capacitor("C1", a, kGround, -1e-12), ContractError);
+  EXPECT_THROW(net.add_voltage_source("V1", a, a, 1.0), ContractError);
+  net.add_resistor("R1", a, kGround, 1e3);
+  EXPECT_EQ(net.resistors().size(), 1u);
+}
+
+TEST(Netlist, UnknownCountIncludesSourceBranches) {
+  Netlist net;
+  const NodeId a = net.node("a");
+  const NodeId b = net.node("b");
+  net.add_voltage_source("V1", a, kGround, 1.0);
+  net.add_voltage_source("V2", b, kGround, 2.0);
+  EXPECT_EQ(net.unknown_count(), 4u);  // 2 nodes + 2 branches
+}
+
+TEST(Netlist, InitialGuessOnGroundIgnored) {
+  Netlist net;
+  net.node("a");
+  net.set_initial_guess(kGround, 5.0);
+  EXPECT_TRUE(net.initial_guesses().empty());
+}
+
+// ----------------------------------------------------------------- process
+
+TEST(Process, PelgromScalingWithArea) {
+  const ProcessModel pm = ProcessModel::cmos45();
+  const double small = pm.local_vth_sigma({1e-6, 0.1e-6});
+  const double large = pm.local_vth_sigma({2e-6, 0.2e-6});
+  EXPECT_NEAR(small / large, 2.0, 1e-12);  // 4x area -> half sigma
+}
+
+TEST(Process, GlobalVariationStatistics) {
+  const ProcessModel pm = ProcessModel::cmos45();
+  stats::Xoshiro256pp rng(40);
+  double sum_vth = 0.0, sum_vth2 = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const GlobalVariation g = pm.sample_global(rng);
+    sum_vth += g.dvth_nmos;
+    sum_vth2 += g.dvth_nmos * g.dvth_nmos;
+    EXPECT_GT(g.kp_factor_nmos, 0.0);
+    EXPECT_GT(g.res_factor, 0.0);
+    EXPECT_GT(g.cap_factor, 0.0);
+  }
+  const double mean = sum_vth / kN;
+  const double sd = std::sqrt(sum_vth2 / kN - mean * mean);
+  EXPECT_NEAR(mean, 0.0, 0.001);
+  EXPECT_NEAR(sd, pm.statistics().sigma_vth_global, 0.002);
+}
+
+TEST(Process, DeviceVariationCombinesGlobalAndLocal) {
+  const ProcessModel pm = ProcessModel::cmos45();
+  stats::Xoshiro256pp rng(41);
+  GlobalVariation g;
+  g.dvth_nmos = 0.1;  // huge global shift
+  double sum = 0.0;
+  constexpr int kN = 5000;
+  for (int i = 0; i < kN; ++i) {
+    sum += pm.sample_device(rng, g, MosfetType::kNmos, {1e-6, 1e-6}).dvth;
+  }
+  EXPECT_NEAR(sum / kN, 0.1, 0.001);  // centered on the global component
+}
+
+TEST(Process, PmosUsesItsOwnGlobalComponent) {
+  const ProcessModel pm = ProcessModel::cmos45();
+  stats::Xoshiro256pp rng(42);
+  GlobalVariation g;
+  g.dvth_nmos = 0.1;
+  g.dvth_pmos = -0.1;
+  double sum = 0.0;
+  constexpr int kN = 5000;
+  for (int i = 0; i < kN; ++i) {
+    sum += pm.sample_device(rng, g, MosfetType::kPmos, {1e-6, 1e-6}).dvth;
+  }
+  EXPECT_NEAR(sum / kN, -0.1, 0.001);
+}
+
+TEST(Process, PassiveFactorsCenteredOnGlobal) {
+  const ProcessModel pm = ProcessModel::cmos180();
+  stats::Xoshiro256pp rng(43);
+  GlobalVariation g;
+  g.res_factor = 1.1;
+  g.cap_factor = 0.9;
+  double sum_r = 0.0, sum_c = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    sum_r += pm.sample_resistor_factor(rng, g);
+    sum_c += pm.sample_capacitor_factor(rng, g);
+  }
+  EXPECT_NEAR(sum_r / kN, 1.1, 0.005);
+  EXPECT_NEAR(sum_c / kN, 0.9, 0.005);
+}
+
+TEST(Process, NamedTechnologiesDiffer) {
+  EXPECT_GT(ProcessModel::cmos180().statistics().avt,
+            ProcessModel::cmos45().statistics().avt);
+}
+
+}  // namespace
+}  // namespace bmfusion::circuit

@@ -1,0 +1,259 @@
+// Tests for the dsp substrate: FFT, windows, single-tone spectral analysis.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/spectrum.hpp"
+#include "dsp/window.hpp"
+#include "stats/rng.hpp"
+#include "stats/univariate.hpp"
+
+namespace bmfusion::dsp {
+namespace {
+
+constexpr double kPi = 3.141592653589793238462643383279502884;
+
+std::vector<double> make_tone(std::size_t n, double cycles, double amplitude,
+                              double phase = 0.0) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = amplitude *
+           std::sin(2.0 * kPi * cycles * static_cast<double>(i) /
+                        static_cast<double>(n) +
+                    phase);
+  }
+  return x;
+}
+
+// --------------------------------------------------------------------- fft
+
+TEST(Fft, PowerOfTwoDetection) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(2));
+  EXPECT_TRUE(is_power_of_two(1024));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(3));
+  EXPECT_FALSE(is_power_of_two(1000));
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<Complex> data(3);
+  EXPECT_THROW(fft_inplace(data, false), ContractError);
+}
+
+TEST(Fft, DcSignalConcentratesInBinZero) {
+  const std::vector<Complex> spec = fft_real(std::vector<double>(16, 2.0));
+  EXPECT_NEAR(spec[0].real(), 32.0, 1e-12);
+  for (std::size_t k = 1; k < 16; ++k) {
+    EXPECT_NEAR(std::abs(spec[k]), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, SingleToneLandsInExpectedBin) {
+  const std::size_t n = 64;
+  const std::vector<Complex> spec = fft_real(make_tone(n, 5.0, 1.0));
+  // sin tone of amplitude 1: |X[5]| = n/2.
+  EXPECT_NEAR(std::abs(spec[5]), 32.0, 1e-9);
+  EXPECT_NEAR(std::abs(spec[n - 5]), 32.0, 1e-9);
+  EXPECT_NEAR(std::abs(spec[4]), 0.0, 1e-9);
+}
+
+TEST(Fft, InverseRoundTrip) {
+  stats::Xoshiro256pp rng(1);
+  std::vector<Complex> data(128);
+  for (Complex& c : data) {
+    c = Complex{rng.next_uniform(-1, 1), rng.next_uniform(-1, 1)};
+  }
+  const std::vector<Complex> back = ifft(fft(data));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(std::abs(back[i] - data[i]), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, LinearityHolds) {
+  const auto x = make_tone(32, 3.0, 1.0);
+  const auto y = make_tone(32, 7.0, 0.5);
+  std::vector<double> sum(32);
+  for (std::size_t i = 0; i < 32; ++i) sum[i] = x[i] + y[i];
+  const auto fx = fft_real(x);
+  const auto fy = fft_real(y);
+  const auto fsum = fft_real(sum);
+  for (std::size_t k = 0; k < 32; ++k) {
+    EXPECT_NEAR(std::abs(fsum[k] - fx[k] - fy[k]), 0.0, 1e-10);
+  }
+}
+
+TEST(Fft, ParsevalEnergyConservation) {
+  stats::Xoshiro256pp rng(2);
+  std::vector<double> x(256);
+  double time_energy = 0.0;
+  for (double& v : x) {
+    v = rng.next_uniform(-1, 1);
+    time_energy += v * v;
+  }
+  const auto spec = fft_real(x);
+  double freq_energy = 0.0;
+  for (const Complex& c : spec) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy / 256.0, time_energy, 1e-9);
+}
+
+TEST(Fft, SizeOneIsIdentity) {
+  std::vector<Complex> data{Complex{3.0, 4.0}};
+  fft_inplace(data, false);
+  EXPECT_EQ(data[0], (Complex{3.0, 4.0}));
+}
+
+// ------------------------------------------------------------------ window
+
+TEST(Window, RectangularIsAllOnes) {
+  const auto w = make_window(WindowKind::kRectangular, 8);
+  for (const double v : w) EXPECT_EQ(v, 1.0);
+  EXPECT_DOUBLE_EQ(window_coherent_gain(w), 1.0);
+  EXPECT_DOUBLE_EQ(window_noise_gain(w), 8.0);
+}
+
+TEST(Window, HannProperties) {
+  const auto w = make_window(WindowKind::kHann, 64);
+  EXPECT_NEAR(w[0], 0.0, 1e-12);             // periodic Hann starts at 0
+  EXPECT_NEAR(w[32], 1.0, 1e-12);            // peak mid-window
+  EXPECT_NEAR(window_coherent_gain(w), 0.5, 1e-12);
+}
+
+TEST(Window, BlackmanHarrisPositiveAndPeaked) {
+  const auto w = make_window(WindowKind::kBlackmanHarris, 64);
+  double max = 0.0;
+  for (const double v : w) {
+    EXPECT_GT(v, -1e-6);
+    max = std::max(max, v);
+  }
+  EXPECT_NEAR(max, 1.0, 0.01);
+}
+
+TEST(Window, ToneHalfwidths) {
+  EXPECT_EQ(window_tone_halfwidth(WindowKind::kRectangular), 0u);
+  EXPECT_EQ(window_tone_halfwidth(WindowKind::kHann), 2u);
+  EXPECT_EQ(window_tone_halfwidth(WindowKind::kBlackmanHarris), 4u);
+}
+
+TEST(Window, ZeroLengthRejected) {
+  EXPECT_THROW((void)make_window(WindowKind::kHann, 0), ContractError);
+}
+
+// ---------------------------------------------------------------- spectrum
+
+TEST(Spectrum, PowerOfPureToneIsHalfAmplitudeSquared) {
+  const auto power =
+      power_spectrum(make_tone(1024, 11.0, 0.8), WindowKind::kRectangular);
+  // Tone power = A^2/2 = 0.32, all in bin 11.
+  EXPECT_NEAR(power[11], 0.32, 1e-9);
+  EXPECT_NEAR(power[12], 0.0, 1e-12);
+}
+
+TEST(Spectrum, CoherentFrequencyIsOddBin) {
+  const double fs = 100e6;
+  const std::size_t n = 4096;
+  const double f = coherent_frequency(fs, n, 0.23);
+  const double cycles = f * static_cast<double>(n) / fs;
+  EXPECT_NEAR(cycles, std::round(cycles), 1e-9);  // integer cycles
+  EXPECT_EQ(static_cast<long>(std::lround(cycles)) % 2, 1);  // odd
+}
+
+TEST(Spectrum, AnalyzeCleanToneHasHugeSnr) {
+  ToneAnalysis t = analyze_tone(make_tone(4096, 231.0, 1.0));
+  EXPECT_EQ(t.fundamental_bin, 231u);
+  EXPECT_GT(t.snr_db, 200.0);
+  EXPECT_GT(t.sfdr_db, 200.0);
+  EXPECT_LT(t.thd_db, -200.0);
+}
+
+TEST(Spectrum, SnrMatchesAnalyticForAdditiveNoise) {
+  // Tone A = 1 (power 0.5) plus white noise sigma = 0.01 (power 1e-4):
+  // SNR = 10 log10(0.5 / 1e-4) = 37 dB approximately.
+  stats::Xoshiro256pp rng(3);
+  auto x = make_tone(4096, 231.0, 1.0);
+  for (double& v : x) v += stats::sample_normal(rng, 0.0, 0.01);
+  const ToneAnalysis t = analyze_tone(x);
+  EXPECT_NEAR(t.snr_db, 37.0, 1.0);
+  EXPECT_NEAR(t.enob_bits, (t.sinad_db - 1.76) / 6.02, 1e-12);
+}
+
+TEST(Spectrum, ThdMeasuresKnownHarmonicRatio) {
+  // Fundamental A1 = 1, third harmonic A3 = 0.01 -> THD = -40 dB.
+  auto x = make_tone(4096, 101.0, 1.0);
+  const auto h3 = make_tone(4096, 303.0, 0.01);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] += h3[i];
+  const ToneAnalysis t = analyze_tone(x);
+  EXPECT_NEAR(t.thd_db, -40.0, 0.5);
+  EXPECT_NEAR(t.sfdr_db, 40.0, 0.5);
+}
+
+TEST(Spectrum, AliasedHarmonicIsStillCounted) {
+  // Fundamental at bin 1500 of 4096: 2nd harmonic (3000) aliases to 1096.
+  auto x = make_tone(4096, 1500.0, 1.0);
+  const auto h2 = make_tone(4096, 3000.0, 0.02);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] += h2[i];
+  const ToneAnalysis t = analyze_tone(x);
+  EXPECT_NEAR(t.thd_db, 10.0 * std::log10(0.02 * 0.02 / 2.0 / 0.5), 1.0);
+}
+
+TEST(Spectrum, QuantizedSineSnrNearTheoreticalLimit) {
+  // 8-bit quantization of a full-scale sine: SNR ~ 6.02*8 + 1.76 = 49.9 dB.
+  const std::size_t n = 4096;
+  auto x = make_tone(n, 231.0, 1.0);
+  for (double& v : x) {
+    v = std::round(v * 128.0) / 128.0;
+  }
+  const ToneAnalysis t = analyze_tone(x);
+  EXPECT_NEAR(t.sinad_db, 49.9, 3.0);
+  EXPECT_NEAR(t.enob_bits, 8.0, 0.5);
+}
+
+TEST(Spectrum, WindowsContainLeakageOfNonCoherentTone) {
+  // Non-integer cycle count: rectangular analysis smears badly; tapering
+  // recovers SNR in proportion to the window's sidelobe suppression.
+  const std::size_t n = 4096;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(2.0 * kPi * 231.37 * static_cast<double>(i) /
+                    static_cast<double>(n));
+  }
+  const auto snr_with = [&](WindowKind w) {
+    ToneAnalysisConfig cfg;
+    cfg.window = w;
+    return analyze_tone(x, cfg).snr_db;
+  };
+  const double rect = snr_with(WindowKind::kRectangular);
+  const double hann = snr_with(WindowKind::kHann);
+  const double bh = snr_with(WindowKind::kBlackmanHarris);
+  EXPECT_GT(hann, rect + 10.0);
+  EXPECT_GT(bh, hann + 5.0);
+}
+
+TEST(Spectrum, RejectsShortOrNonPowerOfTwoCaptures) {
+  EXPECT_THROW((void)analyze_tone(std::vector<double>(8, 0.0)),
+               ContractError);
+  EXPECT_THROW((void)analyze_tone(std::vector<double>(100, 0.0)),
+               ContractError);
+}
+
+TEST(Spectrum, CoherentFrequencyDomainChecks) {
+  EXPECT_THROW((void)coherent_frequency(-1.0, 64, 0.2), ContractError);
+  EXPECT_THROW((void)coherent_frequency(1e6, 100, 0.2), ContractError);
+  EXPECT_THROW((void)coherent_frequency(1e6, 64, 0.7), ContractError);
+}
+
+class SpectrumAmplitudeSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SpectrumAmplitudeSweep, SignalPowerTracksAmplitude) {
+  const double a = GetParam();
+  const ToneAnalysis t = analyze_tone(make_tone(1024, 77.0, a));
+  EXPECT_NEAR(t.signal_power, a * a / 2.0, 1e-9 * (1.0 + a * a));
+}
+
+INSTANTIATE_TEST_SUITE_P(Amplitudes, SpectrumAmplitudeSweep,
+                         ::testing::Values(0.1, 0.5, 1.0, 2.0, 10.0));
+
+}  // namespace
+}  // namespace bmfusion::dsp

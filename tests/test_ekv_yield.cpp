@@ -1,0 +1,218 @@
+// Tests for the EKV all-region MOSFET equation and the importance-sampling
+// yield estimator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/dc.hpp"
+#include "circuit/mosfet.hpp"
+#include "circuit/netlist.hpp"
+#include "common/contracts.hpp"
+#include "core/yield.hpp"
+#include "stats/rng.hpp"
+#include "stats/special.hpp"
+
+namespace bmfusion {
+namespace {
+
+using circuit::MosfetEquation;
+using circuit::MosfetGeometry;
+using circuit::MosfetModel;
+using circuit::MosfetOp;
+using circuit::MosfetRegion;
+using circuit::evaluate_mosfet;
+using linalg::Matrix;
+using linalg::Vector;
+
+MosfetModel ekv_model() {
+  MosfetModel m;
+  m.equation = MosfetEquation::kEkv;
+  m.vth0 = 0.4;
+  m.kp = 400e-6;
+  m.lambda = 0.1;
+  m.slope_n = 1.3;
+  return m;
+}
+
+constexpr MosfetGeometry kGeom{2e-6, 0.2e-6};  // W/L = 10
+
+// --------------------------------------------------------------------- ekv
+
+TEST(Ekv, StrongInversionMatchesScaledSquareLaw) {
+  // Deep strong inversion & saturation: Id -> beta/(2n) (vgs - vth)^2 clm.
+  const MosfetModel m = ekv_model();
+  const double vgs = 1.2;  // vov = 0.8 >> n vt
+  const double vds = 1.5;
+  const MosfetOp op = evaluate_mosfet(m, kGeom, {}, vgs, vds, 0.0);
+  const double beta = m.kp * 10.0;
+  const double expected =
+      0.5 * beta / m.slope_n * 0.8 * 0.8 * (1.0 + m.lambda * vds);
+  EXPECT_NEAR(op.id, expected, 0.03 * expected);
+}
+
+TEST(Ekv, SubthresholdSlopeMatchesTheory) {
+  // Weak inversion: Id proportional to exp(vgs/(n vt)); one n*vt*ln(10)
+  // of gate drive changes the current by 10x.
+  const MosfetModel m = ekv_model();
+  // Deep weak inversion (vov ~ -0.25 V, several n*vt below threshold) so
+  // softplus^2 is in its exponential asymptote.
+  const double decade = m.slope_n * m.thermal_v * std::log(10.0);
+  const double i1 = evaluate_mosfet(m, kGeom, {}, 0.15, 0.5, 0.0).id;
+  const double i2 =
+      evaluate_mosfet(m, kGeom, {}, 0.15 + decade, 0.5, 0.0).id;
+  EXPECT_GT(i1, 0.0);  // conducts below threshold (square law would not)
+  EXPECT_NEAR(i2 / i1, 10.0, 0.5);
+}
+
+TEST(Ekv, SquareLawHasNoSubthresholdCurrent) {
+  MosfetModel m = ekv_model();
+  m.equation = MosfetEquation::kSquareLaw;
+  EXPECT_EQ(evaluate_mosfet(m, kGeom, {}, 0.25, 0.5, 0.0).id, 0.0);
+}
+
+TEST(Ekv, CurrentIsSmoothAcrossThreshold) {
+  // Scan vgs through vth: the EKV current and its finite-difference gm must
+  // show no kinks (relative jump bounded), unlike the square law whose gm
+  // jumps at vov = 0.
+  const MosfetModel m = ekv_model();
+  double prev_gm = -1.0;
+  for (double vgs = 0.30; vgs <= 0.50; vgs += 0.005) {
+    const MosfetOp op = evaluate_mosfet(m, kGeom, {}, vgs, 0.8, 0.0);
+    EXPECT_GT(op.id, 0.0);
+    EXPECT_GT(op.a_g, 0.0);
+    if (prev_gm > 0.0) {
+      EXPECT_LT(op.a_g / prev_gm, 1.6);  // smooth growth, no jump
+    }
+    prev_gm = op.a_g;
+  }
+}
+
+TEST(Ekv, DerivativesMatchFiniteDifferences) {
+  const MosfetModel m = ekv_model();
+  const double h = 1e-7;
+  const struct {
+    double vg, vd, vs;
+  } cases[] = {
+      {0.7, 0.9, 0.0},   // strong inversion saturation
+      {0.9, 0.1, 0.0},   // triode
+      {0.35, 0.5, 0.0},  // subthreshold
+      {0.8, 0.0, 0.3},   // reverse
+  };
+  for (const auto& c : cases) {
+    const MosfetOp op = evaluate_mosfet(m, kGeom, {}, c.vg, c.vd, c.vs);
+    const auto id_at = [&](double vg, double vd, double vs) {
+      return evaluate_mosfet(m, kGeom, {}, vg, vd, vs).id;
+    };
+    const double fd_g =
+        (id_at(c.vg + h, c.vd, c.vs) - id_at(c.vg - h, c.vd, c.vs)) / (2 * h);
+    const double fd_d =
+        (id_at(c.vg, c.vd + h, c.vs) - id_at(c.vg, c.vd - h, c.vs)) / (2 * h);
+    const double scale = std::max(1e-9, std::fabs(fd_g));
+    EXPECT_NEAR(op.a_g, fd_g, 1e-5 * scale + 1e-12);
+    EXPECT_NEAR(op.a_d, fd_d, 1e-5 * std::max(1e-9, std::fabs(fd_d)) + 1e-12);
+    EXPECT_NEAR(op.a_s, -(op.a_g + op.a_d), 1e-15);
+  }
+}
+
+TEST(Ekv, ZeroVdsGivesZeroCurrent) {
+  const MosfetOp op = evaluate_mosfet(ekv_model(), kGeom, {}, 0.8, 0.3, 0.3);
+  EXPECT_NEAR(op.id, 0.0, 1e-15);
+}
+
+TEST(Ekv, ReverseOperationAntisymmetric) {
+  const MosfetModel m = ekv_model();
+  const double fwd = evaluate_mosfet(m, kGeom, {}, 0.8, 0.3, 0.0).id;
+  const double rev = evaluate_mosfet(m, kGeom, {}, 0.8, 0.0, 0.3).id;
+  EXPECT_NEAR(fwd, -rev, 1e-12);
+}
+
+TEST(Ekv, DiodeConnectedBiasSolvesWithNewton) {
+  // The smooth equation must work inside the DC solver.
+  circuit::Netlist net;
+  const auto vdd = net.node("vdd");
+  const auto d = net.node("d");
+  net.add_voltage_source("VDD", vdd, circuit::kGround, 1.1);
+  net.add_resistor("R", vdd, d, 50e3);
+  net.add_mosfet("M1", d, d, circuit::kGround, ekv_model(), kGeom, {});
+  const circuit::OperatingPoint op = circuit::DcSolver().solve(net);
+  const double vgs = op.voltage(d);
+  EXPECT_GT(vgs, 0.3);
+  EXPECT_LT(vgs, 0.7);
+  // KCL: resistor current equals device current.
+  EXPECT_NEAR((1.1 - vgs) / 50e3, op.mosfet_op(0).id, 1e-9);
+}
+
+// ------------------------------------------------- importance sampling
+
+core::GaussianMoments standard_2d() {
+  core::GaussianMoments m;
+  m.mean = Vector{0.0, 0.0};
+  m.covariance = Matrix::identity(2);
+  return m;
+}
+
+TEST(ImportanceSampling, MatchesPhiForOneSidedSpec) {
+  // Failure: x0 > 4 => p_fail = 1 - Phi(4) = 3.167e-5. Plain MC with 2e4
+  // samples would see ~0.6 failures; IS nails it.
+  const double inf = std::numeric_limits<double>::infinity();
+  core::SpecBox box{Vector{-inf, -inf}, Vector{4.0, inf}};
+  stats::Xoshiro256pp rng(1);
+  const core::ImportanceSamplingResult r =
+      core::estimate_yield_importance(standard_2d(), box, rng, 20000);
+  const double exact = 1.0 - stats::standard_normal_cdf(4.0);
+  EXPECT_NEAR(r.failure_probability, exact, 0.1 * exact);
+  EXPECT_LT(r.standard_error, 0.05 * exact);
+  EXPECT_NEAR(r.shift_point[0], 4.0, 1e-12);
+  EXPECT_NEAR(r.shift_point[1], 0.0, 1e-12);
+}
+
+TEST(ImportanceSampling, SixSigmaEventIsEstimable) {
+  // p_fail = 1 - Phi(6) ~ 9.9e-10: utterly invisible to plain MC.
+  const double inf = std::numeric_limits<double>::infinity();
+  core::SpecBox box{Vector{-inf}, Vector{6.0}};
+  core::GaussianMoments m;
+  m.mean = Vector{0.0};
+  m.covariance = Matrix{{1.0}};
+  stats::Xoshiro256pp rng(2);
+  const core::ImportanceSamplingResult r =
+      core::estimate_yield_importance(m, box, rng, 50000);
+  const double exact = 1.0 - stats::standard_normal_cdf(6.0);
+  EXPECT_NEAR(r.failure_probability, exact, 0.15 * exact);
+}
+
+TEST(ImportanceSampling, ShiftFollowsCorrelation) {
+  // Correlated metrics: the shift point moves *both* coordinates along the
+  // conditional-mean line, not just the constrained one.
+  core::GaussianMoments m;
+  m.mean = Vector{0.0, 0.0};
+  m.covariance = Matrix{{1.0, 0.8}, {0.8, 1.0}};
+  const double inf = std::numeric_limits<double>::infinity();
+  core::SpecBox box{Vector{-inf, -inf}, Vector{3.0, inf}};
+  stats::Xoshiro256pp rng(3);
+  const core::ImportanceSamplingResult r =
+      core::estimate_yield_importance(m, box, rng, 5000);
+  EXPECT_NEAR(r.shift_point[0], 3.0, 1e-12);
+  EXPECT_NEAR(r.shift_point[1], 2.4, 1e-12);  // rho * 3
+}
+
+TEST(ImportanceSampling, AgreesWithPlainMcAtModerateYield) {
+  // Failure probability ~ 8%: both estimators should agree.
+  const double inf = std::numeric_limits<double>::infinity();
+  core::SpecBox box{Vector{-inf, -inf}, Vector{1.4, inf}};
+  stats::Xoshiro256pp rng(4);
+  const core::ImportanceSamplingResult is =
+      core::estimate_yield_importance(standard_2d(), box, rng, 40000);
+  const core::YieldEstimate mc =
+      core::estimate_yield(standard_2d(), box, rng, 200000);
+  EXPECT_NEAR(is.yield, mc.yield, 0.01);
+}
+
+TEST(ImportanceSampling, RequiresAFiniteSpec) {
+  stats::Xoshiro256pp rng(5);
+  EXPECT_THROW((void)core::estimate_yield_importance(
+                   standard_2d(), core::SpecBox::unconstrained(2), rng, 100),
+               ContractError);
+}
+
+}  // namespace
+}  // namespace bmfusion

@@ -1,0 +1,211 @@
+// Tests for the experiment harness (the Figures 4/5 machinery) and the
+// cost-reduction computation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/dataset.hpp"
+#include "common/contracts.hpp"
+#include "core/experiment.hpp"
+#include "stats/mvn.hpp"
+#include "stats/rng.hpp"
+
+namespace bmfusion::core {
+namespace {
+
+using circuit::Dataset;
+using linalg::Matrix;
+using linalg::Vector;
+
+/// Synthetic early/late stage pair with identical shape and shifted
+/// nominals — an idealized "paper setting" that BMF should exploit fully.
+struct SyntheticStages {
+  Dataset early;
+  Vector early_nominal;
+  Dataset late;
+  Vector late_nominal;
+};
+
+SyntheticStages make_stages(std::size_t n_early, std::size_t n_late) {
+  GaussianMoments shape;
+  shape.mean = Vector{0.2, -0.1, 0.05};
+  shape.covariance =
+      Matrix{{1.0, 0.5, 0.2}, {0.5, 2.0, -0.3}, {0.2, -0.3, 0.8}};
+
+  const Vector early_nominal{10.0, 100.0, -5.0};
+  const Vector late_nominal{12.0, 90.0, -6.0};
+
+  stats::Xoshiro256pp rng(2024);
+  const stats::MultivariateNormal mvn(shape.mean, shape.covariance);
+  Matrix early(n_early, 3);
+  for (std::size_t i = 0; i < n_early; ++i) {
+    early.set_row(i, mvn.sample(rng) + early_nominal);
+  }
+  Matrix late(n_late, 3);
+  for (std::size_t i = 0; i < n_late; ++i) {
+    late.set_row(i, mvn.sample(rng) + late_nominal);
+  }
+  const std::vector<std::string> names{"m1", "m2", "m3"};
+  return SyntheticStages{Dataset(names, std::move(early)), early_nominal,
+                         Dataset(names, std::move(late)), late_nominal};
+}
+
+TEST(Experiment, ScaledSpacesAreAligned) {
+  const SyntheticStages s = make_stages(4000, 4000);
+  const MomentExperiment exp(s.early, s.early_nominal, s.late,
+                             s.late_nominal);
+  // After shift/scale the early prior and late ground truth nearly match.
+  EXPECT_LT(mean_error(exp.early_scaled().mean, exp.exact_scaled().mean),
+            0.1);
+  EXPECT_LT(covariance_error(exp.early_scaled().covariance,
+                             exp.exact_scaled().covariance),
+            0.15);
+  // And the early scaled variances are exactly 1 by construction.
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(exp.early_scaled().covariance(i, i), 1.0, 1e-9);
+  }
+}
+
+TEST(Experiment, BmfBeatsMleAtSmallSampleSizes) {
+  const SyntheticStages s = make_stages(4000, 2000);
+  const MomentExperiment exp(s.early, s.early_nominal, s.late,
+                             s.late_nominal);
+  ExperimentConfig cfg;
+  cfg.sample_sizes = {8, 64};
+  cfg.repetitions = 15;
+  const ExperimentResult res = exp.run(cfg);
+  ASSERT_EQ(res.rows.size(), 2u);
+  EXPECT_EQ(res.rows[0].n, 8u);
+  // Idealized prior: BMF clearly ahead on both moments at n = 8.
+  EXPECT_LT(res.rows[0].bmf_cov_error, 0.7 * res.rows[0].mle_cov_error);
+  EXPECT_LT(res.rows[0].bmf_mean_error, 0.8 * res.rows[0].mle_mean_error);
+  // Errors decrease with n for both estimators.
+  EXPECT_LT(res.rows[1].mle_cov_error, res.rows[0].mle_cov_error);
+  EXPECT_LE(res.rows[1].bmf_cov_error, res.rows[0].bmf_cov_error + 0.05);
+}
+
+TEST(Experiment, MedianHyperparametersReportedWithinGrid) {
+  const SyntheticStages s = make_stages(2000, 1000);
+  const MomentExperiment exp(s.early, s.early_nominal, s.late,
+                             s.late_nominal);
+  ExperimentConfig cfg;
+  cfg.sample_sizes = {16};
+  cfg.repetitions = 9;
+  const ExperimentResult res = exp.run(cfg);
+  EXPECT_GE(res.rows[0].median_kappa0, cfg.cv.kappa_min);
+  EXPECT_LE(res.rows[0].median_kappa0, cfg.cv.kappa_max);
+  EXPECT_GE(res.rows[0].median_nu0, 3.0 + cfg.cv.nu_offset_min);
+  EXPECT_LE(res.rows[0].median_nu0, 3.0 + cfg.cv.nu_offset_max);
+}
+
+TEST(Experiment, UnivariateColumnsAreNanWhenDisabled) {
+  const SyntheticStages s = make_stages(1000, 500);
+  const MomentExperiment exp(s.early, s.early_nominal, s.late,
+                             s.late_nominal);
+  ExperimentConfig cfg;
+  cfg.sample_sizes = {8};
+  cfg.repetitions = 3;
+  cfg.include_univariate = false;
+  const ExperimentResult res = exp.run(cfg);
+  EXPECT_TRUE(std::isnan(res.rows[0].uni_mean_error));
+}
+
+TEST(Experiment, UnivariateBaselineRunsWhenEnabled) {
+  const SyntheticStages s = make_stages(1000, 500);
+  const MomentExperiment exp(s.early, s.early_nominal, s.late,
+                             s.late_nominal);
+  ExperimentConfig cfg;
+  cfg.sample_sizes = {8};
+  cfg.repetitions = 3;
+  cfg.include_univariate = true;
+  const ExperimentResult res = exp.run(cfg);
+  EXPECT_TRUE(std::isfinite(res.rows[0].uni_mean_error));
+  EXPECT_TRUE(std::isfinite(res.rows[0].uni_cov_error));
+  // Univariate cannot represent the off-diagonals; multivariate BMF wins.
+  EXPECT_LT(res.rows[0].bmf_cov_error, res.rows[0].uni_cov_error);
+}
+
+TEST(Experiment, DeterministicForFixedSeed) {
+  const SyntheticStages s = make_stages(800, 400);
+  const MomentExperiment exp(s.early, s.early_nominal, s.late,
+                             s.late_nominal);
+  ExperimentConfig cfg;
+  cfg.sample_sizes = {8};
+  cfg.repetitions = 4;
+  cfg.seed = 99;
+  const ExperimentResult a = exp.run(cfg);
+  const ExperimentResult b = exp.run(cfg);
+  EXPECT_DOUBLE_EQ(a.rows[0].bmf_cov_error, b.rows[0].bmf_cov_error);
+  EXPECT_DOUBLE_EQ(a.rows[0].mle_mean_error, b.rows[0].mle_mean_error);
+}
+
+TEST(Experiment, InputValidation) {
+  const SyntheticStages s = make_stages(100, 50);
+  const MomentExperiment exp(s.early, s.early_nominal, s.late,
+                             s.late_nominal);
+  ExperimentConfig cfg;
+  cfg.sample_sizes = {500};  // more than the late population
+  EXPECT_THROW((void)exp.run(cfg), ContractError);
+  cfg.sample_sizes = {};
+  EXPECT_THROW((void)exp.run(cfg), ContractError);
+  cfg.sample_sizes = {8};
+  cfg.repetitions = 0;
+  EXPECT_THROW((void)exp.run(cfg), ContractError);
+}
+
+TEST(Experiment, MismatchedMetricsRejected) {
+  const SyntheticStages s = make_stages(100, 50);
+  const Dataset other({"a"}, Matrix(50, 1, 1.0));
+  EXPECT_THROW(MomentExperiment(s.early, s.early_nominal, other, Vector(1)),
+               ContractError);
+}
+
+// ---------------------------------------------------------- cost reduction
+
+std::vector<ExperimentRow> synthetic_rows() {
+  // MLE error ~ 8/sqrt(n); BMF error constant 1.0 => at n = 16 the MLE
+  // error is 2.0 and reaches 1.0 at n = 64: factor 4.
+  std::vector<ExperimentRow> rows;
+  for (const std::size_t n : {8, 16, 32, 64, 128}) {
+    ExperimentRow r;
+    r.n = n;
+    r.mle_mean_error = 8.0 / std::sqrt(static_cast<double>(n));
+    r.mle_cov_error = r.mle_mean_error;
+    r.bmf_mean_error = 1.0;
+    r.bmf_cov_error = 1.0;
+    rows.push_back(r);
+  }
+  return rows;
+}
+
+TEST(CostReduction, InterpolatesAlongMleCurve) {
+  const std::vector<ExperimentRow> rows = synthetic_rows();
+  EXPECT_NEAR(cost_reduction_factor(rows, 16, false), 4.0, 0.1);
+  EXPECT_NEAR(cost_reduction_factor(rows, 8, true), 8.0, 0.2);
+}
+
+TEST(CostReduction, ExtrapolatesBeyondSweep) {
+  std::vector<ExperimentRow> rows = synthetic_rows();
+  // Make BMF so good that MLE never reaches it inside the sweep.
+  for (ExperimentRow& r : rows) r.bmf_cov_error = 0.1;
+  const double factor = cost_reduction_factor(rows, 8, true);
+  EXPECT_GT(factor, 100.0);  // extrapolated along the 1/sqrt(n) slope
+}
+
+TEST(CostReduction, ReportsBelowOneWhenMleWins) {
+  std::vector<ExperimentRow> rows = synthetic_rows();
+  for (ExperimentRow& r : rows) {
+    r.bmf_mean_error = 10.0;  // worse than MLE everywhere
+  }
+  EXPECT_LE(cost_reduction_factor(rows, 16, false), 0.5);
+}
+
+TEST(CostReduction, ValidatesInputs) {
+  const std::vector<ExperimentRow> rows = synthetic_rows();
+  EXPECT_THROW((void)cost_reduction_factor(rows, 77, false), ContractError);
+  EXPECT_THROW((void)cost_reduction_factor({rows[0]}, 8, false),
+               ContractError);
+}
+
+}  // namespace
+}  // namespace bmfusion::core

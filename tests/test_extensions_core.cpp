@@ -1,0 +1,273 @@
+// Tests for the core extensions: evidence-based hyper-parameter selection,
+// BMF-BD (Bernoulli yield fusion), and streaming sequential fusion.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "core/bernoulli_bmf.hpp"
+#include "core/bmf_estimator.hpp"
+#include "core/cross_validation.hpp"
+#include "core/mle.hpp"
+#include "core/normal_wishart.hpp"
+#include "core/sequential.hpp"
+#include "stats/mvn.hpp"
+#include "stats/rng.hpp"
+#include "stats/univariate.hpp"
+
+namespace bmfusion::core {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+GaussianMoments toy_moments() {
+  GaussianMoments m;
+  m.mean = Vector{1.0, -1.0};
+  m.covariance = Matrix{{1.0, 0.3}, {0.3, 0.8}};
+  return m;
+}
+
+Matrix draws(const GaussianMoments& m, std::size_t n, std::uint64_t seed) {
+  stats::Xoshiro256pp rng(seed);
+  return stats::MultivariateNormal(m.mean, m.covariance)
+      .sample_matrix(rng, n);
+}
+
+// ---------------------------------------------------------------- evidence
+
+TEST(Evidence, MarginalLikelihoodMatchesNumericalIntegrationIn1d) {
+  // d = 1: integrate p(D | mu, lambda) p(mu, lambda) over a dense grid and
+  // compare with the closed form.
+  GaussianMoments early;
+  early.mean = Vector{0.5};
+  early.covariance = Matrix{{2.0}};
+  const double kappa0 = 2.0, nu0 = 5.0;
+  const NormalWishart prior =
+      NormalWishart::from_early_stage(early, kappa0, nu0);
+  const Matrix samples{{0.2}, {1.1}, {0.7}};
+
+  // Numerical double integral over (mu, lambda).
+  double integral = 0.0;
+  const double dmu = 0.02;
+  const double dlam = 0.002;
+  for (double mu = -6.0; mu <= 7.0; mu += dmu) {
+    for (double lam = dlam; lam <= 6.0; lam += dlam) {
+      const Matrix lambda{{lam}};
+      double log_lik = 0.0;
+      for (std::size_t i = 0; i < samples.rows(); ++i) {
+        log_lik += 0.5 * std::log(lam / (2.0 * 3.14159265358979323846)) -
+                   0.5 * lam * (samples(i, 0) - mu) * (samples(i, 0) - mu);
+      }
+      integral += std::exp(prior.log_pdf(Vector{mu}, lambda) + log_lik) *
+                  dmu * dlam;
+    }
+  }
+  EXPECT_NEAR(prior.log_marginal_likelihood(samples), std::log(integral),
+              0.02);
+}
+
+TEST(Evidence, HigherForMatchingPrior) {
+  // Evidence under the correct prior beats evidence under a wrong one.
+  const GaussianMoments truth = toy_moments();
+  GaussianMoments wrong = truth;
+  wrong.mean = Vector{8.0, 8.0};
+  const Matrix samples = draws(truth, 12, 1);
+  const double good = NormalWishart::from_early_stage(truth, 10.0, 30.0)
+                          .log_marginal_likelihood(samples);
+  const double bad = NormalWishart::from_early_stage(wrong, 10.0, 30.0)
+                         .log_marginal_likelihood(samples);
+  EXPECT_GT(good, bad);
+}
+
+TEST(Evidence, SelectionPrefersLargeHypersForPerfectPrior) {
+  // Evidence trades fit against complexity, so the exact values depend on
+  // n; what must hold is a clear preference over near-MLE hyper-parameters.
+  const GaussianMoments truth = toy_moments();
+  const Matrix samples = draws(truth, 32, 2);
+  const CrossValidationResult sel =
+      select_hyperparameters_evidence(truth, samples);
+  EXPECT_GT(sel.kappa0, 5.0);
+  EXPECT_GT(sel.nu0, 8.0);
+  const double at_weak =
+      NormalWishart::from_early_stage(truth, 1.0, 3.0)
+          .log_marginal_likelihood(samples);
+  EXPECT_GT(sel.best_score * 32.0, at_weak);
+}
+
+TEST(Evidence, SelectionRejectsWrongPriorMean) {
+  GaussianMoments wrong = toy_moments();
+  wrong.mean = Vector{15.0, -15.0};
+  const Matrix samples = draws(toy_moments(), 24, 3);
+  const CrossValidationResult sel =
+      select_hyperparameters_evidence(wrong, samples);
+  EXPECT_LT(sel.kappa0, 5.0);
+}
+
+TEST(Evidence, WorksWithSingleSample) {
+  // CV needs >= 2 samples; evidence selection works from n = 1.
+  const GaussianMoments truth = toy_moments();
+  const Matrix one = draws(truth, 1, 4);
+  EXPECT_NO_THROW((void)select_hyperparameters_evidence(truth, one));
+  EXPECT_THROW((void)select_hyperparameters(truth, one), ContractError);
+}
+
+TEST(Evidence, AgreesWithCvOnEstimationQuality) {
+  // Both selectors should produce MAP estimates of comparable quality on a
+  // well-posed problem (within 2x of each other's covariance error).
+  const GaussianMoments truth = toy_moments();
+  double cv_err = 0.0, ev_err = 0.0;
+  for (std::uint64_t rep = 0; rep < 10; ++rep) {
+    const Matrix samples = draws(truth, 12, 100 + rep);
+    const CrossValidationResult cv = select_hyperparameters(truth, samples);
+    const CrossValidationResult ev =
+        select_hyperparameters_evidence(truth, samples);
+    cv_err += covariance_error(
+        BmfEstimator::fuse_at(truth, samples, cv.kappa0, cv.nu0).covariance,
+        truth.covariance);
+    ev_err += covariance_error(
+        BmfEstimator::fuse_at(truth, samples, ev.kappa0, ev.nu0).covariance,
+        truth.covariance);
+  }
+  EXPECT_LT(ev_err, 2.0 * cv_err);
+  EXPECT_LT(cv_err, 2.0 * ev_err);
+}
+
+// ---------------------------------------------------------------- bmf-bd
+
+TEST(BernoulliBmf, PriorModeMatchesEarlyYield) {
+  const BetaPosterior prior = beta_prior_from_early_yield(0.8, 50.0);
+  EXPECT_NEAR(prior.map_estimate(), 0.8, 1e-12);
+  EXPECT_NEAR(prior.alpha + prior.beta, 50.0, 1e-12);
+}
+
+TEST(BernoulliBmf, UpdateAddsCounts) {
+  const BetaPosterior prior{2.0, 3.0};
+  const BetaPosterior post = update_beta(prior, 7, 10);
+  EXPECT_DOUBLE_EQ(post.alpha, 9.0);
+  EXPECT_DOUBLE_EQ(post.beta, 6.0);
+}
+
+TEST(BernoulliBmf, EvidenceMatchesDirectEnumeration) {
+  // For Beta(1,1) prior (uniform), p(D) with k passes of n is
+  // B(1+k, 1+n-k) = k!(n-k)!/(n+1)! for the *specific sequence*.
+  const BetaPosterior uniform{1.0, 1.0};
+  const double log_e = beta_bernoulli_log_evidence(uniform, 2, 3);
+  EXPECT_NEAR(log_e, std::log(2.0 * 1.0 / 24.0), 1e-12);
+}
+
+TEST(BernoulliBmf, CredibleIntervalCoversMap) {
+  const BetaPosterior post{20.0, 5.0};
+  const BetaPosterior::Interval iv = post.credible_interval(0.95);
+  EXPECT_LT(iv.lower, post.map_estimate());
+  EXPECT_GT(iv.upper, post.map_estimate());
+  EXPECT_GT(iv.lower, 0.5);
+}
+
+TEST(BernoulliBmf, AccuratePriorDominatesWithFewSamples) {
+  // Early yield exactly right; 10 late trials with 8 passes. Fused estimate
+  // should stay near the early yield, not jump to the noisy 0.8.
+  const BernoulliBmfResult r = estimate_bernoulli_bmf(0.9, 8, 10);
+  EXPECT_GT(r.concentration, 20.0);
+  EXPECT_GT(r.yield, 0.82);
+}
+
+TEST(BernoulliBmf, ContradictedPriorGetsLowConcentration) {
+  // Early claims 95% but 40 of 80 late dies fail: evidence must pick a weak
+  // prior and let the data dominate.
+  const BernoulliBmfResult r = estimate_bernoulli_bmf(0.95, 40, 80);
+  EXPECT_LT(r.concentration, 30.0);
+  EXPECT_NEAR(r.yield, 0.5, 0.1);
+}
+
+TEST(BernoulliBmf, StatisticalAccuracyBeatsRawFraction) {
+  // Monte Carlo: true yield 0.85, perfect early knowledge, 12 trials.
+  stats::Xoshiro256pp rng(11);
+  double bmf_sq = 0.0, raw_sq = 0.0;
+  constexpr int kReps = 300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    std::size_t passes = 0;
+    for (int i = 0; i < 12; ++i) {
+      if (rng.next_double() < 0.85) ++passes;
+    }
+    const double raw = static_cast<double>(passes) / 12.0;
+    const double fused = estimate_bernoulli_bmf(0.85, passes, 12).yield;
+    bmf_sq += (fused - 0.85) * (fused - 0.85);
+    raw_sq += (raw - 0.85) * (raw - 0.85);
+  }
+  EXPECT_LT(bmf_sq, 0.5 * raw_sq);
+}
+
+TEST(BernoulliBmf, InputValidation) {
+  EXPECT_THROW((void)beta_prior_from_early_yield(0.0, 10.0), ContractError);
+  EXPECT_THROW((void)beta_prior_from_early_yield(0.5, 2.0), ContractError);
+  EXPECT_THROW((void)update_beta(BetaPosterior{}, 5, 3), ContractError);
+  EXPECT_THROW((void)estimate_bernoulli_bmf(0.9, 0, 0), ContractError);
+  EXPECT_THROW((void)BetaPosterior({1.0, 1.0}).map_estimate(),
+               ContractError);
+}
+
+// -------------------------------------------------------------- sequential
+
+TEST(SequentialFusion, MatchesBatchPosterior) {
+  const GaussianMoments early = toy_moments();
+  const NormalWishart prior = NormalWishart::from_early_stage(early, 3.0,
+                                                              12.0);
+  const Matrix samples = draws(early, 15, 5);
+
+  SequentialFusion streaming(prior);
+  for (std::size_t i = 0; i < samples.rows(); ++i) {
+    streaming.observe(samples.row(i));
+  }
+  const NormalWishart batch = prior.posterior(samples);
+  EXPECT_EQ(streaming.observed_count(), 15u);
+  EXPECT_NEAR(streaming.posterior().kappa0(), batch.kappa0(), 1e-10);
+  EXPECT_NEAR(streaming.posterior().nu0(), batch.nu0(), 1e-10);
+  EXPECT_TRUE(approx_equal(streaming.posterior().mu0(), batch.mu0(), 1e-9));
+  EXPECT_TRUE(approx_equal(streaming.current_estimate().covariance,
+                           batch.map_estimate().covariance, 1e-7));
+}
+
+TEST(SequentialFusion, ZeroObservationsReturnPriorMode) {
+  const GaussianMoments early = toy_moments();
+  const SequentialFusion streaming(
+      NormalWishart::from_early_stage(early, 3.0, 12.0));
+  const GaussianMoments est = streaming.current_estimate();
+  EXPECT_TRUE(approx_equal(est.mean, early.mean, 1e-12));
+  EXPECT_TRUE(approx_equal(est.covariance, early.covariance, 1e-9));
+}
+
+TEST(SequentialFusion, EstimateConvergesToTruth) {
+  // Prior deliberately wrong; enough streamed samples pull the estimate to
+  // the truth.
+  GaussianMoments wrong = toy_moments();
+  wrong.mean = Vector{5.0, 5.0};
+  SequentialFusion streaming(
+      NormalWishart::from_early_stage(wrong, 1.0, 4.0));
+  const GaussianMoments truth = toy_moments();
+  streaming.observe(draws(truth, 2000, 6));
+  EXPECT_TRUE(
+      approx_equal(streaming.current_estimate().mean, truth.mean, 0.1));
+}
+
+TEST(SequentialFusion, PredictiveScoresOutliers) {
+  const GaussianMoments early = toy_moments();
+  SequentialFusion streaming(
+      NormalWishart::from_early_stage(early, 5.0, 20.0));
+  streaming.observe(draws(early, 20, 7));
+  const double typical = streaming.predictive_log_pdf(early.mean);
+  Vector outlier = early.mean;
+  outlier[0] += 10.0;
+  EXPECT_GT(typical, streaming.predictive_log_pdf(outlier) + 5.0);
+}
+
+TEST(SequentialFusion, DimensionChecks) {
+  SequentialFusion streaming(
+      NormalWishart::from_early_stage(toy_moments(), 1.0, 5.0));
+  EXPECT_THROW(streaming.observe(Vector(3)), ContractError);
+  EXPECT_NO_THROW(streaming.observe(Matrix(0, 2)));
+  EXPECT_EQ(streaming.observed_count(), 0u);
+}
+
+}  // namespace
+}  // namespace bmfusion::core

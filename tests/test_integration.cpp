@@ -1,0 +1,159 @@
+// End-to-end integration tests: circuit Monte Carlo -> shift/scale ->
+// cross-validated BMF -> moment and yield estimates, on scaled-down
+// versions of the paper's two experiments.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/flash_adc.hpp"
+#include "circuit/montecarlo.hpp"
+#include "circuit/opamp.hpp"
+#include "core/experiment.hpp"
+#include "core/mle.hpp"
+#include "core/yield.hpp"
+#include "stats/descriptive.hpp"
+
+namespace bmfusion {
+namespace {
+
+using circuit::Dataset;
+using circuit::DesignStage;
+using circuit::FlashAdc;
+using circuit::MonteCarloConfig;
+using circuit::ProcessModel;
+using circuit::TwoStageOpAmp;
+using circuit::run_monte_carlo;
+using linalg::Matrix;
+using linalg::Vector;
+
+/// Shared fixture: small op-amp Monte Carlo populations (kept modest so the
+/// whole suite stays fast; the full-size sweep lives in bench/).
+class OpAmpIntegration : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const TwoStageOpAmp early_bench(DesignStage::kSchematic,
+                                    ProcessModel::cmos45());
+    const TwoStageOpAmp late_bench(DesignStage::kPostLayout,
+                                   ProcessModel::cmos45());
+    MonteCarloConfig cfg;
+    cfg.sample_count = 600;
+    cfg.seed = 11;
+    early_ = new Dataset(run_monte_carlo(early_bench, cfg));
+    cfg.seed = 22;
+    late_ = new Dataset(run_monte_carlo(late_bench, cfg));
+    early_nominal_ = new Vector(early_bench.nominal_metrics());
+    late_nominal_ = new Vector(late_bench.nominal_metrics());
+  }
+  static void TearDownTestSuite() {
+    delete early_;
+    delete late_;
+    delete early_nominal_;
+    delete late_nominal_;
+    early_ = nullptr;
+    late_ = nullptr;
+    early_nominal_ = nullptr;
+    late_nominal_ = nullptr;
+  }
+
+  static Dataset* early_;
+  static Dataset* late_;
+  static Vector* early_nominal_;
+  static Vector* late_nominal_;
+};
+
+Dataset* OpAmpIntegration::early_ = nullptr;
+Dataset* OpAmpIntegration::late_ = nullptr;
+Vector* OpAmpIntegration::early_nominal_ = nullptr;
+Vector* OpAmpIntegration::late_nominal_ = nullptr;
+
+TEST_F(OpAmpIntegration, StagesAreCorrelatedInScaledSpace) {
+  const core::MomentExperiment exp(*early_, *early_nominal_, *late_,
+                                   *late_nominal_);
+  // The paper's premise: the covariance shapes of the two stages are close
+  // after normalization.
+  EXPECT_LT(core::covariance_error(exp.early_scaled().covariance,
+                                   exp.exact_scaled().covariance),
+            0.8);
+}
+
+TEST_F(OpAmpIntegration, BmfCovarianceBeatsMleAtSmallN) {
+  const core::MomentExperiment exp(*early_, *early_nominal_, *late_,
+                                   *late_nominal_);
+  core::ExperimentConfig cfg;
+  cfg.sample_sizes = {8};
+  cfg.repetitions = 12;
+  const core::ExperimentResult res = exp.run(cfg);
+  EXPECT_LT(res.rows[0].bmf_cov_error, 0.75 * res.rows[0].mle_cov_error);
+}
+
+TEST_F(OpAmpIntegration, OpAmpSelectsSmallKappaLargeNu) {
+  // The Section 5.1 signature: post-layout mean knowledge weak (small
+  // kappa0), covariance knowledge strong (large nu0).
+  const core::MomentExperiment exp(*early_, *early_nominal_, *late_,
+                                   *late_nominal_);
+  core::ExperimentConfig cfg;
+  cfg.sample_sizes = {32};
+  cfg.repetitions = 12;
+  const core::ExperimentResult res = exp.run(cfg);
+  EXPECT_LT(res.rows[0].median_kappa0, 150.0);
+  EXPECT_GT(res.rows[0].median_nu0, 40.0);
+}
+
+TEST_F(OpAmpIntegration, FusedMomentsGiveUsableYieldEstimate) {
+  // Estimate moments from 16 late samples via BMF, then compare the
+  // Gaussian spec-box yield against the empirical yield of the full
+  // population.
+  const core::GaussianMoments early_moments =
+      core::estimate_mle(early_->samples());
+  const core::BmfEstimator estimator(
+      core::EarlyStageKnowledge{early_moments, *early_nominal_});
+  const core::BmfResult fused =
+      estimator.estimate(late_->head(16).samples(), *late_nominal_);
+
+  // Specs: gain >= mean - 2 sd, pm >= 60 deg, power <= mean + 2 sd.
+  const core::GaussianMoments truth = core::estimate_mle(late_->samples());
+  const double inf = std::numeric_limits<double>::infinity();
+  core::SpecBox box{Vector{truth.mean[0] - 2.0, 0.0, -inf, -inf, 60.0},
+                    Vector{inf, inf, truth.mean[2] + 2e-5, inf, inf}};
+  stats::Xoshiro256pp rng(33);
+  const core::YieldEstimate bmf_yield =
+      core::estimate_yield(fused.moments, box, rng, 50000);
+  const core::YieldEstimate empirical =
+      core::empirical_yield(late_->samples(), box);
+  EXPECT_NEAR(bmf_yield.yield, empirical.yield, 0.12);
+}
+
+TEST_F(OpAmpIntegration, GaussianAssumptionReasonable) {
+  // Mardia diagnostics on the late-stage population: kurtosis z-score
+  // should not explode (the paper argues the jointly-Gaussian model is an
+  // acceptable approximation for these metrics).
+  const stats::MardiaTest test = stats::mardia_test(late_->samples());
+  EXPECT_LT(std::fabs(test.kurtosis_statistic), 15.0);
+}
+
+TEST(FlashAdcIntegration, AdcSelectsLargeKappaAndNu) {
+  // The Section 5.2 signature: both early-stage moments trustworthy.
+  const FlashAdc early_bench(DesignStage::kSchematic, ProcessModel::cmos180());
+  const FlashAdc late_bench(DesignStage::kPostLayout, ProcessModel::cmos180());
+  MonteCarloConfig cfg;
+  cfg.sample_count = 400;
+  cfg.seed = 33;
+  const Dataset early = run_monte_carlo(early_bench, cfg);
+  cfg.seed = 44;
+  const Dataset late = run_monte_carlo(late_bench, cfg);
+
+  const core::MomentExperiment exp(early, early_bench.nominal_metrics(),
+                                   late, late_bench.nominal_metrics());
+  core::ExperimentConfig ecfg;
+  ecfg.sample_sizes = {16};
+  ecfg.repetitions = 10;
+  const core::ExperimentResult res = exp.run(ecfg);
+  EXPECT_GT(res.rows[0].median_kappa0, 3.0);
+  EXPECT_GT(res.rows[0].median_nu0, 20.0);
+  // And BMF wins on both moments at n = 16.
+  EXPECT_LT(res.rows[0].bmf_cov_error, res.rows[0].mle_cov_error);
+  EXPECT_LT(res.rows[0].bmf_mean_error, res.rows[0].mle_mean_error);
+}
+
+}  // namespace
+}  // namespace bmfusion

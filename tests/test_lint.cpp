@@ -1,0 +1,188 @@
+// Tests for the netlist lint pass and the Wilson yield interval.
+#include <gtest/gtest.h>
+
+#include "circuit/lint.hpp"
+#include "circuit/opamp.hpp"
+#include "circuit/spice.hpp"
+#include "common/contracts.hpp"
+#include "core/yield.hpp"
+
+namespace bmfusion::circuit {
+namespace {
+
+bool has_error_containing(const std::vector<LintIssue>& issues,
+                          const std::string& fragment) {
+  for (const LintIssue& issue : issues) {
+    if (issue.severity == LintIssue::Severity::kError &&
+        issue.message.find(fragment) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool has_warning_containing(const std::vector<LintIssue>& issues,
+                            const std::string& fragment) {
+  for (const LintIssue& issue : issues) {
+    if (issue.severity == LintIssue::Severity::kWarning &&
+        issue.message.find(fragment) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(Lint, CleanCircuitHasNoIssues) {
+  Netlist net;
+  const NodeId in = net.node("in");
+  const NodeId mid = net.node("mid");
+  net.add_voltage_source("V1", in, kGround, 1.0);
+  net.add_resistor("R1", in, mid, 1e3);
+  net.add_resistor("R2", mid, kGround, 1e3);
+  const auto issues = lint_netlist(net);
+  EXPECT_TRUE(issues.empty());
+  EXPECT_TRUE(lint_clean(issues));
+}
+
+TEST(Lint, OpAmpTestbenchIsClean) {
+  const TwoStageOpAmp amp(DesignStage::kPostLayout, ProcessModel::cmos45());
+  EXPECT_TRUE(lint_clean(lint_netlist(amp.build_netlist({}))));
+}
+
+TEST(Lint, DetectsUnconnectedNode) {
+  Netlist net;
+  net.node("orphan");
+  const NodeId a = net.node("a");
+  net.add_resistor("R1", a, kGround, 1e3);
+  const auto issues = lint_netlist(net);
+  EXPECT_TRUE(has_warning_containing(issues, "orphan"));
+  EXPECT_TRUE(lint_clean(issues));  // warning only
+}
+
+TEST(Lint, DetectsCapacitorIsolatedIsland) {
+  Netlist net;
+  const NodeId a = net.node("a");
+  const NodeId island = net.node("island");
+  net.add_voltage_source("V1", a, kGround, 1.0);
+  net.add_capacitor("C1", a, island, 1e-12);
+  net.add_capacitor("C2", island, kGround, 1e-12);
+  const auto issues = lint_netlist(net);
+  EXPECT_TRUE(has_error_containing(issues, "island"));
+  EXPECT_FALSE(lint_clean(issues));
+}
+
+TEST(Lint, FloatingGateIsAnError) {
+  Netlist net;
+  const NodeId vdd = net.node("vdd");
+  const NodeId gate = net.node("gate");
+  const NodeId out = net.node("out");
+  net.add_voltage_source("VDD", vdd, kGround, 1.1);
+  net.add_resistor("RL", vdd, out, 1e4);
+  MosfetModel model;
+  net.add_mosfet("M1", out, gate, kGround, model, {1e-6, 1e-7}, {});
+  // The gate node touches only the (non-conducting) gate terminal.
+  const auto issues = lint_netlist(net);
+  EXPECT_TRUE(has_error_containing(issues, "gate"));
+}
+
+TEST(Lint, MosfetChannelProvidesDcPath) {
+  // A node reached only through a channel is fine (source followers etc.).
+  Netlist net;
+  const NodeId vdd = net.node("vdd");
+  const NodeId src = net.node("src");
+  net.add_voltage_source("VDD", vdd, kGround, 1.1);
+  MosfetModel model;
+  net.add_mosfet("M1", vdd, vdd, src, model, {1e-6, 1e-7}, {});
+  net.add_resistor("RS", src, kGround, 1e4);
+  EXPECT_TRUE(lint_clean(lint_netlist(net)));
+}
+
+TEST(Lint, DetectsVoltageSourceLoop) {
+  Netlist net;
+  const NodeId a = net.node("a");
+  net.add_voltage_source("V1", a, kGround, 1.0);
+  net.add_voltage_source("V2", a, kGround, 2.0);  // fights V1
+  const auto issues = lint_netlist(net);
+  EXPECT_TRUE(has_error_containing(issues, "V2"));
+}
+
+TEST(Lint, DetectsThreeSourceLoop) {
+  Netlist net;
+  const NodeId a = net.node("a");
+  const NodeId b = net.node("b");
+  net.add_voltage_source("V1", a, kGround, 1.0);
+  net.add_voltage_source("V2", b, a, 0.5);
+  net.add_voltage_source("V3", b, kGround, 1.5);  // closes the loop
+  const auto issues = lint_netlist(net);
+  EXPECT_TRUE(has_error_containing(issues, "V3"));
+}
+
+TEST(Lint, DetectsDuplicateNames) {
+  Netlist net;
+  const NodeId a = net.node("a");
+  const NodeId b = net.node("b");
+  net.add_resistor("R1", a, kGround, 1e3);
+  net.add_resistor("R1", b, kGround, 2e3);
+  net.add_voltage_source("V1", a, kGround, 1.0);
+  net.add_resistor("RB", a, b, 1.0e3);
+  EXPECT_TRUE(has_warning_containing(lint_netlist(net), "R1"));
+}
+
+TEST(Lint, ParsedNetlistRoundTripStaysClean) {
+  const TwoStageOpAmp amp(DesignStage::kSchematic, ProcessModel::cmos45());
+  const Netlist net =
+      parse_spice_string(to_spice_string(amp.build_netlist({}), "rt"));
+  EXPECT_TRUE(lint_clean(lint_netlist(net)));
+}
+
+}  // namespace
+}  // namespace bmfusion::circuit
+
+namespace bmfusion::core {
+namespace {
+
+TEST(WilsonInterval, BracketsTheEstimateAndStaysInBounds) {
+  YieldEstimate est;
+  est.yield = 0.95;
+  est.sample_count = 100;
+  const YieldEstimate::Interval iv = est.wilson_interval(0.95);
+  EXPECT_LT(iv.lower, 0.95);
+  EXPECT_GT(iv.upper, 0.95);
+  EXPECT_GE(iv.lower, 0.0);
+  EXPECT_LE(iv.upper, 1.0);
+}
+
+TEST(WilsonInterval, SensibleAtExtremeYield) {
+  // 0 failures in 100: the Wald interval collapses to [1, 1]; Wilson
+  // reports the "rule of three"-like upper-lower gap.
+  YieldEstimate est;
+  est.yield = 1.0;
+  est.sample_count = 100;
+  const YieldEstimate::Interval iv = est.wilson_interval(0.95);
+  EXPECT_EQ(iv.upper, 1.0);
+  EXPECT_LT(iv.lower, 1.0);
+  EXPECT_GT(iv.lower, 0.9);  // ~0.963 for n = 100
+}
+
+TEST(WilsonInterval, NarrowsWithSampleCount) {
+  YieldEstimate small;
+  small.yield = 0.8;
+  small.sample_count = 50;
+  YieldEstimate big = small;
+  big.sample_count = 5000;
+  const auto iv_small = small.wilson_interval();
+  const auto iv_big = big.wilson_interval();
+  EXPECT_LT(iv_big.upper - iv_big.lower, iv_small.upper - iv_small.lower);
+}
+
+TEST(WilsonInterval, Validation) {
+  YieldEstimate est;
+  est.yield = 0.5;
+  est.sample_count = 0;
+  EXPECT_THROW((void)est.wilson_interval(), ContractError);
+  est.sample_count = 10;
+  EXPECT_THROW((void)est.wilson_interval(0.0), ContractError);
+}
+
+}  // namespace
+}  // namespace bmfusion::core

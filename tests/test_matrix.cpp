@@ -1,0 +1,207 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace bmfusion::linalg {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  const Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+}
+
+TEST(Matrix, ZeroFilledConstruction) {
+  const Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m(1, 2), 0.0);
+}
+
+TEST(Matrix, NestedInitializer) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m(0, 1), 2.0);
+  EXPECT_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW(Matrix({{1.0, 2.0}, {3.0}}), ContractError);
+}
+
+TEST(Matrix, IndexOutOfRangeThrows) {
+  Matrix m(2, 2);
+  EXPECT_THROW((void)m(2, 0), ContractError);
+  EXPECT_THROW((void)m(0, 2), ContractError);
+}
+
+TEST(Matrix, ArithmeticAndShapeChecks) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{1.0, 1.0}, {1.0, 1.0}};
+  EXPECT_EQ((a + b)(1, 1), 5.0);
+  EXPECT_EQ((a - b)(0, 0), 0.0);
+  EXPECT_EQ((a * 2.0)(1, 0), 6.0);
+  EXPECT_EQ((2.0 * a)(1, 0), 6.0);
+  EXPECT_EQ((a / 2.0)(0, 1), 1.0);
+  EXPECT_EQ((-a)(0, 0), -1.0);
+  const Matrix c(3, 2);
+  EXPECT_THROW((void)(a + c), ContractError);
+}
+
+TEST(Matrix, MatrixProductMatchesHandComputed) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix c = a * b;
+  EXPECT_EQ(c(0, 0), 19.0);
+  EXPECT_EQ(c(0, 1), 22.0);
+  EXPECT_EQ(c(1, 0), 43.0);
+  EXPECT_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, ProductShapeMismatchThrows) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 3);
+  EXPECT_THROW((void)(a * b), ContractError);
+}
+
+TEST(Matrix, RectangularProductShapes) {
+  const Matrix a(2, 4, 1.0);
+  const Matrix b(4, 3, 1.0);
+  const Matrix c = a * b;
+  EXPECT_EQ(c.rows(), 2u);
+  EXPECT_EQ(c.cols(), 3u);
+  EXPECT_EQ(c(0, 0), 4.0);
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Vector x{1.0, -1.0};
+  const Vector y = a * x;
+  EXPECT_EQ(y[0], -1.0);
+  EXPECT_EQ(y[1], -1.0);
+}
+
+TEST(Matrix, IdentityProductIsIdentityMap) {
+  const Matrix a{{2.0, -1.0}, {0.5, 3.0}};
+  EXPECT_TRUE(approx_equal(a * Matrix::identity(2), a, 1e-15));
+  EXPECT_TRUE(approx_equal(Matrix::identity(2) * a, a, 1e-15));
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  const Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix at = a.transposed();
+  EXPECT_EQ(at.rows(), 3u);
+  EXPECT_EQ(at(2, 1), 6.0);
+  EXPECT_TRUE(a == at.transposed());
+}
+
+TEST(Matrix, RowColDiagonalAccess) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_TRUE(a.row(1) == Vector({3.0, 4.0}));
+  EXPECT_TRUE(a.col(0) == Vector({1.0, 3.0}));
+  EXPECT_TRUE(a.diagonal() == Vector({1.0, 4.0}));
+}
+
+TEST(Matrix, SetRowAndColumn) {
+  Matrix a(2, 2);
+  a.set_row(0, Vector{1.0, 2.0});
+  a.set_col(1, Vector{7.0, 8.0});
+  EXPECT_EQ(a(0, 0), 1.0);
+  EXPECT_EQ(a(0, 1), 7.0);
+  EXPECT_EQ(a(1, 1), 8.0);
+  EXPECT_THROW(a.set_row(0, Vector{1.0}), ContractError);
+}
+
+TEST(Matrix, TraceRequiresSquare) {
+  EXPECT_DOUBLE_EQ((Matrix{{1.0, 9.0}, {9.0, 2.0}}).trace(), 3.0);
+  EXPECT_THROW((void)Matrix(2, 3).trace(), ContractError);
+}
+
+TEST(Matrix, Norms) {
+  const Matrix a{{1.0, -2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(a.norm_frobenius(), std::sqrt(1.0 + 4.0 + 9.0 + 16.0));
+  EXPECT_EQ(a.norm_max(), 4.0);
+  EXPECT_EQ(a.norm1(), 6.0);     // column |.| sums: 4, 6
+  EXPECT_EQ(a.norm_inf(), 7.0);  // row |.| sums: 3, 7
+}
+
+TEST(Matrix, SymmetryDetection) {
+  Matrix a{{1.0, 2.0}, {2.0, 5.0}};
+  EXPECT_TRUE(a.is_symmetric());
+  a(0, 1) = 2.1;
+  EXPECT_FALSE(a.is_symmetric(1e-12));
+  EXPECT_FALSE(Matrix(2, 3).is_symmetric());
+}
+
+TEST(Matrix, SymmetrizeAveragesOffDiagonal) {
+  Matrix a{{1.0, 2.0}, {4.0, 5.0}};
+  a.symmetrize();
+  EXPECT_EQ(a(0, 1), 3.0);
+  EXPECT_EQ(a(1, 0), 3.0);
+}
+
+TEST(Matrix, DiagonalMatrixFactory) {
+  const Matrix d = Matrix::diagonal_matrix(Vector{2.0, 3.0});
+  EXPECT_EQ(d(0, 0), 2.0);
+  EXPECT_EQ(d(1, 1), 3.0);
+  EXPECT_EQ(d(0, 1), 0.0);
+}
+
+TEST(Matrix, OuterProduct) {
+  const Matrix o = outer(Vector{1.0, 2.0}, Vector{3.0, 4.0, 5.0});
+  EXPECT_EQ(o.rows(), 2u);
+  EXPECT_EQ(o.cols(), 3u);
+  EXPECT_EQ(o(1, 2), 10.0);
+}
+
+TEST(Matrix, QuadraticForm) {
+  const Matrix a{{2.0, 0.0}, {0.0, 3.0}};
+  const Vector x{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(quadratic_form(x, a, x), 2.0 + 12.0);
+  EXPECT_THROW((void)quadratic_form(Vector{1.0}, a, x), ContractError);
+}
+
+TEST(Matrix, IsFinite) {
+  Matrix a(2, 2, 1.0);
+  EXPECT_TRUE(a.is_finite());
+  a(1, 1) = std::nan("");
+  EXPECT_FALSE(a.is_finite());
+}
+
+class MatrixSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MatrixSizeSweep, ProductWithIdentityAndAssociativity) {
+  const std::size_t n = GetParam();
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = std::sin(static_cast<double>(i * n + j));
+    }
+  }
+  EXPECT_TRUE(approx_equal(a * Matrix::identity(n), a, 1e-14));
+  // (A*A)*A == A*(A*A) within rounding.
+  const Matrix a2 = a * a;
+  EXPECT_TRUE(approx_equal(a2 * a, a * a2, 1e-10));
+}
+
+TEST_P(MatrixSizeSweep, TransposeReversesProduct) {
+  const std::size_t n = GetParam();
+  Matrix a(n, n), b(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = static_cast<double>((i + 2 * j) % 5) - 2.0;
+      b(i, j) = static_cast<double>((3 * i + j) % 7) - 3.0;
+    }
+  }
+  EXPECT_TRUE(approx_equal((a * b).transposed(),
+                           b.transposed() * a.transposed(), 1e-12));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MatrixSizeSweep,
+                         ::testing::Values(1, 2, 3, 4, 6, 10));
+
+}  // namespace
+}  // namespace bmfusion::linalg

@@ -1,0 +1,163 @@
+// Tests for BMF-PDF (Dirichlet-histogram density fusion, ref. [8] spirit).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "core/pdf_bmf.hpp"
+#include "stats/rng.hpp"
+#include "stats/special.hpp"
+#include "stats/univariate.hpp"
+
+namespace bmfusion::core {
+namespace {
+
+std::vector<double> normal_draws(std::size_t n, double mean, double sd,
+                                 std::uint64_t seed) {
+  stats::Xoshiro256pp rng(seed);
+  std::vector<double> out(n);
+  for (double& x : out) x = stats::sample_normal(rng, mean, sd);
+  return out;
+}
+
+// ----------------------------------------------------------- HistogramPdf
+
+TEST(HistogramPdf, NormalizesAndIntegratesToOne) {
+  const HistogramPdf pdf(0.0, 4.0, {1.0, 3.0, 3.0, 1.0});
+  double integral = 0.0;
+  for (double x = 0.005; x < 4.0; x += 0.01) {
+    integral += pdf.pdf(x) * 0.01;
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-6);
+  EXPECT_NEAR(pdf.probabilities()[1], 3.0 / 8.0, 1e-12);
+}
+
+TEST(HistogramPdf, CdfIsMonotoneWithCorrectEndpoints) {
+  const HistogramPdf pdf(0.0, 1.0, {0.25, 0.25, 0.25, 0.25});
+  EXPECT_EQ(pdf.cdf(-1.0), 0.0);
+  EXPECT_EQ(pdf.cdf(2.0), 1.0);
+  EXPECT_NEAR(pdf.cdf(0.5), 0.5, 1e-12);
+  double prev = 0.0;
+  for (double x = 0.0; x <= 1.0; x += 0.01) {
+    EXPECT_GE(pdf.cdf(x) + 1e-12, prev);
+    prev = pdf.cdf(x);
+  }
+}
+
+TEST(HistogramPdf, MomentsOfUniform) {
+  const HistogramPdf pdf(0.0, 1.0, std::vector<double>(64, 1.0));
+  EXPECT_NEAR(pdf.mean(), 0.5, 1e-9);
+  EXPECT_NEAR(pdf.stddev(), 1.0 / std::sqrt(12.0), 1e-3);
+}
+
+TEST(HistogramPdf, Validation) {
+  EXPECT_THROW(HistogramPdf(1.0, 0.0, {0.5, 0.5}), ContractError);
+  EXPECT_THROW(HistogramPdf(0.0, 1.0, {1.0}), ContractError);
+  EXPECT_THROW(HistogramPdf(0.0, 1.0, {0.5, -0.5}), ContractError);
+  EXPECT_THROW(HistogramPdf(0.0, 1.0, {0.0, 0.0}), ContractError);
+}
+
+// ----------------------------------------------------- Dirichlet evidence
+
+TEST(DirichletEvidence, MatchesBetaBinomialSpecialCase) {
+  // Two bins = beta-binomial: p(D) = B(a1+k, a2+n-k)/B(a1, a2).
+  const double log_e =
+      dirichlet_multinomial_log_evidence({2.0, 3.0}, {4.0, 1.0});
+  const double expected = stats::log_beta(6.0, 4.0) - stats::log_beta(2.0,
+                                                                      3.0);
+  EXPECT_NEAR(log_e, expected, 1e-12);
+}
+
+TEST(DirichletEvidence, ChainRuleFactorization) {
+  // p(D1 u D2) = p(D1) p(D2 | D1) with the posterior alpha.
+  const std::vector<double> alpha{1.0, 2.0, 0.5};
+  const std::vector<double> c1{3.0, 0.0, 2.0};
+  const std::vector<double> c2{1.0, 4.0, 0.0};
+  std::vector<double> both(3), posterior(3);
+  for (int i = 0; i < 3; ++i) {
+    both[i] = c1[i] + c2[i];
+    posterior[i] = alpha[i] + c1[i];
+  }
+  EXPECT_NEAR(dirichlet_multinomial_log_evidence(alpha, both),
+              dirichlet_multinomial_log_evidence(alpha, c1) +
+                  dirichlet_multinomial_log_evidence(posterior, c2),
+              1e-10);
+}
+
+// ----------------------------------------------------------------- fusion
+
+TEST(PdfBmf, MatchingStagesGetHighConcentration) {
+  const auto early = normal_draws(5000, 0.0, 1.0, 1);
+  const auto late = normal_draws(12, 0.0, 1.0, 2);
+  const PdfBmfResult r = estimate_pdf_bmf(early, late);
+  EXPECT_GT(r.concentration, 100.0);
+  // Fused density close to the truth: cdf at a few probes.
+  for (const double x : {-1.0, 0.0, 1.0}) {
+    EXPECT_NEAR(r.pdf.cdf(x), stats::standard_normal_cdf(x), 0.05);
+  }
+}
+
+TEST(PdfBmf, ShiftedLateStageGetsLowConcentration) {
+  const auto early = normal_draws(5000, 0.0, 1.0, 3);
+  const auto late = normal_draws(60, 3.0, 1.0, 4);  // 3-sigma shift
+  const PdfBmfResult r = estimate_pdf_bmf(early, late);
+  EXPECT_LT(r.concentration, 40.0);
+  // The fused density must have moved toward the late data.
+  EXPECT_GT(r.pdf.mean(), 1.5);
+}
+
+TEST(PdfBmf, CapturesNonGaussianShapeFromPrior) {
+  // Bimodal truth, identical at both stages: with 10 late samples alone a
+  // histogram cannot resolve the two modes, but the fused density can.
+  stats::Xoshiro256pp rng(5);
+  const auto draw_bimodal = [&](std::size_t n, std::uint64_t seed) {
+    stats::Xoshiro256pp r(seed);
+    std::vector<double> out(n);
+    for (double& x : out) {
+      const double center = r.next_double() < 0.5 ? -2.0 : 2.0;
+      x = stats::sample_normal(r, center, 0.5);
+    }
+    return out;
+  };
+  const auto early = draw_bimodal(8000, 6);
+  const auto late = draw_bimodal(10, 7);
+  const PdfBmfResult r = estimate_pdf_bmf(early, late);
+  // Valley at 0 clearly below the peaks near +/-2.
+  EXPECT_LT(r.pdf.pdf(0.0), 0.4 * r.pdf.pdf(2.0));
+  EXPECT_LT(r.pdf.pdf(0.0), 0.4 * r.pdf.pdf(-2.0));
+}
+
+TEST(PdfBmf, BeatsRawHistogramAtSmallN) {
+  // Average CDF error at the quartiles, fused vs late-only histogram.
+  const auto early = normal_draws(5000, 0.0, 1.0, 8);
+  double fused_err = 0.0;
+  double raw_err = 0.0;
+  for (std::uint64_t rep = 0; rep < 10; ++rep) {
+    const auto late = normal_draws(10, 0.0, 1.0, 100 + rep);
+    const PdfBmfResult fused = estimate_pdf_bmf(early, late);
+    // Raw: same machinery with a vanishing prior (tiny concentration).
+    PdfBmfConfig raw_cfg;
+    raw_cfg.concentration_min = 4.0;
+    raw_cfg.concentration_max = 4.0 + 1e-9;
+    raw_cfg.concentration_points = 2;
+    const PdfBmfResult raw = estimate_pdf_bmf(early, late, raw_cfg);
+    for (const double x : {-0.6745, 0.0, 0.6745}) {
+      const double truth = stats::standard_normal_cdf(x);
+      fused_err += std::fabs(fused.pdf.cdf(x) - truth);
+      raw_err += std::fabs(raw.pdf.cdf(x) - truth);
+    }
+  }
+  EXPECT_LT(fused_err, 0.7 * raw_err);
+}
+
+TEST(PdfBmf, Validation) {
+  const std::vector<double> few{1.0, 2.0};
+  const std::vector<double> enough = normal_draws(50, 0.0, 1.0, 9);
+  EXPECT_THROW((void)estimate_pdf_bmf(few, enough), ContractError);
+  EXPECT_THROW((void)estimate_pdf_bmf(enough, {}), ContractError);
+  const std::vector<double> constant(50, 1.0);
+  EXPECT_THROW((void)estimate_pdf_bmf(constant, {1.0}), ContractError);
+}
+
+}  // namespace
+}  // namespace bmfusion::core

@@ -1,0 +1,181 @@
+// Tests for the knowledge-file serialization and the validation report.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/contracts.hpp"
+#include "common/strings.hpp"
+#include "core/mle.hpp"
+#include "core/report.hpp"
+#include "core/serialization.hpp"
+#include "stats/mvn.hpp"
+#include "stats/rng.hpp"
+
+namespace bmfusion::core {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+NamedKnowledge example_knowledge() {
+  NamedKnowledge nk;
+  nk.metric_names = {"gain", "bw", "power"};
+  nk.knowledge.moments.mean = Vector{72.9, 6.5e3, 1.3e-4};
+  nk.knowledge.moments.covariance = Matrix{{0.49, -480.0, -5e-6},
+                                           {-480.0, 6.7e5, 5.6e-3},
+                                           {-5e-6, 5.6e-3, 7.5e-11}};
+  nk.knowledge.nominal = Vector{72.9, 6.5e3, 1.32e-4};
+  return nk;
+}
+
+TEST(Serialization, RoundTripIsExact) {
+  const NamedKnowledge original = example_knowledge();
+  std::stringstream buf;
+  write_knowledge(buf, original);
+  const NamedKnowledge back = read_knowledge(buf);
+  EXPECT_EQ(back.metric_names, original.metric_names);
+  // Exact double round-trip thanks to 17 significant digits.
+  EXPECT_TRUE(back.knowledge.moments.mean == original.knowledge.moments.mean);
+  EXPECT_TRUE(back.knowledge.moments.covariance ==
+              original.knowledge.moments.covariance);
+  EXPECT_TRUE(back.knowledge.nominal == original.knowledge.nominal);
+}
+
+TEST(Serialization, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/knowledge.bmf";
+  write_knowledge_file(path, example_knowledge());
+  const NamedKnowledge back = read_knowledge_file(path);
+  EXPECT_EQ(back.metric_names.size(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(Serialization, CommentsAndBlankLinesTolerated) {
+  const NamedKnowledge original = example_knowledge();
+  std::stringstream buf;
+  write_knowledge(buf, original);
+  const std::string with_noise = "# leading comment\n\n" + buf.str();
+  std::istringstream in(with_noise);
+  EXPECT_NO_THROW((void)read_knowledge(in));
+}
+
+TEST(Serialization, RejectsBadHeader) {
+  std::istringstream in("bogus v9\nmetrics a\n");
+  EXPECT_THROW((void)read_knowledge(in), DataError);
+}
+
+TEST(Serialization, RejectsWrongWidthAndBadNumbers) {
+  const auto mutate_and_expect_throw = [](const std::string& from,
+                                          const std::string& to) {
+    NamedKnowledge nk = example_knowledge();
+    std::stringstream buf;
+    write_knowledge(buf, nk);
+    std::string text = buf.str();
+    const std::size_t pos = text.find(from);
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, from.size(), to);
+    std::istringstream in(text);
+    EXPECT_THROW((void)read_knowledge(in), DataError);
+  };
+  mutate_and_expect_throw("mean 72.9", "mean abc");
+  mutate_and_expect_throw("metrics gain bw power", "metrics gain bw");
+}
+
+TEST(Serialization, RejectsNonSpdCovariance) {
+  NamedKnowledge nk = example_knowledge();
+  std::stringstream buf;
+  write_knowledge(buf, nk);
+  // Corrupt a covariance diagonal to a negative value.
+  std::string text = buf.str();
+  const std::size_t pos = text.find("cov 0.48999999999999999");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 23, "cov -1.0000000000000000");
+  std::istringstream in(text);
+  EXPECT_THROW((void)read_knowledge(in), NumericError);
+}
+
+TEST(Serialization, WriteValidatesShapeMismatch) {
+  NamedKnowledge nk = example_knowledge();
+  nk.metric_names.pop_back();
+  std::stringstream buf;
+  EXPECT_THROW(write_knowledge(buf, nk), ContractError);
+}
+
+// ------------------------------------------------------------------ report
+
+ReportInput example_report_input() {
+  const NamedKnowledge nk = example_knowledge();
+  stats::Xoshiro256pp rng(5);
+  const Matrix late = stats::MultivariateNormal(nk.knowledge.moments.mean,
+                                                nk.knowledge.moments
+                                                    .covariance)
+                          .sample_matrix(rng, 12);
+  const BmfEstimator estimator(nk.knowledge);
+  ReportInput input;
+  input.metric_names = nk.metric_names;
+  input.result = estimator.estimate(late, nk.knowledge.nominal);
+  input.late_samples = late;
+  input.early_sample_count = 2000;
+  return input;
+}
+
+TEST(Report, ContainsAllSections) {
+  const std::string text = validation_report(example_report_input());
+  EXPECT_NE(text.find("BMF validation report"), std::string::npos);
+  EXPECT_NE(text.find("kappa0"), std::string::npos);
+  EXPECT_NE(text.find("Fused moments"), std::string::npos);
+  EXPECT_NE(text.find("Correlation matrix"), std::string::npos);
+  EXPECT_NE(text.find("Gaussianity diagnostics"), std::string::npos);
+  // No yield section without specs.
+  EXPECT_EQ(text.find("Parametric yield"), std::string::npos);
+  // Every metric name appears.
+  EXPECT_NE(text.find("gain"), std::string::npos);
+  EXPECT_NE(text.find("power"), std::string::npos);
+}
+
+TEST(Report, YieldSectionAppearsWithSpecs) {
+  ReportInput input = example_report_input();
+  const double inf = std::numeric_limits<double>::infinity();
+  input.specs = SpecBox{Vector{71.0, -inf, -inf}, Vector{inf, inf, inf}};
+  const std::string text = validation_report(input);
+  EXPECT_NE(text.find("Parametric yield"), std::string::npos);
+  EXPECT_NE(text.find("yield = "), std::string::npos);
+}
+
+TEST(Report, CredibleIntervalsBracketTheMean) {
+  const ReportInput input = example_report_input();
+  std::string text = validation_report(input);
+  // Structural sanity: for each metric the printed ci95_low < mean <
+  // ci95_high. Parse the fused-moments rows.
+  std::istringstream is(text);
+  std::string line;
+  bool in_table = false;
+  int rows_checked = 0;
+  while (std::getline(is, line)) {
+    if (line.find("ci95_low") != std::string::npos) {
+      in_table = true;
+      std::getline(is, line);  // separator
+      continue;
+    }
+    if (!in_table) continue;
+    if (trim(line).empty()) break;
+    std::istringstream row(line);
+    std::string metric;
+    double mean, lo, hi;
+    if (row >> metric >> mean >> lo >> hi) {
+      EXPECT_LT(lo, mean);
+      EXPECT_GT(hi, mean);
+      ++rows_checked;
+    }
+  }
+  EXPECT_EQ(rows_checked, 3);
+}
+
+TEST(Report, ValidatesDimensions) {
+  ReportInput input = example_report_input();
+  input.metric_names.pop_back();
+  std::ostringstream os;
+  EXPECT_THROW(write_validation_report(os, input), ContractError);
+}
+
+}  // namespace
+}  // namespace bmfusion::core

@@ -1,0 +1,217 @@
+// Tests for the sparse CSR matrix, the preconditioned CG solver, and the
+// parasitic RC-ladder substrate — against dense solves and closed forms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/parasitic.hpp"
+#include "common/contracts.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/sparse.hpp"
+#include "stats/rng.hpp"
+
+namespace bmfusion::linalg {
+namespace {
+
+// ------------------------------------------------------------------ sparse
+
+TEST(SparseMatrix, AssemblyAndLookup) {
+  const SparseMatrix a(3, 3,
+                       {{0, 0, 2.0}, {1, 2, -1.0}, {2, 1, 4.0},
+                        {0, 0, 3.0} /* duplicate: summed */});
+  EXPECT_EQ(a.at(0, 0), 5.0);
+  EXPECT_EQ(a.at(1, 2), -1.0);
+  EXPECT_EQ(a.at(2, 1), 4.0);
+  EXPECT_EQ(a.at(1, 1), 0.0);  // absent
+  EXPECT_EQ(a.nonzero_count(), 3u);
+}
+
+TEST(SparseMatrix, RejectsOutOfRangeTriplets) {
+  EXPECT_THROW(SparseMatrix(2, 2, {{2, 0, 1.0}}), ContractError);
+  EXPECT_THROW(SparseMatrix(0, 2, {}), ContractError);
+}
+
+TEST(SparseMatrix, MultiplyMatchesDense) {
+  stats::Xoshiro256pp rng(1);
+  const std::size_t n = 20;
+  std::vector<Triplet> triplets;
+  Matrix dense(n, n);
+  for (std::size_t k = 0; k < 60; ++k) {
+    const auto r = static_cast<std::size_t>(rng.next_below(n));
+    const auto c = static_cast<std::size_t>(rng.next_below(n));
+    const double v = rng.next_uniform(-2, 2);
+    triplets.push_back({r, c, v});
+    dense(r, c) += v;
+  }
+  const SparseMatrix sparse(n, n, triplets);
+  Vector x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = rng.next_uniform(-1, 1);
+  EXPECT_TRUE(approx_equal(sparse.multiply(x), dense * x, 1e-12));
+}
+
+TEST(SparseMatrix, DiagonalAndSymmetry) {
+  const SparseMatrix sym(2, 2, {{0, 0, 1.0}, {0, 1, 2.0}, {1, 0, 2.0},
+                                {1, 1, 3.0}});
+  EXPECT_TRUE(sym.is_symmetric());
+  EXPECT_TRUE(sym.diagonal() == Vector({1.0, 3.0}));
+  const SparseMatrix asym(2, 2, {{0, 1, 2.0}});
+  EXPECT_FALSE(asym.is_symmetric());
+}
+
+TEST(SparseMatrix, ZeroTripletsDropped) {
+  const SparseMatrix a(2, 2, {{0, 0, 0.0}, {1, 1, 1.0}});
+  EXPECT_EQ(a.nonzero_count(), 1u);
+}
+
+// ---------------------------------------------------------------------- cg
+
+SparseMatrix random_spd_sparse(std::size_t n, std::uint64_t seed,
+                               Matrix* dense_out = nullptr) {
+  // Diagonally dominant symmetric banded matrix.
+  stats::Xoshiro256pp rng(seed);
+  std::vector<Triplet> triplets;
+  Matrix dense(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double off = (i + 1 < n) ? rng.next_uniform(-1, 0) : 0.0;
+    triplets.push_back({i, i, 4.0});
+    dense(i, i) = 4.0;
+    if (i + 1 < n) {
+      triplets.push_back({i, i + 1, off});
+      triplets.push_back({i + 1, i, off});
+      dense(i, i + 1) = off;
+      dense(i + 1, i) = off;
+    }
+  }
+  if (dense_out != nullptr) *dense_out = dense;
+  return SparseMatrix(n, n, triplets);
+}
+
+TEST(ConjugateGradient, MatchesDenseCholesky) {
+  Matrix dense;
+  const SparseMatrix a = random_spd_sparse(50, 2, &dense);
+  stats::Xoshiro256pp rng(3);
+  Vector b(50);
+  for (std::size_t i = 0; i < 50; ++i) b[i] = rng.next_uniform(-1, 1);
+  const CgResult cg = solve_cg(a, b);
+  ASSERT_TRUE(cg.converged);
+  const Vector exact = Cholesky(dense).solve(b);
+  EXPECT_TRUE(approx_equal(cg.solution, exact, 1e-7));
+}
+
+TEST(ConjugateGradient, ConvergesInAtMostNIterationsInExactArithmetic) {
+  const SparseMatrix a = random_spd_sparse(30, 4);
+  Vector b(30, 1.0);
+  const CgResult cg = solve_cg(a, b);
+  EXPECT_TRUE(cg.converged);
+  EXPECT_LE(cg.iterations, 60u);  // well-conditioned: far fewer than 10n
+  EXPECT_LT(cg.residual_norm, 1e-10);
+}
+
+TEST(ConjugateGradient, ZeroRhsReturnsZero) {
+  const SparseMatrix a = random_spd_sparse(10, 5);
+  const CgResult cg = solve_cg(a, Vector(10));
+  EXPECT_TRUE(cg.converged);
+  EXPECT_EQ(cg.solution.norm2(), 0.0);
+  EXPECT_EQ(cg.iterations, 0u);
+}
+
+TEST(ConjugateGradient, ReportsNonConvergenceAtTinyIterationCap) {
+  const SparseMatrix a = random_spd_sparse(200, 6);
+  Vector b(200, 1.0);
+  CgConfig cfg;
+  cfg.max_iterations = 2;
+  const CgResult cg = solve_cg(a, b, cfg);
+  EXPECT_FALSE(cg.converged);
+  EXPECT_EQ(cg.iterations, 2u);
+}
+
+TEST(ConjugateGradient, RequiresPositiveDiagonal) {
+  const SparseMatrix a(2, 2, {{0, 0, -1.0}, {1, 1, 1.0}});
+  EXPECT_THROW((void)solve_cg(a, Vector(2, 1.0)), ContractError);
+}
+
+}  // namespace
+}  // namespace bmfusion::linalg
+
+namespace bmfusion::circuit {
+namespace {
+
+using linalg::Vector;
+
+// ----------------------------------------------------------------- ladder
+
+TEST(RcLadder, ElmoreConvergesToDistributedLimit) {
+  // As segments -> inf: tau = Rdrv (Cw + Cl) + Rw (Cw/2 + Cl).
+  WireModel wire;
+  wire.length = 1e-3;
+  wire.segments = 2000;
+  const double rdrv = 1e3;
+  const double cl = 10e-15;
+  const RcLadder ladder(wire, rdrv, cl);
+  const double rw = wire.total_resistance();
+  const double cw = wire.total_capacitance();
+  const double expected = rdrv * (cw + cl) + rw * (0.5 * cw + cl);
+  EXPECT_NEAR(ladder.elmore_delay(), expected, 0.001 * expected);
+  EXPECT_NEAR(ladder.delay_50_percent(), 0.69 * ladder.elmore_delay(),
+              1e-15);
+}
+
+TEST(RcLadder, ElmoreGrowsQuadraticallyWithLength) {
+  WireModel w1;
+  w1.length = 1e-3;
+  w1.segments = 500;
+  WireModel w2 = w1;
+  w2.length = 2e-3;
+  // No driver/load: pure wire delay ~ R C / 2 ~ length^2.
+  const double t1 = RcLadder(w1, 0.0, 0.0).elmore_delay();
+  const double t2 = RcLadder(w2, 0.0, 0.0).elmore_delay();
+  EXPECT_NEAR(t2 / t1, 4.0, 0.01);
+}
+
+TEST(RcLadder, IrDropMatchesOhmsLawForEndLoad) {
+  // Point load at the far end: node i drops by I * (Rdrv + i_segments R).
+  WireModel wire;
+  wire.segments = 64;
+  const double rdrv = 100.0;
+  const RcLadder ladder(wire, rdrv, 0.0);
+  const double i_load = 1e-3;
+  const double vdd = 1.1;
+  const Vector profile = ladder.ir_drop_profile(vdd, i_load);
+  const double r_seg =
+      wire.total_resistance() / static_cast<double>(wire.segments);
+  for (std::size_t k = 0; k < wire.segments; k += 9) {
+    const double expected =
+        vdd - i_load * (rdrv + static_cast<double>(k + 1) * r_seg);
+    EXPECT_NEAR(profile[k], expected, 1e-6) << "node " << k;
+  }
+}
+
+TEST(RcLadder, ThousandNodeNetworkSolves) {
+  WireModel wire;
+  wire.segments = 5000;
+  const RcLadder ladder(wire, 50.0, 1e-15);
+  const Vector profile = ladder.ir_drop_profile(1.0, 1e-4);
+  EXPECT_EQ(profile.size(), 5000u);
+  // Monotone decreasing potential along the wire toward the load.
+  for (std::size_t k = 1; k < profile.size(); k += 500) {
+    EXPECT_LT(profile[k], profile[k - 1]);
+  }
+}
+
+TEST(RcLadder, ConductanceMatrixIsSymmetric) {
+  WireModel wire;
+  wire.segments = 10;
+  EXPECT_TRUE(RcLadder(wire, 100.0, 0.0).conductance_matrix().is_symmetric());
+}
+
+TEST(RcLadder, InputValidation) {
+  WireModel bad;
+  bad.segments = 0;
+  EXPECT_THROW(RcLadder(bad, 0.0, 0.0), ContractError);
+  WireModel neg;
+  neg.length = -1.0;
+  EXPECT_THROW(RcLadder(neg, 0.0, 0.0), ContractError);
+}
+
+}  // namespace
+}  // namespace bmfusion::circuit

@@ -1,0 +1,222 @@
+// Tests for the SPICE-like netlist parser and writer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/ac.hpp"
+#include "circuit/dc.hpp"
+#include "circuit/opamp.hpp"
+#include "circuit/spice.hpp"
+#include "common/contracts.hpp"
+
+namespace bmfusion::circuit {
+namespace {
+
+// ------------------------------------------------------------ value parser
+
+TEST(SpiceValue, PlainNumbersAndScientific) {
+  EXPECT_DOUBLE_EQ(parse_spice_value("42"), 42.0);
+  EXPECT_DOUBLE_EQ(parse_spice_value("-1.5e-9"), -1.5e-9);
+  EXPECT_DOUBLE_EQ(parse_spice_value("0.5"), 0.5);
+}
+
+TEST(SpiceValue, EngineeringSuffixes) {
+  EXPECT_DOUBLE_EQ(parse_spice_value("4.7k"), 4700.0);
+  EXPECT_DOUBLE_EQ(parse_spice_value("2p"), 2e-12);
+  EXPECT_DOUBLE_EQ(parse_spice_value("1MEG"), 1e6);
+  EXPECT_DOUBLE_EQ(parse_spice_value("10u"), 10e-6);
+  EXPECT_DOUBLE_EQ(parse_spice_value("3n"), 3e-9);
+  EXPECT_DOUBLE_EQ(parse_spice_value("5m"), 5e-3);
+  EXPECT_DOUBLE_EQ(parse_spice_value("1f"), 1e-15);
+  EXPECT_DOUBLE_EQ(parse_spice_value("2T"), 2e12);
+  EXPECT_DOUBLE_EQ(parse_spice_value("7G"), 7e9);
+}
+
+TEST(SpiceValue, UnitLettersAfterSuffixIgnored) {
+  EXPECT_DOUBLE_EQ(parse_spice_value("2pF"), 2e-12);
+  EXPECT_DOUBLE_EQ(parse_spice_value("4.7kohm"), 4700.0);
+}
+
+TEST(SpiceValue, MalformedValuesRejected) {
+  EXPECT_THROW((void)parse_spice_value("abc"), DataError);
+  EXPECT_THROW((void)parse_spice_value(""), DataError);
+  EXPECT_THROW((void)parse_spice_value("1x"), DataError);
+}
+
+// ----------------------------------------------------------------- parser
+
+TEST(SpiceParser, ResistorDividerParsesAndSolves) {
+  const Netlist net = parse_spice_string(R"(
+* simple divider
+V1 in 0 3.0
+R1 in mid 1k
+R2 mid 0 2k
+.end
+)");
+  EXPECT_EQ(net.resistors().size(), 2u);
+  EXPECT_EQ(net.voltage_sources().size(), 1u);
+  const OperatingPoint op = DcSolver().solve(net);
+  EXPECT_NEAR(op.voltage(net.find_node("mid")), 2.0, 1e-6);
+}
+
+TEST(SpiceParser, CommentsBlankLinesAndContinuations) {
+  const Netlist net = parse_spice_string(
+      "* title comment\n"
+      "\n"
+      "R1 a b 1k ; trailing comment\n"
+      "V1 a\n"
+      "+ 0 1.0\n"
+      "R2 b 0 1k\n"
+      ".end\n");
+  EXPECT_EQ(net.resistors().size(), 2u);
+  EXPECT_EQ(net.voltage_sources()[0].dc, 1.0);
+}
+
+TEST(SpiceParser, AcSpecificationsAndSources) {
+  const Netlist net = parse_spice_string(R"(
+V1 in 0 0.6 AC 1
+I1 0 out 10u AC 2m
+R1 out 0 1k
+.end
+)");
+  EXPECT_DOUBLE_EQ(net.voltage_sources()[0].ac, 1.0);
+  EXPECT_DOUBLE_EQ(net.current_sources()[0].dc, 10e-6);
+  EXPECT_DOUBLE_EQ(net.current_sources()[0].ac, 2e-3);
+}
+
+TEST(SpiceParser, VccsCard) {
+  const Netlist net = parse_spice_string(R"(
+G1 out 0 in 0 1m
+R1 out 0 10k
+Vin in 0 0.1
+.end
+)");
+  ASSERT_EQ(net.vccs().size(), 1u);
+  EXPECT_DOUBLE_EQ(net.vccs()[0].gm, 1e-3);
+  const OperatingPoint op = DcSolver().solve(net);
+  EXPECT_NEAR(op.voltage(net.find_node("out")), -1.0, 1e-6);
+}
+
+TEST(SpiceParser, MosfetWithModelAndVariation) {
+  const Netlist net = parse_spice_string(R"(
+.model modn nmos vth0=0.4 kp=400u lambda=0.15
+VDD d 0 1.1
+M1 d d 0 modn W=2u L=0.2u DVTH=5m KPF=1.1
+.end
+)");
+  ASSERT_EQ(net.mosfets().size(), 1u);
+  const MosfetInstance& m = net.mosfets()[0];
+  EXPECT_EQ(m.model.type, MosfetType::kNmos);
+  EXPECT_DOUBLE_EQ(m.model.vth0, 0.4);
+  EXPECT_DOUBLE_EQ(m.model.kp, 400e-6);
+  EXPECT_DOUBLE_EQ(m.geometry.w, 2e-6);
+  EXPECT_DOUBLE_EQ(m.variation.dvth, 5e-3);
+  EXPECT_DOUBLE_EQ(m.variation.kp_factor, 1.1);
+}
+
+TEST(SpiceParser, ModelCardMayFollowInstance) {
+  // Two-pass resolution: M card before its .model.
+  const Netlist net = parse_spice_string(R"(
+M1 d g 0 late W=1u L=0.1u
+.model late pmos vth0=0.42
+.end
+)");
+  EXPECT_EQ(net.mosfets()[0].model.type, MosfetType::kPmos);
+}
+
+TEST(SpiceParser, NodesetForms) {
+  const Netlist net = parse_spice_string(R"(
+R1 a 0 1k
+.nodeset v(a)=0.7
+R2 b 0 1k
+.nodeset b 0.3
+.end
+)");
+  EXPECT_DOUBLE_EQ(net.initial_guesses().at(net.find_node("a")), 0.7);
+  EXPECT_DOUBLE_EQ(net.initial_guesses().at(net.find_node("b")), 0.3);
+}
+
+TEST(SpiceParser, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse_spice_string("R1 a 0 1k\nQ1 a b c\n.end\n");
+    FAIL() << "should have thrown";
+  } catch (const DataError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(SpiceParser, MalformedCardsRejected) {
+  EXPECT_THROW((void)parse_spice_string("R1 a 0\n.end\n"), DataError);
+  EXPECT_THROW((void)parse_spice_string("M1 d g 0 modx W=1u\n.end\n"),
+               DataError);  // missing L
+  EXPECT_THROW(
+      (void)parse_spice_string("M1 d g 0 nomodel W=1u L=1u\n.end\n"),
+      DataError);  // unresolved model
+  EXPECT_THROW((void)parse_spice_string(".model m nmos bogus=1\n.end\n"),
+               DataError);
+  EXPECT_THROW((void)parse_spice_string(".tran 1n 1u\n.end\n"), DataError);
+  EXPECT_THROW((void)parse_spice_string("+ continuation first\n.end\n"),
+               DataError);
+}
+
+TEST(SpiceParser, CardsAfterEndIgnored) {
+  const Netlist net = parse_spice_string(
+      "R1 a 0 1k\n.end\nR2 b 0 2k\n");
+  EXPECT_EQ(net.resistors().size(), 1u);
+}
+
+// ----------------------------------------------------------------- writer
+
+TEST(SpiceWriter, RoundTripsTheOpAmpNetlist) {
+  const TwoStageOpAmp amp(DesignStage::kPostLayout, ProcessModel::cmos45());
+  stats::Xoshiro256pp rng(3);
+  const TwoStageOpAmp::DieVariations v = amp.sample_variations(rng);
+  const Netlist original = amp.build_netlist(v);
+
+  const std::string text = to_spice_string(original, "opamp round trip");
+  const Netlist back = parse_spice_string(text);
+
+  // Structure survives.
+  EXPECT_EQ(back.resistors().size(), original.resistors().size());
+  EXPECT_EQ(back.capacitors().size(), original.capacitors().size());
+  EXPECT_EQ(back.mosfets().size(), original.mosfets().size());
+  EXPECT_EQ(back.voltage_sources().size(),
+            original.voltage_sources().size());
+
+  // And so does the physics: identical DC operating points.
+  const OperatingPoint op1 = DcSolver().solve(original);
+  const OperatingPoint op2 = DcSolver().solve(back);
+  for (NodeId id = 1; id <= original.node_count(); ++id) {
+    const NodeId other = back.find_node(original.node_name(id));
+    EXPECT_NEAR(op1.voltage(id), op2.voltage(other), 1e-7)
+        << "node " << original.node_name(id);
+  }
+
+  // Identical AC response at the output.
+  const AcAnalysis ac1(original, op1);
+  const AcAnalysis ac2(back, op2);
+  const NodeId out1 = original.find_node("out");
+  const NodeId out2 = back.find_node("out");
+  for (const double f : {1e2, 1e5, 1e8}) {
+    EXPECT_NEAR(std::abs(ac1.node_response(f, out1)),
+                std::abs(ac2.node_response(f, out2)),
+                1e-6 * std::abs(ac1.node_response(f, out1)));
+  }
+}
+
+TEST(SpiceWriter, DeduplicatesModelCards) {
+  const TwoStageOpAmp amp(DesignStage::kSchematic, ProcessModel::cmos45());
+  const std::string text =
+      to_spice_string(amp.build_netlist({}), "dedup check");
+  // 8 transistors, but only two distinct model cards (nmos + pmos).
+  std::size_t cards = 0;
+  std::size_t pos = 0;
+  while ((pos = text.find(".model", pos)) != std::string::npos) {
+    ++cards;
+    ++pos;
+  }
+  EXPECT_EQ(cards, 2u);
+}
+
+}  // namespace
+}  // namespace bmfusion::circuit

@@ -1,0 +1,231 @@
+// Tests for the transient engine against circuits with closed-form
+// time-domain solutions, plus the step-response measurements.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/opamp.hpp"
+#include "circuit/transient.hpp"
+#include "common/contracts.hpp"
+
+namespace bmfusion::circuit {
+namespace {
+
+// --------------------------------------------------------------- stimulus
+
+TEST(Stimulus, StepWaveformShape) {
+  const auto step = TransientStimulus::step(0.0, 1.0, 1e-6, 1e-7);
+  EXPECT_EQ(step(0.0), 0.0);
+  EXPECT_EQ(step(1e-6), 0.0);
+  EXPECT_NEAR(step(1.05e-6), 0.5, 1e-9);
+  EXPECT_EQ(step(2e-6), 1.0);
+}
+
+TEST(Stimulus, InstantStep) {
+  const auto step = TransientStimulus::step(0.2, 0.8, 1e-6, 0.0);
+  EXPECT_EQ(step(0.999e-6), 0.2);
+  EXPECT_EQ(step(1.001e-6), 0.8);
+}
+
+TEST(Stimulus, SineWaveform) {
+  const auto sine = TransientStimulus::sine(0.5, 0.2, 1e6);
+  EXPECT_NEAR(sine(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(sine(0.25e-6), 0.7, 1e-9);  // quarter period: peak
+}
+
+TEST(Stimulus, DefaultsToDcValues) {
+  Netlist net;
+  const NodeId a = net.node("a");
+  net.add_voltage_source("V1", a, kGround, 2.5);
+  const TransientStimulus stim;
+  EXPECT_EQ(stim.voltage(net, 0, 0.0), 2.5);
+  EXPECT_EQ(stim.voltage(net, 0, 1.0), 2.5);
+  EXPECT_THROW((void)stim.voltage(net, 3, 0.0), ContractError);
+}
+
+// ---------------------------------------------------------------- engine
+
+TEST(Transient, RcChargingMatchesAnalyticExponential) {
+  // V -- R -- C to ground; step 0 -> 1 V at t = 0+. v_C = 1 - exp(-t/RC).
+  Netlist net;
+  const NodeId in = net.node("in");
+  const NodeId out = net.node("out");
+  net.add_voltage_source("V1", in, kGround, 0.0);
+  net.add_resistor("R1", in, out, 1e3);
+  net.add_capacitor("C1", out, kGround, 1e-9);  // tau = 1 us
+
+  TransientConfig cfg;
+  cfg.t_stop = 5e-6;
+  cfg.dt = 5e-9;  // tau / 200: BE first-order error stays small
+  TransientAnalysis engine(net, cfg);
+  TransientStimulus stim;
+  stim.set_voltage_waveform(0, TransientStimulus::step(0.0, 1.0, 0.0, 0.0));
+  const TransientResult result = engine.run(stim);
+
+  for (std::size_t i = 1; i < result.step_count(); i += 50) {
+    const double t = result.time()[i];
+    const double expected = 1.0 - std::exp(-t / 1e-6);
+    EXPECT_NEAR(result.voltage(i, out), expected, 0.01)
+        << "at t = " << t;
+  }
+}
+
+TEST(Transient, InitialConditionIsDcOperatingPoint) {
+  // Source sits at 1 V from t = 0 with no step: the waveform must be flat.
+  Netlist net;
+  const NodeId in = net.node("in");
+  const NodeId out = net.node("out");
+  net.add_voltage_source("V1", in, kGround, 1.0);
+  net.add_resistor("R1", in, out, 1e3);
+  net.add_capacitor("C1", out, kGround, 1e-9);
+  TransientConfig cfg;
+  cfg.t_stop = 1e-6;
+  cfg.dt = 1e-8;
+  const TransientResult result = TransientAnalysis(net, cfg).run();
+  EXPECT_NEAR(result.voltage(0, out), 1.0, 1e-6);
+  EXPECT_NEAR(result.voltage(result.step_count() - 1, out), 1.0, 1e-6);
+}
+
+TEST(Transient, RcLowpassSineAttenuationMatchesAc) {
+  // Drive the RC at its corner frequency: steady-state amplitude 1/sqrt(2).
+  Netlist net;
+  const NodeId in = net.node("in");
+  const NodeId out = net.node("out");
+  net.add_voltage_source("V1", in, kGround, 0.0);
+  net.add_resistor("R1", in, out, 1e3);
+  net.add_capacitor("C1", out, kGround, 1e-9);
+  const double f = 1.0 / (2.0 * 3.14159265358979 * 1e3 * 1e-9);
+
+  TransientConfig cfg;
+  cfg.t_stop = 10.0 / f;  // several periods to settle
+  cfg.dt = 1.0 / (f * 400.0);
+  TransientStimulus stim;
+  stim.set_voltage_waveform(0, TransientStimulus::sine(0.0, 1.0, f));
+  const TransientResult result = TransientAnalysis(net, cfg).run(stim);
+
+  // Amplitude over the last 3 periods.
+  double peak = 0.0;
+  const std::size_t start = result.step_count() * 7 / 10;
+  for (std::size_t i = start; i < result.step_count(); ++i) {
+    peak = std::max(peak, std::fabs(result.voltage(i, out)));
+  }
+  EXPECT_NEAR(peak, 1.0 / std::sqrt(2.0), 0.03);
+}
+
+TEST(Transient, MosfetInverterSwitches) {
+  // NMOS common-source with resistor load: input step low -> high drives
+  // the output from VDD toward ground.
+  Netlist net;
+  const NodeId vdd = net.node("vdd");
+  const NodeId in = net.node("in");
+  const NodeId out = net.node("out");
+  net.add_voltage_source("VDD", vdd, kGround, 1.1);
+  net.add_voltage_source("VIN", in, kGround, 0.0);
+  net.add_resistor("RL", vdd, out, 20e3);
+  net.add_capacitor("CL", out, kGround, 50e-15);
+  MosfetModel nmos;
+  nmos.vth0 = 0.4;
+  nmos.kp = 400e-6;
+  nmos.lambda = 0.1;
+  net.add_mosfet("M1", out, in, kGround, nmos, {2e-6, 0.2e-6}, {});
+
+  TransientConfig cfg;
+  cfg.t_stop = 50e-9;
+  cfg.dt = 0.05e-9;
+  TransientStimulus stim;
+  stim.set_voltage_waveform(
+      1, TransientStimulus::step(0.0, 1.0, 5e-9, 1e-9));
+  const TransientResult result = TransientAnalysis(net, cfg).run(stim);
+
+  EXPECT_NEAR(result.voltage(0, out), 1.1, 1e-3);  // off: output at VDD
+  const double v_end =
+      result.voltage(result.step_count() - 1, out);
+  EXPECT_LT(v_end, 0.3);  // on: output pulled low
+}
+
+TEST(Transient, OpAmpUnityBufferFollowsStep) {
+  // The default servo network (1 Gohm / 1 kF) is an AC-measurement fixture
+  // whose 1e12 s time constant cannot close the loop within a transient;
+  // configure a hard unity-feedback wire instead and watch the output
+  // follow a 50 mV input step.
+  OpAmpDesign design;
+  design.r_servo = 1.0;      // direct feedback wire
+  design.c_servo = 1e-15;    // negligible
+  const TwoStageOpAmp amp(DesignStage::kSchematic, ProcessModel::cmos45(),
+                          design);
+  const Netlist net = amp.build_netlist({});
+  TransientConfig cfg;
+  cfg.t_stop = 3e-6;
+  cfg.dt = 1e-9;
+  TransientStimulus stim;
+  // Voltage source 1 is VINP (0 is VDD).
+  stim.set_voltage_waveform(
+      1, TransientStimulus::step(0.6, 0.65, 0.2e-6, 1e-9));
+  const TransientResult result = TransientAnalysis(net, cfg).run(stim);
+  const NodeId out = net.find_node("out");
+
+  const StepResponse sr =
+      measure_step_response(result.time(), result.waveform(out));
+  EXPECT_NEAR(sr.initial_value, 0.6, 0.01);
+  EXPECT_NEAR(sr.final_value, 0.65, 0.01);
+  // Small-signal bandwidth ~ GBW (tens of MHz in closed loop): rise time
+  // well under a microsecond.
+  EXPECT_LT(sr.rise_time, 0.5e-6);
+  EXPECT_LT(sr.overshoot_fraction, 0.5);
+}
+
+TEST(Transient, ConfigValidation) {
+  Netlist net;
+  net.add_voltage_source("V", net.node("a"), kGround, 1.0);
+  TransientConfig bad;
+  bad.t_stop = 0.0;
+  EXPECT_THROW(TransientAnalysis(net, bad), ContractError);
+  bad.t_stop = 1e-9;
+  bad.dt = 1e-6;
+  EXPECT_THROW(TransientAnalysis(net, bad), ContractError);
+}
+
+// ------------------------------------------------------------ measurement
+
+TEST(StepResponseMeasure, FirstOrderAnalytic) {
+  // Synthetic first-order response: rise time = tau (ln 0.9/0.1) = 2.197 tau.
+  const double tau = 1e-6;
+  std::vector<double> time, wave;
+  for (int i = 0; i <= 2000; ++i) {
+    const double t = static_cast<double>(i) * 5e-9;
+    time.push_back(t);
+    wave.push_back(1.0 - std::exp(-t / tau));
+  }
+  const StepResponse sr = measure_step_response(time, wave);
+  EXPECT_NEAR(sr.rise_time, 2.197 * tau, 0.05 * tau);
+  EXPECT_NEAR(sr.final_value, 1.0, 0.01);
+  // The tail-averaged final value sits a hair below the last samples, so a
+  // tiny positive "overshoot" is expected for a monotone waveform.
+  EXPECT_LT(sr.overshoot_fraction, 1e-3);
+  // Settling to 2%: about 3.9 tau.
+  EXPECT_NEAR(sr.settling_time, 3.9 * tau, 0.3 * tau);
+}
+
+TEST(StepResponseMeasure, DetectsOvershoot) {
+  std::vector<double> time, wave;
+  for (int i = 0; i <= 1000; ++i) {
+    const double t = static_cast<double>(i) * 1e-8;
+    time.push_back(t);
+    // Damped second-order-ish response peaking at 1.25.
+    wave.push_back(1.0 - std::exp(-t / 1e-6) *
+                             std::cos(2.0 * 3.14159 * t / 4e-6) * 1.0);
+  }
+  const StepResponse sr = measure_step_response(time, wave);
+  EXPECT_GT(sr.overshoot_fraction, 0.05);
+}
+
+TEST(StepResponseMeasure, InputValidation) {
+  EXPECT_THROW((void)measure_step_response({0.0}, {1.0, 2.0}),
+               ContractError);
+  const std::vector<double> flat_t{0, 1, 2, 3, 4, 5, 6, 7};
+  const std::vector<double> flat_v(8, 1.0);
+  EXPECT_THROW((void)measure_step_response(flat_t, flat_v), ContractError);
+}
+
+}  // namespace
+}  // namespace bmfusion::circuit

@@ -1,0 +1,183 @@
+#include "linalg/vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/contracts.hpp"
+
+namespace bmfusion::linalg {
+namespace {
+
+TEST(Vector, DefaultConstructedIsEmpty) {
+  const Vector v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(Vector, SizeConstructorZeroFills) {
+  const Vector v(4);
+  EXPECT_EQ(v.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(v[i], 0.0);
+}
+
+TEST(Vector, FillConstructor) {
+  const Vector v(3, 2.5);
+  EXPECT_EQ(v[0], 2.5);
+  EXPECT_EQ(v[2], 2.5);
+}
+
+TEST(Vector, InitializerList) {
+  const Vector v{1.0, -2.0, 3.0};
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[1], -2.0);
+}
+
+TEST(Vector, FromStdVectorTakesValues) {
+  const Vector v(std::vector<double>{4.0, 5.0});
+  EXPECT_EQ(v[0], 4.0);
+  EXPECT_EQ(v[1], 5.0);
+}
+
+TEST(Vector, IndexOutOfRangeThrows) {
+  Vector v{1.0};
+  EXPECT_THROW((void)v[1], ContractError);
+  const Vector& cv = v;
+  EXPECT_THROW((void)cv[5], ContractError);
+}
+
+TEST(Vector, AdditionAndSubtraction) {
+  const Vector a{1.0, 2.0};
+  const Vector b{3.0, 5.0};
+  EXPECT_EQ((a + b)[1], 7.0);
+  EXPECT_EQ((b - a)[0], 2.0);
+}
+
+TEST(Vector, MismatchedSizesThrow) {
+  const Vector a{1.0, 2.0};
+  const Vector b{1.0};
+  EXPECT_THROW((void)(a + b), ContractError);
+  EXPECT_THROW((void)(a - b), ContractError);
+  EXPECT_THROW((void)dot(a, b), ContractError);
+  EXPECT_THROW((void)hadamard(a, b), ContractError);
+}
+
+TEST(Vector, ScalarOperations) {
+  const Vector a{2.0, -4.0};
+  EXPECT_EQ((a * 0.5)[0], 1.0);
+  EXPECT_EQ((0.5 * a)[1], -2.0);
+  EXPECT_EQ((a / 2.0)[1], -2.0);
+  EXPECT_EQ((-a)[0], -2.0);
+}
+
+TEST(Vector, DivisionByZeroThrows) {
+  Vector a{1.0};
+  EXPECT_THROW(a /= 0.0, ContractError);
+}
+
+TEST(Vector, DotProduct) {
+  const Vector a{1.0, 2.0, 3.0};
+  const Vector b{4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 4.0 - 10.0 + 18.0);
+}
+
+TEST(Vector, HadamardProduct) {
+  const Vector h = hadamard(Vector{2.0, 3.0}, Vector{4.0, -1.0});
+  EXPECT_EQ(h[0], 8.0);
+  EXPECT_EQ(h[1], -3.0);
+}
+
+TEST(Vector, Norm2MatchesHandComputed) {
+  const Vector v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.norm2(), 5.0);
+}
+
+TEST(Vector, Norm2HandlesExtremeScalesWithoutOverflow) {
+  const Vector v{1e300, 1e300};
+  EXPECT_TRUE(std::isfinite(v.norm2()));
+  EXPECT_NEAR(v.norm2(), std::sqrt(2.0) * 1e300, 1e286);
+}
+
+TEST(Vector, Norm2OfZeroVectorIsZero) {
+  EXPECT_EQ(Vector(5).norm2(), 0.0);
+}
+
+TEST(Vector, NormInf) {
+  const Vector v{-7.0, 3.0, 5.0};
+  EXPECT_EQ(v.norm_inf(), 7.0);
+}
+
+TEST(Vector, Sum) {
+  EXPECT_DOUBLE_EQ((Vector{1.5, 2.5, -1.0}).sum(), 3.0);
+}
+
+TEST(Vector, IsFiniteDetectsNanAndInf) {
+  Vector v{1.0, 2.0};
+  EXPECT_TRUE(v.is_finite());
+  v[0] = std::nan("");
+  EXPECT_FALSE(v.is_finite());
+  v[0] = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(v.is_finite());
+}
+
+TEST(Vector, Factories) {
+  EXPECT_EQ(Vector::zeros(3)[2], 0.0);
+  EXPECT_EQ(Vector::ones(3)[2], 1.0);
+}
+
+TEST(Vector, EqualityIsExact) {
+  EXPECT_TRUE(Vector({1.0, 2.0}) == Vector({1.0, 2.0}));
+  EXPECT_FALSE(Vector({1.0, 2.0}) == Vector({1.0, 2.0 + 1e-15}));
+}
+
+TEST(Vector, ApproxEqual) {
+  EXPECT_TRUE(approx_equal(Vector{1.0}, Vector{1.0 + 1e-10}, 1e-9));
+  EXPECT_FALSE(approx_equal(Vector{1.0}, Vector{1.1}, 1e-3));
+  EXPECT_FALSE(approx_equal(Vector{1.0}, Vector{1.0, 2.0}, 1.0));
+}
+
+TEST(Vector, StreamOutput) {
+  std::ostringstream os;
+  os << Vector{1.0, 2.5};
+  EXPECT_EQ(os.str(), "[1, 2.5]");
+}
+
+TEST(Vector, RangeForIteration) {
+  Vector v{1.0, 2.0, 3.0};
+  double sum = 0.0;
+  for (const double x : v) sum += x;
+  EXPECT_DOUBLE_EQ(sum, 6.0);
+  for (double& x : v) x *= 2.0;
+  EXPECT_EQ(v[2], 6.0);
+}
+
+class VectorSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(VectorSizeSweep, NormConsistency) {
+  // Property: norm_inf <= norm2 <= sqrt(n) * norm_inf for every size.
+  const std::size_t n = GetParam();
+  Vector v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<double>(i % 7) - 3.0;
+  }
+  EXPECT_LE(v.norm_inf(), v.norm2() + 1e-12);
+  EXPECT_LE(v.norm2(),
+            std::sqrt(static_cast<double>(n)) * v.norm_inf() + 1e-12);
+}
+
+TEST_P(VectorSizeSweep, AdditionIsCommutative) {
+  const std::size_t n = GetParam();
+  Vector a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = static_cast<double>(i) * 0.5;
+    b[i] = static_cast<double>(n - i);
+  }
+  EXPECT_TRUE(a + b == b + a);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, VectorSizeSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 17, 64));
+
+}  // namespace
+}  // namespace bmfusion::linalg
