@@ -61,16 +61,20 @@ int main(int argc, char** argv) {
         early.mean[i] += 0.2 * setup_rng.next_uniform(-1, 1);
       }
       const stats::MultivariateNormal mvn(truth.mean, truth.covariance);
+      const core::MleEstimator mle_estimator;
+      const core::BmfEstimator bmf_estimator(
+          core::EarlyStageKnowledge{early, early.mean},
+          core::BmfConfig{}.with_shift_scale(false));
 
       double mle_mean = 0.0, bmf_mean = 0.0, mle_cov = 0.0, bmf_cov = 0.0;
       for (std::size_t r = 0; r < reps; ++r) {
         stats::Xoshiro256pp rng(1000 * d + r);
         const Matrix samples = mvn.sample_matrix(rng, kN);
-        const core::GaussianMoments mle = core::estimate_mle(samples);
-        mle_mean += core::mean_error(mle.mean, truth.mean);
-        mle_cov += core::covariance_error(mle.covariance, truth.covariance);
-        const core::BmfResult bmf =
-            core::BmfEstimator::estimate_scaled(early, samples, {});
+        const core::EstimateResult mle = mle_estimator.estimate(samples);
+        mle_mean += core::mean_error(mle.moments.mean, truth.mean);
+        mle_cov += core::covariance_error(mle.moments.covariance,
+                                          truth.covariance);
+        const core::EstimateResult bmf = bmf_estimator.estimate(samples);
         bmf_mean += core::mean_error(bmf.scaled_moments.mean, truth.mean);
         bmf_cov += core::covariance_error(bmf.scaled_moments.covariance,
                                           truth.covariance);

@@ -14,7 +14,7 @@
 #include "bench_common.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
-#include "core/mle.hpp"
+#include "core/estimator.hpp"
 #include "core/yield.hpp"
 #include "stats/rng.hpp"
 #include "stats/special.hpp"
@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
         cli.get_string("data-dir"),
         static_cast<std::size_t>(cli.get_int("samples")));
     const core::GaussianMoments moments =
-        core::estimate_mle(data.late.samples());
+        core::MleEstimator().estimate(data.late.samples()).moments;
 
     const double inf = std::numeric_limits<double>::infinity();
     std::printf("\nHigh-sigma yield: gain >= mean - k*sigma (op-amp)\n");

@@ -89,18 +89,23 @@ int main(int argc, char** argv) {
                      format_double(mean_err * inv, 5),
                      format_double(cov_err * inv, 5)});
     }
-    // Reference rows: plain MLE and the cross-validated BMF.
+    // Reference rows: plain MLE and the cross-validated BMF, both through
+    // the unified MomentEstimator interface.
     {
+      const core::MleEstimator mle_estimator;
+      const core::BmfEstimator bmf_estimator(
+          core::EarlyStageKnowledge{early, early.mean},
+          core::BmfConfig{}.with_shift_scale(false));
       double mle_mean = 0.0, mle_cov = 0.0, cv_mean = 0.0, cv_cov = 0.0;
       std::vector<double> kappas, nus;
       for (std::size_t r = 0; r < reps; ++r) {
         stats::Xoshiro256pp rng(7000 + r);
         const Matrix subset = gather(late, rng, kN);
-        const core::GaussianMoments mle = core::estimate_mle(subset);
-        mle_mean += core::mean_error(mle.mean, exact.mean);
-        mle_cov += core::covariance_error(mle.covariance, exact.covariance);
-        const core::BmfResult bmf =
-            core::BmfEstimator::estimate_scaled(early, subset, {});
+        const core::EstimateResult mle = mle_estimator.estimate(subset);
+        mle_mean += core::mean_error(mle.moments.mean, exact.mean);
+        mle_cov += core::covariance_error(mle.moments.covariance,
+                                          exact.covariance);
+        const core::EstimateResult bmf = bmf_estimator.estimate(subset);
         cv_mean += core::mean_error(bmf.scaled_moments.mean, exact.mean);
         cv_cov += core::covariance_error(bmf.scaled_moments.covariance,
                                          exact.covariance);
@@ -118,6 +123,21 @@ int main(int argc, char** argv) {
                      format_double(cv_cov * inv, 5)});
     }
     table.print(std::cout);
+
+    // Shape of one CV score surface, read through the grid() accessor: how
+    // far the extremes fall below the selected point.
+    {
+      stats::Xoshiro256pp rng(7000);
+      const core::CrossValidationResult sel =
+          core::select_hyperparameters(early, gather(late, rng, kN));
+      const core::GridScore& first = sel.grid().front();
+      const core::GridScore& last = sel.grid().back();
+      std::printf(
+          "# CV surface: best %.4f at (k=%.3g, nu=%.3g); corners "
+          "(k=%.3g, nu=%.3g) -> %.4f, (k=%.3g, nu=%.3g) -> %.4f\n",
+          sel.score, sel.kappa0, sel.nu0, first.kappa0, first.nu0,
+          first.score, last.kappa0, last.nu0, last.score);
+    }
     std::printf(
         "# the mle_limit row must match the MLE reference; the "
         "cross-validated row should sit near the best fixed setting.\n");

@@ -13,8 +13,8 @@
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "core/mle.hpp"
 #include "common/table.hpp"
+#include "core/estimator.hpp"
 
 int main(int argc, char** argv) {
   using namespace bmfusion;
@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
     ConsoleTable dist_table({"distortion_sigma", "mle_mean_err",
                              "bmf_mean_err", "kappa0", "nu0"});
     const core::GaussianMoments early_raw =
-        core::estimate_mle(data.early.samples());
+        core::MleEstimator().estimate(data.early.samples()).moments;
     Vector sigma(early_raw.dimension());
     for (std::size_t i = 0; i < sigma.size(); ++i) {
       sigma[i] = std::sqrt(early_raw.covariance(i, i));

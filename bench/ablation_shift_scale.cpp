@@ -10,7 +10,7 @@
 
 #include "bench_common.hpp"
 #include "common/table.hpp"
-#include "core/mle.hpp"
+#include "core/estimator.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/rng.hpp"
 
@@ -48,21 +48,21 @@ int main(int argc, char** argv) {
         cli.get_string("data-dir"),
         static_cast<std::size_t>(cli.get_int("samples")));
 
+    const core::MleEstimator mle_estimator;
     const core::GaussianMoments early_raw =
-        core::estimate_mle(data.early.samples());
+        mle_estimator.estimate(data.early.samples()).moments;
     const core::StageTransforms transforms = core::make_stage_transforms(
         data.early_nominal, data.late_nominal, early_raw);
     const core::GaussianMoments exact_scaled =
-        core::estimate_mle(transforms.late.apply(data.late.samples()));
+        mle_estimator.estimate(transforms.late.apply(data.late.samples()))
+            .moments;
 
-    core::BmfConfig with_cfg;
-    core::BmfConfig without_cfg;
-    without_cfg.apply_shift_scale = false;
     const core::BmfEstimator with_ss(
-        core::EarlyStageKnowledge{early_raw, data.early_nominal}, with_cfg);
+        core::EarlyStageKnowledge{early_raw, data.early_nominal},
+        core::BmfConfig{}.with_shift_scale(true));
     const core::BmfEstimator without_ss(
         core::EarlyStageKnowledge{early_raw, data.early_nominal},
-        without_cfg);
+        core::BmfConfig{}.with_shift_scale(false));
 
     std::size_t reps =
         static_cast<std::size_t>(cli.get_int("runs")) / 2 + 1;

@@ -53,19 +53,15 @@ StageData load_opamp_data(const std::string& data_dir,
                                            ProcessModel::cmos45());
   const circuit::TwoStageOpAmp late_bench(DesignStage::kPostLayout,
                                           ProcessModel::cmos45());
-  MonteCarloConfig cfg;
-  cfg.sample_count = sample_count;
+  const MonteCarloConfig cfg =
+      MonteCarloConfig{}.with_sample_count(sample_count);
   Dataset early = load_or_generate(
       tagged(data_dir, "opamp_early", sample_count), [&] {
-        MonteCarloConfig c = cfg;
-        c.seed = 11;
-        return run_monte_carlo(early_bench, c);
+        return run_monte_carlo(early_bench, MonteCarloConfig(cfg).with_seed(11));
       });
   Dataset late = load_or_generate(
       tagged(data_dir, "opamp_late", sample_count), [&] {
-        MonteCarloConfig c = cfg;
-        c.seed = 22;
-        return run_monte_carlo(late_bench, c);
+        return run_monte_carlo(late_bench, MonteCarloConfig(cfg).with_seed(22));
       });
   return StageData{std::move(early), early_bench.nominal_metrics(),
                    std::move(late), late_bench.nominal_metrics()};
@@ -77,19 +73,15 @@ StageData load_adc_data(const std::string& data_dir,
                                       ProcessModel::cmos180());
   const circuit::FlashAdc late_bench(DesignStage::kPostLayout,
                                      ProcessModel::cmos180());
-  MonteCarloConfig cfg;
-  cfg.sample_count = sample_count;
+  const MonteCarloConfig cfg =
+      MonteCarloConfig{}.with_sample_count(sample_count);
   Dataset early = load_or_generate(
       tagged(data_dir, "adc_early", sample_count), [&] {
-        MonteCarloConfig c = cfg;
-        c.seed = 33;
-        return run_monte_carlo(early_bench, c);
+        return run_monte_carlo(early_bench, MonteCarloConfig(cfg).with_seed(33));
       });
   Dataset late = load_or_generate(
       tagged(data_dir, "adc_late", sample_count), [&] {
-        MonteCarloConfig c = cfg;
-        c.seed = 44;
-        return run_monte_carlo(late_bench, c);
+        return run_monte_carlo(late_bench, MonteCarloConfig(cfg).with_seed(44));
       });
   return StageData{std::move(early), early_bench.nominal_metrics(),
                    std::move(late), late_bench.nominal_metrics()};

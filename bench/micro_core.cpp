@@ -5,7 +5,7 @@
 
 #include "core/bmf_estimator.hpp"
 #include "core/cross_validation.hpp"
-#include "core/mle.hpp"
+#include "core/estimator.hpp"
 #include "core/normal_wishart.hpp"
 #include "stats/mvn.hpp"
 #include "stats/rng.hpp"
@@ -61,9 +61,12 @@ void BM_CrossValidatedEstimate(benchmark::State& state) {
   const core::GaussianMoments early = make_moments(5);
   const Matrix samples = make_samples(early, static_cast<std::size_t>(
                                                  state.range(0)));
+  const core::BmfEstimator estimator(
+      core::EarlyStageKnowledge{early, early.mean},
+      core::BmfConfig{}.with_shift_scale(false));
+  const core::MomentEstimator& iface = estimator;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        core::BmfEstimator::estimate_scaled(early, samples, {}));
+    benchmark::DoNotOptimize(iface.estimate(samples));
   }
 }
 BENCHMARK(BM_CrossValidatedEstimate)->Arg(8)->Arg(32)->Arg(128);
@@ -72,8 +75,10 @@ void BM_MleEstimate(benchmark::State& state) {
   const core::GaussianMoments m = make_moments(5);
   const Matrix samples = make_samples(m, static_cast<std::size_t>(
                                              state.range(0)));
+  const core::MleEstimator estimator;
+  const core::MomentEstimator& iface = estimator;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::estimate_mle(samples));
+    benchmark::DoNotOptimize(iface.estimate(samples));
   }
 }
 BENCHMARK(BM_MleEstimate)->Arg(8)->Arg(128)->Arg(1024);

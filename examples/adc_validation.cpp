@@ -12,7 +12,7 @@
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "core/bmf_estimator.hpp"
-#include "core/mle.hpp"
+#include "core/estimator.hpp"
 #include "dsp/spectrum.hpp"
 #include "stats/descriptive.hpp"
 
@@ -48,17 +48,20 @@ int main(int argc, char** argv) {
                 nominal[4] * 1e3);
 
     std::printf("== early stage: schematic Monte Carlo\n");
-    MonteCarloConfig mc;
-    mc.sample_count = static_cast<std::size_t>(cli.get_int("early-samples"));
-    mc.seed = 404;
-    const Dataset early = run_monte_carlo(schematic, mc);
+    const core::MleEstimator mle_estimator;
+    const Dataset early = run_monte_carlo(
+        schematic,
+        MonteCarloConfig{}
+            .with_sample_count(
+                static_cast<std::size_t>(cli.get_int("early-samples")))
+            .with_seed(404));
     const core::GaussianMoments early_moments =
-        core::estimate_mle(early.samples());
+        mle_estimator.estimate(early.samples()).moments;
 
     std::printf("== late stage: %zu extracted captures\n", budget);
-    mc.sample_count = budget;
-    mc.seed = 505;
-    const Dataset late_budgeted = run_monte_carlo(extracted, mc);
+    const Dataset late_budgeted = run_monte_carlo(
+        extracted,
+        MonteCarloConfig{}.with_sample_count(budget).with_seed(505));
 
     const core::BmfEstimator estimator(
         core::EarlyStageKnowledge{early_moments,
@@ -66,16 +69,16 @@ int main(int argc, char** argv) {
     const core::BmfResult bmf = estimator.estimate(
         late_budgeted.samples(), extracted.nominal_metrics());
     const core::GaussianMoments mle =
-        core::estimate_mle(late_budgeted.samples());
+        mle_estimator.estimate(late_budgeted.samples()).moments;
     std::printf("   cross validation picked kappa0 = %.1f, nu0 = %.1f\n\n",
                 bmf.kappa0, bmf.nu0);
 
     // Ground truth from a big extracted population.
-    mc.sample_count = 1000;
-    mc.seed = 606;
-    const Dataset reference = run_monte_carlo(extracted, mc);
+    const Dataset reference = run_monte_carlo(
+        extracted,
+        MonteCarloConfig{}.with_sample_count(1000).with_seed(606));
     const core::GaussianMoments truth =
-        core::estimate_mle(reference.samples());
+        mle_estimator.estimate(reference.samples()).moments;
 
     ConsoleTable table({"metric", "truth_mean", "bmf_mean", "mle_mean",
                         "truth_sd", "bmf_sd", "mle_sd"});

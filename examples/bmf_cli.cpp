@@ -23,7 +23,7 @@
 #include "common/cli.hpp"
 #include "common/contracts.hpp"
 #include "common/strings.hpp"
-#include "core/mle.hpp"
+#include "core/estimator.hpp"
 #include "core/report.hpp"
 #include "core/serialization.hpp"
 
@@ -48,7 +48,8 @@ int run_export(const CliParser& cli) {
       circuit::Dataset::load_csv(cli.get_string("early-csv"));
   core::NamedKnowledge nk;
   nk.metric_names = early.metric_names();
-  nk.knowledge.moments = core::estimate_mle(early.samples());
+  nk.knowledge.moments =
+      core::MleEstimator().estimate(early.samples()).moments;
   nk.knowledge.nominal =
       parse_vector(cli.get_string("early-nominal"), early.metric_count());
   const std::string out_path = cli.get_string("knowledge-out");
@@ -83,19 +84,19 @@ int run_demo() {
                                          circuit::ProcessModel::cmos45());
   const circuit::TwoStageOpAmp extracted(circuit::DesignStage::kPostLayout,
                                          circuit::ProcessModel::cmos45());
-  circuit::MonteCarloConfig mc;
-  mc.sample_count = 2000;
-  mc.seed = 1;
-  const circuit::Dataset early = run_monte_carlo(schematic, mc);
-  mc.sample_count = 20;
-  mc.seed = 2;
-  const circuit::Dataset late = run_monte_carlo(extracted, mc);
+  const circuit::Dataset early = run_monte_carlo(
+      schematic,
+      circuit::MonteCarloConfig{}.with_sample_count(2000).with_seed(1));
+  const circuit::Dataset late = run_monte_carlo(
+      extracted,
+      circuit::MonteCarloConfig{}.with_sample_count(20).with_seed(2));
 
   // Round-trip the knowledge through the serialization layer, exactly as
   // the two-team workflow would.
   core::NamedKnowledge nk;
   nk.metric_names = early.metric_names();
-  nk.knowledge.moments = core::estimate_mle(early.samples());
+  nk.knowledge.moments =
+      core::MleEstimator().estimate(early.samples()).moments;
   nk.knowledge.nominal = schematic.nominal_metrics();
   std::stringstream handoff;
   core::write_knowledge(handoff, nk);

@@ -19,7 +19,7 @@
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "core/bmf_estimator.hpp"
-#include "core/mle.hpp"
+#include "core/estimator.hpp"
 #include "linalg/spd.hpp"
 
 int main(int argc, char** argv) {
@@ -41,12 +41,15 @@ int main(int argc, char** argv) {
                                   ProcessModel::cmos45());
 
     std::printf("== 1. early stage: schematic Monte Carlo\n");
-    MonteCarloConfig mc;
-    mc.sample_count = static_cast<std::size_t>(cli.get_int("early-samples"));
-    mc.seed = 101;
-    const Dataset early = run_monte_carlo(schematic, mc);
+    const core::MleEstimator mle_estimator;
+    const Dataset early = run_monte_carlo(
+        schematic,
+        MonteCarloConfig{}
+            .with_sample_count(
+                static_cast<std::size_t>(cli.get_int("early-samples")))
+            .with_seed(101));
     const core::GaussianMoments early_moments =
-        core::estimate_mle(early.samples());
+        mle_estimator.estimate(early.samples()).moments;
     const linalg::Vector early_nominal = schematic.nominal_metrics();
     const linalg::Vector late_nominal = extracted.nominal_metrics();
 
@@ -57,13 +60,13 @@ int main(int argc, char** argv) {
 
     std::printf("== 2. late stage: only %zu extracted runs affordable\n",
                 budget);
-    mc.sample_count = budget;
-    mc.seed = 202;
-    const Dataset late_budgeted = run_monte_carlo(extracted, mc);
+    const Dataset late_budgeted = run_monte_carlo(
+        extracted,
+        MonteCarloConfig{}.with_sample_count(budget).with_seed(202));
 
     std::printf("== 3. estimate post-layout moments (MLE vs BMF)\n");
     const core::GaussianMoments mle =
-        core::estimate_mle(late_budgeted.samples());
+        mle_estimator.estimate(late_budgeted.samples()).moments;
     const core::BmfEstimator estimator(
         core::EarlyStageKnowledge{early_moments, early_nominal});
     const core::BmfResult bmf =
@@ -72,12 +75,14 @@ int main(int argc, char** argv) {
                 bmf.kappa0, bmf.nu0);
 
     std::printf("== 4. reference: large post-layout population\n");
-    mc.sample_count =
-        static_cast<std::size_t>(cli.get_int("reference-samples"));
-    mc.seed = 303;
-    const Dataset reference = run_monte_carlo(extracted, mc);
+    const Dataset reference = run_monte_carlo(
+        extracted,
+        MonteCarloConfig{}
+            .with_sample_count(
+                static_cast<std::size_t>(cli.get_int("reference-samples")))
+            .with_seed(303));
     const core::GaussianMoments truth =
-        core::estimate_mle(reference.samples());
+        mle_estimator.estimate(reference.samples()).moments;
 
     ConsoleTable table(
         {"metric", "truth_mean", "bmf_mean", "mle_mean", "truth_sd",

@@ -9,9 +9,10 @@
 //   ./build/examples/quickstart
 #include <cstdio>
 #include <iostream>
+#include <string>
 
 #include "core/bmf_estimator.hpp"
-#include "core/mle.hpp"
+#include "core/estimator.hpp"
 #include "stats/mvn.hpp"
 #include "stats/rng.hpp"
 
@@ -43,14 +44,28 @@ int main() {
   const Matrix late_samples = late_dist.sample_matrix(rng, 8);
 
   // ------------------------------------------------------------------
-  // 3. Fuse: Algorithm 1 — shift/scale, 2-D cross validation, MAP.
-  const core::BmfEstimator estimator(
+  // 3. Estimate through the unified MomentEstimator interface: BMF
+  //    (Algorithm 1 — shift/scale, 2-D cross validation, MAP) against the
+  //    plain-MLE baseline, both on the same 8 samples.
+  const core::BmfEstimator bmf_estimator(
       core::EarlyStageKnowledge{early, early_nominal});
-  const core::BmfResult fused = estimator.estimate(late_samples,
-                                                   late_nominal);
+  const core::MleEstimator mle_estimator;
 
-  // 4. Baseline: plain MLE on the same 8 samples.
-  const core::GaussianMoments mle = core::estimate_mle(late_samples);
+  for (const core::MomentEstimator* estimator :
+       {static_cast<const core::MomentEstimator*>(&bmf_estimator),
+        static_cast<const core::MomentEstimator*>(&mle_estimator)}) {
+    const core::EstimateResult r =
+        estimator->estimate(late_samples, late_nominal);
+    std::printf("%-4.4s mean error: %.4f\n",
+                std::string(estimator->name()).c_str(),
+                core::mean_error(r.moments.mean, late_truth.mean));
+  }
+  std::printf("\n");
+
+  const core::BmfResult fused =
+      bmf_estimator.estimate(late_samples, late_nominal);
+  const core::GaussianMoments mle =
+      mle_estimator.estimate(late_samples).moments;
 
   std::printf("selected hyper-parameters: kappa0 = %.2f, nu0 = %.2f\n\n",
               fused.kappa0, fused.nu0);

@@ -25,7 +25,7 @@
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "core/bmf_estimator.hpp"
-#include "core/mle.hpp"
+#include "core/estimator.hpp"
 #include "core/normal_wishart.hpp"
 #include "core/yield.hpp"
 #include "linalg/cholesky.hpp"
@@ -70,22 +70,22 @@ int main(int argc, char** argv) {
     const TwoStageOpAmp extracted(DesignStage::kPostLayout,
                                   ProcessModel::cmos45());
 
-    MonteCarloConfig mc;
-    mc.sample_count = 2000;
-    mc.seed = 707;
-    const Dataset early = run_monte_carlo(schematic, mc);
-    mc.sample_count = budget;
-    mc.seed = 808;
-    const Dataset late = run_monte_carlo(extracted, mc);
-    mc.sample_count = 4000;
-    mc.seed = 909;
-    const Dataset reference = run_monte_carlo(extracted, mc);
+    const Dataset early = run_monte_carlo(
+        schematic,
+        MonteCarloConfig{}.with_sample_count(2000).with_seed(707));
+    const Dataset late = run_monte_carlo(
+        extracted,
+        MonteCarloConfig{}.with_sample_count(budget).with_seed(808));
+    const Dataset reference = run_monte_carlo(
+        extracted,
+        MonteCarloConfig{}.with_sample_count(4000).with_seed(909));
 
     // Specs defined against the true population so the exercise has a
     // non-trivial yield (~85-95%): gain, bandwidth and phase margin floors,
     // power and |offset| ceilings.
+    const core::MleEstimator mle_estimator;
     const core::GaussianMoments truth =
-        core::estimate_mle(reference.samples());
+        mle_estimator.estimate(reference.samples()).moments;
     const double inf = std::numeric_limits<double>::infinity();
     core::SpecBox specs{
         linalg::Vector{truth.mean[0] - 1.2, truth.mean[1] * 0.75, -inf,
@@ -95,12 +95,13 @@ int main(int argc, char** argv) {
                        1.5 * std::sqrt(truth.covariance(3, 3)), inf}};
 
     const core::GaussianMoments early_moments =
-        core::estimate_mle(early.samples());
+        mle_estimator.estimate(early.samples()).moments;
     const core::BmfEstimator estimator(core::EarlyStageKnowledge{
         early_moments, schematic.nominal_metrics()});
     const core::BmfResult bmf =
         estimator.estimate(late.samples(), extracted.nominal_metrics());
-    const core::GaussianMoments mle = core::estimate_mle(late.samples());
+    const core::GaussianMoments mle =
+        mle_estimator.estimate(late.samples()).moments;
 
     stats::Xoshiro256pp rng(2025);
     const core::YieldEstimate y_truth =

@@ -17,9 +17,13 @@ stats::Xoshiro256pp sample_rng(std::uint64_t seed, std::size_t index) {
   return stats::Xoshiro256pp(mixer.next());
 }
 
+void MonteCarloConfig::validate() const {
+  BMFUSION_REQUIRE(sample_count >= 1, "need at least one sample");
+}
+
 Dataset run_monte_carlo(const Testbench& bench,
                         const MonteCarloConfig& config) {
-  BMFUSION_REQUIRE(config.sample_count >= 1, "need at least one sample");
+  config.validate();
   const std::vector<std::string> names = bench.metric_names();
   BMFUSION_REQUIRE(!names.empty(), "testbench reports no metrics");
 

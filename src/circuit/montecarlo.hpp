@@ -36,6 +36,22 @@ struct MonteCarloConfig {
   std::size_t sample_count = 1000;
   std::uint64_t seed = 1;
   std::size_t threads = 0;  ///< 0 = hardware concurrency
+
+  MonteCarloConfig& with_sample_count(std::size_t count) {
+    sample_count = count;
+    return *this;
+  }
+  MonteCarloConfig& with_seed(std::uint64_t value) {
+    seed = value;
+    return *this;
+  }
+  MonteCarloConfig& with_threads(std::size_t count) {
+    threads = count;
+    return *this;
+  }
+
+  /// Throws ContractError when the configuration cannot drive a run.
+  void validate() const;
 };
 
 /// Runs `config.sample_count` independent draws of the testbench.

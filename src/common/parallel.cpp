@@ -1,12 +1,138 @@
 #include "common/parallel.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace bmfusion {
+
+namespace {
+
+thread_local bool tls_in_region = false;
+
+/// One parallel_for invocation: chunks are claimed from an atomic cursor by
+/// the caller and any pool workers that pick up the region's helper jobs.
+/// Chunk boundaries depend only on (count, threads), never on scheduling,
+/// so every index is executed exactly once regardless of who claims it.
+struct Region {
+  std::size_t count = 0;
+  std::size_t chunk = 0;
+  std::size_t chunk_count = 0;
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::atomic<std::size_t> next_chunk{0};
+  std::size_t done_chunks = 0;  // guarded by mutex
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::exception_ptr first_error;  // guarded by mutex
+
+  void run_chunks() {
+    const bool was_in_region = tls_in_region;
+    tls_in_region = true;
+    std::size_t completed = 0;
+    std::exception_ptr error;
+    for (;;) {
+      const std::size_t c = next_chunk.fetch_add(1);
+      if (c >= chunk_count) break;
+      const std::size_t begin = c * chunk;
+      const std::size_t end = std::min(begin + chunk, count);
+      try {
+        for (std::size_t i = begin; i < end; ++i) (*body)(i);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+      ++completed;
+    }
+    tls_in_region = was_in_region;
+    if (completed > 0 || error) {
+      const std::lock_guard<std::mutex> lock(mutex);
+      if (error && !first_error) first_error = error;
+      done_chunks += completed;
+      if (done_chunks == chunk_count) done_cv.notify_all();
+    }
+  }
+
+  void wait_and_rethrow() {
+    std::unique_lock<std::mutex> lock(mutex);
+    done_cv.wait(lock, [&] { return done_chunks == chunk_count; });
+    if (first_error) std::rethrow_exception(first_error);
+  }
+};
+
+/// Lazily grown pool of parked worker threads shared by every parallel_for.
+class ThreadPool {
+ public:
+  static ThreadPool& instance() {
+    static ThreadPool pool;
+    return pool;
+  }
+
+  std::size_t worker_count() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return workers_.size();
+  }
+
+  /// Asks up to `helpers` workers to join `region`, growing the pool when
+  /// it has fewer threads than requested (bounded by kMaxWorkers). The
+  /// caller must still run the region itself: helpers are best-effort.
+  void offer(const std::shared_ptr<Region>& region, std::size_t helpers) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) return;
+      const std::size_t target =
+          std::min<std::size_t>(helpers, kMaxWorkers);
+      while (workers_.size() < target) {
+        workers_.emplace_back([this] { worker_loop(); });
+      }
+      for (std::size_t i = 0; i < helpers; ++i) jobs_.push_back(region);
+    }
+    work_cv_.notify_all();
+  }
+
+  ~ThreadPool() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+
+ private:
+  // Hard ceiling on pool size: parallel_for accepts arbitrary `threads`
+  // values (the old implementation spawned that many), but threads beyond
+  // this bound cannot pay for themselves on any plausible hardware.
+  static constexpr std::size_t kMaxWorkers = 64;
+
+  ThreadPool() = default;
+
+  void worker_loop() {
+    for (;;) {
+      std::shared_ptr<Region> region;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_cv_.wait(lock, [&] { return stopping_ || !jobs_.empty(); });
+        if (stopping_) return;
+        region = std::move(jobs_.front());
+        jobs_.pop_front();
+      }
+      region->run_chunks();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::deque<std::shared_ptr<Region>> jobs_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+}  // namespace
 
 std::size_t default_thread_count() {
   const unsigned hc = std::thread::hardware_concurrency();
@@ -19,31 +145,30 @@ void parallel_for(std::size_t count,
   if (count == 0) return;
   if (threads == 0) threads = default_thread_count();
   threads = std::min(threads, count);
-  if (threads <= 1 || count < 2) {
+  if (threads <= 1 || count < 2 || tls_in_region) {
     for (std::size_t i = 0; i < count; ++i) body(i);
     return;
   }
 
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
-  const std::size_t chunk = (count + threads - 1) / threads;
-  for (std::size_t t = 0; t < threads; ++t) {
-    const std::size_t begin = t * chunk;
-    const std::size_t end = std::min(begin + chunk, count);
-    if (begin >= end) break;
-    workers.emplace_back([&, begin, end] {
-      try {
-        for (std::size_t i = begin; i < end; ++i) body(i);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-      }
-    });
-  }
-  for (std::thread& w : workers) w.join();
-  if (first_error) std::rethrow_exception(first_error);
+  auto region = std::make_shared<Region>();
+  region->count = count;
+  region->chunk = (count + threads - 1) / threads;
+  region->chunk_count = (count + region->chunk - 1) / region->chunk;
+  region->body = &body;
+
+  ThreadPool::instance().offer(region, region->chunk_count - 1);
+  region->run_chunks();
+  region->wait_and_rethrow();
 }
+
+namespace detail {
+
+std::size_t thread_pool_worker_count() {
+  return ThreadPool::instance().worker_count();
+}
+
+bool in_parallel_region() { return tls_in_region; }
+
+}  // namespace detail
 
 }  // namespace bmfusion

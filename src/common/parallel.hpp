@@ -1,9 +1,18 @@
-// Deterministic data-parallel loop helper.
+// Deterministic data-parallel loop helper backed by a persistent thread pool.
 //
-// parallel_for splits [0, count) into contiguous chunks, one per worker, so a
-// given index is always processed exactly once and independent of thread
-// scheduling. Work items must not throw across threads; exceptions are
-// captured and the first one is rethrown on the calling thread.
+// parallel_for splits [0, count) into contiguous chunks so a given index is
+// always processed exactly once and independent of thread scheduling; the
+// result of a parallel loop is therefore identical for 1, 2, or N threads.
+// Work items must not throw across threads; exceptions are captured and the
+// first one is rethrown on the calling thread.
+//
+// Unlike the original spawn-per-call implementation, workers are created
+// once (lazily, on the first parallel region that wants them) and parked on
+// a condition variable between regions, so hot paths that issue many small
+// parallel loops (the cross-validation grid, Monte Carlo repetitions) pay
+// no thread start-up cost per call. The calling thread always participates
+// in chunk execution, so a region completes even when every pool worker is
+// busy, and nested parallel_for calls degrade gracefully to inline loops.
 #pragma once
 
 #include <cstddef>
@@ -17,10 +26,26 @@ std::size_t default_thread_count();
 
 /// Invokes `body(i)` for every i in [0, count). When `threads <= 1` (or count
 /// is small) runs inline on the calling thread; otherwise spreads contiguous
-/// index ranges across `threads` workers. The first exception thrown by any
-/// invocation is rethrown on the calling thread after all workers join.
+/// index ranges across up to `threads` workers of the shared pool. The first
+/// exception thrown by any invocation is rethrown on the calling thread after
+/// the region completes. Safe to call from inside a parallel_for body (the
+/// nested loop runs inline).
 void parallel_for(std::size_t count,
                   const std::function<void(std::size_t)>& body,
                   std::size_t threads = 0);
+
+namespace detail {
+
+/// Pool introspection for tests and diagnostics: number of worker threads
+/// currently alive (excludes the calling thread, which always participates
+/// in parallel regions).
+std::size_t thread_pool_worker_count();
+
+/// True when the current thread is executing inside a parallel_for region
+/// (worker or participating caller). Nested parallel loops check this to
+/// fall back to inline execution.
+bool in_parallel_region();
+
+}  // namespace detail
 
 }  // namespace bmfusion

@@ -11,6 +11,7 @@ using linalg::Vector;
 BmfEstimator::BmfEstimator(EarlyStageKnowledge early, BmfConfig config)
     : early_(std::move(early)), config_(std::move(config)) {
   early_.moments.validate();
+  config_.validate();
   BMFUSION_REQUIRE(early_.nominal.size() == early_.moments.dimension(),
                    "early nominal must match the moment dimension");
 }
@@ -23,9 +24,9 @@ ShiftScale BmfEstimator::late_transform(const Vector& late_nominal) const {
 GaussianMoments BmfEstimator::fuse_at(const GaussianMoments& early_scaled,
                                       const Matrix& late_scaled,
                                       double kappa0, double nu0) {
-  const NormalWishart prior =
-      NormalWishart::from_early_stage(early_scaled, kappa0, nu0);
-  return prior.posterior(late_scaled).map_estimate();
+  early_scaled.validate();
+  return map_fuse(early_scaled, SufficientStats::from_samples(late_scaled),
+                  kappa0, nu0);
 }
 
 BmfResult BmfEstimator::estimate_scaled(const GaussianMoments& early_scaled,
@@ -36,15 +37,15 @@ BmfResult BmfEstimator::estimate_scaled(const GaussianMoments& early_scaled,
   BmfResult result;
   result.kappa0 = selected.kappa0;
   result.nu0 = selected.nu0;
-  result.cv_score = selected.best_score;
+  result.score = selected.score;
   result.scaled_moments =
       fuse_at(early_scaled, late_scaled, selected.kappa0, selected.nu0);
   result.moments = result.scaled_moments;  // identical when no transform
   return result;
 }
 
-BmfResult BmfEstimator::estimate(const Matrix& late_samples,
-                                 const Vector& late_nominal) const {
+BmfResult BmfEstimator::do_estimate(const Matrix& late_samples,
+                                    const Vector& late_nominal) const {
   BMFUSION_REQUIRE(late_samples.cols() == early_.moments.dimension(),
                    "late samples must match the early-stage dimension");
   BMFUSION_REQUIRE(late_samples.rows() >= 2,
@@ -56,6 +57,8 @@ BmfResult BmfEstimator::estimate(const Matrix& late_samples,
     return result;
   }
 
+  BMFUSION_REQUIRE(late_nominal.size() == early_.moments.dimension(),
+                   "bmf shift/scale needs a late-stage nominal point");
   const StageTransforms transforms =
       make_stage_transforms(early_.nominal, late_nominal, early_.moments);
   const GaussianMoments early_scaled = transforms.early.apply(early_.moments);

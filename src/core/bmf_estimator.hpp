@@ -8,6 +8,7 @@
 #pragma once
 
 #include "core/cross_validation.hpp"
+#include "core/estimator.hpp"
 #include "core/moments.hpp"
 #include "core/shift_scale.hpp"
 #include "linalg/matrix.hpp"
@@ -27,25 +28,33 @@ struct BmfConfig {
   /// When false the samples are fused in raw units (no Section 4.1
   /// normalization) — exposed for the shift/scale ablation bench.
   bool apply_shift_scale = true;
+
+  BmfConfig& with_cv(CrossValidationConfig config) {
+    cv = config;
+    return *this;
+  }
+  BmfConfig& with_shift_scale(bool apply) {
+    apply_shift_scale = apply;
+    return *this;
+  }
+
+  /// Throws ContractError when the embedded CV configuration is malformed.
+  void validate() const { cv.validate(); }
 };
 
-struct BmfResult {
-  GaussianMoments moments;         ///< estimate in original late-stage units
-  GaussianMoments scaled_moments;  ///< estimate in the fused (scaled) space
-  double kappa0 = 0.0;             ///< selected hyper-parameter
-  double nu0 = 0.0;                ///< selected hyper-parameter
-  double cv_score = 0.0;           ///< best held-out log-likelihood
-};
+/// BMF reports its estimate through the shared result type; the historical
+/// name survives as an alias (the old cv_score field is now `score`).
+using BmfResult = EstimateResult;
 
-/// Reusable estimator bound to one early stage.
-class BmfEstimator {
+/// Reusable estimator bound to one early stage. Implements the unified
+/// MomentEstimator interface: estimate(late_samples, late_nominal) runs
+/// Algorithm 1 end to end. When shift/scale is enabled a non-empty
+/// late-stage nominal is required (ContractError otherwise).
+class BmfEstimator final : public MomentEstimator {
  public:
-  BmfEstimator(EarlyStageKnowledge early, BmfConfig config = {});
+  explicit BmfEstimator(EarlyStageKnowledge early, BmfConfig config = {});
 
-  /// Runs Algorithm 1 on raw late-stage samples. `late_nominal` is the
-  /// single nominal late-stage simulation (P_L,NOM). Needs >= 2 samples.
-  [[nodiscard]] BmfResult estimate(const linalg::Matrix& late_samples,
-                                   const linalg::Vector& late_nominal) const;
+  [[nodiscard]] std::string_view name() const override { return "bmf"; }
 
   /// Scaled-space core used by estimate() and by the experiment harness
   /// (which evaluates errors in scaled space): selects hyper-parameters and
@@ -66,6 +75,11 @@ class BmfEstimator {
   /// The Section 4.1 transform this estimator applies to late-stage data.
   [[nodiscard]] ShiftScale late_transform(
       const linalg::Vector& late_nominal) const;
+
+ protected:
+  [[nodiscard]] BmfResult do_estimate(
+      const linalg::Matrix& late_samples,
+      const linalg::Vector& late_nominal) const override;
 
  private:
   EarlyStageKnowledge early_;

@@ -3,15 +3,27 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "common/contracts.hpp"
+#include "common/parallel.hpp"
 #include "core/normal_wishart.hpp"
-#include "stats/mvn.hpp"
+#include "linalg/cholesky.hpp"
 
 namespace bmfusion::core {
 
 using linalg::Matrix;
 using linalg::Vector;
+
+void CrossValidationConfig::validate() const {
+  BMFUSION_REQUIRE(folds >= 1, "cross validation config needs folds >= 1");
+  BMFUSION_REQUIRE(kappa_points >= 2 && nu_points >= 2,
+                   "hyper-parameter grid needs >= 2 points per axis");
+  BMFUSION_REQUIRE(kappa_min > 0.0 && kappa_max > kappa_min,
+                   "kappa range needs 0 < min < max");
+  BMFUSION_REQUIRE(nu_offset_min > 0.0 && nu_offset_max > nu_offset_min,
+                   "nu offset range needs 0 < min < max");
+}
 
 std::vector<double> log_spaced(double lo, double hi, std::size_t points) {
   BMFUSION_REQUIRE(lo > 0.0 && hi > lo, "log grid needs 0 < lo < hi");
@@ -26,30 +38,27 @@ std::vector<double> log_spaced(double lo, double hi, std::size_t points) {
   return grid;
 }
 
-namespace {
-
-/// Extracts the rows of `samples` whose fold id (round-robin) matches /
-/// differs from `fold`.
-Matrix fold_rows(const Matrix& samples, std::size_t folds, std::size_t fold,
-                 bool training) {
-  std::vector<std::size_t> keep;
-  for (std::size_t i = 0; i < samples.rows(); ++i) {
-    const bool in_test = (i % folds) == fold;
-    if (in_test != training) keep.push_back(i);
+CrossValidationResult CrossValidationResult::from_grid(
+    std::vector<GridScore> grid) {
+  BMFUSION_REQUIRE(!grid.empty(), "cross validation result needs a grid");
+  CrossValidationResult result;
+  result.score = -std::numeric_limits<double>::infinity();
+  for (const GridScore& gs : grid) {
+    if (gs.score > result.score) {
+      result.score = gs.score;
+      result.kappa0 = gs.kappa0;
+      result.nu0 = gs.nu0;
+    }
   }
-  Matrix out(keep.size(), samples.cols());
-  for (std::size_t i = 0; i < keep.size(); ++i) {
-    out.set_row(i, samples.row(keep[i]));
-  }
-  return out;
+  result.grid_ = std::move(grid);
+  return result;
 }
-
-}  // namespace
 
 CrossValidationResult select_hyperparameters(
     const GaussianMoments& early_scaled, const Matrix& late_scaled,
     const CrossValidationConfig& config) {
   early_scaled.validate();
+  config.validate();
   BMFUSION_REQUIRE(late_scaled.cols() == early_scaled.dimension(),
                    "late samples must match the early-stage dimension");
   BMFUSION_REQUIRE(late_scaled.rows() >= 2,
@@ -63,55 +72,59 @@ CrossValidationResult select_hyperparameters(
   const std::vector<double> nu_offsets = log_spaced(
       config.nu_offset_min, config.nu_offset_max, config.nu_points);
 
-  CrossValidationResult result;
-  result.best_score = -std::numeric_limits<double>::infinity();
-  result.table.reserve(kappas.size() * nu_offsets.size());
-
-  // Pre-split folds once; identical for every grid point, as in Fig. 2(b).
-  std::vector<Matrix> train_sets;
-  std::vector<Matrix> test_sets;
-  train_sets.reserve(folds);
-  test_sets.reserve(folds);
-  for (std::size_t q = 0; q < folds; ++q) {
-    train_sets.push_back(fold_rows(late_scaled, folds, q, /*training=*/true));
-    test_sets.push_back(fold_rows(late_scaled, folds, q, /*training=*/false));
+  // Summarize every fold once (round-robin split, identical for every grid
+  // point as in Fig. 2(b)); each leave-one-fold-out training set is the
+  // totals minus the held-out fold. After this loop the raw samples are
+  // never touched again.
+  std::vector<SufficientStats> test_stats(
+      folds, SufficientStats(early_scaled.dimension()));
+  for (std::size_t i = 0; i < late_scaled.rows(); ++i) {
+    test_stats[i % folds].add(late_scaled.row(i));
+  }
+  SufficientStats totals(early_scaled.dimension());
+  for (const SufficientStats& fold : test_stats) totals += fold;
+  std::vector<SufficientStats> train_stats;
+  train_stats.reserve(folds);
+  for (const SufficientStats& fold : test_stats) {
+    train_stats.push_back(totals - fold);
   }
 
-  for (const double kappa0 : kappas) {
-    for (const double nu_offset : nu_offsets) {
-      const double nu0 = d + nu_offset;
-      const NormalWishart prior =
-          NormalWishart::from_early_stage(early_scaled, kappa0, nu0);
-      double total_loglik = 0.0;
-      std::size_t total_count = 0;
-      bool valid = true;
-      for (std::size_t q = 0; q < folds && valid; ++q) {
-        if (train_sets[q].rows() == 0 || test_sets[q].rows() == 0) continue;
-        try {
-          const GaussianMoments map =
-              prior.posterior(train_sets[q]).map_estimate();
-          const stats::MultivariateNormal mvn(map.mean, map.covariance);
-          total_loglik += mvn.log_likelihood(test_sets[q]);
-          total_count += test_sets[q].rows();
-        } catch (const NumericError&) {
-          valid = false;  // degenerate fit: disqualify this grid point
+  // Sweep the grid in parallel; index = kappa_index * nu_points + nu_index
+  // keeps the table row-major with kappa outer, matching sequential order.
+  std::vector<GridScore> grid(kappas.size() * nu_offsets.size());
+  parallel_for(
+      grid.size(),
+      [&](std::size_t index) {
+        const double kappa0 = kappas[index / nu_offsets.size()];
+        const double nu0 = d + nu_offsets[index % nu_offsets.size()];
+        double total_loglik = 0.0;
+        std::size_t total_count = 0;
+        bool valid = true;
+        for (std::size_t q = 0; q < folds && valid; ++q) {
+          if (train_stats[q].count() == 0 || test_stats[q].count() == 0) {
+            continue;
+          }
+          try {
+            const GaussianMoments map =
+                map_fuse(early_scaled, train_stats[q], kappa0, nu0);
+            total_loglik += log_likelihood(map, test_stats[q]);
+            total_count += test_stats[q].count();
+          } catch (const NumericError&) {
+            valid = false;  // degenerate fit: disqualify this grid point
+          }
         }
-      }
-      GridScore gs;
-      gs.kappa0 = kappa0;
-      gs.nu0 = nu0;
-      gs.score = (valid && total_count > 0)
-                     ? total_loglik / static_cast<double>(total_count)
-                     : -std::numeric_limits<double>::infinity();
-      if (gs.score > result.best_score) {
-        result.best_score = gs.score;
-        result.kappa0 = kappa0;
-        result.nu0 = nu0;
-      }
-      result.table.push_back(gs);
-    }
-  }
-  BMFUSION_REQUIRE(std::isfinite(result.best_score),
+        GridScore& gs = grid[index];
+        gs.kappa0 = kappa0;
+        gs.nu0 = nu0;
+        gs.score = (valid && total_count > 0)
+                       ? total_loglik / static_cast<double>(total_count)
+                       : -std::numeric_limits<double>::infinity();
+      },
+      config.threads);
+
+  CrossValidationResult result = CrossValidationResult::from_grid(
+      std::move(grid));
+  BMFUSION_REQUIRE(std::isfinite(result.score),
                    "cross validation found no valid hyper-parameters");
   return result;
 }
@@ -120,6 +133,7 @@ CrossValidationResult select_hyperparameters_evidence(
     const GaussianMoments& early_scaled, const Matrix& late_scaled,
     const CrossValidationConfig& config) {
   early_scaled.validate();
+  config.validate();
   BMFUSION_REQUIRE(late_scaled.cols() == early_scaled.dimension(),
                    "late samples must match the early-stage dimension");
   BMFUSION_REQUIRE(late_scaled.rows() >= 1,
@@ -132,31 +146,36 @@ CrossValidationResult select_hyperparameters_evidence(
   const std::vector<double> nu_offsets = log_spaced(
       config.nu_offset_min, config.nu_offset_max, config.nu_points);
 
-  CrossValidationResult result;
-  result.best_score = -std::numeric_limits<double>::infinity();
-  result.table.reserve(kappas.size() * nu_offsets.size());
-  for (const double kappa0 : kappas) {
-    for (const double nu_offset : nu_offsets) {
-      const double nu0 = d + nu_offset;
-      GridScore gs;
-      gs.kappa0 = kappa0;
-      gs.nu0 = nu0;
-      try {
-        const NormalWishart prior =
-            NormalWishart::from_early_stage(early_scaled, kappa0, nu0);
-        gs.score = prior.log_marginal_likelihood(late_scaled) / n;
-      } catch (const NumericError&) {
-        gs.score = -std::numeric_limits<double>::infinity();
-      }
-      if (gs.score > result.best_score) {
-        result.best_score = gs.score;
-        result.kappa0 = kappa0;
-        result.nu0 = nu0;
-      }
-      result.table.push_back(gs);
-    }
-  }
-  BMFUSION_REQUIRE(std::isfinite(result.best_score),
+  // Shared across the whole grid: the data enters only through its
+  // sufficient statistics, and the prior scale only through Lambda_E.
+  const SufficientStats stats = SufficientStats::from_samples(late_scaled);
+  const Matrix lambda_e =
+      linalg::Cholesky(early_scaled.covariance).inverse();
+
+  std::vector<GridScore> grid(kappas.size() * nu_offsets.size());
+  parallel_for(
+      grid.size(),
+      [&](std::size_t index) {
+        const double kappa0 = kappas[index / nu_offsets.size()];
+        const double nu0 = d + nu_offsets[index % nu_offsets.size()];
+        GridScore& gs = grid[index];
+        gs.kappa0 = kappa0;
+        gs.nu0 = nu0;
+        try {
+          // Equivalent to NormalWishart::from_early_stage (eq. 20) with the
+          // early-stage inversion hoisted out of the grid sweep.
+          const NormalWishart prior(early_scaled.mean, kappa0, nu0,
+                                    lambda_e / (nu0 - d));
+          gs.score = prior.log_marginal_likelihood(stats) / n;
+        } catch (const NumericError&) {
+          gs.score = -std::numeric_limits<double>::infinity();
+        }
+      },
+      config.threads);
+
+  CrossValidationResult result = CrossValidationResult::from_grid(
+      std::move(grid));
+  BMFUSION_REQUIRE(std::isfinite(result.score),
                    "evidence selection found no valid hyper-parameters");
   return result;
 }

@@ -4,8 +4,16 @@
 // late-stage samples); each run scores the held-out fold with the Gaussian
 // log-likelihood (eq. 9) under the MAP moments fitted on the training folds.
 // The grid point with the best average held-out score wins.
+//
+// The engine works on sufficient statistics: each fold's (count, sum,
+// scatter) triple is computed once, every leave-one-fold-out training set is
+// formed by subtracting the fold from the totals, and the MAP fuse plus the
+// held-out score are evaluated from the statistics in O(d^3) per
+// (grid point, fold) — independent of the sample count. Grid points are
+// evaluated in parallel on the persistent thread pool (common/parallel.hpp).
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "core/moments.hpp"
@@ -15,6 +23,11 @@ namespace bmfusion::core {
 
 /// Grid + fold configuration. The defaults mirror the paper: hyper-
 /// parameters searched from 1 to 1000 (log-spaced) with four folds.
+///
+/// Fields may be assigned directly or chained fluently:
+///   auto cfg = CrossValidationConfig{}.with_folds(5).with_grid(8, 8);
+/// Validation is centralized in validate(), which every search entry point
+/// calls before touching the grid.
 struct CrossValidationConfig {
   std::size_t folds = 4;          ///< Q
   std::size_t kappa_points = 12;  ///< grid resolution in kappa0
@@ -24,6 +37,37 @@ struct CrossValidationConfig {
   /// nu0 is gridded as d + offset so every candidate satisfies nu0 > d.
   double nu_offset_min = 1.0;
   double nu_offset_max = 1000.0;
+  /// Worker threads for the grid sweep; 0 means default_thread_count().
+  std::size_t threads = 0;
+
+  CrossValidationConfig& with_folds(std::size_t q) {
+    folds = q;
+    return *this;
+  }
+  CrossValidationConfig& with_grid(std::size_t kappa, std::size_t nu) {
+    kappa_points = kappa;
+    nu_points = nu;
+    return *this;
+  }
+  CrossValidationConfig& with_kappa_range(double lo, double hi) {
+    kappa_min = lo;
+    kappa_max = hi;
+    return *this;
+  }
+  CrossValidationConfig& with_nu_offset_range(double lo, double hi) {
+    nu_offset_min = lo;
+    nu_offset_max = hi;
+    return *this;
+  }
+  CrossValidationConfig& with_threads(std::size_t count) {
+    threads = count;
+    return *this;
+  }
+
+  /// Throws ContractError when the grid or ranges are malformed. Does not
+  /// constrain `folds` beyond >= 1: the evidence selector needs no folds,
+  /// and select_hyperparameters() itself enforces folds >= 2.
+  void validate() const;
 };
 
 /// One evaluated grid point.
@@ -33,12 +77,27 @@ struct GridScore {
   double score = 0.0;  ///< mean per-sample held-out log-likelihood
 };
 
-/// Outcome of the search.
-struct CrossValidationResult {
+/// Outcome of the search: the winning hyper-parameters plus the full
+/// evaluated grid (row-major, kappa outer) behind an accessor.
+class CrossValidationResult {
+ public:
   double kappa0 = 0.0;  ///< selected
   double nu0 = 0.0;     ///< selected
-  double best_score = 0.0;
-  std::vector<GridScore> table;  ///< full grid, row-major (kappa outer)
+  double score = 0.0;   ///< held-out score of the selected point
+
+  /// Builds a result from an evaluated grid by scanning for the best score
+  /// (first strictly-greater entry wins, matching sequential evaluation
+  /// order). Requires a non-empty grid.
+  [[nodiscard]] static CrossValidationResult from_grid(
+      std::vector<GridScore> grid);
+
+  /// Every evaluated grid point, row-major with kappa as the outer axis
+  /// (index = kappa_index * nu_points + nu_index). Disqualified points
+  /// carry score == -infinity.
+  [[nodiscard]] const std::vector<GridScore>& grid() const { return grid_; }
+
+ private:
+  std::vector<GridScore> grid_;
 };
 
 /// Log-spaced grid helper (inclusive endpoints).

@@ -1,0 +1,30 @@
+#include "core/estimator.hpp"
+
+#include "common/contracts.hpp"
+#include "core/mle.hpp"
+
+namespace bmfusion::core {
+
+EstimateResult MomentEstimator::estimate(const linalg::Matrix& samples,
+                                         const linalg::Vector& nominal) const {
+  BMFUSION_REQUIRE(samples.rows() >= 1 && samples.cols() >= 1,
+                   "moment estimation needs a non-empty sample matrix");
+  BMFUSION_REQUIRE(nominal.size() == 0 || nominal.size() == samples.cols(),
+                   "nominal must be empty or match the sample dimension");
+  return do_estimate(samples, nominal);
+}
+
+EstimateResult MomentEstimator::estimate(const linalg::Matrix& samples) const {
+  return estimate(samples, linalg::Vector());
+}
+
+EstimateResult MleEstimator::do_estimate(const linalg::Matrix& samples,
+                                         const linalg::Vector& nominal) const {
+  (void)nominal;  // the MLE neither shifts nor scales
+  EstimateResult result;
+  result.moments = estimate_mle(samples);
+  result.scaled_moments = result.moments;
+  return result;
+}
+
+}  // namespace bmfusion::core

@@ -1,0 +1,73 @@
+// Unified moment-estimator interface.
+//
+// Every estimation strategy in the library — the paper's MLE baseline
+// (eqs. 10-11), the headline Bayesian model fusion of Algorithm 1, and the
+// univariate BMF prior art — answers the same question: given late-stage
+// samples (and, for fusion methods, a nominal late-stage simulation), what
+// are the first two moments? MomentEstimator captures exactly that contract
+// so experiments, benches and examples can treat strategies polymorphically.
+#pragma once
+
+#include <limits>
+#include <string_view>
+
+#include "core/moments.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace bmfusion::core {
+
+/// Common result of every estimator. Hyper-parameter-free strategies (e.g.
+/// MLE) leave kappa0/nu0/score as NaN and report identical moments and
+/// scaled_moments.
+struct EstimateResult {
+  GaussianMoments moments;         ///< estimate in original late-stage units
+  GaussianMoments scaled_moments;  ///< estimate in the fused (scaled) space
+  double kappa0 = std::numeric_limits<double>::quiet_NaN();  ///< selected
+  double nu0 = std::numeric_limits<double>::quiet_NaN();     ///< selected
+  /// Model-selection score of the winning hyper-parameters (held-out
+  /// log-likelihood for CV, per-sample log evidence for empirical Bayes).
+  double score = std::numeric_limits<double>::quiet_NaN();
+};
+
+/// Abstract moment estimator (non-virtual interface): the public estimate()
+/// overloads run shared contract checks, then dispatch to do_estimate().
+class MomentEstimator {
+ public:
+  virtual ~MomentEstimator() = default;
+
+  /// Short stable identifier ("mle", "bmf", ...) for reports and benches.
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Estimates moments from the rows of `samples`. `nominal` is the single
+  /// nominal (variation-free) late-stage simulation; estimators that do not
+  /// shift by a nominal point ignore it. When non-empty it must match the
+  /// sample dimension.
+  [[nodiscard]] EstimateResult estimate(const linalg::Matrix& samples,
+                                        const linalg::Vector& nominal) const;
+
+  /// Convenience overload for nominal-free estimators; passes an empty
+  /// nominal vector. Estimators that require one throw ContractError.
+  [[nodiscard]] EstimateResult estimate(const linalg::Matrix& samples) const;
+
+ protected:
+  /// Strategy hook; `samples` is non-empty and `nominal` is either empty or
+  /// dimension-matched when this is called.
+  [[nodiscard]] virtual EstimateResult do_estimate(
+      const linalg::Matrix& samples, const linalg::Vector& nominal) const = 0;
+};
+
+/// The paper's baseline (eqs. 10-11) behind the unified interface. Ignores
+/// the nominal point; works from a single sample (the covariance of fewer
+/// samples than dimensions is rank deficient, as in the paper's baseline).
+class MleEstimator final : public MomentEstimator {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "mle"; }
+
+ protected:
+  [[nodiscard]] EstimateResult do_estimate(
+      const linalg::Matrix& samples,
+      const linalg::Vector& nominal) const override;
+};
+
+}  // namespace bmfusion::core

@@ -6,6 +6,7 @@
 
 #include "common/contracts.hpp"
 #include "common/parallel.hpp"
+#include "core/estimator.hpp"
 #include "core/mle.hpp"
 #include "core/univariate_bmf.hpp"
 #include "stats/descriptive.hpp"
@@ -79,6 +80,16 @@ ExperimentResult MomentExperiment::run(const ExperimentConfig& config) const {
   result.rows.reserve(config.sample_sizes.size());
   const double nan = std::numeric_limits<double>::quiet_NaN();
 
+  // All strategies behind the unified interface, built once and shared by
+  // every repetition (estimate() is const and thread-safe). The experiment
+  // works in scaled space throughout, so BMF runs with shift/scale off and
+  // the univariate baseline is bound to the scaled early moments directly.
+  const MleEstimator mle_estimator;
+  const BmfEstimator bmf_estimator(
+      EarlyStageKnowledge{early_scaled_, early_scaled_.mean},
+      BmfConfig{}.with_cv(config.cv).with_shift_scale(false));
+  const UnivariateBmfEstimator uni_estimator(early_scaled_, config.cv);
+
   for (std::size_t size_idx = 0; size_idx < config.sample_sizes.size();
        ++size_idx) {
     const std::size_t n = config.sample_sizes[size_idx];
@@ -98,13 +109,12 @@ ExperimentResult MomentExperiment::run(const ExperimentConfig& config) const {
           const Matrix subset =
               gather_rows(late_scaled_, draw_subset(rng, n, total));
 
-          const GaussianMoments mle = estimate_mle(subset);
-          mle_mean[r] = mean_error(mle.mean, exact_scaled_.mean);
-          mle_cov[r] =
-              covariance_error(mle.covariance, exact_scaled_.covariance);
+          const EstimateResult mle = mle_estimator.estimate(subset);
+          mle_mean[r] = mean_error(mle.moments.mean, exact_scaled_.mean);
+          mle_cov[r] = covariance_error(mle.moments.covariance,
+                                        exact_scaled_.covariance);
 
-          const BmfResult bmf =
-              BmfEstimator::estimate_scaled(early_scaled_, subset, config.cv);
+          const EstimateResult bmf = bmf_estimator.estimate(subset);
           bmf_mean[r] = mean_error(bmf.scaled_moments.mean,
                                    exact_scaled_.mean);
           bmf_cov[r] = covariance_error(bmf.scaled_moments.covariance,
@@ -113,12 +123,10 @@ ExperimentResult MomentExperiment::run(const ExperimentConfig& config) const {
           nus[r] = bmf.nu0;
 
           if (config.include_univariate) {
-            const UnivariateBmfResult uni =
-                estimate_univariate_bmf(early_scaled_, subset, config.cv);
-            const GaussianMoments m = uni.as_moments();
-            uni_mean[r] = mean_error(m.mean, exact_scaled_.mean);
-            uni_cov[r] =
-                covariance_error(m.covariance, exact_scaled_.covariance);
+            const EstimateResult uni = uni_estimator.estimate(subset);
+            uni_mean[r] = mean_error(uni.moments.mean, exact_scaled_.mean);
+            uni_cov[r] = covariance_error(uni.moments.covariance,
+                                          exact_scaled_.covariance);
           }
         },
         config.threads);

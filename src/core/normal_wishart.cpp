@@ -64,10 +64,21 @@ NormalWishart NormalWishart::posterior(const Matrix& samples) const {
                    "sample dimension must match the prior");
   BMFUSION_REQUIRE(samples.rows() >= 1, "posterior needs >= 1 sample");
   const auto n = static_cast<double>(samples.rows());
-
   const Vector xbar = stats::sample_mean(samples);        // eq. (24) input
   const Matrix s = stats::scatter_matrix(samples);        // eq. (26)
+  return posterior_from(n, xbar, s);
+}
 
+NormalWishart NormalWishart::posterior(const SufficientStats& stats) const {
+  BMFUSION_REQUIRE(stats.dimension() == dimension(),
+                   "sufficient stats dimension must match the prior");
+  BMFUSION_REQUIRE(stats.count() >= 1, "posterior needs >= 1 sample");
+  return posterior_from(static_cast<double>(stats.count()), stats.mean(),
+                        stats.scatter());
+}
+
+NormalWishart NormalWishart::posterior_from(double n, const Vector& xbar,
+                                            const Matrix& s) const {
   // eq. (24): mu_n = (kappa0 mu0 + n xbar) / (kappa0 + n)
   const Vector mu_n = (mu0_ * kappa0_ + xbar * n) / (kappa0_ + n);
 
@@ -132,6 +143,17 @@ double NormalWishart::log_marginal_likelihood(const Matrix& samples) const {
          0.5 * n * d * kLog2Pi;
 }
 
+double NormalWishart::log_marginal_likelihood(
+    const SufficientStats& stats) const {
+  BMFUSION_REQUIRE(stats.count() >= 1 && stats.dimension() == dimension(),
+                   "marginal likelihood needs matching non-empty stats");
+  const auto n = static_cast<double>(stats.count());
+  const auto d = static_cast<double>(dimension());
+  const NormalWishart post = posterior(stats);
+  return post.log_normalizer() - log_normalizer() -
+         0.5 * n * d * kLog2Pi;
+}
+
 std::pair<Vector, Matrix> NormalWishart::sample(
     stats::Xoshiro256pp& rng) const {
   const stats::Wishart wishart(nu0_, t0_);
@@ -165,6 +187,35 @@ NormalWishart::StudentT NormalWishart::marginal_mean() const {
   t.scale = t0_inv * (1.0 / (kappa0_ * t.dof));
   t.scale.symmetrize();
   return t;
+}
+
+GaussianMoments map_fuse(const GaussianMoments& early,
+                         const SufficientStats& stats, double kappa0,
+                         double nu0) {
+  const auto d = static_cast<double>(early.dimension());
+  BMFUSION_REQUIRE(stats.dimension() == early.dimension(),
+                   "sufficient stats dimension must match the early moments");
+  BMFUSION_REQUIRE(stats.count() >= 1, "map_fuse needs >= 1 sample");
+  BMFUSION_REQUIRE(kappa0 > 0.0, "kappa0 must be positive");
+  BMFUSION_REQUIRE(nu0 > d, "map_fuse needs nu0 > d (paper eq. 20)");
+  const auto n = static_cast<double>(stats.count());
+  const Vector xbar = stats.mean();
+
+  // eqs. (24), (29): mu_MAP = mu_n = (kappa0 mu_E + n xbar) / (kappa0 + n).
+  GaussianMoments fused;
+  fused.mean = (early.mean * kappa0 + xbar * n) / (kappa0 + n);
+
+  // eq. (25) with the eq. (20) anchoring substituted: the prior scale obeys
+  // T0^-1 = (nu0 - d) Sigma_E, so no matrix inversion is needed to form it.
+  const Vector delta = early.mean - xbar;
+  Matrix tn_inv = early.covariance * (nu0 - d) + stats.scatter() +
+                  outer(delta, delta) * (kappa0 * n / (kappa0 + n));
+
+  // eqs. (28), (32): Lambda_MAP = (nu_n - d) T_n with nu_n = nu0 + n, hence
+  // Sigma_MAP = T_n^-1 / (nu0 + n - d) — again inversion-free.
+  fused.covariance = tn_inv / (nu0 + n - d);
+  fused.covariance.symmetrize();
+  return fused;
 }
 
 double NormalWishart::student_t_log_pdf(const StudentT& t, const Vector& x) {

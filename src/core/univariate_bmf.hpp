@@ -7,9 +7,11 @@
 // which is exactly the paper's motivation (Section 2, last paragraph).
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "core/cross_validation.hpp"
+#include "core/estimator.hpp"
 #include "core/moments.hpp"
 #include "linalg/matrix.hpp"
 
@@ -33,5 +35,38 @@ struct UnivariateBmfResult {
 [[nodiscard]] UnivariateBmfResult estimate_univariate_bmf(
     const GaussianMoments& early_scaled, const linalg::Matrix& late_scaled,
     const CrossValidationConfig& config = {});
+
+/// The univariate baseline behind the unified MomentEstimator interface.
+/// Like estimate_univariate_bmf it works in the scaled space and ignores the
+/// nominal point; the reported covariance is diagonal.
+class UnivariateBmfEstimator final : public MomentEstimator {
+ public:
+  explicit UnivariateBmfEstimator(GaussianMoments early_scaled,
+                                  CrossValidationConfig cv = {})
+      : early_scaled_(std::move(early_scaled)), cv_(cv) {
+    early_scaled_.validate();
+    cv_.validate();
+  }
+
+  [[nodiscard]] std::string_view name() const override {
+    return "univariate-bmf";
+  }
+
+ protected:
+  [[nodiscard]] EstimateResult do_estimate(
+      const linalg::Matrix& samples,
+      const linalg::Vector& nominal) const override {
+    (void)nominal;  // operates in the already-normalized space
+    EstimateResult result;
+    result.moments = estimate_univariate_bmf(early_scaled_, samples, cv_)
+                         .as_moments();
+    result.scaled_moments = result.moments;
+    return result;
+  }
+
+ private:
+  GaussianMoments early_scaled_;
+  CrossValidationConfig cv_;
+};
 
 }  // namespace bmfusion::core

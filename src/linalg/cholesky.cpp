@@ -98,4 +98,16 @@ double Cholesky::mahalanobis_squared(const Vector& x) const {
   return dot(y, y);
 }
 
+double Cholesky::trace_of_solve(const Matrix& b) const {
+  BMFUSION_REQUIRE(b.is_square() && b.rows() == dimension(),
+                   "trace_of_solve needs a matching square matrix");
+  // trace(A^{-1} B) = sum_c e_c^T A^{-1} B e_c; one solve per column.
+  double acc = 0.0;
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    const Vector x = solve(b.col(c));
+    acc += x[c];
+  }
+  return acc;
+}
+
 }  // namespace bmfusion::linalg

@@ -55,6 +55,12 @@ class Cholesky {
   /// Squared Mahalanobis distance x^T A^{-1} x via one triangular solve.
   [[nodiscard]] double mahalanobis_squared(const Vector& x) const;
 
+  /// trace(A^{-1} B) for a square B, without forming A^{-1} or A^{-1} B.
+  /// This is the workhorse of the sufficient-statistic likelihood score:
+  /// the Gaussian log-likelihood of a sample set enters only through
+  /// trace(Sigma^{-1} S) and a Mahalanobis term.
+  [[nodiscard]] double trace_of_solve(const Matrix& b) const;
+
  private:
   Cholesky() = default;
   [[nodiscard]] static bool factor_into(const Matrix& a, Matrix& l);

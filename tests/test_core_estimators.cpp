@@ -189,11 +189,11 @@ TEST(CrossValidation, TableCoversFullGrid) {
   cfg.nu_points = 7;
   const CrossValidationResult sel =
       select_hyperparameters(toy_moments(), draws(toy_moments(), 8, 7), cfg);
-  EXPECT_EQ(sel.table.size(), 35u);
-  // Best score actually is the max of the table.
+  EXPECT_EQ(sel.grid().size(), 35u);
+  // Best score actually is the max of the grid.
   double best = -1e300;
-  for (const GridScore& g : sel.table) best = std::max(best, g.score);
-  EXPECT_DOUBLE_EQ(best, sel.best_score);
+  for (const GridScore& g : sel.grid()) best = std::max(best, g.score);
+  EXPECT_DOUBLE_EQ(best, sel.score);
 }
 
 TEST(CrossValidation, FoldCountClampsToSampleCount) {
@@ -295,7 +295,7 @@ TEST(BmfEstimator, ResultMomentsAreValid) {
   EXPECT_NO_THROW(r.moments.validate());
   EXPECT_GE(r.kappa0, 1.0);
   EXPECT_GT(r.nu0, 2.0);
-  EXPECT_TRUE(std::isfinite(r.cv_score));
+  EXPECT_TRUE(std::isfinite(r.score));
 }
 
 TEST(BmfEstimator, InputValidation) {

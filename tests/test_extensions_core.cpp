@@ -92,7 +92,7 @@ TEST(Evidence, SelectionPrefersLargeHypersForPerfectPrior) {
   const double at_weak =
       NormalWishart::from_early_stage(truth, 1.0, 3.0)
           .log_marginal_likelihood(samples);
-  EXPECT_GT(sel.best_score * 32.0, at_weak);
+  EXPECT_GT(sel.score * 32.0, at_weak);
 }
 
 TEST(Evidence, SelectionRejectsWrongPriorMean) {
