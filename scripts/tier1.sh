@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the standard build + full test suite, then an
+# AddressSanitizer+UndefinedBehaviorSanitizer build running the
+# fault-injection suite (the robustness layer exercises exactly the paths —
+# jitter retries, clamped pivots, exception unwinding — where memory and UB
+# bugs like to hide). Complements the ThreadSanitizer wiring
+# (-DBMF_SANITIZE=thread) used for the thread-pool tests.
+#
+# Usage: scripts/tier1.sh [--skip-asan]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+skip_asan=0
+for arg in "$@"; do
+  case "${arg}" in
+    --skip-asan) skip_asan=1 ;;
+    *) echo "unknown argument: ${arg}" >&2; exit 2 ;;
+  esac
+done
+
+echo "==> tier-1: standard build + full ctest"
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+if [[ "${skip_asan}" -eq 1 ]]; then
+  echo "==> tier-1: ASan+UBSan stage skipped (--skip-asan)"
+  exit 0
+fi
+
+echo "==> tier-1: ASan+UBSan build + fault-injection suite"
+cmake -B build-asan -S . -DBMF_SANITIZE=address,undefined
+cmake --build build-asan -j --target test_fault_injection
+UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
+  ./build-asan/tests/test_fault_injection
+
+echo "==> tier-1: OK"

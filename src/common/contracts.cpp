@@ -2,7 +2,57 @@
 
 #include <sstream>
 
-namespace bmfusion::detail {
+namespace bmfusion {
+
+std::string ErrorContext::summary() const {
+  std::ostringstream os;
+  bool any = false;
+  const auto sep = [&os, &any] {
+    os << (any ? " " : " [");
+    any = true;
+  };
+  if (!operation.empty()) {
+    sep();
+    os << "op=" << operation;
+  }
+  if (dimension) {
+    sep();
+    os << "d=" << *dimension;
+  }
+  if (sample_count) {
+    sep();
+    os << "n=" << *sample_count;
+  }
+  if (index) {
+    sep();
+    os << "index=" << *index;
+  }
+  if (value) {
+    sep();
+    os << "value=" << *value;
+  }
+  if (!detail.empty()) {
+    sep();
+    os << "detail=" << detail;
+  }
+  if (any) os << "]";
+  return os.str();
+}
+
+NumericError::NumericError(const std::string& what, ErrorContext context)
+    : std::runtime_error(detail::format_error(what, context)),
+      context_(std::move(context)) {}
+
+DataError::DataError(const std::string& what, ErrorContext context)
+    : std::runtime_error(detail::format_error(what, context)),
+      context_(std::move(context)) {}
+
+namespace detail {
+
+std::string format_error(const std::string& message,
+                         const ErrorContext& context) {
+  return message + context.summary();
+}
 
 void throw_contract_error(const char* expr, const char* file, int line,
                           const std::string& message) {
@@ -12,4 +62,14 @@ void throw_contract_error(const char* expr, const char* file, int line,
   throw ContractError(os.str());
 }
 
-}  // namespace bmfusion::detail
+void throw_config_error(const char* expr, const char* file, int line,
+                        const std::string& message) {
+  std::ostringstream os;
+  os << "invalid configuration: " << message << " [" << expr << " at " << file
+     << ":" << line << "]";
+  throw ConfigError(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace bmfusion

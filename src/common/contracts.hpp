@@ -1,16 +1,69 @@
-// Contract checking for the bmfusion library.
+// Contract checking and the typed error taxonomy of the bmfusion library.
 //
 // All public entry points validate their preconditions with BMFUSION_REQUIRE
 // and signal violations by throwing ContractError (derived from
-// std::logic_error). Numeric failures discovered mid-computation (e.g. a
-// Cholesky factorization of a non-SPD matrix) throw NumericError instead so
-// callers can distinguish caller bugs from data problems.
+// std::logic_error). Configuration objects validate with
+// BMFUSION_CONFIG_REQUIRE, which throws the more specific ConfigError.
+// Numeric failures discovered mid-computation (e.g. a Cholesky factorization
+// of a non-SPD matrix) throw NumericError instead so callers can distinguish
+// caller bugs from data problems, and malformed external data (CSV parse
+// failures, bad netlists, non-finite sample cells) throws DataError.
+//
+// NumericError and DataError optionally carry an ErrorContext describing
+// *which input* was degenerate — the operation, problem dimension, sample
+// count, offending index and value — so a failure deep inside the CV grid
+// sweep reports "map_fuse fold with n=2, d=4, pivot 1 = -3.2e-18" instead of
+// a bare "matrix not positive definite".
 #pragma once
 
+#include <cstddef>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
 namespace bmfusion {
+
+/// Structured context attached to NumericError/DataError. Every field is
+/// optional; summary() renders only what was set. Built fluently, matching
+/// the library's config style:
+///   ErrorContext{}.with_operation("cholesky").with_index(j).with_value(piv)
+struct ErrorContext {
+  std::string operation;                    ///< e.g. "cholesky", "map_fuse"
+  std::optional<std::size_t> dimension;     ///< problem/matrix dimension d
+  std::optional<std::size_t> sample_count;  ///< samples involved (n)
+  std::optional<std::size_t> index;         ///< offending dim/pivot/CSV line
+  std::optional<double> value;              ///< offending numeric value
+  std::string detail;                       ///< free-form extra information
+
+  ErrorContext& with_operation(std::string op) {
+    operation = std::move(op);
+    return *this;
+  }
+  ErrorContext& with_dimension(std::size_t d) {
+    dimension = d;
+    return *this;
+  }
+  ErrorContext& with_sample_count(std::size_t n) {
+    sample_count = n;
+    return *this;
+  }
+  ErrorContext& with_index(std::size_t i) {
+    index = i;
+    return *this;
+  }
+  ErrorContext& with_value(double v) {
+    value = v;
+    return *this;
+  }
+  ErrorContext& with_detail(std::string d) {
+    detail = std::move(d);
+    return *this;
+  }
+
+  /// Renders the populated fields as " [op=cholesky d=4 index=1 value=-3e-18]"
+  /// (leading space included); empty string when nothing is set.
+  [[nodiscard]] std::string summary() const;
+};
 
 /// Thrown when a documented precondition of a public API is violated.
 class ContractError : public std::logic_error {
@@ -18,22 +71,50 @@ class ContractError : public std::logic_error {
   explicit ContractError(const std::string& what) : std::logic_error(what) {}
 };
 
+/// Thrown when a user-assembled configuration object fails its validate()
+/// (bad grid shape, folds < 2, inverted ranges). A ContractError subtype:
+/// the caller built an impossible request, not the data.
+class ConfigError : public ContractError {
+ public:
+  explicit ConfigError(const std::string& what) : ContractError(what) {}
+};
+
 /// Thrown when a computation fails for numeric reasons (singular matrix,
 /// non-SPD input, non-convergence) even though the call was well-formed.
+/// Carries an optional ErrorContext identifying the degenerate input.
 class NumericError : public std::runtime_error {
  public:
   explicit NumericError(const std::string& what) : std::runtime_error(what) {}
+  NumericError(const std::string& what, ErrorContext context);
+
+  [[nodiscard]] const ErrorContext& context() const { return context_; }
+
+ private:
+  ErrorContext context_;
 };
 
-/// Thrown on malformed external data (CSV parse failures, bad netlists).
+/// Thrown on malformed external data (CSV parse failures, bad netlists,
+/// non-finite sample cells). Carries an optional ErrorContext (e.g. the
+/// offending CSV line number or sample-matrix row).
 class DataError : public std::runtime_error {
  public:
   explicit DataError(const std::string& what) : std::runtime_error(what) {}
+  DataError(const std::string& what, ErrorContext context);
+
+  [[nodiscard]] const ErrorContext& context() const { return context_; }
+
+ private:
+  ErrorContext context_;
 };
 
 namespace detail {
 [[noreturn]] void throw_contract_error(const char* expr, const char* file,
                                        int line, const std::string& message);
+[[noreturn]] void throw_config_error(const char* expr, const char* file,
+                                     int line, const std::string& message);
+/// message + context.summary(), shared by the context-carrying constructors.
+[[nodiscard]] std::string format_error(const std::string& message,
+                                       const ErrorContext& context);
 }  // namespace detail
 
 }  // namespace bmfusion
@@ -45,5 +126,16 @@ namespace detail {
     if (!(cond)) {                                                         \
       ::bmfusion::detail::throw_contract_error(#cond, __FILE__, __LINE__,  \
                                                (msg));                     \
+    }                                                                      \
+  } while (false)
+
+/// Configuration check: like BMFUSION_REQUIRE but throws ConfigError. Use in
+/// config validate() methods so callers can tell a bad config apart from a
+/// bad call.
+#define BMFUSION_CONFIG_REQUIRE(cond, msg)                                 \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::bmfusion::detail::throw_config_error(#cond, __FILE__, __LINE__,    \
+                                             (msg));                       \
     }                                                                      \
   } while (false)

@@ -1,6 +1,7 @@
 #include "common/csv.hpp"
 
 #include <charconv>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -21,7 +22,21 @@ double parse_cell(std::string_view cell, std::size_t line_no) {
     std::ostringstream os;
     os << "csv: non-numeric cell '" << std::string(cell) << "' on line "
        << line_no;
-    throw DataError(os.str());
+    throw DataError(os.str(), ErrorContext{}
+                                  .with_operation("csv-parse")
+                                  .with_index(line_no));
+  }
+  // from_chars accepts "inf"/"nan" spellings; every numeric table in this
+  // project is finite by construction, so reject them at load time — a bad
+  // cell should die here with its line number, not deep inside a Cholesky.
+  if (!std::isfinite(value)) {
+    std::ostringstream os;
+    os << "csv: non-finite cell '" << std::string(cell) << "' on line "
+       << line_no;
+    throw DataError(os.str(), ErrorContext{}
+                                  .with_operation("csv-parse")
+                                  .with_index(line_no)
+                                  .with_value(value));
   }
   return value;
 }

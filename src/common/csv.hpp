@@ -23,8 +23,9 @@ struct CsvTable {
 };
 
 /// Parses CSV text from `in`. When `expect_header` is true the first
-/// non-comment line is treated as column names. Throws DataError on ragged
-/// rows or non-numeric body cells.
+/// non-comment line is treated as column names. Throws DataError (with the
+/// offending line number in its context) on ragged rows and on non-numeric
+/// or non-finite ("inf"/"nan") body cells.
 CsvTable read_csv(std::istream& in, bool expect_header);
 
 /// Reads a CSV file from disk. Throws DataError when the file cannot be

@@ -32,8 +32,19 @@ GaussianMoments BmfEstimator::fuse_at(const GaussianMoments& early_scaled,
 BmfResult BmfEstimator::estimate_scaled(const GaussianMoments& early_scaled,
                                         const Matrix& late_scaled,
                                         const CrossValidationConfig& cv) {
-  const CrossValidationResult selected =
-      select_hyperparameters(early_scaled, late_scaled, cv);
+  CrossValidationResult selected;
+  try {
+    selected = select_hyperparameters(early_scaled, late_scaled, cv);
+  } catch (const NumericError& e) {
+    // Re-state the failure at the estimator boundary with the problem size;
+    // the nested message keeps the grid-level detail.
+    throw NumericError("bmf: hyper-parameter selection failed",
+                       ErrorContext{}
+                           .with_operation("bmf-estimate")
+                           .with_dimension(early_scaled.dimension())
+                           .with_sample_count(late_scaled.rows())
+                           .with_detail(e.what()));
+  }
   BmfResult result;
   result.kappa0 = selected.kappa0;
   result.nu0 = selected.nu0;

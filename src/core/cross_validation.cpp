@@ -16,13 +16,17 @@ using linalg::Matrix;
 using linalg::Vector;
 
 void CrossValidationConfig::validate() const {
-  BMFUSION_REQUIRE(folds >= 1, "cross validation config needs folds >= 1");
-  BMFUSION_REQUIRE(kappa_points >= 2 && nu_points >= 2,
-                   "hyper-parameter grid needs >= 2 points per axis");
-  BMFUSION_REQUIRE(kappa_min > 0.0 && kappa_max > kappa_min,
-                   "kappa range needs 0 < min < max");
-  BMFUSION_REQUIRE(nu_offset_min > 0.0 && nu_offset_max > nu_offset_min,
-                   "nu offset range needs 0 < min < max");
+  // folds >= 2 is what every fold-based consumer ultimately needs; checking
+  // it here keeps the invariant that a config which passes validate() never
+  // throws downstream. (The evidence selector ignores folds entirely.)
+  BMFUSION_CONFIG_REQUIRE(folds >= 2,
+                          "cross validation config needs folds >= 2");
+  BMFUSION_CONFIG_REQUIRE(kappa_points >= 2 && nu_points >= 2,
+                          "hyper-parameter grid needs >= 2 points per axis");
+  BMFUSION_CONFIG_REQUIRE(kappa_min > 0.0 && kappa_max > kappa_min,
+                          "kappa range needs 0 < min < max");
+  BMFUSION_CONFIG_REQUIRE(nu_offset_min > 0.0 && nu_offset_max > nu_offset_min,
+                          "nu offset range needs 0 < min < max");
 }
 
 std::vector<double> log_spaced(double lo, double hi, std::size_t points) {
@@ -50,6 +54,16 @@ CrossValidationResult CrossValidationResult::from_grid(
       result.nu0 = gs.nu0;
     }
   }
+  if (!std::isfinite(result.score)) {
+    // Every candidate was disqualified. Failing here, at selection time,
+    // beats handing zero-valued hyper-parameters to a later fuse_at call.
+    throw NumericError(
+        "cross validation: all grid points degenerate (every candidate was "
+        "disqualified during scoring)",
+        ErrorContext{}
+            .with_operation("cv-select")
+            .with_detail("grid_points=" + std::to_string(grid.size())));
+  }
   result.grid_ = std::move(grid);
   return result;
 }
@@ -63,7 +77,6 @@ CrossValidationResult select_hyperparameters(
                    "late samples must match the early-stage dimension");
   BMFUSION_REQUIRE(late_scaled.rows() >= 2,
                    "cross validation needs >= 2 late-stage samples");
-  BMFUSION_REQUIRE(config.folds >= 2, "cross validation needs >= 2 folds");
 
   const std::size_t folds = std::min(config.folds, late_scaled.rows());
   const double d = static_cast<double>(early_scaled.dimension());
@@ -91,6 +104,11 @@ CrossValidationResult select_hyperparameters(
 
   // Sweep the grid in parallel; index = kappa_index * nu_points + nu_index
   // keeps the table row-major with kappa outer, matching sequential order.
+  // Scoring opts into the documented fallback chain (ridge-jitter retries,
+  // then clamped LDLT) so a near-singular fold downgrades gracefully instead
+  // of silently disqualifying the grid point; only genuinely indefinite fits
+  // still disqualify.
+  const LikelihoodFallback score_fallback{};
   std::vector<GridScore> grid(kappas.size() * nu_offsets.size());
   parallel_for(
       grid.size(),
@@ -107,7 +125,8 @@ CrossValidationResult select_hyperparameters(
           try {
             const GaussianMoments map =
                 map_fuse(early_scaled, train_stats[q], kappa0, nu0);
-            total_loglik += log_likelihood(map, test_stats[q]);
+            total_loglik += log_likelihood(map, test_stats[q],
+                                           score_fallback);
             total_count += test_stats[q].count();
           } catch (const NumericError&) {
             valid = false;  // degenerate fit: disqualify this grid point
@@ -122,11 +141,8 @@ CrossValidationResult select_hyperparameters(
       },
       config.threads);
 
-  CrossValidationResult result = CrossValidationResult::from_grid(
-      std::move(grid));
-  BMFUSION_REQUIRE(std::isfinite(result.score),
-                   "cross validation found no valid hyper-parameters");
-  return result;
+  // from_grid throws a typed NumericError when every point was disqualified.
+  return CrossValidationResult::from_grid(std::move(grid));
 }
 
 CrossValidationResult select_hyperparameters_evidence(
@@ -173,11 +189,8 @@ CrossValidationResult select_hyperparameters_evidence(
       },
       config.threads);
 
-  CrossValidationResult result = CrossValidationResult::from_grid(
-      std::move(grid));
-  BMFUSION_REQUIRE(std::isfinite(result.score),
-                   "evidence selection found no valid hyper-parameters");
-  return result;
+  // from_grid throws a typed NumericError when every point was disqualified.
+  return CrossValidationResult::from_grid(std::move(grid));
 }
 
 }  // namespace bmfusion::core

@@ -64,9 +64,9 @@ struct CrossValidationConfig {
     return *this;
   }
 
-  /// Throws ContractError when the grid or ranges are malformed. Does not
-  /// constrain `folds` beyond >= 1: the evidence selector needs no folds,
-  /// and select_hyperparameters() itself enforces folds >= 2.
+  /// Throws ConfigError (a ContractError subtype) when the grid, ranges or
+  /// fold count are malformed. Requires folds >= 2 so that a config which
+  /// passes validate() never throws downstream in the fold-based search.
   void validate() const;
 };
 
@@ -87,7 +87,10 @@ class CrossValidationResult {
 
   /// Builds a result from an evaluated grid by scanning for the best score
   /// (first strictly-greater entry wins, matching sequential evaluation
-  /// order). Requires a non-empty grid.
+  /// order). Requires a non-empty grid. Throws NumericError("... all grid
+  /// points degenerate ...") when every entry carries score == -infinity,
+  /// so a fully disqualified search fails loudly at selection time instead
+  /// of handing zero hyper-parameters to a later fuse step.
   [[nodiscard]] static CrossValidationResult from_grid(
       std::vector<GridScore> grid);
 

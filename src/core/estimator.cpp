@@ -1,9 +1,53 @@
 #include "core/estimator.hpp"
 
+#include <cmath>
+#include <sstream>
+
 #include "common/contracts.hpp"
 #include "core/mle.hpp"
 
 namespace bmfusion::core {
+
+namespace {
+
+/// API-boundary data screen shared by every estimator: a NaN/Inf cell in the
+/// samples (or nominal) is a data problem, and is reported here with its
+/// exact position instead of surfacing later as a numeric failure deep in
+/// the fusion stack.
+void require_finite_inputs(const linalg::Matrix& samples,
+                           const linalg::Vector& nominal,
+                           std::string_view estimator) {
+  for (std::size_t r = 0; r < samples.rows(); ++r) {
+    for (std::size_t c = 0; c < samples.cols(); ++c) {
+      const double cell = samples(r, c);
+      if (!std::isfinite(cell)) {
+        std::ostringstream os;
+        os << "estimator '" << estimator << "': non-finite sample cell at row "
+           << r << ", column " << c;
+        throw DataError(os.str(), ErrorContext{}
+                                      .with_operation(std::string(estimator))
+                                      .with_dimension(samples.cols())
+                                      .with_sample_count(samples.rows())
+                                      .with_index(r)
+                                      .with_value(cell));
+      }
+    }
+  }
+  for (std::size_t i = 0; i < nominal.size(); ++i) {
+    if (!std::isfinite(nominal[i])) {
+      std::ostringstream os;
+      os << "estimator '" << estimator
+         << "': non-finite nominal entry at dimension " << i;
+      throw DataError(os.str(), ErrorContext{}
+                                    .with_operation(std::string(estimator))
+                                    .with_dimension(nominal.size())
+                                    .with_index(i)
+                                    .with_value(nominal[i]));
+    }
+  }
+}
+
+}  // namespace
 
 EstimateResult MomentEstimator::estimate(const linalg::Matrix& samples,
                                          const linalg::Vector& nominal) const {
@@ -11,6 +55,7 @@ EstimateResult MomentEstimator::estimate(const linalg::Matrix& samples,
                    "moment estimation needs a non-empty sample matrix");
   BMFUSION_REQUIRE(nominal.size() == 0 || nominal.size() == samples.cols(),
                    "nominal must be empty or match the sample dimension");
+  require_finite_inputs(samples, nominal, name());
   return do_estimate(samples, nominal);
 }
 

@@ -42,7 +42,11 @@ class MomentEstimator {
   /// Estimates moments from the rows of `samples`. `nominal` is the single
   /// nominal (variation-free) late-stage simulation; estimators that do not
   /// shift by a nominal point ignore it. When non-empty it must match the
-  /// sample dimension.
+  /// sample dimension. Non-finite cells in either input throw DataError with
+  /// the offending row/column in the error context (the shared API-boundary
+  /// screen for corrupted measurement data); degenerate-but-finite inputs
+  /// either recover through the documented numeric fallbacks or throw
+  /// NumericError describing what was degenerate.
   [[nodiscard]] EstimateResult estimate(const linalg::Matrix& samples,
                                         const linalg::Vector& nominal) const;
 

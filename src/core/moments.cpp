@@ -1,7 +1,10 @@
 #include "core/moments.hpp"
 
+#include <algorithm>
+
 #include "common/contracts.hpp"
 #include "linalg/cholesky.hpp"
+#include "linalg/ldlt.hpp"
 #include "stats/mvn.hpp"
 
 namespace bmfusion::core {
@@ -15,8 +18,16 @@ void GaussianMoments::validate() const {
                    "covariance must be symmetric");
   BMFUSION_REQUIRE(mean.is_finite() && covariance.is_finite(),
                    "moments must be finite");
-  if (!linalg::Cholesky::is_positive_definite(covariance)) {
-    throw NumericError("moments: covariance is not positive definite");
+  try {
+    // Jittered probe: accept semi-definite-up-to-rounding covariances (the
+    // scoring path degrades gracefully on them), reject indefinite ones.
+    (void)linalg::Cholesky::factor_with_jitter(covariance);
+  } catch (const NumericError& e) {
+    throw NumericError("moments: covariance is not positive definite",
+                       ErrorContext{}
+                           .with_operation("moments-validate")
+                           .with_dimension(dimension())
+                           .with_detail(e.what()));
   }
 }
 
@@ -99,6 +110,12 @@ linalg::Matrix SufficientStats::scatter() const {
     }
   }
   s.symmetrize();
+  // A true scatter diagonal is non-negative; catastrophic cancellation on
+  // the subtraction path (totals - fold with near-duplicate samples) can
+  // leave entries like -1e-18 that spuriously fail SPD checks downstream.
+  for (std::size_t r = 0; r < dimension(); ++r) {
+    s(r, r) = std::max(s(r, r), 0.0);
+  }
   return s;
 }
 
@@ -108,20 +125,72 @@ double log_likelihood(const GaussianMoments& moments,
   return mvn.log_likelihood(samples);
 }
 
-double log_likelihood(const GaussianMoments& moments,
-                      const SufficientStats& stats) {
+namespace {
+
+constexpr double kLog2Pi = 1.837877066409345483560659472811235279;
+
+void require_stats_match(const GaussianMoments& moments,
+                         const SufficientStats& stats) {
   BMFUSION_REQUIRE(stats.dimension() == moments.dimension(),
                    "sufficient stats dimension must match the moments");
   BMFUSION_REQUIRE(stats.count() >= 1,
                    "log likelihood needs >= 1 summarized sample");
-  constexpr double kLog2Pi = 1.837877066409345483560659472811235279;
+}
+
+/// Assembles the score from a factorization's logdet/trace/Mahalanobis.
+template <typename Factorization>
+double score_with(const Factorization& fac, double log_det,
+                  const GaussianMoments& moments,
+                  const SufficientStats& stats) {
   const double n = static_cast<double>(stats.count());
   const double d = static_cast<double>(moments.dimension());
+  const double quad = fac.trace_of_solve(stats.scatter()) +
+                      n * fac.mahalanobis_squared(stats.mean() -
+                                                  moments.mean);
+  return -0.5 * n * (d * kLog2Pi + log_det) - 0.5 * quad;
+}
+
+}  // namespace
+
+double log_likelihood(const GaussianMoments& moments,
+                      const SufficientStats& stats) {
+  require_stats_match(moments, stats);
   const linalg::Cholesky chol(moments.covariance);  // throws when not SPD
-  const double quad = chol.trace_of_solve(stats.scatter()) +
-                      n * chol.mahalanobis_squared(stats.mean() -
-                                                   moments.mean);
-  return -0.5 * n * (d * kLog2Pi + chol.log_determinant()) - 0.5 * quad;
+  return score_with(chol, chol.log_determinant(), moments, stats);
+}
+
+double log_likelihood(const GaussianMoments& moments,
+                      const SufficientStats& stats,
+                      const LikelihoodFallback& fallback) {
+  require_stats_match(moments, stats);
+  try {
+    const linalg::Cholesky chol =
+        linalg::Cholesky::factor_with_jitter(moments.covariance,
+                                             fallback.jitter);
+    return score_with(chol, chol.log_determinant(), moments, stats);
+  } catch (const NumericError& e) {
+    if (!fallback.ldlt) {
+      throw NumericError("log likelihood: covariance not factorizable",
+                         ErrorContext{}
+                             .with_operation("log-likelihood")
+                             .with_dimension(moments.dimension())
+                             .with_sample_count(stats.count())
+                             .with_detail(e.what()));
+    }
+  }
+  // Last resort: clamped-pivot LDLT handles covariances that are positive
+  // semi-definite up to rounding; genuinely indefinite ones still throw.
+  try {
+    const linalg::Ldlt ldlt = linalg::Ldlt::semidefinite(moments.covariance);
+    return score_with(ldlt, ldlt.log_abs_determinant(), moments, stats);
+  } catch (const NumericError& e) {
+    throw NumericError("log likelihood: covariance not factorizable",
+                       ErrorContext{}
+                           .with_operation("log-likelihood")
+                           .with_dimension(moments.dimension())
+                           .with_sample_count(stats.count())
+                           .with_detail(e.what()));
+  }
 }
 
 double mean_error(const linalg::Vector& estimated,

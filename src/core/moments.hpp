@@ -1,6 +1,7 @@
 // First two multivariate moments: the quantity the whole paper estimates.
 #pragma once
 
+#include "linalg/cholesky.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/vector.hpp"
 
@@ -15,7 +16,12 @@ struct GaussianMoments {
   [[nodiscard]] std::size_t dimension() const { return mean.size(); }
 
   /// Throws ContractError when shapes mismatch or the covariance is not
-  /// symmetric; NumericError when it is not positive definite.
+  /// symmetric; NumericError (with dimension context) when it is not
+  /// positive definite. Positive-definiteness is probed with the standard
+  /// ridge-jitter retry (linalg::CholeskyJitter defaults), so a covariance
+  /// that is semi-definite up to rounding — a near-singular early-stage
+  /// prior, a tiny-fold MAP estimate — is accepted; genuinely indefinite
+  /// matrices still throw.
   void validate() const;
 };
 
@@ -81,8 +87,27 @@ class SufficientStats {
 ///   sum_i log N(X_i | mu, Sigma) = -n/2 (d log 2pi + log|Sigma|)
 ///     - 1/2 [ trace(Sigma^{-1} S) + n (Xbar-mu)^T Sigma^{-1} (Xbar-mu) ].
 /// Cost is O(d^3) regardless of how many samples the statistics summarize.
+/// Strict: throws NumericError when the covariance is not positive definite.
 [[nodiscard]] double log_likelihood(const GaussianMoments& moments,
                                     const SufficientStats& stats);
+
+/// Opt-in graceful-degradation policy for the likelihood score. The fallback
+/// chain is: clean Cholesky -> escalating ridge-jitter retries (`jitter`,
+/// capped at jitter.attempts) -> clamped-pivot LDLT (`ldlt`, handles
+/// covariances that are semi-definite up to rounding). Only a genuinely
+/// indefinite covariance still throws NumericError.
+struct LikelihoodFallback {
+  linalg::CholeskyJitter jitter;  ///< ridge-retry schedule (1e-12..1e-8 |A|)
+  bool ldlt = true;               ///< allow the clamped-LDLT last resort
+};
+
+/// Robust variant of the sufficient-statistic score used by the CV grid
+/// sweep: identical to the strict overload on well-conditioned covariances
+/// (the clean Cholesky attempt is bit-identical), degrades per `fallback`
+/// on near-singular ones instead of disqualifying the grid point.
+[[nodiscard]] double log_likelihood(const GaussianMoments& moments,
+                                    const SufficientStats& stats,
+                                    const LikelihoodFallback& fallback);
 
 /// Estimation error of a mean vector, ||est - exact||_2 (paper eq. 37).
 [[nodiscard]] double mean_error(const linalg::Vector& estimated,

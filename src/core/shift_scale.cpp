@@ -1,6 +1,7 @@
 #include "core/shift_scale.hpp"
 
 #include <cmath>
+#include <sstream>
 
 #include "common/contracts.hpp"
 
@@ -15,8 +16,12 @@ ShiftScale::ShiftScale(Vector shift, Vector scale)
                    "shift/scale size mismatch");
   BMFUSION_REQUIRE(shift_.size() >= 1, "transform needs dimension >= 1");
   for (std::size_t i = 0; i < scale_.size(); ++i) {
-    BMFUSION_REQUIRE(scale_[i] > 0.0 && std::isfinite(scale_[i]),
-                     "scale entries must be positive and finite");
+    if (!(scale_[i] > 0.0) || !std::isfinite(scale_[i])) {
+      std::ostringstream os;
+      os << "shift/scale: scale entry for dimension " << i
+         << " must be positive and finite (got " << scale_[i] << ")";
+      throw ConfigError(os.str());
+    }
   }
 }
 
@@ -89,7 +94,24 @@ StageTransforms make_stage_transforms(const Vector& early_nominal,
                    "nominal vectors must match the moment dimension");
   Vector sigma(d);
   for (std::size_t i = 0; i < d; ++i) {
-    sigma[i] = std::sqrt(early_moments.covariance(i, i));
+    const double variance = early_moments.covariance(i, i);
+    // A (near-)zero early-stage variance would make this dimension's scale
+    // collapse and every scaled sample blow up; name the dimension instead
+    // of failing later with a generic scale complaint. The 1e-280 floor only
+    // rejects exact zeros and denormal-level degeneracy, not legitimately
+    // small physical units.
+    if (!(variance > 0.0) || !std::isfinite(variance) || variance < 1e-280) {
+      std::ostringstream os;
+      os << "shift/scale: early-stage variance for dimension " << i
+         << " is degenerate (" << variance
+         << "); cannot normalize by its standard deviation";
+      throw NumericError(os.str(), ErrorContext{}
+                                       .with_operation("make_stage_transforms")
+                                       .with_dimension(d)
+                                       .with_index(i)
+                                       .with_value(variance));
+    }
+    sigma[i] = std::sqrt(variance);
   }
   return StageTransforms{ShiftScale(early_nominal, sigma),
                          ShiftScale(late_nominal, sigma)};

@@ -6,13 +6,24 @@
 
 namespace bmfusion::linalg {
 
-bool Cholesky::factor_into(const Matrix& a, Matrix& l) {
+double CholeskyJitter::scale_at(std::size_t k) const {
+  double scale = first_scale;
+  for (std::size_t i = 0; i < k; ++i) scale *= growth;
+  return scale;
+}
+
+bool Cholesky::factor_into(const Matrix& a, Matrix& l, std::size_t* bad_index,
+                           double* bad_value) {
   const std::size_t n = a.rows();
   l = Matrix(n, n);
   for (std::size_t j = 0; j < n; ++j) {
     double diag = a(j, j);
     for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
-    if (!(diag > 0.0) || !std::isfinite(diag)) return false;
+    if (!(diag > 0.0) || !std::isfinite(diag)) {
+      if (bad_index != nullptr) *bad_index = j;
+      if (bad_value != nullptr) *bad_value = diag;
+      return false;
+    }
     const double ljj = std::sqrt(diag);
     l(j, j) = ljj;
     for (std::size_t i = j + 1; i < n; ++i) {
@@ -28,10 +39,51 @@ Cholesky::Cholesky(const Matrix& a) {
   BMFUSION_REQUIRE(a.is_square(), "cholesky requires a square matrix");
   BMFUSION_REQUIRE(a.is_symmetric(1e-9),
                    "cholesky requires a symmetric matrix");
-  if (!factor_into(a, l_)) {
+  std::size_t bad_index = 0;
+  double bad_value = 0.0;
+  if (!factor_into(a, l_, &bad_index, &bad_value)) {
     throw NumericError(
-        "cholesky: matrix is not positive definite (non-positive pivot)");
+        "cholesky: matrix is not positive definite (non-positive pivot)",
+        ErrorContext{}
+            .with_operation("cholesky")
+            .with_dimension(a.rows())
+            .with_index(bad_index)
+            .with_value(bad_value));
   }
+}
+
+Cholesky Cholesky::factor_with_jitter(const Matrix& a,
+                                      const CholeskyJitter& policy) {
+  BMFUSION_REQUIRE(a.is_square(), "cholesky requires a square matrix");
+  BMFUSION_REQUIRE(a.is_symmetric(1e-9),
+                   "cholesky requires a symmetric matrix");
+  Cholesky chol;
+  std::size_t bad_index = 0;
+  double bad_value = 0.0;
+  // Clean attempt first: identical to the strict constructor, so
+  // well-conditioned inputs produce bit-identical factors.
+  if (factor_into(a, chol.l_, &bad_index, &bad_value)) return chol;
+
+  const double base = a.norm_max() > 0.0 ? a.norm_max() : 1.0;
+  for (std::size_t k = 0; k < policy.attempts; ++k) {
+    const double ridge = policy.scale_at(k) * base;
+    if (!std::isfinite(ridge) || ridge <= 0.0) break;
+    Matrix jittered = a;
+    for (std::size_t i = 0; i < a.rows(); ++i) jittered(i, i) += ridge;
+    if (factor_into(jittered, chol.l_, &bad_index, &bad_value)) {
+      chol.jitter_ = ridge;
+      return chol;
+    }
+  }
+  throw NumericError(
+      "cholesky: matrix is not positive definite even after ridge-jitter "
+      "retries",
+      ErrorContext{}
+          .with_operation("cholesky-jitter")
+          .with_dimension(a.rows())
+          .with_index(bad_index)
+          .with_value(bad_value)
+          .with_detail("attempts=" + std::to_string(policy.attempts)));
 }
 
 bool Cholesky::is_positive_definite(const Matrix& a) {

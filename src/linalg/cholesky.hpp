@@ -10,16 +10,58 @@
 
 namespace bmfusion::linalg {
 
+/// Escalating ridge-jitter retry policy for Cholesky::factor_with_jitter.
+///
+/// When the clean factorization fails (a pivot collapses to or below zero,
+/// typically from rounding on a semi-definite matrix), the matrix is retried
+/// as A + ridge * I with ridge = scale_at(k) * max(norm_max(A), 1). The
+/// defaults make three capped attempts at 1e-12, 1e-10 and 1e-8 times the
+/// matrix scale — enough to absorb cancellation noise, small enough that a
+/// genuinely indefinite matrix still fails.
+struct CholeskyJitter {
+  std::size_t attempts = 3;    ///< jittered retries after the clean attempt
+  double first_scale = 1e-12;  ///< initial ridge, relative to norm_max(A)
+  double growth = 100.0;       ///< escalation factor per attempt
+
+  CholeskyJitter& with_attempts(std::size_t count) {
+    attempts = count;
+    return *this;
+  }
+  CholeskyJitter& with_scales(double first, double factor) {
+    first_scale = first;
+    growth = factor;
+    return *this;
+  }
+
+  /// Relative ridge of attempt `k` (0-based): first_scale * growth^k.
+  [[nodiscard]] double scale_at(std::size_t k) const;
+};
+
 /// Lower-triangular Cholesky factorization A = L L^T.
 ///
 /// Construction throws NumericError when `a` is not symmetric positive
-/// definite (to tolerance); use Cholesky::try_factor to probe without
-/// exceptions.
+/// definite (to tolerance); use Cholesky::is_positive_definite to probe
+/// without exceptions, or Cholesky::factor_with_jitter for the documented
+/// graceful-degradation path on near-singular input.
 class Cholesky {
  public:
   /// Factors the SPD matrix `a`. Throws ContractError when `a` is not square
-  /// or not symmetric; NumericError when a pivot is non-positive.
+  /// or not symmetric; NumericError (with the failing pivot in its context)
+  /// when a pivot is non-positive.
   explicit Cholesky(const Matrix& a);
+
+  /// Factors `a`, retrying with an escalating diagonal ridge per `policy`
+  /// when the clean attempt fails. The clean attempt is bit-identical to
+  /// Cholesky(a), so well-conditioned matrices pay nothing and lose no
+  /// precision. jitter_applied() reports the absolute ridge that succeeded
+  /// (0.0 for a clean factorization). Throws NumericError with context after
+  /// all attempts are exhausted.
+  [[nodiscard]] static Cholesky factor_with_jitter(
+      const Matrix& a, const CholeskyJitter& policy = {});
+
+  /// Absolute ridge added to the diagonal before the successful
+  /// factorization; 0.0 when the clean attempt succeeded.
+  [[nodiscard]] double jitter_applied() const { return jitter_; }
 
   /// Factors without throwing on numeric failure; returns false and leaves
   /// the object unusable when `a` is not positive definite.
@@ -63,9 +105,13 @@ class Cholesky {
 
  private:
   Cholesky() = default;
-  [[nodiscard]] static bool factor_into(const Matrix& a, Matrix& l);
+  /// Returns true on success; on failure reports the offending pivot.
+  [[nodiscard]] static bool factor_into(const Matrix& a, Matrix& l,
+                                        std::size_t* bad_index = nullptr,
+                                        double* bad_value = nullptr);
 
   Matrix l_;
+  double jitter_ = 0.0;
 };
 
 }  // namespace bmfusion::linalg

@@ -6,20 +6,40 @@
 
 namespace bmfusion::linalg {
 
-Ldlt::Ldlt(const Matrix& a) {
+void Ldlt::factor(const Matrix& a, bool clamp) {
   BMFUSION_REQUIRE(a.is_square(), "ldlt requires a square matrix");
   BMFUSION_REQUIRE(a.is_symmetric(1e-9), "ldlt requires a symmetric matrix");
   const std::size_t n = a.rows();
   l_ = Matrix::identity(n);
   d_ = Vector(n);
   // Tolerance for treating a pivot as numerically zero, relative to the
-  // matrix scale.
+  // matrix scale; in clamp mode pivots below -indefinite_tol mean the input
+  // is genuinely indefinite, not just semi-definite up to rounding.
   const double pivot_floor = 1e-300 + 1e-15 * a.norm_max();
+  const double indefinite_tol = 1e-300 + 1e-8 * a.norm_max();
   for (std::size_t j = 0; j < n; ++j) {
     double dj = a(j, j);
     for (std::size_t k = 0; k < j; ++k) dj -= l_(j, k) * l_(j, k) * d_[k];
+    if (clamp && std::isfinite(dj) && dj < pivot_floor) {
+      if (dj < -indefinite_tol) {
+        throw NumericError(
+            "ldlt: clearly negative pivot (indefinite matrix)",
+            ErrorContext{}
+                .with_operation("ldlt-semidefinite")
+                .with_dimension(n)
+                .with_index(j)
+                .with_value(dj));
+      }
+      dj = pivot_floor;
+      ++clamped_;
+    }
     if (std::fabs(dj) < pivot_floor || !std::isfinite(dj)) {
-      throw NumericError("ldlt: zero pivot encountered (singular matrix)");
+      throw NumericError("ldlt: zero pivot encountered (singular matrix)",
+                         ErrorContext{}
+                             .with_operation("ldlt")
+                             .with_dimension(n)
+                             .with_index(j)
+                             .with_value(dj));
     }
     d_[j] = dj;
     for (std::size_t i = j + 1; i < n; ++i) {
@@ -28,6 +48,14 @@ Ldlt::Ldlt(const Matrix& a) {
       l_(i, j) = acc / dj;
     }
   }
+}
+
+Ldlt::Ldlt(const Matrix& a) { factor(a, /*clamp=*/false); }
+
+Ldlt Ldlt::semidefinite(const Matrix& a) {
+  Ldlt ldlt;
+  ldlt.factor(a, /*clamp=*/true);
+  return ldlt;
 }
 
 Vector Ldlt::solve(const Vector& b) const {
@@ -71,6 +99,21 @@ int Ldlt::determinant_sign() const {
     if (d_[i] < 0.0) sign = -sign;
   }
   return sign;
+}
+
+double Ldlt::mahalanobis_squared(const Vector& x) const {
+  BMFUSION_REQUIRE(x.size() == dimension(), "mahalanobis size mismatch");
+  return dot(x, solve(x));
+}
+
+double Ldlt::trace_of_solve(const Matrix& b) const {
+  BMFUSION_REQUIRE(b.is_square() && b.rows() == dimension(),
+                   "trace_of_solve needs a matching square matrix");
+  double acc = 0.0;
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    acc += solve(b.col(c))[c];
+  }
+  return acc;
 }
 
 }  // namespace bmfusion::linalg

@@ -17,8 +17,22 @@ namespace bmfusion::linalg {
 class Ldlt {
  public:
   /// Factors `a`. Throws ContractError for non-square/non-symmetric input,
-  /// NumericError when a pivot collapses to zero.
+  /// NumericError (with the pivot in its context) when a pivot collapses to
+  /// zero.
   explicit Ldlt(const Matrix& a);
+
+  /// Clamped factorization for symmetric positive *semi*-definite input:
+  /// pivots whose magnitude falls below the numeric floor (rounding-level
+  /// zeros, e.g. a rank-deficient scatter matrix) are raised to the floor
+  /// instead of aborting, and clamped_pivots() reports how many were. A
+  /// clearly negative pivot (below -1e-8 * norm_max, i.e. a genuinely
+  /// indefinite matrix) still throws NumericError. This is the last-resort
+  /// log-likelihood fallback of the CV scoring path.
+  [[nodiscard]] static Ldlt semidefinite(const Matrix& a);
+
+  /// Number of pivots raised to the floor by semidefinite(); 0 for the
+  /// strict constructor.
+  [[nodiscard]] std::size_t clamped_pivots() const { return clamped_; }
 
   [[nodiscard]] std::size_t dimension() const { return l_.rows(); }
 
@@ -38,9 +52,22 @@ class Ldlt {
   [[nodiscard]] double log_abs_determinant() const;
   [[nodiscard]] int determinant_sign() const;
 
+  /// Quadratic form x^T A^{-1} x; non-negative when all pivots are positive
+  /// (as guaranteed by semidefinite()).
+  [[nodiscard]] double mahalanobis_squared(const Vector& x) const;
+
+  /// trace(A^{-1} B) for a square B — mirrors Cholesky::trace_of_solve so
+  /// the sufficient-statistic likelihood score can fall back to LDLT.
+  [[nodiscard]] double trace_of_solve(const Matrix& b) const;
+
  private:
+  Ldlt() = default;
+  /// Shared factorization core; `clamp` selects the semidefinite behavior.
+  void factor(const Matrix& a, bool clamp);
+
   Matrix l_;
   Vector d_;
+  std::size_t clamped_ = 0;
 };
 
 }  // namespace bmfusion::linalg

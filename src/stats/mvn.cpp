@@ -14,12 +14,24 @@ using linalg::Vector;
 
 namespace {
 constexpr double kLog2Pi = 1.837877066409345483560659472811235279;
+
+linalg::Cholesky factor_covariance(const Matrix& covariance) {
+  try {
+    return linalg::Cholesky(covariance);
+  } catch (const NumericError& e) {
+    throw NumericError("mvn: covariance is not positive definite",
+                       ErrorContext{}
+                           .with_operation("mvn")
+                           .with_dimension(covariance.rows())
+                           .with_detail(e.what()));
+  }
 }
+}  // namespace
 
 MultivariateNormal::MultivariateNormal(Vector mean, Matrix covariance)
     : mean_(std::move(mean)),
       covariance_(std::move(covariance)),
-      chol_(covariance_) {
+      chol_(factor_covariance(covariance_)) {
   BMFUSION_REQUIRE(covariance_.rows() == mean_.size(),
                    "mvn covariance size must match mean size");
 }

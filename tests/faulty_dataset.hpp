@@ -1,0 +1,145 @@
+// FaultyDataset: a fault-injection helper for the robustness test suite.
+//
+// Wraps one clean synthetic estimation problem (early-stage moments +
+// nominal, late-stage samples + nominal, all drawn from a known truth) and
+// exposes fluent corruption operators for the degenerate-input classes the
+// data-starved regime produces in practice: NaN/Inf cells, duplicated rows,
+// zero-variance dimensions, n < d sample counts, and near-singular early
+// priors. Each operator mutates in place and returns *this so corruptions
+// compose:
+//   FaultyDataset::clean(4, 12, 7).with_duplicated_rows().with_nan_cell(0, 1)
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "core/bmf_estimator.hpp"
+#include "core/moments.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+#include "stats/mvn.hpp"
+#include "stats/rng.hpp"
+
+namespace bmfusion::core {
+
+struct FaultyDataset {
+  GaussianMoments early;        ///< early-stage prior knowledge
+  linalg::Vector early_nominal; ///< early-stage nominal simulation
+  linalg::Matrix late;          ///< late-stage samples (rows)
+  linalg::Vector late_nominal;  ///< late-stage nominal simulation
+
+  /// A well-conditioned d-dimensional problem with n late samples: truth has
+  /// an exponentially decaying correlation structure, the early stage is a
+  /// slightly mis-anchored copy of it (as in bench/micro_cv).
+  static FaultyDataset clean(std::size_t d, std::size_t n,
+                             std::uint64_t seed) {
+    GaussianMoments truth;
+    truth.mean = linalg::Vector(d);
+    truth.covariance = linalg::Matrix(d, d);
+    for (std::size_t i = 0; i < d; ++i) {
+      truth.mean[i] = 0.1 * static_cast<double>(i) - 0.2;
+      for (std::size_t j = 0; j < d; ++j) {
+        truth.covariance(i, j) =
+            std::pow(0.6, static_cast<double>(i > j ? i - j : j - i));
+      }
+    }
+
+    FaultyDataset data;
+    data.early = truth;
+    for (std::size_t i = 0; i < d; ++i) {
+      data.early.mean[i] += 0.05;
+      data.early.covariance(i, i) *= 1.1;
+    }
+    data.early_nominal = data.early.mean;
+    data.late_nominal = truth.mean;
+
+    stats::Xoshiro256pp rng(seed);
+    const stats::MultivariateNormal mvn(truth.mean, truth.covariance);
+    data.late = mvn.sample_matrix(rng, n);
+    return data;
+  }
+
+  [[nodiscard]] std::size_t dimension() const { return early.dimension(); }
+
+  [[nodiscard]] EarlyStageKnowledge early_knowledge() const {
+    return EarlyStageKnowledge{early, early_nominal};
+  }
+
+  // ------------------------------------------------ corruption operators
+
+  /// Class 1a: a NaN measurement cell.
+  FaultyDataset& with_nan_cell(std::size_t row, std::size_t col) {
+    late(row, col) = std::numeric_limits<double>::quiet_NaN();
+    return *this;
+  }
+
+  /// Class 1b: an Inf measurement cell.
+  FaultyDataset& with_inf_cell(std::size_t row, std::size_t col) {
+    late(row, col) = std::numeric_limits<double>::infinity();
+    return *this;
+  }
+
+  /// Class 2: every late-stage sample identical (zero scatter).
+  FaultyDataset& with_duplicated_rows() {
+    for (std::size_t r = 1; r < late.rows(); ++r) {
+      late.set_row(r, late.row(0));
+    }
+    return *this;
+  }
+
+  /// Class 2 (mild): rows duplicated up to a tiny jiggle, the catastrophic-
+  /// cancellation trigger for the sufficient-statistic subtraction path.
+  FaultyDataset& with_near_duplicate_rows(double epsilon = 1e-9) {
+    for (std::size_t r = 1; r < late.rows(); ++r) {
+      for (std::size_t c = 0; c < late.cols(); ++c) {
+        late(r, c) = late(0, c) +
+                     epsilon * static_cast<double>(r + c);
+      }
+    }
+    return *this;
+  }
+
+  /// Class 3: a zero-variance dimension in the *early* prior (the shift/
+  /// scale step takes sqrt of this diagonal).
+  FaultyDataset& with_zero_variance_prior_dimension(std::size_t dim) {
+    for (std::size_t j = 0; j < dimension(); ++j) {
+      early.covariance(dim, j) = 0.0;
+      early.covariance(j, dim) = 0.0;
+    }
+    return *this;
+  }
+
+  /// Class 3 (late-stage flavor): one measured metric is stuck constant.
+  FaultyDataset& with_constant_late_dimension(std::size_t dim) {
+    for (std::size_t r = 0; r < late.rows(); ++r) late(r, dim) = 1.25;
+    return *this;
+  }
+
+  /// Class 4: keep only the first n rows (n < d exercises rank-deficient
+  /// folds).
+  FaultyDataset& with_sample_count(std::size_t n) {
+    linalg::Matrix truncated(n, late.cols());
+    for (std::size_t r = 0; r < n; ++r) truncated.set_row(r, late.row(r));
+    late = truncated;
+    return *this;
+  }
+
+  /// Class 5: near-singular early prior — metric 1 becomes an almost exact
+  /// duplicate of metric 0 (X1 = X0 + eps * Z), which keeps the covariance
+  /// positive semi-definite with one eigenvalue of order eps^2. Simply
+  /// pushing one correlation toward 1 would make the matrix indefinite,
+  /// which is a different corruption class.
+  FaultyDataset& with_near_singular_prior(double eps = 1e-7) {
+    for (std::size_t j = 0; j < dimension(); ++j) {
+      early.covariance(1, j) = early.covariance(0, j);
+      early.covariance(j, 1) = early.covariance(j, 0);
+    }
+    early.covariance(0, 1) = early.covariance(0, 0);
+    early.covariance(1, 0) = early.covariance(0, 0);
+    early.covariance(1, 1) = early.covariance(0, 0) + eps * eps;
+    return *this;
+  }
+};
+
+}  // namespace bmfusion::core
