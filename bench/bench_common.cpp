@@ -2,12 +2,15 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <functional>
 #include <iostream>
+#include <iterator>
 
 #include "circuit/flash_adc.hpp"
 #include "circuit/montecarlo.hpp"
 #include "circuit/opamp.hpp"
+#include "common/contracts.hpp"
 #include "common/csv.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
@@ -139,6 +142,42 @@ void print_error_figure(const std::string& title,
   if (!csv_path.empty()) {
     write_csv_file(csv_path, table.to_csv());
     std::printf("# table written to %s\n", csv_path.c_str());
+  }
+}
+
+void append_json_record(const std::string& path, const std::string& record) {
+  std::string content;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (in) {
+      content.assign(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+    }
+  }
+  const auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+  };
+  while (!content.empty() && is_space(content.back())) content.pop_back();
+  if (content.empty()) {
+    // assign() rather than operator=(const char*): GCC 12's -Wrestrict
+    // false-positives on the latter after the pop_back() loop above.
+    content.assign(1, '[');
+  } else {
+    if (content.back() != ']') {
+      throw DataError("append_json_record: not a JSON array: " + path);
+    }
+    content.pop_back();
+    while (!content.empty() && is_space(content.back())) content.pop_back();
+  }
+  const bool first = !content.empty() && content.back() == '[';
+  content += first ? "\n" : ",\n";
+  content += record;
+  content += "\n]\n";
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+  if (!out.good()) {
+    throw DataError("append_json_record: failed to write " + path);
   }
 }
 

@@ -50,4 +50,11 @@ void print_error_figure(const std::string& title,
                         const core::ExperimentResult& result, bool use_cov,
                         const std::string& csv_path);
 
+/// Appends one JSON value (`record`, typically an object literal) to the
+/// JSON array stored at `path`, creating the file as a one-element array
+/// when absent or empty. The BENCH_*.json perf-trajectory files are grown
+/// this way so every run keeps the full history. Throws DataError when the
+/// existing file is not a JSON array or the write fails.
+void append_json_record(const std::string& path, const std::string& record);
+
 }  // namespace bmfusion::bench

@@ -1,70 +1,353 @@
-// Micro-benchmarks for the circuit substrate: one DC operating point, one
-// AC sweep, one full op-amp Monte-Carlo sample, one flash-ADC sample.
-#include <benchmark/benchmark.h>
+// Circuit-substrate micro-bench and fast-path correctness harness.
+//
+// Timing mode (default) reports per-stage wall time (DC solve, AC sweep,
+// one full op-amp / flash-ADC Monte-Carlo sample), post-layout op-amp MC
+// throughput, and the steady-state heap-allocation count per sample
+// (counted by the bmfusion_alloc_hook operator-new override). With --json
+// the measurements are appended to a BENCH_*.json perf-trajectory array.
+//
+// Parity mode (--parity) is the correctness gate for the workspace fast
+// path: it bit-compares workspace-backed sample_metrics against the
+// allocating reference for both testbenches, and checks that the dataset
+// and streaming-stats Monte Carlo drivers are bitwise identical across
+// thread counts. It is not timing-gated, so it can run under sanitizers.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "circuit/ac.hpp"
 #include "circuit/dc.hpp"
 #include "circuit/flash_adc.hpp"
+#include "circuit/montecarlo.hpp"
 #include "circuit/opamp.hpp"
+#include "common/alloc_counter.hpp"
+#include "common/cli.hpp"
+#include "common/timer.hpp"
 #include "stats/rng.hpp"
+#include "stats/sufficient_stats.hpp"
 
 namespace {
 
 using namespace bmfusion;
 using namespace bmfusion::circuit;
+using linalg::Matrix;
+using linalg::Vector;
 
-void BM_OpAmpDcSolve(benchmark::State& state) {
-  const TwoStageOpAmp amp(DesignStage::kSchematic, ProcessModel::cmos45());
-  const Netlist net = amp.build_netlist({});
-  const DcSolver solver;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(solver.solve(net));
-  }
+bool bitwise_equal(double a, double b) {
+  std::uint64_t ua = 0;
+  std::uint64_t ub = 0;
+  std::memcpy(&ua, &a, sizeof ua);
+  std::memcpy(&ub, &b, sizeof ub);
+  return ua == ub;
 }
-BENCHMARK(BM_OpAmpDcSolve);
 
-void BM_OpAmpAcSweep(benchmark::State& state) {
-  const TwoStageOpAmp amp(DesignStage::kSchematic, ProcessModel::cmos45());
-  const Netlist net = amp.build_netlist({});
-  const OperatingPoint op = DcSolver().solve(net);
-  const AcAnalysis ac(net, op);
-  const std::vector<double> freqs = log_frequency_grid(10.0, 10e9, 10);
-  const NodeId out = net.find_node("out");
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ac.sweep(freqs, out));
+bool bitwise_equal(const Vector& a, const Vector& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!bitwise_equal(a[i], b[i])) return false;
   }
+  return true;
 }
-BENCHMARK(BM_OpAmpAcSweep);
 
-void BM_OpAmpFullSample(benchmark::State& state) {
-  const TwoStageOpAmp amp(DesignStage::kPostLayout, ProcessModel::cmos45());
-  stats::Xoshiro256pp rng(1);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(amp.sample_metrics(rng));
+bool bitwise_equal(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      if (!bitwise_equal(a(i, j), b(i, j))) return false;
+    }
   }
+  return true;
 }
-BENCHMARK(BM_OpAmpFullSample);
 
-void BM_FlashAdcFullSample(benchmark::State& state) {
+bool close(double a, double b, double tol) {
+  const double scale = std::max({1.0, std::abs(a), std::abs(b)});
+  return std::abs(a - b) <= tol * scale;
+}
+
+bool close(const Vector& a, const Vector& b, double tol) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!close(a[i], b[i], tol)) return false;
+  }
+  return true;
+}
+
+bool close(const Matrix& a, const Matrix& b, double tol) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      if (!close(a(i, j), b(i, j), tol)) return false;
+    }
+  }
+  return true;
+}
+
+/// Mean wall time per call in microseconds over `iters` calls.
+template <typename F>
+double time_mean_us(F&& run, std::size_t iters) {
+  Stopwatch sw;
+  for (std::size_t i = 0; i < iters; ++i) run();
+  return sw.seconds() * 1e6 / static_cast<double>(iters);
+}
+
+// ---------------------------------------------------------------------------
+// Parity mode
+// ---------------------------------------------------------------------------
+
+int run_parity(std::uint64_t seed) {
+  int failures = 0;
+  const auto check = [&](bool ok, const char* what) {
+    std::printf("  [%s] %s\n", ok ? " ok " : "FAIL", what);
+    if (!ok) ++failures;
+  };
+
+  const TwoStageOpAmp opamp_sch(DesignStage::kSchematic, ProcessModel::cmos45());
+  const TwoStageOpAmp opamp_post(DesignStage::kPostLayout,
+                                 ProcessModel::cmos45());
   const FlashAdc adc(DesignStage::kPostLayout, ProcessModel::cmos180());
-  stats::Xoshiro256pp rng(2);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(adc.sample_metrics(rng));
-  }
-}
-BENCHMARK(BM_FlashAdcFullSample);
 
-void BM_MosfetEval(benchmark::State& state) {
-  MosfetModel model;
-  const MosfetGeometry geom{2e-6, 0.2e-6};
-  double vg = 0.6;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(evaluate_mosfet(model, geom, {}, vg, 1.0, 0.0));
-    vg = vg == 0.6 ? 0.61 : 0.6;
-  }
+  std::printf("parity: workspace fast path vs allocating reference "
+              "(seed=%llu)\n",
+              static_cast<unsigned long long>(seed));
+
+  // Per-sample bitwise parity: one workspace reused across draws, so later
+  // draws also exercise the buffer-reuse (not just first-allocation) path.
+  const auto sample_parity = [&](const Testbench& bench, std::size_t draws,
+                                 const char* what) {
+    SimWorkspace ws;
+    bool ok = true;
+    for (std::size_t i = 0; i < draws; ++i) {
+      stats::Xoshiro256pp ref_rng = sample_rng(seed, i);
+      const Vector ref = bench.sample_metrics(ref_rng);
+      stats::Xoshiro256pp fast_rng = sample_rng(seed, i);
+      const Vector& fast = bench.sample_metrics(fast_rng, ws);
+      ok = ok && bitwise_equal(ref, fast);
+      // Both paths must consume exactly the same random stream.
+      ok = ok && ref_rng.next_u64() == fast_rng.next_u64();
+    }
+    check(ok, what);
+  };
+  sample_parity(opamp_sch, 8, "op-amp (schematic): 8 draws bitwise identical");
+  sample_parity(opamp_post, 8,
+                "op-amp (post-layout): 8 draws bitwise identical");
+  sample_parity(adc, 4, "flash ADC (post-layout): 4 draws bitwise identical");
+
+  // Thread-count invariance of both Monte Carlo drivers. 70 samples spans
+  // a partial trailing streaming block (70 = 64 + 6).
+  MonteCarloConfig cfg;
+  cfg.sample_count = 70;
+  cfg.seed = seed;
+  const Dataset d1 = run_monte_carlo(opamp_sch, cfg.with_threads(1));
+  const Dataset d2 = run_monte_carlo(opamp_sch, cfg.with_threads(2));
+  const Dataset d4 = run_monte_carlo(opamp_sch, cfg.with_threads(4));
+  check(bitwise_equal(d1.samples(), d2.samples()) &&
+            bitwise_equal(d1.samples(), d4.samples()),
+        "op-amp dataset bitwise identical for threads=1/2/4");
+
+  const stats::SufficientStats s1 =
+      run_monte_carlo_stats(opamp_sch, cfg.with_threads(1));
+  const stats::SufficientStats s2 =
+      run_monte_carlo_stats(opamp_sch, cfg.with_threads(2));
+  const stats::SufficientStats s4 =
+      run_monte_carlo_stats(opamp_sch, cfg.with_threads(4));
+  check(s1 == s2 && s1 == s4,
+        "op-amp streaming stats bitwise identical for threads=1/2/4");
+
+  // Streaming vs dataset moments agree to rounding (the block-tree
+  // accumulation order differs from the row-major one, so bitwise equality
+  // is not expected here).
+  const stats::SufficientStats from_rows =
+      stats::SufficientStats::from_samples(d1.samples());
+  check(close(from_rows.mean(), s1.mean(), 1e-12) &&
+            close(from_rows.scatter(), s1.scatter(), 1e-9),
+        "op-amp streaming moments match the dataset path");
+
+  MonteCarloConfig adc_cfg;
+  adc_cfg.sample_count = 9;
+  adc_cfg.seed = seed + 1;
+  const Dataset a1 = run_monte_carlo(adc, adc_cfg.with_threads(1));
+  const Dataset a3 = run_monte_carlo(adc, adc_cfg.with_threads(3));
+  check(bitwise_equal(a1.samples(), a3.samples()),
+        "flash-ADC dataset bitwise identical for threads=1/3");
+
+  std::printf("parity: %s\n", failures == 0 ? "all checks passed" : "FAILED");
+  return failures == 0 ? 0 : 1;
 }
-BENCHMARK(BM_MosfetEval);
+
+// ---------------------------------------------------------------------------
+// Timing mode
+// ---------------------------------------------------------------------------
+
+/// Steady-state heap allocations per sample: warm a workspace up, then
+/// count operator-new calls over `meas` further samples.
+double alloc_per_sample(const Testbench& bench, std::size_t warmup,
+                        std::size_t meas) {
+  SimWorkspace ws;
+  for (std::size_t i = 0; i < warmup; ++i) {
+    stats::Xoshiro256pp rng = sample_rng(5, i);
+    (void)bench.sample_metrics(rng, ws);
+  }
+  const std::uint64_t before = common::allocation_count();
+  for (std::size_t i = warmup; i < warmup + meas; ++i) {
+    stats::Xoshiro256pp rng = sample_rng(5, i);
+    (void)bench.sample_metrics(rng, ws);
+  }
+  const std::uint64_t after = common::allocation_count();
+  return static_cast<double>(after - before) / static_cast<double>(meas);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  CliParser cli(
+      "Circuit substrate micro-bench: stage wall times, Monte Carlo "
+      "throughput and steady-state allocations per sample; --parity runs "
+      "the bitwise fast-path checks instead.");
+  cli.add_flag("samples", "2000", "Monte Carlo sample count for throughput");
+  cli.add_flag("threads", "1", "Monte Carlo thread count (0 = hardware)");
+  cli.add_flag("seed", "1", "Monte Carlo / parity seed");
+  cli.add_flag("iters", "50", "iterations per stage timing (mean)");
+  cli.add_flag("parity", "false", "run parity checks only (no timing)");
+  cli.add_flag("json", "", "append the results to this JSON array file");
+  cli.add_flag("label", "", "free-form label for the JSON record");
+  cli.add_flag("git", "", "git revision for the JSON record");
+  cli.add_flag("date", "", "ISO date for the JSON record");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    if (cli.get_bool("parity")) return run_parity(seed);
+
+    const auto iters = static_cast<std::size_t>(cli.get_int("iters"));
+    const auto samples = static_cast<std::size_t>(cli.get_int("samples"));
+    const auto threads = static_cast<std::size_t>(cli.get_int("threads"));
+
+    const TwoStageOpAmp opamp_sch(DesignStage::kSchematic,
+                                  ProcessModel::cmos45());
+    const TwoStageOpAmp opamp_post(DesignStage::kPostLayout,
+                                   ProcessModel::cmos45());
+    const FlashAdc adc(DesignStage::kPostLayout, ProcessModel::cmos180());
+
+    // Stage timings (mean over `iters` calls, workspace fast path).
+    const Netlist net = opamp_sch.build_netlist({});
+    const DcSolver solver;
+    SimWorkspace ws;
+    const double dc_us =
+        time_mean_us([&] { solver.solve_into(net, ws); }, iters);
+
+    solver.solve_into(net, ws);
+    ws.ac.bind(net, ws.op);
+    const std::vector<double> freqs = log_frequency_grid(10.0, 10e9, 10);
+    const NodeId out = net.find_node("out");
+    const double ac_us = time_mean_us(
+        [&] {
+          ws.ac.sweep_into(freqs, out, ws.ac_system, ws.ac_lu, ws.ac_solution,
+                           ws.response);
+        },
+        iters);
+
+    SimWorkspace sample_ws;
+    std::size_t draw = 0;
+    const double opamp_us = time_mean_us(
+        [&] {
+          stats::Xoshiro256pp rng = sample_rng(seed, draw++);
+          (void)opamp_post.sample_metrics(rng, sample_ws);
+        },
+        iters);
+    draw = 0;
+    const double opamp_ref_us = time_mean_us(
+        [&] {
+          stats::Xoshiro256pp rng = sample_rng(seed, draw++);
+          (void)opamp_post.sample_metrics(rng);
+        },
+        iters);
+    draw = 0;
+    SimWorkspace adc_ws;
+    const double adc_us = time_mean_us(
+        [&] {
+          stats::Xoshiro256pp rng = sample_rng(seed, draw++);
+          (void)adc.sample_metrics(rng, adc_ws);
+        },
+        std::max<std::size_t>(1, iters / 2));
+
+    // Steady-state allocations per sample (op-amp must be exactly zero).
+    const double opamp_alloc = alloc_per_sample(opamp_post, 4, 16);
+    const double adc_alloc = alloc_per_sample(adc, 2, 8);
+
+    // Monte Carlo throughput, post-layout op-amp.
+    MonteCarloConfig cfg;
+    cfg.sample_count = samples;
+    cfg.seed = seed;
+    cfg.threads = threads;
+    Stopwatch sw;
+    const Dataset ds = run_monte_carlo(opamp_post, cfg);
+    const double mc_seconds = sw.seconds();
+    const double sps = static_cast<double>(ds.sample_count()) / mc_seconds;
+
+    std::printf("micro_circuit (threads=%zu, iters=%zu)\n", threads, iters);
+    std::printf("  %-36s %10.3f us\n", "DC solve (schematic op-amp)", dc_us);
+    std::printf("  %-36s %10.3f us\n", "AC sweep (91 points)", ac_us);
+    std::printf("  %-36s %10.3f us\n", "op-amp sample (workspace)", opamp_us);
+    std::printf("  %-36s %10.3f us\n", "op-amp sample (reference)",
+                opamp_ref_us);
+    std::printf("  %-36s %10.3f us\n", "flash-ADC sample (workspace)", adc_us);
+    std::printf("  %-36s %10.2f\n", "op-amp allocs/sample (steady)",
+                opamp_alloc);
+    std::printf("  %-36s %10.2f\n", "flash-ADC allocs/sample (steady)",
+                adc_alloc);
+    std::printf("  MC op-amp post-layout: %zu samples in %.4f s = %.1f "
+                "samples/s\n",
+                ds.sample_count(), mc_seconds, sps);
+
+    const std::string json_path = cli.get_string("json");
+    if (!json_path.empty()) {
+      char record[1024];
+      std::snprintf(
+          record, sizeof record,
+          "{\"bench\": \"micro_circuit\", \"label\": \"%s\", \"git\": "
+          "\"%s\", \"date\": \"%s\", \"build\": \"%s\", \"threads\": %zu, "
+          "\"stages\": {\"dc_solve_us\": %.3f, \"ac_sweep_us\": %.3f, "
+          "\"opamp_sample_us\": %.3f, \"opamp_sample_ref_us\": %.3f, "
+          "\"adc_sample_us\": %.3f}, \"mc_opamp_postlayout\": {\"samples\": "
+          "%zu, \"seconds\": %.4f, \"throughput_sps\": %.1f}, "
+          "\"alloc_per_sample\": {\"opamp\": %.2f, \"adc\": %.2f}}",
+          json_escape(cli.get_string("label")).c_str(),
+          json_escape(cli.get_string("git")).c_str(),
+          json_escape(cli.get_string("date")).c_str(),
+#ifdef NDEBUG
+          "-O3 -DNDEBUG",
+#else
+          "debug",
+#endif
+          threads, dc_us, ac_us, opamp_us, opamp_ref_us, adc_us,
+          ds.sample_count(), mc_seconds, sps, opamp_alloc, adc_alloc);
+      bench::append_json_record(json_path, record);
+      std::printf("  record appended to %s\n", json_path.c_str());
+    }
+
+    if (opamp_alloc != 0.0) {
+      std::fprintf(stderr,
+                   "micro_circuit: op-amp hot path allocated %.2f "
+                   "times/sample in steady state (expected 0)\n",
+                   opamp_alloc);
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "micro_circuit: %s\n", e.what());
+    return 1;
+  }
+}

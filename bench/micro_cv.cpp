@@ -14,6 +14,7 @@
 #include <limits>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "common/cli.hpp"
 #include "common/contracts.hpp"
 #include "core/cross_validation.hpp"
@@ -161,6 +162,10 @@ int main(int argc, char** argv) {
   cli.add_flag("grid", "12", "grid points per hyper-parameter axis");
   cli.add_flag("iters", "5", "timing iterations (best-of)");
   cli.add_flag("seed", "2015", "rng seed for the synthetic problem");
+  cli.add_flag("json", "", "append the results to this JSON array file");
+  cli.add_flag("label", "", "free-form label for the JSON record");
+  cli.add_flag("git", "", "git revision for the JSON record");
+  cli.add_flag("date", "", "ISO date for the JSON record");
   try {
     if (!cli.parse(argc, argv)) return 0;
 
@@ -218,6 +223,22 @@ int main(int argc, char** argv) {
                 max_dev <= 1e-9 ? "parity OK" : "PARITY FAIL");
     std::printf("  selected             kappa0=%.4g nu0=%.4g score=%.6f\n",
                 fast.kappa0, fast.nu0, fast.score);
+
+    const std::string json_path = cli.get_string("json");
+    if (!json_path.empty()) {
+      char record[512];
+      std::snprintf(
+          record, sizeof record,
+          "{\"bench\": \"micro_cv\", \"label\": \"%s\", \"git\": \"%s\", "
+          "\"date\": \"%s\", \"d\": %zu, \"n\": %zu, \"folds\": %zu, "
+          "\"grid\": %zu, \"old_ms\": %.3f, \"new_1t_ms\": %.3f, "
+          "\"new_mt_ms\": %.3f, \"max_score_dev\": %.3e}",
+          cli.get_string("label").c_str(), cli.get_string("git").c_str(),
+          cli.get_string("date").c_str(), d, n, config.folds, grid_points,
+          old_ms, new_1t_ms, new_mt_ms, max_dev);
+      bmfusion::bench::append_json_record(json_path, record);
+      std::printf("  record appended to %s\n", json_path.c_str());
+    }
     return max_dev <= 1e-9 ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "micro_cv: %s\n", e.what());

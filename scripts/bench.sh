@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Tracked-benchmark driver: builds the benches in a dedicated Release
+# (-O3 -DNDEBUG) tree, replays the parity checks, then appends one record
+# per harness to the BENCH_*.json arrays at the repo root. Records carry
+# the git revision, date and a free-form label so the perf trajectory can
+# be regressed against (see DESIGN.md, "Performance architecture").
+#
+# Usage: scripts/bench.sh [--label STR] [--samples N] [--skip-linalg]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+label="dev"
+samples=2000
+skip_linalg=0
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --label) label="$2"; shift 2 ;;
+    --samples) samples="$2"; shift 2 ;;
+    --skip-linalg) skip_linalg=1; shift ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+git_rev="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+date_iso="$(date +%F)"
+
+echo "==> bench: Release build"
+cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-bench -j --target micro_circuit micro_cv micro_linalg
+
+echo "==> bench: fast-path parity gate"
+./build-bench/bench/micro_circuit --parity
+
+echo "==> bench: micro_circuit (MC throughput, stage timings, allocations)"
+./build-bench/bench/micro_circuit --samples="${samples}" --iters=50 \
+  --json BENCH_circuit.json --label "${label}" --git "${git_rev}" \
+  --date "${date_iso}"
+
+echo "==> bench: micro_cv (CV engine old-vs-new)"
+./build-bench/bench/micro_cv --json BENCH_cv.json --label "${label}" \
+  --git "${git_rev}" --date "${date_iso}"
+
+if [[ "${skip_linalg}" -eq 1 ]]; then
+  echo "==> bench: micro_linalg skipped (--skip-linalg)"
+  exit 0
+fi
+
+echo "==> bench: micro_linalg (google-benchmark kernels)"
+# Compact the gbench CSV into one {"name": real_time_ns} map so the record
+# stays a single line of the same JSON-array format the other benches use.
+csv="$(mktemp)"
+./build-bench/bench/micro_linalg --benchmark_format=csv >"${csv}" 2>/dev/null
+record="$(awk -F',' -v label="${label}" -v rev="${git_rev}" \
+              -v date="${date_iso}" '
+  BEGIN { printf "{\"bench\": \"micro_linalg\", \"label\": \"%s\", " \
+                 "\"git\": \"%s\", \"date\": \"%s\", \"real_time_ns\": {",
+                 label, rev, date }
+  /^"/ {
+    name = $1; gsub(/"/, "", name)
+    printf "%s\"%s\": %.1f", sep, name, $3; sep = ", "
+  }
+  END { print "}}" }' "${csv}")"
+rm -f "${csv}"
+
+# Append one record to a JSON array file (creating it when absent), matching
+# bmfusion::bench::append_json_record.
+append_json() {
+  local file="$1" rec="$2"
+  if [[ ! -s "${file}" ]]; then
+    printf '[\n%s\n]\n' "${rec}" >"${file}"
+    return
+  fi
+  awk -v rec="${rec}" '
+    { lines[NR] = $0 }
+    END {
+      close_i = 0
+      for (i = NR; i >= 1; --i)
+        if (lines[i] ~ /^[[:space:]]*\]/) { close_i = i; break }
+      if (close_i == 0) { exit 1 }
+      for (i = 1; i < close_i; ++i) {
+        if (i == close_i - 1 && lines[i] !~ /^[[:space:]]*\[[[:space:]]*$/)
+          print lines[i] ","
+        else
+          print lines[i]
+      }
+      print rec
+      print "]"
+    }' "${file}" >"${file}.tmp" && mv "${file}.tmp" "${file}"
+}
+append_json BENCH_linalg.json "${record}"
+echo "  record appended to BENCH_linalg.json"
+
+echo "==> bench: OK"

@@ -36,4 +36,14 @@ cmake --build build-asan -j --target test_fault_injection
 UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
   ./build-asan/tests/test_fault_injection
 
+# Perf smoke: the micro_circuit parity mode replays the Monte Carlo fast
+# path (workspace reuse, raw row writes, streaming reduction) against the
+# allocating reference under the sanitizers. It asserts bitwise agreement,
+# not timing, so it is stable on loaded CI machines while still walking
+# every hot-path pointer with ASan watching.
+echo "==> tier-1: perf smoke (micro_circuit --parity under ASan+UBSan)"
+cmake --build build-asan -j --target micro_circuit
+UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
+  ./build-asan/bench/micro_circuit --parity
+
 echo "==> tier-1: OK"

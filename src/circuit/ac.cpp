@@ -16,12 +16,16 @@ namespace {
 constexpr double kPi = 3.141592653589793238462643383279502884;
 }
 
-AcAnalysis::AcAnalysis(const Netlist& netlist, const OperatingPoint& op)
-    : n_nodes_(netlist.node_count()),
-      n_unknowns_(netlist.unknown_count()),
-      g_(netlist.unknown_count(), netlist.unknown_count()),
-      c_(netlist.unknown_count(), netlist.unknown_count()),
-      rhs_(netlist.unknown_count()) {
+AcAnalysis::AcAnalysis(const Netlist& netlist, const OperatingPoint& op) {
+  bind(netlist, op);
+}
+
+void AcAnalysis::bind(const Netlist& netlist, const OperatingPoint& op) {
+  n_nodes_ = netlist.node_count();
+  n_unknowns_ = netlist.unknown_count();
+  g_.assign_zero(n_unknowns_, n_unknowns_);
+  c_.assign_zero(n_unknowns_, n_unknowns_);
+  rhs_.assign_zero(n_unknowns_);
   BMFUSION_REQUIRE(op.node_voltages().size() == n_nodes_,
                    "operating point does not match netlist");
   BMFUSION_REQUIRE(op.mosfet_ops().size() == netlist.mosfets().size(),
@@ -109,16 +113,26 @@ AcAnalysis::AcAnalysis(const Netlist& netlist, const OperatingPoint& op)
   for (std::size_t k = 0; k < n_nodes_; ++k) g_(k, k) += 1e-12;
 }
 
-ComplexVector AcAnalysis::response(double freq_hz) const {
+void AcAnalysis::response_into(double freq_hz, ComplexMatrix& system,
+                               ComplexLu& lu, ComplexVector& solution) const {
   BMFUSION_REQUIRE(freq_hz >= 0.0, "frequency must be non-negative");
   const double omega = 2.0 * kPi * freq_hz;
-  ComplexMatrix a(n_unknowns_, n_unknowns_);
-  for (std::size_t r = 0; r < n_unknowns_; ++r) {
-    for (std::size_t c = 0; c < n_unknowns_; ++c) {
-      a(r, c) = Complex{g_(r, c), omega * c_(r, c)};
-    }
-  }
-  return ComplexLu(a).solve(rhs_);
+  system.assign_zero(n_unknowns_, n_unknowns_);
+  Complex* const a = system.data();
+  const double* const g = g_.data();
+  const double* const c = c_.data();
+  const std::size_t total = n_unknowns_ * n_unknowns_;
+  for (std::size_t i = 0; i < total; ++i) a[i] = Complex{g[i], omega * c[i]};
+  lu.factor(system);
+  lu.solve_into(rhs_, solution);
+}
+
+ComplexVector AcAnalysis::response(double freq_hz) const {
+  ComplexMatrix system;
+  ComplexLu lu;
+  ComplexVector x;
+  response_into(freq_hz, system, lu, x);
+  return x;
 }
 
 Complex AcAnalysis::node_response(double freq_hz, NodeId node) const {
@@ -149,11 +163,30 @@ Complex AcAnalysis::transfer_impedance(double freq_hz, NodeId into,
   return x[probe - 1];
 }
 
+void AcAnalysis::sweep_into(const std::vector<double>& freqs_hz, NodeId probe,
+                            ComplexMatrix& system, ComplexLu& lu,
+                            ComplexVector& solution,
+                            std::vector<Complex>& out) const {
+  BMFUSION_REQUIRE(probe == kGround || probe - 1 < n_nodes_,
+                   "node id out of range");
+  out.resize(freqs_hz.size());
+  for (std::size_t i = 0; i < freqs_hz.size(); ++i) {
+    if (probe == kGround) {
+      out[i] = Complex{};
+      continue;
+    }
+    response_into(freqs_hz[i], system, lu, solution);
+    out[i] = solution[probe - 1];
+  }
+}
+
 std::vector<Complex> AcAnalysis::sweep(const std::vector<double>& freqs_hz,
                                        NodeId probe) const {
   std::vector<Complex> out;
-  out.reserve(freqs_hz.size());
-  for (const double f : freqs_hz) out.push_back(node_response(f, probe));
+  ComplexMatrix system;
+  ComplexLu lu;
+  ComplexVector solution;
+  sweep_into(freqs_hz, probe, system, lu, solution, out);
   return out;
 }
 
@@ -179,6 +212,14 @@ std::vector<double> log_frequency_grid(double f_start, double f_stop,
 AmplifierAcMetrics measure_amplifier(
     const std::vector<double>& freqs_hz,
     const std::vector<Complex>& response) {
+  std::vector<double> phase_scratch;
+  return measure_amplifier(freqs_hz, response, phase_scratch);
+}
+
+AmplifierAcMetrics measure_amplifier(
+    const std::vector<double>& freqs_hz,
+    const std::vector<Complex>& response,
+    std::vector<double>& phase_scratch) {
   BMFUSION_REQUIRE(freqs_hz.size() == response.size(),
                    "frequency/response length mismatch");
   BMFUSION_REQUIRE(freqs_hz.size() >= 2, "sweep needs >= 2 points");
@@ -189,7 +230,8 @@ AmplifierAcMetrics measure_amplifier(
   metrics.dc_gain_db = 20.0 * std::log10(g0);
 
   // Unwrapped phase along the sweep.
-  std::vector<double> phase(response.size());
+  std::vector<double>& phase = phase_scratch;
+  phase.resize(response.size());
   phase[0] = std::arg(response[0]);
   for (std::size_t i = 1; i < response.size(); ++i) {
     double p = std::arg(response[i]);

@@ -18,10 +18,24 @@ namespace bmfusion::circuit {
 /// complex LU solve.
 class AcAnalysis {
  public:
+  /// Unbound analysis; call bind() before any query (workspace reuse).
+  AcAnalysis() = default;
+
   AcAnalysis(const Netlist& netlist, const OperatingPoint& op);
+
+  /// Re-stamps this analysis for a (netlist, operating point) pair, reusing
+  /// the G/C/rhs storage. Equivalent to constructing a fresh AcAnalysis.
+  void bind(const Netlist& netlist, const OperatingPoint& op);
 
   /// Complex node voltages and branch currents at `freq_hz` (>= 0).
   [[nodiscard]] linalg::ComplexVector response(double freq_hz) const;
+
+  /// Workspace variant of response(): assembles G + j*omega*C into `system`,
+  /// factors into `lu` and solves into `solution`, all reusing the caller's
+  /// storage. Bitwise identical to response().
+  void response_into(double freq_hz, linalg::ComplexMatrix& system,
+                     linalg::ComplexLu& lu,
+                     linalg::ComplexVector& solution) const;
 
   /// Complex voltage of one node at `freq_hz`.
   [[nodiscard]] linalg::Complex node_response(double freq_hz,
@@ -31,6 +45,14 @@ class AcAnalysis {
   /// netlist are the stimulus).
   [[nodiscard]] std::vector<linalg::Complex> sweep(
       const std::vector<double>& freqs_hz, NodeId probe) const;
+
+  /// Workspace variant of sweep(): one complex system/LU/solution buffer is
+  /// reused across every frequency point and the probe responses land in
+  /// `out` (resized, capacity reused). Bitwise identical to sweep().
+  void sweep_into(const std::vector<double>& freqs_hz, NodeId probe,
+                  linalg::ComplexMatrix& system, linalg::ComplexLu& lu,
+                  linalg::ComplexVector& solution,
+                  std::vector<linalg::Complex>& out) const;
 
   /// Transfer impedance: voltage at `probe` per unit AC current injected
   /// into node `into` and drawn out of node `out_of`, with the netlist's
@@ -42,8 +64,8 @@ class AcAnalysis {
                                                    NodeId probe) const;
 
  private:
-  std::size_t n_nodes_;
-  std::size_t n_unknowns_;
+  std::size_t n_nodes_ = 0;
+  std::size_t n_unknowns_ = 0;
   linalg::Matrix g_;  ///< conductance stamps
   linalg::Matrix c_;  ///< capacitance stamps
   linalg::ComplexVector rhs_;
@@ -71,5 +93,13 @@ struct AmplifierAcMetrics {
 [[nodiscard]] AmplifierAcMetrics measure_amplifier(
     const std::vector<double>& freqs_hz,
     const std::vector<linalg::Complex>& response);
+
+/// Workspace variant: the phase-unwrap scratch lives in `phase_scratch`
+/// (resized, capacity reused) so the Monte Carlo loop avoids reallocating it
+/// per sample. Bitwise identical to the two-argument overload.
+[[nodiscard]] AmplifierAcMetrics measure_amplifier(
+    const std::vector<double>& freqs_hz,
+    const std::vector<linalg::Complex>& response,
+    std::vector<double>& phase_scratch);
 
 }  // namespace bmfusion::circuit

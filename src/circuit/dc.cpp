@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "circuit/workspace.hpp"
 #include "common/contracts.hpp"
 #include "linalg/lu.hpp"
 #include "linalg/matrix.hpp"
@@ -19,6 +20,22 @@ OperatingPoint::OperatingPoint(Vector node_voltages,
     : voltages_(std::move(node_voltages)),
       source_currents_(std::move(source_currents)),
       mosfet_ops_(std::move(mosfet_ops)) {}
+
+void OperatingPoint::assign(const Vector& x, std::size_t node_count,
+                            std::size_t source_count,
+                            const std::vector<MosfetOp>& ops) {
+  BMFUSION_REQUIRE(x.size() >= node_count + source_count,
+                   "state vector too small for operating point");
+  voltages_.resize(node_count);
+  const double* const state = x.data();
+  double* const volts = voltages_.data();
+  for (std::size_t k = 0; k < node_count; ++k) volts[k] = state[k];
+  source_currents_.resize(source_count);
+  for (std::size_t b = 0; b < source_count; ++b) {
+    source_currents_[b] = state[node_count + b];
+  }
+  mosfet_ops_ = ops;
+}
 
 double OperatingPoint::voltage(NodeId id) const {
   if (id == kGround) return 0.0;
@@ -40,10 +57,13 @@ const MosfetOp& OperatingPoint::mosfet_op(std::size_t index) const {
 namespace {
 
 /// One Newton solve at fixed gmin and source scale. `x` holds node voltages
-/// then branch currents; updated in place. Returns true on convergence.
+/// then branch currents; updated in place. The Jacobian/residual/step/LU
+/// buffers are caller-owned so the continuation ladder and the Monte Carlo
+/// loop restamp into the same storage. Returns true on convergence.
 bool newton_solve(const Netlist& netlist, const DcSolverConfig& config,
                   double gmin, double source_scale, Vector& x,
-                  std::vector<MosfetOp>& mosfet_ops) {
+                  std::vector<MosfetOp>& mosfet_ops, Matrix& jac,
+                  Vector& residual, Vector& delta, Lu& lu) {
   const std::size_t n_nodes = netlist.node_count();
   const std::size_t n_unknowns = netlist.unknown_count();
   mosfet_ops.resize(netlist.mosfets().size());
@@ -55,28 +75,30 @@ bool newton_solve(const Netlist& netlist, const DcSolverConfig& config,
   };
 
   for (int iter = 0; iter < config.max_iterations; ++iter) {
-    Matrix jac(n_unknowns, n_unknowns);
-    Vector residual(n_unknowns);
+    jac.assign_zero(n_unknowns, n_unknowns);
+    residual.assign_zero(n_unknowns);
+    double* const jac_data = jac.data();
+    double* const res_data = residual.data();
 
     const auto voltage = [&](NodeId id) {
       return id == kGround ? 0.0 : x[id - 1];
     };
     const auto add_f = [&](NodeId id, double value) {
       const std::ptrdiff_t r = vid(id);
-      if (r >= 0) residual[static_cast<std::size_t>(r)] += value;
+      if (r >= 0) res_data[static_cast<std::size_t>(r)] += value;
     };
     const auto add_j = [&](std::ptrdiff_t row, std::ptrdiff_t col,
                            double value) {
       if (row >= 0 && col >= 0) {
-        jac(static_cast<std::size_t>(row), static_cast<std::size_t>(col)) +=
-            value;
+        jac_data[static_cast<std::size_t>(row) * n_unknowns +
+                 static_cast<std::size_t>(col)] += value;
       }
     };
 
     // gmin leak from every node to ground.
     for (std::size_t k = 0; k < n_nodes; ++k) {
-      residual[k] += gmin * x[k];
-      jac(k, k) += gmin;
+      res_data[k] += gmin * x[k];
+      jac_data[k * n_unknowns + k] += gmin;
     }
 
     for (const Resistor& r : netlist.resistors()) {
@@ -118,7 +140,7 @@ bool newton_solve(const Netlist& netlist, const DcSolverConfig& config,
       const double ib = x[brow];
       add_f(s.np, ib);
       add_f(s.nn, -ib);
-      residual[brow] =
+      res_data[brow] =
           voltage(s.np) - voltage(s.nn) - source_scale * s.dc;
       const std::ptrdiff_t p = vid(s.np);
       const std::ptrdiff_t n = vid(s.nn);
@@ -151,16 +173,16 @@ bool newton_solve(const Netlist& netlist, const DcSolverConfig& config,
     // voltage constraints with different units).
     double residual_norm = 0.0;
     for (std::size_t k = 0; k < n_nodes; ++k) {
-      residual_norm = std::max(residual_norm, std::fabs(residual[k]));
+      residual_norm = std::max(residual_norm, std::fabs(res_data[k]));
     }
     double branch_norm = 0.0;
     for (std::size_t k = n_nodes; k < n_unknowns; ++k) {
-      branch_norm = std::max(branch_norm, std::fabs(residual[k]));
+      branch_norm = std::max(branch_norm, std::fabs(res_data[k]));
     }
 
-    Vector delta;
     try {
-      delta = Lu(jac).solve(residual);
+      lu.factor(jac);
+      lu.solve_into(residual, delta);
     } catch (const NumericError&) {
       return false;  // singular Jacobian: let the caller escalate
     }
@@ -184,8 +206,9 @@ bool newton_solve(const Netlist& netlist, const DcSolverConfig& config,
   return false;
 }
 
-Vector initial_state(const Netlist& netlist) {
-  Vector x(netlist.unknown_count());
+/// Resets `x` to the continuation starting point, reusing its storage.
+void initial_state_into(const Netlist& netlist, Vector& x) {
+  x.assign_zero(netlist.unknown_count());
   for (const auto& [node, v] : netlist.initial_guesses()) {
     x[node - 1] = v;
   }
@@ -194,7 +217,6 @@ Vector initial_state(const Netlist& netlist) {
     if (s.nn == kGround && s.np != kGround) x[s.np - 1] = s.dc;
     if (s.np == kGround && s.nn != kGround) x[s.nn - 1] = -s.dc;
   }
-  return x;
 }
 
 }  // namespace
@@ -205,36 +227,73 @@ DcSolver::DcSolver(DcSolverConfig config) : config_(std::move(config)) {
   BMFUSION_REQUIRE(config_.max_iterations > 0, "need positive iteration cap");
 }
 
-OperatingPoint DcSolver::solve(const Netlist& netlist) const {
+void DcSolver::solve_into(const Netlist& netlist, SimWorkspace& ws,
+                          const Vector* warm_start) const {
   BMFUSION_REQUIRE(netlist.node_count() > 0, "netlist has no nodes");
-  std::vector<MosfetOp> mosfet_ops;
+  Vector& x = ws.state;
+  bool converged = false;
+
+  // Strategy 0: direct Newton at the final gmin from a caller-supplied warm
+  // state (typically the nominal die's solution). No continuation needed
+  // when the perturbation is small; a failure leaves no trace because the
+  // ladder below restarts from the netlist's own initial guesses.
+  if (warm_start != nullptr && warm_start->size() == netlist.unknown_count()) {
+    x = *warm_start;
+    converged = newton_solve(netlist, config_, config_.gmin_sequence.back(),
+                             1.0, x, ws.mosfet_ops, ws.jac, ws.residual,
+                             ws.delta, ws.lu);
+  }
 
   // Strategy 1: gmin stepping from the initial guess.
-  Vector x = initial_state(netlist);
-  bool converged = true;
-  for (const double gmin : config_.gmin_sequence) {
-    if (!newton_solve(netlist, config_, gmin, 1.0, x, mosfet_ops)) {
-      converged = false;
-      break;
+  if (!converged) {
+    initial_state_into(netlist, x);
+    converged = true;
+    for (const double gmin : config_.gmin_sequence) {
+      if (!newton_solve(netlist, config_, gmin, 1.0, x, ws.mosfet_ops, ws.jac,
+                        ws.residual, ws.delta, ws.lu)) {
+        converged = false;
+        break;
+      }
     }
   }
 
   // Strategy 2: source stepping (with mild gmin), then final gmin descent.
   if (!converged) {
-    x = initial_state(netlist);
+    initial_state_into(netlist, x);
     converged = true;
     for (int step = 1; step <= config_.source_steps; ++step) {
       const double scale =
           static_cast<double>(step) / static_cast<double>(config_.source_steps);
-      if (!newton_solve(netlist, config_, 1e-9, scale, x, mosfet_ops)) {
+      if (!newton_solve(netlist, config_, 1e-9, scale, x, ws.mosfet_ops,
+                        ws.jac, ws.residual, ws.delta, ws.lu)) {
         converged = false;
         break;
       }
     }
     if (converged) {
-      converged =
-          newton_solve(netlist, config_, config_.gmin_sequence.back(), 1.0, x,
-                       mosfet_ops);
+      converged = newton_solve(netlist, config_, config_.gmin_sequence.back(),
+                               1.0, x, ws.mosfet_ops, ws.jac, ws.residual,
+                               ws.delta, ws.lu);
+    }
+  }
+
+  // Strategy 3: gmin stepping under a tighter step clamp. Heavily skewed
+  // dies can oscillate around the high-gain servo fixture's bias point at
+  // the default clamp; a smaller step trades iterations for stability.
+  // Reached only when both standard strategies fail, so every die they
+  // solve keeps its exact result.
+  if (!converged) {
+    DcSolverConfig damped = config_;
+    damped.max_voltage_step = 0.2 * config_.max_voltage_step;
+    damped.max_iterations = 2 * config_.max_iterations;
+    initial_state_into(netlist, x);
+    converged = true;
+    for (const double gmin : config_.gmin_sequence) {
+      if (!newton_solve(netlist, damped, gmin, 1.0, x, ws.mosfet_ops, ws.jac,
+                        ws.residual, ws.delta, ws.lu)) {
+        converged = false;
+        break;
+      }
     }
   }
 
@@ -242,15 +301,14 @@ OperatingPoint DcSolver::solve(const Netlist& netlist) const {
     throw NumericError("dc solver failed to converge");
   }
 
-  const std::size_t n_nodes = netlist.node_count();
-  Vector voltages(n_nodes);
-  for (std::size_t k = 0; k < n_nodes; ++k) voltages[k] = x[k];
-  std::vector<double> currents(netlist.voltage_sources().size());
-  for (std::size_t b = 0; b < currents.size(); ++b) {
-    currents[b] = x[n_nodes + b];
-  }
-  return OperatingPoint(std::move(voltages), std::move(currents),
-                        std::move(mosfet_ops));
+  ws.op.assign(x, netlist.node_count(), netlist.voltage_sources().size(),
+               ws.mosfet_ops);
+}
+
+OperatingPoint DcSolver::solve(const Netlist& netlist) const {
+  SimWorkspace ws;
+  solve_into(netlist, ws);
+  return std::move(ws.op);
 }
 
 }  // namespace bmfusion::circuit

@@ -13,12 +13,25 @@
 
 namespace bmfusion::circuit {
 
+struct SimWorkspace;
+
 /// Solved bias point: node voltages, source branch currents, device states.
 class OperatingPoint {
  public:
+  /// Empty point; populated via assign() (workspace path) or the value
+  /// constructor.
+  OperatingPoint() = default;
+
   OperatingPoint(linalg::Vector node_voltages,
                  std::vector<double> source_currents,
                  std::vector<MosfetOp> mosfet_ops);
+
+  /// Overwrites this point from a solved MNA state vector (`x` holds
+  /// `node_count` voltages then `source_count` branch currents), reusing the
+  /// existing storage so repeated solves into one OperatingPoint are
+  /// allocation-free in steady state.
+  void assign(const linalg::Vector& x, std::size_t node_count,
+              std::size_t source_count, const std::vector<MosfetOp>& ops);
 
   /// Voltage of any node id (ground reports 0).
   [[nodiscard]] double voltage(NodeId id) const;
@@ -66,6 +79,22 @@ class DcSolver {
   /// Computes the operating point. Throws NumericError when no continuation
   /// strategy converges.
   [[nodiscard]] OperatingPoint solve(const Netlist& netlist) const;
+
+  /// Workspace variant: solves into `ws.op`, restamping the Newton system
+  /// into `ws`'s preallocated buffers. The state vector and Jacobian are
+  /// hoisted across the whole gmin/source-stepping retry ladder, so repeated
+  /// solves of same-sized netlists are allocation-free and bitwise identical
+  /// to solve(). Throws NumericError when no continuation strategy converges.
+  ///
+  /// `warm_start`, when non-null and matching the unknown count, seeds a
+  /// direct Newton solve at the final gmin before any continuation ladder
+  /// runs. Monte Carlo loops pass the nominal die's solution here: every
+  /// die is a small perturbation of it, so most solves finish in a handful
+  /// of iterations. The warm attempt either converges or is discarded
+  /// whole — on failure the ladder restarts from the netlist's own initial
+  /// guesses, so cold-path results are unchanged.
+  void solve_into(const Netlist& netlist, SimWorkspace& ws,
+                  const linalg::Vector* warm_start = nullptr) const;
 
  private:
   DcSolverConfig config_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/contracts.hpp"
 #include "dsp/fft.hpp"
@@ -39,8 +40,14 @@ std::vector<std::string> FlashAdc::metric_names() const {
 
 FlashAdc::DieVariations FlashAdc::sample_variations(
     stats::Xoshiro256pp& rng) const {
-  const std::size_t segments = std::size_t{1} << design_.bits;
   DieVariations v;
+  sample_variations_into(rng, v);
+  return v;
+}
+
+void FlashAdc::sample_variations_into(stats::Xoshiro256pp& rng,
+                                      DieVariations& v) const {
+  const std::size_t segments = std::size_t{1} << design_.bits;
   v.global = process_.sample_global(rng);
   v.ladder_factors.resize(segments);
   for (std::size_t i = 0; i < segments; ++i) {
@@ -53,10 +60,16 @@ FlashAdc::DieVariations FlashAdc::sample_variations(
   // Comparator bias tracks the NMOS transconductance corner.
   v.bias_factor = v.global.kp_factor_nmos;
   v.cap_factor = process_.sample_capacitor_factor(rng, v.global);
-  return v;
 }
 
 std::vector<double> FlashAdc::thresholds(const DieVariations& v) const {
+  std::vector<double> taps;
+  thresholds_into(v, taps);
+  return taps;
+}
+
+void FlashAdc::thresholds_into(const DieVariations& v,
+                               std::vector<double>& taps) const {
   const std::size_t segments = std::size_t{1} << design_.bits;
   BMFUSION_REQUIRE(v.ladder_factors.size() == segments,
                    "ladder variation size mismatch");
@@ -69,7 +82,7 @@ std::vector<double> FlashAdc::thresholds(const DieVariations& v) const {
   for (const double f : v.ladder_factors) total += f;
   const double span = design_.v_high - design_.v_low;
 
-  std::vector<double> taps(comparator_count());
+  taps.resize(comparator_count());
   double acc = 0.0;
   for (std::size_t i = 0; i < comparator_count(); ++i) {
     acc += v.ladder_factors[i];
@@ -82,11 +95,32 @@ std::vector<double> FlashAdc::thresholds(const DieVariations& v) const {
     }
     taps[i] = tap + v.comparator_offsets[i];
   }
-  return taps;
 }
 
 Vector FlashAdc::measure(const DieVariations& v,
                          stats::Xoshiro256pp* rng) const {
+  SimWorkspace ws;
+  measure_into(v, rng, ws);
+  return std::move(ws.metrics);
+}
+
+namespace {
+
+/// Per-workspace capture scratch (see SimWorkspace::cache_as): the sorted
+/// thresholds and reconstructed waveform reach their full size on the first
+/// sample and are reused verbatim afterwards.
+struct AdcScratch {
+  FlashAdc::DieVariations v;   ///< draw target for the workspace sample path
+  std::vector<double> sorted;  ///< sorted effective thresholds
+  std::vector<double> wave;    ///< reconstructed capture waveform
+};
+
+}  // namespace
+
+void FlashAdc::measure_into(const DieVariations& v, stats::Xoshiro256pp* rng,
+                            SimWorkspace& ws) const {
+  AdcScratch& scratch =
+      ws.cache_as<AdcScratch>(this, [] { return AdcScratch{}; });
   const std::size_t n = design_.capture_points;
   const double fin =
       dsp::coherent_frequency(design_.sample_rate, n, design_.input_ratio);
@@ -101,10 +135,12 @@ Vector FlashAdc::measure(const DieVariations& v,
   // Sorted effective thresholds: the output code of a ones-counting
   // (bubble-tolerant) thermometer encoder equals the number of thresholds
   // below the input, which is exactly a binary search in the sorted list.
-  std::vector<double> sorted = thresholds(v);
+  std::vector<double>& sorted = scratch.sorted;
+  thresholds_into(v, sorted);
   std::sort(sorted.begin(), sorted.end());
 
-  std::vector<double> wave(n);
+  std::vector<double>& wave = scratch.wave;
+  wave.resize(n);
   const double lsb =
       (design_.v_high - design_.v_low) /
       static_cast<double>(std::size_t{1} << design_.bits);
@@ -143,13 +179,12 @@ Vector FlashAdc::measure(const DieVariations& v,
   const double p_dyn = csw * v.cap_factor * design_.vdd * design_.vdd *
                        design_.sample_rate;
 
-  Vector metrics(5);
-  metrics[0] = tone.snr_db;
-  metrics[1] = tone.sinad_db;
-  metrics[2] = tone.sfdr_db;
-  metrics[3] = tone.thd_db;
-  metrics[4] = p_ladder + p_bias + p_dyn;
-  return metrics;
+  ws.metrics.resize(5);
+  ws.metrics[0] = tone.snr_db;
+  ws.metrics[1] = tone.sinad_db;
+  ws.metrics[2] = tone.sfdr_db;
+  ws.metrics[3] = tone.thd_db;
+  ws.metrics[4] = p_ladder + p_bias + p_dyn;
 }
 
 std::vector<int> FlashAdc::capture_codes(const DieVariations& v,
@@ -204,6 +239,15 @@ Vector FlashAdc::nominal_metrics() const {
 Vector FlashAdc::sample_metrics(stats::Xoshiro256pp& rng) const {
   const DieVariations v = sample_variations(rng);
   return measure(v, &rng);
+}
+
+const Vector& FlashAdc::sample_metrics(stats::Xoshiro256pp& rng,
+                                       SimWorkspace& ws) const {
+  AdcScratch& scratch =
+      ws.cache_as<AdcScratch>(this, [] { return AdcScratch{}; });
+  sample_variations_into(rng, scratch.v);
+  measure_into(scratch.v, &rng, ws);
+  return ws.metrics;
 }
 
 }  // namespace bmfusion::circuit

@@ -78,6 +78,13 @@ class FlashAdc final : public Testbench {
   [[nodiscard]] linalg::Vector sample_metrics(
       stats::Xoshiro256pp& rng) const override;
 
+  /// Buffer-reusing draw: the variation vectors, sorted thresholds and the
+  /// capture waveform live in `ws`'s cached scratch, so the per-sample heap
+  /// traffic reduces to the FFT workspace inside the tone analysis. Bitwise
+  /// identical to the allocating overload.
+  [[nodiscard]] const linalg::Vector& sample_metrics(
+      stats::Xoshiro256pp& rng, SimWorkspace& ws) const override;
+
   [[nodiscard]] std::size_t comparator_count() const {
     return (std::size_t{1} << design_.bits) - 1;
   }
@@ -95,14 +102,30 @@ class FlashAdc final : public Testbench {
   [[nodiscard]] DieVariations sample_variations(
       stats::Xoshiro256pp& rng) const;
 
+  /// Draws one die's variations into `v`, reusing its vector storage (same
+  /// draw order and values as sample_variations).
+  void sample_variations_into(stats::Xoshiro256pp& rng,
+                              DieVariations& v) const;
+
   /// Effective comparator thresholds (ladder taps + offsets) for a die.
   [[nodiscard]] std::vector<double> thresholds(
       const DieVariations& variations) const;
+
+  /// Workspace variant of thresholds(): fills `taps` (resized, capacity
+  /// reused).
+  void thresholds_into(const DieVariations& variations,
+                       std::vector<double>& taps) const;
 
   /// Simulates one die. When `rng` is null the capture is noise-free (used
   /// for the nominal run).
   [[nodiscard]] linalg::Vector measure(const DieVariations& variations,
                                        stats::Xoshiro256pp* rng) const;
+
+  /// Workspace variant of measure(): the sorted-threshold and waveform
+  /// buffers come from `ws`'s cached scratch and the result lands in
+  /// `ws.metrics`. Bitwise identical to measure().
+  void measure_into(const DieVariations& variations, stats::Xoshiro256pp* rng,
+                    SimWorkspace& ws) const;
 
   /// Raw output codes for a sine capture at an arbitrary amplitude (as a
   /// fraction of half the ladder span; > 1 clips, as the code-density

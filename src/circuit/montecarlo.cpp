@@ -1,5 +1,7 @@
 #include "circuit/montecarlo.hpp"
 
+#include <algorithm>
+
 #include "common/contracts.hpp"
 #include "common/parallel.hpp"
 
@@ -8,13 +10,31 @@ namespace bmfusion::circuit {
 using linalg::Matrix;
 using linalg::Vector;
 
+namespace {
+
+/// Samples per streaming accumulation block. Fixed (independent of thread
+/// count) so the block partition — and therefore every intermediate sum —
+/// is identical for any `threads` setting.
+constexpr std::size_t kStatsBlock = 64;
+
+/// Number of parallel work chunks for `count` items: one per thread, capped
+/// by the item count. Each chunk owns one SimWorkspace for its whole range,
+/// so the per-run workspace cost is O(threads), not O(samples).
+std::size_t chunk_count(std::size_t count, std::size_t threads) {
+  const std::size_t t = threads == 0 ? default_thread_count() : threads;
+  return std::min(std::max<std::size_t>(t, 1), count);
+}
+
+}  // namespace
+
 stats::Xoshiro256pp sample_rng(std::uint64_t seed, std::size_t index) {
   // Mix the run seed and the sample index through SplitMix64 so per-sample
-  // streams are decorrelated even for adjacent indices.
+  // streams are decorrelated even for adjacent indices; all 256 bits of
+  // xoshiro state come from four distinct draws of the mixed stream.
   stats::SplitMix64 mixer(seed ^ (0xA5A5A5A55A5A5A5AULL +
                                   static_cast<std::uint64_t>(index) *
                                       0x9E3779B97F4A7C15ULL));
-  return stats::Xoshiro256pp(mixer.next());
+  return stats::Xoshiro256pp(mixer);
 }
 
 void MonteCarloConfig::validate() const {
@@ -26,22 +46,81 @@ Dataset run_monte_carlo(const Testbench& bench,
   config.validate();
   const std::vector<std::string> names = bench.metric_names();
   BMFUSION_REQUIRE(!names.empty(), "testbench reports no metrics");
+  const std::size_t d = names.size();
+  const std::size_t count = config.sample_count;
 
-  Matrix samples(config.sample_count, names.size());
+  Matrix samples(count, d);
+  // One workspace per chunk: chunk c owns rows [c*span, (c+1)*span) and its
+  // buffers reach steady state after the first sample, so the remainder of
+  // the chunk runs allocation-free. Per-sample RNGs are derived from
+  // (seed, index), making rows independent of the chunking.
+  const std::size_t n_chunks = chunk_count(count, config.threads);
+  const std::size_t span = (count + n_chunks - 1) / n_chunks;
+  std::vector<SimWorkspace> workspaces(n_chunks);
   parallel_for(
-      config.sample_count,
-      [&](std::size_t i) {
-        stats::Xoshiro256pp rng = sample_rng(config.seed, i);
-        const Vector metrics = bench.sample_metrics(rng);
-        BMFUSION_REQUIRE(metrics.size() == names.size(),
-                         "testbench metric count mismatch");
-        // Rows are disjoint across workers; no synchronization needed.
-        for (std::size_t j = 0; j < metrics.size(); ++j) {
-          samples(i, j) = metrics[j];
+      n_chunks,
+      [&](std::size_t c) {
+        SimWorkspace& ws = workspaces[c];
+        const std::size_t end = std::min(count, (c + 1) * span);
+        for (std::size_t i = c * span; i < end; ++i) {
+          stats::Xoshiro256pp rng = sample_rng(config.seed, i);
+          const Vector& metrics = bench.sample_metrics(rng, ws);
+          BMFUSION_REQUIRE(metrics.size() == d,
+                           "testbench metric count mismatch");
+          // Rows are disjoint across workers; no synchronization needed.
+          double* const row = samples.row_data(i);
+          const double* const src = metrics.data();
+          for (std::size_t j = 0; j < d; ++j) row[j] = src[j];
         }
       },
       config.threads);
   return Dataset(names, std::move(samples));
+}
+
+stats::SufficientStats run_monte_carlo_stats(const Testbench& bench,
+                                             const MonteCarloConfig& config) {
+  config.validate();
+  const std::vector<std::string> names = bench.metric_names();
+  BMFUSION_REQUIRE(!names.empty(), "testbench reports no metrics");
+  const std::size_t d = names.size();
+  const std::size_t count = config.sample_count;
+
+  // Samples accumulate into fixed kStatsBlock-sized blocks in index order.
+  // The block partition depends only on `count`, so each block's sums are
+  // bitwise identical regardless of how blocks are spread over threads.
+  const std::size_t n_blocks = (count + kStatsBlock - 1) / kStatsBlock;
+  std::vector<stats::SufficientStats> blocks(n_blocks,
+                                             stats::SufficientStats(d));
+  const std::size_t n_chunks = chunk_count(n_blocks, config.threads);
+  const std::size_t span = (n_blocks + n_chunks - 1) / n_chunks;
+  std::vector<SimWorkspace> workspaces(n_chunks);
+  parallel_for(
+      n_chunks,
+      [&](std::size_t c) {
+        SimWorkspace& ws = workspaces[c];
+        const std::size_t block_end = std::min(n_blocks, (c + 1) * span);
+        for (std::size_t b = c * span; b < block_end; ++b) {
+          stats::SufficientStats& acc = blocks[b];
+          const std::size_t end = std::min(count, (b + 1) * kStatsBlock);
+          for (std::size_t i = b * kStatsBlock; i < end; ++i) {
+            stats::Xoshiro256pp rng = sample_rng(config.seed, i);
+            const Vector& metrics = bench.sample_metrics(rng, ws);
+            BMFUSION_REQUIRE(metrics.size() == d,
+                             "testbench metric count mismatch");
+            acc.add(metrics);
+          }
+        }
+      },
+      config.threads);
+
+  // Deterministic pairwise tree reduction over the block accumulators: the
+  // combination order is a pure function of n_blocks.
+  for (std::size_t width = 1; width < n_blocks; width *= 2) {
+    for (std::size_t k = 0; k + width < n_blocks; k += 2 * width) {
+      blocks[k] += blocks[k + width];
+    }
+  }
+  return blocks.front();
 }
 
 }  // namespace bmfusion::circuit

@@ -9,8 +9,10 @@
 #include <vector>
 
 #include "circuit/dataset.hpp"
+#include "circuit/workspace.hpp"
 #include "linalg/vector.hpp"
 #include "stats/rng.hpp"
+#include "stats/sufficient_stats.hpp"
 
 namespace bmfusion::circuit {
 
@@ -30,6 +32,18 @@ class Testbench {
   /// the die and returns its metrics.
   [[nodiscard]] virtual linalg::Vector sample_metrics(
       stats::Xoshiro256pp& rng) const = 0;
+
+  /// Workspace draw: like sample_metrics(rng) but simulates into `ws`'s
+  /// preallocated buffers and returns `ws.metrics` by reference. Benches
+  /// that override this must produce bitwise-identical values to the
+  /// allocating overload for the same RNG state; the Monte Carlo driver
+  /// relies on that equivalence. The default forwards to the allocating
+  /// path, so benches without a tuned hot path stay correct.
+  [[nodiscard]] virtual const linalg::Vector& sample_metrics(
+      stats::Xoshiro256pp& rng, SimWorkspace& ws) const {
+    ws.metrics = sample_metrics(rng);
+    return ws.metrics;
+  }
 };
 
 struct MonteCarloConfig {
@@ -58,8 +72,17 @@ struct MonteCarloConfig {
 [[nodiscard]] Dataset run_monte_carlo(const Testbench& bench,
                                       const MonteCarloConfig& config);
 
+/// Streaming variant for callers that only need the first two moments: the
+/// N x d sample matrix is never materialized. Samples accumulate into
+/// fixed-size blocks (block boundaries depend only on the sample count, not
+/// the thread count) that are combined by a deterministic pairwise tree
+/// reduction, so the result is bitwise identical for any `config.threads`.
+[[nodiscard]] stats::SufficientStats run_monte_carlo_stats(
+    const Testbench& bench, const MonteCarloConfig& config);
+
 /// RNG for sample `index` of run `seed` (exposed so tests can reproduce a
-/// single sample without running the whole sweep).
+/// single sample without running the whole sweep). The full 256-bit xoshiro
+/// state is seeded from four SplitMix64 draws of the (seed, index) mix.
 [[nodiscard]] stats::Xoshiro256pp sample_rng(std::uint64_t seed,
                                              std::size_t index);
 

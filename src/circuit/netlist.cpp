@@ -94,6 +94,27 @@ void Netlist::set_voltage_source_dc(std::size_t index, double dc) {
   voltage_sources_[index].dc = dc;
 }
 
+void Netlist::set_resistance(std::size_t index, double resistance) {
+  BMFUSION_REQUIRE(index < resistors_.size(), "resistor index out of range");
+  BMFUSION_REQUIRE(resistance > 0.0, "resistance must be positive: " +
+                                         resistors_[index].name);
+  resistors_[index].resistance = resistance;
+}
+
+void Netlist::set_capacitance(std::size_t index, double capacitance) {
+  BMFUSION_REQUIRE(index < capacitors_.size(),
+                   "capacitor index out of range");
+  BMFUSION_REQUIRE(capacitance >= 0.0, "capacitance must be non-negative: " +
+                                           capacitors_[index].name);
+  capacitors_[index].capacitance = capacitance;
+}
+
+void Netlist::set_mosfet_variation(std::size_t index,
+                                   const MosfetVariation& v) {
+  BMFUSION_REQUIRE(index < mosfets_.size(), "mosfet index out of range");
+  mosfets_[index].variation = v;
+}
+
 void Netlist::set_initial_guess(NodeId node_id, double voltage) {
   check_node(node_id);
   if (node_id == kGround) return;

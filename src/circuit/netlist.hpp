@@ -111,6 +111,16 @@ class Netlist {
   /// sweeps); `index` is the order of addition.
   void set_voltage_source_dc(std::size_t index, double dc);
 
+  /// Element value mutators for Monte Carlo reuse: a testbench builds its
+  /// topology once and rewrites only the varying values per die, instead of
+  /// reconstructing the netlist (names, node maps) for every sample.
+  /// Indices are the order of addition; values must be positive.
+  void set_resistance(std::size_t index, double resistance);
+  void set_capacitance(std::size_t index, double capacitance);
+
+  /// Replaces the process variation of mosfet `index` (order of addition).
+  void set_mosfet_variation(std::size_t index, const MosfetVariation& v);
+
   [[nodiscard]] const std::vector<Resistor>& resistors() const {
     return resistors_;
   }

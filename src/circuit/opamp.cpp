@@ -36,6 +36,13 @@ TwoStageOpAmp::TwoStageOpAmp(DesignStage stage, ProcessModel process,
   BMFUSION_REQUIRE(design_.vdd > 0.0, "supply must be positive");
   BMFUSION_REQUIRE(design_.vcm > 0.0 && design_.vcm < design_.vdd,
                    "common mode must lie inside the supply range");
+  freqs_ = log_frequency_grid(design_.f_start, design_.f_stop,
+                              design_.points_per_decade);
+  // Solve the nominal die once (full continuation ladder) and keep its state
+  // vector as the warm start for every Monte Carlo die.
+  SimWorkspace ws;
+  solver_.solve_into(build_netlist(DieVariations{}), ws);
+  warm_state_ = ws.state;
 }
 
 std::vector<std::string> TwoStageOpAmp::metric_names() const {
@@ -169,8 +176,9 @@ Netlist TwoStageOpAmp::build_netlist(const DieVariations& v) const {
 
 Vector TwoStageOpAmp::measure(const DieVariations& variations) const {
   const Netlist net = build_netlist(variations);
-  const DcSolver solver;
-  const OperatingPoint op = solver.solve(net);
+  SimWorkspace dc_ws;
+  solver_.solve_into(net, dc_ws, &warm_state_);
+  const OperatingPoint& op = dc_ws.op;
 
   const NodeId out = net.find_node("out");
   // VDD is voltage source 0; power it delivers is -V * I_branch.
@@ -178,10 +186,8 @@ Vector TwoStageOpAmp::measure(const DieVariations& variations) const {
   const double offset = op.voltage(out) - design_.vcm;
 
   const AcAnalysis ac(net, op);
-  const std::vector<double> freqs = log_frequency_grid(
-      design_.f_start, design_.f_stop, design_.points_per_decade);
-  const std::vector<linalg::Complex> h = ac.sweep(freqs, out);
-  const AmplifierAcMetrics m = measure_amplifier(freqs, h);
+  const std::vector<linalg::Complex> h = ac.sweep(freqs_, out);
+  const AmplifierAcMetrics m = measure_amplifier(freqs_, h);
   if (!m.unity_crossing_found) {
     throw NumericError("op-amp: unity-gain crossing not found in sweep");
   }
@@ -195,12 +201,113 @@ Vector TwoStageOpAmp::measure(const DieVariations& variations) const {
   return metrics;
 }
 
+namespace {
+
+/// Per-workspace measurement fixture: the netlist topology is built once and
+/// only the per-die element values are rewritten between samples. Indices of
+/// the varying elements are resolved by name when the cache is built, so the
+/// rewrite loop never searches.
+struct OpAmpNetCache {
+  Netlist net;
+  NodeId out = kGround;
+  std::size_t rb = 0;  ///< RB resistor index
+  std::size_t cc = 0;  ///< CC capacitor index
+  std::size_t cl = 0;  ///< CL capacitor index
+  /// Post-layout parasitic capacitors as (element index, base value); the
+  /// per-die value is base * cap_factor, matching build_netlist exactly.
+  std::vector<std::pair<std::size_t, double>> parasitic_caps;
+  std::size_t mosfet_of_device[8] = {};  ///< element index of M1..M8
+};
+
+}  // namespace
+
+void TwoStageOpAmp::measure_into(const DieVariations& variations,
+                                 SimWorkspace& ws) const {
+  const bool post = stage_ == DesignStage::kPostLayout;
+  OpAmpNetCache& cache = ws.cache_as<OpAmpNetCache>(this, [&] {
+    OpAmpNetCache c;
+    c.net = build_netlist(variations);
+    c.out = c.net.find_node("out");
+    const auto& resistors = c.net.resistors();
+    for (std::size_t i = 0; i < resistors.size(); ++i) {
+      if (resistors[i].name == "RB") c.rb = i;
+    }
+    const auto& capacitors = c.net.capacitors();
+    for (std::size_t i = 0; i < capacitors.size(); ++i) {
+      const std::string& name = capacitors[i].name;
+      if (name == "CC") {
+        c.cc = i;
+      } else if (name == "CL") {
+        c.cl = i;
+      } else if (name.size() > 2 && name[1] == 'P') {
+        const double base = name == "CPA"   ? parasitics_.c_node_a
+                            : name == "CPO" ? parasitics_.c_out
+                            : name == "CPT" ? parasitics_.c_tail
+                            : name == "CPB" ? parasitics_.c_bias
+                                            : parasitics_.c_gate_in;
+        c.parasitic_caps.emplace_back(i, base);
+      }
+    }
+    const auto& mosfets = c.net.mosfets();
+    BMFUSION_REQUIRE(mosfets.size() == 8,
+                     "op-amp netlist must contain eight devices");
+    for (std::size_t i = 0; i < mosfets.size(); ++i) {
+      const auto device =
+          static_cast<std::size_t>(mosfets[i].name[1] - '1');
+      BMFUSION_REQUIRE(device < 8, "unexpected op-amp device name");
+      c.mosfet_of_device[device] = i;
+    }
+    return c;
+  });
+
+  // Rewrite only the values that depend on this die; the topology, device
+  // geometry and fixture elements never change between samples.
+  Netlist& net = cache.net;
+  net.set_resistance(cache.rb, design_.r_bias * variations.r_bias_factor);
+  const double cc = design_.cc + (post ? parasitics_.cc_routing : 0.0);
+  net.set_capacitance(cache.cc, cc * variations.cap_factor);
+  net.set_capacitance(cache.cl, design_.cl * variations.cap_factor);
+  for (const auto& [index, base] : cache.parasitic_caps) {
+    net.set_capacitance(index, base * variations.cap_factor);
+  }
+  for (std::size_t k = 0; k < 8; ++k) {
+    net.set_mosfet_variation(cache.mosfet_of_device[k],
+                             variations.devices[k]);
+  }
+
+  solver_.solve_into(net, ws, &warm_state_);
+  const double power = -design_.vdd * ws.op.source_current(0);
+  const double offset = ws.op.voltage(cache.out) - design_.vcm;
+
+  ws.ac.bind(net, ws.op);
+  ws.ac.sweep_into(freqs_, cache.out, ws.ac_system, ws.ac_lu, ws.ac_solution,
+                   ws.response);
+  const AmplifierAcMetrics m =
+      measure_amplifier(freqs_, ws.response, ws.phase);
+  if (!m.unity_crossing_found) {
+    throw NumericError("op-amp: unity-gain crossing not found in sweep");
+  }
+
+  ws.metrics.resize(5);
+  ws.metrics[0] = m.dc_gain_db;
+  ws.metrics[1] = m.f3db_hz;
+  ws.metrics[2] = power;
+  ws.metrics[3] = offset;
+  ws.metrics[4] = m.phase_margin_deg;
+}
+
 Vector TwoStageOpAmp::nominal_metrics() const {
   return measure(DieVariations{});
 }
 
 Vector TwoStageOpAmp::sample_metrics(stats::Xoshiro256pp& rng) const {
   return measure(sample_variations(rng));
+}
+
+const Vector& TwoStageOpAmp::sample_metrics(stats::Xoshiro256pp& rng,
+                                            SimWorkspace& ws) const {
+  measure_into(sample_variations(rng), ws);
+  return ws.metrics;
 }
 
 }  // namespace bmfusion::circuit

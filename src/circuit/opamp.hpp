@@ -104,6 +104,13 @@ class TwoStageOpAmp final : public Testbench {
   [[nodiscard]] linalg::Vector sample_metrics(
       stats::Xoshiro256pp& rng) const override;
 
+  /// Zero-allocation draw: the measurement netlist is built once per
+  /// workspace and only its per-die element values are rewritten, the DC
+  /// solve and AC sweep run in `ws`'s buffers, and the result lands in
+  /// `ws.metrics`. Bitwise identical to the allocating overload.
+  [[nodiscard]] const linalg::Vector& sample_metrics(
+      stats::Xoshiro256pp& rng, SimWorkspace& ws) const override;
+
   [[nodiscard]] DesignStage stage() const { return stage_; }
   [[nodiscard]] const OpAmpDesign& design() const { return design_; }
 
@@ -125,12 +132,21 @@ class TwoStageOpAmp final : public Testbench {
   /// Simulates one already-drawn die (used by nominal_metrics and tests).
   [[nodiscard]] linalg::Vector measure(const DieVariations& variations) const;
 
+  /// Workspace variant of measure(): fills `ws.metrics`.
+  void measure_into(const DieVariations& variations, SimWorkspace& ws) const;
+
  private:
   DesignStage stage_;
   ProcessModel process_;
   OpAmpDesign design_;
   OpAmpParasitics parasitics_;
   OpAmpModels models_;
+  DcSolver solver_;                ///< shared (stateless) DC solver
+  std::vector<double> freqs_;      ///< AC sweep grid, computed once
+  /// Nominal die's DC solution, computed once at construction and used to
+  /// warm-start every Monte Carlo solve (both the allocating and the
+  /// workspace measurement paths, keeping them bitwise identical).
+  linalg::Vector warm_state_;
 };
 
 }  // namespace bmfusion::circuit

@@ -1,0 +1,20 @@
+// Test-only heap allocation counter.
+//
+// Linking the `bmfusion_alloc_hook` library (and referencing
+// allocation_count(), which forces the linker to pull in its translation
+// unit) replaces the global operator new/delete with counting wrappers.
+// Benchmarks and tests read the counter before/after a region to assert
+// "zero allocations per steady-state sample"; the hook costs one relaxed
+// atomic increment per allocation, so it must never be linked into
+// production binaries. Without the hook library, this header must not be
+// used — allocation_count() would be an undefined symbol.
+#pragma once
+
+#include <cstdint>
+
+namespace bmfusion::common {
+
+/// Number of global operator-new calls (any thread) since process start.
+[[nodiscard]] std::uint64_t allocation_count() noexcept;
+
+}  // namespace bmfusion::common

@@ -4,6 +4,7 @@
 #include "linalg/cholesky.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/vector.hpp"
+#include "stats/sufficient_stats.hpp"
 
 namespace bmfusion::core {
 
@@ -27,55 +28,11 @@ struct GaussianMoments {
 
 /// Additive sufficient statistics (n, sum x, sum x x^T) of a sample set.
 ///
-/// Everything the conjugate normal-Wishart machinery needs from data —
-/// sample mean, scatter matrix, likelihood scores — is a function of these
-/// three quantities, and they combine by plain addition/subtraction. The
-/// cross-validation engine exploits this: each fold's statistics are
-/// computed once, and every leave-one-fold-out training set is formed by
-/// subtracting the fold from the totals instead of re-scanning raw samples.
-class SufficientStats {
- public:
-  SufficientStats() = default;
-  explicit SufficientStats(std::size_t dimension);
-
-  /// Accumulates the rows of `samples` (one pass).
-  [[nodiscard]] static SufficientStats from_samples(
-      const linalg::Matrix& samples);
-
-  /// Folds one sample in; size must match dimension().
-  void add(const linalg::Vector& sample);
-
-  /// Set union / set difference of the underlying sample sets. Subtraction
-  /// requires `other` to be a subset (count() >= other.count()).
-  SufficientStats& operator+=(const SufficientStats& other);
-  SufficientStats& operator-=(const SufficientStats& other);
-  [[nodiscard]] friend SufficientStats operator+(SufficientStats a,
-                                                 const SufficientStats& b) {
-    a += b;
-    return a;
-  }
-  [[nodiscard]] friend SufficientStats operator-(SufficientStats a,
-                                                 const SufficientStats& b) {
-    a -= b;
-    return a;
-  }
-
-  [[nodiscard]] std::size_t dimension() const { return sum_.size(); }
-  [[nodiscard]] std::size_t count() const { return count_; }
-  [[nodiscard]] const linalg::Vector& sum() const { return sum_; }
-
-  /// Sample mean (paper eq. 10); requires count() >= 1.
-  [[nodiscard]] linalg::Vector mean() const;
-
-  /// Scatter matrix S = sum_i (X_i - Xbar)(X_i - Xbar)^T (paper eq. 26),
-  /// symmetrized; requires count() >= 1.
-  [[nodiscard]] linalg::Matrix scatter() const;
-
- private:
-  std::size_t count_ = 0;
-  linalg::Vector sum_;
-  linalg::Matrix sum_outer_;  ///< uncentered second moment sum x x^T
-};
+/// The implementation lives in the stats layer (stats::SufficientStats) so
+/// the circuit Monte Carlo driver can stream into the same accumulator the
+/// cross-validation engine consumes; this alias preserves the historical
+/// core-namespace spelling.
+using SufficientStats = stats::SufficientStats;
 
 /// Gaussian log-likelihood of the rows of `samples` under `moments` — the
 /// log of the paper's likelihood function eq. (9). Used as the

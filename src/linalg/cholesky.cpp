@@ -15,7 +15,7 @@ double CholeskyJitter::scale_at(std::size_t k) const {
 bool Cholesky::factor_into(const Matrix& a, Matrix& l, std::size_t* bad_index,
                            double* bad_value) {
   const std::size_t n = a.rows();
-  l = Matrix(n, n);
+  l.assign_zero(n, n);
   for (std::size_t j = 0; j < n; ++j) {
     double diag = a(j, j);
     for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
@@ -35,10 +35,11 @@ bool Cholesky::factor_into(const Matrix& a, Matrix& l, std::size_t* bad_index,
   return true;
 }
 
-Cholesky::Cholesky(const Matrix& a) {
+void Cholesky::factor(const Matrix& a) {
   BMFUSION_REQUIRE(a.is_square(), "cholesky requires a square matrix");
   BMFUSION_REQUIRE(a.is_symmetric(1e-9),
                    "cholesky requires a symmetric matrix");
+  jitter_ = 0.0;
   std::size_t bad_index = 0;
   double bad_value = 0.0;
   if (!factor_into(a, l_, &bad_index, &bad_value)) {
@@ -49,6 +50,28 @@ Cholesky::Cholesky(const Matrix& a) {
             .with_dimension(a.rows())
             .with_index(bad_index)
             .with_value(bad_value));
+  }
+}
+
+void Cholesky::solve_into(const Vector& b, Vector& x) const {
+  BMFUSION_REQUIRE(b.size() == dimension(), "rhs size mismatch");
+  const std::size_t n = dimension();
+  x.resize(n);
+  const double* const rhs = b.data();
+  double* const out = x.data();
+  // Forward substitution (L y = b) directly into the solution buffer, then
+  // backward substitution (L^T x = y) in place: each pass only reads entries
+  // it has already finalized plus the current one before overwriting it.
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = rhs[i];
+    const double* const row_i = l_.row_data(i);
+    for (std::size_t k = 0; k < i; ++k) acc -= row_i[k] * out[k];
+    out[i] = acc / row_i[i];
+  }
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = out[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) acc -= l_(k, ii) * out[k];
+    out[ii] = acc / l_(ii, ii);
   }
 }
 

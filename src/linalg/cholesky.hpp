@@ -45,10 +45,18 @@ struct CholeskyJitter {
 /// graceful-degradation path on near-singular input.
 class Cholesky {
  public:
+  /// Unfactored workspace; call factor(a) before any query. Supports the
+  /// same storage-reuse pattern as Lu/ComplexLu for allocation-free loops.
+  Cholesky() = default;
+
   /// Factors the SPD matrix `a`. Throws ContractError when `a` is not square
   /// or not symmetric; NumericError (with the failing pivot in its context)
   /// when a pivot is non-positive.
-  explicit Cholesky(const Matrix& a);
+  explicit Cholesky(const Matrix& a) { factor(a); }
+
+  /// Re-factors `a` into this object's existing storage (same contract as
+  /// the constructor); clears any previously recorded jitter.
+  void factor(const Matrix& a);
 
   /// Factors `a`, retrying with an escalating diagonal ridge per `policy`
   /// when the clean attempt fails. The clean attempt is bit-identical to
@@ -74,6 +82,11 @@ class Cholesky {
 
   /// Solves A x = b.
   [[nodiscard]] Vector solve(const Vector& b) const;
+
+  /// Solves A x = b into `x` (resized, capacity reused) with no heap
+  /// allocation in steady state. `b` and `x` may alias element storage but
+  /// must be distinct objects.
+  void solve_into(const Vector& b, Vector& x) const;
 
   /// Solves A X = B column-by-column.
   [[nodiscard]] Matrix solve(const Matrix& b) const;
@@ -104,7 +117,6 @@ class Cholesky {
   [[nodiscard]] double trace_of_solve(const Matrix& b) const;
 
  private:
-  Cholesky() = default;
   /// Returns true on success; on failure reports the offending pivot.
   [[nodiscard]] static bool factor_into(const Matrix& a, Matrix& l,
                                         std::size_t* bad_index = nullptr,

@@ -1,11 +1,32 @@
 #include "linalg/complex_lu.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 
 #include "common/contracts.hpp"
 
 namespace bmfusion::linalg {
+
+namespace {
+
+/// Smith's complex division, inlined so the elimination and substitution
+/// loops stay free of the __divdc3 libcall. Matches libgcc's algorithm for
+/// the well-scaled operands the solvers produce; extreme-magnitude rescue
+/// scaling is omitted because the factor guards the pivot magnitude and
+/// callers validate finiteness of the results.
+inline Complex complex_div(double ar, double ai, double br, double bi) {
+  if (std::fabs(br) >= std::fabs(bi)) {
+    const double r = bi / br;
+    const double den = br + bi * r;
+    return Complex{(ar + ai * r) / den, (ai - ar * r) / den};
+  }
+  const double r = br / bi;
+  const double den = bi + br * r;
+  return Complex{(ar * r + ai) / den, (ai * r - ar) / den};
+}
+
+}  // namespace
 
 Complex& ComplexVector::operator[](std::size_t i) {
   BMFUSION_REQUIRE(i < data_.size(), "complex vector index out of range");
@@ -48,8 +69,9 @@ Complex ComplexMatrix::operator()(std::size_t r, std::size_t c) const {
   return data_[r * cols_ + c];
 }
 
-ComplexLu::ComplexLu(const ComplexMatrix& a) : lu_(a) {
+void ComplexLu::factor(const ComplexMatrix& a) {
   BMFUSION_REQUIRE(a.rows() == a.cols(), "complex lu requires square matrix");
+  lu_ = a;  // copy-assign reuses the existing heap block when it fits
   const std::size_t n = a.rows();
   perm_.resize(n);
   std::iota(perm_.begin(), perm_.end(), std::size_t{0});
@@ -60,48 +82,104 @@ ComplexLu::ComplexLu(const ComplexMatrix& a) : lu_(a) {
   // callers validate finiteness of the results.
   constexpr double singular_floor = 1e-250;
 
+  // The elimination below spells complex multiplication out in real/imag
+  // components: the operands come straight off the solver hot path and are
+  // finite by construction, so routing every product through the
+  // NaN-recovering libcall (__muldc3) would only cost time. Pivoting
+  // compares squared magnitudes for the same reason (no cabs/hypot); the
+  // square underflows for |z| < ~1e-154, far below any conductance stamp,
+  // and the singular floor itself is checked on the true magnitude.
+  Complex* const lu = lu_.data();
   for (std::size_t k = 0; k < n; ++k) {
     std::size_t pivot_row = k;
-    double pivot_mag = std::abs(lu_(k, k));
+    const auto mag2 = [&](const Complex& z) {
+      return z.real() * z.real() + z.imag() * z.imag();
+    };
+    double pivot_mag2 = mag2(lu[k * n + k]);
     for (std::size_t i = k + 1; i < n; ++i) {
-      const double mag = std::abs(lu_(i, k));
-      if (mag > pivot_mag) {
-        pivot_mag = mag;
+      const double m2 = mag2(lu[i * n + k]);
+      if (m2 > pivot_mag2) {
+        pivot_mag2 = m2;
         pivot_row = i;
       }
     }
+    const double pivot_mag = std::abs(lu[pivot_row * n + k]);
     if (pivot_mag < singular_floor || !std::isfinite(pivot_mag)) {
       throw NumericError("complex lu: matrix is numerically singular");
     }
     if (pivot_row != k) {
-      for (std::size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(pivot_row, c));
+      std::swap_ranges(lu + k * n, lu + k * n + n, lu + pivot_row * n);
       std::swap(perm_[k], perm_[pivot_row]);
     }
-    const Complex pivot = lu_(k, k);
+    // One stable reciprocal per column, then multiplier rows by product —
+    // the dense-LAPACK trade of one extra rounding for n/2 fewer divisions.
+    const Complex inv_pivot =
+        complex_div(1.0, 0.0, lu[k * n + k].real(), lu[k * n + k].imag());
+    const double pr = inv_pivot.real();
+    const double pi = inv_pivot.imag();
+    const Complex* const row_k = lu + k * n;
     for (std::size_t i = k + 1; i < n; ++i) {
-      const Complex factor = lu_(i, k) / pivot;
-      lu_(i, k) = factor;
-      if (factor == Complex{}) continue;
-      for (std::size_t c = k + 1; c < n; ++c) lu_(i, c) -= factor * lu_(k, c);
+      Complex* const row_i = lu + i * n;
+      const double er = row_i[k].real();
+      const double ei = row_i[k].imag();
+      const double fr = er * pr - ei * pi;
+      const double fi = er * pi + ei * pr;
+      row_i[k] = Complex{fr, fi};
+      if (fr == 0.0 && fi == 0.0) continue;
+      for (std::size_t c = k + 1; c < n; ++c) {
+        const double ar = row_k[c].real();
+        const double ai = row_k[c].imag();
+        row_i[c] -= Complex{fr * ar - fi * ai, fr * ai + fi * ar};
+      }
     }
   }
 }
 
-ComplexVector ComplexLu::solve(const ComplexVector& b) const {
+void ComplexLu::solve_into(const ComplexVector& b, ComplexVector& x) const {
+  BMFUSION_REQUIRE(&b != &x, "solve_into needs distinct rhs and solution");
   BMFUSION_REQUIRE(b.size() == dimension(), "rhs size mismatch");
   const std::size_t n = dimension();
-  ComplexVector y(n);
+  x.assign_zero(n);
+  const Complex* const lu = lu_.data();
+  const Complex* const rhs = b.data();
+  Complex* const out = x.data();
+  // Forward substitution stores y in the solution buffer; the backward pass
+  // reads only already-finalized entries plus y[ii] before overwriting it.
+  // Products are spelled out in components for the same reason as in
+  // factor(): the operands are finite, so the __muldc3 libcall is pure cost.
   for (std::size_t i = 0; i < n; ++i) {
-    Complex acc = b[perm_[i]];
-    for (std::size_t k = 0; k < i; ++k) acc -= lu_(i, k) * y[k];
-    y[i] = acc;
+    const Complex* const row_i = lu + i * n;
+    double ar = rhs[perm_[i]].real();
+    double ai = rhs[perm_[i]].imag();
+    for (std::size_t k = 0; k < i; ++k) {
+      const double lr = row_i[k].real();
+      const double li = row_i[k].imag();
+      const double xr = out[k].real();
+      const double xi = out[k].imag();
+      ar -= lr * xr - li * xi;
+      ai -= lr * xi + li * xr;
+    }
+    out[i] = Complex{ar, ai};
   }
-  ComplexVector x(n);
   for (std::size_t ii = n; ii-- > 0;) {
-    Complex acc = y[ii];
-    for (std::size_t k = ii + 1; k < n; ++k) acc -= lu_(ii, k) * x[k];
-    x[ii] = acc / lu_(ii, ii);
+    const Complex* const row_ii = lu + ii * n;
+    double ar = out[ii].real();
+    double ai = out[ii].imag();
+    for (std::size_t k = ii + 1; k < n; ++k) {
+      const double ur = row_ii[k].real();
+      const double ui = row_ii[k].imag();
+      const double xr = out[k].real();
+      const double xi = out[k].imag();
+      ar -= ur * xr - ui * xi;
+      ai -= ur * xi + ui * xr;
+    }
+    out[ii] = complex_div(ar, ai, row_ii[ii].real(), row_ii[ii].imag());
   }
+}
+
+ComplexVector ComplexLu::solve(const ComplexVector& b) const {
+  ComplexVector x;
+  solve_into(b, x);
   return x;
 }
 

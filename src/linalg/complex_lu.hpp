@@ -25,6 +25,12 @@ class ComplexVector {
   [[nodiscard]] Complex& operator[](std::size_t i);
   [[nodiscard]] Complex operator[](std::size_t i) const;
 
+  [[nodiscard]] const Complex* data() const { return data_.data(); }
+  [[nodiscard]] Complex* data() { return data_.data(); }
+
+  /// Resizes to `size` and zeroes every entry, reusing capacity.
+  void assign_zero(std::size_t size) { data_.assign(size, Complex{}); }
+
   /// Largest modulus entry.
   [[nodiscard]] double norm_inf() const;
 
@@ -47,6 +53,16 @@ class ComplexMatrix {
   [[nodiscard]] Complex& operator()(std::size_t r, std::size_t c);
   [[nodiscard]] Complex operator()(std::size_t r, std::size_t c) const;
 
+  [[nodiscard]] const Complex* data() const { return data_.data(); }
+  [[nodiscard]] Complex* data() { return data_.data(); }
+
+  /// Reshapes to rows x cols and zeroes every entry, reusing capacity.
+  void assign_zero(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, Complex{});
+  }
+
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
@@ -54,16 +70,31 @@ class ComplexMatrix {
 };
 
 /// LU factorization with partial pivoting over the complex field.
+///
+/// Mirrors Lu's dual usage: value style (constructor + solve) and workspace
+/// style (default-construct, then factor()/solve_into() reusing storage —
+/// the AC sweep re-factors one system per frequency point with zero
+/// steady-state allocations).
 class ComplexLu {
  public:
+  /// Unfactored workspace; call factor() before any query.
+  ComplexLu() = default;
+
   /// Factors `a`. Throws ContractError for non-square input, NumericError
   /// when singular.
-  explicit ComplexLu(const ComplexMatrix& a);
+  explicit ComplexLu(const ComplexMatrix& a) { factor(a); }
+
+  /// Re-factors `a` into this object's existing storage.
+  void factor(const ComplexMatrix& a);
 
   [[nodiscard]] std::size_t dimension() const { return lu_.rows(); }
 
   /// Solves A x = b.
   [[nodiscard]] ComplexVector solve(const ComplexVector& b) const;
+
+  /// Solves A x = b into `x` (resized, capacity reused). `b` and `x` must
+  /// be distinct objects. Bitwise-identical to solve(b).
+  void solve_into(const ComplexVector& b, ComplexVector& x) const;
 
  private:
   ComplexMatrix lu_;

@@ -1,5 +1,6 @@
 #include "linalg/lu.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 
@@ -7,22 +8,25 @@
 
 namespace bmfusion::linalg {
 
-Lu::Lu(const Matrix& a) : lu_(a) {
+void Lu::factor(const Matrix& a) {
   BMFUSION_REQUIRE(a.is_square(), "lu requires a square matrix");
+  lu_ = a;  // copy-assign reuses the existing heap block when it fits
   const std::size_t n = a.rows();
   perm_.resize(n);
   std::iota(perm_.begin(), perm_.end(), std::size_t{0});
+  pivot_sign_ = 1;
   // Near-absolute floor: MNA systems mix wildly scaled conductances, so a
   // relative threshold would reject legitimately solvable matrices. Partial
   // pivoting keeps the elimination stable; callers check result finiteness.
   const double singular_floor = 1e-250 + 1e-20 * a.norm_max();
 
+  double* const lu = lu_.data();
   for (std::size_t k = 0; k < n; ++k) {
     // Partial pivoting: bring the largest |entry| in column k to the pivot.
     std::size_t pivot_row = k;
-    double pivot_mag = std::fabs(lu_(k, k));
+    double pivot_mag = std::fabs(lu[k * n + k]);
     for (std::size_t i = k + 1; i < n; ++i) {
-      const double mag = std::fabs(lu_(i, k));
+      const double mag = std::fabs(lu[i * n + k]);
       if (mag > pivot_mag) {
         pivot_mag = mag;
         pivot_row = i;
@@ -32,41 +36,53 @@ Lu::Lu(const Matrix& a) : lu_(a) {
       throw NumericError("lu: matrix is numerically singular");
     }
     if (pivot_row != k) {
-      for (std::size_t c = 0; c < n; ++c) {
-        std::swap(lu_(k, c), lu_(pivot_row, c));
-      }
+      std::swap_ranges(lu + k * n, lu + k * n + n, lu + pivot_row * n);
       std::swap(perm_[k], perm_[pivot_row]);
       pivot_sign_ = -pivot_sign_;
     }
-    const double pivot = lu_(k, k);
+    const double pivot = lu[k * n + k];
+    const double* const row_k = lu + k * n;
     for (std::size_t i = k + 1; i < n; ++i) {
-      const double factor = lu_(i, k) / pivot;
-      lu_(i, k) = factor;
+      double* const row_i = lu + i * n;
+      const double factor = row_i[k] / pivot;
+      row_i[k] = factor;
       if (factor == 0.0) continue;
       for (std::size_t c = k + 1; c < n; ++c) {
-        lu_(i, c) -= factor * lu_(k, c);
+        row_i[c] -= factor * row_k[c];
       }
     }
   }
 }
 
-Vector Lu::solve(const Vector& b) const {
+void Lu::solve_into(const Vector& b, Vector& x) const {
+  BMFUSION_REQUIRE(&b != &x, "solve_into needs distinct rhs and solution");
   BMFUSION_REQUIRE(b.size() == dimension(), "rhs size mismatch");
   const std::size_t n = dimension();
-  // Apply permutation, then forward substitution with unit-diagonal L.
-  Vector y(n);
+  x.resize(n);
+  const double* const lu = lu_.data();
+  const double* const rhs = b.data();
+  double* const out = x.data();
+  // Apply permutation, then forward substitution with unit-diagonal L; the
+  // intermediate y lives in the solution buffer (backward substitution only
+  // reads entries it has already finalized, plus y[ii] before overwriting).
   for (std::size_t i = 0; i < n; ++i) {
-    double acc = b[perm_[i]];
-    for (std::size_t k = 0; k < i; ++k) acc -= lu_(i, k) * y[k];
-    y[i] = acc;
+    const double* const row_i = lu + i * n;
+    double acc = rhs[perm_[i]];
+    for (std::size_t k = 0; k < i; ++k) acc -= row_i[k] * out[k];
+    out[i] = acc;
   }
   // Backward substitution with U.
-  Vector x(n);
   for (std::size_t ii = n; ii-- > 0;) {
-    double acc = y[ii];
-    for (std::size_t k = ii + 1; k < n; ++k) acc -= lu_(ii, k) * x[k];
-    x[ii] = acc / lu_(ii, ii);
+    const double* const row_ii = lu + ii * n;
+    double acc = out[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) acc -= row_ii[k] * out[k];
+    out[ii] = acc / row_ii[ii];
   }
+}
+
+Vector Lu::solve(const Vector& b) const {
+  Vector x;
+  solve_into(b, x);
   return x;
 }
 

@@ -12,16 +12,35 @@
 namespace bmfusion::linalg {
 
 /// PA = LU with row partial pivoting.
+///
+/// Two usage styles share the same arithmetic:
+///  * value style — `Lu lu(a); x = lu.solve(b);`
+///  * workspace style — default-construct once, then `lu.factor(a)` and
+///    `lu.solve_into(b, x)` per iteration. Both calls reuse this object's
+///    matrix/pivot storage and the caller's solution buffer, so a
+///    steady-state Newton loop performs zero heap allocations.
 class Lu {
  public:
+  /// Unfactored workspace; call factor() before any query.
+  Lu() = default;
+
   /// Factors `a`. Throws ContractError for non-square input, NumericError
   /// when the matrix is numerically singular.
-  explicit Lu(const Matrix& a);
+  explicit Lu(const Matrix& a) { factor(a); }
+
+  /// Re-factors `a` into this object's existing storage. Same contract as
+  /// the constructor; allocation-free once capacity covers a.rows().
+  void factor(const Matrix& a);
 
   [[nodiscard]] std::size_t dimension() const { return lu_.rows(); }
 
   /// Solves A x = b.
   [[nodiscard]] Vector solve(const Vector& b) const;
+
+  /// Solves A x = b into `x`, which is resized to dimension() reusing its
+  /// capacity. `x` doubles as the substitution scratch, so `b` and `x` must
+  /// be distinct objects. Bitwise-identical to solve(b).
+  void solve_into(const Vector& b, Vector& x) const;
 
   /// Solves A X = B.
   [[nodiscard]] Matrix solve(const Matrix& b) const;

@@ -35,6 +35,22 @@ double Matrix::operator()(std::size_t r, std::size_t c) const {
   return data_[index(r, c)];
 }
 
+const double* Matrix::row_data(std::size_t r) const {
+  BMFUSION_REQUIRE(r < rows_, "row index out of range");
+  return data_.data() + r * cols_;
+}
+
+double* Matrix::row_data(std::size_t r) {
+  BMFUSION_REQUIRE(r < rows_, "row index out of range");
+  return data_.data() + r * cols_;
+}
+
+void Matrix::assign_zero(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0);
+}
+
 Matrix& Matrix::operator+=(const Matrix& rhs) {
   BMFUSION_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_,
                    "matrix shape mismatch in +=");

@@ -42,6 +42,17 @@ class Matrix {
   [[nodiscard]] const double* data() const { return data_.data(); }
   [[nodiscard]] double* data() { return data_.data(); }
 
+  /// Raw pointer to the start of row r (row-major, cols() contiguous
+  /// doubles). Bounds-checks the row only; hot loops own the column index.
+  [[nodiscard]] const double* row_data(std::size_t r) const;
+  [[nodiscard]] double* row_data(std::size_t r);
+
+  /// Reshapes to rows x cols and zeroes every entry, reusing the existing
+  /// heap block whenever capacity suffices (the workspace-reuse contract of
+  /// the Monte Carlo hot path relies on this never reallocating in steady
+  /// state).
+  void assign_zero(std::size_t rows, std::size_t cols);
+
   /// In-place arithmetic; shapes must match.
   Matrix& operator+=(const Matrix& rhs);
   Matrix& operator-=(const Matrix& rhs);

@@ -44,6 +44,13 @@ class Vector {
   [[nodiscard]] double* data() { return data_.data(); }
   [[nodiscard]] const std::vector<double>& values() const { return data_; }
 
+  /// Resizes to `size`, value-initializing any new entries. Existing entries
+  /// are kept; capacity is reused, so shrinking/regrowing never reallocates.
+  void resize(std::size_t size) { data_.resize(size); }
+
+  /// Resizes to `size` and sets every entry to zero, reusing capacity.
+  void assign_zero(std::size_t size) { data_.assign(size, 0.0); }
+
   [[nodiscard]] auto begin() { return data_.begin(); }
   [[nodiscard]] auto end() { return data_.end(); }
   [[nodiscard]] auto begin() const { return data_.begin(); }

@@ -19,7 +19,11 @@ std::uint64_t SplitMix64::next() {
 
 Xoshiro256pp::Xoshiro256pp(std::uint64_t seed) {
   SplitMix64 sm(seed);
-  for (std::uint64_t& s : state_) s = sm.next();
+  *this = Xoshiro256pp(sm);
+}
+
+Xoshiro256pp::Xoshiro256pp(SplitMix64& mixer) {
+  for (std::uint64_t& s : state_) s = mixer.next();
   // An all-zero state would lock the generator at zero; SplitMix64 cannot
   // produce four consecutive zeros from any seed, but be defensive.
   if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) {

@@ -30,6 +30,12 @@ class Xoshiro256pp {
   /// Seeds all 256 bits of state from `seed` via SplitMix64.
   explicit Xoshiro256pp(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
 
+  /// Seeds all 256 bits of state from four consecutive draws of `mixer`
+  /// (advancing it). Prefer this over funnelling a SplitMix64 draw through
+  /// the 64-bit constructor, which collapses the stream back to 64 bits of
+  /// entropy and correlates nearby streams.
+  explicit Xoshiro256pp(SplitMix64& mixer);
+
   /// Next 64 uniformly distributed bits.
   std::uint64_t next_u64();
 

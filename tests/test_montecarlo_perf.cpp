@@ -1,0 +1,215 @@
+// Performance-architecture contract tests for the Monte Carlo hot path:
+// thread-count invariance of both engines, bitwise equivalence of the
+// workspace fast path and the allocating reference path, exception
+// propagation out of worker threads, steady-state allocation freedom, and
+// pinned per-sample RNG streams (the (seed, index) -> stream mapping is part
+// of the reproducibility contract — changing it silently re-rolls every
+// recorded experiment).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+#include "circuit/flash_adc.hpp"
+#include "circuit/montecarlo.hpp"
+#include "circuit/opamp.hpp"
+#include "circuit/workspace.hpp"
+#include "common/alloc_counter.hpp"
+#include "common/contracts.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+#include "stats/moments.hpp"
+#include "stats/sufficient_stats.hpp"
+
+namespace bmfusion::circuit {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+/// Bit-pattern equality: stricter than operator== (distinguishes -0.0 from
+/// 0.0 and would catch a NaN sneaking into only one of the two paths).
+bool bitwise_equal(double a, double b) {
+  std::uint64_t ua = 0;
+  std::uint64_t ub = 0;
+  std::memcpy(&ua, &a, sizeof a);
+  std::memcpy(&ub, &b, sizeof b);
+  return ua == ub;
+}
+
+bool bitwise_equal(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      if (!bitwise_equal(a(r, c), b(r, c))) return false;
+    }
+  }
+  return true;
+}
+
+TwoStageOpAmp post_layout_opamp() {
+  return TwoStageOpAmp(DesignStage::kPostLayout,
+                       ProcessModel(TechnologyStatistics{}));
+}
+
+// ------------------------------------------------------- per-sample streams
+
+TEST(SampleRng, PinnedStreams) {
+  // First three draws of four (seed, index) pairs, recorded when the
+  // four-draw SplitMix64 -> xoshiro256++ seeding landed. Any change here
+  // re-rolls every die of every recorded run.
+  struct Pin {
+    std::uint64_t seed;
+    std::size_t index;
+    std::uint64_t draws[3];
+  };
+  const Pin pins[] = {
+      {1, 0,
+       {0x498aa2c40bb7b540ULL, 0xb459c7c9a54b715fULL, 0xd6b761a789afa561ULL}},
+      {1, 1,
+       {0x4c60074651f0300aULL, 0x87763a2efe7f372dULL, 0xfdbd36bd3fa3b6bbULL}},
+      {42, 7,
+       {0xe75b7fe39ff22929ULL, 0x937cec00f7843ae0ULL, 0x6b8be11ca45d5628ULL}},
+      {2015, 999,
+       {0x76f25a05834f6c03ULL, 0x68c66abe6eb348c1ULL, 0x9a856af4ba708315ULL}},
+  };
+  for (const Pin& pin : pins) {
+    stats::Xoshiro256pp rng = sample_rng(pin.seed, pin.index);
+    for (const std::uint64_t expected : pin.draws) {
+      EXPECT_EQ(rng.next_u64(), expected)
+          << "seed=" << pin.seed << " index=" << pin.index;
+    }
+  }
+}
+
+TEST(SampleRng, NeighboringIndicesDecorrelated) {
+  // The old seeding folded the index into a single SplitMix64 draw; the
+  // four-draw version must still give unrelated streams for adjacent dies.
+  stats::Xoshiro256pp a = sample_rng(7, 100);
+  stats::Xoshiro256pp b = sample_rng(7, 101);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+// ------------------------------------------------- workspace fast-path parity
+
+TEST(WorkspaceParity, OpAmpSampleBitwiseMatchesReference) {
+  const TwoStageOpAmp bench = post_layout_opamp();
+  SimWorkspace ws;
+  for (std::size_t i = 0; i < 6; ++i) {
+    stats::Xoshiro256pp ref_rng = sample_rng(11, i);
+    stats::Xoshiro256pp fast_rng = sample_rng(11, i);
+    const Vector ref = bench.sample_metrics(ref_rng);
+    const Vector& fast = bench.sample_metrics(fast_rng, ws);
+    ASSERT_EQ(ref.size(), fast.size());
+    for (std::size_t k = 0; k < ref.size(); ++k) {
+      EXPECT_TRUE(bitwise_equal(ref[k], fast[k]))
+          << "die " << i << " metric " << k;
+    }
+    // Both paths must consume identical amounts of randomness, or a mixed
+    // warm/cold sweep would shift every subsequent draw.
+    EXPECT_EQ(ref_rng.next_u64(), fast_rng.next_u64()) << "die " << i;
+  }
+}
+
+// -------------------------------------------------------- thread invariance
+
+TEST(ThreadInvariance, DatasetBitwiseIdenticalAcrossThreadCounts) {
+  const TwoStageOpAmp bench = post_layout_opamp();
+  // 70 samples spans a partial 64-sample streaming block on purpose.
+  const auto base = MonteCarloConfig{}.with_sample_count(70).with_seed(3);
+  const Dataset one = run_monte_carlo(bench, MonteCarloConfig(base).with_threads(1));
+  const Dataset two = run_monte_carlo(bench, MonteCarloConfig(base).with_threads(2));
+  const Dataset three =
+      run_monte_carlo(bench, MonteCarloConfig(base).with_threads(3));
+  EXPECT_TRUE(bitwise_equal(one.samples(), two.samples()));
+  EXPECT_TRUE(bitwise_equal(one.samples(), three.samples()));
+}
+
+TEST(ThreadInvariance, StreamingStatsBitwiseIdenticalAcrossThreadCounts) {
+  const TwoStageOpAmp bench = post_layout_opamp();
+  const auto base = MonteCarloConfig{}.with_sample_count(70).with_seed(3);
+  const stats::SufficientStats one =
+      run_monte_carlo_stats(bench, MonteCarloConfig(base).with_threads(1));
+  const stats::SufficientStats two =
+      run_monte_carlo_stats(bench, MonteCarloConfig(base).with_threads(2));
+  const stats::SufficientStats three =
+      run_monte_carlo_stats(bench, MonteCarloConfig(base).with_threads(3));
+  EXPECT_TRUE(one == two);
+  EXPECT_TRUE(one == three);
+}
+
+TEST(ThreadInvariance, StreamingStatsMatchDatasetMoments) {
+  const TwoStageOpAmp bench = post_layout_opamp();
+  const auto config =
+      MonteCarloConfig{}.with_sample_count(70).with_seed(3).with_threads(2);
+  const Dataset ds = run_monte_carlo(bench, config);
+  const stats::SufficientStats st = run_monte_carlo_stats(bench, config);
+  ASSERT_EQ(st.count(), ds.sample_count());
+  const Vector mean_ds = stats::sample_mean(ds.samples());
+  const Vector mean_st = st.mean();
+  for (std::size_t k = 0; k < mean_ds.size(); ++k) {
+    const double scale = std::max(1.0, std::abs(mean_ds[k]));
+    EXPECT_NEAR(mean_ds[k], mean_st[k], 1e-12 * scale) << "metric " << k;
+  }
+}
+
+// ----------------------------------------------------- exception propagation
+
+/// Bench whose simulation always fails; exercises error transport out of
+/// worker threads in both engines (a lost exception would either hang the
+/// reduction or silently drop samples).
+class AlwaysThrowingBench final : public Testbench {
+ public:
+  [[nodiscard]] std::vector<std::string> metric_names() const override {
+    return {"m"};
+  }
+  [[nodiscard]] Vector nominal_metrics() const override {
+    return Vector({0.0});
+  }
+  [[nodiscard]] Vector sample_metrics(
+      stats::Xoshiro256pp& rng) const override {
+    (void)rng.next_u64();
+    throw NumericError("injected sample failure");
+  }
+};
+
+TEST(ExceptionPropagation, DatasetEngineRethrowsFromWorkers) {
+  const AlwaysThrowingBench bench;
+  const auto config =
+      MonteCarloConfig{}.with_sample_count(16).with_seed(5).with_threads(2);
+  EXPECT_THROW((void)run_monte_carlo(bench, config), NumericError);
+}
+
+TEST(ExceptionPropagation, StreamingEngineRethrowsFromWorkers) {
+  const AlwaysThrowingBench bench;
+  const auto config =
+      MonteCarloConfig{}.with_sample_count(16).with_seed(5).with_threads(2);
+  EXPECT_THROW((void)run_monte_carlo_stats(bench, config), NumericError);
+}
+
+// ------------------------------------------------------ allocation contract
+
+TEST(AllocationContract, OpAmpWorkspaceSampleIsAllocationFreeSteadyState) {
+  const TwoStageOpAmp bench = post_layout_opamp();
+  SimWorkspace ws;
+  // Warm-up draws grow every buffer (and the per-workspace netlist cache)
+  // to its steady-state capacity.
+  for (std::size_t i = 0; i < 4; ++i) {
+    stats::Xoshiro256pp rng = sample_rng(17, i);
+    (void)bench.sample_metrics(rng, ws);
+  }
+  const std::uint64_t before = common::allocation_count();
+  for (std::size_t i = 4; i < 12; ++i) {
+    stats::Xoshiro256pp rng = sample_rng(17, i);
+    (void)bench.sample_metrics(rng, ws);
+  }
+  const std::uint64_t after = common::allocation_count();
+  EXPECT_EQ(after - before, 0u);
+}
+
+}  // namespace
+}  // namespace bmfusion::circuit
