@@ -1,6 +1,7 @@
 #include "bench_common.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <functional>
@@ -14,7 +15,7 @@
 #include "common/csv.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
-#include "common/timer.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace bmfusion::bench {
 
@@ -33,7 +34,7 @@ Dataset load_or_generate(const std::string& path,
     std::printf("# using cached %s\n", path.c_str());
     return Dataset::load_csv(path);
   }
-  Stopwatch sw;
+  telemetry::Stopwatch sw;
   Dataset ds = generate();
   std::printf("# generated %s (%zu samples, %.1f s)\n", path.c_str(),
               ds.sample_count(), sw.seconds());
@@ -143,6 +144,40 @@ void print_error_figure(const std::string& title,
     write_csv_file(csv_path, table.to_csv());
     std::printf("# table written to %s\n", csv_path.c_str());
   }
+}
+
+namespace {
+
+std::string json_escaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string run_metadata_json(const CliParser& cli, std::size_t threads) {
+  std::string git = cli.get_string("git");
+  if (git.empty()) {
+    if (const char* sha = std::getenv("BMF_GIT_SHA")) git = sha;
+  }
+  std::string out;
+  out += "\"label\": \"" + json_escaped(cli.get_string("label")) + "\"";
+  out += ", \"git\": \"" + json_escaped(git) + "\"";
+  out += ", \"date\": \"" + json_escaped(cli.get_string("date")) + "\"";
+#ifdef NDEBUG
+  out += ", \"build\": \"-O3 -DNDEBUG\"";
+#else
+  out += ", \"build\": \"debug\"";
+#endif
+  out += ", \"threads\": " + std::to_string(threads);
+  out += std::string(", \"telemetry\": ") +
+         (telemetry::enabled() ? "true" : "false");
+  return out;
 }
 
 void append_json_record(const std::string& path, const std::string& record) {

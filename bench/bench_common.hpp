@@ -57,4 +57,11 @@ void print_error_figure(const std::string& title,
 /// existing file is not a JSON array or the write fails.
 void append_json_record(const std::string& path, const std::string& record);
 
+/// Shared run-metadata fragment for BENCH_*.json records (no surrounding
+/// braces): label/git/date taken from the CLI's --label/--git/--date flags
+/// (git falls back to $BMF_GIT_SHA when the flag is empty), plus the build
+/// type, the worker thread count, and the compile-time telemetry state.
+[[nodiscard]] std::string run_metadata_json(const CliParser& cli,
+                                            std::size_t threads);
+
 }  // namespace bmfusion::bench

@@ -30,6 +30,7 @@
 #include "common/timer.hpp"
 #include "stats/rng.hpp"
 #include "stats/sufficient_stats.hpp"
+#include "telemetry/export.hpp"
 
 namespace {
 
@@ -183,6 +184,22 @@ int run_parity(std::uint64_t seed) {
 // Timing mode
 // ---------------------------------------------------------------------------
 
+/// Writes the --telemetry / --trace outputs when requested; returns 1 (and
+/// prints to stderr) when a requested write fails, else 0.
+int flush_telemetry(const CliParser& cli) {
+  const std::string snapshot_path = cli.get_string("telemetry");
+  const std::string trace_path = cli.get_string("trace");
+  if (snapshot_path.empty() && trace_path.empty()) return 0;
+  if (!telemetry::write_outputs(snapshot_path, trace_path)) return 1;
+  if (!snapshot_path.empty()) {
+    std::printf("  telemetry snapshot written to %s\n", snapshot_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    std::printf("  trace written to %s\n", trace_path.c_str());
+  }
+  return 0;
+}
+
 /// Steady-state heap allocations per sample: warm a workspace up, then
 /// count operator-new calls over `meas` further samples.
 double alloc_per_sample(const Testbench& bench, std::size_t warmup,
@@ -201,15 +218,6 @@ double alloc_per_sample(const Testbench& bench, std::size_t warmup,
   return static_cast<double>(after - before) / static_cast<double>(meas);
 }
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  for (const char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  return out;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -226,10 +234,16 @@ int main(int argc, char** argv) {
   cli.add_flag("label", "", "free-form label for the JSON record");
   cli.add_flag("git", "", "git revision for the JSON record");
   cli.add_flag("date", "", "ISO date for the JSON record");
+  cli.add_flag("telemetry", "", "write a telemetry JSON snapshot here at exit");
+  cli.add_flag("trace", "", "write a Chrome trace_event JSON here at exit");
   try {
     if (!cli.parse(argc, argv)) return 0;
     const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
-    if (cli.get_bool("parity")) return run_parity(seed);
+    if (cli.get_bool("parity")) {
+      const int rc = run_parity(seed);
+      const int telemetry_rc = flush_telemetry(cli);
+      return rc != 0 ? rc : telemetry_rc;
+    }
 
     const auto iters = static_cast<std::size_t>(cli.get_int("iters"));
     const auto samples = static_cast<std::size_t>(cli.get_int("samples"));
@@ -314,30 +328,24 @@ int main(int argc, char** argv) {
 
     const std::string json_path = cli.get_string("json");
     if (!json_path.empty()) {
-      char record[1024];
+      char measurements[640];
       std::snprintf(
-          record, sizeof record,
-          "{\"bench\": \"micro_circuit\", \"label\": \"%s\", \"git\": "
-          "\"%s\", \"date\": \"%s\", \"build\": \"%s\", \"threads\": %zu, "
+          measurements, sizeof measurements,
           "\"stages\": {\"dc_solve_us\": %.3f, \"ac_sweep_us\": %.3f, "
           "\"opamp_sample_us\": %.3f, \"opamp_sample_ref_us\": %.3f, "
           "\"adc_sample_us\": %.3f}, \"mc_opamp_postlayout\": {\"samples\": "
           "%zu, \"seconds\": %.4f, \"throughput_sps\": %.1f}, "
-          "\"alloc_per_sample\": {\"opamp\": %.2f, \"adc\": %.2f}}",
-          json_escape(cli.get_string("label")).c_str(),
-          json_escape(cli.get_string("git")).c_str(),
-          json_escape(cli.get_string("date")).c_str(),
-#ifdef NDEBUG
-          "-O3 -DNDEBUG",
-#else
-          "debug",
-#endif
-          threads, dc_us, ac_us, opamp_us, opamp_ref_us, adc_us,
-          ds.sample_count(), mc_seconds, sps, opamp_alloc, adc_alloc);
+          "\"alloc_per_sample\": {\"opamp\": %.2f, \"adc\": %.2f}",
+          dc_us, ac_us, opamp_us, opamp_ref_us, adc_us, ds.sample_count(),
+          mc_seconds, sps, opamp_alloc, adc_alloc);
+      const std::string record = "{\"bench\": \"micro_circuit\", " +
+                                 bench::run_metadata_json(cli, threads) +
+                                 ", " + measurements + "}";
       bench::append_json_record(json_path, record);
       std::printf("  record appended to %s\n", json_path.c_str());
     }
 
+    const int telemetry_rc = flush_telemetry(cli);
     if (opamp_alloc != 0.0) {
       std::fprintf(stderr,
                    "micro_circuit: op-amp hot path allocated %.2f "
@@ -345,7 +353,7 @@ int main(int argc, char** argv) {
                    opamp_alloc);
       return 1;
     }
-    return 0;
+    return telemetry_rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "micro_circuit: %s\n", e.what());
     return 1;

@@ -23,6 +23,7 @@
 #include "linalg/vector.hpp"
 #include "stats/mvn.hpp"
 #include "stats/rng.hpp"
+#include "telemetry/export.hpp"
 
 namespace {
 
@@ -166,6 +167,7 @@ int main(int argc, char** argv) {
   cli.add_flag("label", "", "free-form label for the JSON record");
   cli.add_flag("git", "", "git revision for the JSON record");
   cli.add_flag("date", "", "ISO date for the JSON record");
+  cli.add_flag("telemetry", "", "write a telemetry JSON snapshot here at exit");
   try {
     if (!cli.parse(argc, argv)) return 0;
 
@@ -226,18 +228,26 @@ int main(int argc, char** argv) {
 
     const std::string json_path = cli.get_string("json");
     if (!json_path.empty()) {
-      char record[512];
+      char measurements[384];
       std::snprintf(
-          record, sizeof record,
-          "{\"bench\": \"micro_cv\", \"label\": \"%s\", \"git\": \"%s\", "
-          "\"date\": \"%s\", \"d\": %zu, \"n\": %zu, \"folds\": %zu, "
-          "\"grid\": %zu, \"old_ms\": %.3f, \"new_1t_ms\": %.3f, "
-          "\"new_mt_ms\": %.3f, \"max_score_dev\": %.3e}",
-          cli.get_string("label").c_str(), cli.get_string("git").c_str(),
-          cli.get_string("date").c_str(), d, n, config.folds, grid_points,
-          old_ms, new_1t_ms, new_mt_ms, max_dev);
+          measurements, sizeof measurements,
+          "\"d\": %zu, \"n\": %zu, \"folds\": %zu, \"grid\": %zu, "
+          "\"old_ms\": %.3f, \"new_1t_ms\": %.3f, \"new_mt_ms\": %.3f, "
+          "\"max_score_dev\": %.3e",
+          d, n, config.folds, grid_points, old_ms, new_1t_ms, new_mt_ms,
+          max_dev);
+      const std::string record =
+          "{\"bench\": \"micro_cv\", " +
+          bmfusion::bench::run_metadata_json(cli, /*threads=*/0) + ", " +
+          measurements + "}";
       bmfusion::bench::append_json_record(json_path, record);
       std::printf("  record appended to %s\n", json_path.c_str());
+    }
+    const std::string snapshot_path = cli.get_string("telemetry");
+    if (!snapshot_path.empty()) {
+      if (!bmfusion::telemetry::write_outputs(snapshot_path, "")) return 1;
+      std::printf("  telemetry snapshot written to %s\n",
+                  snapshot_path.c_str());
     }
     return max_dev <= 1e-9 ? 0 : 1;
   } catch (const std::exception& e) {

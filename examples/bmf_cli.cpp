@@ -26,6 +26,7 @@
 #include "core/estimator.hpp"
 #include "core/report.hpp"
 #include "core/serialization.hpp"
+#include "telemetry/export.hpp"
 
 namespace {
 
@@ -132,13 +133,36 @@ int main(int argc, char** argv) {
   cli.add_flag("knowledge", "early.bmf", "knowledge file to read");
   cli.add_flag("late-csv", "", "late-stage samples (CSV)");
   cli.add_flag("late-nominal", "", "comma-separated late nominal metrics");
+  cli.add_flag("telemetry", "",
+               "write a telemetry JSON snapshot to this path at exit");
+  cli.add_flag("trace", "",
+               "write a Chrome trace_event JSON to this path at exit");
   try {
     if (!cli.parse(argc, argv)) return 0;
     const std::string mode = cli.get_string("mode");
-    if (mode == "export") return run_export(cli);
-    if (mode == "fuse") return run_fuse(cli);
-    if (mode.empty()) return run_demo();
-    throw DataError("unknown --mode '" + mode + "'");
+    int rc = 0;
+    if (mode == "export") {
+      rc = run_export(cli);
+    } else if (mode == "fuse") {
+      rc = run_fuse(cli);
+    } else if (mode.empty()) {
+      rc = run_demo();
+    } else {
+      throw DataError("unknown --mode '" + mode + "'");
+    }
+    const std::string snapshot_path = cli.get_string("telemetry");
+    const std::string trace_path = cli.get_string("trace");
+    if (!snapshot_path.empty() || !trace_path.empty()) {
+      if (!telemetry::write_outputs(snapshot_path, trace_path)) return 1;
+      if (!snapshot_path.empty()) {
+        std::fprintf(stderr, "# telemetry snapshot written to %s\n",
+                     snapshot_path.c_str());
+      }
+      if (!trace_path.empty()) {
+        std::fprintf(stderr, "# trace written to %s\n", trace_path.c_str());
+      }
+    }
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bmf_cli: %s\n", e.what());
     return 1;

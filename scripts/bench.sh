@@ -34,13 +34,19 @@ echo "==> bench: fast-path parity gate"
 ./build-bench/bench/micro_circuit --parity
 
 echo "==> bench: micro_circuit (MC throughput, stage timings, allocations)"
+# The telemetry snapshot + Chrome trace land next to the JSON append so a
+# regression in a BENCH_circuit.json record can be cross-examined against
+# the counters (DC iterations, warm-start hits, jitter retries) of the same
+# run. Snapshots are overwritten each run, not appended.
 ./build-bench/bench/micro_circuit --samples="${samples}" --iters=50 \
   --json BENCH_circuit.json --label "${label}" --git "${git_rev}" \
-  --date "${date_iso}"
+  --date "${date_iso}" \
+  --telemetry BENCH_circuit.telemetry.json --trace BENCH_circuit.trace.json
 
 echo "==> bench: micro_cv (CV engine old-vs-new)"
 ./build-bench/bench/micro_cv --json BENCH_cv.json --label "${label}" \
-  --git "${git_rev}" --date "${date_iso}"
+  --git "${git_rev}" --date "${date_iso}" \
+  --telemetry BENCH_cv.telemetry.json
 
 if [[ "${skip_linalg}" -eq 1 ]]; then
   echo "==> bench: micro_linalg skipped (--skip-linalg)"

@@ -1,21 +1,28 @@
 #!/usr/bin/env bash
-# Tier-1 verification: the standard build + full test suite, then an
-# AddressSanitizer+UndefinedBehaviorSanitizer build running the
-# fault-injection suite (the robustness layer exercises exactly the paths —
-# jitter retries, clamped pivots, exception unwinding — where memory and UB
-# bugs like to hide). Complements the ThreadSanitizer wiring
-# (-DBMF_SANITIZE=thread) used for the thread-pool tests.
+# Tier-1 verification: the standard build + full test suite, then a
+# telemetry-OFF configure (every BMF_* macro compiles to a no-op and the
+# whole suite must still pass — the instrumentation is strictly additive),
+# then an AddressSanitizer+UndefinedBehaviorSanitizer build running the
+# fault-injection and telemetry suites (jitter retries, clamped pivots,
+# exception unwinding, shard merges — exactly the paths where memory and UB
+# bugs like to hide), and finally a ThreadSanitizer build covering the
+# telemetry shard-merge tests (per-thread shards + merge-on-read is the one
+# new piece of lock-free machinery).
 #
-# Usage: scripts/tier1.sh [--skip-asan]
+# Usage: scripts/tier1.sh [--skip-asan] [--skip-telemetry-off] [--skip-tsan]
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "${repo_root}"
 
 skip_asan=0
+skip_telemetry_off=0
+skip_tsan=0
 for arg in "$@"; do
   case "${arg}" in
     --skip-asan) skip_asan=1 ;;
+    --skip-telemetry-off) skip_telemetry_off=1 ;;
+    --skip-tsan) skip_tsan=1 ;;
     *) echo "unknown argument: ${arg}" >&2; exit 2 ;;
   esac
 done
@@ -25,25 +32,46 @@ cmake -B build -S .
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
-if [[ "${skip_asan}" -eq 1 ]]; then
-  echo "==> tier-1: ASan+UBSan stage skipped (--skip-asan)"
-  exit 0
+if [[ "${skip_telemetry_off}" -eq 1 ]]; then
+  echo "==> tier-1: telemetry-OFF stage skipped (--skip-telemetry-off)"
+else
+  echo "==> tier-1: telemetry-OFF build + full ctest"
+  cmake -B build-notel -S . -DBMFUSION_TELEMETRY=OFF
+  cmake --build build-notel -j
+  ctest --test-dir build-notel --output-on-failure -j "$(nproc)"
 fi
 
-echo "==> tier-1: ASan+UBSan build + fault-injection suite"
-cmake -B build-asan -S . -DBMF_SANITIZE=address,undefined
-cmake --build build-asan -j --target test_fault_injection
-UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
-  ./build-asan/tests/test_fault_injection
+if [[ "${skip_asan}" -eq 1 ]]; then
+  echo "==> tier-1: ASan+UBSan stage skipped (--skip-asan)"
+else
+  echo "==> tier-1: ASan+UBSan build + fault-injection + telemetry suites"
+  cmake -B build-asan -S . -DBMF_SANITIZE=address,undefined
+  cmake --build build-asan -j --target test_fault_injection test_telemetry
+  UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
+    ./build-asan/tests/test_fault_injection
+  UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
+    ./build-asan/tests/test_telemetry
 
-# Perf smoke: the micro_circuit parity mode replays the Monte Carlo fast
-# path (workspace reuse, raw row writes, streaming reduction) against the
-# allocating reference under the sanitizers. It asserts bitwise agreement,
-# not timing, so it is stable on loaded CI machines while still walking
-# every hot-path pointer with ASan watching.
-echo "==> tier-1: perf smoke (micro_circuit --parity under ASan+UBSan)"
-cmake --build build-asan -j --target micro_circuit
-UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
-  ./build-asan/bench/micro_circuit --parity
+  # Perf smoke: the micro_circuit parity mode replays the Monte Carlo fast
+  # path (workspace reuse, raw row writes, streaming reduction) against the
+  # allocating reference under the sanitizers. It asserts bitwise agreement,
+  # not timing, so it is stable on loaded CI machines while still walking
+  # every hot-path pointer with ASan watching.
+  echo "==> tier-1: perf smoke (micro_circuit --parity under ASan+UBSan)"
+  cmake --build build-asan -j --target micro_circuit
+  UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
+    ./build-asan/bench/micro_circuit --parity
+fi
+
+if [[ "${skip_tsan}" -eq 1 ]]; then
+  echo "==> tier-1: TSan stage skipped (--skip-tsan)"
+else
+  echo "==> tier-1: TSan build + telemetry shard-merge tests"
+  cmake -B build-tsan -S . -DBMF_SANITIZE=thread
+  cmake --build build-tsan -j --target test_telemetry
+  TSAN_OPTIONS=halt_on_error=1 \
+    ./build-tsan/tests/test_telemetry \
+    --gtest_filter='CounterShards.*:HistogramShards.*:Trace.*'
+fi
 
 echo "==> tier-1: OK"

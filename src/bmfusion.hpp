@@ -5,6 +5,7 @@
 // examples; library code should include the specific headers it uses.
 //
 // Layering (each layer depends only on those above it):
+//   telemetry — metrics registry, trace spans, exporters (std-only)
 //   common   — contracts, CSV, CLI, tables, parallel_for
 //   linalg   — dense/sparse vectors & matrices, factorizations, CG
 //   stats    — RNG, distributions, moments, diagnostics
@@ -14,6 +15,10 @@
 //   core     — the paper's contribution: normal-Wishart fusion, shift/
 //              scaling, hyper-parameter selection, yield, experiments
 #pragma once
+
+// telemetry
+#include "telemetry/export.hpp"
+#include "telemetry/telemetry.hpp"
 
 // common
 #include "common/cli.hpp"

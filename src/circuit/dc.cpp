@@ -7,6 +7,7 @@
 #include "common/contracts.hpp"
 #include "linalg/lu.hpp"
 #include "linalg/matrix.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace bmfusion::circuit {
 
@@ -59,11 +60,13 @@ namespace {
 /// One Newton solve at fixed gmin and source scale. `x` holds node voltages
 /// then branch currents; updated in place. The Jacobian/residual/step/LU
 /// buffers are caller-owned so the continuation ladder and the Monte Carlo
-/// loop restamp into the same storage. Returns true on convergence.
+/// loop restamp into the same storage. `iterations` accumulates the Newton
+/// iterations actually executed (for telemetry across a continuation
+/// ladder). Returns true on convergence.
 bool newton_solve(const Netlist& netlist, const DcSolverConfig& config,
                   double gmin, double source_scale, Vector& x,
                   std::vector<MosfetOp>& mosfet_ops, Matrix& jac,
-                  Vector& residual, Vector& delta, Lu& lu) {
+                  Vector& residual, Vector& delta, Lu& lu, int& iterations) {
   const std::size_t n_nodes = netlist.node_count();
   const std::size_t n_unknowns = netlist.unknown_count();
   mosfet_ops.resize(netlist.mosfets().size());
@@ -75,6 +78,7 @@ bool newton_solve(const Netlist& netlist, const DcSolverConfig& config,
   };
 
   for (int iter = 0; iter < config.max_iterations; ++iter) {
+    ++iterations;
     jac.assign_zero(n_unknowns, n_unknowns);
     residual.assign_zero(n_unknowns);
     double* const jac_data = jac.data();
@@ -230,8 +234,11 @@ DcSolver::DcSolver(DcSolverConfig config) : config_(std::move(config)) {
 void DcSolver::solve_into(const Netlist& netlist, SimWorkspace& ws,
                           const Vector* warm_start) const {
   BMFUSION_REQUIRE(netlist.node_count() > 0, "netlist has no nodes");
+  BMF_SPAN("dc_solve");
+  BMF_COUNTER_ADD("circuit.dc.solves", 1);
   Vector& x = ws.state;
   bool converged = false;
+  int iterations = 0;
 
   // Strategy 0: direct Newton at the final gmin from a caller-supplied warm
   // state (typically the nominal die's solution). No continuation needed
@@ -241,16 +248,22 @@ void DcSolver::solve_into(const Netlist& netlist, SimWorkspace& ws,
     x = *warm_start;
     converged = newton_solve(netlist, config_, config_.gmin_sequence.back(),
                              1.0, x, ws.mosfet_ops, ws.jac, ws.residual,
-                             ws.delta, ws.lu);
+                             ws.delta, ws.lu, iterations);
+    if (converged) {
+      BMF_COUNTER_ADD("circuit.dc.warm_start_hits", 1);
+    } else {
+      BMF_COUNTER_ADD("circuit.dc.warm_start_misses", 1);
+    }
   }
 
   // Strategy 1: gmin stepping from the initial guess.
   if (!converged) {
+    BMF_COUNTER_ADD("circuit.dc.gmin_ladder_solves", 1);
     initial_state_into(netlist, x);
     converged = true;
     for (const double gmin : config_.gmin_sequence) {
       if (!newton_solve(netlist, config_, gmin, 1.0, x, ws.mosfet_ops, ws.jac,
-                        ws.residual, ws.delta, ws.lu)) {
+                        ws.residual, ws.delta, ws.lu, iterations)) {
         converged = false;
         break;
       }
@@ -259,13 +272,14 @@ void DcSolver::solve_into(const Netlist& netlist, SimWorkspace& ws,
 
   // Strategy 2: source stepping (with mild gmin), then final gmin descent.
   if (!converged) {
+    BMF_COUNTER_ADD("circuit.dc.source_step_solves", 1);
     initial_state_into(netlist, x);
     converged = true;
     for (int step = 1; step <= config_.source_steps; ++step) {
       const double scale =
           static_cast<double>(step) / static_cast<double>(config_.source_steps);
       if (!newton_solve(netlist, config_, 1e-9, scale, x, ws.mosfet_ops,
-                        ws.jac, ws.residual, ws.delta, ws.lu)) {
+                        ws.jac, ws.residual, ws.delta, ws.lu, iterations)) {
         converged = false;
         break;
       }
@@ -273,7 +287,7 @@ void DcSolver::solve_into(const Netlist& netlist, SimWorkspace& ws,
     if (converged) {
       converged = newton_solve(netlist, config_, config_.gmin_sequence.back(),
                                1.0, x, ws.mosfet_ops, ws.jac, ws.residual,
-                               ws.delta, ws.lu);
+                               ws.delta, ws.lu, iterations);
     }
   }
 
@@ -283,6 +297,7 @@ void DcSolver::solve_into(const Netlist& netlist, SimWorkspace& ws,
   // Reached only when both standard strategies fail, so every die they
   // solve keeps its exact result.
   if (!converged) {
+    BMF_COUNTER_ADD("circuit.dc.damped_ladder_solves", 1);
     DcSolverConfig damped = config_;
     damped.max_voltage_step = 0.2 * config_.max_voltage_step;
     damped.max_iterations = 2 * config_.max_iterations;
@@ -290,14 +305,16 @@ void DcSolver::solve_into(const Netlist& netlist, SimWorkspace& ws,
     converged = true;
     for (const double gmin : config_.gmin_sequence) {
       if (!newton_solve(netlist, damped, gmin, 1.0, x, ws.mosfet_ops, ws.jac,
-                        ws.residual, ws.delta, ws.lu)) {
+                        ws.residual, ws.delta, ws.lu, iterations)) {
         converged = false;
         break;
       }
     }
   }
 
+  BMF_COUNTER_ADD("circuit.dc.newton_iterations", iterations);
   if (!converged) {
+    BMF_COUNTER_ADD("circuit.dc.failures", 1);
     throw NumericError("dc solver failed to converge");
   }
 

@@ -4,6 +4,7 @@
 
 #include "common/contracts.hpp"
 #include "common/parallel.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace bmfusion::circuit {
 
@@ -49,6 +50,8 @@ Dataset run_monte_carlo(const Testbench& bench,
   const std::size_t d = names.size();
   const std::size_t count = config.sample_count;
 
+  BMF_SPAN("mc_run");
+  const std::uint64_t run_start_ns = telemetry::now_ns();
   Matrix samples(count, d);
   // One workspace per chunk: chunk c owns rows [c*span, (c+1)*span) and its
   // buffers reach steady state after the first sample, so the remainder of
@@ -63,6 +66,7 @@ Dataset run_monte_carlo(const Testbench& bench,
         SimWorkspace& ws = workspaces[c];
         const std::size_t end = std::min(count, (c + 1) * span);
         for (std::size_t i = c * span; i < end; ++i) {
+          BMF_SCOPED_TIMER_US("circuit.mc.sample_us");
           stats::Xoshiro256pp rng = sample_rng(config.seed, i);
           const Vector& metrics = bench.sample_metrics(rng, ws);
           BMFUSION_REQUIRE(metrics.size() == d,
@@ -74,6 +78,13 @@ Dataset run_monte_carlo(const Testbench& bench,
         }
       },
       config.threads);
+  BMF_COUNTER_ADD("circuit.mc.samples", count);
+  const double elapsed_s =
+      static_cast<double>(telemetry::now_ns() - run_start_ns) * 1e-9;
+  if (elapsed_s > 0.0) {
+    BMF_GAUGE_SET("circuit.mc.throughput_sps",
+                  static_cast<double>(count) / elapsed_s);
+  }
   return Dataset(names, std::move(samples));
 }
 
@@ -85,6 +96,8 @@ stats::SufficientStats run_monte_carlo_stats(const Testbench& bench,
   const std::size_t d = names.size();
   const std::size_t count = config.sample_count;
 
+  BMF_SPAN("mc_run_stats");
+  const std::uint64_t run_start_ns = telemetry::now_ns();
   // Samples accumulate into fixed kStatsBlock-sized blocks in index order.
   // The block partition depends only on `count`, so each block's sums are
   // bitwise identical regardless of how blocks are spread over threads.
@@ -103,6 +116,7 @@ stats::SufficientStats run_monte_carlo_stats(const Testbench& bench,
           stats::SufficientStats& acc = blocks[b];
           const std::size_t end = std::min(count, (b + 1) * kStatsBlock);
           for (std::size_t i = b * kStatsBlock; i < end; ++i) {
+            BMF_SCOPED_TIMER_US("circuit.mc.sample_us");
             stats::Xoshiro256pp rng = sample_rng(config.seed, i);
             const Vector& metrics = bench.sample_metrics(rng, ws);
             BMFUSION_REQUIRE(metrics.size() == d,
@@ -112,6 +126,14 @@ stats::SufficientStats run_monte_carlo_stats(const Testbench& bench,
         }
       },
       config.threads);
+
+  BMF_COUNTER_ADD("circuit.mc.samples", count);
+  const double elapsed_s =
+      static_cast<double>(telemetry::now_ns() - run_start_ns) * 1e-9;
+  if (elapsed_s > 0.0) {
+    BMF_GAUGE_SET("circuit.mc.throughput_sps",
+                  static_cast<double>(count) / elapsed_s);
+  }
 
   // Deterministic pairwise tree reduction over the block accumulators: the
   // combination order is a pure function of n_blocks.

@@ -22,6 +22,7 @@
 #include "linalg/lu.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/vector.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace bmfusion::circuit {
 
@@ -54,11 +55,14 @@ struct SimWorkspace {
   /// every sample_metrics call that uses this workspace.
   template <typename T, typename MakeFn>
   T& cache_as(const void* owner, MakeFn&& make) {
-    if (cache_owner_ != owner || cache_type_ != &typeid(T) || !cache_) {
-      cache_ = std::make_shared<T>(std::forward<MakeFn>(make)());
-      cache_owner_ = owner;
-      cache_type_ = &typeid(T);
+    if (cache_owner_ == owner && cache_type_ == &typeid(T) && cache_) {
+      BMF_COUNTER_ADD("circuit.workspace.cache_hits", 1);
+      return *static_cast<T*>(cache_.get());
     }
+    BMF_COUNTER_ADD("circuit.workspace.cache_misses", 1);
+    cache_ = std::make_shared<T>(std::forward<MakeFn>(make)());
+    cache_owner_ = owner;
+    cache_type_ = &typeid(T);
     return *static_cast<T*>(cache_.get());
   }
 

@@ -10,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "telemetry/telemetry.hpp"
+
 namespace bmfusion {
 
 namespace {
@@ -36,6 +38,7 @@ struct Region {
     tls_in_region = true;
     std::size_t completed = 0;
     std::exception_ptr error;
+    const std::uint64_t busy_start_ns = telemetry::now_ns();
     for (;;) {
       const std::size_t c = next_chunk.fetch_add(1);
       if (c >= chunk_count) break;
@@ -49,6 +52,13 @@ struct Region {
       ++completed;
     }
     tls_in_region = was_in_region;
+    if (completed > 0) {
+      // Per-participant busy time for this region (caller and each helping
+      // worker record once), not per-chunk, to keep the record rate low.
+      BMF_HISTOGRAM_RECORD_US(
+          "common.pool.busy_us",
+          static_cast<double>(telemetry::now_ns() - busy_start_ns) * 1e-3);
+    }
     if (completed > 0 || error) {
       const std::lock_guard<std::mutex> lock(mutex);
       if (error && !first_error) first_error = error;
@@ -90,6 +100,8 @@ class ThreadPool {
         workers_.emplace_back([this] { worker_loop(); });
       }
       for (std::size_t i = 0; i < helpers; ++i) jobs_.push_back(region);
+      BMF_GAUGE_SET("common.pool.queue_depth", jobs_.size());
+      BMF_GAUGE_SET("common.pool.workers", workers_.size());
     }
     work_cv_.notify_all();
   }
@@ -150,6 +162,7 @@ void parallel_for(std::size_t count,
     return;
   }
 
+  BMF_COUNTER_ADD("common.pool.regions", 1);
   auto region = std::make_shared<Region>();
   region->count = count;
   region->chunk = (count + threads - 1) / threads;

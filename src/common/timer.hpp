@@ -1,33 +1,14 @@
 // Wall-clock stopwatch for bench harnesses and progress reporting.
+//
+// The implementation lives in telemetry/clock.hpp so bench timing and
+// telemetry spans/histograms share a single monotonic-clock code path; this
+// header keeps the historical bmfusion::Stopwatch spelling.
 #pragma once
 
-#include <chrono>
+#include "telemetry/clock.hpp"
 
 namespace bmfusion {
 
-/// Monotonic stopwatch. Starts running on construction.
-class Stopwatch {
- public:
-  Stopwatch() : start_(Clock::now()) {}
-
-  /// Restarts the stopwatch and returns the elapsed seconds before the reset.
-  double restart() {
-    const double s = seconds();
-    start_ = Clock::now();
-    return s;
-  }
-
-  /// Elapsed wall-clock seconds since construction or the last restart().
-  [[nodiscard]] double seconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
-  }
-
-  /// Elapsed milliseconds.
-  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
-
- private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
-};
+using Stopwatch = telemetry::Stopwatch;
 
 }  // namespace bmfusion

@@ -9,6 +9,7 @@
 #include "common/parallel.hpp"
 #include "core/normal_wishart.hpp"
 #include "linalg/cholesky.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace bmfusion::core {
 
@@ -110,9 +111,13 @@ CrossValidationResult select_hyperparameters(
   // still disqualify.
   const LikelihoodFallback score_fallback{};
   std::vector<GridScore> grid(kappas.size() * nu_offsets.size());
+  BMF_SPAN("cv_select");
+  BMF_COUNTER_ADD("core.cv.selections", 1);
+  BMF_COUNTER_ADD("core.cv.grid_points", grid.size());
   parallel_for(
       grid.size(),
       [&](std::size_t index) {
+        BMF_SCOPED_TIMER_US("core.cv.grid_point_us");
         const double kappa0 = kappas[index / nu_offsets.size()];
         const double nu0 = d + nu_offsets[index % nu_offsets.size()];
         double total_loglik = 0.0;
@@ -132,6 +137,7 @@ CrossValidationResult select_hyperparameters(
             valid = false;  // degenerate fit: disqualify this grid point
           }
         }
+        if (!valid) BMF_COUNTER_ADD("core.cv.disqualified_points", 1);
         GridScore& gs = grid[index];
         gs.kappa0 = kappa0;
         gs.nu0 = nu0;
@@ -169,9 +175,14 @@ CrossValidationResult select_hyperparameters_evidence(
       linalg::Cholesky(early_scaled.covariance).inverse();
 
   std::vector<GridScore> grid(kappas.size() * nu_offsets.size());
+  BMF_SPAN("cv_select_evidence");
+  BMF_COUNTER_ADD("core.cv.selections", 1);
+  BMF_COUNTER_ADD("core.cv.grid_points", grid.size());
   parallel_for(
       grid.size(),
       [&](std::size_t index) {
+        BMF_SCOPED_TIMER_US("core.cv.grid_point_us");
+        BMF_COUNTER_ADD("core.cv.evidence_evals", 1);
         const double kappa0 = kappas[index / nu_offsets.size()];
         const double nu0 = d + nu_offsets[index % nu_offsets.size()];
         GridScore& gs = grid[index];

@@ -6,6 +6,7 @@
 #include "linalg/cholesky.hpp"
 #include "linalg/ldlt.hpp"
 #include "stats/mvn.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace bmfusion::core {
 
@@ -67,6 +68,7 @@ double score_with(const Factorization& fac, double log_det,
 double log_likelihood(const GaussianMoments& moments,
                       const SufficientStats& stats) {
   require_stats_match(moments, stats);
+  BMF_COUNTER_ADD("core.loglik.evals", 1);
   const linalg::Cholesky chol(moments.covariance);  // throws when not SPD
   return score_with(chol, chol.log_determinant(), moments, stats);
 }
@@ -75,10 +77,15 @@ double log_likelihood(const GaussianMoments& moments,
                       const SufficientStats& stats,
                       const LikelihoodFallback& fallback) {
   require_stats_match(moments, stats);
+  BMF_COUNTER_ADD("core.loglik.evals", 1);
+  BMF_COUNTER_ADD("core.loglik.fallback_evals", 1);
   try {
     const linalg::Cholesky chol =
         linalg::Cholesky::factor_with_jitter(moments.covariance,
                                              fallback.jitter);
+    if (chol.jitter_applied() > 0.0) {
+      BMF_COUNTER_ADD("core.loglik.fallback_jitter", 1);
+    }
     return score_with(chol, chol.log_determinant(), moments, stats);
   } catch (const NumericError& e) {
     if (!fallback.ldlt) {
@@ -92,6 +99,7 @@ double log_likelihood(const GaussianMoments& moments,
   }
   // Last resort: clamped-pivot LDLT handles covariances that are positive
   // semi-definite up to rounding; genuinely indefinite ones still throw.
+  BMF_COUNTER_ADD("core.loglik.fallback_ldlt", 1);
   try {
     const linalg::Ldlt ldlt = linalg::Ldlt::semidefinite(moments.covariance);
     return score_with(ldlt, ldlt.log_abs_determinant(), moments, stats);

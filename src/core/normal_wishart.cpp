@@ -8,6 +8,7 @@
 #include "stats/mvn.hpp"
 #include "stats/special.hpp"
 #include "stats/wishart.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace bmfusion::core {
 
@@ -79,6 +80,7 @@ NormalWishart NormalWishart::posterior(const SufficientStats& stats) const {
 
 NormalWishart NormalWishart::posterior_from(double n, const Vector& xbar,
                                             const Matrix& s) const {
+  BMF_COUNTER_ADD("core.nw.posterior_updates", 1);
   // eq. (24): mu_n = (kappa0 mu0 + n xbar) / (kappa0 + n)
   const Vector mu_n = (mu0_ * kappa0_ + xbar * n) / (kappa0_ + n);
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/contracts.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace bmfusion::linalg {
 
@@ -87,14 +88,17 @@ Cholesky Cholesky::factor_with_jitter(const Matrix& a,
   // well-conditioned inputs produce bit-identical factors.
   if (factor_into(a, chol.l_, &bad_index, &bad_value)) return chol;
 
+  BMF_COUNTER_ADD("linalg.cholesky.jitter_activations", 1);
   const double base = a.norm_max() > 0.0 ? a.norm_max() : 1.0;
   for (std::size_t k = 0; k < policy.attempts; ++k) {
     const double ridge = policy.scale_at(k) * base;
     if (!std::isfinite(ridge) || ridge <= 0.0) break;
+    BMF_COUNTER_ADD("linalg.cholesky.jitter_retries", 1);
     Matrix jittered = a;
     for (std::size_t i = 0; i < a.rows(); ++i) jittered(i, i) += ridge;
     if (factor_into(jittered, chol.l_, &bad_index, &bad_value)) {
       chol.jitter_ = ridge;
+      BMF_GAUGE_SET("linalg.cholesky.jitter_applied", ridge);
       return chol;
     }
   }

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/contracts.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace bmfusion::linalg {
 
@@ -32,6 +33,7 @@ void Ldlt::factor(const Matrix& a, bool clamp) {
       }
       dj = pivot_floor;
       ++clamped_;
+      BMF_COUNTER_ADD("linalg.ldlt.pivot_clamps", 1);
     }
     if (std::fabs(dj) < pivot_floor || !std::isfinite(dj)) {
       throw NumericError("ldlt: zero pivot encountered (singular matrix)",

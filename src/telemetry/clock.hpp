@@ -1,0 +1,44 @@
+// Monotonic clock primitives shared by the telemetry subsystem and the
+// bench harnesses, so library spans and bench stopwatches read the same
+// clock (std::chrono::steady_clock) through one code path.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace bmfusion::telemetry {
+
+/// Monotonic nanosecond timestamp. The epoch is arbitrary (steady_clock);
+/// only differences are meaningful.
+[[nodiscard]] inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Monotonic stopwatch over now_ns(). Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_ns_(now_ns()) {}
+
+  /// Restarts the stopwatch and returns the elapsed seconds before the reset.
+  double restart() noexcept {
+    const double s = seconds();
+    start_ns_ = now_ns();
+    return s;
+  }
+
+  /// Elapsed wall-clock seconds since construction or the last restart().
+  [[nodiscard]] double seconds() const noexcept {
+    return static_cast<double>(now_ns() - start_ns_) * 1e-9;
+  }
+
+  /// Elapsed milliseconds.
+  [[nodiscard]] double milliseconds() const noexcept { return seconds() * 1e3; }
+
+ private:
+  std::uint64_t start_ns_;
+};
+
+}  // namespace bmfusion::telemetry

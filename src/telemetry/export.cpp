@@ -1,0 +1,186 @@
+#include "telemetry/export.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#ifndef BMFUSION_TELEMETRY_ENABLED
+#define BMFUSION_TELEMETRY_ENABLED 1
+#endif
+
+namespace bmfusion::telemetry {
+
+namespace {
+
+/// "circuit.dc.solves" -> "bmfusion_circuit_dc_solves".
+std::string prometheus_name(const std::string& dotted) {
+  std::string out = "bmfusion_";
+  out.reserve(out.size() + dotted.size());
+  for (const char c : dotted) {
+    out.push_back(c == '.' || c == '-' ? '_' : c);
+  }
+  return out;
+}
+
+/// Shortest round-trip double formatting; avoids iostream locale surprises.
+std::string format_double(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out.push_back(c); break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string prometheus_text(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  for (const auto& c : snapshot.counters) {
+    const std::string name = prometheus_name(c.name);
+    out << "# TYPE " << name << " counter\n";
+    out << name << ' ' << c.value << '\n';
+  }
+  for (const auto& g : snapshot.gauges) {
+    const std::string name = prometheus_name(g.name);
+    out << "# TYPE " << name << " gauge\n";
+    out << name << ' ' << format_double(g.value) << '\n';
+  }
+  for (const auto& h : snapshot.histograms) {
+    const std::string name = prometheus_name(h.name);
+    out << "# TYPE " << name << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < h.data.bounds.size(); ++b) {
+      cumulative += h.data.counts[b];
+      out << name << "_bucket{le=\"" << format_double(h.data.bounds[b])
+          << "\"} " << cumulative << '\n';
+    }
+    out << name << "_bucket{le=\"+Inf\"} " << h.data.count << '\n';
+    out << name << "_sum " << format_double(h.data.sum) << '\n';
+    out << name << "_count " << h.data.count << '\n';
+  }
+  return out.str();
+}
+
+std::string prometheus_text() {
+  return prometheus_text(Registry::instance().snapshot());
+}
+
+std::string json_snapshot(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  out << "{\n  \"telemetry_enabled\": "
+      << (BMFUSION_TELEMETRY_ENABLED ? "true" : "false")
+      << ",\n  \"counters\": {";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    out << (i ? ",\n    " : "\n    ") << '"'
+        << json_escape(snapshot.counters[i].name)
+        << "\": " << snapshot.counters[i].value;
+  }
+  out << (snapshot.counters.empty() ? "}" : "\n  }");
+  out << ",\n  \"gauges\": {";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    out << (i ? ",\n    " : "\n    ") << '"'
+        << json_escape(snapshot.gauges[i].name)
+        << "\": " << format_double(snapshot.gauges[i].value);
+  }
+  out << (snapshot.gauges.empty() ? "}" : "\n  }");
+  out << ",\n  \"histograms\": {";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& h = snapshot.histograms[i];
+    out << (i ? ",\n    " : "\n    ") << '"' << json_escape(h.name)
+        << "\": {\"bounds\": [";
+    for (std::size_t b = 0; b < h.data.bounds.size(); ++b) {
+      out << (b ? ", " : "") << format_double(h.data.bounds[b]);
+    }
+    out << "], \"counts\": [";
+    for (std::size_t b = 0; b < h.data.counts.size(); ++b) {
+      out << (b ? ", " : "") << h.data.counts[b];
+    }
+    out << "], \"count\": " << h.data.count
+        << ", \"sum\": " << format_double(h.data.sum) << '}';
+  }
+  out << (snapshot.histograms.empty() ? "}" : "\n  }");
+  const TraceBuffer& trace = TraceBuffer::instance();
+  out << ",\n  \"trace\": {\"recorded\": " << trace.recorded_count()
+      << ", \"capacity\": " << TraceBuffer::kCapacity
+      << ", \"dropped\": " << trace.dropped_count() << "}\n}\n";
+  return out.str();
+}
+
+std::string json_snapshot() {
+  return json_snapshot(Registry::instance().snapshot());
+}
+
+std::string chrome_trace_json(const std::vector<TraceEvent>& events) {
+  std::uint64_t min_start = 0;
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (first || e.start_ns < min_start) min_start = e.start_ns;
+    first = false;
+  }
+  std::ostringstream out;
+  out << "{\"traceEvents\": [";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    out << (i ? ",\n  " : "\n  ");
+    out << "{\"name\": \"" << json_escape(e.name ? e.name : "?")
+        << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << e.thread
+        << ", \"ts\": " << format_double(
+               static_cast<double>(e.start_ns - min_start) * 1e-3)
+        << ", \"dur\": " << format_double(
+               static_cast<double>(e.duration_ns) * 1e-3)
+        << ", \"args\": {\"depth\": " << e.depth << "}}";
+  }
+  out << (events.empty() ? "]" : "\n]") << ", \"displayTimeUnit\": \"ms\"}\n";
+  return out.str();
+}
+
+std::string chrome_trace_json() {
+  return chrome_trace_json(TraceBuffer::instance().snapshot());
+}
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::cerr << "telemetry: cannot open '" << path << "' for writing\n";
+    return false;
+  }
+  out << content;
+  out.flush();
+  if (!out) {
+    std::cerr << "telemetry: write to '" << path << "' failed\n";
+    return false;
+  }
+  return true;
+}
+
+bool write_outputs(const std::string& snapshot_path,
+                   const std::string& trace_path) {
+  bool ok = true;
+  if (!snapshot_path.empty()) {
+    ok = write_text_file(snapshot_path, json_snapshot()) && ok;
+  }
+  if (!trace_path.empty()) {
+    ok = write_text_file(trace_path, chrome_trace_json()) && ok;
+  }
+  return ok;
+}
+
+}  // namespace bmfusion::telemetry

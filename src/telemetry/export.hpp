@@ -1,0 +1,48 @@
+// Exporters: Prometheus text exposition, JSON metric snapshots, and Chrome
+// trace_event JSON (loadable in chrome://tracing or Perfetto). All exporters
+// read merged snapshots; run them at quiescent points (end of a run, after
+// the pool drains) for exact numbers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "telemetry/registry.hpp"
+#include "telemetry/trace.hpp"
+
+namespace bmfusion::telemetry {
+
+/// Prometheus text exposition format. Metric names are rewritten from the
+/// dotted scheme ("circuit.dc.solves") to "bmfusion_circuit_dc_solves";
+/// histograms emit cumulative le="..." buckets plus _sum and _count.
+[[nodiscard]] std::string prometheus_text(const MetricsSnapshot& snapshot);
+
+/// Same, over the live registry.
+[[nodiscard]] std::string prometheus_text();
+
+/// JSON document with counters, gauges, histograms (bounds/counts/count/sum)
+/// and trace-ring occupancy. Keys are the dotted metric names.
+[[nodiscard]] std::string json_snapshot(const MetricsSnapshot& snapshot);
+
+/// Same, over the live registry and trace buffer.
+[[nodiscard]] std::string json_snapshot();
+
+/// Chrome trace_event JSON ("traceEvents" array of ph:"X" complete events).
+/// Timestamps are normalized so the earliest span starts at ts=0.
+[[nodiscard]] std::string chrome_trace_json(
+    const std::vector<TraceEvent>& events);
+
+/// Same, over the live trace buffer.
+[[nodiscard]] std::string chrome_trace_json();
+
+/// Writes `content` to `path`, replacing the file. Returns false (after
+/// printing to stderr) on I/O failure instead of throwing.
+bool write_text_file(const std::string& path, const std::string& content);
+
+/// Convenience for CLI exit paths: writes a JSON metrics snapshot and/or a
+/// Chrome trace to the given paths; empty paths are skipped. Returns false
+/// if any requested write failed.
+bool write_outputs(const std::string& snapshot_path,
+                   const std::string& trace_path);
+
+}  // namespace bmfusion::telemetry

@@ -1,0 +1,74 @@
+#include "telemetry/metrics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bmfusion::telemetry {
+
+namespace detail {
+
+std::size_t thread_slot() noexcept {
+  static std::atomic<std::size_t> next_slot{0};
+  thread_local const std::size_t slot =
+      next_slot.fetch_add(1, std::memory_order_relaxed) % kMaxThreadSlots;
+  return slot;
+}
+
+}  // namespace detail
+
+Histogram::Histogram(std::string name, const std::vector<double>& upper_bounds)
+    : name_(std::move(name)) {
+  if (upper_bounds.empty() ||
+      upper_bounds.size() > kMaxHistogramBuckets - 1) {
+    throw std::invalid_argument(
+        "telemetry histogram '" + name_ + "': need 1.." +
+        std::to_string(kMaxHistogramBuckets - 1) + " bucket bounds");
+  }
+  for (std::size_t i = 0; i < upper_bounds.size(); ++i) {
+    if (!std::isfinite(upper_bounds[i]) ||
+        (i > 0 && upper_bounds[i] <= upper_bounds[i - 1])) {
+      throw std::invalid_argument(
+          "telemetry histogram '" + name_ +
+          "': bounds must be finite and strictly ascending");
+    }
+    bounds_[i] = upper_bounds[i];
+  }
+  bound_count_ = upper_bounds.size();
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  snap.bounds = upper_bounds();
+  snap.counts.assign(bound_count_ + 1, 0);
+  for (const Shard& s : shards_) {
+    for (std::size_t b = 0; b <= bound_count_; ++b) {
+      snap.counts[b] += s.counts[b].load(std::memory_order_relaxed);
+    }
+    snap.count += s.count.load(std::memory_order_relaxed);
+    snap.sum += s.sum.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+std::vector<double> Histogram::upper_bounds() const {
+  return std::vector<double>(bounds_.begin(),
+                             bounds_.begin() +
+                                 static_cast<std::ptrdiff_t>(bound_count_));
+}
+
+void Histogram::reset() noexcept {
+  for (Shard& s : shards_) {
+    for (auto& c : s.counts) c.store(0, std::memory_order_relaxed);
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+const std::vector<double>& default_time_bounds_us() {
+  static const std::vector<double> bounds = {
+      0.5,  1.0,  2.0,  5.0,  10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1e3,
+      2e3,  5e3,  1e4,  2e4,  5e4,  1e5,  2e5,  5e5,   1e6,   2e6,   5e6};
+  return bounds;
+}
+
+}  // namespace bmfusion::telemetry

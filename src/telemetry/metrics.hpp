@@ -1,0 +1,163 @@
+// Lock-free metric primitives: counters, gauges and fixed-bucket histograms
+// backed by per-thread shards.
+//
+// Hot-path contract (the reason this file exists): add()/set()/record()
+// perform no locks and no heap allocations — each writer touches one
+// cache-line-aligned slot selected by a stable per-thread index, using
+// relaxed atomics only. Reads (total()/snapshot()) merge the shards on
+// demand; they are approximate while writers are active and exact at
+// quiescent points, which is when the exporters run. This keeps the PR 3
+// zero-allocation Monte Carlo guarantee intact with telemetry enabled.
+//
+// Metric objects are created through telemetry::Registry (which owns them
+// and hands out process-lifetime references); construction is the only
+// allocating step and happens once per metric name.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bmfusion::telemetry {
+
+/// Number of per-thread shard slots. The parallel.hpp pool is capped at 64
+/// workers, so distinct threads practically always get distinct slots; if a
+/// process ever creates more threads than this, slot indices wrap and the
+/// extra threads share slots — totals stay correct, only contention grows.
+inline constexpr std::size_t kMaxThreadSlots = 80;
+
+/// Hard cap on histogram buckets, including the implicit +inf overflow
+/// bucket (so at most kMaxHistogramBuckets - 1 finite upper bounds).
+inline constexpr std::size_t kMaxHistogramBuckets = 24;
+
+namespace detail {
+
+/// Stable shard index for the calling thread, in [0, kMaxThreadSlots).
+/// Assigned on first use from a global counter; pool workers therefore get
+/// small, stable ids in creation order. Never reused while a thread lives.
+[[nodiscard]] std::size_t thread_slot() noexcept;
+
+}  // namespace detail
+
+/// Monotonic event counter. add() is wait-free and allocation-free.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::uint64_t delta = 1) noexcept {
+    shards_[detail::thread_slot()].value.fetch_add(delta,
+                                                   std::memory_order_relaxed);
+  }
+
+  /// Merge-on-read sum over all shards.
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    std::uint64_t sum = 0;
+    for (const Shard& s : shards_) {
+      sum += s.value.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Zeroes every shard. Intended for tests at quiescent points.
+  void reset() noexcept {
+    for (Shard& s : shards_) s.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::array<Shard, kMaxThreadSlots> shards_{};
+  std::string name_;
+};
+
+/// Last-write-wins instantaneous value (queue depth, throughput). A single
+/// atomic cell: gauges are set at region boundaries, not in per-sample
+/// loops, so sharding would buy nothing.
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(double v) noexcept {
+    bits_.store(std::bit_cast<std::uint64_t>(v), std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] double value() const noexcept {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<std::uint64_t> bits_{0};  // raw bits of a double; 0 == 0.0
+  std::string name_;
+};
+
+/// Fixed-bucket histogram. Bucket upper bounds are frozen at registration;
+/// values above the last bound land in the overflow bucket. record() is
+/// wait-free: one linear scan over <= 23 bounds plus three relaxed atomic
+/// updates on the caller's shard.
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty, strictly ascending, finite, and hold
+  /// at most kMaxHistogramBuckets - 1 entries. Throws std::invalid_argument
+  /// otherwise (telemetry sits below common/, so no BMFUSION_REQUIRE here).
+  Histogram(std::string name, const std::vector<double>& upper_bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void record(double value) noexcept {
+    Shard& s = shards_[detail::thread_slot()];
+    std::size_t b = 0;
+    while (b < bound_count_ && value > bounds_[b]) ++b;
+    s.counts[b].fetch_add(1, std::memory_order_relaxed);
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  struct Snapshot {
+    std::vector<double> bounds;         ///< finite upper bounds, ascending
+    std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 (last: overflow)
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+
+  /// Merge-on-read aggregate over all shards.
+  [[nodiscard]] Snapshot snapshot() const;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Finite upper bounds (ascending), excluding the overflow bucket.
+  [[nodiscard]] std::vector<double> upper_bounds() const;
+
+  void reset() noexcept;
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<std::uint64_t>, kMaxHistogramBuckets> counts{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+  };
+  std::array<Shard, kMaxThreadSlots> shards_{};
+  std::array<double, kMaxHistogramBuckets> bounds_{};
+  std::size_t bound_count_ = 0;
+  std::string name_;
+};
+
+/// Default latency ladder in microseconds (0.5 us .. 5 s, log-ish steps):
+/// the bounds used when a histogram is registered without explicit buckets.
+[[nodiscard]] const std::vector<double>& default_time_bounds_us();
+
+}  // namespace bmfusion::telemetry

@@ -1,0 +1,72 @@
+#include "telemetry/registry.hpp"
+
+namespace bmfusion::telemetry {
+
+Registry& Registry::instance() {
+  // Leaked on purpose: see the header. The single allocation happens on
+  // first use (warm-up territory for every hot loop in the library).
+  static Registry* const registry = new Registry();
+  return *registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  auto created = std::make_unique<Counter>(std::string(name));
+  Counter& ref = *created;
+  counters_.emplace(std::string(name), std::move(created));
+  return ref;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  auto created = std::make_unique<Gauge>(std::string(name));
+  Gauge& ref = *created;
+  gauges_.emplace(std::string(name), std::move(created));
+  return ref;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  return histogram(name, default_time_bounds_us());
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               const std::vector<double>& upper_bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  auto created = std::make_unique<Histogram>(std::string(name), upper_bounds);
+  Histogram& ref = *created;
+  histograms_.emplace(std::string(name), std::move(created));
+  return ref;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.push_back({name, counter->total()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.push_back({name, gauge->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms.push_back({name, histogram->snapshot()});
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
+  for (auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+}  // namespace bmfusion::telemetry

@@ -1,0 +1,83 @@
+// Process-wide registry of named telemetry metrics.
+//
+// Registration (counter()/gauge()/histogram()) takes a mutex and may
+// allocate; it happens once per metric name and returns a reference that is
+// stable for the process lifetime, so hot paths resolve their metric once
+// (the BMF_* macros cache it in a function-local static) and then touch
+// only the lock-free primitives in metrics.hpp.
+//
+// Metric naming scheme: dot-separated "<layer>.<component>.<event>", e.g.
+// "circuit.dc.newton_iterations" or "core.cv.grid_point_us"; histogram
+// names end in their unit. The Prometheus exporter rewrites dots to
+// underscores and prefixes "bmfusion_".
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace bmfusion::telemetry {
+
+/// Point-in-time copy of every registered metric, sorted by name. Exact at
+/// quiescent points; a consistent approximation while writers are active.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramValue {
+    std::string name;
+    Histogram::Snapshot data;
+  };
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+};
+
+class Registry {
+ public:
+  /// The process-wide instance. Intentionally leaked (never destroyed) so
+  /// instrumented code — including pool workers parked past main()'s end —
+  /// can never observe a dead registry during static teardown.
+  static Registry& instance();
+
+  /// Returns the counter registered under `name`, creating it on first use.
+  Counter& counter(std::string_view name);
+
+  /// Returns the gauge registered under `name`, creating it on first use.
+  Gauge& gauge(std::string_view name);
+
+  /// Returns the histogram registered under `name`; created on first use
+  /// with default_time_bounds_us(). The first registration freezes the
+  /// bucket layout; later lookups with the same name reuse it.
+  Histogram& histogram(std::string_view name);
+
+  /// Same, with explicit bucket upper bounds (first registration wins).
+  Histogram& histogram(std::string_view name,
+                       const std::vector<double>& upper_bounds);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zeroes every registered metric (registration itself survives, so held
+  /// references stay valid). Intended for tests at quiescent points.
+  void reset();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace bmfusion::telemetry

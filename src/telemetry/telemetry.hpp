@@ -1,0 +1,115 @@
+// Umbrella header and macro layer for the telemetry subsystem.
+//
+// Instrumented code uses the BMF_* macros exclusively:
+//
+//   BMF_COUNTER_ADD("circuit.dc.solves", 1);
+//   BMF_GAUGE_SET("common.pool.workers", worker_count);
+//   BMF_HISTOGRAM_RECORD_US("common.pool.busy_us", busy_us);
+//   BMF_SCOPED_TIMER_US("core.cv.grid_point_us");   // records on scope exit
+//   BMF_SPAN("dc_solve");                           // trace span, RAII
+//
+// With BMFUSION_TELEMETRY=ON (the default), each macro resolves its metric
+// once via a function-local static reference and then performs only relaxed
+// atomic updates — no locks, no allocations after first use, preserving the
+// zero-allocation Monte Carlo guarantee. With BMFUSION_TELEMETRY=OFF every
+// macro expands to a void-cast of its arguments, which the optimizer
+// removes entirely while still type-checking the call sites.
+//
+// Metric and span names must be string literals (or otherwise outlive the
+// process): the macros cache a reference keyed by the first name seen at
+// that call site, and the trace ring stores name pointers without copying.
+#pragma once
+
+#include "telemetry/clock.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/trace.hpp"
+
+#ifndef BMFUSION_TELEMETRY_ENABLED
+#define BMFUSION_TELEMETRY_ENABLED 1
+#endif
+
+namespace bmfusion::telemetry {
+
+/// Compile-time telemetry state, usable in `if constexpr` and tests.
+[[nodiscard]] constexpr bool enabled() noexcept {
+  return BMFUSION_TELEMETRY_ENABLED != 0;
+}
+
+/// Records elapsed microseconds into a histogram when the scope exits.
+class ScopedHistogramTimer {
+ public:
+  explicit ScopedHistogramTimer(Histogram& histogram) noexcept
+      : histogram_(histogram), start_ns_(now_ns()) {}
+
+  ScopedHistogramTimer(const ScopedHistogramTimer&) = delete;
+  ScopedHistogramTimer& operator=(const ScopedHistogramTimer&) = delete;
+
+  ~ScopedHistogramTimer() {
+    histogram_.record(static_cast<double>(now_ns() - start_ns_) * 1e-3);
+  }
+
+ private:
+  Histogram& histogram_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace bmfusion::telemetry
+
+#define BMF_TELEMETRY_CAT2(a, b) a##b
+#define BMF_TELEMETRY_CAT(a, b) BMF_TELEMETRY_CAT2(a, b)
+
+#if BMFUSION_TELEMETRY_ENABLED
+
+/// Adds `delta` (nonnegative integral) to the counter named `name`.
+#define BMF_COUNTER_ADD(name, delta)                                        \
+  do {                                                                      \
+    static ::bmfusion::telemetry::Counter& bmf_telemetry_counter_ =         \
+        ::bmfusion::telemetry::Registry::instance().counter(name);          \
+    bmf_telemetry_counter_.add(static_cast<std::uint64_t>(delta));          \
+  } while (0)
+
+/// Sets the gauge named `name` to `value` (converted to double).
+#define BMF_GAUGE_SET(name, value)                                          \
+  do {                                                                      \
+    static ::bmfusion::telemetry::Gauge& bmf_telemetry_gauge_ =             \
+        ::bmfusion::telemetry::Registry::instance().gauge(name);            \
+    bmf_telemetry_gauge_.set(static_cast<double>(value));                   \
+  } while (0)
+
+/// Records `value_us` (microseconds, converted to double) into the
+/// histogram named `name` (default latency buckets).
+#define BMF_HISTOGRAM_RECORD_US(name, value_us)                             \
+  do {                                                                      \
+    static ::bmfusion::telemetry::Histogram& bmf_telemetry_histogram_ =     \
+        ::bmfusion::telemetry::Registry::instance().histogram(name);        \
+    bmf_telemetry_histogram_.record(static_cast<double>(value_us));         \
+  } while (0)
+
+/// Declares a scope timer recording elapsed microseconds into the
+/// histogram named `name` when the enclosing scope exits.
+#define BMF_SCOPED_TIMER_US(name)                                           \
+  static ::bmfusion::telemetry::Histogram& BMF_TELEMETRY_CAT(               \
+      bmf_telemetry_scoped_hist_, __LINE__) =                               \
+      ::bmfusion::telemetry::Registry::instance().histogram(name);          \
+  const ::bmfusion::telemetry::ScopedHistogramTimer BMF_TELEMETRY_CAT(      \
+      bmf_telemetry_scoped_timer_, __LINE__)(                               \
+      BMF_TELEMETRY_CAT(bmf_telemetry_scoped_hist_, __LINE__))
+
+/// Declares a trace span covering the enclosing scope. `name` must be a
+/// string literal.
+#define BMF_SPAN(name)                                                      \
+  const ::bmfusion::telemetry::Span BMF_TELEMETRY_CAT(bmf_telemetry_span_,  \
+                                                      __LINE__)(name)
+
+#else  // BMFUSION_TELEMETRY_ENABLED
+
+// OFF mode: evaluate the (cheap, side-effect-free) arguments so call sites
+// still type-check and no -Wunused warnings fire, then discard everything.
+#define BMF_COUNTER_ADD(name, delta) ((void)(name), (void)(delta))
+#define BMF_GAUGE_SET(name, value) ((void)(name), (void)(value))
+#define BMF_HISTOGRAM_RECORD_US(name, value_us) ((void)(name), (void)(value_us))
+#define BMF_SCOPED_TIMER_US(name) ((void)(name))
+#define BMF_SPAN(name) ((void)(name))
+
+#endif  // BMFUSION_TELEMETRY_ENABLED

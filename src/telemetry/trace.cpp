@@ -1,0 +1,57 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+
+#include "telemetry/metrics.hpp"
+
+namespace bmfusion::telemetry {
+
+namespace detail {
+
+std::uint32_t& tls_span_depth() noexcept {
+  thread_local std::uint32_t depth = 0;
+  return depth;
+}
+
+}  // namespace detail
+
+TraceBuffer& TraceBuffer::instance() {
+  // Leaked on purpose: see the declaration. The one-time ring allocation
+  // happens on first use, before any steady-state hot loop.
+  static TraceBuffer* const buffer = new TraceBuffer();
+  return *buffer;
+}
+
+std::vector<TraceEvent> TraceBuffer::snapshot() const {
+  const std::uint64_t total = cursor_.load(std::memory_order_acquire);
+  const std::uint64_t valid = std::min<std::uint64_t>(total, kCapacity);
+  std::vector<TraceEvent> events;
+  events.reserve(static_cast<std::size_t>(valid));
+  for (std::uint64_t idx = total - valid; idx < total; ++idx) {
+    const Slot& slot = slots_[idx & (kCapacity - 1)];
+    if (slot.seq.load(std::memory_order_acquire) == idx + 1) {
+      events.push_back(slot.event);
+    }
+  }
+  return events;
+}
+
+void TraceBuffer::reset() noexcept {
+  for (std::size_t i = 0; i < kCapacity; ++i) {
+    slots_[i].seq.store(0, std::memory_order_relaxed);
+  }
+  cursor_.store(0, std::memory_order_relaxed);
+}
+
+Span::~Span() {
+  --detail::tls_span_depth();
+  TraceEvent event;
+  event.name = name_;
+  event.start_ns = start_ns_;
+  event.duration_ns = now_ns() - start_ns_;
+  event.thread = static_cast<std::uint32_t>(detail::thread_slot());
+  event.depth = depth_;
+  TraceBuffer::instance().record(event);
+}
+
+}  // namespace bmfusion::telemetry

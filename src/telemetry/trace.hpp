@@ -1,0 +1,112 @@
+// Scoped trace spans recorded into a preallocated lock-free ring buffer.
+//
+// A Span stamps the monotonic clock on construction and, on destruction,
+// appends one TraceEvent (name, start, duration, thread slot, nesting
+// depth) to the process-wide TraceBuffer. Recording claims a slot with a
+// single relaxed fetch_add and writes plain fields plus one release store —
+// no locks, no allocations — so spans are safe inside the zero-allocation
+// Monte Carlo hot path. The ring overwrites the oldest events once full;
+// snapshot() returns the newest events in order, and is exact only at
+// quiescent points (no spans finishing concurrently), which is when the
+// exporters run.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "telemetry/clock.hpp"
+
+namespace bmfusion::telemetry {
+
+/// One completed span. `name` must be a string literal (or otherwise
+/// process-lifetime storage): the ring stores the pointer, not a copy.
+struct TraceEvent {
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+  std::uint32_t thread = 0;  ///< telemetry thread slot of the recording thread
+  std::uint32_t depth = 0;   ///< span nesting depth on that thread (0 = root)
+};
+
+namespace detail {
+
+/// Per-thread span nesting depth, incremented while a Span is alive.
+[[nodiscard]] std::uint32_t& tls_span_depth() noexcept;
+
+}  // namespace detail
+
+/// Fixed-capacity ring of completed spans. Writers never block; once the
+/// ring wraps, the oldest events are overwritten.
+class TraceBuffer {
+ public:
+  /// Ring capacity in events (power of two so wraparound is a mask).
+  static constexpr std::size_t kCapacity = std::size_t{1} << 15;
+
+  /// The process-wide instance. Intentionally leaked, like
+  /// Registry::instance(), so spans on pool workers parked past the end of
+  /// main() can never observe a destroyed ring.
+  static TraceBuffer& instance();
+
+  /// Appends one event. Wait-free, allocation-free.
+  void record(const TraceEvent& event) noexcept {
+    const std::uint64_t idx =
+        cursor_.fetch_add(1, std::memory_order_relaxed);
+    Slot& slot = slots_[idx & (kCapacity - 1)];
+    slot.event = event;
+    slot.seq.store(idx + 1, std::memory_order_release);
+  }
+
+  /// Newest retained events, oldest first. Slots currently being
+  /// overwritten by a concurrent writer are skipped; at quiescent points
+  /// the result is exact.
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+
+  /// Total events recorded since construction (including overwritten ones).
+  [[nodiscard]] std::uint64_t recorded_count() const noexcept {
+    return cursor_.load(std::memory_order_relaxed);
+  }
+
+  /// Events lost to ring wraparound.
+  [[nodiscard]] std::uint64_t dropped_count() const noexcept {
+    const std::uint64_t total = recorded_count();
+    return total > kCapacity ? total - kCapacity : 0;
+  }
+
+  /// Empties the ring. Intended for tests at quiescent points.
+  void reset() noexcept;
+
+ private:
+  struct Slot {
+    TraceEvent event;
+    /// 0 = never written; otherwise 1 + the cursor index of the last write.
+    std::atomic<std::uint64_t> seq{0};
+  };
+
+  TraceBuffer() : slots_(new Slot[kCapacity]) {}
+
+  std::atomic<std::uint64_t> cursor_{0};
+  std::unique_ptr<Slot[]> slots_;
+};
+
+/// RAII span: construct with a string literal, destruction records the
+/// event. Usually spelled via the BMF_SPAN macro, which compiles to nothing
+/// when BMFUSION_TELEMETRY is OFF.
+class Span {
+ public:
+  explicit Span(const char* name) noexcept
+      : name_(name), start_ns_(now_ns()), depth_(detail::tls_span_depth()++) {}
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span();
+
+ private:
+  const char* name_;
+  std::uint64_t start_ns_;
+  std::uint32_t depth_;
+};
+
+}  // namespace bmfusion::telemetry

@@ -20,6 +20,7 @@
 #include "linalg/vector.hpp"
 #include "stats/moments.hpp"
 #include "stats/sufficient_stats.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace bmfusion::circuit {
 namespace {
@@ -197,11 +198,16 @@ TEST(AllocationContract, OpAmpWorkspaceSampleIsAllocationFreeSteadyState) {
   const TwoStageOpAmp bench = post_layout_opamp();
   SimWorkspace ws;
   // Warm-up draws grow every buffer (and the per-workspace netlist cache)
-  // to its steady-state capacity.
+  // to its steady-state capacity and perform the one-time telemetry
+  // registrations (metric creation, trace-ring allocation), so the measured
+  // loop exercises the instrumented hot path in its steady state — the
+  // zero-allocation contract must hold with telemetry enabled.
   for (std::size_t i = 0; i < 4; ++i) {
     stats::Xoshiro256pp rng = sample_rng(17, i);
     (void)bench.sample_metrics(rng, ws);
   }
+  const std::uint64_t solves_before =
+      telemetry::Registry::instance().counter("circuit.dc.solves").total();
   const std::uint64_t before = common::allocation_count();
   for (std::size_t i = 4; i < 12; ++i) {
     stats::Xoshiro256pp rng = sample_rng(17, i);
@@ -209,6 +215,13 @@ TEST(AllocationContract, OpAmpWorkspaceSampleIsAllocationFreeSteadyState) {
   }
   const std::uint64_t after = common::allocation_count();
   EXPECT_EQ(after - before, 0u);
+  if (telemetry::enabled()) {
+    // The allocation-free draws must still be observed by the telemetry
+    // layer: 8 measured samples = 8 DC solves.
+    const std::uint64_t solves_after =
+        telemetry::Registry::instance().counter("circuit.dc.solves").total();
+    EXPECT_EQ(solves_after - solves_before, 8u);
+  }
 }
 
 }  // namespace

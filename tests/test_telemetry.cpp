@@ -1,0 +1,343 @@
+// Telemetry subsystem contracts: shard-merge determinism under the thread
+// pool, histogram bucketing, trace-span nesting and ring wraparound,
+// exporter formats, hot-path allocation freedom of the macro layer, and the
+// end-to-end counters the instrumented solver/CV layers must emit. Every
+// test that asserts on macro-driven counters guards on telemetry::enabled()
+// so the suite also passes in a BMFUSION_TELEMETRY=OFF build.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/opamp.hpp"
+#include "circuit/montecarlo.hpp"
+#include "circuit/workspace.hpp"
+#include "common/alloc_counter.hpp"
+#include "common/parallel.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/matrix.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace bmfusion::telemetry {
+namespace {
+
+// ------------------------------------------------------------ shard merging
+
+TEST(CounterShards, MergeIsDeterministicAcrossWorkerCounts) {
+  constexpr std::size_t kAdds = 10000;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    Counter& counter = Registry::instance().counter(
+        "test.merge.counter_t" + std::to_string(threads));
+    parallel_for(
+        kAdds, [&](std::size_t i) { counter.add(i % 3 == 0 ? 2 : 1); },
+        threads);
+    // 2 for every third index, 1 otherwise — independent of scheduling.
+    const std::uint64_t extra = (kAdds + 2) / 3;
+    EXPECT_EQ(counter.total(), kAdds + extra) << "threads=" << threads;
+  }
+}
+
+TEST(HistogramShards, MergeIsDeterministicAcrossWorkerCounts) {
+  constexpr std::size_t kRecords = 6000;
+  const std::vector<double> bounds = {10.0, 100.0, 1000.0};
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    Histogram& hist = Registry::instance().histogram(
+        "test.merge.hist_t" + std::to_string(threads), bounds);
+    // Integer-valued samples: the merged double sum is order-invariant, so
+    // the totals must be bitwise identical for any worker count.
+    parallel_for(
+        kRecords,
+        [&](std::size_t i) { hist.record(static_cast<double>(i % 2000)); },
+        threads);
+    const Histogram::Snapshot snap = hist.snapshot();
+    EXPECT_EQ(snap.count, kRecords) << "threads=" << threads;
+    ASSERT_EQ(snap.counts.size(), 4u);
+    // i % 2000 over 6000 records = 3 full cycles: <=10 has 11 values,
+    // (10, 100] has 90, (100, 1000] has 900, overflow has 999.
+    EXPECT_EQ(snap.counts[0], 3u * 11u) << "threads=" << threads;
+    EXPECT_EQ(snap.counts[1], 3u * 90u) << "threads=" << threads;
+    EXPECT_EQ(snap.counts[2], 3u * 900u) << "threads=" << threads;
+    EXPECT_EQ(snap.counts[3], 3u * 999u) << "threads=" << threads;
+    EXPECT_EQ(snap.sum, 3.0 * (1999.0 * 2000.0 / 2.0)) << "threads=" << threads;
+  }
+}
+
+// ------------------------------------------------------- metric primitives
+
+TEST(Histogram, BucketBoundariesAreInclusiveUpperBounds) {
+  Histogram hist("test.bounds", {1.0, 2.0, 5.0});
+  for (const double v : {0.5, 1.0, 1.5, 2.0, 4.9, 5.0, 5.1}) hist.record(v);
+  const Histogram::Snapshot snap = hist.snapshot();
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 2u);  // 0.5, 1.0
+  EXPECT_EQ(snap.counts[1], 2u);  // 1.5, 2.0
+  EXPECT_EQ(snap.counts[2], 2u);  // 4.9, 5.0
+  EXPECT_EQ(snap.counts[3], 1u);  // 5.1 overflows
+  EXPECT_EQ(snap.count, 7u);
+}
+
+TEST(Histogram, RejectsInvalidBucketLayouts) {
+  EXPECT_THROW(Histogram("bad", {}), std::invalid_argument);
+  EXPECT_THROW(Histogram("bad", {1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram("bad", {2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram("bad", std::vector<double>(30, 1.0)),
+               std::invalid_argument);
+}
+
+TEST(Gauge, StoresLastWrittenDouble) {
+  Gauge gauge("test.gauge");
+  EXPECT_EQ(gauge.value(), 0.0);
+  gauge.set(8681.5);
+  EXPECT_EQ(gauge.value(), 8681.5);
+  gauge.set(-0.25);
+  EXPECT_EQ(gauge.value(), -0.25);
+  gauge.reset();
+  EXPECT_EQ(gauge.value(), 0.0);
+}
+
+TEST(Registry, ResetZeroesButKeepsRegistrations) {
+  Counter& counter = Registry::instance().counter("test.reset.counter");
+  counter.add(5);
+  EXPECT_GE(counter.total(), 5u);
+  Registry::instance().reset();
+  EXPECT_EQ(counter.total(), 0u);
+  // The reference stays valid and usable after reset.
+  counter.add(2);
+  EXPECT_EQ(
+      Registry::instance().counter("test.reset.counter").total(), 2u);
+}
+
+TEST(Registry, FirstHistogramRegistrationWins) {
+  Histogram& first =
+      Registry::instance().histogram("test.first_wins", {1.0, 2.0});
+  Histogram& second =
+      Registry::instance().histogram("test.first_wins", {7.0});
+  EXPECT_EQ(&first, &second);
+  EXPECT_EQ(second.upper_bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+// ---------------------------------------------------------------- tracing
+
+TEST(Trace, SpanNestingRecordsDepthsAndOrder) {
+  TraceBuffer& buffer = TraceBuffer::instance();
+  buffer.reset();
+  {
+    Span outer("test_outer");
+    {
+      Span inner("test_inner");
+      (void)inner;
+    }
+    (void)outer;
+  }
+  const std::vector<TraceEvent> events = buffer.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // The inner span finishes (and is recorded) first.
+  EXPECT_STREQ(events[0].name, "test_inner");
+  EXPECT_EQ(events[0].depth, 1u);
+  EXPECT_STREQ(events[1].name, "test_outer");
+  EXPECT_EQ(events[1].depth, 0u);
+  EXPECT_EQ(events[0].thread, events[1].thread);
+  // The outer span strictly contains the inner one.
+  EXPECT_LE(events[1].start_ns, events[0].start_ns);
+  EXPECT_GE(events[1].start_ns + events[1].duration_ns,
+            events[0].start_ns + events[0].duration_ns);
+}
+
+TEST(Trace, RingWrapsAndKeepsNewestEvents) {
+  TraceBuffer& buffer = TraceBuffer::instance();
+  buffer.reset();
+  constexpr std::uint64_t kOverflow = 100;
+  const std::uint64_t total = TraceBuffer::kCapacity + kOverflow;
+  for (std::uint64_t i = 0; i < total; ++i) {
+    TraceEvent event;
+    event.name = "synthetic";
+    event.start_ns = i;
+    event.duration_ns = i;  // index marker, recoverable from the snapshot
+    buffer.record(event);
+  }
+  EXPECT_EQ(buffer.recorded_count(), total);
+  EXPECT_EQ(buffer.dropped_count(), kOverflow);
+  const std::vector<TraceEvent> events = buffer.snapshot();
+  ASSERT_EQ(events.size(), TraceBuffer::kCapacity);
+  // Oldest retained event is the one right after the dropped prefix, and
+  // the order is preserved through the wraparound.
+  EXPECT_EQ(events.front().duration_ns, kOverflow);
+  EXPECT_EQ(events.back().duration_ns, total - 1);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    ASSERT_EQ(events[i].duration_ns, events[i - 1].duration_ns + 1);
+  }
+  buffer.reset();
+}
+
+// --------------------------------------------------------------- exporters
+
+TEST(Exporters, PrometheusTextUsesCumulativeBuckets) {
+  MetricsSnapshot snap;
+  snap.counters.push_back({"circuit.dc.solves", 42});
+  snap.gauges.push_back({"circuit.mc.throughput_sps", 8681.0});
+  Histogram::Snapshot hs;
+  hs.bounds = {1.0, 10.0};
+  hs.counts = {3, 2, 1};
+  hs.count = 6;
+  hs.sum = 25.5;
+  snap.histograms.push_back({"core.cv.grid_point_us", hs});
+
+  const std::string text = prometheus_text(snap);
+  EXPECT_NE(text.find("# TYPE bmfusion_circuit_dc_solves counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("bmfusion_circuit_dc_solves 42"), std::string::npos);
+  EXPECT_NE(text.find("bmfusion_circuit_mc_throughput_sps 8681"),
+            std::string::npos);
+  // Cumulative exposition: le="10" covers le="1", +Inf covers everything.
+  EXPECT_NE(text.find("bmfusion_core_cv_grid_point_us_bucket{le=\"1\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("bmfusion_core_cv_grid_point_us_bucket{le=\"10\"} 5"),
+            std::string::npos);
+  EXPECT_NE(text.find("bmfusion_core_cv_grid_point_us_bucket{le=\"+Inf\"} 6"),
+            std::string::npos);
+  EXPECT_NE(text.find("bmfusion_core_cv_grid_point_us_count 6"),
+            std::string::npos);
+}
+
+TEST(Exporters, JsonSnapshotListsAllSections) {
+  MetricsSnapshot snap;
+  snap.counters.push_back({"a.b.c", 7});
+  const std::string json = json_snapshot(snap);
+  EXPECT_NE(json.find("\"telemetry_enabled\""), std::string::npos);
+  EXPECT_NE(json.find("\"a.b.c\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace\""), std::string::npos);
+}
+
+TEST(Exporters, ChromeTraceNormalizesTimestamps) {
+  std::vector<TraceEvent> events;
+  TraceEvent a;
+  a.name = "first";
+  a.start_ns = 5'000'000;
+  a.duration_ns = 2'000;
+  a.thread = 1;
+  TraceEvent b;
+  b.name = "second";
+  b.start_ns = 5'001'000;
+  b.duration_ns = 1'000;
+  b.thread = 2;
+  b.depth = 1;
+  events.push_back(a);
+  events.push_back(b);
+  const std::string json = chrome_trace_json(events);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // ts is microseconds relative to the earliest span.
+  EXPECT_NE(json.find("\"name\": \"first\", \"ph\": \"X\", \"pid\": 1, "
+                      "\"tid\": 1, \"ts\": 0"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"ts\": 1, \"dur\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"args\": {\"depth\": 1}"), std::string::npos);
+  // Empty input still produces a loadable document.
+  EXPECT_NE(chrome_trace_json({}).find("\"traceEvents\": []"),
+            std::string::npos);
+}
+
+// --------------------------------------------- macro layer & hot-path cost
+
+TEST(MacroLayer, SteadyStateEmitsNoAllocations) {
+  // First pass registers the metrics and allocates the trace ring (the
+  // one-time costs); afterwards the macro bodies are pure relaxed atomics
+  // plus clock reads.
+  for (int i = 0; i < 2; ++i) {
+    BMF_COUNTER_ADD("test.macro.counter", 1);
+    BMF_GAUGE_SET("test.macro.gauge", 1.5);
+    BMF_HISTOGRAM_RECORD_US("test.macro.hist", 3.0);
+    BMF_SPAN("test_macro_span");
+  }
+  const std::uint64_t before = common::allocation_count();
+  for (int i = 0; i < 256; ++i) {
+    BMF_COUNTER_ADD("test.macro.counter", 2);
+    BMF_GAUGE_SET("test.macro.gauge", static_cast<double>(i));
+    BMF_HISTOGRAM_RECORD_US("test.macro.hist", static_cast<double>(i));
+    BMF_SPAN("test_macro_span");
+  }
+  const std::uint64_t after = common::allocation_count();
+  EXPECT_EQ(after - before, 0u);
+  if (enabled()) {
+    EXPECT_GE(
+        Registry::instance().counter("test.macro.counter").total(), 512u);
+  }
+}
+
+TEST(MacroLayer, OffModeStillEvaluatesToValidStatements) {
+  // Compiles to no-ops when telemetry is OFF and to real updates when ON;
+  // either way these statements must be usable in unbraced if/else bodies.
+  const int x = 3;
+  if (x > 2)
+    BMF_COUNTER_ADD("test.macro.branch", 1);
+  else
+    BMF_GAUGE_SET("test.macro.branch_gauge", 0.0);
+  SUCCEED();
+}
+
+// -------------------------------------------- end-to-end instrumentation
+
+TEST(Instrumentation, JitterRetriesCountedOnSingularMatrix) {
+  if (!enabled()) GTEST_SKIP() << "telemetry compiled out";
+  Counter& activations =
+      Registry::instance().counter("linalg.cholesky.jitter_activations");
+  Counter& retries =
+      Registry::instance().counter("linalg.cholesky.jitter_retries");
+  const std::uint64_t activations_before = activations.total();
+  const std::uint64_t retries_before = retries.total();
+  // Rank-1 PSD matrix: the clean factorization fails, the ridge succeeds.
+  linalg::Matrix singular(2, 2);
+  singular(0, 0) = 1.0;
+  singular(0, 1) = 1.0;
+  singular(1, 0) = 1.0;
+  singular(1, 1) = 1.0;
+  const linalg::Cholesky chol =
+      linalg::Cholesky::factor_with_jitter(singular);
+  EXPECT_GT(chol.jitter_applied(), 0.0);
+  EXPECT_EQ(activations.total(), activations_before + 1);
+  EXPECT_GT(retries.total(), retries_before);
+}
+
+TEST(Instrumentation, DcCountersAdvanceOnOpAmpSample) {
+  if (!enabled()) GTEST_SKIP() << "telemetry compiled out";
+  Registry& registry = Registry::instance();
+  const std::uint64_t solves_before =
+      registry.counter("circuit.dc.solves").total();
+  const std::uint64_t iters_before =
+      registry.counter("circuit.dc.newton_iterations").total();
+  const circuit::TwoStageOpAmp bench(
+      circuit::DesignStage::kPostLayout,
+      circuit::ProcessModel(circuit::TechnologyStatistics{}));
+  circuit::SimWorkspace ws;
+  stats::Xoshiro256pp rng = circuit::sample_rng(21, 0);
+  (void)bench.sample_metrics(rng, ws);
+  EXPECT_GT(registry.counter("circuit.dc.solves").total(), solves_before);
+  EXPECT_GT(registry.counter("circuit.dc.newton_iterations").total(),
+            iters_before);
+}
+
+TEST(Instrumentation, McRunFeedsSamplesCounterAndThroughputGauge) {
+  if (!enabled()) GTEST_SKIP() << "telemetry compiled out";
+  Registry& registry = Registry::instance();
+  const std::uint64_t samples_before =
+      registry.counter("circuit.mc.samples").total();
+  const circuit::TwoStageOpAmp bench(
+      circuit::DesignStage::kSchematic,
+      circuit::ProcessModel(circuit::TechnologyStatistics{}));
+  const auto config =
+      circuit::MonteCarloConfig{}.with_sample_count(12).with_seed(9)
+          .with_threads(2);
+  (void)circuit::run_monte_carlo(bench, config);
+  EXPECT_EQ(registry.counter("circuit.mc.samples").total(),
+            samples_before + 12);
+  EXPECT_GT(registry.gauge("circuit.mc.throughput_sps").value(), 0.0);
+  EXPECT_GT(registry.histogram("circuit.mc.sample_us").snapshot().count, 0u);
+}
+
+}  // namespace
+}  // namespace bmfusion::telemetry
