@@ -14,18 +14,22 @@
 //
 // Running with no arguments executes a self-contained demo on the bundled
 // op-amp workload (generating the CSVs on the fly).
+#include <cmath>
 #include <cstdio>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
 #include "circuit/montecarlo.hpp"
 #include "circuit/opamp.hpp"
 #include "common/cli.hpp"
 #include "common/contracts.hpp"
+#include "common/csv.hpp"
 #include "common/strings.hpp"
 #include "core/estimator.hpp"
 #include "core/report.hpp"
 #include "core/serialization.hpp"
+#include "log/log.hpp"
 #include "telemetry/export.hpp"
 
 namespace {
@@ -42,6 +46,29 @@ linalg::Vector parse_vector(const std::string& text, std::size_t expected) {
     v[i] = std::stod(std::string(trim(parts[i])));
   }
   return v;
+}
+
+/// Dumps the model-selection surface as "kappa0,nu0,score" CSV for
+/// bmf_doctor. Disqualified points (-inf score) are skipped: the CSV dialect
+/// is finite-only, and the snapshot's core.cv.disqualified_points counter
+/// already carries their tally.
+void write_cv_surface(const std::string& path,
+                      const std::vector<core::GridScore>& grid) {
+  if (path.empty()) return;
+  if (grid.empty()) {
+    std::fprintf(stderr,
+                 "# --cv-surface ignored: estimator produced no grid\n");
+    return;
+  }
+  CsvTable table;
+  table.header = {"kappa0", "nu0", "score"};
+  for (const core::GridScore& gs : grid) {
+    if (!std::isfinite(gs.score)) continue;
+    table.rows.push_back({gs.kappa0, gs.nu0, gs.score});
+  }
+  write_csv_file(path, table);
+  std::fprintf(stderr, "# cv surface (%zu points) written to %s\n",
+               table.rows.size(), path.c_str());
 }
 
 int run_export(const CliParser& cli) {
@@ -76,10 +103,11 @@ int run_fuse(const CliParser& cli) {
   report.result = estimator.estimate(late.samples(), late_nominal);
   report.late_samples = late.samples();
   core::write_validation_report(std::cout, report);
+  write_cv_surface(cli.get_string("cv-surface"), report.result.cv_grid);
   return 0;
 }
 
-int run_demo() {
+int run_demo(const CliParser& cli) {
   std::printf("# no mode given: running the bundled op-amp demo\n\n");
   const circuit::TwoStageOpAmp schematic(circuit::DesignStage::kSchematic,
                                          circuit::ProcessModel::cmos45());
@@ -117,6 +145,7 @@ int run_demo() {
       linalg::Vector{72.0, -inf, -inf, -inf, 72.0},
       linalg::Vector{inf, inf, 145e-6, inf, inf}};
   core::write_validation_report(std::cout, report);
+  write_cv_surface(cli.get_string("cv-surface"), report.result.cv_grid);
   return 0;
 }
 
@@ -137,8 +166,27 @@ int main(int argc, char** argv) {
                "write a telemetry JSON snapshot to this path at exit");
   cli.add_flag("trace", "",
                "write a Chrome trace_event JSON to this path at exit");
+  cli.add_flag("log-level", "warn",
+               "sink threshold for stderr/file logging "
+               "(debug, info, warn, error)");
+  cli.add_flag("log-file", "",
+               "write structured JSON-lines logs here (also arms the "
+               "flight-recorder dump on numeric errors)");
+  cli.add_flag("cv-surface", "",
+               "write the CV score surface (kappa0,nu0,score CSV) here");
   try {
     if (!cli.parse(argc, argv)) return 0;
+
+    log::Logger& logger = log::Logger::instance();
+    const std::string log_level = cli.get_string("log-level");
+    const std::optional<log::Level> parsed = log::parse_level(log_level);
+    if (!parsed) {
+      throw DataError("unknown --log-level '" + log_level + "'");
+    }
+    logger.set_level(*parsed);
+    const std::string log_path = cli.get_string("log-file");
+    if (!log_path.empty() && !logger.attach_json_file(log_path)) return 1;
+
     const std::string mode = cli.get_string("mode");
     int rc = 0;
     if (mode == "export") {
@@ -146,7 +194,7 @@ int main(int argc, char** argv) {
     } else if (mode == "fuse") {
       rc = run_fuse(cli);
     } else if (mode.empty()) {
-      rc = run_demo();
+      rc = run_demo(cli);
     } else {
       throw DataError("unknown --mode '" + mode + "'");
     }
@@ -161,6 +209,11 @@ int main(int argc, char** argv) {
       if (!trace_path.empty()) {
         std::fprintf(stderr, "# trace written to %s\n", trace_path.c_str());
       }
+    }
+    if (!log_path.empty()) {
+      logger.flush();
+      std::fprintf(stderr, "# structured log written to %s\n",
+                   log_path.c_str());
     }
     return rc;
   } catch (const std::exception& e) {

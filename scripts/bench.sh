@@ -34,14 +34,17 @@ echo "==> bench: fast-path parity gate"
 ./build-bench/bench/micro_circuit --parity
 
 echo "==> bench: micro_circuit (MC throughput, stage timings, allocations)"
-# The telemetry snapshot + Chrome trace land next to the JSON append so a
+# The telemetry snapshot + Chrome trace accompany the JSON append so a
 # regression in a BENCH_circuit.json record can be cross-examined against
 # the counters (DC iterations, warm-start hits, jitter retries) of the same
-# run. Snapshots are overwritten each run, not appended.
+# run. Snapshots are overwritten each run, not appended. Traces are bulky
+# per-run artifacts, so they go to the untracked bench_data/ directory.
+mkdir -p bench_data
 ./build-bench/bench/micro_circuit --samples="${samples}" --iters=50 \
   --json BENCH_circuit.json --label "${label}" --git "${git_rev}" \
   --date "${date_iso}" \
-  --telemetry BENCH_circuit.telemetry.json --trace BENCH_circuit.trace.json
+  --telemetry BENCH_circuit.telemetry.json \
+  --trace bench_data/BENCH_circuit.trace.json
 
 echo "==> bench: micro_cv (CV engine old-vs-new)"
 ./build-bench/bench/micro_cv --json BENCH_cv.json --label "${label}" \
@@ -97,5 +100,13 @@ append_json() {
 }
 append_json BENCH_linalg.json "${record}"
 echo "  record appended to BENCH_linalg.json"
+
+# Immediate feedback on the records just appended; the hard gate lives in
+# scripts/tier1.sh (report-only there too) and in CI policy, not here.
+if command -v python3 >/dev/null 2>&1; then
+  echo "==> bench: regression sentinel (report-only)"
+  python3 scripts/bench_check.py --report-only \
+    BENCH_circuit.json BENCH_cv.json BENCH_linalg.json
+fi
 
 echo "==> bench: OK"

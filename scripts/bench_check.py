@@ -1,0 +1,240 @@
+#!/usr/bin/env python3
+"""Bench regression sentinel.
+
+Compares the newest record of a BENCH_*.json history (the append-style
+arrays written by scripts/bench.sh) against the most recent prior record of
+the same bench and fails with a readable diff when:
+
+  * a throughput metric (any key containing "throughput") drops by more
+    than --max-drop-pct percent,
+  * a time metric (stage timings, *_ms scalars, real_time_ns kernels) rises
+    by more than --max-time-rise-pct percent,
+  * a parity/accuracy metric (max_score_dev) rises above --max-parity,
+  * an allocation-per-sample metric rises at all (the zero-allocation
+    contract is exact, not statistical).
+
+Usage:
+  scripts/bench_check.py BENCH_circuit.json [BENCH_cv.json ...]
+  scripts/bench_check.py --report-only BENCH_*.json   # never fails
+  scripts/bench_check.py --self-test                  # synthetic histories
+
+Only the standard library is used so the sentinel runs anywhere the repo
+builds.
+"""
+
+import argparse
+import json
+import sys
+
+DEFAULT_MAX_DROP_PCT = 5.0
+DEFAULT_MAX_RISE_PCT = 10.0
+DEFAULT_MAX_PARITY = 1e-12
+
+# Metrics where a *higher* value is better (compared against --max-drop-pct).
+THROUGHPUT_HINT = "throughput"
+# Flat scalar keys treated as timings on top of the nested stage maps.
+TIME_SCALAR_KEYS = ("old_ms", "new_1t_ms", "new_mt_ms", "seconds")
+# Nested objects whose numeric members are timings.
+TIME_OBJECT_KEYS = ("stages", "real_time_ns")
+PARITY_KEYS = ("max_score_dev",)
+ALLOC_OBJECT_KEY = "alloc_per_sample"
+
+
+def flatten_metrics(record):
+    """Extracts {metric_name: value} of comparable numbers from one record."""
+    metrics = {}
+    for obj_key in TIME_OBJECT_KEYS + (ALLOC_OBJECT_KEY,):
+        obj = record.get(obj_key)
+        if isinstance(obj, dict):
+            for name, value in obj.items():
+                if isinstance(value, (int, float)):
+                    metrics[f"{obj_key}.{name}"] = float(value)
+    nested = record.get("mc_opamp_postlayout")
+    if isinstance(nested, dict):
+        for name, value in nested.items():
+            if isinstance(value, (int, float)) and name != "samples":
+                metrics[f"mc_opamp_postlayout.{name}"] = float(value)
+    for key in TIME_SCALAR_KEYS + PARITY_KEYS:
+        value = record.get(key)
+        if isinstance(value, (int, float)):
+            metrics[key] = float(value)
+    return metrics
+
+
+def classify(name):
+    """Returns 'throughput', 'parity', 'alloc' or 'time' for a metric name."""
+    if THROUGHPUT_HINT in name:
+        return "throughput"
+    if any(name.endswith(k) for k in PARITY_KEYS):
+        return "parity"
+    if name.startswith(ALLOC_OBJECT_KEY + "."):
+        return "alloc"
+    return "time"
+
+
+def compare_records(previous, current, args):
+    """Returns a list of (severity, message) tuples; severity in {ok, FAIL}."""
+    prev_metrics = flatten_metrics(previous)
+    cur_metrics = flatten_metrics(current)
+    rows = []
+    for name in sorted(cur_metrics):
+        if name not in prev_metrics:
+            continue
+        prev, cur = prev_metrics[name], cur_metrics[name]
+        kind = classify(name)
+        if kind == "parity":
+            bad = cur > args.max_parity
+            rows.append((
+                "FAIL" if bad else "ok",
+                f"{name}: {prev:.6g} -> {cur:.6g}"
+                + (f" (above parity budget {args.max_parity:g})" if bad
+                   else ""),
+            ))
+            continue
+        if kind == "alloc":
+            bad = cur > prev
+            rows.append((
+                "FAIL" if bad else "ok",
+                f"{name}: {prev:.6g} -> {cur:.6g}"
+                + (" (allocation count rose)" if bad else ""),
+            ))
+            continue
+        if prev == 0.0:
+            continue
+        delta_pct = 100.0 * (cur - prev) / prev
+        if kind == "throughput":
+            bad = -delta_pct > args.max_drop_pct
+            budget = f"-{args.max_drop_pct:g}%"
+        else:
+            bad = delta_pct > args.max_time_rise_pct
+            budget = f"+{args.max_time_rise_pct:g}%"
+        rows.append((
+            "FAIL" if bad else "ok",
+            f"{name}: {prev:.6g} -> {cur:.6g} ({delta_pct:+.2f}%)"
+            + (f" exceeds budget {budget}" if bad else ""),
+        ))
+    return rows
+
+
+def check_history(path, args):
+    """Checks one history file; returns the number of failing metrics."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            history = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"{path}: cannot read history: {exc}", file=sys.stderr)
+        return 1
+    if not isinstance(history, list) or not history:
+        print(f"{path}: not a non-empty JSON array, skipping")
+        return 0
+    current = history[-1]
+    bench_name = current.get("bench", "?")
+    previous = None
+    for record in reversed(history[:-1]):
+        if record.get("bench") == bench_name:
+            previous = record
+            break
+    if previous is None:
+        print(f"{path}: only one '{bench_name}' record, nothing to compare")
+        return 0
+
+    print(f"{path}: '{previous.get('label', '?')}' -> "
+          f"'{current.get('label', '?')}' ({bench_name})")
+    rows = compare_records(previous, current, args)
+    failures = 0
+    for severity, message in rows:
+        if severity == "FAIL":
+            failures += 1
+            print(f"  FAIL  {message}")
+        elif args.verbose:
+            print(f"  ok    {message}")
+    if failures == 0:
+        print(f"  ok    {len(rows)} metric(s) within budget")
+    return failures
+
+
+def self_test(args):
+    """Verifies detection on synthetic good and degraded records."""
+    base = {
+        "bench": "micro_circuit",
+        "label": "baseline",
+        "stages": {"dc_solve_us": 40.0, "opamp_sample_us": 110.0},
+        "mc_opamp_postlayout": {"samples": 2000, "seconds": 0.22,
+                                "throughput_sps": 9000.0},
+        "alloc_per_sample": {"opamp": 0.0, "adc": 14.0},
+        "max_score_dev": 3e-15,
+    }
+    good = dict(base, label="good",
+                mc_opamp_postlayout={"samples": 2000, "seconds": 0.21,
+                                     "throughput_sps": 9200.0})
+    degraded = dict(
+        base,
+        label="degraded",
+        stages={"dc_solve_us": 60.0, "opamp_sample_us": 180.0},
+        mc_opamp_postlayout={"samples": 2000, "seconds": 0.40,
+                             "throughput_sps": 5000.0},
+        alloc_per_sample={"opamp": 3.0, "adc": 14.0},
+        max_score_dev=1e-6,
+    )
+
+    good_rows = compare_records(base, good, args)
+    degraded_rows = compare_records(base, degraded, args)
+    good_failures = [m for s, m in good_rows if s == "FAIL"]
+    degraded_failures = [m for s, m in degraded_rows if s == "FAIL"]
+
+    ok = True
+    if good_failures:
+        print(f"self-test: improved record flagged: {good_failures}")
+        ok = False
+    expectations = {
+        "throughput": "mc_opamp_postlayout.throughput_sps",
+        "time": "stages.dc_solve_us",
+        "alloc": "alloc_per_sample.opamp",
+        "parity": "max_score_dev",
+    }
+    for kind, metric in expectations.items():
+        if not any(metric in m for m in degraded_failures):
+            print(f"self-test: degraded {kind} metric '{metric}' not flagged")
+            ok = False
+    print("self-test: " + ("OK" if ok else "FAILED"))
+    return 0 if ok else 1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("histories", nargs="*",
+                        help="BENCH_*.json history files")
+    parser.add_argument("--max-drop-pct", type=float,
+                        default=DEFAULT_MAX_DROP_PCT,
+                        help="throughput drop %% treated as a regression")
+    parser.add_argument("--max-time-rise-pct", type=float,
+                        default=DEFAULT_MAX_RISE_PCT,
+                        help="time rise %% treated as a regression")
+    parser.add_argument("--max-parity", type=float, default=DEFAULT_MAX_PARITY,
+                        help="max tolerated max_score_dev")
+    parser.add_argument("--report-only", action="store_true",
+                        help="print the diff but always exit 0")
+    parser.add_argument("--verbose", action="store_true",
+                        help="also print metrics that are within budget")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in detection test and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test(args))
+    if not args.histories:
+        parser.error("no history files given (or use --self-test)")
+
+    total_failures = sum(check_history(p, args) for p in args.histories)
+    if total_failures and not args.report_only:
+        print(f"bench_check: {total_failures} regression(s) detected",
+              file=sys.stderr)
+        sys.exit(1)
+    if total_failures:
+        print(f"bench_check: {total_failures} regression(s) (report-only "
+              "mode, not failing)")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

@@ -44,13 +44,16 @@ fi
 if [[ "${skip_asan}" -eq 1 ]]; then
   echo "==> tier-1: ASan+UBSan stage skipped (--skip-asan)"
 else
-  echo "==> tier-1: ASan+UBSan build + fault-injection + telemetry suites"
+  echo "==> tier-1: ASan+UBSan build + fault-injection + telemetry + log suites"
   cmake -B build-asan -S . -DBMF_SANITIZE=address,undefined
-  cmake --build build-asan -j --target test_fault_injection test_telemetry
+  cmake --build build-asan -j \
+    --target test_fault_injection test_telemetry test_log
   UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
     ./build-asan/tests/test_fault_injection
   UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
     ./build-asan/tests/test_telemetry
+  UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
+    ./build-asan/tests/test_log
 
   # Perf smoke: the micro_circuit parity mode replays the Monte Carlo fast
   # path (workspace reuse, raw row writes, streaming reduction) against the
@@ -66,12 +69,25 @@ fi
 if [[ "${skip_tsan}" -eq 1 ]]; then
   echo "==> tier-1: TSan stage skipped (--skip-tsan)"
 else
-  echo "==> tier-1: TSan build + telemetry shard-merge tests"
+  echo "==> tier-1: TSan build + telemetry shard-merge + log sink tests"
   cmake -B build-tsan -S . -DBMF_SANITIZE=thread
-  cmake --build build-tsan -j --target test_telemetry
+  cmake --build build-tsan -j --target test_telemetry test_log
   TSAN_OPTIONS=halt_on_error=1 \
     ./build-tsan/tests/test_telemetry \
     --gtest_filter='CounterShards.*:HistogramShards.*:Trace.*'
+  # The logger's one lock-free piece (flight-recorder ring) plus the mutexed
+  # sink fan-out, hammered from the persistent pool.
+  TSAN_OPTIONS=halt_on_error=1 \
+    ./build-tsan/tests/test_log \
+    --gtest_filter='LogConcurrency.*:FlightRecorder.*'
 fi
+
+# Bench regression sentinel in report-only mode: surfaces perf drift next to
+# the functional gates without making noisy micro-kernels block merges. The
+# self-test is a hard gate — detection logic must work.
+echo "==> tier-1: bench regression sentinel"
+python3 scripts/bench_check.py --self-test
+python3 scripts/bench_check.py --report-only \
+  BENCH_circuit.json BENCH_cv.json BENCH_linalg.json
 
 echo "==> tier-1: OK"

@@ -7,6 +7,7 @@
 #include "common/contracts.hpp"
 #include "linalg/lu.hpp"
 #include "linalg/matrix.hpp"
+#include "log/log.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace bmfusion::circuit {
@@ -253,12 +254,18 @@ void DcSolver::solve_into(const Netlist& netlist, SimWorkspace& ws,
       BMF_COUNTER_ADD("circuit.dc.warm_start_hits", 1);
     } else {
       BMF_COUNTER_ADD("circuit.dc.warm_start_misses", 1);
+      BMF_LOG_DEBUG("dc warm start diverged, falling back to ladder",
+                    log::f("iterations", iterations),
+                    log::f("unknowns", netlist.unknown_count()));
     }
   }
 
   // Strategy 1: gmin stepping from the initial guess.
   if (!converged) {
     BMF_COUNTER_ADD("circuit.dc.gmin_ladder_solves", 1);
+    BMF_LOG_DEBUG("dc entering gmin continuation ladder",
+                  log::f("rungs", config_.gmin_sequence.size()),
+                  log::f("unknowns", netlist.unknown_count()));
     initial_state_into(netlist, x);
     converged = true;
     for (const double gmin : config_.gmin_sequence) {
@@ -273,6 +280,9 @@ void DcSolver::solve_into(const Netlist& netlist, SimWorkspace& ws,
   // Strategy 2: source stepping (with mild gmin), then final gmin descent.
   if (!converged) {
     BMF_COUNTER_ADD("circuit.dc.source_step_solves", 1);
+    BMF_LOG_DEBUG("dc gmin ladder diverged, entering source stepping",
+                  log::f("steps", config_.source_steps),
+                  log::f("iterations", iterations));
     initial_state_into(netlist, x);
     converged = true;
     for (int step = 1; step <= config_.source_steps; ++step) {
@@ -298,6 +308,10 @@ void DcSolver::solve_into(const Netlist& netlist, SimWorkspace& ws,
   // solve keeps its exact result.
   if (!converged) {
     BMF_COUNTER_ADD("circuit.dc.damped_ladder_solves", 1);
+    BMF_LOG_WARN("dc escalating to damped gmin ladder (last resort)",
+                 log::f("iterations", iterations),
+                 log::f("unknowns", netlist.unknown_count()),
+                 log::f("max_voltage_step", 0.2 * config_.max_voltage_step));
     DcSolverConfig damped = config_;
     damped.max_voltage_step = 0.2 * config_.max_voltage_step;
     damped.max_iterations = 2 * config_.max_iterations;
@@ -315,6 +329,10 @@ void DcSolver::solve_into(const Netlist& netlist, SimWorkspace& ws,
   BMF_COUNTER_ADD("circuit.dc.newton_iterations", iterations);
   if (!converged) {
     BMF_COUNTER_ADD("circuit.dc.failures", 1);
+    BMF_LOG_ERROR("dc solver exhausted every strategy",
+                  log::f("iterations", iterations),
+                  log::f("unknowns", netlist.unknown_count()),
+                  log::f("rungs", config_.gmin_sequence.size()));
     throw NumericError("dc solver failed to converge");
   }
 

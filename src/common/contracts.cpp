@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "log/logger.hpp"
+
 namespace bmfusion {
 
 std::string ErrorContext::summary() const {
@@ -39,13 +41,28 @@ std::string ErrorContext::summary() const {
   return os.str();
 }
 
+// All NumericError/DataError constructors notify the logging subsystem so
+// an armed flight-recorder dump can replay the events leading up to the
+// failure (log/logger.hpp; no-op unless a JSON log file is attached).
+NumericError::NumericError(const std::string& what) : std::runtime_error(what) {
+  log::detail::notify_error("NumericError", what);
+}
+
 NumericError::NumericError(const std::string& what, ErrorContext context)
     : std::runtime_error(detail::format_error(what, context)),
-      context_(std::move(context)) {}
+      context_(std::move(context)) {
+  log::detail::notify_error("NumericError", std::runtime_error::what());
+}
+
+DataError::DataError(const std::string& what) : std::runtime_error(what) {
+  log::detail::notify_error("DataError", what);
+}
 
 DataError::DataError(const std::string& what, ErrorContext context)
     : std::runtime_error(detail::format_error(what, context)),
-      context_(std::move(context)) {}
+      context_(std::move(context)) {
+  log::detail::notify_error("DataError", std::runtime_error::what());
+}
 
 namespace detail {
 

@@ -84,7 +84,7 @@ class ConfigError : public ContractError {
 /// Carries an optional ErrorContext identifying the degenerate input.
 class NumericError : public std::runtime_error {
  public:
-  explicit NumericError(const std::string& what) : std::runtime_error(what) {}
+  explicit NumericError(const std::string& what);
   NumericError(const std::string& what, ErrorContext context);
 
   [[nodiscard]] const ErrorContext& context() const { return context_; }
@@ -98,7 +98,7 @@ class NumericError : public std::runtime_error {
 /// offending CSV line number or sample-matrix row).
 class DataError : public std::runtime_error {
  public:
-  explicit DataError(const std::string& what) : std::runtime_error(what) {}
+  explicit DataError(const std::string& what);
   DataError(const std::string& what, ErrorContext context);
 
   [[nodiscard]] const ErrorContext& context() const { return context_; }

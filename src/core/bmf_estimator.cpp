@@ -49,6 +49,7 @@ BmfResult BmfEstimator::estimate_scaled(const GaussianMoments& early_scaled,
   result.kappa0 = selected.kappa0;
   result.nu0 = selected.nu0;
   result.score = selected.score;
+  result.cv_grid = selected.grid();
   result.scaled_moments =
       fuse_at(early_scaled, late_scaled, selected.kappa0, selected.nu0);
   result.moments = result.scaled_moments;  // identical when no transform

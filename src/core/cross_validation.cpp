@@ -9,6 +9,7 @@
 #include "common/parallel.hpp"
 #include "core/normal_wishart.hpp"
 #include "linalg/cholesky.hpp"
+#include "log/log.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace bmfusion::core {
@@ -66,6 +67,9 @@ CrossValidationResult CrossValidationResult::from_grid(
             .with_detail("grid_points=" + std::to_string(grid.size())));
   }
   result.grid_ = std::move(grid);
+  BMF_LOG_INFO("cv selected hyper-parameters", log::f("kappa0", result.kappa0),
+               log::f("nu0", result.nu0), log::f("score", result.score),
+               log::f("grid_points", result.grid_.size()));
   return result;
 }
 
@@ -135,6 +139,9 @@ CrossValidationResult select_hyperparameters(
             total_count += test_stats[q].count();
           } catch (const NumericError&) {
             valid = false;  // degenerate fit: disqualify this grid point
+            BMF_LOG_DEBUG("cv fold disqualified grid point",
+                          log::f("kappa0", kappa0), log::f("nu0", nu0),
+                          log::f("fold", q), log::f("folds", folds));
           }
         }
         if (!valid) BMF_COUNTER_ADD("core.cv.disqualified_points", 1);
@@ -196,6 +203,8 @@ CrossValidationResult select_hyperparameters_evidence(
           gs.score = prior.log_marginal_likelihood(stats) / n;
         } catch (const NumericError&) {
           gs.score = -std::numeric_limits<double>::infinity();
+          BMF_LOG_DEBUG("cv evidence disqualified grid point",
+                        log::f("kappa0", kappa0), log::f("nu0", nu0));
         }
       },
       config.threads);

@@ -1,0 +1,109 @@
+// Run-report engine behind the bmf_doctor tool.
+//
+// diagnose_run() ingests the observability artifacts a bmf_cli (or test)
+// run leaves behind — a telemetry JSON snapshot, a JSON-lines structured
+// log, a CV score-surface CSV and a BENCH_*.json history — and distills
+// them into one RunReport: numeric-health counters, warm-start hit rates,
+// histogram latency quantiles, log-level tallies, the CV surface around its
+// optimum, bench deltas vs the previous record, and a list of human-readable
+// findings ("dc solver fell back to the damped ladder 3 times").
+//
+// Every input is optional; the report covers whatever was provided. All
+// parsing goes through common/json.hpp and common/csv.hpp, so malformed
+// inputs surface as DataError with the offending path attached.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bmfusion::core {
+
+/// Tunable alarm thresholds; defaults match scripts/bench_check.py.
+struct DoctorThresholds {
+  double max_throughput_drop_pct = 5.0;  ///< bench: throughput regression
+  double max_time_rise_pct = 10.0;       ///< bench: per-stage time regression
+  double max_disqualified_ratio = 0.5;   ///< CV: disqualified / grid points
+};
+
+/// Where to read each artifact; empty string = section omitted.
+struct DoctorInputs {
+  std::string snapshot_path;    ///< telemetry json_snapshot() output
+  std::string log_path;         ///< JSON-lines log (Logger::attach_json_file)
+  std::string bench_path;       ///< BENCH_*.json append-style history
+  std::string cv_surface_path;  ///< CSV: kappa0,nu0,score (bmf_cli --cv-surface)
+};
+
+/// One counter the numeric-health section surfaces, with the raw value.
+struct CounterReading {
+  std::string name;
+  double value = 0.0;
+};
+
+/// Latency quantiles for one telemetry histogram.
+struct HistogramQuantiles {
+  std::string name;
+  std::uint64_t count = 0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Aggregate of the JSON-lines log.
+struct LogSummary {
+  std::uint64_t total = 0;
+  std::uint64_t debug = 0;
+  std::uint64_t info = 0;
+  std::uint64_t warn = 0;
+  std::uint64_t error = 0;
+  std::uint64_t malformed_lines = 0;
+  std::uint64_t error_notifications = 0;  ///< "error raised" hook events
+  std::uint64_t flight_dumps = 0;         ///< flight_recorder_dump headers
+  std::vector<std::string> recent_warnings;  ///< last few warn/error messages
+};
+
+/// One CV grid point from the surface CSV.
+struct CvSurfacePoint {
+  double kappa0 = 0.0;
+  double nu0 = 0.0;
+  double score = 0.0;
+};
+
+/// Newest-vs-previous comparison for one bench scalar.
+struct BenchDelta {
+  std::string metric;
+  double previous = 0.0;
+  double current = 0.0;
+  double delta_pct = 0.0;  ///< signed, relative to previous
+  bool regression = false;
+};
+
+struct RunReport {
+  // Numeric health (from the snapshot's counters).
+  std::vector<CounterReading> health_counters;
+  std::optional<double> warm_start_hit_rate;  ///< hits / (hits + misses)
+  std::optional<double> cv_disqualified_ratio;
+
+  std::vector<HistogramQuantiles> histograms;
+  std::optional<LogSummary> log_summary;
+
+  std::vector<CvSurfacePoint> cv_surface;  ///< sorted by descending score
+  std::optional<CvSurfacePoint> cv_best;
+
+  std::string bench_label;  ///< newest record's label, when history present
+  std::vector<BenchDelta> bench_deltas;
+
+  /// Human-readable findings; empty means a clean bill of health.
+  std::vector<std::string> findings;
+
+  [[nodiscard]] std::string to_markdown() const;
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Builds the report from whichever inputs are non-empty. Throws DataError
+/// when a provided file is missing or malformed.
+[[nodiscard]] RunReport diagnose_run(const DoctorInputs& inputs,
+                                     const DoctorThresholds& thresholds = {});
+
+}  // namespace bmfusion::core

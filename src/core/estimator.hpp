@@ -10,7 +10,9 @@
 
 #include <limits>
 #include <string_view>
+#include <vector>
 
+#include "core/cross_validation.hpp"
 #include "core/moments.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/vector.hpp"
@@ -28,6 +30,10 @@ struct EstimateResult {
   /// Model-selection score of the winning hyper-parameters (held-out
   /// log-likelihood for CV, per-sample log evidence for empirical Bayes).
   double score = std::numeric_limits<double>::quiet_NaN();
+  /// Full model-selection surface (one entry per (kappa0, nu0) grid point;
+  /// disqualified points carry -inf). Empty for hyper-parameter-free
+  /// strategies. Consumed by bmf_cli --cv-surface and bmf_doctor.
+  std::vector<GridScore> cv_grid;
 };
 
 /// Abstract moment estimator (non-virtual interface): the public estimate()

@@ -5,6 +5,7 @@
 #include "common/contracts.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/ldlt.hpp"
+#include "log/log.hpp"
 #include "stats/mvn.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -85,6 +86,10 @@ double log_likelihood(const GaussianMoments& moments,
                                              fallback.jitter);
     if (chol.jitter_applied() > 0.0) {
       BMF_COUNTER_ADD("core.loglik.fallback_jitter", 1);
+      BMF_LOG_DEBUG("loglik scored through jitter fallback",
+                    log::f("ridge", chol.jitter_applied()),
+                    log::f("dim", moments.dimension()),
+                    log::f("n", stats.count()));
     }
     return score_with(chol, chol.log_determinant(), moments, stats);
   } catch (const NumericError& e) {
@@ -100,6 +105,9 @@ double log_likelihood(const GaussianMoments& moments,
   // Last resort: clamped-pivot LDLT handles covariances that are positive
   // semi-definite up to rounding; genuinely indefinite ones still throw.
   BMF_COUNTER_ADD("core.loglik.fallback_ldlt", 1);
+  BMF_LOG_DEBUG("loglik escalating to clamped ldlt fallback",
+                log::f("dim", moments.dimension()),
+                log::f("n", stats.count()));
   try {
     const linalg::Ldlt ldlt = linalg::Ldlt::semidefinite(moments.covariance);
     return score_with(ldlt, ldlt.log_abs_determinant(), moments, stats);

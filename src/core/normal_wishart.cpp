@@ -6,6 +6,7 @@
 #include "linalg/cholesky.hpp"
 #include "stats/moments.hpp"
 #include "stats/mvn.hpp"
+#include "log/log.hpp"
 #include "stats/special.hpp"
 #include "stats/wishart.hpp"
 #include "telemetry/telemetry.hpp"
@@ -81,6 +82,9 @@ NormalWishart NormalWishart::posterior(const SufficientStats& stats) const {
 NormalWishart NormalWishart::posterior_from(double n, const Vector& xbar,
                                             const Matrix& s) const {
   BMF_COUNTER_ADD("core.nw.posterior_updates", 1);
+  BMF_LOG_DEBUG("normal-wishart posterior update", log::f("n", n),
+                log::f("kappa0", kappa0_), log::f("nu0", nu0_),
+                log::f("dim", dimension()));
   // eq. (24): mu_n = (kappa0 mu0 + n xbar) / (kappa0 + n)
   const Vector mu_n = (mu0_ * kappa0_ + xbar * n) / (kappa0_ + n);
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/contracts.hpp"
+#include "log/log.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace bmfusion::linalg {
@@ -90,18 +91,30 @@ Cholesky Cholesky::factor_with_jitter(const Matrix& a,
 
   BMF_COUNTER_ADD("linalg.cholesky.jitter_activations", 1);
   const double base = a.norm_max() > 0.0 ? a.norm_max() : 1.0;
+  BMF_LOG_DEBUG("cholesky clean attempt failed, entering jitter escalation",
+                log::f("dim", a.rows()), log::f("norm_max", base),
+                log::f("pivot", bad_index), log::f("pivot_value", bad_value));
   for (std::size_t k = 0; k < policy.attempts; ++k) {
     const double ridge = policy.scale_at(k) * base;
     if (!std::isfinite(ridge) || ridge <= 0.0) break;
     BMF_COUNTER_ADD("linalg.cholesky.jitter_retries", 1);
+    BMF_LOG_DEBUG("cholesky ridge retry", log::f("attempt", k),
+                  log::f("ridge", ridge), log::f("dim", a.rows()));
     Matrix jittered = a;
     for (std::size_t i = 0; i < a.rows(); ++i) jittered(i, i) += ridge;
     if (factor_into(jittered, chol.l_, &bad_index, &bad_value)) {
       chol.jitter_ = ridge;
       BMF_GAUGE_SET("linalg.cholesky.jitter_applied", ridge);
+      BMF_LOG_INFO("cholesky succeeded after ridge jitter",
+                   log::f("attempt", k), log::f("ridge", ridge),
+                   log::f("dim", a.rows()), log::f("norm_max", base));
       return chol;
     }
   }
+  BMF_LOG_WARN("cholesky jitter escalation exhausted",
+               log::f("attempts", policy.attempts), log::f("dim", a.rows()),
+               log::f("norm_max", base), log::f("last_pivot", bad_index),
+               log::f("last_pivot_value", bad_value));
   throw NumericError(
       "cholesky: matrix is not positive definite even after ridge-jitter "
       "retries",

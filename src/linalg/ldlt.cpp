@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/contracts.hpp"
+#include "log/log.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace bmfusion::linalg {
@@ -31,6 +32,9 @@ void Ldlt::factor(const Matrix& a, bool clamp) {
                 .with_index(j)
                 .with_value(dj));
       }
+      BMF_LOG_DEBUG("ldlt pivot clamped to floor", log::f("pivot", j),
+                    log::f("pivot_value", dj), log::f("floor", pivot_floor),
+                    log::f("dim", n));
       dj = pivot_floor;
       ++clamped_;
       BMF_COUNTER_ADD("linalg.ldlt.pivot_clamps", 1);

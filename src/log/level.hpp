@@ -1,0 +1,43 @@
+// Log severity levels for the structured-logging subsystem.
+//
+// Levels are ordered so numeric comparison implements "at least as severe":
+// kDebug < kInfo < kWarn < kError. The compile-time floor
+// (BMFUSION_LOG_MIN_LEVEL, see log.hpp) and the runtime thresholds in
+// logger.hpp both compare against these values.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace bmfusion::log {
+
+enum class Level : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+/// Lowercase canonical name ("debug", "info", "warn", "error").
+[[nodiscard]] constexpr const char* level_name(Level level) noexcept {
+  switch (level) {
+    case Level::kDebug: return "debug";
+    case Level::kInfo: return "info";
+    case Level::kWarn: return "warn";
+    case Level::kError: return "error";
+  }
+  return "?";
+}
+
+/// Parses a level name, case-sensitively, accepting the canonical names plus
+/// "warning". Returns nullopt on anything else.
+[[nodiscard]] inline std::optional<Level> parse_level(
+    std::string_view name) noexcept {
+  if (name == "debug") return Level::kDebug;
+  if (name == "info") return Level::kInfo;
+  if (name == "warn" || name == "warning") return Level::kWarn;
+  if (name == "error") return Level::kError;
+  return std::nullopt;
+}
+
+}  // namespace bmfusion::log

@@ -1,0 +1,75 @@
+// Umbrella header and macro layer for the structured-logging subsystem.
+//
+// Instrumented code uses the BMF_LOG_* macros exclusively:
+//
+//   BMF_LOG_DEBUG("cv fold disqualified", f("kappa0", k), f("nu0", nu));
+//   BMF_LOG_WARN("cholesky jitter applied", f("ridge", r), f("dim", n));
+//
+// Field helpers (log/record.hpp) accept integral, double, literal-string
+// and copied-string values; `message`, `__FILE__` and field keys are string
+// literals so records can sit in the flight-recorder ring indefinitely.
+//
+// Two filters apply, mirroring the telemetry design:
+//   * Compile-time floor: BMFUSION_LOG_MIN_LEVEL (0=debug .. 3=error,
+//     default 0; override with -DBMFUSION_LOG_FLOOR=<level> at configure
+//     time). Macros below the floor expand to log::detail::noop(...) —
+//     arguments still type-check, the optimizer removes the call entirely.
+//   * Runtime thresholds: Logger::passes() is one relaxed atomic load; a
+//     record that passes is copied into the lock-free flight-recorder ring
+//     (allocation-free, always) and formatted for stderr / the JSON-lines
+//     file only when it also clears the sink threshold (default kWarn).
+//
+// On any NumericError/DataError construction the logger is notified and —
+// when a dump target is armed — replays the ring next to the error context:
+// the flight-recorder answers "what happened just before the failure"
+// without running debug sinks all the time.
+#pragma once
+
+#include "log/level.hpp"
+#include "log/logger.hpp"
+#include "log/record.hpp"
+#include "log/recorder.hpp"
+
+#ifndef BMFUSION_LOG_MIN_LEVEL
+#define BMFUSION_LOG_MIN_LEVEL 0
+#endif
+
+/// Shared expansion for every enabled level: one relaxed-load pre-filter,
+/// then the full emission path.
+#define BMF_LOG_AT_LEVEL(level, message, ...)                               \
+  do {                                                                      \
+    ::bmfusion::log::Logger& bmf_log_logger_ =                              \
+        ::bmfusion::log::Logger::instance();                                \
+    if (bmf_log_logger_.passes(level)) {                                    \
+      bmf_log_logger_.log(level, message, __FILE__, __LINE__,               \
+                          {__VA_ARGS__});                                   \
+    }                                                                       \
+  } while (0)
+
+#if BMFUSION_LOG_MIN_LEVEL <= 0
+#define BMF_LOG_DEBUG(...) \
+  BMF_LOG_AT_LEVEL(::bmfusion::log::Level::kDebug, __VA_ARGS__)
+#else
+#define BMF_LOG_DEBUG(...) ::bmfusion::log::detail::noop(__VA_ARGS__)
+#endif
+
+#if BMFUSION_LOG_MIN_LEVEL <= 1
+#define BMF_LOG_INFO(...) \
+  BMF_LOG_AT_LEVEL(::bmfusion::log::Level::kInfo, __VA_ARGS__)
+#else
+#define BMF_LOG_INFO(...) ::bmfusion::log::detail::noop(__VA_ARGS__)
+#endif
+
+#if BMFUSION_LOG_MIN_LEVEL <= 2
+#define BMF_LOG_WARN(...) \
+  BMF_LOG_AT_LEVEL(::bmfusion::log::Level::kWarn, __VA_ARGS__)
+#else
+#define BMF_LOG_WARN(...) ::bmfusion::log::detail::noop(__VA_ARGS__)
+#endif
+
+#if BMFUSION_LOG_MIN_LEVEL <= 3
+#define BMF_LOG_ERROR(...) \
+  BMF_LOG_AT_LEVEL(::bmfusion::log::Level::kError, __VA_ARGS__)
+#else
+#define BMF_LOG_ERROR(...) ::bmfusion::log::detail::noop(__VA_ARGS__)
+#endif

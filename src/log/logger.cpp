@@ -1,0 +1,168 @@
+#include "log/logger.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "telemetry/clock.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace bmfusion::log {
+
+Logger& Logger::instance() {
+  // Leaked on purpose: see the declaration.
+  static Logger* const logger = new Logger();
+  return *logger;
+}
+
+void Logger::refresh_min_level() noexcept {
+  // The ring is always a consumer; sinks only matter when one is active.
+  // (stderr defaults to enabled, so in practice min == ring_level.)
+  int floor = ring_level_.load(std::memory_order_relaxed);
+  if (stderr_enabled_.load(std::memory_order_relaxed) ||
+      json_sink_.is_open()) {
+    floor = std::min(floor, sink_level_.load(std::memory_order_relaxed));
+  }
+  min_level_.store(floor, std::memory_order_relaxed);
+}
+
+void Logger::set_level(Level level) noexcept {
+  sink_level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  refresh_min_level();
+}
+
+void Logger::set_ring_level(Level level) noexcept {
+  ring_level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  refresh_min_level();
+}
+
+void Logger::set_stderr_enabled(bool enabled) noexcept {
+  stderr_enabled_.store(enabled, std::memory_order_relaxed);
+  refresh_min_level();
+}
+
+bool Logger::attach_json_file(const std::string& path) {
+  const std::lock_guard<std::mutex> lock(io_mutex_);
+  const bool ok = json_sink_.open(path);
+  if (ok) dump_armed_.store(true, std::memory_order_relaxed);
+  refresh_min_level();
+  return ok;
+}
+
+void Logger::detach_json_file() {
+  const std::lock_guard<std::mutex> lock(io_mutex_);
+  json_sink_.flush();
+  json_sink_.close();
+  refresh_min_level();
+}
+
+void Logger::flush() {
+  const std::lock_guard<std::mutex> lock(io_mutex_);
+  json_sink_.flush();
+}
+
+void Logger::reset_dump_budget(std::uint32_t max_dumps) noexcept {
+  dumps_done_.store(0, std::memory_order_relaxed);
+  max_dumps_.store(max_dumps, std::memory_order_relaxed);
+}
+
+void Logger::write_to_sinks(const LogRecord& record) {
+  const std::lock_guard<std::mutex> lock(io_mutex_);
+  if (stderr_enabled_.load(std::memory_order_relaxed)) {
+    const std::string line = format_text_line(record);
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+  json_sink_.write(record);
+}
+
+void Logger::log(Level level, const char* message, const char* file, int line,
+                 std::initializer_list<Field> fields) noexcept {
+  try {
+    LogRecord record;
+    record.time_ns = telemetry::now_ns();
+    record.level = level;
+    record.message = message;
+    record.file = file;
+    record.line = line;
+    record.thread =
+        static_cast<std::uint32_t>(telemetry::detail::thread_slot());
+    for (const Field& field : fields) {
+      if (record.field_count >= kMaxLogFields) break;
+      record.fields[record.field_count++] = field;
+    }
+    if (static_cast<int>(level) >=
+        ring_level_.load(std::memory_order_relaxed)) {
+      FlightRecorder::instance().record(record);
+    }
+    if (static_cast<int>(level) >=
+        sink_level_.load(std::memory_order_relaxed)) {
+      write_to_sinks(record);
+    }
+  } catch (...) {
+    // Logging must never propagate: a full disk or bad stream drops the
+    // record, nothing else.
+  }
+}
+
+void Logger::dump_flight_recorder(const char* reason,
+                                  std::string_view detail) {
+  const std::vector<LogRecord> records = FlightRecorder::instance().snapshot();
+  const std::lock_guard<std::mutex> lock(io_mutex_);
+  const bool to_stderr = stderr_enabled_.load(std::memory_order_relaxed);
+  if (to_stderr) {
+    std::fprintf(stderr,
+                 "--- flight recorder dump (%s): %.*s\n"
+                 "--- last %zu structured events, oldest first:\n",
+                 reason, static_cast<int>(detail.size()), detail.data(),
+                 records.size());
+  }
+  if (json_sink_.is_open()) {
+    json_sink_.write_raw_line(
+        "{\"flight_recorder_dump\": {\"reason\": \"" +
+        json_escape_text(reason) + "\", \"detail\": \"" +
+        json_escape_text(detail) + "\", \"events\": " +
+        std::to_string(records.size()) + "}}");
+  }
+  for (const LogRecord& record : records) {
+    if (to_stderr) {
+      const std::string line = format_text_line(record);
+      std::fprintf(stderr, "    %s\n", line.c_str());
+    }
+    json_sink_.write(record);
+  }
+  if (to_stderr) std::fprintf(stderr, "--- end of flight recorder dump\n");
+  json_sink_.flush();
+}
+
+void Logger::on_error(const char* kind, const std::string& what) noexcept {
+  try {
+    // Recoverable numeric errors are control flow here (CV disqualifies
+    // grid points by catching them), so the event itself is info-level and
+    // the expensive dump is armed + rate-limited.
+    log(Level::kInfo, "error raised", __FILE__, __LINE__,
+        {f("kind", kind), f("what", std::string_view(what))});
+    if (!dump_armed_.load(std::memory_order_relaxed)) return;
+    std::uint32_t done = dumps_done_.load(std::memory_order_relaxed);
+    const std::uint32_t budget = max_dumps_.load(std::memory_order_relaxed);
+    do {
+      if (done >= budget) return;
+    } while (!dumps_done_.compare_exchange_weak(done, done + 1,
+                                                std::memory_order_relaxed));
+    dump_flight_recorder(kind, what);
+  } catch (...) {
+    // Never let diagnostics interfere with the real error being thrown.
+  }
+}
+
+namespace detail {
+
+void notify_error(const char* kind, const std::string& what) noexcept {
+  thread_local bool in_hook = false;
+  if (in_hook) return;  // an error raised while logging an error: drop it
+  in_hook = true;
+  Logger::instance().on_error(kind, what);
+  in_hook = false;
+}
+
+}  // namespace detail
+
+}  // namespace bmfusion::log

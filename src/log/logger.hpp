@@ -1,0 +1,150 @@
+// Process-wide structured logger: runtime level filtering, thread-safe
+// sinks, and the flight-recorder dump-on-error policy.
+//
+// Fan-out per record (see log.hpp for the macro layer):
+//   1. Ring: records at or above ring_level() are copied into the
+//      FlightRecorder — lock-free, allocation-free, always on. This is the
+//      path hot loops take; at the default thresholds it is the ONLY path
+//      debug/info events take, so the Monte Carlo steady state stays at
+//      zero allocations per sample with logging compiled in.
+//   2. Sinks: records at or above sink_level() are formatted and written to
+//      stderr (when enabled) and to the attached JSON-lines file (when
+//      open), serialized by one mutex. Formatting allocates; it only runs
+//      for records the operator asked to see.
+//
+// Dump-on-error: contracts.cpp notifies the logger whenever a NumericError
+// or DataError is constructed. When a dump target is armed (attaching a
+// JSON-lines file arms it; set_dump_on_error overrides), the flight
+// recorder's last kCapacity records are replayed to the sinks alongside the
+// error text — rate-limited, because this library treats recoverable
+// NumericErrors as control flow (CV grid-point disqualification).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+
+#include "log/recorder.hpp"
+#include "log/sinks.hpp"
+
+namespace bmfusion::log {
+
+class Logger {
+ public:
+  /// Default number of flight-recorder dumps per process before the
+  /// rate-limiter swallows further ones.
+  static constexpr std::uint32_t kDefaultMaxDumps = 5;
+
+  /// The process-wide instance. Intentionally leaked (like the telemetry
+  /// Registry) so log sites on parked pool workers never observe a dead
+  /// logger during static teardown.
+  static Logger& instance();
+
+  // ------------------------------------------------------------ thresholds
+
+  /// Sink threshold: records below it skip stderr and the JSON file.
+  /// Default kWarn.
+  void set_level(Level level) noexcept;
+  [[nodiscard]] Level level() const noexcept {
+    return static_cast<Level>(sink_level_.load(std::memory_order_relaxed));
+  }
+
+  /// Ring threshold: records below it skip the flight recorder.
+  /// Default kDebug (capture everything the compile floor lets through).
+  void set_ring_level(Level level) noexcept;
+  [[nodiscard]] Level ring_level() const noexcept {
+    return static_cast<Level>(ring_level_.load(std::memory_order_relaxed));
+  }
+
+  /// Cheapest possible pre-filter for the macro layer: one relaxed load
+  /// against min(ring_level, sink_level).
+  [[nodiscard]] bool passes(Level level) const noexcept {
+    return static_cast<int>(level) >=
+           min_level_.load(std::memory_order_relaxed);
+  }
+
+  // ----------------------------------------------------------------- sinks
+
+  /// Enables/disables the stderr text sink (enabled by default; the
+  /// kWarn default sink threshold keeps it quiet in practice).
+  void set_stderr_enabled(bool enabled) noexcept;
+  [[nodiscard]] bool stderr_enabled() const noexcept {
+    return stderr_enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Opens `path` as the JSON-lines sink (truncating) and arms the
+  /// flight-recorder dump. Returns false on I/O failure.
+  bool attach_json_file(const std::string& path);
+  void detach_json_file();
+  void flush();
+
+  // -------------------------------------------------------- flight record
+
+  /// Overrides the dump-on-error arming (attach_json_file arms it
+  /// implicitly). A dump replays the ring to every active sink.
+  void set_dump_on_error(bool armed) noexcept {
+    dump_armed_.store(armed, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool dump_on_error() const noexcept {
+    return dump_armed_.load(std::memory_order_relaxed);
+  }
+
+  /// Resets the dump rate-limiter and sets its budget (tests; the default
+  /// budget is kDefaultMaxDumps per process).
+  void reset_dump_budget(std::uint32_t max_dumps = kDefaultMaxDumps) noexcept;
+
+  /// Number of flight-recorder dumps performed so far.
+  [[nodiscard]] std::uint32_t dump_count() const noexcept {
+    return dumps_done_.load(std::memory_order_relaxed);
+  }
+
+  /// Replays the flight recorder to the active sinks, bypassing the rate
+  /// limiter. `reason` must be a literal; `detail` is free text (the error
+  /// message). Used by the error hook and by CLI exit paths.
+  void dump_flight_recorder(const char* reason, std::string_view detail);
+
+  // ------------------------------------------------------------- emission
+
+  /// Emits one record: ring copy when `level` clears ring_level(), sink
+  /// write when it clears level(). The macro layer guarantees `message`,
+  /// `file` and field keys are literals.
+  void log(Level level, const char* message, const char* file, int line,
+           std::initializer_list<Field> fields) noexcept;
+
+  /// Called by the NumericError/DataError constructors (contracts.cpp):
+  /// records an info-level event carrying the error text and, when armed,
+  /// dumps the flight recorder (rate-limited, recursion-guarded).
+  void on_error(const char* kind, const std::string& what) noexcept;
+
+ private:
+  Logger() = default;
+  void refresh_min_level() noexcept;
+  void write_to_sinks(const LogRecord& record);
+
+  std::atomic<int> sink_level_{static_cast<int>(Level::kWarn)};
+  std::atomic<int> ring_level_{static_cast<int>(Level::kDebug)};
+  std::atomic<int> min_level_{static_cast<int>(Level::kDebug)};
+  std::atomic<bool> stderr_enabled_{true};
+  std::atomic<bool> dump_armed_{false};
+  std::atomic<std::uint32_t> dumps_done_{0};
+  std::atomic<std::uint32_t> max_dumps_{kDefaultMaxDumps};
+
+  std::mutex io_mutex_;  ///< serializes stderr + file writes and (de)attach
+  JsonLinesSink json_sink_;
+};
+
+namespace detail {
+
+/// Discards its arguments; the expansion target of compile-floored macros.
+template <typename... Args>
+constexpr void noop(const Args&...) noexcept {}
+
+/// Error-construction hook used by contracts.cpp; forwards to
+/// Logger::on_error with a recursion guard.
+void notify_error(const char* kind, const std::string& what) noexcept;
+
+}  // namespace detail
+
+}  // namespace bmfusion::log

@@ -1,0 +1,121 @@
+// Fixed-size structured log records.
+//
+// A LogRecord carries a string-literal message plus up to kMaxLogFields
+// typed key/value fields in inline storage — no heap pointers except
+// process-lifetime literals — so records can be copied into the lock-free
+// flight-recorder ring and replayed later without lifetime hazards. Field
+// values are built through the overloaded f() helpers:
+//
+//   BMF_LOG_WARN("jitter applied", f("ridge", ridge), f("dim", n));
+//
+// Integral values keep their signedness, doubles are stored exactly, and
+// strings come in two flavors: f(key, const char*) stores the pointer (the
+// value must be a literal or otherwise outlive the process, like telemetry
+// span names), while f(key, std::string_view) copies — truncating — into a
+// small inline buffer, for dynamic text such as exception messages.
+#pragma once
+
+#include <array>
+#include <concepts>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+#include "log/level.hpp"
+
+namespace bmfusion::log {
+
+/// Maximum key/value fields per record; extra fields are dropped.
+inline constexpr std::size_t kMaxLogFields = 8;
+
+/// Inline capacity for copied (dynamic) string values, including the
+/// terminating NUL. Longer values are truncated.
+inline constexpr std::size_t kMaxInlineText = 48;
+
+/// One typed key/value field. Trivially copyable by design.
+struct Field {
+  enum class Kind : std::uint8_t {
+    kNone = 0,
+    kInt,
+    kUint,
+    kReal,
+    kLiteral,  ///< value.literal points at process-lifetime storage
+    kText,     ///< truncated copy lives in `text`
+  };
+
+  const char* key = nullptr;
+  Kind kind = Kind::kNone;
+  union Value {
+    std::int64_t i;
+    std::uint64_t u;
+    double real;
+    const char* literal;
+  } value{};
+  char text[kMaxInlineText] = {};
+};
+
+/// Integral field (bools render as 0/1; signedness is preserved).
+template <std::integral T>
+[[nodiscard]] inline Field f(const char* key, T v) noexcept {
+  Field field;
+  field.key = key;
+  if constexpr (std::signed_integral<T>) {
+    field.kind = Field::Kind::kInt;
+    field.value.i = static_cast<std::int64_t>(v);
+  } else {
+    field.kind = Field::Kind::kUint;
+    field.value.u = static_cast<std::uint64_t>(v);
+  }
+  return field;
+}
+
+/// Floating-point field.
+[[nodiscard]] inline Field f(const char* key, double v) noexcept {
+  Field field;
+  field.key = key;
+  field.kind = Field::Kind::kReal;
+  field.value.real = v;
+  return field;
+}
+
+/// Literal-string field: stores the pointer, so `v` must outlive the process
+/// (string literals, metric names). For dynamic text use the string_view
+/// overload, which copies.
+[[nodiscard]] inline Field f(const char* key, const char* v) noexcept {
+  Field field;
+  field.key = key;
+  field.kind = Field::Kind::kLiteral;
+  field.value.literal = v;
+  return field;
+}
+
+/// Copied-string field: up to kMaxInlineText - 1 bytes of `v` are copied
+/// inline (truncating silently). Safe for exception messages and other
+/// transient text.
+[[nodiscard]] inline Field f(const char* key, std::string_view v) noexcept {
+  Field field;
+  field.key = key;
+  field.kind = Field::Kind::kText;
+  const std::size_t n = v.size() < kMaxInlineText - 1
+                            ? v.size()
+                            : kMaxInlineText - 1;
+  std::memcpy(field.text, v.data(), n);
+  field.text[n] = '\0';
+  return field;
+}
+
+/// One structured log event. `message`, `file` and field keys must be
+/// string literals; everything else is stored by value, so a LogRecord can
+/// sit in the flight-recorder ring indefinitely.
+struct LogRecord {
+  std::uint64_t time_ns = 0;  ///< monotonic timestamp (telemetry clock)
+  Level level = Level::kDebug;
+  const char* message = nullptr;
+  const char* file = nullptr;
+  int line = 0;
+  std::uint32_t thread = 0;  ///< telemetry thread slot of the emitting thread
+  std::uint32_t field_count = 0;
+  std::array<Field, kMaxLogFields> fields{};
+};
+
+}  // namespace bmfusion::log

@@ -1,0 +1,35 @@
+#include "log/recorder.hpp"
+
+#include <algorithm>
+
+namespace bmfusion::log {
+
+FlightRecorder& FlightRecorder::instance() {
+  // Leaked on purpose: see the declaration. The one-time ring allocation
+  // happens on first use, before any steady-state hot loop.
+  static FlightRecorder* const recorder = new FlightRecorder();
+  return *recorder;
+}
+
+std::vector<LogRecord> FlightRecorder::snapshot() const {
+  const std::uint64_t total = cursor_.load(std::memory_order_acquire);
+  const std::uint64_t valid = std::min<std::uint64_t>(total, kCapacity);
+  std::vector<LogRecord> records;
+  records.reserve(static_cast<std::size_t>(valid));
+  for (std::uint64_t idx = total - valid; idx < total; ++idx) {
+    const Slot& slot = slots_[idx & (kCapacity - 1)];
+    if (slot.seq.load(std::memory_order_acquire) == (idx + 1) << 1) {
+      records.push_back(slot.record);
+    }
+  }
+  return records;
+}
+
+void FlightRecorder::reset() noexcept {
+  for (std::size_t i = 0; i < kCapacity; ++i) {
+    slots_[i].seq.store(0, std::memory_order_relaxed);
+  }
+  cursor_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace bmfusion::log

@@ -1,0 +1,96 @@
+// Flight recorder: a lock-free ring of the most recent structured log
+// records.
+//
+// Every log event that clears the ring threshold is copied into a fixed
+// 256-slot ring with the same claim-then-publish scheme as the telemetry
+// TraceBuffer: one relaxed fetch_add to claim a global index, a CAS that
+// swings the slot's sequence word to an odd in-progress token, the record
+// copy, then a release store of the even published sequence. The sequence
+// word doubles as a per-slot claim token so two writers a full ring lap
+// apart can never copy into the same slot concurrently: the one holding the
+// older index drops its copy (it was about to be overwritten anyway), and
+// the newer one waits out an older mid-copy writer. record() never takes a
+// mutex and never allocates, so debug-level events can be captured from the
+// zero-allocation Monte Carlo hot path.
+//
+// The payoff is the dump path: when a NumericError or DataError is raised
+// (see logger.hpp), the last N events — whatever detail level the sinks were
+// suppressing — are replayed next to the error context, answering "what was
+// the system doing just before it failed" without debug-level sinks running
+// all the time.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "log/record.hpp"
+
+namespace bmfusion::log {
+
+class FlightRecorder {
+ public:
+  /// Ring capacity in records (power of two so wraparound is a mask).
+  static constexpr std::size_t kCapacity = 256;
+
+  /// The process-wide instance. Intentionally leaked, like the telemetry
+  /// Registry, so log sites on pool workers parked past the end of main()
+  /// can never observe a destroyed ring.
+  static FlightRecorder& instance();
+
+  /// Appends one record. Allocation-free and mutex-free; a writer only
+  /// waits in the rare case that a writer one full ring lap behind it is
+  /// still mid-copy in the same slot.
+  void record(const LogRecord& rec) noexcept {
+    const std::uint64_t idx = cursor_.fetch_add(1, std::memory_order_relaxed);
+    Slot& slot = slots_[idx & (kCapacity - 1)];
+    const std::uint64_t published = (idx + 1) << 1;
+    std::uint64_t seen = slot.seq.load(std::memory_order_relaxed);
+    while (true) {
+      if (seen >= published) {
+        return;  // a newer record already landed here; ours is stale
+      }
+      if ((seen & 1U) != 0) {
+        // An older writer is mid-copy; it will publish momentarily.
+        seen = slot.seq.load(std::memory_order_relaxed);
+        continue;
+      }
+      // Acquire on success orders the previous writer's copy before ours.
+      if (slot.seq.compare_exchange_weak(seen, published | 1U,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+        break;
+      }
+    }
+    slot.record = rec;
+    slot.seq.store(published, std::memory_order_release);
+  }
+
+  /// Newest retained records, oldest first. Slots being overwritten by a
+  /// concurrent writer are skipped; exact at quiescent points.
+  [[nodiscard]] std::vector<LogRecord> snapshot() const;
+
+  /// Total records written since construction (including overwritten ones).
+  [[nodiscard]] std::uint64_t recorded_count() const noexcept {
+    return cursor_.load(std::memory_order_relaxed);
+  }
+
+  /// Empties the ring. Intended for tests at quiescent points.
+  void reset() noexcept;
+
+ private:
+  struct Slot {
+    LogRecord record;
+    /// 0 = never written; (idx + 1) << 1 = record for cursor index idx is
+    /// published; the same value | 1 = a writer for idx is mid-copy.
+    std::atomic<std::uint64_t> seq{0};
+  };
+
+  FlightRecorder() : slots_(new Slot[kCapacity]) {}
+
+  std::atomic<std::uint64_t> cursor_{0};
+  std::unique_ptr<Slot[]> slots_;
+};
+
+}  // namespace bmfusion::log

@@ -1,0 +1,56 @@
+// Record formatting and the two text sinks: human-readable stderr lines and
+// machine-readable JSON lines.
+//
+// Formatting is split out as free functions so the exact output is unit-
+// testable without touching process-global state. Sinks themselves are
+// plain serialized writers; the Logger (logger.hpp) owns the single I/O
+// mutex, calls sinks only for records that clear the sink threshold, and
+// never calls them from the allocation-free ring path.
+#pragma once
+
+#include <fstream>
+#include <string>
+
+#include "log/record.hpp"
+
+namespace bmfusion::log {
+
+/// Human-readable single line, e.g.
+///   [ 12.345678] warn  dc.cpp:301 damped ladder entered dies=3 gmin=1e-09
+/// The timestamp is seconds since the first record formatted in this
+/// process (monotonic clock), matching the trace-span timeline.
+[[nodiscard]] std::string format_text_line(const LogRecord& record);
+
+/// One JSON object per record, newline-free, e.g.
+///   {"t_ns":123,"level":"warn","msg":"...","file":"...","line":3,
+///    "thread":0,"fields":{"ridge":1e-10,"attempt":2}}
+/// String values are escaped per RFC 8259 (quotes, backslash, control
+/// characters as \uXXXX shortcuts where JSON defines them).
+[[nodiscard]] std::string format_json_line(const LogRecord& record);
+
+/// JSON string escaping used by format_json_line; exposed for the doctor's
+/// own emitters and for tests.
+[[nodiscard]] std::string json_escape_text(std::string_view text);
+
+/// JSON-lines file sink. open() truncates; write() appends one line per
+/// record. Not internally synchronized — the Logger serializes access.
+class JsonLinesSink {
+ public:
+  /// Opens `path` for writing (truncating). Returns false on failure.
+  bool open(const std::string& path);
+  void close();
+  [[nodiscard]] bool is_open() const { return out_.is_open(); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  void write(const LogRecord& record);
+  /// Writes a pre-formatted JSON line (used by the flight-recorder dump
+  /// header). The caller guarantees `line` is one valid JSON document.
+  void write_raw_line(const std::string& line);
+  void flush();
+
+ private:
+  std::ofstream out_;
+  std::string path_;
+};
+
+}  // namespace bmfusion::log

@@ -75,6 +75,14 @@ std::string prometheus_text(const MetricsSnapshot& snapshot) {
     out << name << "_bucket{le=\"+Inf\"} " << h.data.count << '\n';
     out << name << "_sum " << format_double(h.data.sum) << '\n';
     out << name << "_count " << h.data.count << '\n';
+    // Pre-computed quantiles from the fixed buckets, so dashboards without
+    // recording rules still get latency percentiles.
+    out << name << "_p50 " << format_double(histogram_quantile(h.data, 0.50))
+        << '\n';
+    out << name << "_p95 " << format_double(histogram_quantile(h.data, 0.95))
+        << '\n';
+    out << name << "_p99 " << format_double(histogram_quantile(h.data, 0.99))
+        << '\n';
   }
   return out.str();
 }
@@ -114,7 +122,11 @@ std::string json_snapshot(const MetricsSnapshot& snapshot) {
       out << (b ? ", " : "") << h.data.counts[b];
     }
     out << "], \"count\": " << h.data.count
-        << ", \"sum\": " << format_double(h.data.sum) << '}';
+        << ", \"sum\": " << format_double(h.data.sum)
+        << ", \"p50\": " << format_double(histogram_quantile(h.data, 0.50))
+        << ", \"p95\": " << format_double(histogram_quantile(h.data, 0.95))
+        << ", \"p99\": " << format_double(histogram_quantile(h.data, 0.99))
+        << '}';
   }
   out << (snapshot.histograms.empty() ? "}" : "\n  }");
   const TraceBuffer& trace = TraceBuffer::instance();

@@ -64,6 +64,29 @@ void Histogram::reset() noexcept {
   }
 }
 
+double histogram_quantile(const Histogram::Snapshot& snapshot, double q) {
+  if (snapshot.count == 0 || snapshot.bounds.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * static_cast<double>(snapshot.count);
+  double cumulative = 0.0;
+  for (std::size_t b = 0; b < snapshot.counts.size(); ++b) {
+    const double in_bucket = static_cast<double>(snapshot.counts[b]);
+    if (cumulative + in_bucket < rank || in_bucket == 0.0) {
+      cumulative += in_bucket;
+      continue;
+    }
+    // Overflow bucket has no finite upper edge: clamp to the last bound,
+    // matching Prometheus' histogram_quantile behaviour.
+    if (b >= snapshot.bounds.size()) return snapshot.bounds.back();
+    const double upper = snapshot.bounds[b];
+    const double lower = b == 0 ? 0.0 : snapshot.bounds[b - 1];
+    const double fraction = (rank - cumulative) / in_bucket;
+    return lower + (upper - lower) * fraction;
+  }
+  return snapshot.bounds.back();
+}
+
 const std::vector<double>& default_time_bounds_us() {
   static const std::vector<double> bounds = {
       0.5,  1.0,  2.0,  5.0,  10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1e3,

@@ -160,4 +160,11 @@ class Histogram {
 /// the bounds used when a histogram is registered without explicit buckets.
 [[nodiscard]] const std::vector<double>& default_time_bounds_us();
 
+/// Quantile estimate from a fixed-bucket snapshot via linear interpolation
+/// inside the target bucket (Prometheus histogram_quantile semantics). `q`
+/// in [0, 1]. Values in the overflow bucket clamp to the last finite bound.
+/// Returns 0.0 for an empty histogram.
+[[nodiscard]] double histogram_quantile(const Histogram::Snapshot& snapshot,
+                                        double q);
+
 }  // namespace bmfusion::telemetry

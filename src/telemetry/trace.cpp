@@ -29,7 +29,7 @@ std::vector<TraceEvent> TraceBuffer::snapshot() const {
   events.reserve(static_cast<std::size_t>(valid));
   for (std::uint64_t idx = total - valid; idx < total; ++idx) {
     const Slot& slot = slots_[idx & (kCapacity - 1)];
-    if (slot.seq.load(std::memory_order_acquire) == idx + 1) {
+    if (slot.seq.load(std::memory_order_acquire) == (idx + 1) << 1) {
       events.push_back(slot.event);
     }
   }

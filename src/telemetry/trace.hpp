@@ -49,13 +49,35 @@ class TraceBuffer {
   /// main() can never observe a destroyed ring.
   static TraceBuffer& instance();
 
-  /// Appends one event. Wait-free, allocation-free.
+  /// Appends one event. Allocation-free and mutex-free. The sequence word
+  /// doubles as a per-slot claim token (odd = copy in progress) so two
+  /// writers a full ring lap apart never copy into the same slot at once:
+  /// the older one drops its copy, the newer one waits out an older
+  /// mid-copy writer.
   void record(const TraceEvent& event) noexcept {
     const std::uint64_t idx =
         cursor_.fetch_add(1, std::memory_order_relaxed);
     Slot& slot = slots_[idx & (kCapacity - 1)];
+    const std::uint64_t published = (idx + 1) << 1;
+    std::uint64_t seen = slot.seq.load(std::memory_order_relaxed);
+    while (true) {
+      if (seen >= published) {
+        return;  // a newer event already landed here; ours is stale
+      }
+      if ((seen & 1U) != 0) {
+        // An older writer is mid-copy; it will publish momentarily.
+        seen = slot.seq.load(std::memory_order_relaxed);
+        continue;
+      }
+      // Acquire on success orders the previous writer's copy before ours.
+      if (slot.seq.compare_exchange_weak(seen, published | 1U,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+        break;
+      }
+    }
     slot.event = event;
-    slot.seq.store(idx + 1, std::memory_order_release);
+    slot.seq.store(published, std::memory_order_release);
   }
 
   /// Newest retained events, oldest first. Slots currently being
@@ -80,7 +102,8 @@ class TraceBuffer {
  private:
   struct Slot {
     TraceEvent event;
-    /// 0 = never written; otherwise 1 + the cursor index of the last write.
+    /// 0 = never written; (idx + 1) << 1 = event for cursor index idx is
+    /// published; the same value | 1 = a writer for idx is mid-copy.
     std::atomic<std::uint64_t> seq{0};
   };
 

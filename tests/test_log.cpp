@@ -1,0 +1,472 @@
+// Structured-logging contracts: runtime level filtering, record formatting
+// and JSON escaping, flight-recorder ring semantics, the dump-on-error
+// policy wired through NumericError/DataError construction, the
+// zero-allocation ring-only path, and sink thread-safety under the shared
+// pool. The FlightRecorder and LogConcurrency suites double as the TSan
+// targets (scripts/tier1.sh runs them with
+// --gtest_filter='LogConcurrency.*:FlightRecorder.*').
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/alloc_counter.hpp"
+#include "common/contracts.hpp"
+#include "common/json.hpp"
+#include "common/parallel.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/matrix.hpp"
+#include "log/log.hpp"
+
+namespace blog = bmfusion::log;
+
+namespace {
+
+using blog::f;
+using blog::Field;
+using blog::Level;
+using blog::Logger;
+using blog::LogRecord;
+using bmfusion::DataError;
+using bmfusion::JsonValue;
+using bmfusion::NumericError;
+using bmfusion::parse_json;
+using bmfusion::linalg::Cholesky;
+using bmfusion::linalg::Matrix;
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+/// Saves the process-wide logger configuration on entry and restores it —
+/// plus an empty ring and a fresh dump budget — on exit, so tests sharing
+/// one process (the sanitizer runs) cannot leak state into each other.
+class LogStateGuard : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Logger& logger = Logger::instance();
+    saved_sink_level_ = logger.level();
+    saved_ring_level_ = logger.ring_level();
+    saved_stderr_ = logger.stderr_enabled();
+    saved_armed_ = logger.dump_on_error();
+  }
+
+  void TearDown() override {
+    Logger& logger = Logger::instance();
+    logger.detach_json_file();
+    logger.set_level(saved_sink_level_);
+    logger.set_ring_level(saved_ring_level_);
+    logger.set_stderr_enabled(saved_stderr_);
+    logger.set_dump_on_error(saved_armed_);
+    logger.reset_dump_budget();
+    blog::FlightRecorder::instance().reset();
+  }
+
+ private:
+  Level saved_sink_level_ = Level::kWarn;
+  Level saved_ring_level_ = Level::kDebug;
+  bool saved_stderr_ = true;
+  bool saved_armed_ = false;
+};
+
+// Suite names are load-bearing: scripts/tier1.sh selects the TSan-covered
+// subset with --gtest_filter='LogConcurrency.*:FlightRecorder.*'.
+class LogLevels : public LogStateGuard {};
+class LogZeroAlloc : public LogStateGuard {};
+class FlightRecorder : public LogStateGuard {};
+class LogConcurrency : public LogStateGuard {};
+
+// ------------------------------------------------------------- thresholds
+
+TEST_F(LogLevels, DefaultThresholdsKeepSinksQuietAndTheRingEager) {
+  // Sinks default to kWarn (quiet stderr), the ring to kDebug (capture
+  // everything the compile floor lets through).
+  Logger& logger = Logger::instance();
+  logger.set_level(Level::kWarn);
+  logger.set_ring_level(Level::kDebug);
+  EXPECT_TRUE(logger.passes(Level::kDebug));  // ring keeps min at kDebug
+  EXPECT_EQ(logger.level(), Level::kWarn);
+  EXPECT_EQ(logger.ring_level(), Level::kDebug);
+}
+
+TEST_F(LogLevels, PassesTracksMinOfRingAndSinkThresholds) {
+  Logger& logger = Logger::instance();
+  logger.set_stderr_enabled(true);
+  logger.set_ring_level(Level::kError);
+  logger.set_level(Level::kWarn);
+  EXPECT_FALSE(logger.passes(Level::kInfo));
+  EXPECT_TRUE(logger.passes(Level::kWarn));
+
+  // With every sink off, only the ring threshold matters.
+  logger.set_stderr_enabled(false);
+  EXPECT_FALSE(logger.passes(Level::kWarn));
+  EXPECT_TRUE(logger.passes(Level::kError));
+}
+
+TEST_F(LogLevels, RingThresholdFiltersRecords) {
+  Logger& logger = Logger::instance();
+  logger.set_stderr_enabled(false);
+  logger.set_level(Level::kError);
+  logger.set_ring_level(Level::kWarn);
+  blog::FlightRecorder::instance().reset();
+
+  BMF_LOG_DEBUG("below ring threshold", f("i", 1));
+  BMF_LOG_INFO("below ring threshold", f("i", 2));
+  EXPECT_EQ(blog::FlightRecorder::instance().recorded_count(), 0u);
+
+  BMF_LOG_WARN("clears ring threshold", f("i", 3));
+  EXPECT_EQ(blog::FlightRecorder::instance().recorded_count(), 1u);
+}
+
+TEST_F(LogLevels, SinkThresholdFiltersFileLines) {
+  Logger& logger = Logger::instance();
+  logger.set_stderr_enabled(false);
+  logger.set_level(Level::kError);
+  const std::string path = temp_path("bmf_log_sink_threshold.jsonl");
+  ASSERT_TRUE(logger.attach_json_file(path));
+
+  BMF_LOG_WARN("suppressed by sink threshold", f("i", 1));
+  BMF_LOG_ERROR("written to the file", f("i", 2));
+  logger.detach_json_file();
+
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  const JsonValue record = parse_json(lines[0]);
+  EXPECT_EQ(record.string_or("level", ""), "error");
+  EXPECT_EQ(record.string_or("msg", ""), "written to the file");
+  const JsonValue* fields = record.find("fields");
+  ASSERT_NE(fields, nullptr);
+  EXPECT_EQ(fields->number_or("i", -1.0), 2.0);
+}
+
+TEST_F(LogLevels, ParseLevelAcceptsCanonicalNamesAndWarningAlias) {
+  EXPECT_EQ(blog::parse_level("debug"), Level::kDebug);
+  EXPECT_EQ(blog::parse_level("info"), Level::kInfo);
+  EXPECT_EQ(blog::parse_level("warn"), Level::kWarn);
+  EXPECT_EQ(blog::parse_level("warning"), Level::kWarn);
+  EXPECT_EQ(blog::parse_level("error"), Level::kError);
+  EXPECT_FALSE(blog::parse_level("verbose").has_value());
+  EXPECT_FALSE(blog::parse_level("WARN").has_value());
+  EXPECT_FALSE(blog::parse_level("").has_value());
+}
+
+// ------------------------------------------------------------- formatting
+
+TEST(LogFormat, JsonEscapingCoversQuotesBackslashesAndControls) {
+  EXPECT_EQ(blog::json_escape_text("plain"), "plain");
+  EXPECT_EQ(blog::json_escape_text("a\"b"), "a\\\"b");
+  EXPECT_EQ(blog::json_escape_text("a\\b"), "a\\\\b");
+  EXPECT_EQ(blog::json_escape_text("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(blog::json_escape_text(std::string_view("\x01\x1f", 2)),
+            "\\u0001\\u001f");
+}
+
+TEST(LogFormat, JsonLineRoundTripsThroughTheParser) {
+  LogRecord record;
+  record.time_ns = 1234;
+  record.level = Level::kWarn;
+  record.message = "jitter \"applied\"";
+  record.file = "src/linalg/cholesky.cpp";
+  record.line = 42;
+  record.thread = 3;
+  record.fields[record.field_count++] = f("attempt", -2);
+  record.fields[record.field_count++] = f("count", 7u);
+  record.fields[record.field_count++] = f("ridge", 1.5e-9);
+  record.fields[record.field_count++] = f("stage", "dc\\solve");
+  record.fields[record.field_count++] =
+      f("what", std::string_view("line1\nline2"));
+
+  const JsonValue parsed = parse_json(blog::format_json_line(record));
+  EXPECT_EQ(parsed.number_or("t_ns", 0.0), 1234.0);
+  EXPECT_EQ(parsed.string_or("level", ""), "warn");
+  EXPECT_EQ(parsed.string_or("msg", ""), "jitter \"applied\"");
+  EXPECT_EQ(parsed.string_or("file", ""), "cholesky.cpp");  // basename only
+  EXPECT_EQ(parsed.number_or("line", 0.0), 42.0);
+  EXPECT_EQ(parsed.number_or("thread", 0.0), 3.0);
+  const JsonValue* fields = parsed.find("fields");
+  ASSERT_NE(fields, nullptr);
+  EXPECT_EQ(fields->number_or("attempt", 0.0), -2.0);
+  EXPECT_EQ(fields->number_or("count", 0.0), 7.0);
+  EXPECT_EQ(fields->number_or("ridge", 0.0), 1.5e-9);
+  EXPECT_EQ(fields->string_or("stage", ""), "dc\\solve");
+  EXPECT_EQ(fields->string_or("what", ""), "line1\nline2");
+}
+
+TEST(LogFormat, NonFiniteFieldValuesStayValidJson) {
+  LogRecord record;
+  record.level = Level::kInfo;
+  record.message = "score";
+  record.file = "x.cpp";
+  record.fields[record.field_count++] =
+      f("score", -std::numeric_limits<double>::infinity());
+  const JsonValue parsed = parse_json(blog::format_json_line(record));
+  const JsonValue* fields = parsed.find("fields");
+  ASSERT_NE(fields, nullptr);
+  EXPECT_EQ(fields->string_or("score", ""), "-Inf");
+}
+
+TEST(LogFormat, CopiedTextFieldsTruncateAtInlineCapacity) {
+  const std::string longer(2 * blog::kMaxInlineText, 'x');
+  const Field field = f("what", std::string_view(longer));
+  EXPECT_EQ(std::string(field.text).size(), blog::kMaxInlineText - 1);
+}
+
+TEST(LogFormat, TextLineShowsBasenameMessageAndFields) {
+  LogRecord record;
+  record.level = Level::kWarn;
+  record.message = "damped ladder entered";
+  record.file = "src/circuit/dc.cpp";
+  record.line = 301;
+  record.fields[record.field_count++] = f("gmin", 1e-9);
+  const std::string line = blog::format_text_line(record);
+  EXPECT_NE(line.find("warn"), std::string::npos);
+  EXPECT_NE(line.find("dc.cpp:301"), std::string::npos);
+  EXPECT_EQ(line.find("src/circuit"), std::string::npos);
+  EXPECT_NE(line.find("damped ladder entered"), std::string::npos);
+  EXPECT_NE(line.find("gmin="), std::string::npos);
+}
+
+// --------------------------------------------------------- flight recorder
+
+TEST_F(FlightRecorder, KeepsTheNewestCapacityRecordsOldestFirst) {
+  Logger& logger = Logger::instance();
+  logger.set_stderr_enabled(false);
+  logger.set_level(Level::kError);
+  blog::FlightRecorder& ring = blog::FlightRecorder::instance();
+  ring.reset();
+
+  const std::size_t total = blog::FlightRecorder::kCapacity + 44;
+  for (std::size_t i = 0; i < total; ++i) {
+    LogRecord record;
+    record.time_ns = i;
+    record.message = "ring probe";
+    ring.record(record);
+  }
+  EXPECT_EQ(ring.recorded_count(), total);
+
+  const std::vector<LogRecord> snapshot = ring.snapshot();
+  ASSERT_EQ(snapshot.size(), blog::FlightRecorder::kCapacity);
+  EXPECT_EQ(snapshot.front().time_ns,
+            total - blog::FlightRecorder::kCapacity);
+  EXPECT_EQ(snapshot.back().time_ns, total - 1);
+  for (std::size_t i = 1; i < snapshot.size(); ++i) {
+    EXPECT_EQ(snapshot[i].time_ns, snapshot[i - 1].time_ns + 1);
+  }
+}
+
+TEST_F(FlightRecorder, ResetEmptiesTheRing) {
+  blog::FlightRecorder& ring = blog::FlightRecorder::instance();
+  LogRecord record;
+  record.message = "to be discarded";
+  ring.record(record);
+  ASSERT_GT(ring.recorded_count(), 0u);
+  ring.reset();
+  EXPECT_EQ(ring.recorded_count(), 0u);
+  EXPECT_TRUE(ring.snapshot().empty());
+}
+
+TEST_F(FlightRecorder, RecordsWithMoreThanMaxFieldsDropTheExtras) {
+  Logger& logger = Logger::instance();
+  logger.set_stderr_enabled(false);
+  logger.set_level(Level::kError);
+  logger.set_ring_level(Level::kDebug);
+  blog::FlightRecorder::instance().reset();
+  logger.log(Level::kDebug, "field overflow", __FILE__, __LINE__,
+             {f("f0", 0), f("f1", 1), f("f2", 2), f("f3", 3), f("f4", 4),
+              f("f5", 5), f("f6", 6), f("f7", 7), f("f8", 8), f("f9", 9)});
+  const std::vector<LogRecord> snapshot =
+      blog::FlightRecorder::instance().snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].field_count,
+            static_cast<std::uint32_t>(blog::kMaxLogFields));
+  EXPECT_EQ(snapshot[0].fields[blog::kMaxLogFields - 1].value.i, 7);
+}
+
+TEST_F(FlightRecorder, NumericErrorDumpsTheRingToTheJsonSink) {
+  Logger& logger = Logger::instance();
+  logger.set_stderr_enabled(false);
+  logger.set_level(Level::kWarn);
+  logger.set_ring_level(Level::kDebug);
+  blog::FlightRecorder::instance().reset();
+  logger.reset_dump_budget();
+
+  const std::string path = temp_path("bmf_log_dump_on_error.jsonl");
+  ASSERT_TRUE(logger.attach_json_file(path));  // arms the dump
+  ASSERT_TRUE(logger.dump_on_error());
+
+  // Ring-only breadcrumbs the sinks would normally never show.
+  BMF_LOG_DEBUG("breadcrumb", f("step", 1));
+  BMF_LOG_DEBUG("breadcrumb", f("step", 2));
+  BMF_LOG_DEBUG("breadcrumb", f("step", 3));
+
+  // A real numeric failure: the strict Cholesky refuses a singular matrix,
+  // and constructing its NumericError triggers the dump hook.
+  const Matrix singular{{1.0, 1.0}, {1.0, 1.0}};
+  EXPECT_THROW(Cholesky{singular}, NumericError);
+  EXPECT_EQ(logger.dump_count(), 1u);
+  logger.detach_json_file();
+
+  std::size_t header_lines = 0;
+  std::size_t breadcrumbs = 0;
+  for (const std::string& line : read_lines(path)) {
+    const JsonValue record = parse_json(line);
+    if (const JsonValue* dump = record.find("flight_recorder_dump")) {
+      ++header_lines;
+      EXPECT_EQ(dump->string_or("reason", ""), "NumericError");
+      EXPECT_GE(dump->number_or("events", 0.0), 3.0);
+    } else if (record.string_or("msg", "") == "breadcrumb") {
+      ++breadcrumbs;
+    }
+  }
+  EXPECT_EQ(header_lines, 1u);
+  // The replay surfaces the debug breadcrumbs even though the sink
+  // threshold (kWarn) suppressed them live.
+  EXPECT_EQ(breadcrumbs, 3u);
+}
+
+TEST_F(FlightRecorder, DumpsAreRateLimitedByTheBudget) {
+  Logger& logger = Logger::instance();
+  logger.set_stderr_enabled(false);
+  logger.set_level(Level::kError);
+  logger.reset_dump_budget(1);
+  const std::string path = temp_path("bmf_log_dump_budget.jsonl");
+  ASSERT_TRUE(logger.attach_json_file(path));
+
+  [[maybe_unused]] const NumericError first("synthetic failure one");
+  [[maybe_unused]] const NumericError second("synthetic failure two");
+  EXPECT_EQ(logger.dump_count(), 1u);
+  logger.detach_json_file();
+}
+
+TEST_F(FlightRecorder, NoDumpUnlessArmed) {
+  Logger& logger = Logger::instance();
+  logger.set_stderr_enabled(false);
+  logger.set_level(Level::kError);
+  logger.set_dump_on_error(false);
+  logger.reset_dump_budget();
+  [[maybe_unused]] const DataError unrelated("synthetic data failure");
+  EXPECT_EQ(logger.dump_count(), 0u);
+}
+
+// ---------------------------------------------------------- allocations
+
+TEST_F(LogZeroAlloc, RingOnlyPathAllocatesNothing) {
+  // Default thresholds: debug/info events take only the lock-free ring.
+  // This is the configuration the Monte Carlo hot path runs under, so the
+  // steady state must stay at zero allocations with logging compiled in.
+  Logger& logger = Logger::instance();
+  logger.set_level(Level::kWarn);
+  logger.set_ring_level(Level::kDebug);
+  logger.set_stderr_enabled(true);  // irrelevant below the sink threshold
+  for (int i = 0; i < 16; ++i) {
+    BMF_LOG_DEBUG("warm-up", f("i", i));  // one-time singleton construction
+  }
+
+  const std::uint64_t before = bmfusion::common::allocation_count();
+  for (int i = 0; i < 4096; ++i) {
+    BMF_LOG_DEBUG("steady-state probe", f("i", i), f("x", 0.5 * i),
+                  f("stage", "mc"));
+    BMF_LOG_INFO("steady-state info", f("i", i));
+  }
+  const std::uint64_t after = bmfusion::common::allocation_count();
+  EXPECT_EQ(after - before, 0u);
+}
+
+TEST_F(LogZeroAlloc, FilteredSitesCostOneLoadAndNoAllocation) {
+  Logger& logger = Logger::instance();
+  logger.set_stderr_enabled(false);
+  logger.set_level(Level::kError);
+  logger.set_ring_level(Level::kError);
+  blog::FlightRecorder::instance().reset();
+
+  const std::uint64_t before = bmfusion::common::allocation_count();
+  for (int i = 0; i < 4096; ++i) {
+    BMF_LOG_DEBUG("filtered out", f("i", i));
+  }
+  EXPECT_EQ(bmfusion::common::allocation_count() - before, 0u);
+  EXPECT_EQ(blog::FlightRecorder::instance().recorded_count(), 0u);
+}
+
+// ---------------------------------------------------------- concurrency
+
+TEST_F(LogConcurrency, ParallelSinkWritesStayLineAtomic) {
+  Logger& logger = Logger::instance();
+  logger.set_stderr_enabled(false);
+  logger.set_level(Level::kDebug);  // force the mutexed sink path
+  const std::string path = temp_path("bmf_log_parallel_sink.jsonl");
+  ASSERT_TRUE(logger.attach_json_file(path));
+
+  constexpr std::size_t kEvents = 512;
+  bmfusion::parallel_for(
+      kEvents, [](std::size_t i) { BMF_LOG_INFO("pool event", f("i", i)); },
+      /*threads=*/4);
+  logger.detach_json_file();
+
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), kEvents);
+  std::set<std::uint64_t> seen;
+  for (const std::string& line : lines) {
+    const JsonValue record = parse_json(line);  // throws on a torn line
+    EXPECT_EQ(record.string_or("msg", ""), "pool event");
+    const JsonValue* fields = record.find("fields");
+    ASSERT_NE(fields, nullptr);
+    seen.insert(static_cast<std::uint64_t>(fields->number_or("i", 0.0)));
+  }
+  EXPECT_EQ(seen.size(), kEvents);  // every event exactly once
+}
+
+TEST_F(LogConcurrency, ParallelRingRecordsEveryEvent) {
+  Logger& logger = Logger::instance();
+  logger.set_stderr_enabled(false);
+  logger.set_level(Level::kError);
+  logger.set_ring_level(Level::kDebug);
+  blog::FlightRecorder& ring = blog::FlightRecorder::instance();
+  ring.reset();
+
+  constexpr std::size_t kEvents = 2000;
+  bmfusion::parallel_for(
+      kEvents, [](std::size_t i) { BMF_LOG_DEBUG("ring event", f("i", i)); },
+      /*threads=*/4);
+
+  EXPECT_EQ(ring.recorded_count(), kEvents);
+  const std::vector<LogRecord> snapshot = ring.snapshot();
+  EXPECT_EQ(snapshot.size(), blog::FlightRecorder::kCapacity);
+  for (const LogRecord& record : snapshot) {
+    EXPECT_STREQ(record.message, "ring event");
+  }
+}
+
+TEST_F(LogConcurrency, ConcurrentErrorsRespectTheDumpBudget) {
+  Logger& logger = Logger::instance();
+  logger.set_stderr_enabled(false);
+  logger.set_level(Level::kError);
+  logger.reset_dump_budget(2);
+  const std::string path = temp_path("bmf_log_parallel_dump.jsonl");
+  ASSERT_TRUE(logger.attach_json_file(path));
+
+  bmfusion::parallel_for(
+      64,
+      [](std::size_t i) {
+        const NumericError err("concurrent failure " + std::to_string(i));
+        (void)err;
+      },
+      /*threads=*/4);
+  EXPECT_EQ(logger.dump_count(), 2u);
+  logger.detach_json_file();
+}
+
+}  // namespace

@@ -1,0 +1,72 @@
+// Compile-time floor contract, in its own translation unit: with
+// BMFUSION_LOG_MIN_LEVEL raised to 2 (warn) before log.hpp is included,
+// BMF_LOG_DEBUG/BMF_LOG_INFO must expand to the argument-discarding noop —
+// no logger lookup, no ring traffic — while warn/error sites keep working.
+// This mirrors what -DBMFUSION_LOG_FLOOR=warn does repo-wide at configure
+// time.
+#include <gtest/gtest.h>
+
+#undef BMFUSION_LOG_MIN_LEVEL
+#define BMFUSION_LOG_MIN_LEVEL 2
+#include "log/log.hpp"
+
+namespace blog = bmfusion::log;
+
+namespace {
+
+using blog::f;
+using blog::Level;
+using blog::Logger;
+
+class LogFloor : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Logger& logger = Logger::instance();
+    saved_sink_level_ = logger.level();
+    saved_ring_level_ = logger.ring_level();
+    saved_stderr_ = logger.stderr_enabled();
+    logger.set_stderr_enabled(false);
+    logger.set_level(Level::kError);
+    logger.set_ring_level(Level::kDebug);
+    blog::FlightRecorder::instance().reset();
+  }
+
+  void TearDown() override {
+    Logger& logger = Logger::instance();
+    logger.set_level(saved_sink_level_);
+    logger.set_ring_level(saved_ring_level_);
+    logger.set_stderr_enabled(saved_stderr_);
+    blog::FlightRecorder::instance().reset();
+  }
+
+ private:
+  Level saved_sink_level_ = Level::kWarn;
+  Level saved_ring_level_ = Level::kDebug;
+  bool saved_stderr_ = true;
+};
+
+TEST_F(LogFloor, BelowFloorMacrosEmitNothing) {
+  blog::FlightRecorder& ring = blog::FlightRecorder::instance();
+  const std::uint64_t before = ring.recorded_count();
+
+  // The ring threshold is kDebug, so these would be recorded if the macros
+  // were live; the raised compile floor removes the call entirely.
+  BMF_LOG_DEBUG("compiled out", f("i", 1));
+  BMF_LOG_INFO("compiled out", f("x", 2.0));
+  EXPECT_EQ(ring.recorded_count(), before);
+
+  BMF_LOG_WARN("clears the floor", f("i", 3));
+  BMF_LOG_ERROR("clears the floor", f("i", 4));
+  EXPECT_EQ(ring.recorded_count(), before + 2);
+}
+
+TEST_F(LogFloor, NoopStillEvaluatesArgumentsExactlyOnce) {
+  // The floored expansion is a real (empty) function call, so argument
+  // side effects are preserved — sites cannot silently change behaviour
+  // when the floor moves.
+  int evaluations = 0;
+  BMF_LOG_DEBUG("compiled out", f("i", ++evaluations));
+  EXPECT_EQ(evaluations, 1);
+}
+
+}  // namespace

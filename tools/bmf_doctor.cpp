@@ -1,0 +1,104 @@
+// bmf_doctor: distills a run's observability artifacts into one report.
+//
+// Typical use after a bmf_cli run:
+//
+//   bmf_cli --mode demo --telemetry snapshot.json --log-file run.log.jsonl
+//           --cv-surface surface.csv
+//   bmf_doctor --snapshot snapshot.json --log run.log.jsonl
+//              --cv-surface surface.csv --bench BENCH_circuit.json
+//
+// Prints a Markdown report (or JSON with --format json) covering numeric
+// health, warm-start hit rates, latency quantiles, the CV score surface and
+// bench deltas vs the previous record. Exits 1 when any finding is present
+// and --strict is set, so CI can gate on it.
+
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/cli.hpp"
+#include "common/contracts.hpp"
+#include "core/diagnose.hpp"
+
+int main(int argc, char** argv) {
+  using bmfusion::CliParser;
+  using bmfusion::core::DoctorInputs;
+  using bmfusion::core::DoctorThresholds;
+  using bmfusion::core::RunReport;
+
+  CliParser cli(
+      "bmf_doctor: run-report generator for bmfusion observability outputs");
+  cli.add_flag("snapshot", "", "telemetry JSON snapshot (bmf_cli --telemetry)");
+  cli.add_flag("log", "", "JSON-lines structured log (bmf_cli --log-file)");
+  cli.add_flag("bench", "", "BENCH_*.json history for newest-vs-previous deltas");
+  cli.add_flag("cv-surface", "", "CV surface CSV (bmf_cli --cv-surface)");
+  cli.add_flag("format", "md", "report format: md or json");
+  cli.add_flag("out", "", "write the report here instead of stdout");
+  cli.add_flag("max-drop-pct", "5.0",
+               "throughput drop (%) considered a regression");
+  cli.add_flag("max-rise-pct", "10.0",
+               "time/latency rise (%) considered a regression");
+  cli.add_flag("max-disqualified-ratio", "0.5",
+               "CV disqualified/grid ratio considered unhealthy");
+  cli.add_flag("strict", "false", "exit 1 when the report has findings");
+
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+
+    DoctorInputs inputs;
+    inputs.snapshot_path = cli.get_string("snapshot");
+    inputs.log_path = cli.get_string("log");
+    inputs.bench_path = cli.get_string("bench");
+    inputs.cv_surface_path = cli.get_string("cv-surface");
+    if (inputs.snapshot_path.empty() && inputs.log_path.empty() &&
+        inputs.bench_path.empty() && inputs.cv_surface_path.empty()) {
+      std::cerr << "bmf_doctor: no inputs given (need at least one of "
+                   "--snapshot/--log/--bench/--cv-surface)\n\n"
+                << cli.help();
+      return 2;
+    }
+
+    DoctorThresholds thresholds;
+    thresholds.max_throughput_drop_pct = cli.get_double("max-drop-pct");
+    thresholds.max_time_rise_pct = cli.get_double("max-rise-pct");
+    thresholds.max_disqualified_ratio =
+        cli.get_double("max-disqualified-ratio");
+
+    const RunReport report = bmfusion::core::diagnose_run(inputs, thresholds);
+    const std::string format = cli.get_string("format");
+    std::string rendered;
+    if (format == "md" || format == "markdown") {
+      rendered = report.to_markdown();
+    } else if (format == "json") {
+      rendered = report.to_json();
+    } else {
+      std::cerr << "bmf_doctor: unknown --format '" << format
+                << "' (expected md or json)\n";
+      return 2;
+    }
+
+    const std::string out_path = cli.get_string("out");
+    if (out_path.empty()) {
+      std::cout << rendered;
+    } else {
+      std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        std::cerr << "bmf_doctor: cannot open '" << out_path << "'\n";
+        return 2;
+      }
+      out << rendered;
+    }
+
+    if (cli.get_bool("strict") && !report.findings.empty()) {
+      std::cerr << "bmf_doctor: " << report.findings.size()
+                << " finding(s), failing due to --strict\n";
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "bmf_doctor: " << e.what() << '\n';
+    return 2;
+  }
+}
