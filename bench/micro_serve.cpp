@@ -1,0 +1,227 @@
+// micro_serve: throughput/latency bench for the bmf_serve JSON-lines
+// protocol over real loopback sockets.
+//
+// Starts an in-process serve::Server, runs N client threads that each
+// stream observe batches into their own session with interleaved estimate
+// requests, and reports observe-request throughput plus client-side
+// latency quantiles. The --json flag appends one record to the
+// BENCH_serve.json perf trajectory (scripts/bench.sh drives this;
+// scripts/bench_check.py holds the budgets).
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/cli.hpp"
+#include "common/json.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "telemetry/export.hpp"
+
+namespace {
+
+using bmfusion::serve::LineClient;
+
+struct ClientResult {
+  std::vector<double> observe_us;
+  std::vector<double> estimate_us;
+  bool ok = true;
+};
+
+bool round_trip_ok(LineClient& client, const std::string& request) {
+  std::string line;
+  if (!client.request(request, line)) return false;
+  const bmfusion::JsonValue response = bmfusion::parse_json(line);
+  const bmfusion::JsonValue* ok = response.find("ok");
+  return ok != nullptr && ok->is_bool() && ok->as_bool();
+}
+
+std::string observe_request(const std::string& session, std::size_t batch,
+                            std::size_t dim, std::size_t round) {
+  std::string out =
+      "{\"op\":\"observe\",\"session\":\"" + session + "\",\"samples\":[";
+  for (std::size_t i = 0; i < batch; ++i) {
+    if (i != 0) out += ',';
+    out += '[';
+    for (std::size_t j = 0; j < dim; ++j) {
+      if (j != 0) out += ',';
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), "%.12g",
+                    std::sin(static_cast<double>(round * batch * dim +
+                                                 i * dim + j + 1)));
+      out += buffer;
+    }
+    out += ']';
+  }
+  out += "]}";
+  return out;
+}
+
+void run_client(std::uint16_t port, std::size_t index, std::size_t requests,
+                std::size_t batch, std::size_t dim,
+                std::size_t estimate_every, ClientResult& result) {
+  using Clock = std::chrono::steady_clock;
+  LineClient client;
+  const std::string id = "bench-" + std::to_string(index);
+  if (!client.connect_to(port) ||
+      !round_trip_ok(client, "{\"op\":\"open\",\"session\":\"" + id +
+                                 "\",\"estimator\":\"mle\"}")) {
+    result.ok = false;
+    return;
+  }
+  result.observe_us.reserve(requests);
+  for (std::size_t r = 0; r < requests; ++r) {
+    const std::string request = observe_request(id, batch, dim, r);
+    const auto start = Clock::now();
+    if (!round_trip_ok(client, request)) {
+      result.ok = false;
+      return;
+    }
+    result.observe_us.push_back(
+        std::chrono::duration<double, std::micro>(Clock::now() - start)
+            .count());
+    if (estimate_every != 0 && (r + 1) % estimate_every == 0) {
+      const auto est_start = Clock::now();
+      if (!round_trip_ok(client,
+                         "{\"op\":\"estimate\",\"session\":\"" + id +
+                             "\"}")) {
+        result.ok = false;
+        return;
+      }
+      result.estimate_us.push_back(
+          std::chrono::duration<double, std::micro>(Clock::now() - est_start)
+              .count());
+    }
+  }
+  result.ok = round_trip_ok(
+      client, "{\"op\":\"close\",\"session\":\"" + id + "\"}");
+}
+
+double quantile_us(std::vector<double>& values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  return values[lo] + (values[hi] - values[lo]) *
+                          (pos - static_cast<double>(lo));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bmfusion::CliParser cli(
+      "Times the bmf_serve JSON-lines protocol over loopback TCP: observe "
+      "request throughput and client-side latency quantiles.");
+  cli.add_flag("requests", "20000", "total observe requests across clients");
+  cli.add_flag("batch", "8", "samples per observe request");
+  cli.add_flag("sessions", "4", "concurrent client sessions");
+  cli.add_flag("dim", "3", "sample dimension");
+  cli.add_flag("estimate-every", "500",
+               "interleave an estimate request every N observes (0 = off)");
+  cli.add_flag("json", "", "append the results to this JSON array file");
+  cli.add_flag("label", "", "free-form label for the JSON record");
+  cli.add_flag("git", "", "git revision for the JSON record");
+  cli.add_flag("date", "", "ISO date for the JSON record");
+  cli.add_flag("telemetry", "", "write a telemetry JSON snapshot here at exit");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+
+    const std::size_t sessions =
+        static_cast<std::size_t>(std::max(1L, cli.get_int("sessions")));
+    const std::size_t total =
+        static_cast<std::size_t>(std::max(1L, cli.get_int("requests")));
+    const std::size_t per_client = (total + sessions - 1) / sessions;
+    const std::size_t batch =
+        static_cast<std::size_t>(std::max(1L, cli.get_int("batch")));
+    const std::size_t dim =
+        static_cast<std::size_t>(std::max(1L, cli.get_int("dim")));
+    const std::size_t estimate_every =
+        static_cast<std::size_t>(std::max(0L, cli.get_int("estimate-every")));
+
+    bmfusion::serve::Server server;
+    server.start();
+
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<ClientResult> results(sessions);
+    std::vector<std::thread> clients;
+    clients.reserve(sessions);
+    for (std::size_t i = 0; i < sessions; ++i) {
+      clients.emplace_back(run_client, server.port(), i, per_client, batch,
+                           dim, estimate_every, std::ref(results[i]));
+    }
+    for (std::thread& t : clients) t.join();
+    const double elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    server.stop();
+
+    std::vector<double> observe_us;
+    std::vector<double> estimate_us;
+    bool ok = true;
+    for (ClientResult& result : results) {
+      ok = ok && result.ok;
+      observe_us.insert(observe_us.end(), result.observe_us.begin(),
+                        result.observe_us.end());
+      estimate_us.insert(estimate_us.end(), result.estimate_us.begin(),
+                         result.estimate_us.end());
+    }
+    if (!ok) {
+      std::fprintf(stderr, "micro_serve: protocol failure during bench\n");
+      return 1;
+    }
+
+    const double observe_rps =
+        elapsed_s > 0.0 ? static_cast<double>(observe_us.size()) / elapsed_s
+                        : 0.0;
+    const double observe_p50 = quantile_us(observe_us, 0.50);
+    const double observe_p99 = quantile_us(observe_us, 0.99);
+    const double estimate_p50 = quantile_us(estimate_us, 0.50);
+    const double estimate_p99 = quantile_us(estimate_us, 0.99);
+
+    std::printf("micro_serve: sessions=%zu requests=%zu batch=%zu dim=%zu\n",
+                sessions, observe_us.size(), batch, dim);
+    std::printf("  %-28s %12.0f req/s\n", "observe throughput", observe_rps);
+    std::printf("  %-28s %12.1f us\n", "observe p50", observe_p50);
+    std::printf("  %-28s %12.1f us\n", "observe p99", observe_p99);
+    std::printf("  %-28s %12.1f us\n", "estimate p50", estimate_p50);
+    std::printf("  %-28s %12.1f us\n", "estimate p99", estimate_p99);
+
+    const std::string json_path = cli.get_string("json");
+    if (!json_path.empty()) {
+      char measurements[512];
+      std::snprintf(
+          measurements, sizeof measurements,
+          "\"sessions\": %zu, \"requests\": %zu, \"batch\": %zu, "
+          "\"dim\": %zu, \"observe_throughput_rps\": %.1f, "
+          "\"latency_us\": {\"observe_p50\": %.1f, \"observe_p99\": %.1f, "
+          "\"estimate_p50\": %.1f, \"estimate_p99\": %.1f}",
+          sessions, observe_us.size(), batch, dim, observe_rps, observe_p50,
+          observe_p99, estimate_p50, estimate_p99);
+      const std::string record =
+          "{\"bench\": \"micro_serve\", " +
+          bmfusion::bench::run_metadata_json(cli, sessions) + ", " +
+          measurements + "}";
+      bmfusion::bench::append_json_record(json_path, record);
+      std::printf("  record appended to %s\n", json_path.c_str());
+    }
+    const std::string snapshot_path = cli.get_string("telemetry");
+    if (!snapshot_path.empty()) {
+      bmfusion::telemetry::write_text_file(
+          snapshot_path, bmfusion::telemetry::json_snapshot());
+      std::printf("  telemetry snapshot written to %s\n",
+                  snapshot_path.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "micro_serve: %s\n", e.what());
+    return 1;
+  }
+}

@@ -28,7 +28,8 @@ date_iso="$(date +%F)"
 
 echo "==> bench: Release build"
 cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build-bench -j --target micro_circuit micro_cv micro_linalg
+cmake --build build-bench -j --target micro_circuit micro_cv micro_serve \
+  micro_linalg
 
 echo "==> bench: fast-path parity gate"
 ./build-bench/bench/micro_circuit --parity
@@ -50,6 +51,11 @@ echo "==> bench: micro_cv (CV engine old-vs-new)"
 ./build-bench/bench/micro_cv --json BENCH_cv.json --label "${label}" \
   --git "${git_rev}" --date "${date_iso}" \
   --telemetry BENCH_cv.telemetry.json
+
+echo "==> bench: micro_serve (serve protocol throughput + latency)"
+./build-bench/bench/micro_serve --json BENCH_serve.json --label "${label}" \
+  --git "${git_rev}" --date "${date_iso}" \
+  --telemetry BENCH_serve.telemetry.json
 
 if [[ "${skip_linalg}" -eq 1 ]]; then
   echo "==> bench: micro_linalg skipped (--skip-linalg)"
@@ -106,7 +112,7 @@ echo "  record appended to BENCH_linalg.json"
 if command -v python3 >/dev/null 2>&1; then
   echo "==> bench: regression sentinel (report-only)"
   python3 scripts/bench_check.py --report-only \
-    BENCH_circuit.json BENCH_cv.json BENCH_linalg.json
+    BENCH_circuit.json BENCH_cv.json BENCH_linalg.json BENCH_serve.json
 fi
 
 echo "==> bench: OK"

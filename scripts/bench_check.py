@@ -29,13 +29,19 @@ import sys
 DEFAULT_MAX_DROP_PCT = 5.0
 DEFAULT_MAX_RISE_PCT = 10.0
 DEFAULT_MAX_PARITY = 1e-12
+# Absolute serve-layer budgets (micro_serve records). Loopback request/
+# response at batch 8 should clear these on any 1-core machine; the gates
+# exist to catch protocol-layer pathologies (a reintroduced Nagle stall,
+# per-request allocation storms), not scheduler noise.
+DEFAULT_MIN_SERVE_RPS = 2000.0
+DEFAULT_MAX_SERVE_P99_MS = 20.0
 
 # Metrics where a *higher* value is better (compared against --max-drop-pct).
 THROUGHPUT_HINT = "throughput"
 # Flat scalar keys treated as timings on top of the nested stage maps.
 TIME_SCALAR_KEYS = ("old_ms", "new_1t_ms", "new_mt_ms", "seconds")
 # Nested objects whose numeric members are timings.
-TIME_OBJECT_KEYS = ("stages", "real_time_ns")
+TIME_OBJECT_KEYS = ("stages", "real_time_ns", "latency_us")
 PARITY_KEYS = ("max_score_dev",)
 ALLOC_OBJECT_KEY = "alloc_per_sample"
 
@@ -58,7 +64,35 @@ def flatten_metrics(record):
         value = record.get(key)
         if isinstance(value, (int, float)):
             metrics[key] = float(value)
+    # Flat throughput scalars (e.g. micro_serve's observe_throughput_rps).
+    for key, value in record.items():
+        if THROUGHPUT_HINT in key and isinstance(value, (int, float)):
+            metrics[key] = float(value)
     return metrics
+
+
+def serve_budget_rows(record, args):
+    """Absolute budgets for micro_serve records (no prior record needed)."""
+    rows = []
+    rps = record.get("observe_throughput_rps")
+    if isinstance(rps, (int, float)):
+        bad = rps < args.min_serve_rps
+        rows.append((
+            "FAIL" if bad else "ok",
+            f"observe_throughput_rps: {rps:.6g}"
+            + (f" below serve floor {args.min_serve_rps:g}" if bad else ""),
+        ))
+    latency = record.get("latency_us")
+    p99 = latency.get("observe_p99") if isinstance(latency, dict) else None
+    if isinstance(p99, (int, float)):
+        budget_us = args.max_serve_p99_ms * 1000.0
+        bad = p99 > budget_us
+        rows.append((
+            "FAIL" if bad else "ok",
+            f"latency_us.observe_p99: {p99:.6g}"
+            + (f" above serve budget {budget_us:g} us" if bad else ""),
+        ))
+    return rows
 
 
 def classify(name):
@@ -134,13 +168,22 @@ def check_history(path, args):
         if record.get("bench") == bench_name:
             previous = record
             break
-    if previous is None:
-        print(f"{path}: only one '{bench_name}' record, nothing to compare")
-        return 0
 
-    print(f"{path}: '{previous.get('label', '?')}' -> "
-          f"'{current.get('label', '?')}' ({bench_name})")
-    rows = compare_records(previous, current, args)
+    # Absolute serve budgets apply to the newest record alone, so a fresh
+    # BENCH_serve.json with a single record is already gated.
+    rows = serve_budget_rows(current, args) if bench_name == "micro_serve" \
+        else []
+    if previous is None:
+        if not rows:
+            print(f"{path}: only one '{bench_name}' record, "
+                  "nothing to compare")
+            return 0
+        print(f"{path}: '{current.get('label', '?')}' ({bench_name}, "
+              "absolute budgets only)")
+    else:
+        print(f"{path}: '{previous.get('label', '?')}' -> "
+              f"'{current.get('label', '?')}' ({bench_name})")
+        rows += compare_records(previous, current, args)
     failures = 0
     for severity, message in rows:
         if severity == "FAIL":
@@ -196,6 +239,26 @@ def self_test(args):
         if not any(metric in m for m in degraded_failures):
             print(f"self-test: degraded {kind} metric '{metric}' not flagged")
             ok = False
+
+    # Absolute serve budgets: a healthy record passes, a stalled one (Nagle
+    # reintroduced: ~40ms round trips, two-digit throughput) trips both.
+    serve_good = {"bench": "micro_serve", "observe_throughput_rps": 40000.0,
+                  "latency_us": {"observe_p50": 66.0, "observe_p99": 240.0}}
+    serve_stalled = {"bench": "micro_serve", "observe_throughput_rps": 90.0,
+                     "latency_us": {"observe_p50": 44000.0,
+                                    "observe_p99": 88000.0}}
+    good_serve = [m for s, m in serve_budget_rows(serve_good, args)
+                  if s == "FAIL"]
+    stalled_serve = [m for s, m in serve_budget_rows(serve_stalled, args)
+                     if s == "FAIL"]
+    if good_serve:
+        print(f"self-test: healthy serve record flagged: {good_serve}")
+        ok = False
+    for metric in ("observe_throughput_rps", "latency_us.observe_p99"):
+        if not any(metric in m for m in stalled_serve):
+            print(f"self-test: stalled serve metric '{metric}' not flagged")
+            ok = False
+
     print("self-test: " + ("OK" if ok else "FAILED"))
     return 0 if ok else 1
 
@@ -212,6 +275,14 @@ def main():
                         help="time rise %% treated as a regression")
     parser.add_argument("--max-parity", type=float, default=DEFAULT_MAX_PARITY,
                         help="max tolerated max_score_dev")
+    parser.add_argument("--min-serve-rps", type=float,
+                        default=DEFAULT_MIN_SERVE_RPS,
+                        help="absolute observe-throughput floor for "
+                             "micro_serve records")
+    parser.add_argument("--max-serve-p99-ms", type=float,
+                        default=DEFAULT_MAX_SERVE_P99_MS,
+                        help="absolute observe p99 latency budget (ms) for "
+                             "micro_serve records")
     parser.add_argument("--report-only", action="store_true",
                         help="print the diff but always exit 0")
     parser.add_argument("--verbose", action="store_true",

@@ -64,6 +64,23 @@ else
   cmake --build build-asan -j --target micro_circuit
   UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
     ./build-asan/bench/micro_circuit --parity
+
+  # Serve smoke: bmf_soak with its in-process server covers both halves of
+  # the serve stack (sockets, session registry, protocol, shard absorb) in
+  # one ASan process — leaked sessions, connection threads, or fds fail the
+  # leak check, drifted estimates fail the soak's own drift gate, and a
+  # clean shutdown is required for the process to exit at all. The stdio
+  # transport of the bmf_serve binary itself rides along as a one-liner.
+  echo "==> tier-1: serve smoke (bmf_soak + bmf_serve --stdio under ASan+UBSan)"
+  cmake --build build-asan -j --target bmf_soak bmf_serve
+  UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
+    ./build-asan/tools/bmf_soak --requests 10000 --sessions 4 --batch 8 \
+    --estimate-every 200
+  printf '%s\n%s\n' \
+    '{"op":"open","session":"smoke","estimator":"mle"}' \
+    '{"op":"shutdown"}' | \
+    UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
+    ./build-asan/tools/bmf_serve --stdio | grep -q '"ok":true'
 fi
 
 if [[ "${skip_tsan}" -eq 1 ]]; then
@@ -88,6 +105,6 @@ fi
 echo "==> tier-1: bench regression sentinel"
 python3 scripts/bench_check.py --self-test
 python3 scripts/bench_check.py --report-only \
-  BENCH_circuit.json BENCH_cv.json BENCH_linalg.json
+  BENCH_circuit.json BENCH_cv.json BENCH_linalg.json BENCH_serve.json
 
 echo "==> tier-1: OK"

@@ -83,28 +83,58 @@ CrossValidationResult select_hyperparameters(
   BMFUSION_REQUIRE(late_scaled.rows() >= 2,
                    "cross validation needs >= 2 late-stage samples");
 
+  // Summarize every fold once (round-robin split, identical for every grid
+  // point as in Fig. 2(b)); the fold-statistics core below never touches
+  // the raw samples again. The streaming snapshot path enters the same core
+  // with fold statistics accumulated one sample at a time.
   const std::size_t folds = std::min(config.folds, late_scaled.rows());
+  std::vector<SufficientStats> test_stats(
+      folds, SufficientStats(early_scaled.dimension()));
+  for (std::size_t i = 0; i < late_scaled.rows(); ++i) {
+    test_stats[i % folds].add(late_scaled.row(i));
+  }
+  return select_hyperparameters(early_scaled, test_stats, config);
+}
+
+CrossValidationResult select_hyperparameters(
+    const GaussianMoments& early_scaled,
+    const std::vector<SufficientStats>& fold_stats,
+    const CrossValidationConfig& config) {
+  early_scaled.validate();
+  config.validate();
+  BMFUSION_REQUIRE(!fold_stats.empty(),
+                   "cross validation needs >= 1 fold statistic");
+  std::size_t total_samples = 0;
+  for (const SufficientStats& fold : fold_stats) {
+    if (fold.count() == 0) continue;
+    BMFUSION_REQUIRE(fold.dimension() == early_scaled.dimension(),
+                     "fold statistics must match the early-stage dimension");
+    total_samples += fold.count();
+  }
+  BMFUSION_REQUIRE(total_samples >= 2,
+                   "cross validation needs >= 2 late-stage samples");
+
+  const std::size_t folds = fold_stats.size();
+  const std::vector<SufficientStats>& test_stats = fold_stats;
   const double d = static_cast<double>(early_scaled.dimension());
   const std::vector<double> kappas =
       log_spaced(config.kappa_min, config.kappa_max, config.kappa_points);
   const std::vector<double> nu_offsets = log_spaced(
       config.nu_offset_min, config.nu_offset_max, config.nu_points);
 
-  // Summarize every fold once (round-robin split, identical for every grid
-  // point as in Fig. 2(b)); each leave-one-fold-out training set is the
-  // totals minus the held-out fold. After this loop the raw samples are
-  // never touched again.
-  std::vector<SufficientStats> test_stats(
-      folds, SufficientStats(early_scaled.dimension()));
-  for (std::size_t i = 0; i < late_scaled.rows(); ++i) {
-    test_stats[i % folds].add(late_scaled.row(i));
-  }
+  // Each leave-one-fold-out training set is the totals minus the held-out
+  // fold — O(folds) stats arithmetic, however many samples they summarize.
   SufficientStats totals(early_scaled.dimension());
-  for (const SufficientStats& fold : test_stats) totals += fold;
+  for (const SufficientStats& fold : test_stats) {
+    if (fold.count() > 0) totals += fold;
+  }
   std::vector<SufficientStats> train_stats;
   train_stats.reserve(folds);
   for (const SufficientStats& fold : test_stats) {
-    train_stats.push_back(totals - fold);
+    // An empty fold (possible only on the streaming path) is skipped during
+    // scoring, so its training set is never fused; keep the totals as a
+    // dimension-matched placeholder.
+    train_stats.push_back(fold.count() > 0 ? totals - fold : totals);
   }
 
   // Sweep the grid in parallel; index = kappa_index * nu_points + nu_index
@@ -161,23 +191,34 @@ CrossValidationResult select_hyperparameters(
 CrossValidationResult select_hyperparameters_evidence(
     const GaussianMoments& early_scaled, const Matrix& late_scaled,
     const CrossValidationConfig& config) {
+  BMFUSION_REQUIRE(late_scaled.rows() >= 1,
+                   "evidence selection needs >= 1 late-stage sample");
+  // The marginal likelihood touches the data only through its sufficient
+  // statistics; summarize once and delegate to the stats core shared with
+  // the streaming snapshot path.
+  return select_hyperparameters_evidence(
+      early_scaled, SufficientStats::from_samples(late_scaled), config);
+}
+
+CrossValidationResult select_hyperparameters_evidence(
+    const GaussianMoments& early_scaled, const SufficientStats& stats,
+    const CrossValidationConfig& config) {
   early_scaled.validate();
   config.validate();
-  BMFUSION_REQUIRE(late_scaled.cols() == early_scaled.dimension(),
-                   "late samples must match the early-stage dimension");
-  BMFUSION_REQUIRE(late_scaled.rows() >= 1,
+  BMFUSION_REQUIRE(stats.dimension() == early_scaled.dimension(),
+                   "late statistics must match the early-stage dimension");
+  BMFUSION_REQUIRE(stats.count() >= 1,
                    "evidence selection needs >= 1 late-stage sample");
 
   const double d = static_cast<double>(early_scaled.dimension());
-  const double n = static_cast<double>(late_scaled.rows());
+  const double n = static_cast<double>(stats.count());
   const std::vector<double> kappas =
       log_spaced(config.kappa_min, config.kappa_max, config.kappa_points);
   const std::vector<double> nu_offsets = log_spaced(
       config.nu_offset_min, config.nu_offset_max, config.nu_points);
 
-  // Shared across the whole grid: the data enters only through its
-  // sufficient statistics, and the prior scale only through Lambda_E.
-  const SufficientStats stats = SufficientStats::from_samples(late_scaled);
+  // Shared across the whole grid: the prior scale enters only through
+  // Lambda_E.
   const Matrix lambda_e =
       linalg::Cholesky(early_scaled.covariance).inverse();
 

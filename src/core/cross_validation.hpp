@@ -70,6 +70,15 @@ struct CrossValidationConfig {
   void validate() const;
 };
 
+/// Which hyper-parameter selection strategy an estimator runs. Streaming
+/// snapshots downgrade kCrossValidation to kEvidence automatically when the
+/// accumulated statistics cannot sustain a fold split (fewer than two
+/// non-empty folds, or a single pre-summarized batch).
+enum class HyperSelection {
+  kCrossValidation,  ///< paper Section 4.2 Q-fold CV (needs >= 2 usable folds)
+  kEvidence,         ///< closed-form marginal likelihood (works from n = 1)
+};
+
 /// One evaluated grid point.
 struct GridScore {
   double kappa0 = 0.0;
@@ -115,6 +124,18 @@ class CrossValidationResult {
     const GaussianMoments& early_scaled, const linalg::Matrix& late_scaled,
     const CrossValidationConfig& config = {});
 
+/// Fold-statistics core of the search: one SufficientStats per held-out
+/// fold, already in the scaled space. The matrix overload builds its folds
+/// (round-robin over rows) and delegates here, so batch estimation and the
+/// streaming snapshot path share one selection engine and one fallback
+/// chain. Folds with zero samples are skipped during scoring; at least two
+/// folds must be non-empty (a single usable fold disqualifies every grid
+/// point, which surfaces as the NumericError from from_grid).
+[[nodiscard]] CrossValidationResult select_hyperparameters(
+    const GaussianMoments& early_scaled,
+    const std::vector<SufficientStats>& fold_stats,
+    const CrossValidationConfig& config = {});
+
 /// Empirical-Bayes alternative to the paper's Q-fold cross validation:
 /// scores every grid point with the *closed-form* marginal likelihood
 /// (model evidence) of the normal-Wishart model and picks the maximum.
@@ -124,6 +145,14 @@ class CrossValidationResult {
 /// compared against CV in bench/ablation_evidence.)
 [[nodiscard]] CrossValidationResult select_hyperparameters_evidence(
     const GaussianMoments& early_scaled, const linalg::Matrix& late_scaled,
+    const CrossValidationConfig& config = {});
+
+/// Evidence selection fed from precomputed sufficient statistics. The data
+/// enters the marginal likelihood only through (n, sum, scatter), so this
+/// overload is the one the streaming snapshot path calls; the matrix
+/// overload summarizes its samples and delegates here.
+[[nodiscard]] CrossValidationResult select_hyperparameters_evidence(
+    const GaussianMoments& early_scaled, const SufficientStats& stats,
     const CrossValidationConfig& config = {});
 
 }  // namespace bmfusion::core

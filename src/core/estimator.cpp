@@ -5,6 +5,7 @@
 
 #include "common/contracts.hpp"
 #include "core/mle.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace bmfusion::core {
 
@@ -47,7 +48,60 @@ void require_finite_inputs(const linalg::Matrix& samples,
   }
 }
 
+/// The same screen for one sample vector (the observe hot path).
+void require_finite_sample(const linalg::Vector& sample,
+                           std::string_view estimator) {
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    if (!std::isfinite(sample[i])) {
+      std::ostringstream os;
+      os << "estimator '" << estimator
+         << "': non-finite observed sample entry at dimension " << i;
+      throw DataError(os.str(), ErrorContext{}
+                                    .with_operation(std::string(estimator))
+                                    .with_dimension(sample.size())
+                                    .with_index(i)
+                                    .with_value(sample[i]));
+    }
+  }
+}
+
+/// And for pre-summarized statistics (the absorb path): a non-finite sum or
+/// outer-sum entry poisons every later estimate, so reject it at the door.
+void require_finite_stats(const SufficientStats& stats,
+                          std::string_view estimator) {
+  for (std::size_t r = 0; r < stats.dimension(); ++r) {
+    if (!std::isfinite(stats.sum()[r])) {
+      std::ostringstream os;
+      os << "estimator '" << estimator
+         << "': non-finite sufficient-stats sum at dimension " << r;
+      throw DataError(os.str(), ErrorContext{}
+                                    .with_operation(std::string(estimator))
+                                    .with_dimension(stats.dimension())
+                                    .with_sample_count(stats.count())
+                                    .with_index(r)
+                                    .with_value(stats.sum()[r]));
+    }
+    for (std::size_t c = 0; c < stats.dimension(); ++c) {
+      const double cell = stats.sum_outer()(r, c);
+      if (!std::isfinite(cell)) {
+        std::ostringstream os;
+        os << "estimator '" << estimator
+           << "': non-finite sufficient-stats outer sum at (" << r << ", "
+           << c << ")";
+        throw DataError(os.str(), ErrorContext{}
+                                      .with_operation(std::string(estimator))
+                                      .with_dimension(stats.dimension())
+                                      .with_sample_count(stats.count())
+                                      .with_index(r)
+                                      .with_value(cell));
+      }
+    }
+  }
+}
+
 }  // namespace
+
+// --- Batch -----------------------------------------------------------------
 
 EstimateResult MomentEstimator::estimate(const linalg::Matrix& samples,
                                          const linalg::Vector& nominal) const {
@@ -63,6 +117,198 @@ EstimateResult MomentEstimator::estimate(const linalg::Matrix& samples) const {
   return estimate(samples, linalg::Vector());
 }
 
+// --- Stats-only -------------------------------------------------------------
+
+EstimateResult MomentEstimator::estimate(const SufficientStats& stats,
+                                         const linalg::Vector& nominal) const {
+  BMFUSION_REQUIRE(stats.count() >= 1 && stats.dimension() >= 1,
+                   "moment estimation needs non-empty sufficient statistics");
+  BMFUSION_REQUIRE(nominal.size() == 0 || nominal.size() == stats.dimension(),
+                   "nominal must be empty or match the stats dimension");
+  require_finite_stats(stats, name());
+  require_finite_inputs(linalg::Matrix(), nominal, name());
+  return do_estimate_stats(stats, nominal);
+}
+
+EstimateResult MomentEstimator::estimate(const SufficientStats& stats) const {
+  return estimate(stats, linalg::Vector());
+}
+
+EstimateResult MomentEstimator::do_estimate_stats(
+    const SufficientStats& stats, const linalg::Vector& nominal) const {
+  (void)stats;
+  (void)nominal;
+  throw ContractError(std::string("estimator '") + std::string(name()) +
+                      "' does not support estimation from sufficient "
+                      "statistics");
+}
+
+// --- Streaming ---------------------------------------------------------------
+
+void MomentEstimator::set_nominal(const linalg::Vector& nominal) {
+  BMFUSION_REQUIRE(observed_ == 0,
+                   "the nominal point is fixed once samples were observed; "
+                   "reset_stream() first");
+  BMFUSION_REQUIRE(nominal.size() >= 1,
+                   "set_nominal needs a non-empty nominal vector");
+  require_finite_inputs(linalg::Matrix(), nominal, name());
+  nominal_ = nominal;
+  on_nominal_changed();
+}
+
+void MomentEstimator::ensure_streams(std::size_t dimension) {
+  BMFUSION_REQUIRE(nominal_.size() == 0 || nominal_.size() == dimension,
+                   "observed sample dimension must match the nominal point");
+  if (streams_.empty()) {
+    const std::size_t folds = stream_folds();
+    BMFUSION_REQUIRE(folds >= 1, "estimator stream needs >= 1 fold");
+    streams_.assign(folds, stats::StatStream(dimension));
+    return;
+  }
+  BMFUSION_REQUIRE(streams_.front().dimension() == dimension,
+                   "observed sample dimension must match the stream");
+}
+
+void MomentEstimator::observe(const linalg::Vector& sample) {
+  BMFUSION_REQUIRE(sample.size() >= 1, "observe needs a non-empty sample");
+  require_finite_sample(sample, name());
+  ensure_streams(sample.size());
+  streams_[observed_ % streams_.size()].add(stream_transform(sample));
+  ++observed_;
+  BMF_COUNTER_ADD("core.stream.observed_samples", 1);
+}
+
+void MomentEstimator::observe(const linalg::Matrix& samples) {
+  BMFUSION_REQUIRE(samples.cols() >= 1,
+                   "observe needs samples with dimension >= 1");
+  for (std::size_t i = 0; i < samples.rows(); ++i) {
+    observe(samples.row(i));
+  }
+}
+
+void MomentEstimator::absorb(const SufficientStats& stats) {
+  if (stats.count() == 0) return;
+  BMFUSION_REQUIRE(stats.dimension() >= 1,
+                   "absorb needs statistics with dimension >= 1");
+  require_finite_stats(stats, name());
+  ensure_streams(stats.dimension());
+  streams_[absorb_cursor_ % streams_.size()].absorb(
+      stream_transform_stats(stats));
+  ++absorb_cursor_;
+  observed_ += stats.count();
+  BMF_COUNTER_ADD("core.stream.absorbed_samples", stats.count());
+}
+
+void MomentEstimator::absorb(const stats::StatsShard& shard) {
+  if (!shard.estimator.empty() && shard.estimator != name()) {
+    throw DataError(
+        "stats shard estimator tag does not match this estimator",
+        ErrorContext{}
+            .with_operation(std::string(name()))
+            .with_detail("shard tagged '" + shard.estimator + "'"));
+  }
+  if (shard.nominal.size() != 0) {
+    if (nominal_.size() == 0) {
+      if (observed_ == 0) {
+        set_nominal(shard.nominal);
+      }
+    } else if (!(shard.nominal == nominal_)) {
+      throw DataError("stats shard nominal does not match this estimator's",
+                      ErrorContext{}
+                          .with_operation(std::string(name()))
+                          .with_dimension(nominal_.size()));
+    }
+  }
+  const std::size_t dim = shard.dimension();
+  if (dim == 0) return;  // empty shard: nothing to merge
+  ensure_streams(dim);
+  if (shard.folds.size() != streams_.size()) {
+    throw DataError("stats shard fold count does not match this estimator",
+                    ErrorContext{}
+                        .with_operation(std::string(name()))
+                        .with_detail(std::to_string(streams_.size()) +
+                                     " folds here, shard has " +
+                                     std::to_string(shard.folds.size())));
+  }
+  std::size_t added = 0;
+  for (std::size_t f = 0; f < streams_.size(); ++f) {
+    streams_[f].merge(shard.folds[f]);
+    added += shard.folds[f].count();
+  }
+  observed_ += added;
+  BMF_COUNTER_ADD("core.stream.absorbed_samples", added);
+}
+
+void MomentEstimator::merge(const MomentEstimator& other) {
+  BMFUSION_REQUIRE(name() == other.name(),
+                   "merge needs two estimators of the same strategy");
+  BMFUSION_REQUIRE(
+      nominal_.size() == other.nominal_.size() &&
+          (nominal_.size() == 0 || nominal_ == other.nominal_),
+      "merge needs both estimators to agree on the nominal point");
+  if (other.observed_ == 0) return;
+  ensure_streams(other.streams_.front().dimension());
+  BMFUSION_REQUIRE(streams_.size() == other.streams_.size(),
+                   "merge needs matching fold counts");
+  for (std::size_t f = 0; f < streams_.size(); ++f) {
+    streams_[f].merge(other.streams_[f]);
+  }
+  observed_ += other.observed_;
+}
+
+EstimateResult MomentEstimator::snapshot() const {
+  BMFUSION_REQUIRE(observed_ >= 1,
+                   "snapshot needs at least one observed sample");
+  const std::size_t dim = streams_.front().dimension();
+  std::vector<SufficientStats> fold_totals;
+  fold_totals.reserve(streams_.size());
+  for (const stats::StatStream& stream : streams_) {
+    fold_totals.push_back(stream.empty() ? SufficientStats(dim)
+                                         : stream.totals());
+  }
+  BMF_SPAN("estimator_snapshot");
+  BMF_COUNTER_ADD("core.stream.snapshots", 1);
+  return do_snapshot(fold_totals, nominal_);
+}
+
+stats::StatsShard MomentEstimator::export_shard(std::uint64_t shard_id) const {
+  stats::StatsShard shard;
+  shard.shard_id = shard_id;
+  shard.estimator = std::string(name());
+  shard.nominal = nominal_;
+  shard.folds = streams_.empty()
+                    ? std::vector<stats::StatStream>(stream_folds())
+                    : streams_;
+  return shard;
+}
+
+void MomentEstimator::reset_stream() {
+  streams_.clear();
+  observed_ = 0;
+  absorb_cursor_ = 0;
+}
+
+EstimateResult MomentEstimator::do_snapshot(
+    const std::vector<SufficientStats>& fold_totals,
+    const linalg::Vector& nominal) const {
+  (void)fold_totals;
+  (void)nominal;
+  throw ContractError(std::string("estimator '") + std::string(name()) +
+                      "' does not support streaming estimation");
+}
+
+linalg::Vector MomentEstimator::stream_transform(
+    const linalg::Vector& sample) const {
+  return sample;
+}
+
+SufficientStats MomentEstimator::stream_transform_stats(
+    const SufficientStats& stats) const {
+  return stats;
+}
+
+// --- MLE ---------------------------------------------------------------------
+
 EstimateResult MleEstimator::do_estimate(const linalg::Matrix& samples,
                                          const linalg::Vector& nominal) const {
   (void)nominal;  // the MLE neither shifts nor scales
@@ -70,6 +316,35 @@ EstimateResult MleEstimator::do_estimate(const linalg::Matrix& samples,
   result.moments = estimate_mle(samples);
   result.scaled_moments = result.moments;
   return result;
+}
+
+EstimateResult MleEstimator::do_estimate_stats(
+    const SufficientStats& stats, const linalg::Vector& nominal) const {
+  (void)nominal;
+  EstimateResult result;
+  result.moments = estimate_mle(stats);
+  result.scaled_moments = result.moments;
+  return result;
+}
+
+EstimateResult MleEstimator::do_snapshot(
+    const std::vector<SufficientStats>& fold_totals,
+    const linalg::Vector& nominal) const {
+  // Single-fold stream (stream_folds() == 1), but stay robust to a caller-
+  // assembled fold vector: the MLE only needs the grand totals.
+  SufficientStats totals;
+  bool have = false;
+  for (const SufficientStats& fold : fold_totals) {
+    if (fold.count() == 0) continue;
+    if (!have) {
+      totals = fold;
+      have = true;
+    } else {
+      totals += fold;
+    }
+  }
+  BMFUSION_REQUIRE(have, "mle snapshot needs >= 1 observed sample");
+  return do_estimate_stats(totals, nominal);
 }
 
 }  // namespace bmfusion::core

@@ -13,4 +13,13 @@ GaussianMoments estimate_mle(const linalg::Matrix& samples) {
   return moments;
 }
 
+GaussianMoments estimate_mle(const SufficientStats& stats) {
+  BMFUSION_REQUIRE(stats.count() >= 1, "mle needs at least one sample");
+  GaussianMoments moments;
+  moments.mean = stats.mean();
+  moments.covariance =
+      stats.scatter() / static_cast<double>(stats.count());
+  return moments;
+}
+
 }  // namespace bmfusion::core

@@ -13,4 +13,11 @@ namespace bmfusion::core {
 /// paper's baseline would compute.
 [[nodiscard]] GaussianMoments estimate_mle(const linalg::Matrix& samples);
 
+/// The same estimate from precomputed sufficient statistics: mean = sum/n,
+/// covariance = scatter/n. Mathematically identical to the matrix overload;
+/// numerically the uncentered accumulation can cancel when |mean| dwarfs
+/// the spread (the price of never materializing the samples). This is the
+/// streaming snapshot path.
+[[nodiscard]] GaussianMoments estimate_mle(const SufficientStats& stats);
+
 }  // namespace bmfusion::core

@@ -1,3 +1,10 @@
+// Implements the deprecated SequentialFusion shim; the definition itself
+// must not trip -Werror=deprecated-declarations.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
 #include "core/sequential.hpp"
 
 #include "common/contracts.hpp"
@@ -36,3 +43,7 @@ double SequentialFusion::predictive_log_pdf(const Vector& x) const {
 }
 
 }  // namespace bmfusion::core
+
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif

@@ -1,11 +1,18 @@
-// Streaming (sample-at-a-time) Bayesian model fusion.
+// DEPRECATED streaming (sample-at-a-time) Bayesian model fusion.
 //
-// Conjugacy makes the posterior after each new late-stage sample another
-// normal-Wishart, so validation can be monitored live: after every silicon
-// measurement the current MAP moments (and the predictive density) are
-// available in O(d^3). A practical extension beyond the paper's batch
-// formulation — useful when each measurement takes hours and one wants to
-// stop as soon as the estimate stabilizes.
+// SequentialFusion predates the MomentEstimator streaming surface and is
+// now a thin compatibility shim over it. Its two observe() overloads map
+// directly onto MomentEstimator::observe(Vector)/observe(Matrix); its
+// current_estimate() is snapshot() at fixed hyper-parameters. Migrate:
+//
+//   * live monitoring of an estimator: BmfEstimator/MleEstimator
+//     set_nominal + observe + snapshot (core/estimator.hpp);
+//   * raw conjugate-posterior tracking at fixed hyper-parameters (what this
+//     class actually does): keep a NormalWishart and fold batches in with
+//     posterior(SufficientStats) — one O(d^3) update per batch.
+//
+// The shim survives one deprecation cycle for out-of-tree callers; every
+// in-repo caller has been migrated.
 #pragma once
 
 #include "core/moments.hpp"
@@ -16,7 +23,11 @@
 namespace bmfusion::core {
 
 /// Accumulates late-stage samples into a normal-Wishart posterior.
-class SequentialFusion {
+/// \deprecated Use the MomentEstimator streaming surface (observe/snapshot)
+/// or NormalWishart::posterior(SufficientStats) directly.
+class [[deprecated(
+    "use the MomentEstimator streaming surface (observe/merge/snapshot) or "
+    "NormalWishart::posterior(SufficientStats)")]] SequentialFusion {
  public:
   /// Starts from a (typically early-stage-anchored) prior.
   explicit SequentialFusion(NormalWishart prior);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <sstream>
+#include <utility>
 
 #include "common/contracts.hpp"
 
@@ -59,6 +60,29 @@ GaussianMoments ShiftScale::apply(const GaussianMoments& moments) const {
     }
   }
   return out;
+}
+
+SufficientStats ShiftScale::apply(const SufficientStats& stats) const {
+  BMFUSION_REQUIRE(stats.dimension() == dimension(),
+                   "transform dimension mismatch");
+  BMFUSION_REQUIRE(stats.count() >= 1,
+                   "transforming sufficient stats needs >= 1 sample");
+  const std::size_t d = dimension();
+  const double n = static_cast<double>(stats.count());
+  Vector sum(d);
+  for (std::size_t r = 0; r < d; ++r) {
+    sum[r] = (stats.sum()[r] - n * shift_[r]) / scale_[r];
+  }
+  linalg::Matrix outer(d, d);
+  for (std::size_t r = 0; r < d; ++r) {
+    for (std::size_t c = 0; c < d; ++c) {
+      outer(r, c) = (stats.sum_outer()(r, c) - shift_[c] * stats.sum()[r] -
+                     shift_[r] * stats.sum()[c] + n * shift_[r] * shift_[c]) /
+                    (scale_[r] * scale_[c]);
+    }
+  }
+  return SufficientStats::from_raw(stats.count(), std::move(sum),
+                                   std::move(outer));
 }
 
 Vector ShiftScale::invert(const Vector& y) const {

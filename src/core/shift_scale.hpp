@@ -34,6 +34,16 @@ class ShiftScale {
   /// mean' = (mean - shift)/scale, cov'_ij = cov_ij/(scale_i scale_j).
   [[nodiscard]] GaussianMoments apply(const GaussianMoments& moments) const;
 
+  /// Algebraic push-forward of sufficient statistics: the stats of the
+  /// transformed samples computed from the stats of the raw samples,
+  ///   sum'_r   = (sum_r - n s_r) / c_r
+  ///   outer'_rc = (outer_rc - s_c sum_r - s_r sum_c + n s_r s_c)/(c_r c_c).
+  /// Exact in real arithmetic; in floating point the subtractions can
+  /// cancel when |shift| dwarfs the sample spread, so prefer transforming
+  /// samples before accumulation when raw rows are available (the streaming
+  /// observe path does exactly that).
+  [[nodiscard]] SufficientStats apply(const SufficientStats& stats) const;
+
   /// Inverse transform of one point.
   [[nodiscard]] linalg::Vector invert(const linalg::Vector& y) const;
 

@@ -39,6 +39,11 @@ struct UnivariateBmfResult {
 /// The univariate baseline behind the unified MomentEstimator interface.
 /// Like estimate_univariate_bmf it works in the scaled space and ignores the
 /// nominal point; the reported covariance is diagonal.
+///
+/// Streaming: samples (already normalized by the caller, like the batch
+/// path) accumulate into cv.folds fold streams; snapshot() projects each
+/// fold's statistics onto every dimension and runs the per-metric 1-D
+/// hyper-parameter search from those projections.
 class UnivariateBmfEstimator final : public MomentEstimator {
  public:
   explicit UnivariateBmfEstimator(GaussianMoments early_scaled,
@@ -62,6 +67,16 @@ class UnivariateBmfEstimator final : public MomentEstimator {
                          .as_moments();
     result.scaled_moments = result.moments;
     return result;
+  }
+
+  [[nodiscard]] EstimateResult do_estimate_stats(
+      const SufficientStats& stats,
+      const linalg::Vector& nominal) const override;
+  [[nodiscard]] EstimateResult do_snapshot(
+      const std::vector<SufficientStats>& fold_totals,
+      const linalg::Vector& nominal) const override;
+  [[nodiscard]] std::size_t stream_folds() const override {
+    return cv_.folds;
   }
 
  private:

@@ -1,0 +1,44 @@
+// Minimal blocking JSON-lines client for the bmf_serve protocol.
+//
+// One loopback TCP connection, newline-delimited frames. This is the
+// client half used by the soak driver, the serve bench, and the serve
+// tests; production callers with their own event loop only need the
+// protocol shape documented in protocol.hpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bmfusion::serve {
+
+/// Blocking JSON-lines client on one loopback TCP connection. Not
+/// thread-safe; use one instance per client thread.
+class LineClient {
+ public:
+  LineClient() = default;
+  ~LineClient();
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  /// Connects to 127.0.0.1:`port` and disables Nagle (the protocol is
+  /// small-frame request/response; Nagle + delayed ACK would add ~40ms
+  /// per round trip). Returns false when the connection is refused.
+  [[nodiscard]] bool connect_to(std::uint16_t port);
+
+  /// Sends `line` plus the terminating newline in one send. Returns
+  /// false when the peer went away.
+  [[nodiscard]] bool send_line(const std::string& line);
+
+  /// Receives the next newline-delimited frame (newline stripped).
+  /// Returns false on EOF or error.
+  [[nodiscard]] bool recv_line(std::string& line);
+
+  /// send_line + recv_line in one call.
+  [[nodiscard]] bool request(const std::string& line, std::string& response);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace bmfusion::serve

@@ -1,0 +1,257 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "common/contracts.hpp"
+#include "common/json.hpp"
+#include "core/estimator.hpp"
+#include "linalg/matrix.hpp"
+#include "stats/stat_wire.hpp"
+#include "telemetry/clock.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace bmfusion::serve {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// 17 significant digits round-trip doubles exactly; non-finite values
+/// (unselected hyper-parameters) have no JSON spelling and become null.
+void append_double(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += "null";
+    return;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out += buffer;
+}
+
+void append_vector(std::string& out, const Vector& v) {
+  out += '[';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i != 0) out += ',';
+    append_double(out, v[i]);
+  }
+  out += ']';
+}
+
+void append_matrix(std::string& out, const Matrix& m) {
+  out += '[';
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    if (r != 0) out += ',';
+    out += '[';
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      if (c != 0) out += ',';
+      append_double(out, m(r, c));
+    }
+    out += ']';
+  }
+  out += ']';
+}
+
+/// {"ok":true,"op":<op>,"session":<id>  — caller appends members + "}".
+std::string response_head(std::string_view op, std::string_view session) {
+  std::string out = "{\"ok\":true,\"op\":\"";
+  append_escaped(out, op);
+  out += '"';
+  if (!session.empty()) {
+    out += ",\"session\":\"";
+    append_escaped(out, session);
+    out += '"';
+  }
+  return out;
+}
+
+std::string error_response(std::string_view type, std::string_view message) {
+  std::string out = "{\"ok\":false,\"error\":{\"type\":\"";
+  append_escaped(out, type);
+  out += "\",\"message\":\"";
+  append_escaped(out, message);
+  out += "\"}}";
+  return out;
+}
+
+std::string required_string(const JsonValue& request, const char* key) {
+  const JsonValue* value = request.find(key);
+  if (value == nullptr || !value->is_string()) {
+    throw DataError(std::string("request needs a string \"") + key + "\"",
+                    ErrorContext{}.with_operation("serve_protocol"));
+  }
+  return value->as_string();
+}
+
+const JsonValue& required_member(const JsonValue& request, const char* key) {
+  const JsonValue* value = request.find(key);
+  if (value == nullptr) {
+    throw DataError(std::string("request needs \"") + key + "\"",
+                    ErrorContext{}.with_operation("serve_protocol"));
+  }
+  return *value;
+}
+
+std::string handle_open(SessionRegistry& registry, const JsonValue& request) {
+  const std::string id = required_string(request, "session");
+  const std::shared_ptr<Session> session = registry.open(id, request);
+  BMF_COUNTER_ADD("serve.op.open", 1);
+  std::string out = response_head("open", id);
+  out += ",\"estimator\":\"";
+  append_escaped(out, session->estimator_name());
+  out += "\"}";
+  return out;
+}
+
+std::string handle_observe(SessionRegistry& registry,
+                           const JsonValue& request) {
+  const std::string id = required_string(request, "session");
+  const Matrix samples =
+      parse_matrix(required_member(request, "samples"), "samples");
+  const std::size_t total = registry.get(id)->observe(samples);
+  BMF_COUNTER_ADD("serve.op.observe", 1);
+  BMF_COUNTER_ADD("serve.observed_samples", samples.rows());
+  std::string out = response_head("observe", id);
+  out += ",\"observed\":" + std::to_string(samples.rows());
+  out += ",\"total\":" + std::to_string(total) + "}";
+  return out;
+}
+
+std::string handle_absorb(SessionRegistry& registry,
+                          const JsonValue& request) {
+  const std::string id = required_string(request, "session");
+  const stats::StatsShard shard =
+      stats::shard_from_json(required_member(request, "shard"));
+  const std::shared_ptr<Session> session = registry.get(id);
+  const bool absorbed = session->absorb(shard);
+  BMF_COUNTER_ADD("serve.op.absorb", 1);
+  std::string out = response_head("absorb", id);
+  out += absorbed ? ",\"duplicate\":false" : ",\"duplicate\":true";
+  out += ",\"total\":" + std::to_string(session->observed_count()) + "}";
+  return out;
+}
+
+std::string handle_stats(SessionRegistry& registry, const JsonValue& request) {
+  const std::string id = required_string(request, "session");
+  std::uint64_t shard_id = 0;
+  if (const JsonValue* v = request.find("shard_id")) {
+    if (!v->is_number() || v->as_number() < 0.0) {
+      throw DataError("\"shard_id\" must be a nonnegative number",
+                      ErrorContext{}.with_operation("serve_protocol"));
+    }
+    shard_id = static_cast<std::uint64_t>(v->as_number());
+  }
+  const stats::StatsShard shard = registry.get(id)->export_shard(shard_id);
+  BMF_COUNTER_ADD("serve.op.stats", 1);
+  std::string out = response_head("stats", id);
+  out += ",\"shard\":" + stats::shard_to_json(shard) + "}";
+  return out;
+}
+
+std::string handle_estimate(SessionRegistry& registry,
+                            const JsonValue& request) {
+  const std::string id = required_string(request, "session");
+  const std::shared_ptr<Session> session = registry.get(id);
+  const core::EstimateResult result = session->estimate();
+  BMF_COUNTER_ADD("serve.op.estimate", 1);
+  std::string out = response_head("estimate", id);
+  out += ",\"count\":" + std::to_string(session->observed_count());
+  out += ",\"estimate\":{\"mean\":";
+  append_vector(out, result.moments.mean);
+  out += ",\"covariance\":";
+  append_matrix(out, result.moments.covariance);
+  out += ",\"kappa0\":";
+  append_double(out, result.kappa0);
+  out += ",\"nu0\":";
+  append_double(out, result.nu0);
+  out += ",\"score\":";
+  append_double(out, result.score);
+  out += "}}";
+  return out;
+}
+
+std::string handle_close(SessionRegistry& registry, const JsonValue& request) {
+  const std::string id = required_string(request, "session");
+  registry.close(id);
+  BMF_COUNTER_ADD("serve.op.close", 1);
+  return response_head("close", id) + "}";
+}
+
+std::string dispatch(SessionRegistry& registry, std::string_view line,
+                     bool& shutdown) {
+  const JsonValue request = parse_json(line);
+  if (!request.is_object()) {
+    throw DataError("request must be a JSON object",
+                    ErrorContext{}.with_operation("serve_protocol"));
+  }
+  const std::string op = required_string(request, "op");
+  if (op == "ping") return response_head("ping", "") + "}";
+  if (op == "open") return handle_open(registry, request);
+  if (op == "observe") return handle_observe(registry, request);
+  if (op == "absorb") return handle_absorb(registry, request);
+  if (op == "stats") return handle_stats(registry, request);
+  if (op == "estimate") return handle_estimate(registry, request);
+  if (op == "close") return handle_close(registry, request);
+  if (op == "shutdown") {
+    shutdown = true;
+    return response_head("shutdown", "") + "}";
+  }
+  throw DataError("unknown op \"" + op + "\"",
+                  ErrorContext{}.with_operation("serve_protocol"));
+}
+
+}  // namespace
+
+ProtocolResult handle_request(SessionRegistry& registry,
+                              std::string_view line) {
+  const std::uint64_t start_ns = telemetry::now_ns();
+  BMF_COUNTER_ADD("serve.requests", 1);
+  ProtocolResult result;
+  try {
+    result.response = dispatch(registry, line, result.shutdown);
+  } catch (const DataError& e) {
+    BMF_COUNTER_ADD("serve.errors", 1);
+    result.response = error_response("DataError", e.what());
+  } catch (const ConfigError& e) {
+    BMF_COUNTER_ADD("serve.errors", 1);
+    result.response = error_response("ConfigError", e.what());
+  } catch (const NumericError& e) {
+    BMF_COUNTER_ADD("serve.errors", 1);
+    result.response = error_response("NumericError", e.what());
+  } catch (const ContractError& e) {
+    BMF_COUNTER_ADD("serve.errors", 1);
+    result.response = error_response("ContractError", e.what());
+  } catch (const std::exception& e) {
+    BMF_COUNTER_ADD("serve.errors", 1);
+    result.response = error_response("InternalError", e.what());
+  }
+  BMF_HISTOGRAM_RECORD_US(
+      "serve.request_us",
+      static_cast<double>(telemetry::now_ns() - start_ns) * 1e-3);
+  return result;
+}
+
+}  // namespace bmfusion::serve

@@ -1,0 +1,41 @@
+// JSON-lines request protocol shared by the TCP server and the stdio loop.
+//
+// One request per line, one response per line; both are single JSON
+// objects. Requests carry an "op" plus op-specific members:
+//
+//   {"op":"ping"}
+//   {"op":"open","session":"s1","estimator":"bmf","early":{...},
+//    "config":{...},"nominal":[...]}          (spec: serve/session.hpp)
+//   {"op":"observe","session":"s1","samples":[[..],[..]]}
+//   {"op":"absorb","session":"s1","shard":{...stat_wire JSON...}}
+//   {"op":"stats","session":"s1","shard_id":7}
+//   {"op":"estimate","session":"s1"}
+//   {"op":"close","session":"s1"}
+//   {"op":"shutdown"}
+//
+// Every response is {"ok":true,...} or, on failure,
+// {"ok":false,"error":{"type":"DataError","message":"..."}} — errors are
+// answered in-band and never tear down the connection. The handler is
+// stateless apart from the shared SessionRegistry, so any number of
+// connections (or an in-process test) can drive it concurrently.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "serve/session.hpp"
+
+namespace bmfusion::serve {
+
+struct ProtocolResult {
+  std::string response;   ///< one JSON object, no trailing newline
+  bool shutdown = false;  ///< true after a "shutdown" op
+};
+
+/// Parses and executes one request line against `registry`. All protocol
+/// and estimation errors are converted into {"ok":false,...} responses;
+/// only non-exception failures (e.g. std::bad_alloc) propagate.
+[[nodiscard]] ProtocolResult handle_request(SessionRegistry& registry,
+                                            std::string_view line);
+
+}  // namespace bmfusion::serve

@@ -1,0 +1,191 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "common/contracts.hpp"
+#include "serve/protocol.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace bmfusion::serve {
+
+namespace {
+
+[[noreturn]] void socket_error(const std::string& what) {
+  throw DataError("serve socket failure",
+                  ErrorContext{}.with_operation("serve_listen").with_detail(
+                      what + ": " + std::strerror(errno)));
+}
+
+/// Sends the whole buffer; returns false when the peer went away.
+bool send_all(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+#ifdef MSG_NOSIGNAL
+    const int flags = MSG_NOSIGNAL;
+#else
+    const int flags = 0;
+#endif
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, flags);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(ServerConfig config) : config_(config) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  BMFUSION_REQUIRE(listen_fd_ < 0, "server already started");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) socket_error("socket");
+  const int reuse = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(config_.port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    socket_error("bind");
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) < 0) {
+    ::close(fd);
+    socket_error("getsockname");
+  }
+  if (::listen(fd, config_.backlog) < 0) {
+    ::close(fd);
+    socket_error("listen");
+  }
+  bound_port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+  accept_thread_ = std::thread(&Server::accept_loop, this);
+}
+
+void Server::accept_loop() {
+  const int listener = listen_fd_;
+  while (true) {
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener was shut down
+    }
+    // Request/response protocol with small frames: Nagle + delayed ACK
+    // would add ~40ms per round trip.
+    const int nodelay = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      ::close(fd);
+      break;
+    }
+    BMF_COUNTER_ADD("serve.connections", 1);
+    connections_.emplace_back(fd,
+                              std::thread(&Server::serve_connection, this,
+                                          fd));
+  }
+}
+
+void Server::serve_connection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t newline;
+    while (open && (newline = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      ProtocolResult result = handle_request(sessions_, line);
+      result.response += '\n';  // one send: keep the frame in one packet
+      if (!send_all(fd, result.response)) {
+        open = false;
+        break;
+      }
+      if (result.shutdown) {
+        // Response is on the wire; tear the server down. This thread's own
+        // socket is shut down too, so the next recv ends the loop.
+        close_listener();
+        open = false;
+      }
+    }
+  }
+}
+
+void Server::close_listener() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stopping_) return;
+  stopping_ = true;
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  for (auto& [fd, thread] : connections_) {
+    (void)thread;
+    ::shutdown(fd, SHUT_RDWR);
+  }
+}
+
+void Server::stop() {
+  if (listen_fd_ < 0) return;
+  close_listener();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // After the accept loop has exited no new connections can appear, so the
+  // vector is stable without the lock (held only against late mutation).
+  std::vector<std::pair<int, std::thread>> connections;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    connections.swap(connections_);
+  }
+  for (auto& [fd, thread] : connections) {
+    if (thread.joinable()) thread.join();
+    ::close(fd);
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void Server::wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+  stop();
+}
+
+std::size_t run_stdio(SessionRegistry& sessions, std::istream& in,
+                      std::ostream& out) {
+  std::size_t handled = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const ProtocolResult result = handle_request(sessions, line);
+    out << result.response << '\n' << std::flush;
+    ++handled;
+    if (result.shutdown) break;
+  }
+  return handled;
+}
+
+}  // namespace bmfusion::serve

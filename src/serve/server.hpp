@@ -1,0 +1,85 @@
+// bmf_serve transport: a JSON-lines TCP server plus a stdio loop.
+//
+// The server listens on a loopback TCP socket (port 0 = ephemeral, the
+// bound port is queryable after start) and spawns one thread per accepted
+// connection. Connection threads only frame lines and serialize responses;
+// every request body runs through serve/protocol.hpp against the shared
+// SessionRegistry, and the estimate hot path lands on the shared
+// parallel_for pool. A "shutdown" request (or stop()) closes the listener,
+// wakes every connection and joins all threads, so a server object always
+// leaves scope with no thread or fd still alive — the property the ASan
+// soak stage checks.
+//
+// run_stdio() drives the same protocol over an istream/ostream pair for
+// environments without sockets (pipes, tests, one-shot batch use).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/session.hpp"
+
+namespace bmfusion::serve {
+
+struct ServerConfig {
+  /// TCP port to bind on 127.0.0.1; 0 asks the kernel for an ephemeral
+  /// port (read it back with Server::port()).
+  std::uint16_t port = 0;
+  /// listen(2) backlog.
+  int backlog = 64;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config = {});
+
+  /// Joins every connection; equivalent to stop().
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and starts the accept thread. Throws DataError when the
+  /// socket cannot be created or bound.
+  void start();
+
+  /// The bound port (valid after start()).
+  [[nodiscard]] std::uint16_t port() const { return bound_port_; }
+
+  /// Initiates shutdown: closes the listener and every live connection,
+  /// then joins all threads. Idempotent.
+  void stop();
+
+  /// Blocks until a "shutdown" request (or stop() from another thread) has
+  /// terminated the accept loop, then joins everything.
+  void wait();
+
+  /// Sessions live here; shared across connections and exposed for
+  /// in-process tests.
+  [[nodiscard]] SessionRegistry& sessions() { return sessions_; }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+  void close_listener();
+
+  ServerConfig config_;
+  SessionRegistry sessions_;
+  std::uint16_t bound_port_ = 0;
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+
+  std::mutex mutex_;  ///< guards connections_ and stopping_
+  std::vector<std::pair<int, std::thread>> connections_;
+  bool stopping_ = false;
+};
+
+/// Runs the JSON-lines protocol over streams until EOF or a "shutdown"
+/// request. Returns the number of requests handled.
+std::size_t run_stdio(SessionRegistry& sessions, std::istream& in,
+                      std::ostream& out);
+
+}  // namespace bmfusion::serve

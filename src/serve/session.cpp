@@ -1,0 +1,249 @@
+#include "serve/session.hpp"
+
+#include <utility>
+
+#include "common/contracts.hpp"
+#include "core/bmf_estimator.hpp"
+#include "core/univariate_bmf.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace bmfusion::serve {
+
+using core::BmfConfig;
+using core::CrossValidationConfig;
+using core::EarlyStageKnowledge;
+using core::GaussianMoments;
+using core::HyperSelection;
+using linalg::Matrix;
+using linalg::Vector;
+
+namespace {
+
+[[noreturn]] void spec_error(const std::string& detail) {
+  throw DataError("malformed estimator spec",
+                  ErrorContext{}.with_operation("serve_open").with_detail(
+                      detail));
+}
+
+}  // namespace
+
+Vector parse_vector(const JsonValue& value, const std::string& what) {
+  if (!value.is_array()) spec_error(what + " must be an array of numbers");
+  std::vector<double> data;
+  data.reserve(value.as_array().size());
+  for (const JsonValue& cell : value.as_array()) {
+    if (!cell.is_number()) spec_error(what + " must be an array of numbers");
+    data.push_back(cell.as_number());
+  }
+  return Vector(std::move(data));
+}
+
+Matrix parse_matrix(const JsonValue& value, const std::string& what) {
+  if (!value.is_array() || value.as_array().empty()) {
+    spec_error(what + " must be a non-empty array of rows");
+  }
+  const auto& rows = value.as_array();
+  const Vector first = parse_vector(rows[0], what + " row");
+  Matrix out(rows.size(), first.size());
+  out.set_row(0, first);
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    const Vector row = parse_vector(rows[r], what + " row");
+    if (row.size() != first.size()) spec_error(what + " rows are ragged");
+    out.set_row(r, row);
+  }
+  return out;
+}
+
+namespace {
+
+GaussianMoments parse_moments(const JsonValue& value,
+                              const std::string& what) {
+  const JsonValue* mean = value.find("mean");
+  const JsonValue* covariance = value.find("covariance");
+  if (mean == nullptr || covariance == nullptr) {
+    spec_error(what + " needs \"mean\" and \"covariance\"");
+  }
+  GaussianMoments moments;
+  moments.mean = parse_vector(*mean, what + ".mean");
+  moments.covariance = parse_matrix(*covariance, what + ".covariance");
+  return moments;
+}
+
+std::size_t parse_count(const JsonValue& value, const std::string& what) {
+  if (!value.is_number() || value.as_number() < 0.0) {
+    spec_error(what + " must be a nonnegative number");
+  }
+  return static_cast<std::size_t>(value.as_number());
+}
+
+CrossValidationConfig parse_cv_config(const JsonValue& spec) {
+  CrossValidationConfig cv;
+  const JsonValue* config = spec.find("config");
+  if (config == nullptr) return cv;
+  if (const JsonValue* v = config->find("folds")) {
+    cv.folds = parse_count(*v, "config.folds");
+  }
+  if (const JsonValue* v = config->find("kappa_points")) {
+    cv.kappa_points = parse_count(*v, "config.kappa_points");
+  }
+  if (const JsonValue* v = config->find("nu_points")) {
+    cv.nu_points = parse_count(*v, "config.nu_points");
+  }
+  cv.kappa_min = config->number_or("kappa_min", cv.kappa_min);
+  cv.kappa_max = config->number_or("kappa_max", cv.kappa_max);
+  cv.nu_offset_min = config->number_or("nu_offset_min", cv.nu_offset_min);
+  cv.nu_offset_max = config->number_or("nu_offset_max", cv.nu_offset_max);
+  if (const JsonValue* v = config->find("threads")) {
+    cv.threads = parse_count(*v, "config.threads");
+  }
+  return cv;
+}
+
+HyperSelection parse_selection(const JsonValue& spec) {
+  const JsonValue* config = spec.find("config");
+  if (config == nullptr) return HyperSelection::kCrossValidation;
+  const std::string selection = config->string_or("selection", "cv");
+  if (selection == "cv") return HyperSelection::kCrossValidation;
+  if (selection == "evidence") return HyperSelection::kEvidence;
+  spec_error("config.selection must be \"cv\" or \"evidence\"");
+}
+
+bool parse_shift_scale(const JsonValue& spec) {
+  const JsonValue* config = spec.find("config");
+  if (config == nullptr) return true;
+  const JsonValue* v = config->find("shift_scale");
+  if (v == nullptr) return true;
+  if (!v->is_bool()) spec_error("config.shift_scale must be a boolean");
+  return v->as_bool();
+}
+
+}  // namespace
+
+std::unique_ptr<core::MomentEstimator> make_estimator(const JsonValue& spec) {
+  if (!spec.is_object()) spec_error("spec must be a JSON object");
+  const std::string kind = spec.string_or("estimator", "");
+  std::unique_ptr<core::MomentEstimator> estimator;
+  if (kind == "mle") {
+    estimator = std::make_unique<core::MleEstimator>();
+  } else if (kind == "bmf") {
+    const JsonValue* early = spec.find("early");
+    if (early == nullptr) spec_error("bmf needs an \"early\" stage");
+    EarlyStageKnowledge knowledge;
+    knowledge.moments = parse_moments(*early, "early");
+    if (const JsonValue* nominal = early->find("nominal")) {
+      knowledge.nominal = parse_vector(*nominal, "early.nominal");
+    }
+    BmfConfig config;
+    config.cv = parse_cv_config(spec);
+    config.selection = parse_selection(spec);
+    config.apply_shift_scale = parse_shift_scale(spec);
+    estimator = std::make_unique<core::BmfEstimator>(std::move(knowledge),
+                                                     config);
+  } else if (kind == "univariate-bmf") {
+    const JsonValue* early = spec.find("early");
+    if (early == nullptr) spec_error("univariate-bmf needs an \"early\" stage");
+    estimator = std::make_unique<core::UnivariateBmfEstimator>(
+        parse_moments(*early, "early"), parse_cv_config(spec));
+  } else {
+    spec_error("unknown estimator \"" + kind +
+               "\" (expected mle, bmf or univariate-bmf)");
+  }
+  if (const JsonValue* nominal = spec.find("nominal")) {
+    estimator->set_nominal(parse_vector(*nominal, "nominal"));
+  }
+  return estimator;
+}
+
+Session::Session(std::string id,
+                 std::unique_ptr<core::MomentEstimator> estimator)
+    : id_(std::move(id)), estimator_(std::move(estimator)) {
+  BMFUSION_REQUIRE(estimator_ != nullptr, "session needs an estimator");
+}
+
+std::string Session::estimator_name() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::string(estimator_->name());
+}
+
+std::size_t Session::observe(const Matrix& samples) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  estimator_->observe(samples);
+  return estimator_->observed_count();
+}
+
+bool Session::absorb(const stats::StatsShard& shard) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!absorbed_shards_.insert(shard.shard_id).second) return false;
+  try {
+    estimator_->absorb(shard);
+  } catch (...) {
+    absorbed_shards_.erase(shard.shard_id);
+    throw;
+  }
+  return true;
+}
+
+stats::StatsShard Session::export_shard(std::uint64_t shard_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return estimator_->export_shard(shard_id);
+}
+
+core::EstimateResult Session::estimate() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // The heavy lifting (the CV grid sweep) runs on the shared parallel_for
+  // pool; this connection thread only holds the session lock.
+  BMF_SCOPED_TIMER_US("serve.estimate_us");
+  return estimator_->snapshot();
+}
+
+std::size_t Session::observed_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return estimator_->observed_count();
+}
+
+std::shared_ptr<Session> SessionRegistry::open(const std::string& id,
+                                               const JsonValue& spec) {
+  if (id.empty()) {
+    throw DataError("session id must be non-empty",
+                    ErrorContext{}.with_operation("serve_open"));
+  }
+  auto session = std::make_shared<Session>(id, make_estimator(spec));
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!sessions_.emplace(id, session).second) {
+    throw DataError("session already open",
+                    ErrorContext{}.with_operation("serve_open").with_detail(
+                        "id: " + id));
+  }
+  BMF_GAUGE_SET("serve.sessions", sessions_.size());
+  return session;
+}
+
+std::shared_ptr<Session> SessionRegistry::get(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    throw DataError("unknown session",
+                    ErrorContext{}.with_operation("serve_lookup").with_detail(
+                        "id: " + id));
+  }
+  return it->second;
+}
+
+void SessionRegistry::close(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    throw DataError("unknown session",
+                    ErrorContext{}.with_operation("serve_close").with_detail(
+                        "id: " + id));
+  }
+  sessions_.erase(it);
+  BMF_GAUGE_SET("serve.sessions", sessions_.size());
+}
+
+std::size_t SessionRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_.size();
+}
+
+}  // namespace bmfusion::serve

@@ -1,0 +1,111 @@
+// Serve-layer sessions: one live streaming estimator per session id.
+//
+// A Session owns a MomentEstimator built from the JSON spec of an "open"
+// request and serializes all access to it behind a mutex, so concurrent
+// connections can observe into and estimate from the same session safely.
+// Absorbed wire shards are cached by shard id per session, making shard
+// delivery idempotent: a producer that retries an absorb after a dropped
+// response cannot double-count its statistics.
+//
+// SessionRegistry is the process-wide id -> session map shared by every
+// connection of a server (and by the stdio loop). Lookups hand out
+// shared_ptrs so a session stays valid for an in-flight request even if
+// another connection closes it concurrently.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "core/estimator.hpp"
+#include "linalg/matrix.hpp"
+#include "stats/stat_wire.hpp"
+
+namespace bmfusion::serve {
+
+/// Builds an estimator from the JSON spec carried by an "open" request:
+///
+///   {"estimator": "mle" | "bmf" | "univariate-bmf",
+///    "early":    {"mean": [...], "covariance": [[...]], "nominal": [...]},
+///    "config":   {"folds": 4, "kappa_points": 12, "nu_points": 12,
+///                 "kappa_min": .., "kappa_max": .., "nu_offset_min": ..,
+///                 "nu_offset_max": .., "threads": 0,
+///                 "shift_scale": true, "selection": "cv" | "evidence"},
+///    "nominal":  [...]}  // late-stage nominal; applied via set_nominal
+///
+/// "early" is required for bmf (with "nominal" inside it) and
+/// univariate-bmf (moments only); "config" and the top-level "nominal" are
+/// optional. Malformed specs throw DataError; invalid configurations
+/// propagate the core's ConfigError/ContractError.
+[[nodiscard]] std::unique_ptr<core::MomentEstimator> make_estimator(
+    const JsonValue& spec);
+
+/// JSON -> linalg conversions shared with the protocol layer. `what` names
+/// the member in DataError messages ("samples", "early.mean", ...).
+[[nodiscard]] linalg::Vector parse_vector(const JsonValue& value,
+                                          const std::string& what);
+[[nodiscard]] linalg::Matrix parse_matrix(const JsonValue& value,
+                                          const std::string& what);
+
+/// One session: a named streaming estimator plus its shard cache.
+class Session {
+ public:
+  Session(std::string id, std::unique_ptr<core::MomentEstimator> estimator);
+
+  [[nodiscard]] const std::string& id() const { return id_; }
+
+  /// Estimator tag ("mle", "bmf", ...) for responses.
+  [[nodiscard]] std::string estimator_name() const;
+
+  /// Streams every row of `samples`; returns the session's new total count.
+  std::size_t observe(const linalg::Matrix& samples);
+
+  /// Absorbs a wire shard unless its shard id was already absorbed into
+  /// this session. Returns false (and leaves the stream untouched) for such
+  /// duplicates.
+  bool absorb(const stats::StatsShard& shard);
+
+  /// The session's stream state as a wire shard.
+  [[nodiscard]] stats::StatsShard export_shard(std::uint64_t shard_id) const;
+
+  /// Snapshot of the stream (>= 1 observed sample required, as per the
+  /// estimator contract).
+  [[nodiscard]] core::EstimateResult estimate() const;
+
+  [[nodiscard]] std::size_t observed_count() const;
+
+ private:
+  std::string id_;
+  mutable std::mutex mutex_;
+  std::unique_ptr<core::MomentEstimator> estimator_;
+  std::set<std::uint64_t> absorbed_shards_;
+};
+
+/// Thread-safe id -> Session map.
+class SessionRegistry {
+ public:
+  /// Creates a session from an "open" spec. Throws DataError when the id is
+  /// already open.
+  std::shared_ptr<Session> open(const std::string& id,
+                                const JsonValue& spec);
+
+  /// Looks a session up; throws DataError for unknown ids.
+  [[nodiscard]] std::shared_ptr<Session> get(const std::string& id) const;
+
+  /// Closes a session; throws DataError for unknown ids. In-flight requests
+  /// holding the shared_ptr finish against the detached session.
+  void close(const std::string& id);
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<Session>> sessions_;
+};
+
+}  // namespace bmfusion::serve

@@ -1,6 +1,7 @@
 #include "stats/sufficient_stats.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/contracts.hpp"
 
@@ -32,6 +33,21 @@ SufficientStats SufficientStats::from_samples(const linalg::Matrix& samples) {
       stats.sum_outer_(r, c) = stats.sum_outer_(c, r);
     }
   }
+  return stats;
+}
+
+SufficientStats SufficientStats::from_raw(std::size_t count,
+                                          linalg::Vector sum,
+                                          linalg::Matrix sum_outer) {
+  BMFUSION_REQUIRE(count >= 1, "sufficient stats need count >= 1");
+  BMFUSION_REQUIRE(sum.size() >= 1, "sufficient stats need dimension >= 1");
+  BMFUSION_REQUIRE(
+      sum_outer.rows() == sum.size() && sum_outer.cols() == sum.size(),
+      "sufficient stats outer-sum shape must match the sum vector");
+  SufficientStats stats;
+  stats.count_ = count;
+  stats.sum_ = std::move(sum);
+  stats.sum_outer_ = std::move(sum_outer);
   return stats;
 }
 

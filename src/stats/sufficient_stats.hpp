@@ -31,6 +31,13 @@ class SufficientStats {
   [[nodiscard]] static SufficientStats from_samples(
       const linalg::Matrix& samples);
 
+  /// Rebuilds statistics from their raw components (wire-format parsing,
+  /// affine transforms of already-summarized data). Requires count >= 1 and
+  /// matching square shapes; throws ContractError otherwise.
+  [[nodiscard]] static SufficientStats from_raw(std::size_t count,
+                                               linalg::Vector sum,
+                                               linalg::Matrix sum_outer);
+
   /// Folds one sample in; size must match dimension().
   void add(const linalg::Vector& sample);
 

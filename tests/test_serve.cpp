@@ -1,0 +1,298 @@
+// Serve-layer contracts: the JSON-lines protocol over an in-process TCP
+// server (happy paths, in-band errors, idempotent shard absorption,
+// concurrent clients) and the stdio loop.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hpp"
+#include "core/mle.hpp"
+#include "linalg/matrix.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+namespace bmfusion {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+using serve::Server;
+using serve::SessionRegistry;
+
+/// serve::LineClient with test-friendly connect-on-construct and a
+/// parse-the-response round trip.
+class TestClient {
+ public:
+  explicit TestClient(std::uint16_t port)
+      : connected_(client_.connect_to(port)) {}
+
+  [[nodiscard]] bool connected() const { return connected_; }
+
+  /// Sends one request line, returns the parsed response object.
+  JsonValue round_trip(const std::string& request) {
+    std::string line;
+    if (!client_.request(request, line)) {
+      ADD_FAILURE() << "connection dropped during: " << request;
+      return JsonValue{};
+    }
+    return parse_json(line);
+  }
+
+ private:
+  serve::LineClient client_;
+  bool connected_ = false;
+};
+
+bool is_ok(const JsonValue& response) {
+  const JsonValue* ok = response.find("ok");
+  return ok != nullptr && ok->is_bool() && ok->as_bool();
+}
+
+std::string error_type(const JsonValue& response) {
+  const JsonValue* error = response.find("error");
+  return error == nullptr ? "" : error->string_or("type", "");
+}
+
+std::string observe_request(const std::string& session, const Matrix& rows) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "{\"op\":\"observe\",\"session\":\"" << session
+      << "\",\"samples\":[";
+  for (std::size_t r = 0; r < rows.rows(); ++r) {
+    out << (r == 0 ? "[" : ",[");
+    for (std::size_t c = 0; c < rows.cols(); ++c) {
+      if (c != 0) out << ',';
+      out << rows(r, c);
+    }
+    out << ']';
+  }
+  out << "]}";
+  return out.str();
+}
+
+Matrix test_samples(std::size_t rows, std::size_t cols, double shift) {
+  Matrix out(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      out(r, c) = shift + std::sin(static_cast<double>(r * cols + c + 1));
+    }
+  }
+  return out;
+}
+
+TEST(ServeTcp, OpenObserveEstimateClose) {
+  Server server;
+  server.start();
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+
+  EXPECT_TRUE(is_ok(client.round_trip("{\"op\":\"ping\"}")));
+  EXPECT_TRUE(is_ok(client.round_trip(
+      "{\"op\":\"open\",\"session\":\"s1\",\"estimator\":\"mle\"}")));
+
+  const Matrix samples = test_samples(48, 3, 2.0);
+  const JsonValue observed = client.round_trip(observe_request("s1", samples));
+  ASSERT_TRUE(is_ok(observed));
+  EXPECT_EQ(observed.number_or("total", 0.0), 48.0);
+
+  const JsonValue response =
+      client.round_trip("{\"op\":\"estimate\",\"session\":\"s1\"}");
+  ASSERT_TRUE(is_ok(response));
+  const JsonValue* estimate = response.find("estimate");
+  ASSERT_NE(estimate, nullptr);
+  const JsonValue* mean = estimate->find("mean");
+  ASSERT_NE(mean, nullptr);
+  const core::GaussianMoments reference = core::estimate_mle(samples);
+  ASSERT_EQ(mean->as_array().size(), reference.mean.size());
+  for (std::size_t j = 0; j < reference.mean.size(); ++j) {
+    EXPECT_NEAR(mean->as_array()[j].as_number(), reference.mean[j], 1e-12);
+  }
+
+  EXPECT_TRUE(is_ok(
+      client.round_trip("{\"op\":\"close\",\"session\":\"s1\"}")));
+  EXPECT_EQ(server.sessions().size(), 0u);
+  server.stop();
+}
+
+TEST(ServeTcp, ErrorsAreInBandAndNonFatal) {
+  Server server;
+  server.start();
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+
+  EXPECT_EQ(error_type(client.round_trip("this is not json")), "DataError");
+  EXPECT_EQ(error_type(client.round_trip("{\"op\":\"wat\"}")), "DataError");
+  EXPECT_EQ(error_type(client.round_trip(
+                "{\"op\":\"estimate\",\"session\":\"ghost\"}")),
+            "DataError");
+  EXPECT_EQ(error_type(client.round_trip(
+                "{\"op\":\"open\",\"session\":\"s1\","
+                "\"estimator\":\"mystery\"}")),
+            "DataError");
+  // Estimating an empty session surfaces the estimator's contract error.
+  EXPECT_TRUE(is_ok(client.round_trip(
+      "{\"op\":\"open\",\"session\":\"s1\",\"estimator\":\"mle\"}")));
+  EXPECT_EQ(error_type(client.round_trip(
+                "{\"op\":\"estimate\",\"session\":\"s1\"}")),
+            "ContractError");
+  EXPECT_EQ(error_type(client.round_trip(
+                "{\"op\":\"open\",\"session\":\"s1\","
+                "\"estimator\":\"mle\"}")),
+            "DataError");  // duplicate id
+  // The connection survived every error.
+  EXPECT_TRUE(is_ok(client.round_trip("{\"op\":\"ping\"}")));
+  server.stop();
+}
+
+TEST(ServeTcp, AbsorbShardsIsIdempotentPerSession) {
+  Server server;
+  server.start();
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  EXPECT_TRUE(is_ok(client.round_trip(
+      "{\"op\":\"open\",\"session\":\"s1\",\"estimator\":\"mle\"}")));
+
+  core::MleEstimator local;
+  const Matrix samples = test_samples(100, 2, -1.0);
+  local.observe(samples);
+  const std::string shard_json =
+      stats::shard_to_json(local.export_shard(42));
+  const std::string request = "{\"op\":\"absorb\",\"session\":\"s1\","
+                              "\"shard\":" +
+                              shard_json + "}";
+  const JsonValue first = client.round_trip(request);
+  ASSERT_TRUE(is_ok(first));
+  EXPECT_EQ(first.number_or("total", 0.0), 100.0);
+  const JsonValue* duplicate = first.find("duplicate");
+  ASSERT_NE(duplicate, nullptr);
+  EXPECT_FALSE(duplicate->as_bool());
+
+  // Retrying the same shard id must not double-count.
+  const JsonValue second = client.round_trip(request);
+  ASSERT_TRUE(is_ok(second));
+  EXPECT_TRUE(second.find("duplicate")->as_bool());
+  EXPECT_EQ(second.number_or("total", 0.0), 100.0);
+  server.stop();
+}
+
+TEST(ServeTcp, StatsExportRoundTripsTheStream) {
+  Server server;
+  server.start();
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  EXPECT_TRUE(is_ok(client.round_trip(
+      "{\"op\":\"open\",\"session\":\"s1\",\"estimator\":\"mle\"}")));
+  const Matrix samples = test_samples(70, 2, 0.5);
+  ASSERT_TRUE(is_ok(client.round_trip(observe_request("s1", samples))));
+
+  const JsonValue response = client.round_trip(
+      "{\"op\":\"stats\",\"session\":\"s1\",\"shard_id\":9}");
+  ASSERT_TRUE(is_ok(response));
+  const JsonValue* shard_json = response.find("shard");
+  ASSERT_NE(shard_json, nullptr);
+  const stats::StatsShard shard = stats::shard_from_json(*shard_json);
+  EXPECT_EQ(shard.shard_id, 9u);
+  EXPECT_EQ(shard.estimator, "mle");
+  EXPECT_EQ(shard.count(), 70u);
+
+  core::MleEstimator local;
+  local.observe(samples);
+  const stats::StatsShard reference = local.export_shard(9);
+  ASSERT_EQ(shard.folds.size(), reference.folds.size());
+  EXPECT_TRUE(shard.folds[0] == reference.folds[0]);
+  server.stop();
+}
+
+TEST(ServeTcp, ConcurrentClientsOnSeparateSessions) {
+  Server server;
+  server.start();
+  const std::uint16_t port = server.port();
+  std::vector<std::thread> workers;
+  std::vector<int> failures(4, 0);
+  for (std::size_t i = 0; i < 4; ++i) {
+    workers.emplace_back([port, i, &failures] {
+      TestClient client(port);
+      if (!client.connected()) {
+        failures[i] = 1;
+        return;
+      }
+      const std::string id = "c" + std::to_string(i);
+      if (!is_ok(client.round_trip("{\"op\":\"open\",\"session\":\"" + id +
+                                   "\",\"estimator\":\"mle\"}"))) {
+        failures[i] = 2;
+        return;
+      }
+      const Matrix samples =
+          test_samples(64, 2, static_cast<double>(i));
+      for (int round = 0; round < 20; ++round) {
+        if (!is_ok(client.round_trip(observe_request(id, samples)))) {
+          failures[i] = 3;
+          return;
+        }
+      }
+      const JsonValue estimate = client.round_trip(
+          "{\"op\":\"estimate\",\"session\":\"" + id + "\"}");
+      if (!is_ok(estimate) ||
+          estimate.number_or("count", 0.0) != 64.0 * 20.0) {
+        failures[i] = 4;
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  EXPECT_EQ(failures, std::vector<int>({0, 0, 0, 0}));
+  EXPECT_EQ(server.sessions().size(), 4u);
+  server.stop();
+}
+
+TEST(ServeTcp, ShutdownRequestStopsTheServer) {
+  Server server;
+  server.start();
+  {
+    TestClient client(server.port());
+    ASSERT_TRUE(client.connected());
+    EXPECT_TRUE(is_ok(client.round_trip("{\"op\":\"shutdown\"}")));
+  }
+  server.wait();  // returns because the shutdown request closed the listener
+  EXPECT_FALSE(TestClient(server.port()).connected());
+}
+
+TEST(ServeStdio, DrivesTheSameProtocol) {
+  SessionRegistry sessions;
+  std::istringstream in(
+      "{\"op\":\"ping\"}\n"
+      "{\"op\":\"open\",\"session\":\"s\",\"estimator\":\"mle\"}\n"
+      "{\"op\":\"observe\",\"session\":\"s\",\"samples\":[[1,2],[3,4]]}\n"
+      "{\"op\":\"estimate\",\"session\":\"s\"}\n"
+      "{\"op\":\"shutdown\"}\n"
+      "{\"op\":\"ping\"}\n");  // after shutdown: never handled
+  std::ostringstream out;
+  const std::size_t handled = serve::run_stdio(sessions, in, out);
+  EXPECT_EQ(handled, 5u);
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t ok_count = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_TRUE(is_ok(parse_json(line))) << line;
+    ++ok_count;
+  }
+  EXPECT_EQ(ok_count, 5u);
+}
+
+TEST(ServeProtocol, HandleRequestIsUsableWithoutTransport) {
+  SessionRegistry sessions;
+  const serve::ProtocolResult open = serve::handle_request(
+      sessions, "{\"op\":\"open\",\"session\":\"x\",\"estimator\":\"mle\"}");
+  EXPECT_FALSE(open.shutdown);
+  EXPECT_TRUE(is_ok(parse_json(open.response)));
+  const serve::ProtocolResult shutdown =
+      serve::handle_request(sessions, "{\"op\":\"shutdown\"}");
+  EXPECT_TRUE(shutdown.shutdown);
+}
+
+}  // namespace
+}  // namespace bmfusion

@@ -1,0 +1,81 @@
+// bmf_serve: streaming moment-estimation daemon.
+//
+// Speaks the JSON-lines protocol of serve/protocol.hpp over either a
+// loopback TCP socket (default; --port 0 picks an ephemeral port, written
+// to --port-file for the client to discover) or stdin/stdout (--stdio).
+// Sessions hold live streaming estimators: open one with an estimator
+// spec, push observe/absorb requests as measurements arrive, and ask for
+// an estimate at any time — see README.md "Serving estimates" for a
+// runnable example. The process exits after a {"op":"shutdown"} request.
+//
+// --telemetry writes a metrics snapshot (request counters, estimate/request
+// latency histograms, session gauge) on exit; feed it to bmf_doctor.
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/cli.hpp"
+#include "serve/server.hpp"
+#include "telemetry/export.hpp"
+
+int main(int argc, char** argv) {
+  using bmfusion::CliParser;
+
+  CliParser cli("bmf_serve: JSON-lines streaming estimation daemon");
+  cli.add_flag("port", "0",
+               "TCP port on 127.0.0.1 (0 = ephemeral; see --port-file)");
+  cli.add_flag("port-file", "",
+               "write the bound port here once listening");
+  cli.add_flag("stdio", "false",
+               "serve stdin/stdout instead of a TCP socket");
+  cli.add_flag("telemetry", "",
+               "write a telemetry JSON snapshot here on exit");
+
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    const std::string telemetry_path = cli.get_string("telemetry");
+
+    if (cli.get_bool("stdio")) {
+      bmfusion::serve::SessionRegistry sessions;
+      const std::size_t handled =
+          bmfusion::serve::run_stdio(sessions, std::cin, std::cout);
+      std::cerr << "bmf_serve: handled " << handled << " request(s)\n";
+    } else {
+      const long port = cli.get_int("port");
+      if (port < 0 || port > 65535) {
+        std::cerr << "bmf_serve: --port must be in [0, 65535]\n";
+        return 2;
+      }
+      bmfusion::serve::ServerConfig config;
+      config.port = static_cast<std::uint16_t>(port);
+      bmfusion::serve::Server server(config);
+      server.start();
+      std::cerr << "bmf_serve: listening on 127.0.0.1:" << server.port()
+                << "\n";
+      const std::string port_file = cli.get_string("port-file");
+      if (!port_file.empty()) {
+        std::ofstream out(port_file, std::ios::trunc);
+        out << server.port() << "\n";
+        if (!out) {
+          std::cerr << "bmf_serve: cannot write --port-file " << port_file
+                    << "\n";
+          server.stop();
+          return 2;
+        }
+      }
+      server.wait();
+      std::cerr << "bmf_serve: shut down\n";
+    }
+
+    if (!telemetry_path.empty() &&
+        !bmfusion::telemetry::write_text_file(
+            telemetry_path, bmfusion::telemetry::json_snapshot())) {
+      return 2;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "bmf_serve: " << e.what() << "\n";
+    return 2;
+  }
+}
