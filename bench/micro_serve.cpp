@@ -1,18 +1,25 @@
-// micro_serve: throughput/latency bench for the bmf_serve JSON-lines
-// protocol over real loopback sockets.
+// micro_serve: throughput/latency bench for the bmf_serve protocol over
+// real loopback sockets, in JSON-lines or binary-frame mode.
 //
-// Starts an in-process serve::Server, runs N client threads that each
-// stream observe batches into their own session with interleaved estimate
-// requests, and reports observe-request throughput plus client-side
-// latency quantiles. The --json flag appends one record to the
-// BENCH_serve.json perf trajectory (scripts/bench.sh drives this;
-// scripts/bench_check.py holds the budgets).
+// Starts an in-process serve::Server (epoll event loop), runs N client
+// threads that each stream observe batches into their own session with
+// interleaved estimate requests, and reports observe-request throughput
+// plus client-side latency quantiles. --mode binary negotiates the
+// length-prefixed framing (raw doubles on the wire, no JSON in the hot
+// path); --pipeline W keeps W observe requests in flight per connection so
+// the server's batch decode + coalesced writes are actually exercised.
+// The --json flag appends one record to the BENCH_serve.json perf
+// trajectory — JSON-mode records as bench "micro_serve", binary-mode
+// records as "micro_serve_binary", so scripts/bench_check.py budgets and
+// compares the two modes separately.
 
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
+#include <deque>
 #include <string>
 #include <thread>
 #include <vector>
@@ -21,12 +28,25 @@
 #include "common/cli.hpp"
 #include "common/json.hpp"
 #include "serve/client.hpp"
+#include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "telemetry/export.hpp"
 
 namespace {
 
+using bmfusion::serve::Frame;
 using bmfusion::serve::LineClient;
+namespace wire = bmfusion::serve::wire;
+
+struct ClientOptions {
+  std::uint16_t port = 0;
+  std::size_t requests = 0;
+  std::size_t batch = 8;
+  std::size_t dim = 3;
+  std::size_t estimate_every = 500;
+  std::size_t window = 1;  ///< observe requests kept in flight
+  bool binary = false;
+};
 
 struct ClientResult {
   std::vector<double> observe_us;
@@ -34,16 +54,14 @@ struct ClientResult {
   bool ok = true;
 };
 
-bool round_trip_ok(LineClient& client, const std::string& request) {
-  std::string line;
-  if (!client.request(request, line)) return false;
-  const bmfusion::JsonValue response = bmfusion::parse_json(line);
-  const bmfusion::JsonValue* ok = response.find("ok");
-  return ok != nullptr && ok->is_bool() && ok->as_bool();
+double sample_value(std::size_t round, std::size_t batch, std::size_t dim,
+                    std::size_t i, std::size_t j) {
+  return std::sin(static_cast<double>(round * batch * dim + i * dim + j + 1));
 }
 
-std::string observe_request(const std::string& session, std::size_t batch,
-                            std::size_t dim, std::size_t round) {
+std::string observe_request_json(const std::string& session,
+                                 std::size_t batch, std::size_t dim,
+                                 std::size_t round) {
   std::string out =
       "{\"op\":\"observe\",\"session\":\"" + session + "\",\"samples\":[";
   for (std::size_t i = 0; i < batch; ++i) {
@@ -53,8 +71,7 @@ std::string observe_request(const std::string& session, std::size_t batch,
       if (j != 0) out += ',';
       char buffer[32];
       std::snprintf(buffer, sizeof(buffer), "%.12g",
-                    std::sin(static_cast<double>(round * batch * dim +
-                                                 i * dim + j + 1)));
+                    sample_value(round, batch, dim, i, j));
       out += buffer;
     }
     out += ']';
@@ -63,34 +80,114 @@ std::string observe_request(const std::string& session, std::size_t batch,
   return out;
 }
 
-void run_client(std::uint16_t port, std::size_t index, std::size_t requests,
-                std::size_t batch, std::size_t dim,
-                std::size_t estimate_every, ClientResult& result) {
+std::string observe_frame_binary(const std::string& session,
+                                 std::size_t batch, std::size_t dim,
+                                 std::size_t round) {
+  std::string payload;
+  payload.reserve(2 + session.size() + 8 + batch * dim * sizeof(double));
+  wire::append_string(payload, session);
+  wire::append_u32(payload, static_cast<std::uint32_t>(batch));
+  wire::append_u32(payload, static_cast<std::uint32_t>(dim));
+  for (std::size_t i = 0; i < batch; ++i) {
+    for (std::size_t j = 0; j < dim; ++j) {
+      const double value = sample_value(round, batch, dim, i, j);
+      char bytes[sizeof(double)];
+      std::memcpy(bytes, &value, sizeof(double));
+      payload.append(bytes, sizeof(double));
+    }
+  }
+  std::string frame;
+  frame.reserve(wire::kHeaderBytes + payload.size());
+  wire::append_frame(frame, wire::kObserve, 0, payload);
+  return frame;
+}
+
+bool json_round_trip_ok(LineClient& client, bool binary,
+                        const std::string& request) {
+  std::string text;
+  if (binary) {
+    Frame frame;
+    if (!client.request_frame(wire::kJson, request, frame)) return false;
+    text = std::move(frame.payload);
+  } else if (!client.request(request, text)) {
+    return false;
+  }
+  const bmfusion::JsonValue response = bmfusion::parse_json(text);
+  const bmfusion::JsonValue* ok = response.find("ok");
+  return ok != nullptr && ok->is_bool() && ok->as_bool();
+}
+
+/// Receives one observe response in the active mode; false on failure.
+bool recv_observe_ok(LineClient& client, bool binary) {
+  if (binary) {
+    Frame frame;
+    return client.recv_frame(frame) && frame.ok();
+  }
+  std::string line;
+  if (!client.recv_line(line)) return false;
+  const bmfusion::JsonValue response = bmfusion::parse_json(line);
+  const bmfusion::JsonValue* ok = response.find("ok");
+  return ok != nullptr && ok->is_bool() && ok->as_bool();
+}
+
+void run_client(const ClientOptions& options, std::size_t index,
+                ClientResult& result) {
   using Clock = std::chrono::steady_clock;
   LineClient client;
   const std::string id = "bench-" + std::to_string(index);
-  if (!client.connect_to(port) ||
-      !round_trip_ok(client, "{\"op\":\"open\",\"session\":\"" + id +
-                                 "\",\"estimator\":\"mle\"}")) {
+  if (!client.connect_to(options.port)) {
     result.ok = false;
     return;
   }
-  result.observe_us.reserve(requests);
-  for (std::size_t r = 0; r < requests; ++r) {
-    const std::string request = observe_request(id, batch, dim, r);
-    const auto start = Clock::now();
-    if (!round_trip_ok(client, request)) {
+  if (options.binary && !client.negotiate_binary()) {
+    result.ok = false;
+    return;
+  }
+  if (!json_round_trip_ok(client, options.binary,
+                          "{\"op\":\"open\",\"session\":\"" + id +
+                              "\",\"estimator\":\"mle\"}")) {
+    result.ok = false;
+    return;
+  }
+  result.observe_us.reserve(options.requests);
+
+  std::size_t sent = 0;
+  std::size_t received = 0;
+  std::deque<Clock::time_point> inflight;
+  const std::size_t window = std::max<std::size_t>(1, options.window);
+  while (received < options.requests) {
+    while (sent < options.requests && inflight.size() < window) {
+      const std::string request =
+          options.binary
+              ? observe_frame_binary(id, options.batch, options.dim, sent)
+              : observe_request_json(id, options.batch, options.dim, sent) +
+                    "\n";
+      inflight.push_back(Clock::now());
+      if (!client.send_raw(request)) {
+        result.ok = false;
+        return;
+      }
+      ++sent;
+    }
+    if (!recv_observe_ok(client, options.binary)) {
       result.ok = false;
       return;
     }
     result.observe_us.push_back(
-        std::chrono::duration<double, std::micro>(Clock::now() - start)
+        std::chrono::duration<double, std::micro>(Clock::now() -
+                                                  inflight.front())
             .count());
-    if (estimate_every != 0 && (r + 1) % estimate_every == 0) {
+    inflight.pop_front();
+    ++received;
+
+    // Estimates round-trip outside the observe window so their latency is
+    // not confounded with queued observes.
+    if (options.estimate_every != 0 && inflight.empty() &&
+        received % options.estimate_every == 0) {
       const auto est_start = Clock::now();
-      if (!round_trip_ok(client,
-                         "{\"op\":\"estimate\",\"session\":\"" + id +
-                             "\"}")) {
+      if (!json_round_trip_ok(client, options.binary,
+                              "{\"op\":\"estimate\",\"session\":\"" + id +
+                                  "\"}")) {
         result.ok = false;
         return;
       }
@@ -99,8 +196,9 @@ void run_client(std::uint16_t port, std::size_t index, std::size_t requests,
               .count());
     }
   }
-  result.ok = round_trip_ok(
-      client, "{\"op\":\"close\",\"session\":\"" + id + "\"}");
+  result.ok = json_round_trip_ok(
+      client, options.binary,
+      "{\"op\":\"close\",\"session\":\"" + id + "\"}");
 }
 
 double quantile_us(std::vector<double>& values, double q) {
@@ -117,12 +215,17 @@ double quantile_us(std::vector<double>& values, double q) {
 
 int main(int argc, char** argv) {
   bmfusion::CliParser cli(
-      "Times the bmf_serve JSON-lines protocol over loopback TCP: observe "
-      "request throughput and client-side latency quantiles.");
+      "Times the bmf_serve protocol over loopback TCP: observe request "
+      "throughput and client-side latency quantiles, JSON or binary mode.");
   cli.add_flag("requests", "20000", "total observe requests across clients");
   cli.add_flag("batch", "8", "samples per observe request");
   cli.add_flag("sessions", "4", "concurrent client sessions");
   cli.add_flag("dim", "3", "sample dimension");
+  cli.add_flag("mode", "json", "wire framing: json or binary");
+  cli.add_flag("pipeline", "1",
+               "observe requests kept in flight per connection");
+  cli.add_flag("io-threads", "0",
+               "server epoll threads (0 = one per hardware thread, max 4)");
   cli.add_flag("estimate-every", "500",
                "interleave an estimate request every N observes (0 = off)");
   cli.add_flag("json", "", "append the results to this JSON array file");
@@ -137,24 +240,38 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(std::max(1L, cli.get_int("sessions")));
     const std::size_t total =
         static_cast<std::size_t>(std::max(1L, cli.get_int("requests")));
-    const std::size_t per_client = (total + sessions - 1) / sessions;
-    const std::size_t batch =
-        static_cast<std::size_t>(std::max(1L, cli.get_int("batch")));
-    const std::size_t dim =
-        static_cast<std::size_t>(std::max(1L, cli.get_int("dim")));
-    const std::size_t estimate_every =
-        static_cast<std::size_t>(std::max(0L, cli.get_int("estimate-every")));
+    const std::string mode = cli.get_string("mode");
+    if (mode != "json" && mode != "binary") {
+      std::fprintf(stderr, "micro_serve: --mode must be json or binary\n");
+      return 2;
+    }
 
-    bmfusion::serve::Server server;
+    ClientOptions options;
+    options.requests = (total + sessions - 1) / sessions;
+    options.batch =
+        static_cast<std::size_t>(std::max(1L, cli.get_int("batch")));
+    options.dim = static_cast<std::size_t>(std::max(1L, cli.get_int("dim")));
+    options.estimate_every =
+        static_cast<std::size_t>(std::max(0L, cli.get_int("estimate-every")));
+    options.window =
+        static_cast<std::size_t>(std::max(1L, cli.get_int("pipeline")));
+    options.binary = mode == "binary";
+
+    bmfusion::serve::ServerConfig config;
+    config.io_threads =
+        static_cast<std::size_t>(std::max(0L, cli.get_int("io-threads")));
+    config.backlog = static_cast<int>(std::max<std::size_t>(sessions, 128));
+    bmfusion::serve::Server server(config);
     server.start();
+    options.port = server.port();
 
     const auto start = std::chrono::steady_clock::now();
     std::vector<ClientResult> results(sessions);
     std::vector<std::thread> clients;
     clients.reserve(sessions);
     for (std::size_t i = 0; i < sessions; ++i) {
-      clients.emplace_back(run_client, server.port(), i, per_client, batch,
-                           dim, estimate_every, std::ref(results[i]));
+      clients.emplace_back(run_client, std::cref(options), i,
+                           std::ref(results[i]));
     }
     for (std::thread& t : clients) t.join();
     const double elapsed_s =
@@ -186,8 +303,11 @@ int main(int argc, char** argv) {
     const double estimate_p50 = quantile_us(estimate_us, 0.50);
     const double estimate_p99 = quantile_us(estimate_us, 0.99);
 
-    std::printf("micro_serve: sessions=%zu requests=%zu batch=%zu dim=%zu\n",
-                sessions, observe_us.size(), batch, dim);
+    std::printf(
+        "micro_serve: mode=%s sessions=%zu requests=%zu batch=%zu dim=%zu "
+        "pipeline=%zu\n",
+        mode.c_str(), sessions, observe_us.size(), options.batch,
+        options.dim, options.window);
     std::printf("  %-28s %12.0f req/s\n", "observe throughput", observe_rps);
     std::printf("  %-28s %12.1f us\n", "observe p50", observe_p50);
     std::printf("  %-28s %12.1f us\n", "observe p99", observe_p99);
@@ -196,17 +316,21 @@ int main(int argc, char** argv) {
 
     const std::string json_path = cli.get_string("json");
     if (!json_path.empty()) {
-      char measurements[512];
+      const std::string bench_name =
+          options.binary ? "micro_serve_binary" : "micro_serve";
+      char measurements[640];
       std::snprintf(
           measurements, sizeof measurements,
-          "\"sessions\": %zu, \"requests\": %zu, \"batch\": %zu, "
-          "\"dim\": %zu, \"observe_throughput_rps\": %.1f, "
+          "\"mode\": \"%s\", \"sessions\": %zu, \"requests\": %zu, "
+          "\"batch\": %zu, \"dim\": %zu, \"pipeline\": %zu, "
+          "\"observe_throughput_rps\": %.1f, "
           "\"latency_us\": {\"observe_p50\": %.1f, \"observe_p99\": %.1f, "
           "\"estimate_p50\": %.1f, \"estimate_p99\": %.1f}",
-          sessions, observe_us.size(), batch, dim, observe_rps, observe_p50,
-          observe_p99, estimate_p50, estimate_p99);
+          mode.c_str(), sessions, observe_us.size(), options.batch,
+          options.dim, options.window, observe_rps, observe_p50, observe_p99,
+          estimate_p50, estimate_p99);
       const std::string record =
-          "{\"bench\": \"micro_serve\", " +
+          "{\"bench\": \"" + bench_name + "\", " +
           bmfusion::bench::run_metadata_json(cli, sessions) + ", " +
           measurements + "}";
       bmfusion::bench::append_json_record(json_path, record);

@@ -57,6 +57,16 @@ echo "==> bench: micro_serve (serve protocol throughput + latency)"
   --git "${git_rev}" --date "${date_iso}" \
   --telemetry BENCH_serve.telemetry.json
 
+echo "==> bench: micro_serve --mode binary (pipelined binary framing)"
+# Recorded as bench "micro_serve_binary" so the sentinel gates the two wire
+# modes against their own histories and budgets. 256 connections is the
+# scale the event-loop transport exists for (thread-per-connection died
+# here); keeping the record at that concurrency keeps the history honest.
+./build-bench/bench/micro_serve --mode binary --sessions 256 --pipeline 16 \
+  --requests 51200 --estimate-every 0 \
+  --json BENCH_serve.json --label "${label}" \
+  --git "${git_rev}" --date "${date_iso}"
+
 if [[ "${skip_linalg}" -eq 1 ]]; then
   echo "==> bench: micro_linalg skipped (--skip-linalg)"
   exit 0

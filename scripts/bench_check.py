@@ -24,17 +24,24 @@ builds.
 
 import argparse
 import json
+import os
 import sys
+import tempfile
 
 DEFAULT_MAX_DROP_PCT = 5.0
 DEFAULT_MAX_RISE_PCT = 10.0
 DEFAULT_MAX_PARITY = 1e-12
-# Absolute serve-layer budgets (micro_serve records). Loopback request/
-# response at batch 8 should clear these on any 1-core machine; the gates
-# exist to catch protocol-layer pathologies (a reintroduced Nagle stall,
-# per-request allocation storms), not scheduler noise.
+# Absolute serve-layer budgets (micro_serve / micro_serve_binary records).
+# Loopback request/response at batch 8 should clear these on any 1-core
+# machine; the gates exist to catch protocol-layer pathologies (a
+# reintroduced Nagle stall, per-request allocation storms), not scheduler
+# noise. Binary-frame records run pipelined, so their throughput floor is
+# much higher and their p99 budget wider (client-side latency includes the
+# queue wait of the in-flight window).
 DEFAULT_MIN_SERVE_RPS = 2000.0
 DEFAULT_MAX_SERVE_P99_MS = 20.0
+DEFAULT_MIN_SERVE_BINARY_RPS = 20000.0
+DEFAULT_MAX_SERVE_BINARY_P99_MS = 100.0
 
 # Metrics where a *higher* value is better (compared against --max-drop-pct).
 THROUGHPUT_HINT = "throughput"
@@ -72,20 +79,25 @@ def flatten_metrics(record):
 
 
 def serve_budget_rows(record, args):
-    """Absolute budgets for micro_serve records (no prior record needed)."""
+    """Absolute budgets for micro_serve* records (no prior record needed)."""
+    binary = record.get("bench") == "micro_serve_binary" \
+        or record.get("mode") == "binary"
+    min_rps = args.min_serve_binary_rps if binary else args.min_serve_rps
+    max_p99_ms = args.max_serve_binary_p99_ms if binary \
+        else args.max_serve_p99_ms
     rows = []
     rps = record.get("observe_throughput_rps")
     if isinstance(rps, (int, float)):
-        bad = rps < args.min_serve_rps
+        bad = rps < min_rps
         rows.append((
             "FAIL" if bad else "ok",
             f"observe_throughput_rps: {rps:.6g}"
-            + (f" below serve floor {args.min_serve_rps:g}" if bad else ""),
+            + (f" below serve floor {min_rps:g}" if bad else ""),
         ))
     latency = record.get("latency_us")
     p99 = latency.get("observe_p99") if isinstance(latency, dict) else None
     if isinstance(p99, (int, float)):
-        budget_us = args.max_serve_p99_ms * 1000.0
+        budget_us = max_p99_ms * 1000.0
         bad = p99 > budget_us
         rows.append((
             "FAIL" if bad else "ok",
@@ -150,29 +162,15 @@ def compare_records(previous, current, args):
     return rows
 
 
-def check_history(path, args):
-    """Checks one history file; returns the number of failing metrics."""
-    try:
-        with open(path, "r", encoding="utf-8") as handle:
-            history = json.load(handle)
-    except (OSError, json.JSONDecodeError) as exc:
-        print(f"{path}: cannot read history: {exc}", file=sys.stderr)
-        return 1
-    if not isinstance(history, list) or not history:
-        print(f"{path}: not a non-empty JSON array, skipping")
-        return 0
-    current = history[-1]
-    bench_name = current.get("bench", "?")
-    previous = None
-    for record in reversed(history[:-1]):
-        if record.get("bench") == bench_name:
-            previous = record
-            break
+def check_bench(path, bench_name, records, args):
+    """Gates the newest record of one bench name; returns failure count."""
+    current = records[-1]
+    previous = records[-2] if len(records) > 1 else None
 
     # Absolute serve budgets apply to the newest record alone, so a fresh
     # BENCH_serve.json with a single record is already gated.
-    rows = serve_budget_rows(current, args) if bench_name == "micro_serve" \
-        else []
+    rows = serve_budget_rows(current, args) \
+        if bench_name.startswith("micro_serve") else []
     if previous is None:
         if not rows:
             print(f"{path}: only one '{bench_name}' record, "
@@ -194,6 +192,30 @@ def check_history(path, args):
     if failures == 0:
         print(f"  ok    {len(rows)} metric(s) within budget")
     return failures
+
+
+def check_history(path, args):
+    """Checks one history file; returns the number of failing metrics.
+
+    A history file may interleave records of several bench names (e.g.
+    micro_serve and micro_serve_binary in BENCH_serve.json); the newest
+    record of EACH name is gated against its own predecessor, so appending
+    a binary-mode record cannot un-gate the latest JSON-mode one.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            history = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"{path}: cannot read history: {exc}", file=sys.stderr)
+        return 1
+    if not isinstance(history, list) or not history:
+        print(f"{path}: not a non-empty JSON array, skipping")
+        return 0
+    by_name = {}
+    for record in history:
+        by_name.setdefault(record.get("bench", "?"), []).append(record)
+    return sum(check_bench(path, name, records, args)
+               for name, records in by_name.items())
 
 
 def self_test(args):
@@ -259,6 +281,36 @@ def self_test(args):
             print(f"self-test: stalled serve metric '{metric}' not flagged")
             ok = False
 
+    # Binary-mode records carry their own (much higher) throughput floor; a
+    # pipelined p99 of a few ms is healthy, a JSON-floor-passing 5k req/s
+    # is not.
+    binary_good = {"bench": "micro_serve_binary", "mode": "binary",
+                   "observe_throughput_rps": 140000.0,
+                   "latency_us": {"observe_p50": 400.0,
+                                  "observe_p99": 4000.0}}
+    binary_slow = dict(binary_good, observe_throughput_rps=5000.0)
+    if [m for s, m in serve_budget_rows(binary_good, args) if s == "FAIL"]:
+        print("self-test: healthy binary serve record flagged")
+        ok = False
+    if not any("observe_throughput_rps" in m for s, m in
+               serve_budget_rows(binary_slow, args) if s == "FAIL"):
+        print("self-test: slow binary serve record not flagged")
+        ok = False
+
+    # Per-name gating: a stalled micro_serve record must stay gated even
+    # when a healthy micro_serve_binary record is appended after it.
+    with tempfile.NamedTemporaryFile("w", suffix=".json",
+                                     delete=False) as handle:
+        json.dump([serve_stalled, binary_good], handle)
+        mixed_path = handle.name
+    try:
+        if check_history(mixed_path, args) == 0:
+            print("self-test: stalled record hidden behind a newer record "
+                  "of another bench name")
+            ok = False
+    finally:
+        os.unlink(mixed_path)
+
     print("self-test: " + ("OK" if ok else "FAILED"))
     return 0 if ok else 1
 
@@ -283,6 +335,14 @@ def main():
                         default=DEFAULT_MAX_SERVE_P99_MS,
                         help="absolute observe p99 latency budget (ms) for "
                              "micro_serve records")
+    parser.add_argument("--min-serve-binary-rps", type=float,
+                        default=DEFAULT_MIN_SERVE_BINARY_RPS,
+                        help="absolute observe-throughput floor for "
+                             "micro_serve_binary records")
+    parser.add_argument("--max-serve-binary-p99-ms", type=float,
+                        default=DEFAULT_MAX_SERVE_BINARY_P99_MS,
+                        help="absolute observe p99 latency budget (ms) for "
+                             "micro_serve_binary records")
     parser.add_argument("--report-only", action="store_true",
                         help="print the diff but always exit 0")
     parser.add_argument("--verbose", action="store_true",

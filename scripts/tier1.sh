@@ -6,8 +6,9 @@
 # fault-injection and telemetry suites (jitter retries, clamped pivots,
 # exception unwinding, shard merges — exactly the paths where memory and UB
 # bugs like to hide), and finally a ThreadSanitizer build covering the
-# telemetry shard-merge tests (per-thread shards + merge-on-read is the one
-# new piece of lock-free machinery).
+# telemetry shard-merge tests (per-thread shards + merge-on-read), the log
+# sinks, and the full serve suite (epoll I/O threads trading connections,
+# atomic stop flags, the stop/wait handshake).
 #
 # Usage: scripts/tier1.sh [--skip-asan] [--skip-telemetry-off] [--skip-tsan]
 set -euo pipefail
@@ -76,6 +77,9 @@ else
   UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
     ./build-asan/tools/bmf_soak --requests 10000 --sessions 4 --batch 8 \
     --estimate-every 200
+  UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
+    ./build-asan/tools/bmf_soak --requests 10000 --sessions 4 --batch 8 \
+    --estimate-every 200 --mode binary
   printf '%s\n%s\n' \
     '{"op":"open","session":"smoke","estimator":"mle"}' \
     '{"op":"shutdown"}' | \
@@ -88,7 +92,7 @@ if [[ "${skip_tsan}" -eq 1 ]]; then
 else
   echo "==> tier-1: TSan build + telemetry shard-merge + log sink tests"
   cmake -B build-tsan -S . -DBMF_SANITIZE=thread
-  cmake --build build-tsan -j --target test_telemetry test_log
+  cmake --build build-tsan -j --target test_telemetry test_log test_serve
   TSAN_OPTIONS=halt_on_error=1 \
     ./build-tsan/tests/test_telemetry \
     --gtest_filter='CounterShards.*:HistogramShards.*:Trace.*'
@@ -97,6 +101,12 @@ else
   TSAN_OPTIONS=halt_on_error=1 \
     ./build-tsan/tests/test_log \
     --gtest_filter='LogConcurrency.*:FlightRecorder.*'
+  # The serve event loop: epoll I/O threads handing connections to each
+  # other (inbox + eventfd wake), atomic stop flags, and the stop/wait
+  # shutdown handshake — the full suite runs with TSan watching every
+  # cross-thread edge.
+  TSAN_OPTIONS=halt_on_error=1 \
+    ./build-tsan/tests/test_serve
 fi
 
 # Bench regression sentinel in report-only mode: surfaces perf drift next to

@@ -7,11 +7,46 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstring>
+
+#include "common/json.hpp"
+#include "serve/protocol.hpp"
 
 namespace bmfusion::serve {
 
-LineClient::~LineClient() {
+namespace {
+
+#ifdef MSG_NOSIGNAL
+constexpr int kSendFlags = MSG_NOSIGNAL;
+#else
+constexpr int kSendFlags = 0;
+#endif
+
+bool send_all(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, kSendFlags);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool Frame::ok() const { return (flags & wire::kFlagError) == 0; }
+
+LineClient::~LineClient() { close(); }
+
+void LineClient::close() {
   if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  buffer_.clear();
+  buffer_pos_ = 0;
 }
 
 bool LineClient::connect_to(std::uint16_t port) {
@@ -32,38 +67,93 @@ bool LineClient::connect_to(std::uint16_t port) {
   return true;
 }
 
+bool LineClient::fill_buffer() {
+  char chunk[4096];
+  const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+  if (n < 0 && errno == EINTR) return true;
+  if (n <= 0) return false;
+  buffer_.append(chunk, static_cast<std::size_t>(n));
+  return true;
+}
+
+void LineClient::compact() {
+  if (buffer_pos_ == 0) return;
+  buffer_.erase(0, buffer_pos_);
+  buffer_pos_ = 0;
+}
+
 bool LineClient::send_line(const std::string& line) {
   std::string framed = line;
   framed += '\n';
-  std::size_t sent = 0;
-  while (sent < framed.size()) {
-    const ssize_t n =
-        ::send(fd_, framed.data() + sent, framed.size() - sent, 0);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
+  return send_all(fd_, framed);
 }
 
 bool LineClient::recv_line(std::string& line) {
   std::size_t newline;
-  while ((newline = buffer_.find('\n')) == std::string::npos) {
-    char chunk[4096];
-    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) return false;
-    buffer_.append(chunk, static_cast<std::size_t>(n));
+  while ((newline = buffer_.find('\n', buffer_pos_)) == std::string::npos) {
+    compact();
+    if (!fill_buffer()) return false;
   }
-  line = buffer_.substr(0, newline);
-  buffer_.erase(0, newline + 1);
+  line.assign(buffer_, buffer_pos_, newline - buffer_pos_);
+  buffer_pos_ = newline + 1;
   return true;
 }
 
 bool LineClient::request(const std::string& line, std::string& response) {
   return send_line(line) && recv_line(response);
+}
+
+bool LineClient::negotiate_binary() {
+  std::string response;
+  if (!request("{\"op\":\"hello\",\"mode\":\"binary\"}", response)) {
+    return false;
+  }
+  try {
+    const JsonValue parsed = parse_json(response);
+    const JsonValue* ok = parsed.find("ok");
+    return ok != nullptr && ok->is_bool() && ok->as_bool();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool LineClient::send_frame(std::uint8_t opcode, std::string_view payload) {
+  std::string framed;
+  framed.reserve(wire::kHeaderBytes + payload.size());
+  wire::append_frame(framed, opcode, 0, payload);
+  return send_all(fd_, framed);
+}
+
+bool LineClient::send_raw(std::string_view bytes) {
+  return send_all(fd_, bytes);
+}
+
+bool LineClient::recv_frame(Frame& frame) {
+  while (buffer_.size() - buffer_pos_ < wire::kHeaderBytes) {
+    compact();
+    if (!fill_buffer()) return false;
+  }
+  const unsigned char* head =
+      reinterpret_cast<const unsigned char*>(buffer_.data() + buffer_pos_);
+  if (head[0] != wire::kMagic) return false;
+  frame.opcode = head[1];
+  std::memcpy(&frame.flags, head + 2, sizeof frame.flags);
+  std::uint32_t payload_size = 0;
+  std::memcpy(&payload_size, head + 4, sizeof payload_size);
+  while (buffer_.size() - buffer_pos_ <
+         wire::kHeaderBytes + payload_size) {
+    compact();
+    if (!fill_buffer()) return false;
+  }
+  frame.payload.assign(buffer_, buffer_pos_ + wire::kHeaderBytes,
+                       payload_size);
+  buffer_pos_ += wire::kHeaderBytes + payload_size;
+  return true;
+}
+
+bool LineClient::request_frame(std::uint8_t opcode, std::string_view payload,
+                               Frame& frame) {
+  return send_frame(opcode, payload) && recv_frame(frame);
 }
 
 }  // namespace bmfusion::serve

@@ -1,18 +1,29 @@
-// Minimal blocking JSON-lines client for the bmf_serve protocol.
+// Minimal blocking client for the bmf_serve protocol: JSON lines by
+// default, switchable to the length-prefixed binary framing.
 //
-// One loopback TCP connection, newline-delimited frames. This is the
-// client half used by the soak driver, the serve bench, and the serve
-// tests; production callers with their own event loop only need the
-// protocol shape documented in protocol.hpp.
+// One loopback TCP connection. This is the client half used by the soak
+// driver, the serve bench, and the serve tests; production callers with
+// their own event loop only need the protocol shape documented in
+// protocol.hpp.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace bmfusion::serve {
 
-/// Blocking JSON-lines client on one loopback TCP connection. Not
-/// thread-safe; use one instance per client thread.
+/// One binary response frame, header already decoded.
+struct Frame {
+  std::uint8_t opcode = 0;
+  std::uint16_t flags = 0;
+  std::string payload;
+
+  [[nodiscard]] bool ok() const;  ///< error flag clear
+};
+
+/// Blocking client on one loopback TCP connection. Not thread-safe; use
+/// one instance per client thread.
 class LineClient {
  public:
   LineClient() = default;
@@ -25,6 +36,9 @@ class LineClient {
   /// per round trip). Returns false when the connection is refused.
   [[nodiscard]] bool connect_to(std::uint16_t port);
 
+  /// Closes the connection (also done by the destructor).
+  void close();
+
   /// Sends `line` plus the terminating newline in one send. Returns
   /// false when the peer went away.
   [[nodiscard]] bool send_line(const std::string& line);
@@ -36,9 +50,36 @@ class LineClient {
   /// send_line + recv_line in one call.
   [[nodiscard]] bool request(const std::string& line, std::string& response);
 
+  // ------------------------------------------------------- binary framing
+
+  /// Sends {"op":"hello","mode":"binary"} and checks the acknowledgement.
+  /// After it returns true, use the frame calls below exclusively.
+  [[nodiscard]] bool negotiate_binary();
+
+  /// Sends one binary frame (header built here). Returns false when the
+  /// peer went away.
+  [[nodiscard]] bool send_frame(std::uint8_t opcode,
+                                std::string_view payload);
+
+  /// Sends pre-framed bytes verbatim — the pipelining path: concatenate
+  /// frames with wire::append_frame, send once, then recv_frame repeatedly.
+  [[nodiscard]] bool send_raw(std::string_view bytes);
+
+  /// Receives the next binary frame. Returns false on EOF, error, or a
+  /// corrupt header.
+  [[nodiscard]] bool recv_frame(Frame& frame);
+
+  /// send_frame + recv_frame in one call.
+  [[nodiscard]] bool request_frame(std::uint8_t opcode,
+                                   std::string_view payload, Frame& frame);
+
  private:
   int fd_ = -1;
   std::string buffer_;
+  std::size_t buffer_pos_ = 0;  ///< consumption cursor into buffer_
+
+  [[nodiscard]] bool fill_buffer();  ///< one recv append; false on EOF
+  void compact();
 };
 
 }  // namespace bmfusion::serve

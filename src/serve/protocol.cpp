@@ -154,15 +154,27 @@ std::string handle_absorb(SessionRegistry& registry,
   return out;
 }
 
+/// JSON numbers are doubles, so a shard id survives the trip only while it
+/// is an exactly-representable integer: non-integral values and anything
+/// above 2^53 would be silently mangled by the cast. Reject both.
+std::uint64_t parse_shard_id(const JsonValue& value) {
+  constexpr double kMaxExact = 9007199254740992.0;  // 2^53
+  const double raw = value.is_number() ? value.as_number() : -1.0;
+  if (!value.is_number() || raw < 0.0 || std::floor(raw) != raw ||
+      raw > kMaxExact) {
+    throw DataError(
+        "\"shard_id\" must be a nonnegative integer no larger than 2^53",
+        ErrorContext{}.with_operation("serve_protocol").with_detail(
+            "field: shard_id"));
+  }
+  return static_cast<std::uint64_t>(raw);
+}
+
 std::string handle_stats(SessionRegistry& registry, const JsonValue& request) {
   const std::string id = required_string(request, "session");
   std::uint64_t shard_id = 0;
   if (const JsonValue* v = request.find("shard_id")) {
-    if (!v->is_number() || v->as_number() < 0.0) {
-      throw DataError("\"shard_id\" must be a nonnegative number",
-                      ErrorContext{}.with_operation("serve_protocol"));
-    }
-    shard_id = static_cast<std::uint64_t>(v->as_number());
+    shard_id = parse_shard_id(*v);
   }
   const stats::StatsShard shard = registry.get(id)->export_shard(shard_id);
   BMF_COUNTER_ADD("serve.op.stats", 1);
@@ -200,8 +212,20 @@ std::string handle_close(SessionRegistry& registry, const JsonValue& request) {
   return response_head("close", id) + "}";
 }
 
+std::string handle_hello(const JsonValue& request, bool& switch_to_binary) {
+  const std::string mode = request.string_or("mode", "json");
+  if (mode != "json" && mode != "binary") {
+    throw DataError("\"mode\" must be \"json\" or \"binary\"",
+                    ErrorContext{}.with_operation("serve_protocol"));
+  }
+  switch_to_binary = mode == "binary";
+  std::string out = response_head("hello", "");
+  out += ",\"mode\":\"" + mode + "\"}";
+  return out;
+}
+
 std::string dispatch(SessionRegistry& registry, std::string_view line,
-                     bool& shutdown) {
+                     bool& shutdown, bool& switch_to_binary) {
   const JsonValue request = parse_json(line);
   if (!request.is_object()) {
     throw DataError("request must be a JSON object",
@@ -209,6 +233,7 @@ std::string dispatch(SessionRegistry& registry, std::string_view line,
   }
   const std::string op = required_string(request, "op");
   if (op == "ping") return response_head("ping", "") + "}";
+  if (op == "hello") return handle_hello(request, switch_to_binary);
   if (op == "open") return handle_open(registry, request);
   if (op == "observe") return handle_observe(registry, request);
   if (op == "absorb") return handle_absorb(registry, request);
@@ -231,7 +256,8 @@ ProtocolResult handle_request(SessionRegistry& registry,
   BMF_COUNTER_ADD("serve.requests", 1);
   ProtocolResult result;
   try {
-    result.response = dispatch(registry, line, result.shutdown);
+    result.response =
+        dispatch(registry, line, result.shutdown, result.switch_to_binary);
   } catch (const DataError& e) {
     BMF_COUNTER_ADD("serve.errors", 1);
     result.response = error_response("DataError", e.what());
@@ -248,6 +274,179 @@ ProtocolResult handle_request(SessionRegistry& registry,
     BMF_COUNTER_ADD("serve.errors", 1);
     result.response = error_response("InternalError", e.what());
   }
+  BMF_HISTOGRAM_RECORD_US(
+      "serve.request_us",
+      static_cast<double>(telemetry::now_ns() - start_ns) * 1e-3);
+  return result;
+}
+
+namespace {
+
+/// Cursor over a binary request payload; all reads throw DataError with a
+/// byte offset on truncation, so malformed frames answer in-band like
+/// malformed JSON does.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view data) : data_(data) {}
+
+  std::uint16_t read_u16() { return read_scalar<std::uint16_t>(); }
+  std::uint32_t read_u32() { return read_scalar<std::uint32_t>(); }
+  std::uint64_t read_u64() { return read_scalar<std::uint64_t>(); }
+
+  std::string_view read_string() {
+    const std::uint16_t size = read_u16();
+    return read_bytes(size);
+  }
+
+  std::string_view read_bytes(std::size_t size) {
+    if (data_.size() - pos_ < size) fail("truncated");
+    const std::string_view out = data_.substr(pos_, size);
+    pos_ += size;
+    return out;
+  }
+
+  /// Everything not consumed yet (shard bytes trail the fixed fields).
+  std::string_view rest() {
+    const std::string_view out = data_.substr(pos_);
+    pos_ = data_.size();
+    return out;
+  }
+
+  void expect_consumed() const {
+    if (pos_ != data_.size()) fail("trailing bytes");
+  }
+
+ private:
+  template <typename T>
+  T read_scalar() {
+    if (data_.size() - pos_ < sizeof(T)) fail("truncated");
+    T value;
+    std::memcpy(&value, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  [[noreturn]] void fail(const char* what) const {
+    throw DataError(
+        std::string("malformed binary request payload (") + what + ")",
+        ErrorContext{}
+            .with_operation("serve_binary")
+            .with_index(pos_));
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+std::string binary_observe(SessionRegistry& registry,
+                           std::string_view payload) {
+  PayloadReader reader(payload);
+  const std::string id(reader.read_string());
+  const std::uint32_t rows = reader.read_u32();
+  const std::uint32_t cols = reader.read_u32();
+  if (rows == 0 || cols == 0) {
+    throw DataError("observe frame needs rows > 0 and cols > 0",
+                    ErrorContext{}.with_operation("serve_binary"));
+  }
+  const std::string_view cells =
+      reader.read_bytes(static_cast<std::size_t>(rows) * cols *
+                        sizeof(double));
+  reader.expect_consumed();
+  Matrix samples(rows, cols);
+  std::memcpy(samples.data(), cells.data(), cells.size());
+  const std::size_t total = registry.get(id)->observe(samples);
+  BMF_COUNTER_ADD("serve.op.observe", 1);
+  BMF_COUNTER_ADD("serve.observed_samples", rows);
+  std::string out;
+  wire::append_u32(out, rows);
+  wire::append_u64(out, total);
+  return out;
+}
+
+std::string binary_absorb(SessionRegistry& registry,
+                          std::string_view payload) {
+  PayloadReader reader(payload);
+  const std::string id(reader.read_string());
+  const stats::StatsShard shard = stats::parse_shard(reader.rest());
+  const std::shared_ptr<Session> session = registry.get(id);
+  const bool absorbed = session->absorb(shard);
+  BMF_COUNTER_ADD("serve.op.absorb", 1);
+  std::string out;
+  out += static_cast<char>(absorbed ? 0 : 1);  // duplicate marker
+  wire::append_u64(out, session->observed_count());
+  return out;
+}
+
+std::string binary_stats(SessionRegistry& registry,
+                         std::string_view payload) {
+  PayloadReader reader(payload);
+  const std::string id(reader.read_string());
+  const std::uint64_t shard_id = reader.read_u64();
+  reader.expect_consumed();
+  const stats::StatsShard shard = registry.get(id)->export_shard(shard_id);
+  BMF_COUNTER_ADD("serve.op.stats", 1);
+  return stats::serialize_shard(shard);
+}
+
+std::string binary_error_payload(std::string_view type,
+                                 std::string_view message) {
+  std::string out;
+  wire::append_string(out, type);
+  out.append(message);
+  return out;
+}
+
+}  // namespace
+
+BinaryResult handle_binary_request(SessionRegistry& registry,
+                                   std::uint8_t opcode,
+                                   std::string_view payload) {
+  BinaryResult result;
+  // The kJson escape hatch routes through handle_request, which does its
+  // own counting/timing; only native binary ops are accounted for here.
+  if (opcode == wire::kJson) {
+    const ProtocolResult json = handle_request(registry, payload);
+    result.shutdown = json.shutdown;
+    wire::append_frame(result.response, opcode, 0, json.response);
+    return result;
+  }
+  const std::uint64_t start_ns = telemetry::now_ns();
+  BMF_COUNTER_ADD("serve.requests", 1);
+  std::string body;
+  std::uint16_t flags = 0;
+  try {
+    switch (opcode) {
+      case wire::kObserve: body = binary_observe(registry, payload); break;
+      case wire::kAbsorb: body = binary_absorb(registry, payload); break;
+      case wire::kStats: body = binary_stats(registry, payload); break;
+      case wire::kPing: break;
+      default:
+        throw DataError(
+            "unknown binary opcode " + std::to_string(opcode),
+            ErrorContext{}.with_operation("serve_binary"));
+    }
+  } catch (const DataError& e) {
+    BMF_COUNTER_ADD("serve.errors", 1);
+    flags = wire::kFlagError;
+    body = binary_error_payload("DataError", e.what());
+  } catch (const ConfigError& e) {
+    BMF_COUNTER_ADD("serve.errors", 1);
+    flags = wire::kFlagError;
+    body = binary_error_payload("ConfigError", e.what());
+  } catch (const NumericError& e) {
+    BMF_COUNTER_ADD("serve.errors", 1);
+    flags = wire::kFlagError;
+    body = binary_error_payload("NumericError", e.what());
+  } catch (const ContractError& e) {
+    BMF_COUNTER_ADD("serve.errors", 1);
+    flags = wire::kFlagError;
+    body = binary_error_payload("ContractError", e.what());
+  } catch (const std::exception& e) {
+    BMF_COUNTER_ADD("serve.errors", 1);
+    flags = wire::kFlagError;
+    body = binary_error_payload("InternalError", e.what());
+  }
+  wire::append_frame(result.response, opcode, flags, body);
   BMF_HISTOGRAM_RECORD_US(
       "serve.request_us",
       static_cast<double>(telemetry::now_ns() - start_ns) * 1e-3);

@@ -1,9 +1,12 @@
-// JSON-lines request protocol shared by the TCP server and the stdio loop.
+// Request protocol shared by the TCP server and the stdio loop: JSON lines
+// plus a negotiated length-prefixed binary framing for the hot ops.
 //
-// One request per line, one response per line; both are single JSON
-// objects. Requests carry an "op" plus op-specific members:
+// JSON mode (the default): one request per line, one response per line;
+// both are single JSON objects. Requests carry an "op" plus op-specific
+// members:
 //
 //   {"op":"ping"}
+//   {"op":"hello","mode":"binary"}            (switch framing, see below)
 //   {"op":"open","session":"s1","estimator":"bmf","early":{...},
 //    "config":{...},"nominal":[...]}          (spec: serve/session.hpp)
 //   {"op":"observe","session":"s1","samples":[[..],[..]]}
@@ -18,8 +21,36 @@
 // answered in-band and never tear down the connection. The handler is
 // stateless apart from the shared SessionRegistry, so any number of
 // connections (or an in-process test) can drive it concurrently.
+//
+// Binary mode: a connection that sends {"op":"hello","mode":"binary"} and
+// reads the {"ok":true,...} acknowledgement switches both directions to
+// fixed-header frames (wire::kHeaderBytes, little-endian):
+//
+//   u8 magic (0xBF) | u8 opcode | u16 flags | u32 payload_length | payload
+//
+// Request payloads (id = u16 length + bytes of the session id):
+//   kObserve  id, u32 rows, u32 cols, rows*cols f64 (row-major)
+//   kAbsorb   id, stat_wire binary shard frame
+//   kStats    id, u64 shard_id
+//   kPing     (empty)
+//   kJson     one JSON request line (any op; the escape hatch that keeps
+//             estimate/open/close/shutdown available without re-encoding)
+//
+// Response frames echo the request opcode. flags bit 0 set marks an error;
+// the payload is then u16 type-length, type bytes, message bytes. Success
+// payloads:
+//   kObserve  u32 observed_rows, u64 session_total
+//   kAbsorb   u8 duplicate, u64 session_total
+//   kStats    stat_wire binary shard frame
+//   kPing     (empty)
+//   kJson     the JSON response object text
+//
+// The sample matrix and the shard travel as raw doubles / the PR 6
+// stat_wire frame, so the JSON mirror is off the hot path entirely.
 #pragma once
 
+#include <cstdint>
+#include <cstring>
 #include <string>
 #include <string_view>
 
@@ -27,9 +58,72 @@
 
 namespace bmfusion::serve {
 
+namespace wire {
+
+inline constexpr std::uint8_t kMagic = 0xBF;
+inline constexpr std::size_t kHeaderBytes = 8;
+inline constexpr std::uint16_t kFlagError = 0x1;
+
+enum Opcode : std::uint8_t {
+  kObserve = 0x01,
+  kAbsorb = 0x02,
+  kStats = 0x03,
+  kPing = 0x04,
+  kJson = 0x7F,
+};
+
+inline void append_u16(std::string& out, std::uint16_t v) {
+  char bytes[sizeof v];
+  std::memcpy(bytes, &v, sizeof v);
+  out.append(bytes, sizeof v);
+}
+
+inline void append_u32(std::string& out, std::uint32_t v) {
+  char bytes[sizeof v];
+  std::memcpy(bytes, &v, sizeof v);
+  out.append(bytes, sizeof v);
+}
+
+inline void append_u64(std::string& out, std::uint64_t v) {
+  char bytes[sizeof v];
+  std::memcpy(bytes, &v, sizeof v);
+  out.append(bytes, sizeof v);
+}
+
+/// Appends the 8-byte header for a `payload_size`-byte payload; the caller
+/// appends the payload itself (avoids copying bulk sample data twice).
+inline void append_frame_header(std::string& out, std::uint8_t opcode,
+                                std::uint16_t flags,
+                                std::uint32_t payload_size) {
+  out += static_cast<char>(kMagic);
+  out += static_cast<char>(opcode);
+  append_u16(out, flags);
+  append_u32(out, payload_size);
+}
+
+/// Appends a whole frame (header + payload).
+inline void append_frame(std::string& out, std::uint8_t opcode,
+                         std::uint16_t flags, std::string_view payload) {
+  append_frame_header(out, opcode, flags,
+                      static_cast<std::uint32_t>(payload.size()));
+  out.append(payload);
+}
+
+/// Appends a u16-length-prefixed string (session ids, error types).
+inline void append_string(std::string& out, std::string_view text) {
+  append_u16(out, static_cast<std::uint16_t>(text.size()));
+  out.append(text);
+}
+
+}  // namespace wire
+
 struct ProtocolResult {
   std::string response;   ///< one JSON object, no trailing newline
   bool shutdown = false;  ///< true after a "shutdown" op
+  /// True after {"op":"hello","mode":"binary"}: the transport should switch
+  /// this connection to binary frames once `response` is on the wire. The
+  /// stdio loop ignores it (pipes stay JSON).
+  bool switch_to_binary = false;
 };
 
 /// Parses and executes one request line against `registry`. All protocol
@@ -37,5 +131,17 @@ struct ProtocolResult {
 /// only non-exception failures (e.g. std::bad_alloc) propagate.
 [[nodiscard]] ProtocolResult handle_request(SessionRegistry& registry,
                                             std::string_view line);
+
+struct BinaryResult {
+  std::string response;   ///< one complete response frame (header + payload)
+  bool shutdown = false;  ///< true after a kJson-carried "shutdown"
+};
+
+/// Executes one binary frame (already stripped of its header) against
+/// `registry` and builds the response frame. Malformed payloads answer
+/// with an error frame, exactly like the JSON path answers in-band.
+[[nodiscard]] BinaryResult handle_binary_request(SessionRegistry& registry,
+                                                 std::uint8_t opcode,
+                                                 std::string_view payload);
 
 }  // namespace bmfusion::serve

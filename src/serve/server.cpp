@@ -3,14 +3,20 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <iterator>
 #include <istream>
 #include <ostream>
 #include <string>
+#include <unordered_map>
 #include <utility>
 
 #include "common/contracts.hpp"
@@ -27,27 +33,432 @@ namespace {
                       what + ": " + std::strerror(errno)));
 }
 
-/// Sends the whole buffer; returns false when the peer went away.
-bool send_all(int fd, std::string_view data) {
-  std::size_t sent = 0;
-  while (sent < data.size()) {
 #ifdef MSG_NOSIGNAL
-    const int flags = MSG_NOSIGNAL;
+constexpr int kSendFlags = MSG_NOSIGNAL;
 #else
-    const int flags = 0;
+constexpr int kSendFlags = 0;
 #endif
-    const ssize_t n =
-        ::send(fd, data.data() + sent, data.size() - sent, flags);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
+
+/// Per-event read cap: level-triggered epoll re-reports leftovers, so a
+/// firehose connection cannot starve its loop-mates.
+constexpr std::size_t kMaxReadPerEvent = 256u << 10;
+
+std::string oversized_line_response(std::size_t limit) {
+  return "{\"ok\":false,\"error\":{\"type\":\"DataError\",\"message\":"
+         "\"request exceeds max_request_bytes (" +
+         std::to_string(limit) + ")\"}}\n";
 }
 
 }  // namespace
+
+/// One epoll loop: owns its connections outright (fd, buffers, framing
+/// mode) and is the only thread that touches them. Loop 0 additionally
+/// owns the accept path.
+class Server::IoLoop {
+ public:
+  IoLoop(Server& server, bool owns_listener)
+      : server_(server), owns_listener_(owns_listener) {
+    epoll_fd_ = ::epoll_create1(0);
+    if (epoll_fd_ < 0) socket_error("epoll_create1");
+    wake_fd_ = ::eventfd(0, EFD_NONBLOCK);
+    if (wake_fd_ < 0) {
+      ::close(epoll_fd_);
+      socket_error("eventfd");
+    }
+    epoll_event event{};
+    event.events = EPOLLIN;
+    event.data.fd = wake_fd_;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &event);
+    if (owns_listener_) {
+      event.data.fd = server_.listen_fd_;
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, server_.listen_fd_, &event);
+    }
+  }
+
+  ~IoLoop() {
+    ::close(wake_fd_);
+    ::close(epoll_fd_);
+  }
+
+  IoLoop(const IoLoop&) = delete;
+  IoLoop& operator=(const IoLoop&) = delete;
+
+  /// Hands a freshly accepted fd to this loop (callable from any thread).
+  void add_pending(int fd) {
+    {
+      std::lock_guard<std::mutex> lock(inbox_mutex_);
+      inbox_.push_back(fd);
+    }
+    wake();
+  }
+
+  void wake() {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof one);
+  }
+
+  /// Thread body: serve until stop is requested, then drain and close.
+  void run() {
+    epoll_event events[64];
+    while (!server_.stopping_.load(std::memory_order_acquire)) {
+      const int count = ::epoll_wait(
+          epoll_fd_, events, static_cast<int>(std::size(events)), -1);
+      if (count < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      for (int i = 0; i < count; ++i) {
+        dispatch_event(events[i]);
+      }
+      adopt_pending();
+    }
+    drain_and_close();
+  }
+
+  /// Called from Server::stop() after join: closes anything still parked
+  /// in the inbox (a last-instant accept racing the stop flag).
+  void close_leftovers() {
+    std::lock_guard<std::mutex> lock(inbox_mutex_);
+    for (const int fd : inbox_) ::close(fd);
+    inbox_.clear();
+  }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    bool binary = false;            ///< after a binary "hello"
+    bool close_after_flush = false;
+    bool reading_disabled = false;  ///< oversize / peer half-close
+    std::uint32_t interest = EPOLLIN;  ///< currently registered events
+    std::string in;
+    std::size_t in_pos = 0;    ///< consumption cursor (compacted per event)
+    std::size_t scan_pos = 0;  ///< newline-scan high-water mark
+    std::string out;
+    std::size_t out_pos = 0;
+  };
+
+  void dispatch_event(const epoll_event& event) {
+    const int fd = event.data.fd;
+    if (fd == wake_fd_) {
+      std::uint64_t drained = 0;
+      [[maybe_unused]] const ssize_t n =
+          ::read(wake_fd_, &drained, sizeof drained);
+      return;
+    }
+    if (owns_listener_ && fd == server_.listen_fd_) {
+      handle_accept();
+      return;
+    }
+    const auto it = connections_.find(fd);
+    if (it == connections_.end()) return;  // destroyed earlier this batch
+    Connection& conn = *it->second;
+    if ((event.events & (EPOLLERR | EPOLLHUP)) != 0 &&
+        (event.events & EPOLLIN) == 0) {
+      destroy(conn);
+      return;
+    }
+    if ((event.events & EPOLLIN) != 0) {
+      if (!on_readable(conn)) return;  // destroyed
+    }
+    if ((event.events & EPOLLOUT) != 0) flush(conn);
+  }
+
+  void handle_accept() {
+    while (true) {
+      const int fd = ::accept4(server_.listen_fd_, nullptr, nullptr,
+                               SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        if (errno == EINTR || errno == ECONNABORTED) continue;
+        return;  // EAGAIN, or the listener was shut down
+      }
+      if (server_.stopping_.load(std::memory_order_acquire)) {
+        ::close(fd);
+        return;
+      }
+      // Request/response protocol with small frames: Nagle + delayed ACK
+      // would add ~40ms per round trip.
+      const int nodelay = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof nodelay);
+      BMF_COUNTER_ADD("serve.connections", 1);
+      const std::size_t index =
+          server_.next_loop_.fetch_add(1, std::memory_order_relaxed) %
+          server_.loops_.size();
+      Server::IoLoop& target = *server_.loops_[index];
+      if (&target == this) {
+        adopt(fd);
+      } else {
+        target.add_pending(fd);
+      }
+    }
+  }
+
+  void adopt_pending() {
+    std::vector<int> pending;
+    {
+      std::lock_guard<std::mutex> lock(inbox_mutex_);
+      pending.swap(inbox_);
+    }
+    for (const int fd : pending) adopt(fd);
+  }
+
+  void adopt(int fd) {
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    epoll_event event{};
+    event.events = EPOLLIN;
+    event.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) < 0) {
+      ::close(fd);
+      return;
+    }
+    connections_.emplace(fd, std::move(conn));
+  }
+
+  /// The one place a connection fd is closed and its state reaped.
+  void destroy(Connection& conn) {
+    const int fd = conn.fd;
+    ::close(fd);  // auto-removes fd from the epoll set
+    connections_.erase(fd);
+    BMF_COUNTER_ADD("serve.disconnects", 1);
+  }
+
+  /// Reads until EAGAIN (capped per event), handles every complete
+  /// request, coalesces the responses, and starts the flush. Returns false
+  /// when the connection was destroyed.
+  bool on_readable(Connection& conn) {
+    if (conn.reading_disabled) return true;
+    char chunk[64 << 10];
+    bool peer_eof = false;
+    std::size_t read_this_event = 0;
+    while (read_this_event < kMaxReadPerEvent) {
+      const ssize_t n = ::recv(conn.fd, chunk, sizeof chunk, 0);
+      if (n > 0) {
+        conn.in.append(chunk, static_cast<std::size_t>(n));
+        read_this_event += static_cast<std::size_t>(n);
+        // A request larger than the cap can never complete; stop piling
+        // bytes and let process_buffered answer the error.
+        if (conn.in.size() - conn.in_pos >
+            server_.config_.max_request_bytes) {
+          break;
+        }
+        continue;
+      }
+      if (n == 0) {
+        peer_eof = true;
+        break;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      destroy(conn);  // ECONNRESET and friends
+      return false;
+    }
+    if (!process_buffered(conn)) return false;
+    if (peer_eof) {
+      // Half-close: the peer is done sending but may still be reading the
+      // responses to its pipelined requests.
+      conn.reading_disabled = true;
+      conn.close_after_flush = true;
+      if (conn.out_pos == conn.out.size()) {
+        destroy(conn);
+        return false;
+      }
+    }
+    return flush(conn);
+  }
+
+  /// Handles every complete request sitting in the read buffer via a
+  /// cursor, then compacts once — O(bytes) for a packet of pipelined
+  /// requests where substr+erase-per-line was O(bytes^2). Returns false
+  /// when the connection was destroyed.
+  bool process_buffered(Connection& conn) {
+    const std::size_t limit = server_.config_.max_request_bytes;
+    bool fatal = false;
+    while (!fatal) {
+      if (!conn.binary) {
+        const std::size_t scan_from = std::max(conn.in_pos, conn.scan_pos);
+        const std::size_t newline = conn.in.find('\n', scan_from);
+        if (newline == std::string::npos) {
+          conn.scan_pos = conn.in.size();
+          if (conn.in.size() - conn.in_pos > limit) {
+            reject_oversized(conn, oversized_line_response(limit));
+            fatal = true;
+          }
+          break;
+        }
+        std::string_view line(conn.in.data() + conn.in_pos,
+                              newline - conn.in_pos);
+        conn.in_pos = newline + 1;
+        conn.scan_pos = conn.in_pos;
+        if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+        if (line.empty()) continue;
+        if (line.size() > limit) {
+          reject_oversized(conn, oversized_line_response(limit));
+          fatal = true;
+          break;
+        }
+        ProtocolResult result = handle_request(server_.sessions_, line);
+        conn.out += result.response;
+        conn.out += '\n';
+        if (result.switch_to_binary) conn.binary = true;
+        if (result.shutdown) {
+          conn.close_after_flush = true;
+          server_.request_stop();
+          fatal = true;  // stop parsing; the drain flushes the response
+        }
+      } else {
+        const std::size_t available = conn.in.size() - conn.in_pos;
+        if (available < wire::kHeaderBytes) break;
+        const unsigned char* head = reinterpret_cast<const unsigned char*>(
+            conn.in.data() + conn.in_pos);
+        const std::uint8_t opcode = head[1];
+        std::uint32_t payload_size = 0;
+        std::memcpy(&payload_size, head + 4, sizeof payload_size);
+        if (head[0] != wire::kMagic || payload_size > limit) {
+          // No way to resync a corrupt or oversized frame stream: answer
+          // once, then close.
+          std::string error;
+          wire::append_string(
+              error, "DataError");
+          error += head[0] != wire::kMagic
+                       ? "bad frame magic"
+                       : "frame exceeds max_request_bytes (" +
+                             std::to_string(limit) + ")";
+          std::string frame;
+          wire::append_frame(frame, opcode, wire::kFlagError, error);
+          reject_oversized(conn, frame);
+          fatal = true;
+          break;
+        }
+        if (available < wire::kHeaderBytes + payload_size) break;
+        const std::string_view payload(
+            conn.in.data() + conn.in_pos + wire::kHeaderBytes, payload_size);
+        conn.in_pos += wire::kHeaderBytes + payload_size;
+        conn.scan_pos = conn.in_pos;
+        BinaryResult result =
+            handle_binary_request(server_.sessions_, opcode, payload);
+        conn.out += result.response;
+        if (result.shutdown) {
+          conn.close_after_flush = true;
+          server_.request_stop();
+          fatal = true;
+        }
+      }
+    }
+    // The single compaction per read event.
+    if (conn.in_pos > 0) {
+      conn.in.erase(0, conn.in_pos);
+      conn.scan_pos -= std::min(conn.scan_pos, conn.in_pos);
+      conn.in_pos = 0;
+    }
+    return true;
+  }
+
+  /// Oversized request / corrupt frame: answer in-band, count it, stop
+  /// reading, close once the error has left.
+  void reject_oversized(Connection& conn, std::string response) {
+    BMF_COUNTER_ADD("serve.oversized_requests", 1);
+    conn.out += response;
+    conn.close_after_flush = true;
+    conn.reading_disabled = true;
+    conn.in.clear();
+    conn.in_pos = 0;
+    conn.scan_pos = 0;
+  }
+
+  /// Sends as much of the write buffer as the socket accepts; arms
+  /// EPOLLOUT for the remainder. Returns false when the connection was
+  /// destroyed (fully flushed close, dead peer, or slow-consumer cap).
+  bool flush(Connection& conn) {
+    while (conn.out_pos < conn.out.size()) {
+      const ssize_t n =
+          ::send(conn.fd, conn.out.data() + conn.out_pos,
+                 conn.out.size() - conn.out_pos, kSendFlags);
+      if (n >= 0) {
+        conn.out_pos += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      destroy(conn);
+      return false;
+    }
+    if (conn.out_pos == conn.out.size()) {
+      conn.out.clear();
+      conn.out_pos = 0;
+      if (conn.close_after_flush) {
+        destroy(conn);
+        return false;
+      }
+    } else if (conn.out.size() - conn.out_pos >
+               server_.config_.max_response_buffer_bytes) {
+      BMF_COUNTER_ADD("serve.slow_consumer_closes", 1);
+      destroy(conn);
+      return false;
+    }
+    update_interest(conn);
+    return true;
+  }
+
+  void update_interest(Connection& conn) {
+    std::uint32_t wanted = conn.reading_disabled ? 0u : EPOLLIN;
+    if (conn.out_pos < conn.out.size()) wanted |= EPOLLOUT;
+    if (wanted == conn.interest) return;
+    epoll_event event{};
+    event.events = wanted;
+    event.data.fd = conn.fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &event);
+    conn.interest = wanted;
+  }
+
+  /// Shutdown path: answer the requests already buffered, then keep
+  /// flushing pending responses until everything drained or the deadline
+  /// passed, then close whatever is left.
+  void drain_and_close() {
+    adopt_pending();
+    {
+      std::vector<int> fds;
+      fds.reserve(connections_.size());
+      for (const auto& [fd, conn] : connections_) fds.push_back(fd);
+      for (const int fd : fds) {
+        const auto it = connections_.find(fd);
+        if (it == connections_.end()) continue;
+        Connection& conn = *it->second;
+        conn.reading_disabled = true;
+        conn.close_after_flush = true;
+        if (process_buffered(conn)) flush(conn);
+      }
+    }
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(server_.config_.drain_timeout_ms);
+    epoll_event events[64];
+    while (!connections_.empty() &&
+           std::chrono::steady_clock::now() < deadline) {
+      const int count =
+          ::epoll_wait(epoll_fd_, events, static_cast<int>(std::size(events)),
+                       /*timeout_ms=*/20);
+      if (count < 0 && errno != EINTR) break;
+      std::vector<int> fds;
+      fds.reserve(connections_.size());
+      for (const auto& [fd, conn] : connections_) fds.push_back(fd);
+      for (const int fd : fds) {
+        const auto it = connections_.find(fd);
+        if (it != connections_.end()) flush(*it->second);
+      }
+    }
+    while (!connections_.empty()) {
+      destroy(*connections_.begin()->second);
+    }
+  }
+
+  Server& server_;
+  bool owns_listener_;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::unordered_map<int, std::unique_ptr<Connection>> connections_;
+  std::mutex inbox_mutex_;
+  std::vector<int> inbox_;
+};
 
 Server::Server(ServerConfig config) : config_(config) {}
 
@@ -55,7 +466,7 @@ Server::~Server() { stop(); }
 
 void Server::start() {
   BMFUSION_REQUIRE(listen_fd_ < 0, "server already started");
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
   if (fd < 0) socket_error("socket");
   const int reuse = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
@@ -80,96 +491,65 @@ void Server::start() {
   }
   bound_port_ = ntohs(addr.sin_port);
   listen_fd_ = fd;
-  accept_thread_ = std::thread(&Server::accept_loop, this);
-}
+  stopping_.store(false, std::memory_order_release);
+  stopped_ = false;
 
-void Server::accept_loop() {
-  const int listener = listen_fd_;
-  while (true) {
-    const int fd = ::accept(listener, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      break;  // listener was shut down
-    }
-    // Request/response protocol with small frames: Nagle + delayed ACK
-    // would add ~40ms per round trip.
-    const int nodelay = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (stopping_) {
-      ::close(fd);
-      break;
-    }
-    BMF_COUNTER_ADD("serve.connections", 1);
-    connections_.emplace_back(fd,
-                              std::thread(&Server::serve_connection, this,
-                                          fd));
+  std::size_t io_threads = config_.io_threads;
+  if (io_threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    io_threads = std::clamp<std::size_t>(hw, 1, 4);
+  }
+  loops_.reserve(io_threads);
+  for (std::size_t i = 0; i < io_threads; ++i) {
+    loops_.push_back(std::make_unique<IoLoop>(*this, /*owns_listener=*/i ==
+                                                         0));
+  }
+  threads_.reserve(io_threads);
+  for (std::size_t i = 0; i < io_threads; ++i) {
+    threads_.emplace_back([loop = loops_[i].get()] { loop->run(); });
   }
 }
 
-void Server::serve_connection(int fd) {
-  std::string buffer;
-  char chunk[4096];
-  bool open = true;
-  while (open) {
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;
-    buffer.append(chunk, static_cast<std::size_t>(n));
-    std::size_t newline;
-    while (open && (newline = buffer.find('\n')) != std::string::npos) {
-      std::string line = buffer.substr(0, newline);
-      buffer.erase(0, newline + 1);
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      if (line.empty()) continue;
-      ProtocolResult result = handle_request(sessions_, line);
-      result.response += '\n';  // one send: keep the frame in one packet
-      if (!send_all(fd, result.response)) {
-        open = false;
-        break;
-      }
-      if (result.shutdown) {
-        // Response is on the wire; tear the server down. This thread's own
-        // socket is shut down too, so the next recv ends the loop.
-        close_listener();
-        open = false;
-      }
-    }
+void Server::request_stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true,
+                                         std::memory_order_acq_rel)) {
+    return;
   }
-}
-
-void Server::close_listener() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (stopping_) return;
-  stopping_ = true;
+  // Wakes any in-flight accept with EINVAL and refuses new peers; the fd
+  // itself stays allocated (so its number cannot be reused under a racing
+  // accept) until stop() closes it after the join.
   if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
-  for (auto& [fd, thread] : connections_) {
-    (void)thread;
-    ::shutdown(fd, SHUT_RDWR);
-  }
+  for (const auto& loop : loops_) loop->wake();
+  // Taking the mutex orders the flag flip against wait()'s predicate
+  // check, so the notify cannot slip between check and sleep. Callers of
+  // request_stop never hold stop_mutex_ (stop() acquires it afterwards).
+  { std::lock_guard<std::mutex> lock(stop_mutex_); }
+  stop_cv_.notify_all();
 }
 
 void Server::stop() {
-  if (listen_fd_ < 0) return;
-  close_listener();
-  if (accept_thread_.joinable()) accept_thread_.join();
-  // After the accept loop has exited no new connections can appear, so the
-  // vector is stable without the lock (held only against late mutation).
-  std::vector<std::pair<int, std::thread>> connections;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    connections.swap(connections_);
-  }
-  for (auto& [fd, thread] : connections) {
+  request_stop();
+  std::lock_guard<std::mutex> lock(stop_mutex_);
+  if (listen_fd_ < 0 || stopped_) return;
+  for (std::thread& thread : threads_) {
     if (thread.joinable()) thread.join();
-    ::close(fd);
   }
+  for (const auto& loop : loops_) loop->close_leftovers();
+  threads_.clear();
+  loops_.clear();
   ::close(listen_fd_);
   listen_fd_ = -1;
+  stopped_ = true;
 }
 
 void Server::wait() {
-  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::unique_lock<std::mutex> lock(stop_mutex_);
+    stop_cv_.wait(lock, [this] {
+      return stopping_.load(std::memory_order_acquire) || stopped_;
+    });
+  }
   stop();
 }
 

@@ -1,9 +1,13 @@
 // Serve-layer contracts: the JSON-lines protocol over an in-process TCP
 // server (happy paths, in-band errors, idempotent shard absorption,
-// concurrent clients) and the stdio loop.
+// concurrent clients, pipelining, framing edge cases, fd hygiene) and the
+// stdio loop.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
+#include <cstring>
+#include <filesystem>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -259,6 +263,229 @@ TEST(ServeTcp, ShutdownRequestStopsTheServer) {
   }
   server.wait();  // returns because the shutdown request closed the listener
   EXPECT_FALSE(TestClient(server.port()).connected());
+}
+
+TEST(ServeTcp, PipelinedRequestsInOnePacketAnswerInOrder) {
+  Server server;
+  server.start();
+  serve::LineClient client;
+  ASSERT_TRUE(client.connect_to(server.port()));
+
+  // Three requests in a single send: the server must drain every complete
+  // line from the read event and answer all of them, in order.
+  ASSERT_TRUE(client.send_raw(
+      "{\"op\":\"ping\"}\n"
+      "{\"op\":\"open\",\"session\":\"p\",\"estimator\":\"mle\"}\n"
+      "{\"op\":\"observe\",\"session\":\"p\",\"samples\":[[1,2],[3,4]]}\n"));
+  std::string line;
+  ASSERT_TRUE(client.recv_line(line));
+  EXPECT_TRUE(is_ok(parse_json(line)));  // ping
+  ASSERT_TRUE(client.recv_line(line));
+  EXPECT_TRUE(is_ok(parse_json(line)));  // open
+  ASSERT_TRUE(client.recv_line(line));
+  const JsonValue observed = parse_json(line);
+  ASSERT_TRUE(is_ok(observed));
+  EXPECT_EQ(observed.number_or("total", 0.0), 2.0);
+  server.stop();
+}
+
+TEST(ServeTcp, RequestSplitAcrossRecvBoundariesIsReassembled) {
+  Server server;
+  server.start();
+  serve::LineClient client;
+  ASSERT_TRUE(client.connect_to(server.port()));
+
+  const std::string request =
+      "{\"op\":\"open\",\"session\":\"frag\",\"estimator\":\"mle\"}\n";
+  // Dribble the request a few bytes per send so the server sees it across
+  // several read events; no response may be emitted before the newline.
+  for (std::size_t i = 0; i < request.size(); i += 7) {
+    ASSERT_TRUE(client.send_raw(request.substr(i, 7)));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::string line;
+  ASSERT_TRUE(client.recv_line(line));
+  EXPECT_TRUE(is_ok(parse_json(line)));
+  EXPECT_EQ(server.sessions().size(), 1u);
+  server.stop();
+}
+
+TEST(ServeTcp, OversizedRequestLineIsRejectedAndConnectionClosed) {
+  serve::ServerConfig config;
+  config.max_request_bytes = 1024;
+  Server server(config);
+  server.start();
+  serve::LineClient client;
+  ASSERT_TRUE(client.connect_to(server.port()));
+
+  // 4 KiB of newline-free garbage: over the 1 KiB cap even before a line
+  // terminator arrives.
+  std::string huge(4096, 'x');
+  huge += '\n';
+  ASSERT_TRUE(client.send_raw(huge));
+  std::string line;
+  ASSERT_TRUE(client.recv_line(line));
+  const JsonValue response = parse_json(line);
+  EXPECT_EQ(error_type(response), "DataError");
+  EXPECT_NE(response.find("error")->string_or("message", "")
+                .find("max_request_bytes"),
+            std::string::npos);
+  // The server hangs up after the in-band error.
+  EXPECT_FALSE(client.recv_line(line));
+  server.stop();
+}
+
+std::size_t open_fd_count() {
+  std::size_t count = 0;
+  for ([[maybe_unused]] const auto& entry :
+       std::filesystem::directory_iterator("/proc/self/fd")) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(ServeTcp, ManyShortConnectionsReturnFdCountToBaseline) {
+  Server server;
+  server.start();
+  const std::uint16_t port = server.port();
+  {
+    // Warm-up cycle so lazily-created fds (epoll wakeups etc.) exist
+    // before the baseline is taken.
+    TestClient warmup(port);
+    ASSERT_TRUE(warmup.connected());
+    EXPECT_TRUE(is_ok(warmup.round_trip("{\"op\":\"ping\"}")));
+  }
+  const std::size_t baseline = open_fd_count();
+
+  for (int cycle = 0; cycle < 1000; ++cycle) {
+    TestClient client(port);
+    ASSERT_TRUE(client.connected()) << "cycle " << cycle;
+    ASSERT_TRUE(is_ok(client.round_trip("{\"op\":\"ping\"}")))
+        << "cycle " << cycle;
+  }
+
+  // Server-side close is asynchronous (the loop reaps on the EOF event),
+  // so poll briefly instead of asserting instantly.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  std::size_t now = open_fd_count();
+  while (now > baseline && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    now = open_fd_count();
+  }
+  EXPECT_LE(now, baseline);
+  server.stop();
+}
+
+std::string binary_observe_payload(const std::string& session,
+                                   const Matrix& rows) {
+  std::string payload;
+  serve::wire::append_string(payload, session);
+  serve::wire::append_u32(payload, static_cast<std::uint32_t>(rows.rows()));
+  serve::wire::append_u32(payload, static_cast<std::uint32_t>(rows.cols()));
+  for (std::size_t r = 0; r < rows.rows(); ++r) {
+    for (std::size_t c = 0; c < rows.cols(); ++c) {
+      const double value = rows(r, c);
+      char bytes[sizeof(double)];
+      std::memcpy(bytes, &value, sizeof(double));
+      payload.append(bytes, sizeof(double));
+    }
+  }
+  return payload;
+}
+
+TEST(ServeBinary, ObserveAndStatsMatchJsonMode) {
+  Server server;
+  server.start();
+  const Matrix samples = test_samples(60, 3, 1.25);
+
+  // JSON-mode reference session.
+  TestClient json_client(server.port());
+  ASSERT_TRUE(json_client.connected());
+  ASSERT_TRUE(is_ok(json_client.round_trip(
+      "{\"op\":\"open\",\"session\":\"j\",\"estimator\":\"mle\"}")));
+  ASSERT_TRUE(is_ok(json_client.round_trip(observe_request("j", samples))));
+  const JsonValue stats_json = json_client.round_trip(
+      "{\"op\":\"stats\",\"session\":\"j\",\"shard_id\":7}");
+  ASSERT_TRUE(is_ok(stats_json));
+  const stats::StatsShard reference =
+      stats::shard_from_json(*stats_json.find("shard"));
+
+  // Binary-mode session over the same server.
+  serve::LineClient binary;
+  ASSERT_TRUE(binary.connect_to(server.port()));
+  ASSERT_TRUE(binary.negotiate_binary());
+  serve::Frame frame;
+  ASSERT_TRUE(binary.request_frame(
+      serve::wire::kJson,
+      "{\"op\":\"open\",\"session\":\"b\",\"estimator\":\"mle\"}", frame));
+  ASSERT_TRUE(frame.ok());
+
+  ASSERT_TRUE(binary.request_frame(
+      serve::wire::kObserve, binary_observe_payload("b", samples), frame));
+  ASSERT_TRUE(frame.ok());
+  ASSERT_EQ(frame.payload.size(), 12u);  // u32 rows + u64 total
+  std::uint32_t rows = 0;
+  std::uint64_t total = 0;
+  std::memcpy(&rows, frame.payload.data(), sizeof rows);
+  std::memcpy(&total, frame.payload.data() + 4, sizeof total);
+  EXPECT_EQ(rows, 60u);
+  EXPECT_EQ(total, 60u);
+
+  std::string stats_payload;
+  serve::wire::append_string(stats_payload, "b");
+  serve::wire::append_u64(stats_payload, 7);
+  ASSERT_TRUE(
+      binary.request_frame(serve::wire::kStats, stats_payload, frame));
+  ASSERT_TRUE(frame.ok());
+  const stats::StatsShard shard = stats::parse_shard(frame.payload);
+
+  // Same samples, same shard id: the binary shard must match the JSON one
+  // exactly (both sides go through the same estimator).
+  EXPECT_EQ(shard.shard_id, reference.shard_id);
+  EXPECT_EQ(shard.estimator, reference.estimator);
+  EXPECT_EQ(shard.count(), reference.count());
+  ASSERT_EQ(shard.folds.size(), reference.folds.size());
+  for (std::size_t i = 0; i < shard.folds.size(); ++i) {
+    EXPECT_TRUE(shard.folds[i] == reference.folds[i]) << "fold " << i;
+  }
+
+  // Errors arrive as flagged frames and keep the connection usable.
+  std::string ghost_payload;
+  serve::wire::append_string(ghost_payload, "ghost");
+  serve::wire::append_u64(ghost_payload, 1);
+  ASSERT_TRUE(
+      binary.request_frame(serve::wire::kStats, ghost_payload, frame));
+  EXPECT_FALSE(frame.ok());
+  ASSERT_TRUE(binary.request_frame(serve::wire::kPing, "", frame));
+  EXPECT_TRUE(frame.ok());
+  server.stop();
+}
+
+TEST(ServeProtocol, StatsShardIdRejectsNonIntegralAndOverflowing) {
+  Server server;
+  server.start();
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(is_ok(client.round_trip(
+      "{\"op\":\"open\",\"session\":\"s\",\"estimator\":\"mle\"}")));
+  ASSERT_TRUE(is_ok(client.round_trip(
+      "{\"op\":\"observe\",\"session\":\"s\",\"samples\":[[1],[2]]}")));
+
+  for (const char* bad : {"7.5", "-3", "1e16", "\"9\""}) {
+    const JsonValue response = client.round_trip(
+        std::string("{\"op\":\"stats\",\"session\":\"s\",\"shard_id\":") +
+        bad + "}");
+    EXPECT_EQ(error_type(response), "DataError") << bad;
+    EXPECT_NE(response.find("error")->string_or("message", "")
+                  .find("shard_id"),
+              std::string::npos)
+        << bad;
+  }
+  // 2^53 exactly is still representable and accepted.
+  EXPECT_TRUE(is_ok(client.round_trip(
+      "{\"op\":\"stats\",\"session\":\"s\",\"shard_id\":9007199254740992}")));
+  server.stop();
 }
 
 TEST(ServeStdio, DrivesTheSameProtocol) {

@@ -29,6 +29,11 @@ int main(int argc, char** argv) {
                "write the bound port here once listening");
   cli.add_flag("stdio", "false",
                "serve stdin/stdout instead of a TCP socket");
+  cli.add_flag("io-threads", "0",
+               "epoll I/O threads (0 = one per hardware thread, max 4)");
+  cli.add_flag("backlog", "128", "listen(2) backlog");
+  cli.add_flag("max-request-mb", "4",
+               "per-request size cap in MiB (JSON line or binary frame)");
   cli.add_flag("telemetry", "",
                "write a telemetry JSON snapshot here on exit");
 
@@ -47,8 +52,20 @@ int main(int argc, char** argv) {
         std::cerr << "bmf_serve: --port must be in [0, 65535]\n";
         return 2;
       }
+      const long io_threads = cli.get_int("io-threads");
+      const long backlog = cli.get_int("backlog");
+      const long max_request_mb = cli.get_int("max-request-mb");
+      if (io_threads < 0 || backlog < 1 || max_request_mb < 1) {
+        std::cerr << "bmf_serve: --io-threads must be >= 0, --backlog and "
+                     "--max-request-mb >= 1\n";
+        return 2;
+      }
       bmfusion::serve::ServerConfig config;
       config.port = static_cast<std::uint16_t>(port);
+      config.io_threads = static_cast<std::size_t>(io_threads);
+      config.backlog = static_cast<int>(backlog);
+      config.max_request_bytes =
+          static_cast<std::size_t>(max_request_mb) << 20;
       bmfusion::serve::Server server(config);
       server.start();
       std::cerr << "bmf_serve: listening on 127.0.0.1:" << server.port()

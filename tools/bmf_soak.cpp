@@ -19,6 +19,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -27,6 +28,7 @@
 #include "common/cli.hpp"
 #include "common/json.hpp"
 #include "serve/client.hpp"
+#include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "stats/sufficient_stats.hpp"
 #include "telemetry/export.hpp"
@@ -35,7 +37,9 @@ namespace {
 
 using bmfusion::JsonValue;
 using bmfusion::parse_json;
+using bmfusion::serve::Frame;
 using bmfusion::serve::LineClient;
+namespace wire = bmfusion::serve::wire;
 
 // ------------------------------------------------------- sample generation
 
@@ -90,6 +94,7 @@ struct SoakOptions {
   std::size_t dim = 4;
   std::size_t estimate_every = 100;
   std::string estimator = "mle";
+  bool binary = false;  ///< negotiate binary frames for the hot path
 };
 
 struct ClientReport {
@@ -134,18 +139,13 @@ std::string open_request(const SoakOptions& options, const std::string& id) {
   return out;
 }
 
-bool expect_ok(LineClient& client, const std::string& request,
-               std::string& failure, JsonValue* parsed = nullptr) {
-  std::string line;
-  if (!client.send_line(request) || !client.recv_line(line)) {
-    failure = "connection dropped";
-    return false;
-  }
+bool check_ok_json(const std::string& text, std::string& failure,
+                   JsonValue* parsed) {
   try {
-    JsonValue response = parse_json(line);
+    JsonValue response = parse_json(text);
     const JsonValue* ok = response.find("ok");
     if (ok == nullptr || !ok->is_bool() || !ok->as_bool()) {
-      failure = "error response: " + line;
+      failure = "error response: " + text;
       return false;
     }
     if (parsed != nullptr) *parsed = std::move(response);
@@ -154,6 +154,26 @@ bool expect_ok(LineClient& client, const std::string& request,
     failure = std::string("unparseable response: ") + e.what();
     return false;
   }
+}
+
+/// JSON request over whichever framing the connection negotiated: a raw
+/// line in JSON mode, a kJson passthrough frame in binary mode.
+bool expect_ok(LineClient& client, bool binary, const std::string& request,
+               std::string& failure, JsonValue* parsed = nullptr) {
+  if (binary) {
+    Frame frame;
+    if (!client.request_frame(wire::kJson, request, frame)) {
+      failure = "connection dropped";
+      return false;
+    }
+    return check_ok_json(frame.payload, failure, parsed);
+  }
+  std::string line;
+  if (!client.send_line(request) || !client.recv_line(line)) {
+    failure = "connection dropped";
+    return false;
+  }
+  return check_ok_json(line, failure, parsed);
 }
 
 void run_client(const SoakOptions& options, std::size_t index,
@@ -165,7 +185,14 @@ void run_client(const SoakOptions& options, std::size_t index,
     return;
   }
   const std::string id = "soak-" + std::to_string(index);
-  if (!expect_ok(client, open_request(options, id), report.failure)) return;
+  if (options.binary && !client.negotiate_binary()) {
+    report.failure = "binary negotiation failed";
+    return;
+  }
+  if (!expect_ok(client, options.binary, open_request(options, id),
+                 report.failure)) {
+    return;
+  }
 
   GaussianStream rng(0x9E3779B97F4A7C15ULL + index);
   bmfusion::stats::SufficientStats reference(options.dim);
@@ -173,25 +200,59 @@ void run_client(const SoakOptions& options, std::size_t index,
   report.observe_us.reserve(options.requests_per_client);
 
   for (std::size_t r = 0; r < options.requests_per_client; ++r) {
-    std::string request =
-        "{\"op\":\"observe\",\"session\":\"" + id + "\",\"samples\":[";
-    for (std::size_t i = 0; i < options.batch; ++i) {
-      if (i != 0) request += ',';
-      request += '[';
-      for (std::size_t j = 0; j < options.dim; ++j) {
-        if (j != 0) request += ',';
-        sample[j] = rng.next() + static_cast<double>(j);
-        append_double(request, sample[j]);
+    bool sent_ok = true;
+    if (options.binary) {
+      std::string payload;
+      payload.reserve(2 + id.size() + 8 +
+                      options.batch * options.dim * sizeof(double));
+      wire::append_string(payload, id);
+      wire::append_u32(payload, static_cast<std::uint32_t>(options.batch));
+      wire::append_u32(payload, static_cast<std::uint32_t>(options.dim));
+      for (std::size_t i = 0; i < options.batch; ++i) {
+        for (std::size_t j = 0; j < options.dim; ++j) {
+          sample[j] = rng.next() + static_cast<double>(j);
+          char bytes[sizeof(double)];
+          std::memcpy(bytes, &sample[j], sizeof(double));
+          payload.append(bytes, sizeof(double));
+        }
+        reference.add(sample);
       }
-      request += ']';
-      reference.add(sample);
+      const auto start = Clock::now();
+      Frame frame;
+      sent_ok = client.request_frame(wire::kObserve, payload, frame) &&
+                frame.ok();
+      if (sent_ok) {
+        report.observe_us.push_back(
+            std::chrono::duration<double, std::micro>(Clock::now() - start)
+                .count());
+      }
+    } else {
+      std::string request =
+          "{\"op\":\"observe\",\"session\":\"" + id + "\",\"samples\":[";
+      for (std::size_t i = 0; i < options.batch; ++i) {
+        if (i != 0) request += ',';
+        request += '[';
+        for (std::size_t j = 0; j < options.dim; ++j) {
+          if (j != 0) request += ',';
+          sample[j] = rng.next() + static_cast<double>(j);
+          append_double(request, sample[j]);
+        }
+        request += ']';
+        reference.add(sample);
+      }
+      request += "]}";
+      const auto start = Clock::now();
+      sent_ok = expect_ok(client, false, request, report.failure);
+      if (sent_ok) {
+        report.observe_us.push_back(
+            std::chrono::duration<double, std::micro>(Clock::now() - start)
+                .count());
+      }
     }
-    request += "]}";
-    const auto start = Clock::now();
-    if (!expect_ok(client, request, report.failure)) return;
-    report.observe_us.push_back(
-        std::chrono::duration<double, std::micro>(Clock::now() - start)
-            .count());
+    if (!sent_ok) {
+      if (report.failure.empty()) report.failure = "observe failed";
+      return;
+    }
     report.samples += options.batch;
 
     if (options.estimate_every != 0 &&
@@ -199,7 +260,9 @@ void run_client(const SoakOptions& options, std::size_t index,
       const std::string estimate =
           "{\"op\":\"estimate\",\"session\":\"" + id + "\"}";
       const auto est_start = Clock::now();
-      if (!expect_ok(client, estimate, report.failure)) return;
+      if (!expect_ok(client, options.binary, estimate, report.failure)) {
+        return;
+      }
       report.estimate_us.push_back(
           std::chrono::duration<double, std::micro>(Clock::now() - est_start)
               .count());
@@ -211,7 +274,8 @@ void run_client(const SoakOptions& options, std::size_t index,
   // the estimate mean *is* the sample mean, so agreement is tight; for
   // other estimators we still require a sane finite answer.
   JsonValue response;
-  if (!expect_ok(client, "{\"op\":\"estimate\",\"session\":\"" + id + "\"}",
+  if (!expect_ok(client, options.binary,
+                 "{\"op\":\"estimate\",\"session\":\"" + id + "\"}",
                  report.failure, &response)) {
     return;
   }
@@ -239,7 +303,8 @@ void run_client(const SoakOptions& options, std::size_t index,
       return;
     }
   }
-  if (!expect_ok(client, "{\"op\":\"close\",\"session\":\"" + id + "\"}",
+  if (!expect_ok(client, options.binary,
+                 "{\"op\":\"close\",\"session\":\"" + id + "\"}",
                  report.failure)) {
     return;
   }
@@ -267,6 +332,8 @@ int main(int argc, char** argv) {
   cli.add_flag("sessions", "4", "concurrent client sessions");
   cli.add_flag("dim", "4", "sample dimension");
   cli.add_flag("estimator", "mle", "estimator per session: mle or bmf");
+  cli.add_flag("mode", "json",
+               "wire framing for the observe hot path: json or binary");
   cli.add_flag("estimate-every", "100",
                "interleave an estimate request every N observes (0 = off)");
   cli.add_flag("port", "0",
@@ -299,6 +366,12 @@ int main(int argc, char** argv) {
       std::cerr << "bmf_soak: --estimator must be mle or bmf\n";
       return 2;
     }
+    const std::string mode = cli.get_string("mode");
+    if (mode != "json" && mode != "binary") {
+      std::cerr << "bmf_soak: --mode must be json or binary\n";
+      return 2;
+    }
+    options.binary = mode == "binary";
 
     const long external_port = cli.get_int("port");
     std::unique_ptr<bmfusion::serve::Server> server;
@@ -328,7 +401,7 @@ int main(int argc, char** argv) {
       LineClient control;
       std::string failure;
       if (control.connect_to(options.port)) {
-        (void)expect_ok(control, "{\"op\":\"shutdown\"}", failure);
+        (void)expect_ok(control, false, "{\"op\":\"shutdown\"}", failure);
       }
     }
     if (server != nullptr) {
@@ -372,6 +445,7 @@ int main(int argc, char** argv) {
                           std::to_string(estimate_requests) +
                           ",\"samples\":" + std::to_string(samples) +
                           ",\"sessions\":" + std::to_string(sessions) +
+                          ",\"mode\":\"" + mode + "\"" +
                           ",\"failures\":" + std::to_string(failures) +
                           ",\"elapsed_s\":";
     append_double(summary, elapsed_s);
