@@ -13,6 +13,7 @@
 #include "circuit/opamp.hpp"
 #include "common/contracts.hpp"
 #include "common/csv.hpp"
+#include "common/parallel.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "telemetry/telemetry.hpp"
@@ -175,6 +176,10 @@ std::string run_metadata_json(const CliParser& cli, std::size_t threads) {
   out += ", \"build\": \"debug\"";
 #endif
   out += ", \"threads\": " + std::to_string(threads);
+  // Cores on the recording host: scaling gates must not expect speedups the
+  // hardware cannot deliver (a 4-thread record from a 1-core container is
+  // valid data, just not evidence about scaling).
+  out += ", \"host_cores\": " + std::to_string(default_thread_count());
   out += std::string(", \"telemetry\": ") +
          (telemetry::enabled() ? "true" : "false");
   return out;

@@ -88,12 +88,25 @@ bool close(const Matrix& a, const Matrix& b, double tol) {
   return true;
 }
 
-/// Mean wall time per call in microseconds over `iters` calls.
+/// Robust wall time per call in microseconds: one warmup batch, then the
+/// median of five batch means. A single long mean is at the mercy of one
+/// scheduler stall — on this project that once inflated a recorded stage
+/// time by ~25% with no code change (see BENCH_circuit.json, pr7 record) —
+/// while the median of independent batches discards such outliers.
 template <typename F>
-double time_mean_us(F&& run, std::size_t iters) {
-  Stopwatch sw;
-  for (std::size_t i = 0; i < iters; ++i) run();
-  return sw.seconds() * 1e6 / static_cast<double>(iters);
+double time_stage_us(F&& run, std::size_t iters) {
+  constexpr std::size_t kBatches = 5;
+  const std::size_t per_batch =
+      std::max<std::size_t>(1, iters / kBatches);
+  for (std::size_t i = 0; i < per_batch; ++i) run();  // warmup batch
+  double means[kBatches];
+  for (double& mean : means) {
+    Stopwatch sw;
+    for (std::size_t i = 0; i < per_batch; ++i) run();
+    mean = sw.seconds() * 1e6 / static_cast<double>(per_batch);
+  }
+  std::sort(means, means + kBatches);
+  return means[kBatches / 2];
 }
 
 // ---------------------------------------------------------------------------
@@ -175,6 +188,13 @@ int run_parity(std::uint64_t seed) {
   const Dataset a3 = run_monte_carlo(adc, adc_cfg.with_threads(3));
   check(bitwise_equal(a1.samples(), a3.samples()),
         "flash-ADC dataset bitwise identical for threads=1/3");
+
+  const stats::SufficientStats as1 =
+      run_monte_carlo_stats(adc, adc_cfg.with_threads(1));
+  const stats::SufficientStats as3 =
+      run_monte_carlo_stats(adc, adc_cfg.with_threads(3));
+  check(as1 == as3,
+        "flash-ADC streaming stats bitwise identical for threads=1/3");
 
   std::printf("parity: %s\n", failures == 0 ? "all checks passed" : "FAILED");
   return failures == 0 ? 0 : 1;
@@ -260,13 +280,13 @@ int main(int argc, char** argv) {
     const DcSolver solver;
     SimWorkspace ws;
     const double dc_us =
-        time_mean_us([&] { solver.solve_into(net, ws); }, iters);
+        time_stage_us([&] { solver.solve_into(net, ws); }, iters);
 
     solver.solve_into(net, ws);
     ws.ac.bind(net, ws.op);
     const std::vector<double> freqs = log_frequency_grid(10.0, 10e9, 10);
     const NodeId out = net.find_node("out");
-    const double ac_us = time_mean_us(
+    const double ac_us = time_stage_us(
         [&] {
           ws.ac.sweep_into(freqs, out, ws.ac_system, ws.ac_lu, ws.ac_solution,
                            ws.response);
@@ -275,14 +295,14 @@ int main(int argc, char** argv) {
 
     SimWorkspace sample_ws;
     std::size_t draw = 0;
-    const double opamp_us = time_mean_us(
+    const double opamp_us = time_stage_us(
         [&] {
           stats::Xoshiro256pp rng = sample_rng(seed, draw++);
           (void)opamp_post.sample_metrics(rng, sample_ws);
         },
         iters);
     draw = 0;
-    const double opamp_ref_us = time_mean_us(
+    const double opamp_ref_us = time_stage_us(
         [&] {
           stats::Xoshiro256pp rng = sample_rng(seed, draw++);
           (void)opamp_post.sample_metrics(rng);
@@ -290,7 +310,7 @@ int main(int argc, char** argv) {
         iters);
     draw = 0;
     SimWorkspace adc_ws;
-    const double adc_us = time_mean_us(
+    const double adc_us = time_stage_us(
         [&] {
           stats::Xoshiro256pp rng = sample_rng(seed, draw++);
           (void)adc.sample_metrics(rng, adc_ws);
@@ -311,6 +331,15 @@ int main(int argc, char** argv) {
     const double mc_seconds = sw.seconds();
     const double sps = static_cast<double>(ds.sample_count()) / mc_seconds;
 
+    // Streaming-stats driver throughput on the same bench/config: this is
+    // the path the estimator uses, and the one the parallel reduction was
+    // built for, so its scaling is tracked separately from the dataset path.
+    Stopwatch stats_sw;
+    const stats::SufficientStats mc_stats = run_monte_carlo_stats(opamp_post, cfg);
+    const double mc_stats_seconds = stats_sw.seconds();
+    const double stats_sps =
+        static_cast<double>(mc_stats.count()) / mc_stats_seconds;
+
     std::printf("micro_circuit (threads=%zu, iters=%zu)\n", threads, iters);
     std::printf("  %-36s %10.3f us\n", "DC solve (schematic op-amp)", dc_us);
     std::printf("  %-36s %10.3f us\n", "AC sweep (91 points)", ac_us);
@@ -325,19 +354,25 @@ int main(int argc, char** argv) {
     std::printf("  MC op-amp post-layout: %zu samples in %.4f s = %.1f "
                 "samples/s\n",
                 ds.sample_count(), mc_seconds, sps);
+    std::printf("  MC op-amp post-layout (streaming stats): %zu samples in "
+                "%.4f s = %.1f samples/s\n",
+                mc_stats.count(), mc_stats_seconds, stats_sps);
 
     const std::string json_path = cli.get_string("json");
     if (!json_path.empty()) {
-      char measurements[640];
+      char measurements[832];
       std::snprintf(
           measurements, sizeof measurements,
           "\"stages\": {\"dc_solve_us\": %.3f, \"ac_sweep_us\": %.3f, "
           "\"opamp_sample_us\": %.3f, \"opamp_sample_ref_us\": %.3f, "
           "\"adc_sample_us\": %.3f}, \"mc_opamp_postlayout\": {\"samples\": "
           "%zu, \"seconds\": %.4f, \"throughput_sps\": %.1f}, "
+          "\"mc_stats_opamp_postlayout\": {\"samples\": %zu, \"seconds\": "
+          "%.4f, \"throughput_sps\": %.1f}, "
           "\"alloc_per_sample\": {\"opamp\": %.2f, \"adc\": %.2f}",
           dc_us, ac_us, opamp_us, opamp_ref_us, adc_us, ds.sample_count(),
-          mc_seconds, sps, opamp_alloc, adc_alloc);
+          mc_seconds, sps, mc_stats.count(), mc_stats_seconds, stats_sps,
+          opamp_alloc, adc_alloc);
       const std::string record = "{\"bench\": \"micro_circuit\", " +
                                  bench::run_metadata_json(cli, threads) +
                                  ", " + measurements + "}";
@@ -346,11 +381,12 @@ int main(int argc, char** argv) {
     }
 
     const int telemetry_rc = flush_telemetry(cli);
-    if (opamp_alloc != 0.0) {
+    if (opamp_alloc != 0.0 || adc_alloc != 0.0) {
       std::fprintf(stderr,
-                   "micro_circuit: op-amp hot path allocated %.2f "
-                   "times/sample in steady state (expected 0)\n",
-                   opamp_alloc);
+                   "micro_circuit: hot path allocated in steady state "
+                   "(op-amp %.2f, flash-ADC %.2f allocs/sample, expected "
+                   "0 for both)\n",
+                   opamp_alloc, adc_alloc);
       return 1;
     }
     return telemetry_rc;

@@ -109,16 +109,21 @@ int run_fuse(const CliParser& cli) {
 
 int run_demo(const CliParser& cli) {
   std::printf("# no mode given: running the bundled op-amp demo\n\n");
+  const auto threads = static_cast<std::size_t>(cli.get_int("threads"));
   const circuit::TwoStageOpAmp schematic(circuit::DesignStage::kSchematic,
                                          circuit::ProcessModel::cmos45());
   const circuit::TwoStageOpAmp extracted(circuit::DesignStage::kPostLayout,
                                          circuit::ProcessModel::cmos45());
-  const circuit::Dataset early = run_monte_carlo(
-      schematic,
-      circuit::MonteCarloConfig{}.with_sample_count(2000).with_seed(1));
-  const circuit::Dataset late = run_monte_carlo(
-      extracted,
-      circuit::MonteCarloConfig{}.with_sample_count(20).with_seed(2));
+  const circuit::Dataset early =
+      run_monte_carlo(schematic, circuit::MonteCarloConfig{}
+                                     .with_sample_count(2000)
+                                     .with_seed(1)
+                                     .with_threads(threads));
+  const circuit::Dataset late = run_monte_carlo(extracted,
+                                                circuit::MonteCarloConfig{}
+                                                    .with_sample_count(20)
+                                                    .with_seed(2)
+                                                    .with_threads(threads));
 
   // Round-trip the knowledge through the serialization layer, exactly as
   // the two-team workflow would.
@@ -174,6 +179,9 @@ int main(int argc, char** argv) {
                "flight-recorder dump on numeric errors)");
   cli.add_flag("cv-surface", "",
                "write the CV score surface (kappa0,nu0,score CSV) here");
+  cli.add_flag("threads", "0",
+               "Monte Carlo worker threads for the demo "
+               "(0 = hardware concurrency; results are thread-invariant)");
   try {
     if (!cli.parse(argc, argv)) return 0;
 

@@ -47,6 +47,20 @@ mkdir -p bench_data
   --telemetry BENCH_circuit.telemetry.json \
   --trace bench_data/BENCH_circuit.trace.json
 
+# Multi-thread lane: one record at the host's core count so the sentinel's
+# scaling-efficiency gate has data. Records carry host_cores metadata, so a
+# run on a small container is kept as history without asserting speedups
+# the hardware cannot deliver; on a 1-core host the lane is skipped
+# (it would duplicate the single-thread record above).
+host_cores="$(nproc)"
+if [[ "${host_cores}" -gt 1 ]]; then
+  echo "==> bench: micro_circuit threads=${host_cores} (scaling lane)"
+  ./build-bench/bench/micro_circuit --samples="${samples}" --iters=50 \
+    --threads="${host_cores}" \
+    --json BENCH_circuit.json --label "${label}" --git "${git_rev}" \
+    --date "${date_iso}"
+fi
+
 echo "==> bench: micro_cv (CV engine old-vs-new)"
 ./build-bench/bench/micro_cv --json BENCH_cv.json --label "${label}" \
   --git "${git_rev}" --date "${date_iso}" \

@@ -42,6 +42,20 @@ DEFAULT_MIN_SERVE_RPS = 2000.0
 DEFAULT_MAX_SERVE_P99_MS = 20.0
 DEFAULT_MIN_SERVE_BINARY_RPS = 20000.0
 DEFAULT_MAX_SERVE_BINARY_P99_MS = 100.0
+# Absolute circuit stage-time ceilings (micro_circuit records). Relative
+# gates on single-run stage means proved noisy: the same binary spans
+# 99-175 us per op-amp sample on a loaded 1-core container, which once
+# recorded a phantom 25% "regression" with no code change. The ceilings sit
+# ~2x above the noisy range so they catch real blowups (an accidental
+# O(n^2), a lost workspace cache) on any host without tripping on scheduler
+# jitter.
+DEFAULT_MAX_OPAMP_SAMPLE_US = 300.0
+DEFAULT_MAX_ADC_SAMPLE_US = 800.0
+# Parallel-efficiency floor for multi-thread Monte Carlo records, enforced
+# only when the recording host has at least as many cores as the record
+# used threads (host_cores metadata) — a 4-thread record from a 1-core
+# container is valid data, just not evidence about scaling.
+DEFAULT_MIN_SCALING_EFFICIENCY = 0.7
 
 # Metrics where a *higher* value is better (compared against --max-drop-pct).
 THROUGHPUT_HINT = "throughput"
@@ -62,11 +76,12 @@ def flatten_metrics(record):
             for name, value in obj.items():
                 if isinstance(value, (int, float)):
                     metrics[f"{obj_key}.{name}"] = float(value)
-    nested = record.get("mc_opamp_postlayout")
-    if isinstance(nested, dict):
-        for name, value in nested.items():
-            if isinstance(value, (int, float)) and name != "samples":
-                metrics[f"mc_opamp_postlayout.{name}"] = float(value)
+    for mc_key in ("mc_opamp_postlayout", "mc_stats_opamp_postlayout"):
+        nested = record.get(mc_key)
+        if isinstance(nested, dict):
+            for name, value in nested.items():
+                if isinstance(value, (int, float)) and name != "samples":
+                    metrics[f"{mc_key}.{name}"] = float(value)
     for key in TIME_SCALAR_KEYS + PARITY_KEYS:
         value = record.get(key)
         if isinstance(value, (int, float)):
@@ -103,6 +118,75 @@ def serve_budget_rows(record, args):
             "FAIL" if bad else "ok",
             f"latency_us.observe_p99: {p99:.6g}"
             + (f" above serve budget {budget_us:g} us" if bad else ""),
+        ))
+    return rows
+
+
+def circuit_budget_rows(record, args):
+    """Absolute stage-time ceilings for micro_circuit records."""
+    stages = record.get("stages")
+    if not isinstance(stages, dict):
+        return []
+    rows = []
+    for name, budget in (("opamp_sample_us", args.max_opamp_sample_us),
+                         ("adc_sample_us", args.max_adc_sample_us)):
+        value = stages.get(name)
+        if isinstance(value, (int, float)):
+            bad = value > budget
+            rows.append((
+                "FAIL" if bad else "ok",
+                f"stages.{name}: {value:.6g}"
+                + (f" above ceiling {budget:g} us" if bad else ""),
+            ))
+    return rows
+
+
+def record_threads(record):
+    """Thread lane of a record: explicit multi-thread counts get their own
+    comparison lane; missing, 0 (hardware) and 1 share the default lane so
+    pre-threads histories stay comparable."""
+    threads = record.get("threads")
+    if isinstance(threads, int) and threads > 1:
+        return threads
+    return 1
+
+
+def scaling_rows(records, args):
+    """Parallel-efficiency floor: newest multi-thread record vs the newest
+    single-thread record of the same bench.
+
+    Returns no rows unless the multi-thread record's host actually had
+    >= threads cores (host_cores metadata), so records taken on small
+    containers are kept as history without asserting impossible speedups.
+    """
+    latest_mt = next((r for r in reversed(records)
+                      if record_threads(r) > 1), None)
+    if latest_mt is None:
+        return []
+    threads = record_threads(latest_mt)
+    host_cores = latest_mt.get("host_cores")
+    if not isinstance(host_cores, int) or host_cores < threads:
+        return []
+    baseline = next((r for r in reversed(records)
+                     if record_threads(r) == 1), None)
+    if baseline is None:
+        return []
+    mt_metrics = flatten_metrics(latest_mt)
+    st_metrics = flatten_metrics(baseline)
+    rows = []
+    for name in sorted(mt_metrics):
+        if not name.endswith("throughput_sps"):
+            continue
+        if st_metrics.get(name, 0.0) <= 0.0:
+            continue
+        efficiency = mt_metrics[name] / (st_metrics[name] * threads)
+        bad = efficiency < args.min_scaling_efficiency
+        rows.append((
+            "FAIL" if bad else "ok",
+            f"{name}: parallel efficiency {efficiency:.2f} at {threads} "
+            f"threads (host_cores={host_cores})"
+            + (f" below floor {args.min_scaling_efficiency:g}" if bad
+               else ""),
         ))
     return rows
 
@@ -163,14 +247,19 @@ def compare_records(previous, current, args):
 
 
 def check_bench(path, bench_name, records, args):
-    """Gates the newest record of one bench name; returns failure count."""
+    """Gates the newest record of one (bench, thread-lane); returns the
+    failure count."""
     current = records[-1]
     previous = records[-2] if len(records) > 1 else None
 
-    # Absolute serve budgets apply to the newest record alone, so a fresh
-    # BENCH_serve.json with a single record is already gated.
-    rows = serve_budget_rows(current, args) \
-        if bench_name.startswith("micro_serve") else []
+    # Absolute budgets apply to the newest record alone, so a fresh history
+    # with a single record is already gated.
+    if bench_name.startswith("micro_serve"):
+        rows = serve_budget_rows(current, args)
+    elif bench_name.startswith("micro_circuit"):
+        rows = circuit_budget_rows(current, args)
+    else:
+        rows = []
     if previous is None:
         if not rows:
             print(f"{path}: only one '{bench_name}' record, "
@@ -198,9 +287,11 @@ def check_history(path, args):
     """Checks one history file; returns the number of failing metrics.
 
     A history file may interleave records of several bench names (e.g.
-    micro_serve and micro_serve_binary in BENCH_serve.json); the newest
-    record of EACH name is gated against its own predecessor, so appending
-    a binary-mode record cannot un-gate the latest JSON-mode one.
+    micro_serve and micro_serve_binary in BENCH_serve.json) and of several
+    thread counts; the newest record of EACH (name, thread-lane) is gated
+    against its own predecessor, so appending a binary-mode or 4-thread
+    record cannot un-gate the latest JSON-mode / single-thread one — and a
+    4-thread record is never diffed against a 1-thread baseline.
     """
     try:
         with open(path, "r", encoding="utf-8") as handle:
@@ -211,11 +302,27 @@ def check_history(path, args):
     if not isinstance(history, list) or not history:
         print(f"{path}: not a non-empty JSON array, skipping")
         return 0
+    by_lane = {}
     by_name = {}
     for record in history:
-        by_name.setdefault(record.get("bench", "?"), []).append(record)
-    return sum(check_bench(path, name, records, args)
-               for name, records in by_name.items())
+        name = record.get("bench", "?")
+        threads = record_threads(record)
+        lane = name if threads == 1 else f"{name}[threads={threads}]"
+        by_lane.setdefault(lane, []).append(record)
+        by_name.setdefault(name, []).append(record)
+    failures = sum(check_bench(path, lane, records, args)
+                   for lane, records in by_lane.items())
+    # Cross-lane scaling gate: multi-thread throughput vs the single-thread
+    # baseline of the same bench.
+    for name, records in sorted(by_name.items()):
+        rows = scaling_rows(records, args)
+        for severity, message in rows:
+            if severity == "FAIL":
+                failures += 1
+                print(f"  FAIL  {message}")
+            elif args.verbose:
+                print(f"  ok    {message}")
+    return failures
 
 
 def self_test(args):
@@ -297,6 +404,62 @@ def self_test(args):
         print("self-test: slow binary serve record not flagged")
         ok = False
 
+    # Absolute circuit stage ceilings: noisy-but-sane stage times pass, a
+    # genuine blowup (lost workspace cache, accidental O(n^2)) is flagged
+    # even when the previous record was just as slow.
+    circuit_noisy = {"bench": "micro_circuit", "threads": 1,
+                     "stages": {"opamp_sample_us": 175.0,
+                                "adc_sample_us": 520.0}}
+    circuit_blown = {"bench": "micro_circuit", "threads": 1,
+                     "stages": {"opamp_sample_us": 950.0,
+                                "adc_sample_us": 2400.0}}
+    if [m for s, m in circuit_budget_rows(circuit_noisy, args) if s == "FAIL"]:
+        print("self-test: noisy-but-sane circuit record flagged")
+        ok = False
+    blown = [m for s, m in circuit_budget_rows(circuit_blown, args)
+             if s == "FAIL"]
+    for metric in ("stages.opamp_sample_us", "stages.adc_sample_us"):
+        if not any(metric in m for m in blown):
+            print(f"self-test: blown circuit ceiling '{metric}' not flagged")
+            ok = False
+
+    # Scaling floor: a 4-thread record at 0.83 efficiency passes, one at
+    # 0.33 fails — and neither is ever diffed against the 1-thread lane.
+    st_rec = dict(base, label="st", threads=1, host_cores=8)
+    mt_good = dict(base, label="mt-good", threads=4, host_cores=8,
+                   mc_opamp_postlayout={"samples": 2000, "seconds": 0.067,
+                                        "throughput_sps": 30000.0})
+    mt_poor = dict(base, label="mt-poor", threads=4, host_cores=8,
+                   mc_opamp_postlayout={"samples": 2000, "seconds": 0.167,
+                                        "throughput_sps": 12000.0})
+    mt_small_host = dict(mt_poor, label="mt-1core", host_cores=1)
+    if [m for s, m in scaling_rows([st_rec, mt_good], args) if s == "FAIL"]:
+        print("self-test: efficient multi-thread record flagged")
+        ok = False
+    if not [m for s, m in scaling_rows([st_rec, mt_poor], args)
+            if s == "FAIL"]:
+        print("self-test: poorly-scaling multi-thread record not flagged")
+        ok = False
+    if scaling_rows([st_rec, mt_small_host], args):
+        print("self-test: scaling gated on a host with fewer cores than "
+              "threads")
+        ok = False
+
+    # Thread-lane isolation: a 4-thread record appended after 1-thread
+    # history must not be diffed against it (a 3x throughput jump or drop
+    # between lanes is expected, not a regression), while the scaling gate
+    # still sees both lanes.
+    with tempfile.NamedTemporaryFile("w", suffix=".json",
+                                     delete=False) as handle:
+        json.dump([mt_good, st_rec], handle)
+        lanes_path = handle.name
+    try:
+        if check_history(lanes_path, args) != 0:
+            print("self-test: cross-lane diff produced a false regression")
+            ok = False
+    finally:
+        os.unlink(lanes_path)
+
     # Per-name gating: a stalled micro_serve record must stay gated even
     # when a healthy micro_serve_binary record is appended after it.
     with tempfile.NamedTemporaryFile("w", suffix=".json",
@@ -343,6 +506,18 @@ def main():
                         default=DEFAULT_MAX_SERVE_BINARY_P99_MS,
                         help="absolute observe p99 latency budget (ms) for "
                              "micro_serve_binary records")
+    parser.add_argument("--max-opamp-sample-us", type=float,
+                        default=DEFAULT_MAX_OPAMP_SAMPLE_US,
+                        help="absolute op-amp sample stage ceiling (us) for "
+                             "micro_circuit records")
+    parser.add_argument("--max-adc-sample-us", type=float,
+                        default=DEFAULT_MAX_ADC_SAMPLE_US,
+                        help="absolute flash-ADC sample stage ceiling (us) "
+                             "for micro_circuit records")
+    parser.add_argument("--min-scaling-efficiency", type=float,
+                        default=DEFAULT_MIN_SCALING_EFFICIENCY,
+                        help="parallel-efficiency floor for multi-thread "
+                             "records whose host_cores >= threads")
     parser.add_argument("--report-only", action="store_true",
                         help="print the diff but always exit 0")
     parser.add_argument("--verbose", action="store_true",

@@ -7,8 +7,10 @@
 # exception unwinding, shard merges — exactly the paths where memory and UB
 # bugs like to hide), and finally a ThreadSanitizer build covering the
 # telemetry shard-merge tests (per-thread shards + merge-on-read), the log
-# sinks, and the full serve suite (epoll I/O threads trading connections,
-# atomic stop flags, the stop/wait handshake).
+# sinks, the full serve suite (epoll I/O threads trading connections,
+# atomic stop flags, the stop/wait handshake), and the parallel Monte Carlo
+# engine (per-worker StatStreams, pool exception transport, a multi-thread
+# parity smoke).
 #
 # Usage: scripts/tier1.sh [--skip-asan] [--skip-telemetry-off] [--skip-tsan]
 set -euo pipefail
@@ -107,6 +109,20 @@ else
   # cross-thread edge.
   TSAN_OPTIONS=halt_on_error=1 \
     ./build-tsan/tests/test_serve
+
+  # The parallel Monte Carlo engine: pool workers streaming into per-worker
+  # StatStreams, disjoint row writes, sharded telemetry counters from inside
+  # worker bodies, and exception transport out of the pool — the thread
+  # invariance and exception tests drive every cross-thread edge, and a
+  # short multi-threaded micro_circuit parity run covers the full
+  # bench-to-reduction stack in one process.
+  echo "==> tier-1: TSan Monte Carlo (test_montecarlo_perf + micro_circuit --parity)"
+  cmake --build build-tsan -j --target test_montecarlo_perf micro_circuit
+  TSAN_OPTIONS=halt_on_error=1 \
+    ./build-tsan/tests/test_montecarlo_perf \
+    --gtest_filter='ThreadInvariance.*:ExceptionPropagation.*'
+  TSAN_OPTIONS=halt_on_error=1 \
+    ./build-tsan/bench/micro_circuit --parity
 fi
 
 # Bench regression sentinel in report-only mode: surfaces perf drift next to

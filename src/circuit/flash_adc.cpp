@@ -113,6 +113,7 @@ struct AdcScratch {
   FlashAdc::DieVariations v;   ///< draw target for the workspace sample path
   std::vector<double> sorted;  ///< sorted effective thresholds
   std::vector<double> wave;    ///< reconstructed capture waveform
+  dsp::ToneScratch tone;       ///< FFT / spectrum buffers for analyze_tone
 };
 
 }  // namespace
@@ -162,7 +163,7 @@ void FlashAdc::measure_into(const DieVariations& v, stats::Xoshiro256pp* rng,
 
   dsp::ToneAnalysisConfig cfg;
   cfg.window = dsp::WindowKind::kRectangular;  // capture is coherent
-  const dsp::ToneAnalysis tone = dsp::analyze_tone(wave, cfg);
+  const dsp::ToneAnalysis tone = dsp::analyze_tone_into(wave, cfg, scratch.tone);
 
   // Power: static ladder + comparator bias + clock/dynamic switching.
   double ladder_res = 0.0;

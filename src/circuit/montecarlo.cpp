@@ -4,6 +4,7 @@
 
 #include "common/contracts.hpp"
 #include "common/parallel.hpp"
+#include "stats/stat_stream.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace bmfusion::circuit {
@@ -13,17 +14,81 @@ using linalg::Vector;
 
 namespace {
 
-/// Samples per streaming accumulation block. Fixed (independent of thread
-/// count) so the block partition — and therefore every intermediate sum —
-/// is identical for any `threads` setting.
-constexpr std::size_t kStatsBlock = 64;
+/// Samples per streaming accumulation block: the StatStream grid, so Monte
+/// Carlo shards and estimator streams reduce on one shared block layout.
+constexpr std::size_t kStatsBlock = stats::StatStream::kBlockSamples;
 
-/// Number of parallel work chunks for `count` items: one per thread, capped
-/// by the item count. Each chunk owns one SimWorkspace for its whole range,
-/// so the per-run workspace cost is O(threads), not O(samples).
-std::size_t chunk_count(std::size_t count, std::size_t threads) {
-  const std::size_t t = threads == 0 ? default_thread_count() : threads;
-  return std::min(std::max<std::size_t>(t, 1), count);
+/// Largest power of two <= v (v >= 1).
+std::size_t floor_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p <= v / 2) p *= 2;
+  return p;
+}
+
+/// A contiguous range of accumulation blocks owned by one worker.
+struct BlockSpan {
+  std::size_t begin = 0;   ///< first block index
+  std::size_t blocks = 0;  ///< span width (a power of two)
+};
+
+/// Partitions [0, n_blocks) into contiguous *aligned power-of-two* spans:
+/// every span's width is a power of two and its begin index is a multiple of
+/// that width. This is the property that makes the per-worker StatStream
+/// reduction bitwise order-insensitive: replaying aligned power-of-two runs
+/// through a binary counter in index order performs exactly the same
+/// floating-point additions, in the same order, as streaming the blocks one
+/// by one (see DESIGN.md, "Parallel Monte Carlo"). Arbitrary contiguous
+/// splits do NOT have this property, so the span layout below is the only
+/// thing a worker count is allowed to choose.
+///
+/// Layout: equal spans of width floor_pow2(ceil(n_blocks / workers)), then
+/// the remainder decomposed most-significant-bit first (each remainder span
+/// starts at a multiple of the preceding, strictly larger widths, so
+/// alignment is preserved all the way down to the last single block).
+std::vector<BlockSpan> partition_blocks(std::size_t n_blocks,
+                                        std::size_t workers) {
+  std::vector<BlockSpan> spans;
+  if (n_blocks == 0) return spans;
+  const std::size_t w = std::max<std::size_t>(workers, 1);
+  const std::size_t ideal = (n_blocks + w - 1) / w;
+  const std::size_t span = floor_pow2(ideal);
+  std::size_t begin = 0;
+  while (begin + span <= n_blocks) {
+    spans.push_back(BlockSpan{begin, span});
+    begin += span;
+  }
+  std::size_t rest = n_blocks - begin;
+  while (rest > 0) {
+    const std::size_t width = floor_pow2(rest);
+    spans.push_back(BlockSpan{begin, width});
+    begin += width;
+    rest -= width;
+  }
+  return spans;
+}
+
+/// Resolves the configured thread count (0 = hardware concurrency).
+std::size_t resolve_threads(std::size_t threads) {
+  return threads == 0 ? default_thread_count() : threads;
+}
+
+/// Publishes the per-run telemetry shared by both Monte Carlo drivers:
+/// sample count, wall-clock throughput, the busy/elapsed pair bmf_doctor
+/// uses to compute parallel efficiency, and the thread/core context needed
+/// to interpret it on the recording host.
+void record_run_telemetry(std::size_t count, std::size_t threads,
+                          std::uint64_t run_start_ns) {
+  BMF_COUNTER_ADD("circuit.mc.samples", count);
+  const double elapsed_us =
+      static_cast<double>(telemetry::now_ns() - run_start_ns) * 1e-3;
+  BMF_COUNTER_ADD("circuit.mc.elapsed_us", elapsed_us);
+  BMF_GAUGE_SET("circuit.mc.threads", static_cast<double>(threads));
+  BMF_GAUGE_SET("circuit.mc.host_cores",
+                static_cast<double>(default_thread_count()));
+  if (elapsed_us > 0.0) {
+    BMF_GAUGE_SET("circuit.mc.throughput_sps",
+                  static_cast<double>(count) / (elapsed_us * 1e-6));
+  }
 }
 
 }  // namespace
@@ -57,15 +122,19 @@ Dataset run_monte_carlo(const Testbench& bench,
   // buffers reach steady state after the first sample, so the remainder of
   // the chunk runs allocation-free. Per-sample RNGs are derived from
   // (seed, index), making rows independent of the chunking.
-  const std::size_t n_chunks = chunk_count(count, config.threads);
+  const std::size_t threads = resolve_threads(config.threads);
+  const std::size_t n_chunks = std::min(std::max<std::size_t>(threads, 1),
+                                        count);
   const std::size_t span = (count + n_chunks - 1) / n_chunks;
   std::vector<SimWorkspace> workspaces(n_chunks);
   parallel_for(
       n_chunks,
       [&](std::size_t c) {
+        const std::uint64_t worker_start_ns = telemetry::now_ns();
         SimWorkspace& ws = workspaces[c];
+        const std::size_t begin = c * span;
         const std::size_t end = std::min(count, (c + 1) * span);
-        for (std::size_t i = c * span; i < end; ++i) {
+        for (std::size_t i = begin; i < end; ++i) {
           BMF_SCOPED_TIMER_US("circuit.mc.sample_us");
           stats::Xoshiro256pp rng = sample_rng(config.seed, i);
           const Vector& metrics = bench.sample_metrics(rng, ws);
@@ -76,15 +145,14 @@ Dataset run_monte_carlo(const Testbench& bench,
           const double* const src = metrics.data();
           for (std::size_t j = 0; j < d; ++j) row[j] = src[j];
         }
+        const double worker_us =
+            static_cast<double>(telemetry::now_ns() - worker_start_ns) * 1e-3;
+        BMF_COUNTER_ADD("circuit.mc.busy_us", worker_us);
+        BMF_COUNTER_ADD("circuit.mc.worker_samples", end - begin);
+        BMF_HISTOGRAM_RECORD_US("circuit.mc.worker_us", worker_us);
       },
       config.threads);
-  BMF_COUNTER_ADD("circuit.mc.samples", count);
-  const double elapsed_s =
-      static_cast<double>(telemetry::now_ns() - run_start_ns) * 1e-9;
-  if (elapsed_s > 0.0) {
-    BMF_GAUGE_SET("circuit.mc.throughput_sps",
-                  static_cast<double>(count) / elapsed_s);
-  }
+  record_run_telemetry(count, threads, run_start_ns);
   return Dataset(names, std::move(samples));
 }
 
@@ -99,50 +167,53 @@ stats::SufficientStats run_monte_carlo_stats(const Testbench& bench,
   BMF_SPAN("mc_run_stats");
   const std::uint64_t run_start_ns = telemetry::now_ns();
   // Samples accumulate into fixed kStatsBlock-sized blocks in index order.
-  // The block partition depends only on `count`, so each block's sums are
-  // bitwise identical regardless of how blocks are spread over threads.
+  // Each worker owns an aligned power-of-two span of blocks and streams its
+  // samples into a private StatStream; because the span layout respects the
+  // binary-counter alignment (see partition_blocks), merging the worker
+  // streams in span order replays the exact additions of a single-threaded
+  // stream, so the result is bitwise identical for any thread count. Only
+  // the final span can end with an open partial block (count % kStatsBlock
+  // trailing samples); merge() closes it as an irregular run, which totals()
+  // folds with the same bits as an open partial.
   const std::size_t n_blocks = (count + kStatsBlock - 1) / kStatsBlock;
-  std::vector<stats::SufficientStats> blocks(n_blocks,
-                                             stats::SufficientStats(d));
-  const std::size_t n_chunks = chunk_count(n_blocks, config.threads);
-  const std::size_t span = (n_blocks + n_chunks - 1) / n_chunks;
+  const std::size_t threads = resolve_threads(config.threads);
+  const std::vector<BlockSpan> spans = partition_blocks(n_blocks, threads);
+  const std::size_t n_chunks = spans.size();
+  std::vector<stats::StatStream> streams(n_chunks, stats::StatStream(d));
   std::vector<SimWorkspace> workspaces(n_chunks);
   parallel_for(
       n_chunks,
       [&](std::size_t c) {
+        const std::uint64_t worker_start_ns = telemetry::now_ns();
         SimWorkspace& ws = workspaces[c];
-        const std::size_t block_end = std::min(n_blocks, (c + 1) * span);
-        for (std::size_t b = c * span; b < block_end; ++b) {
-          stats::SufficientStats& acc = blocks[b];
-          const std::size_t end = std::min(count, (b + 1) * kStatsBlock);
-          for (std::size_t i = b * kStatsBlock; i < end; ++i) {
-            BMF_SCOPED_TIMER_US("circuit.mc.sample_us");
-            stats::Xoshiro256pp rng = sample_rng(config.seed, i);
-            const Vector& metrics = bench.sample_metrics(rng, ws);
-            BMFUSION_REQUIRE(metrics.size() == d,
-                             "testbench metric count mismatch");
-            acc.add(metrics);
-          }
+        stats::StatStream& stream = streams[c];
+        const BlockSpan& blocks = spans[c];
+        const std::size_t begin = blocks.begin * kStatsBlock;
+        const std::size_t end =
+            std::min(count, (blocks.begin + blocks.blocks) * kStatsBlock);
+        for (std::size_t i = begin; i < end; ++i) {
+          BMF_SCOPED_TIMER_US("circuit.mc.sample_us");
+          stats::Xoshiro256pp rng = sample_rng(config.seed, i);
+          const Vector& metrics = bench.sample_metrics(rng, ws);
+          BMFUSION_REQUIRE(metrics.size() == d,
+                           "testbench metric count mismatch");
+          stream.add(metrics);
         }
+        const double worker_us =
+            static_cast<double>(telemetry::now_ns() - worker_start_ns) * 1e-3;
+        BMF_COUNTER_ADD("circuit.mc.busy_us", worker_us);
+        BMF_COUNTER_ADD("circuit.mc.worker_samples", end - begin);
+        BMF_HISTOGRAM_RECORD_US("circuit.mc.worker_us", worker_us);
       },
       config.threads);
+  record_run_telemetry(count, threads, run_start_ns);
 
-  BMF_COUNTER_ADD("circuit.mc.samples", count);
-  const double elapsed_s =
-      static_cast<double>(telemetry::now_ns() - run_start_ns) * 1e-9;
-  if (elapsed_s > 0.0) {
-    BMF_GAUGE_SET("circuit.mc.throughput_sps",
-                  static_cast<double>(count) / elapsed_s);
-  }
-
-  // Deterministic pairwise tree reduction over the block accumulators: the
-  // combination order is a pure function of n_blocks.
-  for (std::size_t width = 1; width < n_blocks; width *= 2) {
-    for (std::size_t k = 0; k + width < n_blocks; k += 2 * width) {
-      blocks[k] += blocks[k + width];
-    }
-  }
-  return blocks.front();
+  // Deterministic reduction: replay every worker stream, in span order,
+  // through one binary counter. The span layout guarantees this reproduces
+  // the single-stream bits.
+  stats::StatStream total(d);
+  for (const stats::StatStream& stream : streams) total.merge(stream);
+  return total.totals();
 }
 
 }  // namespace bmfusion::circuit

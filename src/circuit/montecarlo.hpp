@@ -73,10 +73,12 @@ struct MonteCarloConfig {
                                       const MonteCarloConfig& config);
 
 /// Streaming variant for callers that only need the first two moments: the
-/// N x d sample matrix is never materialized. Samples accumulate into
-/// fixed-size blocks (block boundaries depend only on the sample count, not
-/// the thread count) that are combined by a deterministic pairwise tree
-/// reduction, so the result is bitwise identical for any `config.threads`.
+/// N x d sample matrix is never materialized. Each worker streams its
+/// samples into a private stats::StatStream over the shared 64-sample block
+/// grid; workers own aligned power-of-two spans of blocks, so merging the
+/// worker streams in index order replays exactly the additions of a
+/// single-threaded stream and the result is bitwise identical for any
+/// `config.threads` (see DESIGN.md, "Parallel Monte Carlo").
 [[nodiscard]] stats::SufficientStats run_monte_carlo_stats(
     const Testbench& bench, const MonteCarloConfig& config);
 

@@ -56,6 +56,9 @@ constexpr const char* kHealthCounters[] = {
     "circuit.dc.damped_ladder_solves",
     "circuit.dc.failures",
     "circuit.dc.newton_iterations",
+    "circuit.mc.samples",
+    "circuit.mc.elapsed_us",
+    "circuit.mc.busy_us",
     "linalg.cholesky.jitter_activations",
     "linalg.cholesky.jitter_retries",
     "linalg.ldlt.pivot_clamps",
@@ -103,6 +106,37 @@ void ingest_snapshot(const std::string& path, RunReport& report,
                 100.0 * thresholds.max_disqualified_ratio)
          << "% threshold";
       report.findings.push_back(os.str());
+    }
+  }
+
+  // Parallel Monte Carlo utilisation. busy_us sums each worker's wall time
+  // inside sample bodies; elapsed_us is the run's wall time. A pool that
+  // keeps every worker loaded puts busy at elapsed * threads, so the ratio
+  // is the fraction of the run each worker spent with work assigned — it
+  // drops on starvation or an imbalanced partition, and stays meaningful on
+  // oversubscribed hosts where per-worker wall time overlaps (actual
+  // speedup there is the bench sentinel's job, not the snapshot's).
+  // Single-threaded runs are skipped — busy/elapsed is trivially ~1 and
+  // says nothing about the pool.
+  const JsonValue* gauges = snapshot.find("gauges");
+  const double mc_busy = counters->number_or("circuit.mc.busy_us", 0.0);
+  const double mc_elapsed = counters->number_or("circuit.mc.elapsed_us", 0.0);
+  if (gauges != nullptr && gauges->is_object() && mc_elapsed > 0.0) {
+    const double threads = gauges->number_or("circuit.mc.threads", 0.0);
+    if (threads > 1.0) {
+      report.mc_parallel_efficiency = mc_busy / (mc_elapsed * threads);
+      if (*report.mc_parallel_efficiency <
+          thresholds.min_mc_parallel_efficiency) {
+        std::ostringstream os;
+        os << "monte carlo parallel efficiency "
+           << format_double(*report.mc_parallel_efficiency) << " on "
+           << format_double(threads)
+           << " thread(s): workers sat idle for a large fraction of the "
+              "run, below the "
+           << format_double(thresholds.min_mc_parallel_efficiency)
+           << " floor";
+        report.findings.push_back(os.str());
+      }
     }
   }
 
@@ -325,6 +359,10 @@ std::string RunReport::to_markdown() const {
       out << "CV disqualified ratio: "
           << format_double(100.0 * *cv_disqualified_ratio) << "%\n\n";
     }
+    if (mc_parallel_efficiency) {
+      out << "Monte Carlo parallel efficiency: "
+          << format_double(100.0 * *mc_parallel_efficiency) << "%\n\n";
+    }
   }
 
   if (!histograms.empty()) {
@@ -411,7 +449,10 @@ std::string RunReport::to_json() const {
       << (warm_start_hit_rate ? json_number(*warm_start_hit_rate) : "null")
       << ",\n  \"cv_disqualified_ratio\": "
       << (cv_disqualified_ratio ? json_number(*cv_disqualified_ratio)
-                                : "null");
+                                : "null")
+      << ",\n  \"mc_parallel_efficiency\": "
+      << (mc_parallel_efficiency ? json_number(*mc_parallel_efficiency)
+                                 : "null");
   out << ",\n  \"histograms\": {";
   for (std::size_t i = 0; i < histograms.size(); ++i) {
     const HistogramQuantiles& h = histograms[i];

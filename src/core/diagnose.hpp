@@ -25,6 +25,7 @@ struct DoctorThresholds {
   double max_throughput_drop_pct = 5.0;  ///< bench: throughput regression
   double max_time_rise_pct = 10.0;       ///< bench: per-stage time regression
   double max_disqualified_ratio = 0.5;   ///< CV: disqualified / grid points
+  double min_mc_parallel_efficiency = 0.6;  ///< MC: busy / (elapsed * threads)
 };
 
 /// Where to read each artifact; empty string = section omitted.
@@ -84,6 +85,12 @@ struct RunReport {
   std::vector<CounterReading> health_counters;
   std::optional<double> warm_start_hit_rate;  ///< hits / (hits + misses)
   std::optional<double> cv_disqualified_ratio;
+  /// Parallel Monte Carlo utilisation: circuit.mc.busy_us (per-worker wall
+  /// time summed over the workers) divided by elapsed wall time times the
+  /// thread count — the fraction of the run each worker spent with work
+  /// assigned. Present only when a run recorded the circuit.mc.* telemetry
+  /// with more than one worker thread.
+  std::optional<double> mc_parallel_efficiency;
 
   std::vector<HistogramQuantiles> histograms;
   std::optional<LogSummary> log_summary;

@@ -61,11 +61,18 @@ std::vector<Complex> ifft(const std::vector<Complex>& data) {
 }
 
 std::vector<Complex> fft_real(const std::vector<double>& data) {
-  std::vector<Complex> complex_data;
-  complex_data.reserve(data.size());
-  for (const double v : data) complex_data.emplace_back(v, 0.0);
-  fft_inplace(complex_data, /*inverse=*/false);
-  return complex_data;
+  std::vector<Complex> out;
+  fft_real_into(data, out);
+  return out;
+}
+
+void fft_real_into(const std::vector<double>& data,
+                   std::vector<Complex>& out) {
+  out.resize(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    out[i] = Complex(data[i], 0.0);
+  }
+  fft_inplace(out, /*inverse=*/false);
 }
 
 }  // namespace bmfusion::dsp

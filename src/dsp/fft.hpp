@@ -30,4 +30,9 @@ void fft_inplace(std::vector<Complex>& data, bool inverse);
 /// n) for simplicity.
 [[nodiscard]] std::vector<Complex> fft_real(const std::vector<double>& data);
 
+/// Workspace variant of fft_real: widens `data` into `out` (resized to
+/// data.size()) and transforms in place, so a reused `out` makes the call
+/// allocation-free in steady state.
+void fft_real_into(const std::vector<double>& data, std::vector<Complex>& out);
+
 }  // namespace bmfusion::dsp

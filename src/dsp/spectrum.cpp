@@ -39,32 +39,54 @@ double claim_band(const std::vector<double>& spectrum,
 
 std::vector<double> power_spectrum(const std::vector<double>& samples,
                                    WindowKind window) {
+  ToneScratch scratch;
+  return power_spectrum_into(samples, window, scratch);
+}
+
+const std::vector<double>& power_spectrum_into(
+    const std::vector<double>& samples, WindowKind window,
+    ToneScratch& scratch) {
   const std::size_t n = samples.size();
   BMFUSION_REQUIRE(is_power_of_two(n) && n >= 16,
                    "capture length must be a power of two >= 16");
-  const std::vector<double> w = make_window(window, n);
-  std::vector<double> tapered(n);
-  for (std::size_t i = 0; i < n; ++i) tapered[i] = samples[i] * w[i];
-  const std::vector<Complex> spec = fft_real(tapered);
+  if (scratch.window_n != n || scratch.window_kind != window) {
+    make_window_into(window, n, scratch.window);
+    scratch.window_n = n;
+    scratch.window_kind = window;
+  }
+  const std::vector<double>& w = scratch.window;
+  scratch.spectrum.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scratch.spectrum[i] = Complex(samples[i] * w[i], 0.0);
+  }
+  fft_inplace(scratch.spectrum, /*inverse=*/false);
 
   // One-sided power, normalized by the coherent gain so absolute tone power
   // is window-independent. Interior bins get the x2 one-sided factor.
   const double cg = window_coherent_gain(w);
   const double norm = 1.0 / (cg * cg * static_cast<double>(n) *
                              static_cast<double>(n));
-  std::vector<double> power(n / 2 + 1);
+  scratch.power.resize(n / 2 + 1);
   for (std::size_t b = 0; b <= n / 2; ++b) {
-    const double mag2 = std::norm(spec[b]);
+    const double mag2 = std::norm(scratch.spectrum[b]);
     const double one_sided = (b == 0 || b == n / 2) ? 1.0 : 2.0;
-    power[b] = one_sided * mag2 * norm;
+    scratch.power[b] = one_sided * mag2 * norm;
   }
-  return power;
+  return scratch.power;
 }
 
 ToneAnalysis analyze_tone(const std::vector<double>& samples,
                           const ToneAnalysisConfig& config) {
+  ToneScratch scratch;
+  return analyze_tone_into(samples, config, scratch);
+}
+
+ToneAnalysis analyze_tone_into(const std::vector<double>& samples,
+                               const ToneAnalysisConfig& config,
+                               ToneScratch& scratch) {
   const std::size_t n = samples.size();
-  const std::vector<double> spectrum = power_spectrum(samples, config.window);
+  const std::vector<double>& spectrum =
+      power_spectrum_into(samples, config.window, scratch);
   const std::size_t half = window_tone_halfwidth(config.window);
   const std::size_t dc_guard = half + 1;
 
@@ -76,23 +98,24 @@ ToneAnalysis analyze_tone(const std::vector<double>& samples,
   }
   result.fundamental_bin = fund;
 
-  std::vector<bool> claimed(spectrum.size(), false);
+  std::vector<bool>& claimed = scratch.claimed;
+  claimed.assign(spectrum.size(), false);
   // DC leakage is excluded from every power bucket.
   for (std::size_t b = 0; b < dc_guard && b < spectrum.size(); ++b) {
     claimed[b] = true;
   }
   result.signal_power = claim_band(spectrum, claimed, fund, half);
 
-  // Harmonics 2..H+1, folded into the first Nyquist zone.
+  // Harmonics 2..H+1, folded into the first Nyquist zone. claim_band
+  // returns the integrated power of the bins it newly claims, which is
+  // both this harmonic's distortion contribution and its spur power.
   double worst_spur = 0.0;
   for (std::size_t h = 2; h <= config.harmonic_count + 1; ++h) {
     const std::size_t bin = fold_bin(fund * h, n);
     if (bin >= spectrum.size()) continue;
-    // Track the worst spur before claiming (integrated band power).
-    std::vector<bool> probe = claimed;
-    const double band = claim_band(spectrum, probe, bin, half);
+    const double band = claim_band(spectrum, claimed, bin, half);
     worst_spur = std::max(worst_spur, band);
-    result.distortion_power += claim_band(spectrum, claimed, bin, half);
+    result.distortion_power += band;
   }
 
   // Noise: all remaining unclaimed bins; also scan them for non-harmonic

@@ -8,6 +8,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "dsp/fft.hpp"
 #include "dsp/window.hpp"
 
 namespace bmfusion::dsp {
@@ -32,11 +33,32 @@ struct ToneAnalysisConfig {
   std::size_t harmonic_count = 9;  ///< harmonics 2..harmonic_count+1 counted
 };
 
+/// Reusable buffers for the tone-analysis pipeline. One scratch per
+/// worker/workspace: every vector grows to the capture size on the first
+/// call and is reused verbatim afterwards, so steady-state analysis is
+/// allocation-free (the flash-ADC Monte Carlo contract). The window is
+/// cached per (kind, length) and regenerated only when either changes.
+struct ToneScratch {
+  std::vector<double> window;      ///< cached window coefficients
+  WindowKind window_kind = WindowKind::kRectangular;
+  std::size_t window_n = 0;        ///< 0 = window not generated yet
+  std::vector<Complex> spectrum;   ///< complex FFT work buffer
+  std::vector<double> power;       ///< one-sided power bins [0, n/2]
+  std::vector<bool> claimed;       ///< per-bin claim map for band integration
+};
+
 /// Analyzes one real capture. `samples.size()` must be a power of two >= 16.
 /// The fundamental is located as the strongest non-DC bin; harmonics fold
 /// (alias) back into the first Nyquist zone as a real sampled system would.
 [[nodiscard]] ToneAnalysis analyze_tone(const std::vector<double>& samples,
                                         const ToneAnalysisConfig& config = {});
+
+/// Workspace variant of analyze_tone: identical (bitwise) results, but all
+/// transient buffers live in `scratch` so repeated calls allocate nothing
+/// once the buffers have grown to the capture size.
+[[nodiscard]] ToneAnalysis analyze_tone_into(const std::vector<double>& samples,
+                                             const ToneAnalysisConfig& config,
+                                             ToneScratch& scratch);
 
 /// Picks a coherent tone frequency for an n-point capture at sample rate
 /// `fs`: the odd cycle count m closest to `target_ratio * n` (coprime with
@@ -48,5 +70,11 @@ struct ToneAnalysisConfig {
 /// normalized so a full-scale coherent sine reports its power in its bin.
 [[nodiscard]] std::vector<double> power_spectrum(
     const std::vector<double>& samples, WindowKind window);
+
+/// Workspace variant of power_spectrum: computes into scratch.power (also
+/// returned by reference) using scratch's window cache and FFT buffer.
+const std::vector<double>& power_spectrum_into(
+    const std::vector<double>& samples, WindowKind window,
+    ToneScratch& scratch);
 
 }  // namespace bmfusion::dsp

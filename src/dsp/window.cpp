@@ -11,8 +11,14 @@ constexpr double kPi = 3.141592653589793238462643383279502884;
 }
 
 std::vector<double> make_window(WindowKind kind, std::size_t n) {
+  std::vector<double> w;
+  make_window_into(kind, n, w);
+  return w;
+}
+
+void make_window_into(WindowKind kind, std::size_t n, std::vector<double>& w) {
   BMFUSION_REQUIRE(n >= 1, "window length must be positive");
-  std::vector<double> w(n, 1.0);
+  w.assign(n, 1.0);
   const double denom = static_cast<double>(n);  // periodic windows
   switch (kind) {
     case WindowKind::kRectangular:
@@ -35,7 +41,6 @@ std::vector<double> make_window(WindowKind kind, std::size_t n) {
       break;
     }
   }
-  return w;
 }
 
 double window_noise_gain(const std::vector<double>& window) {

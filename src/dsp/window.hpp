@@ -14,6 +14,11 @@ enum class WindowKind {
 /// Generates an n-point window of the given kind.
 [[nodiscard]] std::vector<double> make_window(WindowKind kind, std::size_t n);
 
+/// In-place variant: fills `w` (resized to n) with the window coefficients.
+/// Steady-state callers (the flash-ADC Monte Carlo hot path) reuse one
+/// buffer across captures so no allocation happens once it has grown.
+void make_window_into(WindowKind kind, std::size_t n, std::vector<double>& w);
+
 /// Sum of squared window coefficients (noise power normalization).
 [[nodiscard]] double window_noise_gain(const std::vector<double>& window);
 

@@ -179,6 +179,89 @@ TEST(Diagnose, SnapshotSectionExtractsCountersRatesAndFindings) {
             report.findings.size());
 }
 
+TEST(Diagnose, McParallelEfficiencyComputedFromCountersAndGauges) {
+  // A 4-thread run on a 4-core host that kept the workers busy 90% of the
+  // wall time: efficiency 0.9, no finding.
+  const std::string healthy = write_temp_file(
+      "bmf_doctor_mc_healthy.json", R"({
+        "counters": {
+          "circuit.mc.samples": 2000,
+          "circuit.mc.elapsed_us": 1000000,
+          "circuit.mc.busy_us": 3600000
+        },
+        "gauges": {
+          "circuit.mc.threads": 4,
+          "circuit.mc.host_cores": 4
+        }
+      })");
+  DoctorInputs inputs;
+  inputs.snapshot_path = healthy;
+  RunReport report = diagnose_run(inputs);
+  ASSERT_TRUE(report.mc_parallel_efficiency.has_value());
+  EXPECT_DOUBLE_EQ(*report.mc_parallel_efficiency, 0.9);
+  EXPECT_FALSE(any_finding_contains(report, "parallel efficiency"));
+  EXPECT_NE(report.to_markdown().find("Monte Carlo parallel efficiency: 90%"),
+            std::string::npos);
+  const JsonValue round_trip = parse_json(report.to_json());
+  EXPECT_DOUBLE_EQ(round_trip.number_or("mc_parallel_efficiency", 0.0), 0.9);
+
+  // Same wall time but the workers were mostly idle: 0.3 efficiency trips
+  // the 0.6 default floor.
+  const std::string stalled = write_temp_file(
+      "bmf_doctor_mc_stalled.json", R"({
+        "counters": {
+          "circuit.mc.elapsed_us": 1000000,
+          "circuit.mc.busy_us": 1200000
+        },
+        "gauges": {
+          "circuit.mc.threads": 4,
+          "circuit.mc.host_cores": 4
+        }
+      })");
+  inputs.snapshot_path = stalled;
+  report = diagnose_run(inputs);
+  ASSERT_TRUE(report.mc_parallel_efficiency.has_value());
+  EXPECT_DOUBLE_EQ(*report.mc_parallel_efficiency, 0.3);
+  EXPECT_TRUE(any_finding_contains(report, "parallel efficiency"));
+
+  // Oversubscribed: 8 threads timesharing a 2-core host still report near
+  // full per-worker wall-time occupancy, so a well-balanced run is not
+  // blamed for the hardware (speedup gating is the bench sentinel's job).
+  const std::string oversub = write_temp_file(
+      "bmf_doctor_mc_oversub.json", R"({
+        "counters": {
+          "circuit.mc.elapsed_us": 1000000,
+          "circuit.mc.busy_us": 7200000
+        },
+        "gauges": {
+          "circuit.mc.threads": 8,
+          "circuit.mc.host_cores": 2
+        }
+      })");
+  inputs.snapshot_path = oversub;
+  report = diagnose_run(inputs);
+  ASSERT_TRUE(report.mc_parallel_efficiency.has_value());
+  EXPECT_DOUBLE_EQ(*report.mc_parallel_efficiency, 0.9);
+  EXPECT_FALSE(any_finding_contains(report, "parallel efficiency"));
+
+  // Single-threaded runs carry no pool signal; the metric stays absent.
+  const std::string single = write_temp_file(
+      "bmf_doctor_mc_single.json", R"({
+        "counters": {
+          "circuit.mc.elapsed_us": 1000000,
+          "circuit.mc.busy_us": 990000
+        },
+        "gauges": {
+          "circuit.mc.threads": 1,
+          "circuit.mc.host_cores": 4
+        }
+      })");
+  inputs.snapshot_path = single;
+  report = diagnose_run(inputs);
+  EXPECT_FALSE(report.mc_parallel_efficiency.has_value());
+  EXPECT_TRUE(report.findings.empty());
+}
+
 TEST(Diagnose, LogSectionTalliesLevelsDumpsAndMalformedLines) {
   const std::string log = write_temp_file(
       "bmf_doctor_log.jsonl",

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 #include "common/contracts.hpp"
 #include "dsp/fft.hpp"
@@ -229,6 +230,54 @@ TEST(Spectrum, WindowsContainLeakageOfNonCoherentTone) {
   const double bh = snr_with(WindowKind::kBlackmanHarris);
   EXPECT_GT(hann, rect + 10.0);
   EXPECT_GT(bh, hann + 5.0);
+}
+
+TEST(Spectrum, ScratchPathBitwiseMatchesAllocatingPath) {
+  // analyze_tone_into is the Monte Carlo hot path; its contract is bitwise
+  // equality with analyze_tone, including across reuses of one scratch with
+  // different signals, windows and capture lengths (window-cache turnover).
+  stats::Xoshiro256pp rng(99);
+  ToneScratch scratch;
+  const WindowKind kinds[] = {WindowKind::kRectangular, WindowKind::kHann,
+                              WindowKind::kBlackmanHarris};
+  const std::size_t lengths[] = {64, 256, 256, 64};
+  std::size_t round = 0;
+  for (const std::size_t n : lengths) {
+    for (const WindowKind kind : kinds) {
+      std::vector<double> x =
+          make_tone(n, 9.0, 0.8, 0.1 * static_cast<double>(round));
+      for (double& v : x) v += 1e-3 * stats::sample_normal(rng, 0.0, 1.0);
+      ToneAnalysisConfig cfg;
+      cfg.window = kind;
+      const ToneAnalysis ref = analyze_tone(x, cfg);
+      const ToneAnalysis fast = analyze_tone_into(x, cfg, scratch);
+      EXPECT_EQ(ref.fundamental_bin, fast.fundamental_bin);
+      const double refs[] = {ref.signal_power,  ref.noise_power,
+                             ref.distortion_power, ref.worst_spur_power,
+                             ref.snr_db,        ref.sinad_db,
+                             ref.thd_db,        ref.sfdr_db,
+                             ref.enob_bits};
+      const double fasts[] = {fast.signal_power,  fast.noise_power,
+                              fast.distortion_power, fast.worst_spur_power,
+                              fast.snr_db,        fast.sinad_db,
+                              fast.thd_db,        fast.sfdr_db,
+                              fast.enob_bits};
+      EXPECT_EQ(0, std::memcmp(refs, fasts, sizeof refs))
+          << "n=" << n << " window=" << static_cast<int>(kind);
+      ++round;
+    }
+  }
+}
+
+TEST(Spectrum, ScratchPowerSpectrumMatchesAllocatingPath) {
+  const std::vector<double> x = make_tone(256, 7.0, 0.5);
+  ToneScratch scratch;
+  const std::vector<double> ref = power_spectrum(x, WindowKind::kHann);
+  const std::vector<double>& fast =
+      power_spectrum_into(x, WindowKind::kHann, scratch);
+  ASSERT_EQ(ref.size(), fast.size());
+  EXPECT_EQ(0, std::memcmp(ref.data(), fast.data(),
+                           ref.size() * sizeof(double)));
 }
 
 TEST(Spectrum, RejectsShortOrNonPowerOfTwoCaptures) {

@@ -20,6 +20,7 @@
 #include "linalg/vector.hpp"
 #include "stats/moments.hpp"
 #include "stats/sufficient_stats.hpp"
+#include "stats/univariate.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace bmfusion::circuit {
@@ -143,6 +144,96 @@ TEST(ThreadInvariance, StreamingStatsBitwiseIdenticalAcrossThreadCounts) {
   EXPECT_TRUE(one == three);
 }
 
+/// Byte-level equality of the packed moment buffers (count + sum + scatter):
+/// the strongest form of the reduction contract — a NaN payload or -0.0/0.0
+/// difference that operator== would wave through still fails here.
+bool memcmp_stats(const stats::SufficientStats& a,
+                  const stats::SufficientStats& b) {
+  if (a.count() != b.count() || a.dimension() != b.dimension()) return false;
+  const std::size_t d = a.dimension();
+  if (std::memcmp(a.sum().data(), b.sum().data(), d * sizeof(double)) != 0) {
+    return false;
+  }
+  return std::memcmp(a.sum_outer().data(), b.sum_outer().data(),
+                     d * d * sizeof(double)) == 0;
+}
+
+/// Cheap deterministic bench (no circuit solve) so thread-invariance can be
+/// exercised over many accumulation blocks without dominating test time.
+class SyntheticBench final : public Testbench {
+ public:
+  [[nodiscard]] std::vector<std::string> metric_names() const override {
+    return {"x", "y", "z"};
+  }
+  [[nodiscard]] Vector nominal_metrics() const override {
+    return Vector({0.0, 0.0, 0.0});
+  }
+  [[nodiscard]] Vector sample_metrics(
+      stats::Xoshiro256pp& rng) const override {
+    Vector v(3);
+    v[0] = stats::sample_normal(rng, 0.0, 1.0);
+    v[1] = stats::sample_normal(rng, 5.0, 2.0);
+    v[2] = v[0] * v[1] + stats::sample_normal(rng, 0.0, 0.1);
+    return v;
+  }
+};
+
+/// Small flash ADC (4 bits, 64-point capture) so the full sample pipeline —
+/// including the FFT/spectral stage — runs in microseconds per draw.
+FlashAdc small_flash_adc() {
+  FlashAdcDesign design;
+  design.bits = 4;
+  design.capture_points = 64;
+  return FlashAdc(DesignStage::kPostLayout, ProcessModel::cmos180(), design,
+                  FlashAdcParasitics{});
+}
+
+TEST(ThreadInvariance, StreamingStatsMemcmpIdenticalOpAmp) {
+  const TwoStageOpAmp bench = post_layout_opamp();
+  // 70 = 64 + 6: one full accumulation block plus a partial trailing block,
+  // so the non-multiple-of-64 path is covered on a real bench.
+  const auto base = MonteCarloConfig{}.with_sample_count(70).with_seed(7);
+  const stats::SufficientStats one =
+      run_monte_carlo_stats(bench, MonteCarloConfig(base).with_threads(1));
+  for (const std::size_t threads : {2, 3, 8}) {
+    const stats::SufficientStats other = run_monte_carlo_stats(
+        bench, MonteCarloConfig(base).with_threads(threads));
+    EXPECT_TRUE(memcmp_stats(one, other)) << "threads=" << threads;
+  }
+}
+
+TEST(ThreadInvariance, StreamingStatsMemcmpIdenticalFlashAdc) {
+  const FlashAdc bench = small_flash_adc();
+  const auto base = MonteCarloConfig{}.with_sample_count(70).with_seed(9);
+  const stats::SufficientStats one =
+      run_monte_carlo_stats(bench, MonteCarloConfig(base).with_threads(1));
+  for (const std::size_t threads : {2, 3, 8}) {
+    const stats::SufficientStats other = run_monte_carlo_stats(
+        bench, MonteCarloConfig(base).with_threads(threads));
+    EXPECT_TRUE(memcmp_stats(one, other)) << "threads=" << threads;
+  }
+}
+
+TEST(ThreadInvariance, StreamingStatsMemcmpIdenticalAcrossBlockLayouts) {
+  // Sweep sample counts that hit every interesting block layout: a single
+  // partial block, exactly one block, power-of-two block counts, and block
+  // counts whose binary decomposition has several set bits plus a trailing
+  // partial block. Every worker count must reproduce the 1-thread bytes.
+  const SyntheticBench bench;
+  for (const std::size_t count : {40UL, 64UL, 65UL, 256UL, 321UL, 593UL}) {
+    const auto base =
+        MonteCarloConfig{}.with_sample_count(count).with_seed(13);
+    const stats::SufficientStats one =
+        run_monte_carlo_stats(bench, MonteCarloConfig(base).with_threads(1));
+    for (const std::size_t threads : {2, 3, 5, 8}) {
+      const stats::SufficientStats other = run_monte_carlo_stats(
+          bench, MonteCarloConfig(base).with_threads(threads));
+      EXPECT_TRUE(memcmp_stats(one, other))
+          << "count=" << count << " threads=" << threads;
+    }
+  }
+}
+
 TEST(ThreadInvariance, StreamingStatsMatchDatasetMoments) {
   const TwoStageOpAmp bench = post_layout_opamp();
   const auto config =
@@ -222,6 +313,25 @@ TEST(AllocationContract, OpAmpWorkspaceSampleIsAllocationFreeSteadyState) {
         telemetry::Registry::instance().counter("circuit.dc.solves").total();
     EXPECT_EQ(solves_after - solves_before, 8u);
   }
+}
+
+TEST(AllocationContract, FlashAdcWorkspaceSampleIsAllocationFreeSteadyState) {
+  // Full-size converter (4096-point capture): the whole pipeline — die
+  // sampling, threshold sort, waveform reconstruction, windowed FFT and
+  // tone analysis — must reuse workspace buffers once they have grown.
+  const FlashAdc bench(DesignStage::kPostLayout, ProcessModel::cmos180());
+  SimWorkspace ws;
+  for (std::size_t i = 0; i < 2; ++i) {
+    stats::Xoshiro256pp rng = sample_rng(19, i);
+    (void)bench.sample_metrics(rng, ws);
+  }
+  const std::uint64_t before = common::allocation_count();
+  for (std::size_t i = 2; i < 8; ++i) {
+    stats::Xoshiro256pp rng = sample_rng(19, i);
+    (void)bench.sample_metrics(rng, ws);
+  }
+  const std::uint64_t after = common::allocation_count();
+  EXPECT_EQ(after - before, 0u);
 }
 
 }  // namespace

@@ -42,6 +42,8 @@ int main(int argc, char** argv) {
                "time/latency rise (%) considered a regression");
   cli.add_flag("max-disqualified-ratio", "0.5",
                "CV disqualified/grid ratio considered unhealthy");
+  cli.add_flag("min-mc-efficiency", "0.6",
+               "parallel Monte Carlo efficiency considered unhealthy below");
   cli.add_flag("strict", "false", "exit 1 when the report has findings");
 
   try {
@@ -65,6 +67,7 @@ int main(int argc, char** argv) {
     thresholds.max_time_rise_pct = cli.get_double("max-rise-pct");
     thresholds.max_disqualified_ratio =
         cli.get_double("max-disqualified-ratio");
+    thresholds.min_mc_parallel_efficiency = cli.get_double("min-mc-efficiency");
 
     const RunReport report = bmfusion::core::diagnose_run(inputs, thresholds);
     const std::string format = cli.get_string("format");
