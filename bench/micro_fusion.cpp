@@ -1,0 +1,224 @@
+// micro_fusion: accuracy + latency bench for the multi-population fusion
+// engine.
+//
+// Builds N synthetic populations whose true means deviate from their
+// early-stage anchors by a shared (strongly correlated) shift — the
+// corner-sweep structure the fusion engine exists for. Siblings are well
+// sampled; one held-out population gets a small late-stage budget. Each
+// trial compares the fused estimate of the held-out mean against an
+// independent BmfEstimator built from the exact same budget, and times the
+// joint snapshot. The --json flag appends a "micro_fusion" record to the
+// BENCH_fusion.json perf trajectory; scripts/bench_check.py enforces an
+// absolute budget on the fused/independent RMSE ratio and the snapshot
+// latency, so a regression that quietly disables borrowing fails CI.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/cli.hpp"
+#include "core/bmf_estimator.hpp"
+#include "fusion/multi_population.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using bmfusion::core::BmfEstimator;
+using bmfusion::core::EstimateResult;
+using bmfusion::fusion::FusionConfig;
+using bmfusion::fusion::FusionSnapshot;
+using bmfusion::fusion::MultiPopulationEstimator;
+using bmfusion::fusion::PopulationSpec;
+using bmfusion::linalg::Matrix;
+using bmfusion::linalg::Vector;
+
+double next_gaussian(bmfusion::stats::Xoshiro256pp& rng) {
+  const double u = std::max(rng.next_double(), 1e-300);
+  const double v = rng.next_double();
+  return std::sqrt(-2.0 * std::log(u)) * std::cos(6.283185307179586 * v);
+}
+
+Matrix gaussian_samples(std::size_t rows, const Vector& mean,
+                        const Vector& sigma,
+                        bmfusion::stats::Xoshiro256pp& rng) {
+  Matrix out(rows, mean.size());
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < mean.size(); ++c) {
+      out(r, c) = mean[c] + sigma[c] * next_gaussian(rng);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bmfusion::CliParser cli(
+      "Benchmarks multi-population fusion: held-out corner accuracy of the "
+      "fused estimate vs an independent BMF at the same late-stage budget, "
+      "plus joint-snapshot latency.");
+  cli.add_flag("populations", "4", "populations in the joint model");
+  cli.add_flag("dim", "3", "metric dimension");
+  cli.add_flag("trials", "12", "independent trials to average");
+  cli.add_flag("held-samples", "12", "late samples at the held-out corner");
+  cli.add_flag("sibling-samples", "300", "late samples per sibling corner");
+  cli.add_flag("correlation", "0.9", "true inter-population correlation");
+  cli.add_flag("quick", "false", "divide trials by 4 (min 3)");
+  cli.add_flag("json", "", "append the results to this JSON array file");
+  cli.add_flag("label", "", "free-form label for the JSON record");
+  cli.add_flag("git", "", "git revision for the JSON record");
+  cli.add_flag("date", "", "ISO date for the JSON record");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    const std::size_t populations =
+        static_cast<std::size_t>(std::max(2L, cli.get_int("populations")));
+    const std::size_t dim =
+        static_cast<std::size_t>(std::max(1L, cli.get_int("dim")));
+    std::size_t trials =
+        static_cast<std::size_t>(std::max(1L, cli.get_int("trials")));
+    if (cli.get_bool("quick")) trials = std::max<std::size_t>(3, trials / 4);
+    const std::size_t held =
+        static_cast<std::size_t>(std::max(8L, cli.get_int("held-samples")));
+    const std::size_t sibling = static_cast<std::size_t>(
+        std::max(16L, cli.get_int("sibling-samples")));
+    const double rho = cli.get_double("correlation");
+    const std::size_t held_out = populations - 1;
+
+    FusionConfig config;
+    config.bmf.apply_shift_scale = false;
+    config.bmf.cv.kappa_points = 6;
+    config.bmf.cv.nu_points = 6;
+    config.shrinkage = 0.1;
+
+    Matrix prior_correlation = Matrix::identity(populations);
+    for (std::size_t r = 0; r < populations; ++r) {
+      for (std::size_t c = 0; c < populations; ++c) {
+        if (r != c) prior_correlation(r, c) = rho;
+      }
+    }
+
+    double fused_sq = 0.0;
+    double independent_sq = 0.0;
+    std::size_t terms = 0;
+    std::vector<double> snapshot_us;
+    snapshot_us.reserve(trials);
+    double observe_rows = 0.0;
+    double observe_s = 0.0;
+
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+      std::vector<PopulationSpec> specs(populations);
+      for (std::size_t p = 0; p < populations; ++p) {
+        specs[p].name = "corner" + std::to_string(p);
+        Vector mean(dim);
+        Matrix covariance = Matrix::zeros(dim, dim);
+        for (std::size_t c = 0; c < dim; ++c) {
+          mean[c] = 0.1 * static_cast<double>(c);
+          covariance(c, c) = 0.4 + 0.1 * static_cast<double>(c);
+        }
+        specs[p].early.moments.mean = mean;
+        specs[p].early.moments.covariance = covariance;
+        specs[p].early.nominal = mean;
+      }
+      MultiPopulationEstimator fused(specs, config);
+      fused.set_correlation(prior_correlation);
+
+      Matrix held_samples(1, 1);
+      Vector truth(dim);
+      for (std::size_t p = 0; p < populations; ++p) {
+        // Shared anchor deviation, mildly modulated per population.
+        const double scale =
+            1.0 + 0.08 * std::sin(static_cast<double>(p) * 2.1);
+        Vector mean = specs[p].early.moments.mean;
+        Vector sigma(dim);
+        for (std::size_t c = 0; c < dim; ++c) {
+          mean[c] += scale * (c % 2 == 0 ? 0.45 : -0.35);
+          sigma[c] = std::sqrt(specs[p].early.moments.covariance(c, c));
+        }
+        bmfusion::stats::Xoshiro256pp rng(10'000 * (trial + 1) + p);
+        const std::size_t budget = p == held_out ? held : sibling;
+        const Matrix draws = gaussian_samples(budget, mean, sigma, rng);
+        const auto t0 = std::chrono::steady_clock::now();
+        fused.observe(p, draws);
+        observe_s += std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+        observe_rows += static_cast<double>(budget);
+        if (p == held_out) {
+          held_samples = draws;
+          truth = mean;
+        }
+      }
+
+      const auto t0 = std::chrono::steady_clock::now();
+      const FusionSnapshot snapshot = fused.snapshot();
+      snapshot_us.push_back(std::chrono::duration<double, std::micro>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count());
+
+      BmfEstimator solo(specs[held_out].early, config.bmf);
+      solo.observe(held_samples);
+      const EstimateResult independent = solo.snapshot();
+      for (std::size_t c = 0; c < dim; ++c) {
+        const double fe =
+            snapshot.populations[held_out].fused.moments.mean[c] - truth[c];
+        const double ie = independent.moments.mean[c] - truth[c];
+        fused_sq += fe * fe;
+        independent_sq += ie * ie;
+        ++terms;
+      }
+    }
+
+    const double fused_rmse =
+        std::sqrt(fused_sq / static_cast<double>(terms));
+    const double independent_rmse =
+        std::sqrt(independent_sq / static_cast<double>(terms));
+    const double ratio =
+        independent_rmse > 0.0 ? fused_rmse / independent_rmse : 1.0;
+    std::sort(snapshot_us.begin(), snapshot_us.end());
+    const double snapshot_p50 = snapshot_us[snapshot_us.size() / 2];
+    const double observe_rows_per_s =
+        observe_s > 0.0 ? observe_rows / observe_s : 0.0;
+
+    std::printf(
+        "micro_fusion: populations=%zu dim=%zu trials=%zu held=%zu "
+        "sibling=%zu rho=%.2f\n",
+        populations, dim, trials, held, sibling, rho);
+    std::printf("  %-28s %12.5f\n", "held-out fused RMSE", fused_rmse);
+    std::printf("  %-28s %12.5f\n", "held-out independent RMSE",
+                independent_rmse);
+    std::printf("  %-28s %12.3f\n", "fused/independent ratio", ratio);
+    std::printf("  %-28s %12.1f us\n", "joint snapshot p50", snapshot_p50);
+    std::printf("  %-28s %12.0f rows/s\n", "observe throughput",
+                observe_rows_per_s);
+
+    const std::string json_path = cli.get_string("json");
+    if (!json_path.empty()) {
+      char measurements[512];
+      std::snprintf(
+          measurements, sizeof measurements,
+          "\"populations\": %zu, \"dim\": %zu, \"trials\": %zu, "
+          "\"held_samples\": %zu, \"sibling_samples\": %zu, "
+          "\"fused_rmse\": %.6f, \"independent_rmse\": %.6f, "
+          "\"rmse_ratio\": %.4f, \"snapshot_p50_us\": %.1f, "
+          "\"observe_rows_per_s\": %.0f",
+          populations, dim, trials, held, sibling, fused_rmse,
+          independent_rmse, ratio, snapshot_p50, observe_rows_per_s);
+      const std::string record =
+          "{\"bench\": \"micro_fusion\", " +
+          bmfusion::bench::run_metadata_json(cli, 1) + ", " + measurements +
+          "}";
+      bmfusion::bench::append_json_record(json_path, record);
+      std::printf("  record appended to %s\n", json_path.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "micro_fusion: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -29,7 +29,7 @@ date_iso="$(date +%F)"
 echo "==> bench: Release build"
 cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-bench -j --target micro_circuit micro_cv micro_serve \
-  micro_linalg
+  micro_fusion micro_linalg
 
 echo "==> bench: fast-path parity gate"
 ./build-bench/bench/micro_circuit --parity
@@ -79,6 +79,10 @@ echo "==> bench: micro_serve --mode binary (pipelined binary framing)"
 ./build-bench/bench/micro_serve --mode binary --sessions 256 --pipeline 16 \
   --requests 51200 --estimate-every 0 \
   --json BENCH_serve.json --label "${label}" \
+  --git "${git_rev}" --date "${date_iso}"
+
+echo "==> bench: micro_fusion (multi-population held-out accuracy + latency)"
+./build-bench/bench/micro_fusion --json BENCH_fusion.json --label "${label}" \
   --git "${git_rev}" --date "${date_iso}"
 
 if [[ "${skip_linalg}" -eq 1 ]]; then
@@ -136,7 +140,8 @@ echo "  record appended to BENCH_linalg.json"
 if command -v python3 >/dev/null 2>&1; then
   echo "==> bench: regression sentinel (report-only)"
   python3 scripts/bench_check.py --report-only \
-    BENCH_circuit.json BENCH_cv.json BENCH_linalg.json BENCH_serve.json
+    BENCH_circuit.json BENCH_cv.json BENCH_linalg.json BENCH_serve.json \
+    BENCH_fusion.json
 fi
 
 echo "==> bench: OK"

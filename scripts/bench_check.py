@@ -56,6 +56,14 @@ DEFAULT_MAX_ADC_SAMPLE_US = 800.0
 # used threads (host_cores metadata) — a 4-thread record from a 1-core
 # container is valid data, just not evidence about scaling.
 DEFAULT_MIN_SCALING_EFFICIENCY = 0.7
+# Multi-population fusion budgets (micro_fusion records). The whole point
+# of the fusion engine is that the fused held-out estimate beats the
+# independent one, so a ratio at/above 1.0 means borrowing is broken (a
+# healthy run sits around 0.3-0.5). The snapshot ceiling catches an
+# accidental O(N^2 d^3) blowup in the joint solve; a healthy joint
+# snapshot is ~1 ms.
+DEFAULT_MAX_FUSION_RMSE_RATIO = 1.0
+DEFAULT_MAX_FUSION_SNAPSHOT_MS = 50.0
 
 # Metrics where a *higher* value is better (compared against --max-drop-pct).
 THROUGHPUT_HINT = "throughput"
@@ -138,6 +146,30 @@ def circuit_budget_rows(record, args):
                 f"stages.{name}: {value:.6g}"
                 + (f" above ceiling {budget:g} us" if bad else ""),
             ))
+    return rows
+
+
+def fusion_budget_rows(record, args):
+    """Absolute budgets for micro_fusion records (no prior record needed)."""
+    rows = []
+    ratio = record.get("rmse_ratio")
+    if isinstance(ratio, (int, float)):
+        bad = ratio > args.max_fusion_rmse_ratio
+        rows.append((
+            "FAIL" if bad else "ok",
+            f"rmse_ratio: {ratio:.6g}"
+            + (f" above fused/independent budget "
+               f"{args.max_fusion_rmse_ratio:g}" if bad else ""),
+        ))
+    p50 = record.get("snapshot_p50_us")
+    if isinstance(p50, (int, float)):
+        budget_us = args.max_fusion_snapshot_ms * 1000.0
+        bad = p50 > budget_us
+        rows.append((
+            "FAIL" if bad else "ok",
+            f"snapshot_p50_us: {p50:.6g}"
+            + (f" above ceiling {budget_us:g} us" if bad else ""),
+        ))
     return rows
 
 
@@ -258,6 +290,8 @@ def check_bench(path, bench_name, records, args):
         rows = serve_budget_rows(current, args)
     elif bench_name.startswith("micro_circuit"):
         rows = circuit_budget_rows(current, args)
+    elif bench_name.startswith("micro_fusion"):
+        rows = fusion_budget_rows(current, args)
     else:
         rows = []
     if previous is None:
@@ -423,6 +457,23 @@ def self_test(args):
             print(f"self-test: blown circuit ceiling '{metric}' not flagged")
             ok = False
 
+    # Fusion budgets: a healthy record (fused clearly beating independent,
+    # ~1 ms joint snapshot) passes; broken borrowing (ratio >= 1) and a
+    # blown-up joint solve are both flagged.
+    fusion_good = {"bench": "micro_fusion", "rmse_ratio": 0.41,
+                   "snapshot_p50_us": 1100.0}
+    fusion_broken = {"bench": "micro_fusion", "rmse_ratio": 1.37,
+                     "snapshot_p50_us": 240000.0}
+    if [m for s, m in fusion_budget_rows(fusion_good, args) if s == "FAIL"]:
+        print("self-test: healthy fusion record flagged")
+        ok = False
+    broken = [m for s, m in fusion_budget_rows(fusion_broken, args)
+              if s == "FAIL"]
+    for metric in ("rmse_ratio", "snapshot_p50_us"):
+        if not any(metric in m for m in broken):
+            print(f"self-test: broken fusion metric '{metric}' not flagged")
+            ok = False
+
     # Scaling floor: a 4-thread record at 0.83 efficiency passes, one at
     # 0.33 fails — and neither is ever diffed against the 1-thread lane.
     st_rec = dict(base, label="st", threads=1, host_cores=8)
@@ -514,6 +565,14 @@ def main():
                         default=DEFAULT_MAX_ADC_SAMPLE_US,
                         help="absolute flash-ADC sample stage ceiling (us) "
                              "for micro_circuit records")
+    parser.add_argument("--max-fusion-rmse-ratio", type=float,
+                        default=DEFAULT_MAX_FUSION_RMSE_RATIO,
+                        help="absolute fused/independent held-out RMSE "
+                             "budget for micro_fusion records")
+    parser.add_argument("--max-fusion-snapshot-ms", type=float,
+                        default=DEFAULT_MAX_FUSION_SNAPSHOT_MS,
+                        help="absolute joint-snapshot p50 ceiling (ms) for "
+                             "micro_fusion records")
     parser.add_argument("--min-scaling-efficiency", type=float,
                         default=DEFAULT_MIN_SCALING_EFFICIENCY,
                         help="parallel-efficiency floor for multi-thread "

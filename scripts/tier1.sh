@@ -5,12 +5,13 @@
 # then an AddressSanitizer+UndefinedBehaviorSanitizer build running the
 # fault-injection and telemetry suites (jitter retries, clamped pivots,
 # exception unwinding, shard merges — exactly the paths where memory and UB
-# bugs like to hide), and finally a ThreadSanitizer build covering the
-# telemetry shard-merge tests (per-thread shards + merge-on-read), the log
-# sinks, the full serve suite (epoll I/O threads trading connections,
-# atomic stop flags, the stop/wait handshake), and the parallel Monte Carlo
-# engine (per-worker StatStreams, pool exception transport, a multi-thread
-# parity smoke).
+# bugs like to hide) plus the multi-population fusion suite, and finally a
+# ThreadSanitizer build covering the telemetry shard-merge tests (per-thread
+# shards + merge-on-read), the log sinks, the full serve suite (epoll I/O
+# threads trading connections, atomic stop flags, the stop/wait handshake),
+# the fusion suite (N per-population CV grids on the shared pool), and the
+# parallel Monte Carlo engine (per-worker StatStreams, pool exception
+# transport, a multi-thread parity smoke).
 #
 # Usage: scripts/tier1.sh [--skip-asan] [--skip-telemetry-off] [--skip-tsan]
 set -euo pipefail
@@ -50,13 +51,18 @@ else
   echo "==> tier-1: ASan+UBSan build + fault-injection + telemetry + log suites"
   cmake -B build-asan -S . -DBMF_SANITIZE=address,undefined
   cmake --build build-asan -j \
-    --target test_fault_injection test_telemetry test_log
+    --target test_fault_injection test_telemetry test_log test_fusion
   UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
     ./build-asan/tests/test_fault_injection
   UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
     ./build-asan/tests/test_telemetry
   UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
     ./build-asan/tests/test_log
+  # Multi-population fusion: the contained-failure path (a corrupted
+  # population's snapshot throwing mid-fusion) and the shard routing both
+  # unwind across estimator internals — prime ASan territory.
+  UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
+    ./build-asan/tests/test_fusion
 
   # Perf smoke: the micro_circuit parity mode replays the Monte Carlo fast
   # path (workspace reuse, raw row writes, streaming reduction) against the
@@ -87,6 +93,16 @@ else
     '{"op":"shutdown"}' | \
     UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
     ./build-asan/tools/bmf_serve --stdio | grep -q '"ok":true'
+  # Multi-population session over the same stdio transport: open a
+  # two-population fusion session, observe into population 1, and require
+  # a joint estimate that reports both population slots.
+  printf '%s\n%s\n%s\n%s\n' \
+    '{"op":"open","session":"fsmoke","estimator":"fusion","config":{"shift_scale":false,"kappa_points":4,"nu_points":4},"populations":[{"early":{"mean":[0.0,0.0],"covariance":[[1.0,0.0],[0.0,1.0]]}},{"early":{"mean":[0.0,0.0],"covariance":[[1.0,0.0],[0.0,1.0]]}}],"correlation":[[1.0,0.7],[0.7,1.0]]}' \
+    '{"op":"observe","session":"fsmoke","population":1,"samples":[[0.1,0.2],[0.3,-0.1],[0.2,0.1],[-0.2,0.3],[0.1,-0.3],[0.4,0.1],[0.0,0.2],[0.2,-0.2]]}' \
+    '{"op":"estimate","session":"fsmoke"}' \
+    '{"op":"shutdown"}' | \
+    UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
+    ./build-asan/tools/bmf_serve --stdio | grep -q '"observed_populations":1'
 fi
 
 if [[ "${skip_tsan}" -eq 1 ]]; then
@@ -94,7 +110,8 @@ if [[ "${skip_tsan}" -eq 1 ]]; then
 else
   echo "==> tier-1: TSan build + telemetry shard-merge + log sink tests"
   cmake -B build-tsan -S . -DBMF_SANITIZE=thread
-  cmake --build build-tsan -j --target test_telemetry test_log test_serve
+  cmake --build build-tsan -j \
+    --target test_telemetry test_log test_serve test_fusion
   TSAN_OPTIONS=halt_on_error=1 \
     ./build-tsan/tests/test_telemetry \
     --gtest_filter='CounterShards.*:HistogramShards.*:Trace.*'
@@ -109,6 +126,11 @@ else
   # cross-thread edge.
   TSAN_OPTIONS=halt_on_error=1 \
     ./build-tsan/tests/test_serve
+  # Multi-population fusion under TSan: every per-population BmfEstimator
+  # runs its CV grid on the shared worker pool, so a joint snapshot fans
+  # out and joins N pools' worth of cross-thread edges.
+  TSAN_OPTIONS=halt_on_error=1 \
+    ./build-tsan/tests/test_fusion
 
   # The parallel Monte Carlo engine: pool workers streaming into per-worker
   # StatStreams, disjoint row writes, sharded telemetry counters from inside
@@ -131,6 +153,7 @@ fi
 echo "==> tier-1: bench regression sentinel"
 python3 scripts/bench_check.py --self-test
 python3 scripts/bench_check.py --report-only \
-  BENCH_circuit.json BENCH_cv.json BENCH_linalg.json BENCH_serve.json
+  BENCH_circuit.json BENCH_cv.json BENCH_linalg.json BENCH_serve.json \
+  BENCH_fusion.json
 
 echo "==> tier-1: OK"

@@ -57,10 +57,7 @@ TwoStageOpAmp::DieVariations TwoStageOpAmp::sample_variations(
   const MosfetGeometry* geoms[8] = {&design_.m12, &design_.m12, &design_.m34,
                                     &design_.m34, &design_.m5,  &design_.m6,
                                     &design_.m7,  &design_.m8};
-  const MosfetType types[8] = {
-      MosfetType::kNmos, MosfetType::kNmos, MosfetType::kPmos,
-      MosfetType::kPmos, MosfetType::kNmos, MosfetType::kPmos,
-      MosfetType::kNmos, MosfetType::kNmos};
+  const MosfetType* types = kDeviceTypes;
   const double inflate =
       stage_ == DesignStage::kPostLayout ? parasitics_.mismatch_inflation
                                          : 1.0;

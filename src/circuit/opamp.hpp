@@ -122,6 +122,15 @@ class TwoStageOpAmp final : public Testbench {
     double cap_factor = 1.0;     ///< applied to Cc, CL and parasitics
   };
 
+  /// Device polarity of M1..M8 in DieVariations::devices order. The corner
+  /// sweep biases per-device thresholds with this map (per-device dvth
+  /// already folds the global component in, so corner offsets must be
+  /// applied per polarity, not via GlobalVariation).
+  static constexpr MosfetType kDeviceTypes[8] = {
+      MosfetType::kNmos, MosfetType::kNmos, MosfetType::kPmos,
+      MosfetType::kPmos, MosfetType::kNmos, MosfetType::kPmos,
+      MosfetType::kNmos, MosfetType::kNmos};
+
   /// Draws one die's variations.
   [[nodiscard]] DieVariations sample_variations(
       stats::Xoshiro256pp& rng) const;

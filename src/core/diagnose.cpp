@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <string_view>
 
 #include "common/contracts.hpp"
 #include "common/csv.hpp"
@@ -67,6 +68,10 @@ constexpr const char* kHealthCounters[] = {
     "core.cv.disqualified_points",
     "core.loglik.fallback_jitter",
     "core.loglik.fallback_ldlt",
+    "fusion.observed_samples",
+    "fusion.absorbed_shards",
+    "fusion.snapshots",
+    "fusion.corner_samples",
 };
 
 void ingest_snapshot(const std::string& path, RunReport& report,
@@ -137,6 +142,55 @@ void ingest_snapshot(const std::string& path, RunReport& report,
            << " floor";
         report.findings.push_back(os.str());
       }
+    }
+  }
+
+  // Multi-population fusion state: present whenever a run drove a
+  // MultiPopulationEstimator (gauge fusion.populations is set on every
+  // joint snapshot). Per-population tallies come from the dynamic
+  // fusion.population.<p>.samples gauges.
+  if (gauges != nullptr && gauges->is_object()) {
+    const double populations = gauges->number_or("fusion.populations", 0.0);
+    if (populations > 0.0) {
+      FusionSummary fusion;
+      fusion.populations = static_cast<std::size_t>(populations);
+      fusion.observed_populations = static_cast<std::size_t>(
+          gauges->number_or("fusion.observed_populations", 0.0));
+      fusion.signal_variance =
+          gauges->number_or("fusion.signal_variance", 0.0);
+      fusion.shrinkage = gauges->number_or("fusion.shrinkage_lambda", 0.0);
+      fusion.mean_abs_correlation =
+          gauges->number_or("fusion.mean_abs_correlation", 0.0);
+      constexpr std::string_view kPrefix = "fusion.population.";
+      constexpr std::string_view kSuffix = ".samples";
+      for (const auto& [name, value] : gauges->as_object()) {
+        if (name.size() <= kPrefix.size() + kSuffix.size() ||
+            name.compare(0, kPrefix.size(), kPrefix) != 0 ||
+            name.compare(name.size() - kSuffix.size(), kSuffix.size(),
+                         kSuffix) != 0 ||
+            !value.is_number()) {
+          continue;
+        }
+        const std::string digits = name.substr(
+            kPrefix.size(), name.size() - kPrefix.size() - kSuffix.size());
+        if (digits.empty() ||
+            digits.find_first_not_of("0123456789") != std::string::npos) {
+          continue;
+        }
+        fusion.population_samples.emplace_back(std::stoul(digits),
+                                               value.as_number());
+      }
+      std::sort(fusion.population_samples.begin(),
+                fusion.population_samples.end());
+      if (fusion.observed_populations < fusion.populations) {
+        std::ostringstream os;
+        os << "fusion: " << fusion.populations - fusion.observed_populations
+           << " of " << fusion.populations
+           << " population(s) had no usable samples at the last joint "
+              "snapshot";
+        report.findings.push_back(os.str());
+      }
+      report.fusion = std::move(fusion);
     }
   }
 
@@ -396,6 +450,25 @@ std::string RunReport::to_markdown() const {
     out << "\n";
   }
 
+  if (fusion) {
+    const FusionSummary& f = *fusion;
+    out << "## Multi-population fusion\n\n";
+    out << "- populations: " << f.populations << " (" << f.observed_populations
+        << " observed)\n";
+    out << "- pooled signal variance tau^2: "
+        << format_double(f.signal_variance) << "\n";
+    out << "- correlation shrinkage lambda: " << format_double(f.shrinkage)
+        << ", mean |rho|: " << format_double(f.mean_abs_correlation) << "\n";
+    if (!f.population_samples.empty()) {
+      out << "\n";
+      append_markdown_table_header(out, {"population", "samples"});
+      for (const auto& [index, samples] : f.population_samples) {
+        out << "| " << index << " | " << format_double(samples) << " |\n";
+      }
+    }
+    out << "\n";
+  }
+
   if (!cv_surface.empty()) {
     out << "## CV score surface\n\n";
     if (cv_best) {
@@ -471,6 +544,21 @@ std::string RunReport::to_json() const {
         << ", \"error_notifications\": " << s.error_notifications
         << ", \"flight_dumps\": " << s.flight_dumps
         << ", \"malformed_lines\": " << s.malformed_lines << '}';
+  }
+  if (fusion) {
+    const FusionSummary& f = *fusion;
+    out << ",\n  \"fusion\": {\"populations\": " << f.populations
+        << ", \"observed_populations\": " << f.observed_populations
+        << ", \"signal_variance\": " << json_number(f.signal_variance)
+        << ", \"shrinkage\": " << json_number(f.shrinkage)
+        << ", \"mean_abs_correlation\": "
+        << json_number(f.mean_abs_correlation)
+        << ", \"population_samples\": {";
+    for (std::size_t i = 0; i < f.population_samples.size(); ++i) {
+      out << (i ? ", " : "") << '"' << f.population_samples[i].first
+          << "\": " << json_number(f.population_samples[i].second);
+    }
+    out << "}}";
   }
   if (cv_best) {
     out << ",\n  \"cv_best\": {\"kappa0\": " << json_number(cv_best->kappa0)

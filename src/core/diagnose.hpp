@@ -71,6 +71,18 @@ struct CvSurfacePoint {
   double score = 0.0;
 };
 
+/// Multi-population fusion state, from the snapshot's fusion.* telemetry.
+struct FusionSummary {
+  std::size_t populations = 0;           ///< gauge fusion.populations
+  std::size_t observed_populations = 0;  ///< populations with samples
+  double signal_variance = 0.0;   ///< pooled tau^2 at the last snapshot
+  double shrinkage = 0.0;         ///< correlation shrinkage lambda
+  double mean_abs_correlation = 0.0;  ///< mean |rho| off the diagonal
+  /// (population index, sample tally) from fusion.population.<p>.samples,
+  /// sorted by index.
+  std::vector<std::pair<std::size_t, double>> population_samples;
+};
+
 /// Newest-vs-previous comparison for one bench scalar.
 struct BenchDelta {
   std::string metric;
@@ -94,6 +106,7 @@ struct RunReport {
 
   std::vector<HistogramQuantiles> histograms;
   std::optional<LogSummary> log_summary;
+  std::optional<FusionSummary> fusion;  ///< present when fusion.* recorded
 
   std::vector<CvSurfacePoint> cv_surface;  ///< sorted by descending score
   std::optional<CvSurfacePoint> cv_best;

@@ -221,6 +221,15 @@ void MomentEstimator::absorb(const stats::StatsShard& shard) {
   }
   const std::size_t dim = shard.dimension();
   if (dim == 0) return;  // empty shard: nothing to merge
+  if (!streams_.empty() && streams_.front().dimension() != dim) {
+    throw DataError(
+        "stats shard dimension does not match this estimator",
+        ErrorContext{}
+            .with_operation(std::string(name()))
+            .with_dimension(streams_.front().dimension())
+            .with_detail("shard " + std::to_string(shard.shard_id) +
+                         " carries dimension " + std::to_string(dim)));
+  }
   ensure_streams(dim);
   if (shard.folds.size() != streams_.size()) {
     throw DataError("stats shard fold count does not match this estimator",

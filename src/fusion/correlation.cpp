@@ -1,0 +1,161 @@
+#include "fusion/correlation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "common/contracts.hpp"
+#include "linalg/eigen_sym.hpp"
+
+namespace bmfusion::fusion {
+namespace {
+
+/// Pearson correlation of two equal-length columns; NaN when either side
+/// is (numerically) constant.
+double column_correlation(const linalg::Matrix& a, const linalg::Matrix& b,
+                          std::size_t col) {
+  const std::size_t n = a.rows();
+  double mean_a = 0.0;
+  double mean_b = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    mean_a += a(r, col);
+    mean_b += b(r, col);
+  }
+  mean_a /= static_cast<double>(n);
+  mean_b /= static_cast<double>(n);
+  double saa = 0.0;
+  double sbb = 0.0;
+  double sab = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    const double da = a(r, col) - mean_a;
+    const double db = b(r, col) - mean_b;
+    saa += da * da;
+    sbb += db * db;
+    sab += da * db;
+  }
+  if (saa <= 0.0 || sbb <= 0.0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return sab / std::sqrt(saa * sbb);
+}
+
+}  // namespace
+
+linalg::Matrix paired_correlation(
+    const std::vector<linalg::Matrix>& populations) {
+  BMFUSION_REQUIRE(!populations.empty(),
+                   "paired_correlation needs >= 1 population");
+  const std::size_t rows = populations.front().rows();
+  const std::size_t cols = populations.front().cols();
+  for (std::size_t k = 0; k < populations.size(); ++k) {
+    const linalg::Matrix& pop = populations[k];
+    if (pop.rows() != rows || pop.cols() != cols || rows < 2) {
+      throw DataError("paired populations must share shape with >= 2 rows",
+                      ErrorContext{}
+                          .with_operation("paired_correlation")
+                          .with_index(k)
+                          .with_detail(std::to_string(pop.rows()) + "x" +
+                                       std::to_string(pop.cols()) + " vs " +
+                                       std::to_string(rows) + "x" +
+                                       std::to_string(cols)));
+    }
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        if (!std::isfinite(pop(r, c))) {
+          throw DataError("paired population sample is not finite",
+                          ErrorContext{}
+                              .with_operation("paired_correlation")
+                              .with_index(r)
+                              .with_value(pop(r, c)));
+        }
+      }
+    }
+  }
+
+  const std::size_t n = populations.size();
+  linalg::Matrix corr = linalg::Matrix::identity(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t l = k + 1; l < n; ++l) {
+      double sum = 0.0;
+      std::size_t used = 0;
+      for (std::size_t c = 0; c < cols; ++c) {
+        const double rho =
+            column_correlation(populations[k], populations[l], c);
+        if (std::isfinite(rho)) {
+          sum += rho;
+          ++used;
+        }
+      }
+      const double mean = used > 0 ? sum / static_cast<double>(used) : 0.0;
+      const double clamped = std::clamp(mean, -1.0, 1.0);
+      corr(k, l) = clamped;
+      corr(l, k) = clamped;
+    }
+  }
+  return corr;
+}
+
+linalg::Matrix shrink_correlation(const linalg::Matrix& raw, double lambda,
+                                  double min_eigenvalue) {
+  BMFUSION_REQUIRE(raw.rows() == raw.cols() && raw.rows() >= 1,
+                   "shrink_correlation needs a square matrix");
+  BMFUSION_REQUIRE(lambda >= 0.0 && lambda <= 1.0,
+                   "shrink_correlation lambda must lie in [0, 1]");
+  BMFUSION_REQUIRE(min_eigenvalue > 0.0,
+                   "shrink_correlation needs min_eigenvalue > 0");
+  const std::size_t n = raw.rows();
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      if (!std::isfinite(raw(r, c))) {
+        throw DataError("correlation estimate has a non-finite entry",
+                        ErrorContext{}
+                            .with_operation("shrink_correlation")
+                            .with_index(r * n + c)
+                            .with_value(raw(r, c)));
+      }
+    }
+  }
+
+  // Symmetrize, clamp and shrink toward the identity.
+  linalg::Matrix shrunk(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    shrunk(r, r) = 1.0;
+    for (std::size_t c = r + 1; c < n; ++c) {
+      const double rho =
+          std::clamp(0.5 * (raw(r, c) + raw(c, r)), -1.0, 1.0);
+      const double value = (1.0 - lambda) * rho;
+      shrunk(r, c) = value;
+      shrunk(c, r) = value;
+    }
+  }
+  if (n == 1) return shrunk;
+
+  // PSD projection: clip eigenvalues, rebuild, renormalize the diagonal.
+  const linalg::JacobiEigenSolver eigen(shrunk);
+  if (eigen.min_eigenvalue() >= min_eigenvalue) return shrunk;
+  const linalg::Vector& w = eigen.eigenvalues();
+  const linalg::Matrix& v = eigen.eigenvectors();
+  linalg::Matrix projected(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = r; c < n; ++c) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        sum += v(r, k) * std::max(w[k], min_eigenvalue) * v(c, k);
+      }
+      projected(r, c) = sum;
+      projected(c, r) = sum;
+    }
+  }
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      if (r == c) continue;
+      projected(r, c) /=
+          std::sqrt(projected(r, r) * projected(c, c));
+    }
+  }
+  for (std::size_t r = 0; r < n; ++r) projected(r, r) = 1.0;
+  return projected;
+}
+
+}  // namespace bmfusion::fusion

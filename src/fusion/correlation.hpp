@@ -1,0 +1,42 @@
+// Inter-population correlation estimation for multi-population fusion.
+//
+// The joint model of MultiPopulationEstimator needs an N x N correlation
+// matrix between the populations' mean deviations. Two sources feed it:
+//
+//   * paired_correlation(): a raw Pearson estimate from row-paired sample
+//     matrices — row i of every population is the *same* underlying die
+//     (same process draw) measured under a different condition, exactly
+//     what the corner-sweep generator produces. Per-metric correlations
+//     are averaged into one scalar per population pair.
+//   * shrink_correlation(): the regularizer every raw estimate passes
+//     through before use — convex shrinkage toward the identity followed
+//     by an eigenvalue clip (PSD projection) and a unit-diagonal
+//     renormalization, so a noisy or rank-deficient raw estimate can never
+//     make the joint GLS system indefinite.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace bmfusion::fusion {
+
+/// Raw correlation between populations from row-paired sample matrices.
+/// All matrices must share shape with >= 2 rows; entry (k, l) is the
+/// per-metric Pearson correlation of populations k and l averaged over
+/// metric columns (columns that are constant in either population are
+/// skipped). Throws DataError on shape mismatches or non-finite cells.
+[[nodiscard]] linalg::Matrix paired_correlation(
+    const std::vector<linalg::Matrix>& populations);
+
+/// Regularized correlation: (1 - lambda) * raw + lambda * I, symmetrized,
+/// eigenvalues clipped at `min_eigenvalue`, then renormalized to a unit
+/// diagonal. `lambda` in [0, 1]; off-diagonal magnitudes are additionally
+/// clamped to [-1, 1] before shrinkage. Throws ContractError for a
+/// non-square input or out-of-range lambda, DataError for non-finite
+/// entries.
+[[nodiscard]] linalg::Matrix shrink_correlation(const linalg::Matrix& raw,
+                                                double lambda,
+                                                double min_eigenvalue);
+
+}  // namespace bmfusion::fusion

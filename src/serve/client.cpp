@@ -117,10 +117,11 @@ bool LineClient::negotiate_binary() {
   }
 }
 
-bool LineClient::send_frame(std::uint8_t opcode, std::string_view payload) {
+bool LineClient::send_frame(std::uint8_t opcode, std::string_view payload,
+                            std::uint16_t flags) {
   std::string framed;
   framed.reserve(wire::kHeaderBytes + payload.size());
-  wire::append_frame(framed, opcode, 0, payload);
+  wire::append_frame(framed, opcode, flags, payload);
   return send_all(fd_, framed);
 }
 
@@ -152,8 +153,8 @@ bool LineClient::recv_frame(Frame& frame) {
 }
 
 bool LineClient::request_frame(std::uint8_t opcode, std::string_view payload,
-                               Frame& frame) {
-  return send_frame(opcode, payload) && recv_frame(frame);
+                               Frame& frame, std::uint16_t flags) {
+  return send_frame(opcode, payload, flags) && recv_frame(frame);
 }
 
 }  // namespace bmfusion::serve

@@ -56,10 +56,11 @@ class LineClient {
   /// After it returns true, use the frame calls below exclusively.
   [[nodiscard]] bool negotiate_binary();
 
-  /// Sends one binary frame (header built here). Returns false when the
+  /// Sends one binary frame (header built here; `flags` are the request
+  /// header flags, e.g. wire::kFlagPopulation). Returns false when the
   /// peer went away.
-  [[nodiscard]] bool send_frame(std::uint8_t opcode,
-                                std::string_view payload);
+  [[nodiscard]] bool send_frame(std::uint8_t opcode, std::string_view payload,
+                                std::uint16_t flags = 0);
 
   /// Sends pre-framed bytes verbatim — the pipelining path: concatenate
   /// frames with wire::append_frame, send once, then recv_frame repeatedly.
@@ -71,7 +72,8 @@ class LineClient {
 
   /// send_frame + recv_frame in one call.
   [[nodiscard]] bool request_frame(std::uint8_t opcode,
-                                   std::string_view payload, Frame& frame);
+                                   std::string_view payload, Frame& frame,
+                                   std::uint16_t flags = 0);
 
  private:
   int fd_ = -1;

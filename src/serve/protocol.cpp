@@ -126,15 +126,37 @@ std::string handle_open(SessionRegistry& registry, const JsonValue& request) {
   return out;
 }
 
+/// Optional "population" member: a stream index of a fusion session. JSON
+/// numbers are doubles, so only exact nonnegative integers that fit the
+/// binary framing's u32 are accepted.
+std::size_t parse_population(const JsonValue& request) {
+  const JsonValue* value = request.find("population");
+  if (value == nullptr) return 0;
+  constexpr double kMaxPopulation = 4294967295.0;  // u32 max
+  const double raw = value->is_number() ? value->as_number() : -1.0;
+  if (!value->is_number() || raw < 0.0 || std::floor(raw) != raw ||
+      raw > kMaxPopulation) {
+    throw DataError(
+        "\"population\" must be a nonnegative integer no larger than 2^32-1",
+        ErrorContext{}.with_operation("serve_protocol").with_detail(
+            "field: population"));
+  }
+  return static_cast<std::size_t>(raw);
+}
+
 std::string handle_observe(SessionRegistry& registry,
                            const JsonValue& request) {
   const std::string id = required_string(request, "session");
+  const std::size_t population = parse_population(request);
   const Matrix samples =
       parse_matrix(required_member(request, "samples"), "samples");
-  const std::size_t total = registry.get(id)->observe(samples);
+  const std::size_t total = registry.get(id)->observe(samples, population);
   BMF_COUNTER_ADD("serve.op.observe", 1);
   BMF_COUNTER_ADD("serve.observed_samples", samples.rows());
   std::string out = response_head("observe", id);
+  if (request.find("population") != nullptr) {
+    out += ",\"population\":" + std::to_string(population);
+  }
   out += ",\"observed\":" + std::to_string(samples.rows());
   out += ",\"total\":" + std::to_string(total) + "}";
   return out;
@@ -172,26 +194,22 @@ std::uint64_t parse_shard_id(const JsonValue& value) {
 
 std::string handle_stats(SessionRegistry& registry, const JsonValue& request) {
   const std::string id = required_string(request, "session");
+  const std::size_t population = parse_population(request);
   std::uint64_t shard_id = 0;
   if (const JsonValue* v = request.find("shard_id")) {
     shard_id = parse_shard_id(*v);
   }
-  const stats::StatsShard shard = registry.get(id)->export_shard(shard_id);
+  const stats::StatsShard shard =
+      registry.get(id)->export_shard(shard_id, population);
   BMF_COUNTER_ADD("serve.op.stats", 1);
   std::string out = response_head("stats", id);
   out += ",\"shard\":" + stats::shard_to_json(shard) + "}";
   return out;
 }
 
-std::string handle_estimate(SessionRegistry& registry,
-                            const JsonValue& request) {
-  const std::string id = required_string(request, "session");
-  const std::shared_ptr<Session> session = registry.get(id);
-  const core::EstimateResult result = session->estimate();
-  BMF_COUNTER_ADD("serve.op.estimate", 1);
-  std::string out = response_head("estimate", id);
-  out += ",\"count\":" + std::to_string(session->observed_count());
-  out += ",\"estimate\":{\"mean\":";
+/// {"mean":[..],"covariance":[[..]],"kappa0":..,"nu0":..,"score":..}
+void append_estimate(std::string& out, const core::EstimateResult& result) {
+  out += "{\"mean\":";
   append_vector(out, result.moments.mean);
   out += ",\"covariance\":";
   append_matrix(out, result.moments.covariance);
@@ -201,7 +219,64 @@ std::string handle_estimate(SessionRegistry& registry,
   append_double(out, result.nu0);
   out += ",\"score\":";
   append_double(out, result.score);
-  out += "}}";
+  out += '}';
+}
+
+/// Joint fusion response: one entry per population with the fused estimate
+/// (headline), the independent posterior when the population has its own
+/// usable samples, and the borrowing diagnostics.
+std::string fusion_estimate_response(const std::string& id,
+                                     const Session& session) {
+  const fusion::FusionSnapshot snapshot = session.estimate_fusion();
+  std::string out = response_head("estimate", id);
+  out += ",\"count\":" + std::to_string(session.observed_count());
+  out += ",\"observed_populations\":" +
+         std::to_string(snapshot.observed_populations);
+  out += ",\"signal_variance\":";
+  append_double(out, snapshot.signal_variance);
+  out += ",\"correlation\":";
+  append_matrix(out, snapshot.correlation);
+  out += ",\"populations\":[";
+  for (std::size_t p = 0; p < snapshot.populations.size(); ++p) {
+    const fusion::PopulationEstimate& pop = snapshot.populations[p];
+    if (p != 0) out += ',';
+    out += "{\"population\":" + std::to_string(p);
+    out += ",\"name\":\"";
+    append_escaped(out, pop.name);
+    out += "\",\"observed\":" + std::to_string(pop.observed);
+    out += ",\"borrowed_kappa\":";
+    append_double(out, pop.borrowed_kappa);
+    out += ",\"anchor_shift\":";
+    append_double(out, pop.anchor_shift);
+    if (!pop.error.empty()) {
+      out += ",\"error\":\"";
+      append_escaped(out, pop.error);
+      out += '"';
+    }
+    out += ",\"fused\":";
+    append_estimate(out, pop.fused);
+    if (pop.observed > 0 && pop.error.empty()) {
+      out += ",\"independent\":";
+      append_estimate(out, pop.independent);
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string handle_estimate(SessionRegistry& registry,
+                            const JsonValue& request) {
+  const std::string id = required_string(request, "session");
+  const std::shared_ptr<Session> session = registry.get(id);
+  BMF_COUNTER_ADD("serve.op.estimate", 1);
+  if (session->is_fusion()) return fusion_estimate_response(id, *session);
+  const core::EstimateResult result = session->estimate();
+  std::string out = response_head("estimate", id);
+  out += ",\"count\":" + std::to_string(session->observed_count());
+  out += ",\"estimate\":";
+  append_estimate(out, result);
+  out += '}';
   return out;
 }
 
@@ -338,10 +413,12 @@ class PayloadReader {
   std::size_t pos_ = 0;
 };
 
-std::string binary_observe(SessionRegistry& registry,
+std::string binary_observe(SessionRegistry& registry, std::uint16_t flags,
                            std::string_view payload) {
   PayloadReader reader(payload);
   const std::string id(reader.read_string());
+  const std::size_t population =
+      (flags & wire::kFlagPopulation) != 0 ? reader.read_u32() : 0;
   const std::uint32_t rows = reader.read_u32();
   const std::uint32_t cols = reader.read_u32();
   if (rows == 0 || cols == 0) {
@@ -354,7 +431,7 @@ std::string binary_observe(SessionRegistry& registry,
   reader.expect_consumed();
   Matrix samples(rows, cols);
   std::memcpy(samples.data(), cells.data(), cells.size());
-  const std::size_t total = registry.get(id)->observe(samples);
+  const std::size_t total = registry.get(id)->observe(samples, population);
   BMF_COUNTER_ADD("serve.op.observe", 1);
   BMF_COUNTER_ADD("serve.observed_samples", rows);
   std::string out;
@@ -377,13 +454,16 @@ std::string binary_absorb(SessionRegistry& registry,
   return out;
 }
 
-std::string binary_stats(SessionRegistry& registry,
+std::string binary_stats(SessionRegistry& registry, std::uint16_t flags,
                          std::string_view payload) {
   PayloadReader reader(payload);
   const std::string id(reader.read_string());
+  const std::size_t population =
+      (flags & wire::kFlagPopulation) != 0 ? reader.read_u32() : 0;
   const std::uint64_t shard_id = reader.read_u64();
   reader.expect_consumed();
-  const stats::StatsShard shard = registry.get(id)->export_shard(shard_id);
+  const stats::StatsShard shard =
+      registry.get(id)->export_shard(shard_id, population);
   BMF_COUNTER_ADD("serve.op.stats", 1);
   return stats::serialize_shard(shard);
 }
@@ -399,7 +479,7 @@ std::string binary_error_payload(std::string_view type,
 }  // namespace
 
 BinaryResult handle_binary_request(SessionRegistry& registry,
-                                   std::uint8_t opcode,
+                                   std::uint8_t opcode, std::uint16_t req_flags,
                                    std::string_view payload) {
   BinaryResult result;
   // The kJson escape hatch routes through handle_request, which does its
@@ -416,9 +496,13 @@ BinaryResult handle_binary_request(SessionRegistry& registry,
   std::uint16_t flags = 0;
   try {
     switch (opcode) {
-      case wire::kObserve: body = binary_observe(registry, payload); break;
+      case wire::kObserve:
+        body = binary_observe(registry, req_flags, payload);
+        break;
       case wire::kAbsorb: body = binary_absorb(registry, payload); break;
-      case wire::kStats: body = binary_stats(registry, payload); break;
+      case wire::kStats:
+        body = binary_stats(registry, req_flags, payload);
+        break;
       case wire::kPing: break;
       default:
         throw DataError(

@@ -13,6 +13,13 @@
 //   {"op":"absorb","session":"s1","shard":{...stat_wire JSON...}}
 //   {"op":"stats","session":"s1","shard_id":7}
 //   {"op":"estimate","session":"s1"}
+//
+// Multi-population fusion sessions ({"estimator":"fusion"}, see
+// serve/session.hpp for the spec) add an optional "population" member to
+// observe and stats that selects the target stream (default 0); absorb
+// routes by the population id carried inside the shard itself, and
+// estimate answers the joint snapshot (one fused + independent estimate
+// per population).
 //   {"op":"close","session":"s1"}
 //   {"op":"shutdown"}
 //
@@ -28,10 +35,13 @@
 //
 //   u8 magic (0xBF) | u8 opcode | u16 flags | u32 payload_length | payload
 //
-// Request payloads (id = u16 length + bytes of the session id):
-//   kObserve  id, u32 rows, u32 cols, rows*cols f64 (row-major)
-//   kAbsorb   id, stat_wire binary shard frame
-//   kStats    id, u64 shard_id
+// Request payloads (id = u16 length + bytes of the session id; with flag
+// bit kFlagPopulation set, a u32 population id follows the session id):
+//   kObserve  id, [u32 population,] u32 rows, u32 cols, rows*cols f64
+//             (row-major)
+//   kAbsorb   id, stat_wire binary shard frame (population rides in the
+//             shard itself)
+//   kStats    id, [u32 population,] u64 shard_id
 //   kPing     (empty)
 //   kJson     one JSON request line (any op; the escape hatch that keeps
 //             estimate/open/close/shutdown available without re-encoding)
@@ -63,6 +73,9 @@ namespace wire {
 inline constexpr std::uint8_t kMagic = 0xBF;
 inline constexpr std::size_t kHeaderBytes = 8;
 inline constexpr std::uint16_t kFlagError = 0x1;
+/// Request flag: a u32 population id follows the session id (kObserve and
+/// kStats frames of multi-population fusion sessions).
+inline constexpr std::uint16_t kFlagPopulation = 0x2;
 
 enum Opcode : std::uint8_t {
   kObserve = 0x01,
@@ -140,8 +153,11 @@ struct BinaryResult {
 /// Executes one binary frame (already stripped of its header) against
 /// `registry` and builds the response frame. Malformed payloads answer
 /// with an error frame, exactly like the JSON path answers in-band.
+/// `flags` are the request's header flags (wire::kFlagPopulation switches
+/// the payload layout of kObserve/kStats); unknown bits are ignored.
 [[nodiscard]] BinaryResult handle_binary_request(SessionRegistry& registry,
                                                  std::uint8_t opcode,
+                                                 std::uint16_t flags,
                                                  std::string_view payload);
 
 }  // namespace bmfusion::serve

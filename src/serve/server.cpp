@@ -311,6 +311,8 @@ class Server::IoLoop {
         const unsigned char* head = reinterpret_cast<const unsigned char*>(
             conn.in.data() + conn.in_pos);
         const std::uint8_t opcode = head[1];
+        std::uint16_t req_flags = 0;
+        std::memcpy(&req_flags, head + 2, sizeof req_flags);
         std::uint32_t payload_size = 0;
         std::memcpy(&payload_size, head + 4, sizeof payload_size);
         if (head[0] != wire::kMagic || payload_size > limit) {
@@ -335,7 +337,8 @@ class Server::IoLoop {
         conn.in_pos += wire::kHeaderBytes + payload_size;
         conn.scan_pos = conn.in_pos;
         BinaryResult result =
-            handle_binary_request(server_.sessions_, opcode, payload);
+            handle_binary_request(server_.sessions_, opcode, req_flags,
+                                  payload);
         conn.out += result.response;
         if (result.shutdown) {
           conn.close_after_flush = true;

@@ -117,7 +117,63 @@ bool parse_shift_scale(const JsonValue& spec) {
   return v->as_bool();
 }
 
+fusion::PopulationSpec parse_population_spec(const JsonValue& value,
+                                             std::size_t index) {
+  const std::string what = "populations[" + std::to_string(index) + "]";
+  if (!value.is_object()) spec_error(what + " must be an object");
+  fusion::PopulationSpec spec;
+  std::string fallback_name = "p";
+  fallback_name += std::to_string(index);
+  spec.name = value.string_or("name", fallback_name);
+  const JsonValue* early = value.find("early");
+  if (early == nullptr) spec_error(what + " needs an \"early\" stage");
+  spec.early.moments = parse_moments(*early, what + ".early");
+  if (const JsonValue* nominal = early->find("nominal")) {
+    spec.early.nominal = parse_vector(*nominal, what + ".early.nominal");
+  } else {
+    // Absent nominal defaults to the early-stage mean, so fusion specs
+    // that never shift/scale stay minimal.
+    spec.early.nominal = spec.early.moments.mean;
+  }
+  if (const JsonValue* nominal = value.find("nominal")) {
+    spec.late_nominal = parse_vector(*nominal, what + ".nominal");
+  }
+  return spec;
+}
+
 }  // namespace
+
+std::unique_ptr<fusion::MultiPopulationEstimator> make_fusion_estimator(
+    const JsonValue& spec) {
+  if (!spec.is_object()) spec_error("spec must be a JSON object");
+  const JsonValue* populations = spec.find("populations");
+  if (populations == nullptr || !populations->is_array() ||
+      populations->as_array().empty()) {
+    spec_error("fusion needs a non-empty \"populations\" array");
+  }
+  std::vector<fusion::PopulationSpec> specs;
+  specs.reserve(populations->as_array().size());
+  for (std::size_t p = 0; p < populations->as_array().size(); ++p) {
+    specs.push_back(parse_population_spec(populations->as_array()[p], p));
+  }
+  fusion::FusionConfig config;
+  config.bmf.cv = parse_cv_config(spec);
+  config.bmf.selection = parse_selection(spec);
+  config.bmf.apply_shift_scale = parse_shift_scale(spec);
+  if (const JsonValue* knobs = spec.find("config")) {
+    config.shrinkage = knobs->number_or("shrinkage", config.shrinkage);
+    config.min_eigenvalue =
+        knobs->number_or("min_eigenvalue", config.min_eigenvalue);
+    config.signal_floor =
+        knobs->number_or("signal_floor", config.signal_floor);
+  }
+  auto estimator = std::make_unique<fusion::MultiPopulationEstimator>(
+      std::move(specs), config);
+  if (const JsonValue* correlation = spec.find("correlation")) {
+    estimator->set_correlation(parse_matrix(*correlation, "correlation"));
+  }
+  return estimator;
+}
 
 std::unique_ptr<core::MomentEstimator> make_estimator(const JsonValue& spec) {
   if (!spec.is_object()) spec_error("spec must be a JSON object");
@@ -160,45 +216,110 @@ Session::Session(std::string id,
   BMFUSION_REQUIRE(estimator_ != nullptr, "session needs an estimator");
 }
 
-std::string Session::estimator_name() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return std::string(estimator_->name());
+Session::Session(std::string id,
+                 std::unique_ptr<fusion::MultiPopulationEstimator> fusion)
+    : id_(std::move(id)), fusion_(std::move(fusion)) {
+  BMFUSION_REQUIRE(fusion_ != nullptr, "session needs an estimator");
 }
 
-std::size_t Session::observe(const Matrix& samples) {
+std::size_t Session::population_count() const {
+  return fusion_ != nullptr ? fusion_->population_count() : 1;
+}
+
+std::size_t Session::observed_total() const {
+  if (fusion_ == nullptr) return estimator_->observed_count();
+  std::size_t total = 0;
+  for (std::size_t p = 0; p < fusion_->population_count(); ++p) {
+    total += fusion_->observed_count(p);
+  }
+  return total;
+}
+
+void Session::check_population(std::size_t population,
+                               const char* operation) const {
+  const std::size_t count =
+      fusion_ != nullptr ? fusion_->population_count() : 1;
+  if (population >= count) {
+    throw DataError("population id is out of range",
+                    ErrorContext{}
+                        .with_operation(operation)
+                        .with_index(population)
+                        .with_detail(std::to_string(count) +
+                                     " population(s) in session " + id_));
+  }
+}
+
+std::string Session::estimator_name() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  estimator_->observe(samples);
-  return estimator_->observed_count();
+  return fusion_ != nullptr ? "fusion" : std::string(estimator_->name());
+}
+
+std::size_t Session::observe(const Matrix& samples, std::size_t population) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  check_population(population, "serve_observe");
+  if (fusion_ != nullptr) {
+    fusion_->observe(population, samples);
+  } else {
+    estimator_->observe(samples);
+  }
+  return observed_total();
 }
 
 bool Session::absorb(const stats::StatsShard& shard) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (!absorbed_shards_.insert(shard.shard_id).second) return false;
+  check_population(static_cast<std::size_t>(shard.population_id),
+                   "serve_absorb");
+  const std::pair<std::uint64_t, std::uint64_t> key{shard.population_id,
+                                                    shard.shard_id};
+  if (!absorbed_shards_.insert(key).second) return false;
   try {
-    estimator_->absorb(shard);
+    if (fusion_ != nullptr) {
+      fusion_->absorb(shard);
+    } else {
+      estimator_->absorb(shard);
+    }
   } catch (...) {
-    absorbed_shards_.erase(shard.shard_id);
+    absorbed_shards_.erase(key);
     throw;
   }
   return true;
 }
 
-stats::StatsShard Session::export_shard(std::uint64_t shard_id) const {
+stats::StatsShard Session::export_shard(std::uint64_t shard_id,
+                                        std::size_t population) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return estimator_->export_shard(shard_id);
+  check_population(population, "serve_stats");
+  return fusion_ != nullptr ? fusion_->export_shard(population, shard_id)
+                            : estimator_->export_shard(shard_id);
 }
 
 core::EstimateResult Session::estimate() const {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (fusion_ != nullptr) {
+    throw DataError("fusion sessions answer joint estimates",
+                    ErrorContext{}.with_operation("serve_estimate")
+                        .with_detail("id: " + id_));
+  }
   // The heavy lifting (the CV grid sweep) runs on the shared parallel_for
   // pool; this connection thread only holds the session lock.
   BMF_SCOPED_TIMER_US("serve.estimate_us");
   return estimator_->snapshot();
 }
 
+fusion::FusionSnapshot Session::estimate_fusion() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fusion_ == nullptr) {
+    throw DataError("session is not a fusion session",
+                    ErrorContext{}.with_operation("serve_estimate")
+                        .with_detail("id: " + id_));
+  }
+  BMF_SCOPED_TIMER_US("serve.estimate_us");
+  return fusion_->snapshot();
+}
+
 std::size_t Session::observed_count() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return estimator_->observed_count();
+  return observed_total();
 }
 
 std::shared_ptr<Session> SessionRegistry::open(const std::string& id,
@@ -207,7 +328,11 @@ std::shared_ptr<Session> SessionRegistry::open(const std::string& id,
     throw DataError("session id must be non-empty",
                     ErrorContext{}.with_operation("serve_open"));
   }
-  auto session = std::make_shared<Session>(id, make_estimator(spec));
+  const bool is_fusion =
+      spec.is_object() && spec.string_or("estimator", "") == "fusion";
+  auto session = is_fusion
+                     ? std::make_shared<Session>(id, make_fusion_estimator(spec))
+                     : std::make_shared<Session>(id, make_estimator(spec));
   std::lock_guard<std::mutex> lock(mutex_);
   if (!sessions_.emplace(id, session).second) {
     throw DataError("session already open",

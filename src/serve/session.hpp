@@ -19,10 +19,12 @@
 #include <mutex>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/json.hpp"
 #include "core/estimator.hpp"
+#include "fusion/multi_population.hpp"
 #include "linalg/matrix.hpp"
 #include "stats/stat_wire.hpp"
 
@@ -45,6 +47,23 @@ namespace bmfusion::serve {
 [[nodiscard]] std::unique_ptr<core::MomentEstimator> make_estimator(
     const JsonValue& spec);
 
+/// Builds a multi-population fusion engine from a fusion "open" spec:
+///
+///   {"estimator": "fusion",
+///    "populations": [{"name": "tt_27c",
+///                     "early": {"mean": [...], "covariance": [[...]],
+///                               "nominal": [...]},
+///                     "nominal": [...]},            // late-stage nominal
+///                    ...],
+///    "correlation": [[...]],  // optional raw N x N estimate; shrunk and
+///                             // PSD-projected per the config before use
+///    "config":  {.. the bmf knobs above, plus "shrinkage",
+///                "min_eigenvalue", "signal_floor"}}
+///
+/// Each population needs its own "early" stage; names default to "p<index>".
+[[nodiscard]] std::unique_ptr<fusion::MultiPopulationEstimator>
+make_fusion_estimator(const JsonValue& spec);
+
 /// JSON -> linalg conversions shared with the protocol layer. `what` names
 /// the member in DataError messages ("samples", "early.mean", ...).
 [[nodiscard]] linalg::Vector parse_vector(const JsonValue& value,
@@ -52,38 +71,64 @@ namespace bmfusion::serve {
 [[nodiscard]] linalg::Matrix parse_matrix(const JsonValue& value,
                                           const std::string& what);
 
-/// One session: a named streaming estimator plus its shard cache.
+/// One session: a named streaming estimator plus its shard cache. A session
+/// is either single-population (one MomentEstimator; every population index
+/// must be 0) or a fusion session (a MultiPopulationEstimator; population
+/// indices select the target stream).
 class Session {
  public:
   Session(std::string id, std::unique_ptr<core::MomentEstimator> estimator);
+  Session(std::string id,
+          std::unique_ptr<fusion::MultiPopulationEstimator> fusion);
 
   [[nodiscard]] const std::string& id() const { return id_; }
 
-  /// Estimator tag ("mle", "bmf", ...) for responses.
+  /// True for multi-population fusion sessions.
+  [[nodiscard]] bool is_fusion() const { return fusion_ != nullptr; }
+
+  /// Populations served by this session (1 unless is_fusion()).
+  [[nodiscard]] std::size_t population_count() const;
+
+  /// Estimator tag ("mle", "bmf", ..., "fusion") for responses.
   [[nodiscard]] std::string estimator_name() const;
 
-  /// Streams every row of `samples`; returns the session's new total count.
-  std::size_t observe(const linalg::Matrix& samples);
+  /// Streams every row of `samples` into population `population`; returns
+  /// the session's new total count (summed over populations).
+  std::size_t observe(const linalg::Matrix& samples,
+                      std::size_t population = 0);
 
-  /// Absorbs a wire shard unless its shard id was already absorbed into
-  /// this session. Returns false (and leaves the stream untouched) for such
-  /// duplicates.
+  /// Absorbs a wire shard unless its (population, shard id) pair was
+  /// already absorbed into this session. Returns false (and leaves the
+  /// stream untouched) for such duplicates. Fusion sessions route by the
+  /// shard's own population id.
   bool absorb(const stats::StatsShard& shard);
 
-  /// The session's stream state as a wire shard.
-  [[nodiscard]] stats::StatsShard export_shard(std::uint64_t shard_id) const;
+  /// The session's stream state as a wire shard (population `population`'s
+  /// stream for fusion sessions, tagged with that id).
+  [[nodiscard]] stats::StatsShard export_shard(
+      std::uint64_t shard_id, std::size_t population = 0) const;
 
   /// Snapshot of the stream (>= 1 observed sample required, as per the
-  /// estimator contract).
+  /// estimator contract). Single-population sessions only.
   [[nodiscard]] core::EstimateResult estimate() const;
+
+  /// Joint snapshot of a fusion session (throws on single-population ones).
+  [[nodiscard]] fusion::FusionSnapshot estimate_fusion() const;
 
   [[nodiscard]] std::size_t observed_count() const;
 
  private:
+  /// Validates `population` against the session shape (under the lock).
+  void check_population(std::size_t population, const char* operation) const;
+  /// Total observed samples over every population (caller holds the lock).
+  [[nodiscard]] std::size_t observed_total() const;
+
   std::string id_;
   mutable std::mutex mutex_;
-  std::unique_ptr<core::MomentEstimator> estimator_;
-  std::set<std::uint64_t> absorbed_shards_;
+  std::unique_ptr<core::MomentEstimator> estimator_;       ///< xor fusion_
+  std::unique_ptr<fusion::MultiPopulationEstimator> fusion_;
+  /// (population, shard id) pairs already absorbed.
+  std::set<std::pair<std::uint64_t, std::uint64_t>> absorbed_shards_;
 };
 
 /// Thread-safe id -> Session map.

@@ -18,7 +18,8 @@ namespace {
 //   [4]  u16 version            [6]  u16 flags (reserved, 0)
 //   [8]  u32 endian marker 0x01020304
 //   [12] u64 shard_id
-//   [20] u32 dimension          (0 when every fold is empty and no nominal)
+//   [20] u64 population_id      (version >= 2 only; v1 frames omit it)
+//   [..] u32 dimension          (0 when every fold is empty and no nominal)
 //   [..] u32 name_len + bytes
 //   [..] u32 nominal_len + nominal_len f64
 //   [..] u32 fold_count, then per fold:
@@ -319,6 +320,7 @@ std::string serialize_shard(const StatsShard& shard) {
   w.u16(0);  // flags, reserved
   w.u32(kEndianMarker);
   w.u64(shard.shard_id);
+  w.u64(shard.population_id);
   w.u32(static_cast<std::uint32_t>(dim));
   w.u32(static_cast<std::uint32_t>(shard.estimator.size()));
   w.bytes(shard.estimator);
@@ -350,9 +352,9 @@ StatsShard parse_shard(std::string_view bytes) {
                 "expected \"BMFS\" header");
   }
   const std::uint16_t version = r.u16();
-  if (version != kStatsWireVersion) {
+  if (version != 1 && version != kStatsWireVersion) {
     frame_error("unsupported stats shard frame version", 4,
-                "this build reads version " +
+                "this build reads versions 1.." +
                     std::to_string(kStatsWireVersion) + ", frame has " +
                     std::to_string(version));
   }
@@ -365,6 +367,9 @@ StatsShard parse_shard(std::string_view bytes) {
 
   StatsShard shard;
   shard.shard_id = r.u64();
+  if (version >= 2) {
+    shard.population_id = r.u64();
+  }
   const std::size_t dim = r.u32();
   const std::size_t name_len = r.u32();
   shard.estimator = r.string(name_len);
@@ -446,6 +451,8 @@ std::string shard_to_json(const StatsShard& shard) {
   out += std::to_string(kStatsWireVersion);
   out += ",\"shard_id\":";
   out += std::to_string(shard.shard_id);
+  out += ",\"population\":";
+  out += std::to_string(shard.population_id);
   out += ",\"estimator\":";
   append_json_string(out, shard.estimator);
   out += ",\"dimension\":";
@@ -491,7 +498,7 @@ StatsShard shard_from_json(const JsonValue& value) {
   }
   const std::size_t version =
       json_size(json_member(value, "version"), "version");
-  if (version != kStatsWireVersion) {
+  if (version != 1 && version != kStatsWireVersion) {
     json_error("unsupported stats shard JSON version",
                std::to_string(version));
   }
@@ -499,6 +506,10 @@ StatsShard shard_from_json(const JsonValue& value) {
   StatsShard shard;
   shard.shard_id = static_cast<std::uint64_t>(
       json_size(json_member(value, "shard_id"), "shard_id"));
+  if (const JsonValue* population = value.find("population")) {
+    shard.population_id =
+        static_cast<std::uint64_t>(json_size(*population, "population"));
+  }
   shard.estimator = value.string_or("estimator", "");
   const std::size_t dim =
       json_size(json_member(value, "dimension"), "dimension");
@@ -558,6 +569,15 @@ StatsShard merge_shards(std::vector<StatsShard> shards) {
   StatsShard merged = std::move(shards.front());
   for (std::size_t s = 1; s < shards.size(); ++s) {
     StatsShard& shard = shards[s];
+    if (shard.population_id != merged.population_id) {
+      throw DataError(
+          "stats shards disagree on population id",
+          ErrorContext{}
+              .with_operation("merge_shards")
+              .with_index(s)
+              .with_detail(std::to_string(merged.population_id) + " vs " +
+                           std::to_string(shard.population_id)));
+    }
     if (shard.folds.size() != merged.folds.size()) {
       throw DataError("stats shards disagree on fold count",
                       ErrorContext{}

@@ -34,6 +34,7 @@ namespace bmfusion::stats {
 /// One worker's accumulated statistics, ready for the wire.
 struct StatsShard {
   std::uint64_t shard_id = 0;     ///< canonical merge order key
+  std::uint64_t population_id = 0;  ///< owning population (0 = sole/default)
   std::string estimator;          ///< optional estimator tag ("mle", "bmf")
   linalg::Vector nominal;         ///< optional late-stage nominal point
   std::vector<StatStream> folds;  ///< >= 1 stream; fold 0 for unfolded stats
@@ -45,8 +46,10 @@ struct StatsShard {
   [[nodiscard]] std::size_t count() const;
 };
 
-/// Binary wire-format version this library writes.
-inline constexpr std::uint16_t kStatsWireVersion = 1;
+/// Binary wire-format version this library writes. Version 2 added the
+/// population id (multi-population fusion); version-1 frames still parse
+/// and land in population 0.
+inline constexpr std::uint16_t kStatsWireVersion = 2;
 
 /// Serializes a shard to the versioned binary frame. Requires >= 1 fold.
 [[nodiscard]] std::string serialize_shard(const StatsShard& shard);
@@ -65,9 +68,9 @@ inline constexpr std::uint16_t kStatsWireVersion = 1;
 [[nodiscard]] StatsShard shard_from_json_text(std::string_view text);
 
 /// Canonical order-insensitive combine: sorts by shard id (ties keep input
-/// order), checks fold-count/dimension/estimator/nominal consistency, and
-/// concatenates fold-wise. The result carries the smallest shard id.
-/// Requires >= 1 shard.
+/// order), checks fold-count/dimension/estimator/nominal/population
+/// consistency, and concatenates fold-wise. The result carries the smallest
+/// shard id. Requires >= 1 shard.
 [[nodiscard]] StatsShard merge_shards(std::vector<StatsShard> shards);
 
 }  // namespace bmfusion::stats

@@ -179,6 +179,60 @@ TEST(Diagnose, SnapshotSectionExtractsCountersRatesAndFindings) {
             report.findings.size());
 }
 
+TEST(Diagnose, FusionSectionSummarizesPopulationsAndShrinkage) {
+  const std::string snapshot = write_temp_file(
+      "bmf_doctor_fusion.json", R"({
+        "counters": {
+          "fusion.observed_samples": 960,
+          "fusion.absorbed_shards": 4,
+          "fusion.snapshots": 2
+        },
+        "gauges": {
+          "fusion.populations": 3,
+          "fusion.observed_populations": 2,
+          "fusion.signal_variance": 0.0125,
+          "fusion.shrinkage_lambda": 0.15,
+          "fusion.mean_abs_correlation": 0.82,
+          "fusion.population.0.samples": 640,
+          "fusion.population.2.samples": 320
+        }
+      })");
+  DoctorInputs inputs;
+  inputs.snapshot_path = snapshot;
+  const RunReport report = diagnose_run(inputs);
+
+  ASSERT_TRUE(report.fusion.has_value());
+  EXPECT_EQ(report.fusion->populations, 3u);
+  EXPECT_EQ(report.fusion->observed_populations, 2u);
+  EXPECT_DOUBLE_EQ(report.fusion->signal_variance, 0.0125);
+  EXPECT_DOUBLE_EQ(report.fusion->shrinkage, 0.15);
+  ASSERT_EQ(report.fusion->population_samples.size(), 2u);
+  EXPECT_EQ(report.fusion->population_samples[0].first, 0u);
+  EXPECT_DOUBLE_EQ(report.fusion->population_samples[0].second, 640.0);
+  EXPECT_EQ(report.fusion->population_samples[1].first, 2u);
+
+  // One population never produced usable samples — that is a finding.
+  EXPECT_TRUE(any_finding_contains(report, "1 of 3 population(s)"));
+
+  const std::string markdown = report.to_markdown();
+  EXPECT_NE(markdown.find("## Multi-population fusion"), std::string::npos);
+  EXPECT_NE(markdown.find("fusion.absorbed_shards"), std::string::npos);
+
+  const JsonValue round_trip = parse_json(report.to_json());
+  const JsonValue* fusion = round_trip.find("fusion");
+  ASSERT_NE(fusion, nullptr);
+  EXPECT_EQ(fusion->number_or("populations", 0.0), 3.0);
+  const JsonValue* tallies = fusion->find("population_samples");
+  ASSERT_NE(tallies, nullptr);
+  EXPECT_EQ(tallies->number_or("2", 0.0), 320.0);
+
+  // A snapshot with no fusion gauges stays fusion-free.
+  const std::string plain = write_temp_file(
+      "bmf_doctor_no_fusion.json", R"({"counters": {}})");
+  inputs.snapshot_path = plain;
+  EXPECT_FALSE(diagnose_run(inputs).fusion.has_value());
+}
+
 TEST(Diagnose, McParallelEfficiencyComputedFromCountersAndGauges) {
   // A 4-thread run on a 4-core host that kept the workers busy 90% of the
   // wall time: efficiency 0.9, no finding.

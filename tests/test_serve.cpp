@@ -521,5 +521,186 @@ TEST(ServeProtocol, HandleRequestIsUsableWithoutTransport) {
   EXPECT_TRUE(shutdown.shutdown);
 }
 
+/// Open request for a fusion session with `n` 2-D populations sharing one
+/// early prior, a fast CV grid, and a mildly correlated prior structure.
+std::string fusion_open_request(const std::string& session, std::size_t n) {
+  std::ostringstream out;
+  out << "{\"op\":\"open\",\"session\":\"" << session
+      << "\",\"estimator\":\"fusion\",\"config\":{\"shift_scale\":false,"
+         "\"kappa_points\":4,\"nu_points\":4},\"populations\":[";
+  for (std::size_t p = 0; p < n; ++p) {
+    if (p != 0) out << ',';
+    out << "{\"name\":\"pop" << p
+        << "\",\"early\":{\"mean\":[0.0,0.5],"
+           "\"covariance\":[[1.0,0.0],[0.0,1.0]]}}";
+  }
+  out << "],\"correlation\":[";
+  for (std::size_t r = 0; r < n; ++r) {
+    out << (r == 0 ? "[" : ",[");
+    for (std::size_t c = 0; c < n; ++c) {
+      if (c != 0) out << ',';
+      out << (r == c ? "1.0" : "0.6");
+    }
+    out << ']';
+  }
+  out << "]}";
+  return out.str();
+}
+
+/// observe_request with an explicit population routing member.
+std::string fusion_observe_request(const std::string& session,
+                                   std::size_t population,
+                                   const Matrix& rows) {
+  std::string request = observe_request(session, rows);
+  request.insert(request.size() - 1,
+                 ",\"population\":" + std::to_string(population));
+  return request;
+}
+
+TEST(ServeFusion, JsonSessionRoutesPopulationsAndEstimatesJointly) {
+  Server server;
+  server.start();
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(is_ok(client.round_trip(fusion_open_request("f", 2))));
+
+  // Per-population observes accumulate into one grand total.
+  const Matrix pop0 = test_samples(64, 2, 0.0);
+  const Matrix pop1 = test_samples(48, 2, 1.0);
+  const JsonValue first =
+      client.round_trip(fusion_observe_request("f", 0, pop0));
+  ASSERT_TRUE(is_ok(first));
+  EXPECT_EQ(first.number_or("population", -1.0), 0.0);
+  EXPECT_EQ(first.number_or("total", 0.0), 64.0);
+  const JsonValue second =
+      client.round_trip(fusion_observe_request("f", 1, pop1));
+  ASSERT_TRUE(is_ok(second));
+  EXPECT_EQ(second.number_or("population", -1.0), 1.0);
+  EXPECT_EQ(second.number_or("total", 0.0), 112.0);
+
+  // Routing errors stay in-band and name the population.
+  const JsonValue bad =
+      client.round_trip(fusion_observe_request("f", 9, pop0));
+  EXPECT_EQ(error_type(bad), "DataError");
+  EXPECT_NE(bad.find("error")->string_or("message", "").find("population"),
+            std::string::npos);
+
+  // Exported shards carry the population tag for downstream routing.
+  const JsonValue stats = client.round_trip(
+      "{\"op\":\"stats\",\"session\":\"f\",\"shard_id\":5,"
+      "\"population\":1}");
+  ASSERT_TRUE(is_ok(stats));
+  const stats::StatsShard shard =
+      stats::shard_from_json(*stats.find("shard"));
+  EXPECT_EQ(shard.population_id, 1u);
+  EXPECT_EQ(shard.count(), 48u);
+
+  // ...and absorb back into a sibling session by that tag alone.
+  ASSERT_TRUE(is_ok(client.round_trip(fusion_open_request("g", 2))));
+  std::string absorb = "{\"op\":\"absorb\",\"session\":\"g\",\"shard\":";
+  absorb += stats::shard_to_json(shard);
+  absorb += '}';
+  ASSERT_TRUE(is_ok(client.round_trip(absorb)));
+
+  // The joint estimate reports every population; only observed ones carry
+  // an independent posterior.
+  const JsonValue estimate =
+      client.round_trip("{\"op\":\"estimate\",\"session\":\"f\"}");
+  ASSERT_TRUE(is_ok(estimate));
+  EXPECT_EQ(estimate.number_or("observed_populations", 0.0), 2.0);
+  EXPECT_EQ(estimate.number_or("count", 0.0), 112.0);
+  const JsonValue* populations = estimate.find("populations");
+  ASSERT_NE(populations, nullptr);
+  ASSERT_EQ(populations->as_array().size(), 2u);
+  for (const JsonValue& pop : populations->as_array()) {
+    EXPECT_NE(pop.find("fused"), nullptr);
+    EXPECT_NE(pop.find("independent"), nullptr);
+    EXPECT_EQ(pop.find("fused")->find("mean")->as_array().size(), 2u);
+  }
+
+  // The sibling session saw only population 1's shard: population 0 is
+  // unobserved there, so its slot has no independent posterior but still
+  // answers a fused (shifted-prior) estimate.
+  const JsonValue sibling =
+      client.round_trip("{\"op\":\"estimate\",\"session\":\"g\"}");
+  ASSERT_TRUE(is_ok(sibling));
+  EXPECT_EQ(sibling.number_or("observed_populations", 0.0), 1.0);
+  const auto& slots = sibling.find("populations")->as_array();
+  ASSERT_EQ(slots.size(), 2u);
+  EXPECT_EQ(slots[0].find("independent"), nullptr);
+  EXPECT_NE(slots[0].find("fused"), nullptr);
+  EXPECT_EQ(slots[1].number_or("observed", 0.0), 48.0);
+  EXPECT_NE(slots[1].find("independent"), nullptr);
+  server.stop();
+}
+
+TEST(ServeBinary, PopulationFlagRoutesObserveAndStats) {
+  Server server;
+  server.start();
+  serve::LineClient binary;
+  ASSERT_TRUE(binary.connect_to(server.port()));
+  ASSERT_TRUE(binary.negotiate_binary());
+  serve::Frame frame;
+  ASSERT_TRUE(binary.request_frame(serve::wire::kJson,
+                                   fusion_open_request("b", 3), frame));
+  ASSERT_TRUE(frame.ok());
+
+  // kFlagPopulation inserts a u32 population after the session id.
+  const Matrix samples = test_samples(56, 2, 0.25);
+  std::string payload;
+  serve::wire::append_string(payload, "b");
+  serve::wire::append_u32(payload, 2);
+  serve::wire::append_u32(payload,
+                          static_cast<std::uint32_t>(samples.rows()));
+  serve::wire::append_u32(payload,
+                          static_cast<std::uint32_t>(samples.cols()));
+  for (std::size_t r = 0; r < samples.rows(); ++r) {
+    for (std::size_t c = 0; c < samples.cols(); ++c) {
+      const double value = samples(r, c);
+      char bytes[sizeof(double)];
+      std::memcpy(bytes, &value, sizeof(double));
+      payload.append(bytes, sizeof(double));
+    }
+  }
+  ASSERT_TRUE(binary.request_frame(serve::wire::kObserve, payload, frame,
+                                   serve::wire::kFlagPopulation));
+  ASSERT_TRUE(frame.ok());
+  std::uint64_t total = 0;
+  std::memcpy(&total, frame.payload.data() + 4, sizeof total);
+  EXPECT_EQ(total, 56u);
+
+  // Without the flag the same frame layout routes to population 0.
+  ASSERT_TRUE(binary.request_frame(
+      serve::wire::kObserve, binary_observe_payload("b", samples), frame));
+  ASSERT_TRUE(frame.ok());
+  std::memcpy(&total, frame.payload.data() + 4, sizeof total);
+  EXPECT_EQ(total, 112u);
+
+  // Stats with the flag exports the tagged population's shard.
+  std::string stats_payload;
+  serve::wire::append_string(stats_payload, "b");
+  serve::wire::append_u32(stats_payload, 2);
+  serve::wire::append_u64(stats_payload, 11);
+  ASSERT_TRUE(binary.request_frame(serve::wire::kStats, stats_payload,
+                                   frame, serve::wire::kFlagPopulation));
+  ASSERT_TRUE(frame.ok());
+  const stats::StatsShard shard = stats::parse_shard(frame.payload);
+  EXPECT_EQ(shard.population_id, 2u);
+  EXPECT_EQ(shard.count(), 56u);
+
+  // Out-of-range population routes to a flagged error frame, connection
+  // stays usable.
+  std::string bad_payload;
+  serve::wire::append_string(bad_payload, "b");
+  serve::wire::append_u32(bad_payload, 9);
+  serve::wire::append_u64(bad_payload, 12);
+  ASSERT_TRUE(binary.request_frame(serve::wire::kStats, bad_payload, frame,
+                                   serve::wire::kFlagPopulation));
+  EXPECT_FALSE(frame.ok());
+  ASSERT_TRUE(binary.request_frame(serve::wire::kPing, "", frame));
+  EXPECT_TRUE(frame.ok());
+  server.stop();
+}
+
 }  // namespace
 }  // namespace bmfusion

@@ -204,12 +204,32 @@ TEST(ShardMerge, InconsistentShardsRejected) {
   EXPECT_THROW((void)stats::merge_shards({}), ContractError);
 }
 
+TEST(ShardMerge, CrossPopulationMergeRejected) {
+  // Shards from different populations summarize different conditions;
+  // folding them together would silently mix corners.
+  const Matrix samples = synthetic_samples(128, 2, 7);
+  StatsShard tt = shard_with(1, samples, 0, 64);
+  tt.population_id = 0;
+  StatsShard ff = shard_with(2, samples, 64, 128);
+  ff.population_id = 3;
+  try {
+    (void)stats::merge_shards({tt, ff});
+    FAIL() << "cross-population merge must throw";
+  } catch (const DataError& e) {
+    EXPECT_NE(std::string(e.what()).find("population"), std::string::npos);
+  }
+  // Same population id merges fine and keeps the tag.
+  ff.population_id = 0;
+  EXPECT_EQ(stats::merge_shards({tt, ff}).population_id, 0u);
+}
+
 // ----------------------------------------------------------- wire format
 
 StatsShard representative_shard() {
   const Matrix samples = synthetic_samples(200, 3, 41);
   StatsShard shard;
   shard.shard_id = 77;
+  shard.population_id = 3;
   shard.estimator = "bmf";
   shard.nominal = Vector{1.5, -2.25, 0.875};
   shard.folds.push_back(stream_of(samples, 0, 130));  // partial block open
@@ -223,6 +243,7 @@ StatsShard representative_shard() {
 
 void expect_same_shard(const StatsShard& a, const StatsShard& b) {
   EXPECT_EQ(a.shard_id, b.shard_id);
+  EXPECT_EQ(a.population_id, b.population_id);
   EXPECT_EQ(a.estimator, b.estimator);
   ASSERT_EQ(a.nominal.size(), b.nominal.size());
   EXPECT_EQ(max_abs_diff(a.nominal, b.nominal), 0.0);
@@ -278,11 +299,28 @@ TEST(WireFormat, MalformedJsonRejected) {
   EXPECT_THROW((void)stats::shard_from_json_text("[]"), DataError);
   // Version bump must be refused, not misread.
   const std::string versioned = json;
-  const std::size_t at = versioned.find("\"version\":1");
+  const std::size_t at = versioned.find("\"version\":2");
   ASSERT_NE(at, std::string::npos);
   std::string bumped = versioned;
   bumped.replace(at, 11, "\"version\":9");
   EXPECT_THROW((void)stats::shard_from_json_text(bumped), DataError);
+}
+
+TEST(WireFormat, VersionOneShardsStillParseAsPopulationZero) {
+  // Pre-population producers keep working: a v1 record (no "population"
+  // member) reads back with the default population id 0.
+  const StatsShard shard = representative_shard();
+  std::string json = stats::shard_to_json(shard);
+  const std::size_t version_at = json.find("\"version\":2");
+  ASSERT_NE(version_at, std::string::npos);
+  json.replace(version_at, 11, "\"version\":1");
+  const std::size_t population_at = json.find(",\"population\":3");
+  ASSERT_NE(population_at, std::string::npos);
+  json.erase(population_at, std::string(",\"population\":3").size());
+
+  StatsShard expected = shard;
+  expected.population_id = 0;
+  expect_same_shard(stats::shard_from_json_text(json), expected);
 }
 
 // ------------------------------------------- streaming vs batch parity
@@ -507,6 +545,31 @@ TEST_F(StreamingParity, MismatchedMergeAndAbsorbRejected) {
   sink.observe(late_->samples().row(1));
   wrong_folds.folds.push_back(StatStream(shard.dimension()));
   EXPECT_THROW(sink.absorb(wrong_folds), DataError);
+}
+
+TEST(StreamingApi, DimensionMismatchedShardNamesBothDimensions) {
+  // A shard of the wrong metric dimension must be refused before it touches
+  // the stream, with a message naming the estimator's dimension, the
+  // shard's dimension and the shard id.
+  MleEstimator sink;
+  sink.observe(synthetic_samples(8, 3, 61));
+
+  MleEstimator other;
+  other.observe(synthetic_samples(8, 2, 63));
+  const StatsShard shard = other.export_shard(123);
+  try {
+    sink.absorb(shard);
+    FAIL() << "dimension-mismatched absorb must throw";
+  } catch (const DataError& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("dimension"), std::string::npos) << message;
+    EXPECT_NE(message.find('3'), std::string::npos) << message;
+    EXPECT_NE(message.find('2'), std::string::npos) << message;
+    EXPECT_NE(message.find("123"), std::string::npos) << message;
+  }
+  // The stream is untouched and still serves its own dimension.
+  EXPECT_EQ(sink.observed_count(), 8u);
+  EXPECT_EQ(sink.snapshot().moments.mean.size(), 3u);
 }
 
 TEST(StreamingApi, SnapshotOfEmptyStreamThrows) {
