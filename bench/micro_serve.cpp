@@ -299,8 +299,10 @@ int main(int argc, char** argv) {
         elapsed_s > 0.0 ? static_cast<double>(observe_us.size()) / elapsed_s
                         : 0.0;
     const double observe_p50 = quantile_us(observe_us, 0.50);
+    const double observe_p95 = quantile_us(observe_us, 0.95);
     const double observe_p99 = quantile_us(observe_us, 0.99);
     const double estimate_p50 = quantile_us(estimate_us, 0.50);
+    const double estimate_p95 = quantile_us(estimate_us, 0.95);
     const double estimate_p99 = quantile_us(estimate_us, 0.99);
 
     std::printf(
@@ -310,25 +312,28 @@ int main(int argc, char** argv) {
         options.dim, options.window);
     std::printf("  %-28s %12.0f req/s\n", "observe throughput", observe_rps);
     std::printf("  %-28s %12.1f us\n", "observe p50", observe_p50);
+    std::printf("  %-28s %12.1f us\n", "observe p95", observe_p95);
     std::printf("  %-28s %12.1f us\n", "observe p99", observe_p99);
     std::printf("  %-28s %12.1f us\n", "estimate p50", estimate_p50);
+    std::printf("  %-28s %12.1f us\n", "estimate p95", estimate_p95);
     std::printf("  %-28s %12.1f us\n", "estimate p99", estimate_p99);
 
     const std::string json_path = cli.get_string("json");
     if (!json_path.empty()) {
       const std::string bench_name =
           options.binary ? "micro_serve_binary" : "micro_serve";
-      char measurements[640];
+      char measurements[768];
       std::snprintf(
           measurements, sizeof measurements,
           "\"mode\": \"%s\", \"sessions\": %zu, \"requests\": %zu, "
           "\"batch\": %zu, \"dim\": %zu, \"pipeline\": %zu, "
           "\"observe_throughput_rps\": %.1f, "
-          "\"latency_us\": {\"observe_p50\": %.1f, \"observe_p99\": %.1f, "
-          "\"estimate_p50\": %.1f, \"estimate_p99\": %.1f}",
+          "\"latency_us\": {\"observe_p50\": %.1f, \"observe_p95\": %.1f, "
+          "\"observe_p99\": %.1f, \"estimate_p50\": %.1f, "
+          "\"estimate_p95\": %.1f, \"estimate_p99\": %.1f}",
           mode.c_str(), sessions, observe_us.size(), options.batch,
-          options.dim, options.window, observe_rps, observe_p50, observe_p99,
-          estimate_p50, estimate_p99);
+          options.dim, options.window, observe_rps, observe_p50, observe_p95,
+          observe_p99, estimate_p50, estimate_p95, estimate_p99);
       const std::string record =
           "{\"bench\": \"" + bench_name + "\", " +
           bmfusion::bench::run_metadata_json(cli, sessions) + ", " +

@@ -6,6 +6,11 @@
 # be regressed against (see DESIGN.md, "Performance architecture").
 #
 # Usage: scripts/bench.sh [--label STR] [--samples N] [--skip-linalg]
+#                         [--notel-serve]
+#
+# --notel-serve additionally builds a telemetry-OFF tree and appends
+# metrics-OFF bmf_soak records, which activates bench_check.py's
+# metrics-ON-vs-OFF throughput-overhead gate (<= 3%).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -14,11 +19,13 @@ cd "${repo_root}"
 label="dev"
 samples=2000
 skip_linalg=0
+notel_serve=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --label) label="$2"; shift 2 ;;
     --samples) samples="$2"; shift 2 ;;
     --skip-linalg) skip_linalg=1; shift ;;
+    --notel-serve) notel_serve=1; shift ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
 done
@@ -29,7 +36,7 @@ date_iso="$(date +%F)"
 echo "==> bench: Release build"
 cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-bench -j --target micro_circuit micro_cv micro_serve \
-  micro_fusion micro_linalg
+  micro_fusion micro_linalg bmf_soak
 
 echo "==> bench: fast-path parity gate"
 ./build-bench/bench/micro_circuit --parity
@@ -80,6 +87,37 @@ echo "==> bench: micro_serve --mode binary (pipelined binary framing)"
   --requests 51200 --estimate-every 0 \
   --json BENCH_serve.json --label "${label}" \
   --git "${git_rev}" --date "${date_iso}"
+
+echo "==> bench: bmf_soak (client-observed quantiles, both wire modes)"
+# The soak driver's client-side p50/p95/p99 are what a deployment actually
+# experiences (socket + framing + queueing included), so they get their own
+# records next to micro_serve's. Each lane is recorded three times: on a
+# shared host, scheduling noise only ever subtracts throughput, so the
+# sentinel's telemetry-overhead gate compares the best same-revision run
+# per side (see bench_check.py).
+for _rep in 1 2 3; do
+  ./build-bench/tools/bmf_soak --requests 30000 --sessions 4 --batch 16 \
+    --estimate-every 100 --json BENCH_serve.json --label "${label}" \
+    --git "${git_rev}" --date "${date_iso}"
+  ./build-bench/tools/bmf_soak --requests 30000 --sessions 4 --batch 16 \
+    --estimate-every 100 --mode binary --json BENCH_serve.json \
+    --label "${label}" --git "${git_rev}" --date "${date_iso}"
+done
+
+if [[ "${notel_serve}" -eq 1 ]]; then
+  echo "==> bench: bmf_soak metrics-OFF lane (telemetry overhead gate)"
+  cmake -B build-bench-notel -S . -DCMAKE_BUILD_TYPE=Release \
+    -DBMFUSION_TELEMETRY=OFF
+  cmake --build build-bench-notel -j --target bmf_soak
+  for _rep in 1 2 3; do
+    ./build-bench-notel/tools/bmf_soak --requests 30000 --sessions 4 \
+      --batch 16 --estimate-every 100 --json BENCH_serve.json \
+      --label "${label}" --git "${git_rev}" --date "${date_iso}"
+    ./build-bench-notel/tools/bmf_soak --requests 30000 --sessions 4 \
+      --batch 16 --estimate-every 100 --mode binary --json BENCH_serve.json \
+      --label "${label}" --git "${git_rev}" --date "${date_iso}"
+  done
+fi
 
 echo "==> bench: micro_fusion (multi-population held-out accuracy + latency)"
 ./build-bench/bench/micro_fusion --json BENCH_fusion.json --label "${label}" \

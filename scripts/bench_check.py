@@ -64,6 +64,12 @@ DEFAULT_MIN_SCALING_EFFICIENCY = 0.7
 # snapshot is ~1 ms.
 DEFAULT_MAX_FUSION_RMSE_RATIO = 1.0
 DEFAULT_MAX_FUSION_SNAPSHOT_MS = 50.0
+# Telemetry overhead budget: the newest metrics-ON record of a serve bench
+# must hold observe throughput within this fraction of the newest
+# metrics-OFF record of the same bench (ISSUE: scraping a live server may
+# not tax the hot path). Sharded counters and a per-batch gauge publish
+# should cost well under 1%; 3% leaves room for scheduler noise.
+DEFAULT_MAX_TELEMETRY_DROP_PCT = 3.0
 
 # Metrics where a *higher* value is better (compared against --max-drop-pct).
 THROUGHPUT_HINT = "throughput"
@@ -102,8 +108,9 @@ def flatten_metrics(record):
 
 
 def serve_budget_rows(record, args):
-    """Absolute budgets for micro_serve* records (no prior record needed)."""
-    binary = record.get("bench") == "micro_serve_binary" \
+    """Absolute budgets for serve-layer records (micro_serve* and
+    bmf_soak*); no prior record needed."""
+    binary = record.get("bench", "").endswith("_binary") \
         or record.get("mode") == "binary"
     min_rps = args.min_serve_binary_rps if binary else args.min_serve_rps
     max_p99_ms = args.max_serve_binary_p99_ms if binary \
@@ -223,6 +230,78 @@ def scaling_rows(records, args):
     return rows
 
 
+def _best_throughput(record):
+    """Highest throughput metric in a record (0.0 when it has none)."""
+    metrics = flatten_metrics(record)
+    return max((v for k, v in metrics.items() if THROUGHPUT_HINT in k),
+               default=0.0)
+
+
+def collapse_repeat_runs(records):
+    """Collapses repeat runs of one bench invocation (same git revision,
+    label and date, appended back to back) into the run with the highest
+    throughput: on a shared host, scheduling noise only ever subtracts, so
+    the best repeat represents the binary and repeats never diff against
+    each other."""
+    out = []
+    for record in records:
+        is_repeat = (
+            out
+            and record.get("git") is not None
+            and all(out[-1].get(k) == record.get(k)
+                    for k in ("git", "label", "date", "telemetry"))
+        )
+        if is_repeat:
+            out[-1] = max(out[-1], record, key=_best_throughput)
+        else:
+            out.append(record)
+    return out
+
+
+def _best_telemetry_side(records, want_on):
+    """Newest record for one side of the ON/OFF comparison, made robust to
+    host interference: among the records sharing the newest record's git
+    revision (repeat runs of the same bench invocation), the one with the
+    highest throughput represents the binary's capability — scheduling
+    noise only ever subtracts."""
+    side = [r for r in records if r.get("telemetry") is want_on]
+    if not side:
+        return None
+    newest_git = side[-1].get("git")
+    same_rev = [r for r in side if r.get("git") == newest_git]
+    return max(same_rev, key=_best_throughput)
+
+
+def telemetry_overhead_rows(records, args):
+    """Metrics-ON vs metrics-OFF throughput budget: the best same-revision
+    record with telemetry metadata true is compared against the best with
+    telemetry false (same bench name). Missing metadata or a single-mode
+    history produces no rows, so old histories stay green."""
+    latest_on = _best_telemetry_side(records, want_on=True)
+    latest_off = _best_telemetry_side(records, want_on=False)
+    if latest_on is None or latest_off is None:
+        return []
+    on_metrics = flatten_metrics(latest_on)
+    off_metrics = flatten_metrics(latest_off)
+    rows = []
+    for name in sorted(on_metrics):
+        if THROUGHPUT_HINT not in name:
+            continue
+        off = off_metrics.get(name, 0.0)
+        if off <= 0.0:
+            continue
+        drop_pct = 100.0 * (off - on_metrics[name]) / off
+        bad = drop_pct > args.max_telemetry_drop_pct
+        rows.append((
+            "FAIL" if bad else "ok",
+            f"{name}: telemetry overhead {drop_pct:+.2f}% "
+            f"(ON {on_metrics[name]:.6g} vs OFF {off:.6g})"
+            + (f" exceeds budget {args.max_telemetry_drop_pct:g}%" if bad
+               else ""),
+        ))
+    return rows
+
+
 def classify(name):
     """Returns 'throughput', 'parity', 'alloc' or 'time' for a metric name."""
     if THROUGHPUT_HINT in name:
@@ -281,12 +360,13 @@ def compare_records(previous, current, args):
 def check_bench(path, bench_name, records, args):
     """Gates the newest record of one (bench, thread-lane); returns the
     failure count."""
+    records = collapse_repeat_runs(records)
     current = records[-1]
     previous = records[-2] if len(records) > 1 else None
 
     # Absolute budgets apply to the newest record alone, so a fresh history
     # with a single record is already gated.
-    if bench_name.startswith("micro_serve"):
+    if bench_name.startswith(("micro_serve", "bmf_soak")):
         rows = serve_budget_rows(current, args)
     elif bench_name.startswith("micro_circuit"):
         rows = circuit_budget_rows(current, args)
@@ -342,14 +422,20 @@ def check_history(path, args):
         name = record.get("bench", "?")
         threads = record_threads(record)
         lane = name if threads == 1 else f"{name}[threads={threads}]"
+        # Metrics-OFF builds are a different binary; their records get their
+        # own lane so an OFF record never un-gates (or falsely "regresses")
+        # the ON history. The dedicated overhead gate compares across.
+        if record.get("telemetry") is False:
+            lane += "[notel]"
         by_lane.setdefault(lane, []).append(record)
         by_name.setdefault(name, []).append(record)
     failures = sum(check_bench(path, lane, records, args)
                    for lane, records in by_lane.items())
-    # Cross-lane scaling gate: multi-thread throughput vs the single-thread
-    # baseline of the same bench.
+    # Cross-lane gates: multi-thread throughput vs the single-thread
+    # baseline, and metrics-ON throughput vs metrics-OFF, per bench name.
     for name, records in sorted(by_name.items()):
-        rows = scaling_rows(records, args)
+        rows = scaling_rows(records, args) \
+            + telemetry_overhead_rows(records, args)
         for severity, message in rows:
             if severity == "FAIL":
                 failures += 1
@@ -511,6 +597,117 @@ def self_test(args):
     finally:
         os.unlink(lanes_path)
 
+    # bmf_soak records share the serve budgets: client-observed quantiles
+    # from the soak driver gate exactly like micro_serve's, keyed on the
+    # bench-name suffix for the binary lane.
+    soak_good = {"bench": "bmf_soak", "mode": "json",
+                 "observe_throughput_rps": 30000.0,
+                 "latency_us": {"observe_p50": 80.0, "observe_p99": 400.0}}
+    soak_stalled = {"bench": "bmf_soak", "mode": "json",
+                    "observe_throughput_rps": 120.0,
+                    "latency_us": {"observe_p50": 41000.0,
+                                   "observe_p99": 90000.0}}
+    soak_binary = {"bench": "bmf_soak_binary", "mode": "binary",
+                   "observe_throughput_rps": 150000.0,
+                   "latency_us": {"observe_p50": 300.0,
+                                  "observe_p99": 3000.0}}
+    with tempfile.NamedTemporaryFile("w", suffix=".json",
+                                     delete=False) as handle:
+        json.dump([soak_stalled], handle)
+        soak_path = handle.name
+    try:
+        if check_history(soak_path, args) == 0:
+            print("self-test: stalled bmf_soak record not gated")
+            ok = False
+    finally:
+        os.unlink(soak_path)
+    if [m for s, m in serve_budget_rows(soak_good, args) if s == "FAIL"]:
+        print("self-test: healthy bmf_soak record flagged")
+        ok = False
+    if not any("observe_throughput_rps" in m for s, m in serve_budget_rows(
+            dict(soak_binary, observe_throughput_rps=6000.0), args)
+            if s == "FAIL"):
+        print("self-test: slow bmf_soak_binary record not held to the "
+              "binary floor")
+        ok = False
+
+    # Telemetry overhead gate: ON within 3% of OFF passes, a 10% tax fails,
+    # and single-mode histories (no OFF record) produce no rows.
+    off_rec = dict(soak_good, telemetry=False,
+                   observe_throughput_rps=31000.0)
+    on_close = dict(soak_good, telemetry=True,
+                    observe_throughput_rps=30500.0)
+    on_taxed = dict(soak_good, telemetry=True,
+                    observe_throughput_rps=27900.0)
+    if [m for s, m in telemetry_overhead_rows([off_rec, on_close], args)
+            if s == "FAIL"]:
+        print("self-test: cheap telemetry flagged as overhead")
+        ok = False
+    if not [m for s, m in telemetry_overhead_rows([off_rec, on_taxed], args)
+            if s == "FAIL"]:
+        print("self-test: 10% telemetry tax not flagged")
+        ok = False
+    if telemetry_overhead_rows([on_close, on_taxed], args):
+        print("self-test: overhead rows produced without an OFF record")
+        ok = False
+
+    # Best-of-same-revision: repeat runs of one bench invocation share a
+    # git revision, and the fastest repeat represents the binary (host
+    # interference only subtracts). A noisy newest ON run is rescued by a
+    # cleaner same-revision sibling ...
+    on_close_r1 = dict(on_close, git="r1")
+    on_taxed_r1 = dict(on_taxed, git="r1")
+    off_r1 = dict(off_rec, git="r1")
+    if [m for s, m in telemetry_overhead_rows(
+            [off_r1, on_close_r1, on_taxed_r1], args) if s == "FAIL"]:
+        print("self-test: noisy repeat run not rescued by same-rev sibling")
+        ok = False
+    # ... but a fast record from an older revision must not mask a real
+    # regression in the newest one.
+    if not [m for s, m in telemetry_overhead_rows(
+            [off_r1, dict(on_close, git="r0"), on_taxed_r1], args)
+            if s == "FAIL"]:
+        print("self-test: stale-revision ON record masked a telemetry tax")
+        ok = False
+
+    # Repeat-run collapse: back-to-back same-invocation records never diff
+    # against each other (a noisy second repeat is not a regression) ...
+    rep_fast = dict(soak_good, git="r1", label="x", date="d1")
+    rep_noisy = dict(soak_good, git="r1", label="x", date="d1",
+                     observe_throughput_rps=24000.0)
+    if collapse_repeat_runs([rep_fast, rep_noisy]) != [rep_fast]:
+        print("self-test: repeat runs not collapsed to the best run")
+        ok = False
+    # ... while a new-revision record still diffs against the old one.
+    next_rev = dict(soak_good, git="r2", label="x", date="d1")
+    if collapse_repeat_runs([rep_fast, next_rev]) != [rep_fast, next_rev]:
+        print("self-test: distinct revisions wrongly collapsed")
+        ok = False
+    with tempfile.NamedTemporaryFile("w", suffix=".json",
+                                     delete=False) as handle:
+        json.dump([rep_fast, rep_noisy], handle)
+        repeats_path = handle.name
+    try:
+        if check_history(repeats_path, args) != 0:
+            print("self-test: noisy repeat run gated as a regression")
+            ok = False
+    finally:
+        os.unlink(repeats_path)
+
+    # Lane isolation for metrics-OFF records: an OFF record appended after
+    # ON history must not be diffed against it (OFF is a different binary
+    # with legitimately different throughput).
+    with tempfile.NamedTemporaryFile("w", suffix=".json",
+                                     delete=False) as handle:
+        json.dump([on_close, off_rec], handle)
+        notel_path = handle.name
+    try:
+        if check_history(notel_path, args) != 0:
+            print("self-test: metrics-OFF record diffed against the ON lane")
+            ok = False
+    finally:
+        os.unlink(notel_path)
+
     # Per-name gating: a stalled micro_serve record must stay gated even
     # when a healthy micro_serve_binary record is appended after it.
     with tempfile.NamedTemporaryFile("w", suffix=".json",
@@ -573,6 +770,11 @@ def main():
                         default=DEFAULT_MAX_FUSION_SNAPSHOT_MS,
                         help="absolute joint-snapshot p50 ceiling (ms) for "
                              "micro_fusion records")
+    parser.add_argument("--max-telemetry-drop-pct", type=float,
+                        default=DEFAULT_MAX_TELEMETRY_DROP_PCT,
+                        help="max throughput drop %% of the newest "
+                             "metrics-ON record vs the newest metrics-OFF "
+                             "record of the same bench")
     parser.add_argument("--min-scaling-efficiency", type=float,
                         default=DEFAULT_MIN_SCALING_EFFICIENCY,
                         help="parallel-efficiency floor for multi-thread "

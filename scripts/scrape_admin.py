@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Admin-plane scrape validator for a running bmf_serve.
+
+Polls the admin listener (--admin-port) like a monitoring agent would and
+fails loudly on anything a scraper should never see:
+
+  * /healthz not answering 200 with an "ok" body,
+  * /metrics not answering 200, or any non-comment exposition line that is
+    not "<name> <float>", or an exposition with zero samples,
+  * /statusz or /metrics.json not parsing as JSON (or ok != true).
+
+Usage:
+  scripts/scrape_admin.py HOST:PORT [--count N] [--interval-s S]
+                          [--allow-empty-metrics]
+
+tier1.sh runs this mid-soak against an ASan bmf_serve so the admin path is
+exercised concurrently with binary-mode load, under the sanitizers. Only
+the standard library is used.
+"""
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+
+def fetch(base, path):
+    """Returns (status, body_text); urllib raises on non-2xx, so catch."""
+    try:
+        with urllib.request.urlopen(base + path, timeout=10) as response:
+            return response.status, response.read().decode("utf-8")
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read().decode("utf-8", "replace")
+
+
+def check_prometheus(text, allow_empty):
+    samples = 0
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        if not name:
+            return f"malformed exposition line (no space): {line!r}"
+        try:
+            float(value)
+        except ValueError:
+            return f"malformed exposition value: {line!r}"
+        samples += 1
+    if samples == 0 and not allow_empty:
+        return "exposition carries zero samples"
+    return None
+
+
+def scrape_once(base, allow_empty):
+    """One full pass over the admin endpoints; returns an error string."""
+    status, body = fetch(base, "/healthz")
+    if status != 200 or not body.startswith("ok"):
+        return f"/healthz: status {status}, body {body!r}"
+
+    status, body = fetch(base, "/metrics")
+    if status != 200:
+        return f"/metrics: status {status}"
+    error = check_prometheus(body, allow_empty)
+    if error is not None:
+        return f"/metrics: {error}"
+
+    for path in ("/statusz", "/metrics.json"):
+        status, body = fetch(base, path)
+        if status != 200:
+            return f"{path}: status {status}"
+        try:
+            document = json.loads(body)
+        except json.JSONDecodeError as exc:
+            return f"{path}: not JSON: {exc}"
+        if path == "/statusz" and document.get("ok") is not True:
+            return f"{path}: ok is {document.get('ok')!r}"
+    return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("endpoint", help="admin HOST:PORT")
+    parser.add_argument("--count", type=int, default=1,
+                        help="number of scrape passes")
+    parser.add_argument("--interval-s", type=float, default=0.2,
+                        help="sleep between passes")
+    parser.add_argument("--allow-empty-metrics", action="store_true",
+                        help="tolerate a zero-sample exposition "
+                             "(telemetry-OFF builds)")
+    args = parser.parse_args()
+
+    base = "http://" + args.endpoint
+    for i in range(args.count):
+        if i:
+            time.sleep(args.interval_s)
+        error = scrape_once(base, args.allow_empty_metrics)
+        if error is not None:
+            print(f"scrape_admin: pass {i + 1}/{args.count}: {error}",
+                  file=sys.stderr)
+            sys.exit(1)
+    print(f"scrape_admin: {args.count} pass(es) over {args.endpoint} clean")
+
+
+if __name__ == "__main__":
+    main()

@@ -88,21 +88,57 @@ else
   UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
     ./build-asan/tools/bmf_soak --requests 10000 --sessions 4 --batch 8 \
     --estimate-every 200 --mode binary
-  printf '%s\n%s\n' \
+  # Captured rather than piped into grep -q: an early-exiting grep would
+  # SIGPIPE the server mid-write and fail the stage under pipefail.
+  stdio_smoke="$(printf '%s\n%s\n' \
     '{"op":"open","session":"smoke","estimator":"mle"}' \
     '{"op":"shutdown"}' | \
     UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
-    ./build-asan/tools/bmf_serve --stdio | grep -q '"ok":true'
+    ./build-asan/tools/bmf_serve --stdio)"
+  grep -q '"ok":true' <<<"${stdio_smoke}"
+
+  # Admin-plane smoke: a daemonized ASan bmf_serve with --admin-port is
+  # scraped (/metrics exposition validity, /healthz, /statusz JSON) while a
+  # binary-mode soak hammers the same IoLoops, then bmf_doctor --live polls
+  # the admin endpoints end to end. SIGTERM must drain to a clean exit so
+  # the leak check still runs.
+  echo "==> tier-1: admin plane smoke (scrape + bmf_doctor --live mid-soak)"
+  cmake --build build -j --target bmf_doctor
+  admin_dir="$(mktemp -d)"
+  UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
+    ./build-asan/tools/bmf_serve --port 0 --port-file "${admin_dir}/port" \
+    --admin-port 0 --admin-port-file "${admin_dir}/aport" &
+  serve_pid=$!
+  for _ in $(seq 1 100); do
+    [[ -s "${admin_dir}/port" && -s "${admin_dir}/aport" ]] && break
+    sleep 0.1
+  done
+  [[ -s "${admin_dir}/aport" ]] || { echo "bmf_serve admin port never appeared" >&2; exit 1; }
+  UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
+    ./build-asan/tools/bmf_soak --port "$(cat "${admin_dir}/port")" \
+    --requests 8000 --sessions 2 --batch 8 --estimate-every 200 \
+    --mode binary &
+  soak_pid=$!
+  python3 scripts/scrape_admin.py "127.0.0.1:$(cat "${admin_dir}/aport")" \
+    --count 5 --interval-s 0.2
+  ./build/tools/bmf_doctor --live "127.0.0.1:$(cat "${admin_dir}/aport")" \
+    --live-interval-s 0.5 > "${admin_dir}/doctor.md"
+  grep -q '## Live server' "${admin_dir}/doctor.md"
+  wait "${soak_pid}"
+  kill -TERM "${serve_pid}"
+  wait "${serve_pid}"
+  rm -rf "${admin_dir}"
   # Multi-population session over the same stdio transport: open a
   # two-population fusion session, observe into population 1, and require
   # a joint estimate that reports both population slots.
-  printf '%s\n%s\n%s\n%s\n' \
+  fusion_smoke="$(printf '%s\n%s\n%s\n%s\n' \
     '{"op":"open","session":"fsmoke","estimator":"fusion","config":{"shift_scale":false,"kappa_points":4,"nu_points":4},"populations":[{"early":{"mean":[0.0,0.0],"covariance":[[1.0,0.0],[0.0,1.0]]}},{"early":{"mean":[0.0,0.0],"covariance":[[1.0,0.0],[0.0,1.0]]}}],"correlation":[[1.0,0.7],[0.7,1.0]]}' \
     '{"op":"observe","session":"fsmoke","population":1,"samples":[[0.1,0.2],[0.3,-0.1],[0.2,0.1],[-0.2,0.3],[0.1,-0.3],[0.4,0.1],[0.0,0.2],[0.2,-0.2]]}' \
     '{"op":"estimate","session":"fsmoke"}' \
     '{"op":"shutdown"}' | \
     UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=1 \
-    ./build-asan/tools/bmf_serve --stdio | grep -q '"observed_populations":1'
+    ./build-asan/tools/bmf_serve --stdio)"
+  grep -q '"observed_populations":1' <<<"${fusion_smoke}"
 fi
 
 if [[ "${skip_tsan}" -eq 1 ]]; then

@@ -72,16 +72,25 @@ constexpr const char* kHealthCounters[] = {
     "fusion.absorbed_shards",
     "fusion.snapshots",
     "fusion.corner_samples",
+    "serve.requests",
+    "serve.observed_samples",
+    "serve.errors",
+    "serve.slow_requests",
+    "serve.oversized_requests",
+    "serve.slow_consumer_closes",
+    "serve.connections",
+    "serve.disconnects",
+    "serve.admin.requests",
 };
 
-void ingest_snapshot(const std::string& path, RunReport& report,
-                     const DoctorThresholds& thresholds) {
-  const JsonValue snapshot = parse_json_file(path);
+void ingest_snapshot_value(const JsonValue& snapshot,
+                           const std::string& origin, RunReport& report,
+                           const DoctorThresholds& thresholds) {
   const JsonValue* counters = snapshot.find("counters");
   if (counters == nullptr || !counters->is_object()) {
     throw DataError("telemetry snapshot has no counters object",
                     ErrorContext{}.with_operation("doctor-snapshot")
-                        .with_detail(path));
+                        .with_detail(origin));
   }
   for (const char* name : kHealthCounters) {
     const JsonValue* value = counters->find(name);
@@ -214,6 +223,23 @@ void ingest_snapshot(const std::string& path, RunReport& report,
         format_double(ldlt_fallback) + " time(s)");
   }
 
+  // Serve-plane state: surface every serve.* gauge (session counts,
+  // per-loop connection/buffer/pipeline gauges) and flag recorded slow
+  // requests.
+  if (gauges != nullptr && gauges->is_object()) {
+    for (const auto& [name, value] : gauges->as_object()) {
+      if (name.rfind("serve.", 0) == 0 && value.is_number()) {
+        report.serve_gauges.push_back({name, value.as_number()});
+      }
+    }
+  }
+  const double slow = counters->number_or("serve.slow_requests", 0.0);
+  if (slow > 0.0) {
+    report.findings.push_back(format_double(slow) +
+                              " slow serve request(s) over the configured "
+                              "--slow-request-us threshold");
+  }
+
   const JsonValue* histograms = snapshot.find("histograms");
   if (histograms != nullptr && histograms->is_object()) {
     for (const auto& [name, hist] : histograms->as_object()) {
@@ -223,9 +249,28 @@ void ingest_snapshot(const std::string& path, RunReport& report,
       q.p50 = hist.number_or("p50", 0.0);
       q.p95 = hist.number_or("p95", 0.0);
       q.p99 = hist.number_or("p99", 0.0);
+      // Latency budget for the serve plane: per-op histograms record
+      // microseconds, the threshold is in milliseconds.
+      constexpr std::string_view kLatencySuffix = ".latency_us";
+      if (thresholds.max_serve_p99_ms > 0.0 && q.count > 0 &&
+          name.rfind("serve.", 0) == 0 && name.size() > kLatencySuffix.size() &&
+          name.compare(name.size() - kLatencySuffix.size(),
+                       kLatencySuffix.size(), kLatencySuffix) == 0 &&
+          q.p99 > thresholds.max_serve_p99_ms * 1000.0) {
+        std::ostringstream os;
+        os << name << " p99 is " << format_double(q.p99 * 1e-3)
+           << " ms, above the " << format_double(thresholds.max_serve_p99_ms)
+           << " ms budget";
+        report.findings.push_back(os.str());
+      }
       report.histograms.push_back(std::move(q));
     }
   }
+}
+
+void ingest_snapshot(const std::string& path, RunReport& report,
+                     const DoctorThresholds& thresholds) {
+  ingest_snapshot_value(parse_json_file(path), path, report, thresholds);
 }
 
 void ingest_log(const std::string& path, RunReport& report) {
@@ -469,6 +514,15 @@ std::string RunReport::to_markdown() const {
     out << "\n";
   }
 
+  if (!serve_gauges.empty()) {
+    out << "## Serve plane\n\n";
+    append_markdown_table_header(out, {"gauge", "value"});
+    for (const CounterReading& g : serve_gauges) {
+      out << "| " << g.name << " | " << format_double(g.value) << " |\n";
+    }
+    out << "\n";
+  }
+
   if (!cv_surface.empty()) {
     out << "## CV score surface\n\n";
     if (cv_best) {
@@ -560,6 +614,14 @@ std::string RunReport::to_json() const {
     }
     out << "}}";
   }
+  if (!serve_gauges.empty()) {
+    out << ",\n  \"serve_gauges\": {";
+    for (std::size_t i = 0; i < serve_gauges.size(); ++i) {
+      out << (i ? ", " : "") << '"' << json_escape(serve_gauges[i].name)
+          << "\": " << json_number(serve_gauges[i].value);
+    }
+    out << "}";
+  }
   if (cv_best) {
     out << ",\n  \"cv_best\": {\"kappa0\": " << json_number(cv_best->kappa0)
         << ", \"nu0\": " << json_number(cv_best->nu0)
@@ -583,7 +645,10 @@ std::string RunReport::to_json() const {
 RunReport diagnose_run(const DoctorInputs& inputs,
                        const DoctorThresholds& thresholds) {
   RunReport report;
-  if (!inputs.snapshot_path.empty()) {
+  if (!inputs.snapshot_json.empty()) {
+    ingest_snapshot_value(parse_json(inputs.snapshot_json), "(inline)",
+                          report, thresholds);
+  } else if (!inputs.snapshot_path.empty()) {
     ingest_snapshot(inputs.snapshot_path, report, thresholds);
   }
   if (!inputs.log_path.empty()) {

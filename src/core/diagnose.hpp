@@ -26,11 +26,17 @@ struct DoctorThresholds {
   double max_time_rise_pct = 10.0;       ///< bench: per-stage time regression
   double max_disqualified_ratio = 0.5;   ///< CV: disqualified / grid points
   double min_mc_parallel_efficiency = 0.6;  ///< MC: busy / (elapsed * threads)
+  /// Serve-plane latency budget: any serve.<op>.latency_us histogram whose
+  /// p99 exceeds this (in milliseconds) is a finding. 0 disables the check.
+  double max_serve_p99_ms = 0.0;
 };
 
 /// Where to read each artifact; empty string = section omitted.
 struct DoctorInputs {
   std::string snapshot_path;    ///< telemetry json_snapshot() output
+  /// Inline snapshot document; used instead of snapshot_path when non-empty
+  /// (bmf_doctor --live feeds the /statusz "metrics" object through here).
+  std::string snapshot_json;
   std::string log_path;         ///< JSON-lines log (Logger::attach_json_file)
   std::string bench_path;       ///< BENCH_*.json append-style history
   std::string cv_surface_path;  ///< CSV: kappa0,nu0,score (bmf_cli --cv-surface)
@@ -107,6 +113,11 @@ struct RunReport {
   std::vector<HistogramQuantiles> histograms;
   std::optional<LogSummary> log_summary;
   std::optional<FusionSummary> fusion;  ///< present when fusion.* recorded
+
+  /// Serve-plane gauges (serve.* from the snapshot: sessions, open
+  /// populations, per-loop connection/buffer/pipeline state). Present only
+  /// for snapshots taken from a serving process.
+  std::vector<CounterReading> serve_gauges;
 
   std::vector<CvSurfacePoint> cv_surface;  ///< sorted by descending score
   std::optional<CvSurfacePoint> cv_best;

@@ -191,6 +191,10 @@ class MomentEstimator {
   virtual void on_nominal_changed() {}
 
  private:
+  /// Shared body of the two observe overloads, minus the sample counter:
+  /// the batch overload counts once per batch, not per row.
+  void observe_row(const linalg::Vector& sample);
+
   /// Sizes the fold accumulators on first use and pins the dimension.
   void ensure_streams(std::size_t dimension);
 

@@ -1,0 +1,37 @@
+// Admin plane for the serve stack: a minimal HTTP/1.0 responder that the
+// epoll transport drives on a separate loopback listener (--admin-port).
+//
+// Endpoints (GET only, one request per connection, response then close):
+//   /metrics       Prometheus text exposition (telemetry/export.hpp)
+//   /metrics.json  compact JSON metrics snapshot (what bmf_doctor --live
+//                  ingests)
+//   /healthz       "ok\n" while the server is accepting requests
+//   /statusz       single-line JSON: server/wire version, uptime, build
+//                  flags, per-session summaries, fusion gauges, and the
+//                  full compact metrics snapshot under "metrics"
+//
+// The responder is transport-agnostic: it maps a parsed request line to a
+// complete HTTP response byte string, so the server, the tests, and any
+// future stdio shim can share it. Scrapes are admin-plane traffic — they
+// ride the same IoLoops but never touch the session hot path beyond the
+// registry snapshot that /statusz takes.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "serve/session.hpp"
+
+namespace bmfusion::serve {
+
+/// The /statusz document (single line, no trailing newline).
+[[nodiscard]] std::string statusz_json(const SessionRegistry& sessions);
+
+/// Maps one parsed admin request to a full HTTP/1.0 response (status line,
+/// headers with Content-Length, blank line, body). Unknown paths answer
+/// 404, non-GET methods 405; every call ticks serve.admin.requests.
+[[nodiscard]] std::string handle_admin_request(std::string_view method,
+                                               std::string_view path,
+                                               const SessionRegistry& sessions);
+
+}  // namespace bmfusion::serve

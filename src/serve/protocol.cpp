@@ -1,5 +1,7 @@
 #include "serve/protocol.hpp"
 
+#include <array>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -8,8 +10,10 @@
 #include "common/json.hpp"
 #include "core/estimator.hpp"
 #include "linalg/matrix.hpp"
+#include "log/log.hpp"
 #include "stats/stat_wire.hpp"
 #include "telemetry/clock.hpp"
+#include "telemetry/export.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace bmfusion::serve {
@@ -18,6 +22,156 @@ using linalg::Matrix;
 using linalg::Vector;
 
 namespace {
+
+std::atomic<std::uint64_t> g_request_ids{0};
+std::atomic<std::uint64_t> g_slow_threshold_ns{0};
+
+}  // namespace
+
+std::uint64_t process_start_ns() {
+  static const std::uint64_t start = telemetry::now_ns();
+  return start;
+}
+
+double process_uptime_s() {
+  return static_cast<double>(telemetry::now_ns() - process_start_ns()) * 1e-9;
+}
+
+std::uint64_t next_request_id() {
+  return g_request_ids.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+void set_slow_request_threshold_us(double us) {
+  g_slow_threshold_ns.store(
+      us > 0.0 ? static_cast<std::uint64_t>(us * 1e3) : 0u,
+      std::memory_order_relaxed);
+}
+
+double slow_request_threshold_us() {
+  return static_cast<double>(
+             g_slow_threshold_ns.load(std::memory_order_relaxed)) *
+         1e-3;
+}
+
+namespace {
+
+/// Known ops, indexing the per-op metric table. kUnknown also covers
+/// requests that fail before an op string was parsed.
+enum class OpId : std::size_t {
+  kPing = 0,
+  kHello,
+  kOpen,
+  kObserve,
+  kAbsorb,
+  kStats,
+  kEstimate,
+  kClose,
+  kShutdown,
+  kMetrics,
+  kUnknown,
+  kCount,
+};
+
+constexpr const char* kOpNames[] = {
+    "ping",  "hello",    "open",    "observe", "absorb", "stats",
+    "estimate", "close", "shutdown", "metrics", "unknown",
+};
+
+const char* op_name(OpId id) { return kOpNames[static_cast<std::size_t>(id)]; }
+
+#if BMFUSION_TELEMETRY_ENABLED
+/// Per-op request counter + latency histogram. The BMF_* macros cache one
+/// metric per call site, which cannot key on a runtime op — this table
+/// resolves every per-op metric once (first call registers, allocating),
+/// after which recording is lock- and allocation-free, preserving the
+/// hot-path contract the alloc-contract test checks.
+struct OpMetrics {
+  telemetry::Counter& requests;
+  telemetry::Histogram& latency_us;
+};
+
+const OpMetrics& op_metrics(OpId id) {
+  auto& reg = telemetry::Registry::instance();
+  static const std::array<OpMetrics, static_cast<std::size_t>(OpId::kCount)>
+      table{{
+          {reg.counter("serve.ping.requests"),
+           reg.histogram("serve.ping.latency_us")},
+          {reg.counter("serve.hello.requests"),
+           reg.histogram("serve.hello.latency_us")},
+          {reg.counter("serve.open.requests"),
+           reg.histogram("serve.open.latency_us")},
+          {reg.counter("serve.observe.requests"),
+           reg.histogram("serve.observe.latency_us")},
+          {reg.counter("serve.absorb.requests"),
+           reg.histogram("serve.absorb.latency_us")},
+          {reg.counter("serve.stats.requests"),
+           reg.histogram("serve.stats.latency_us")},
+          {reg.counter("serve.estimate.requests"),
+           reg.histogram("serve.estimate.latency_us")},
+          {reg.counter("serve.close.requests"),
+           reg.histogram("serve.close.latency_us")},
+          {reg.counter("serve.shutdown.requests"),
+           reg.histogram("serve.shutdown.latency_us")},
+          {reg.counter("serve.metrics.requests"),
+           reg.histogram("serve.metrics.latency_us")},
+          {reg.counter("serve.unknown.requests"),
+           reg.histogram("serve.unknown.latency_us")},
+      }};
+  return table[static_cast<std::size_t>(id)];
+}
+#endif
+
+void record_op(OpId id, std::uint64_t elapsed_ns) {
+#if BMFUSION_TELEMETRY_ENABLED
+  const OpMetrics& m = op_metrics(id);
+  m.requests.add(1);
+  m.latency_us.record(static_cast<double>(elapsed_ns) * 1e-3);
+#else
+  (void)id;
+  (void)elapsed_ns;
+#endif
+}
+
+/// Per-class error counters beside the aggregate serve.errors.
+enum class ErrorClass { kData, kConfig, kNumeric, kContract, kInternal };
+
+void record_error(ErrorClass cls) {
+  BMF_COUNTER_ADD("serve.errors", 1);
+  switch (cls) {
+    case ErrorClass::kData: BMF_COUNTER_ADD("serve.errors.data", 1); break;
+    case ErrorClass::kConfig:
+      BMF_COUNTER_ADD("serve.errors.config", 1);
+      break;
+    case ErrorClass::kNumeric:
+      BMF_COUNTER_ADD("serve.errors.numeric", 1);
+      break;
+    case ErrorClass::kContract:
+      BMF_COUNTER_ADD("serve.errors.contract", 1);
+      break;
+    case ErrorClass::kInternal:
+      BMF_COUNTER_ADD("serve.errors.internal", 1);
+      break;
+  }
+}
+
+/// Off the hot path by construction: only entered once a request already
+/// blew the slow threshold, so the structured log record and counter are
+/// free to allocate.
+void note_slow_request(OpId op, const std::string& session,
+                       std::uint64_t request_id, std::uint64_t elapsed_ns,
+                       std::size_t bytes) {
+  BMF_COUNTER_ADD("serve.slow_requests", 1);
+  BMF_LOG_WARN("slow serve request", log::f("op", op_name(op)),
+               log::f("session", session), log::f("request_id", request_id),
+               log::f("latency_us", static_cast<double>(elapsed_ns) * 1e-3),
+               log::f("bytes", bytes));
+}
+
+[[nodiscard]] bool past_slow_threshold(std::uint64_t elapsed_ns) {
+  const std::uint64_t slow_ns =
+      g_slow_threshold_ns.load(std::memory_order_relaxed);
+  return slow_ns != 0 && elapsed_ns >= slow_ns;
+}
 
 void append_escaped(std::string& out, std::string_view text) {
   for (const char c : text) {
@@ -118,7 +272,6 @@ const JsonValue& required_member(const JsonValue& request, const char* key) {
 std::string handle_open(SessionRegistry& registry, const JsonValue& request) {
   const std::string id = required_string(request, "session");
   const std::shared_ptr<Session> session = registry.open(id, request);
-  BMF_COUNTER_ADD("serve.op.open", 1);
   std::string out = response_head("open", id);
   out += ",\"estimator\":\"";
   append_escaped(out, session->estimator_name());
@@ -151,7 +304,6 @@ std::string handle_observe(SessionRegistry& registry,
   const Matrix samples =
       parse_matrix(required_member(request, "samples"), "samples");
   const std::size_t total = registry.get(id)->observe(samples, population);
-  BMF_COUNTER_ADD("serve.op.observe", 1);
   BMF_COUNTER_ADD("serve.observed_samples", samples.rows());
   std::string out = response_head("observe", id);
   if (request.find("population") != nullptr) {
@@ -169,7 +321,6 @@ std::string handle_absorb(SessionRegistry& registry,
       stats::shard_from_json(required_member(request, "shard"));
   const std::shared_ptr<Session> session = registry.get(id);
   const bool absorbed = session->absorb(shard);
-  BMF_COUNTER_ADD("serve.op.absorb", 1);
   std::string out = response_head("absorb", id);
   out += absorbed ? ",\"duplicate\":false" : ",\"duplicate\":true";
   out += ",\"total\":" + std::to_string(session->observed_count()) + "}";
@@ -201,7 +352,6 @@ std::string handle_stats(SessionRegistry& registry, const JsonValue& request) {
   }
   const stats::StatsShard shard =
       registry.get(id)->export_shard(shard_id, population);
-  BMF_COUNTER_ADD("serve.op.stats", 1);
   std::string out = response_head("stats", id);
   out += ",\"shard\":" + stats::shard_to_json(shard) + "}";
   return out;
@@ -269,7 +419,6 @@ std::string handle_estimate(SessionRegistry& registry,
                             const JsonValue& request) {
   const std::string id = required_string(request, "session");
   const std::shared_ptr<Session> session = registry.get(id);
-  BMF_COUNTER_ADD("serve.op.estimate", 1);
   if (session->is_fusion()) return fusion_estimate_response(id, *session);
   const core::EstimateResult result = session->estimate();
   std::string out = response_head("estimate", id);
@@ -283,8 +432,36 @@ std::string handle_estimate(SessionRegistry& registry,
 std::string handle_close(SessionRegistry& registry, const JsonValue& request) {
   const std::string id = required_string(request, "session");
   registry.close(id);
-  BMF_COUNTER_ADD("serve.op.close", 1);
   return response_head("close", id) + "}";
+}
+
+/// ,"server_version":"..","wire_version":N,"uptime_s":X — the compatibility
+/// triple ping/hello answer and /statusz echoes.
+void append_version_fields(std::string& out) {
+  out += ",\"server_version\":\"";
+  append_escaped(out, kServerVersion);
+  out += "\",\"wire_version\":";
+  out += std::to_string(kWireVersion);
+  out += ",\"uptime_s\":";
+  append_double(out, process_uptime_s());
+}
+
+std::string handle_ping(std::uint64_t request_id) {
+  std::string out = response_head("ping", "");
+  out += ",\"request_id\":" + std::to_string(request_id);
+  append_version_fields(out);
+  out += '}';
+  return out;
+}
+
+std::string handle_metrics(std::uint64_t request_id) {
+  std::string out = response_head("metrics", "");
+  out += ",\"request_id\":" + std::to_string(request_id);
+  append_version_fields(out);
+  out += ",\"telemetry\":";
+  out += telemetry::json_snapshot_compact();
+  out += '}';
+  return out;
 }
 
 std::string handle_hello(const JsonValue& request, bool& switch_to_binary) {
@@ -295,28 +472,63 @@ std::string handle_hello(const JsonValue& request, bool& switch_to_binary) {
   }
   switch_to_binary = mode == "binary";
   std::string out = response_head("hello", "");
-  out += ",\"mode\":\"" + mode + "\"}";
+  out += ",\"mode\":\"" + mode + "\"";
+  append_version_fields(out);
+  out += '}';
   return out;
 }
 
-std::string dispatch(SessionRegistry& registry, std::string_view line,
-                     bool& shutdown, bool& switch_to_binary) {
-  const JsonValue request = parse_json(line);
+std::string dispatch(SessionRegistry& registry, const JsonValue& request,
+                     ProtocolResult& result, OpId& op_id,
+                     std::string& session) {
   if (!request.is_object()) {
     throw DataError("request must be a JSON object",
                     ErrorContext{}.with_operation("serve_protocol"));
   }
   const std::string op = required_string(request, "op");
-  if (op == "ping") return response_head("ping", "") + "}";
-  if (op == "hello") return handle_hello(request, switch_to_binary);
-  if (op == "open") return handle_open(registry, request);
-  if (op == "observe") return handle_observe(registry, request);
-  if (op == "absorb") return handle_absorb(registry, request);
-  if (op == "stats") return handle_stats(registry, request);
-  if (op == "estimate") return handle_estimate(registry, request);
-  if (op == "close") return handle_close(registry, request);
+  if (const JsonValue* s = request.find("session");
+      s != nullptr && s->is_string()) {
+    session = s->as_string();
+  }
+  if (op == "ping") {
+    op_id = OpId::kPing;
+    return handle_ping(result.request_id);
+  }
+  if (op == "hello") {
+    op_id = OpId::kHello;
+    return handle_hello(request, result.switch_to_binary);
+  }
+  if (op == "open") {
+    op_id = OpId::kOpen;
+    return handle_open(registry, request);
+  }
+  if (op == "observe") {
+    op_id = OpId::kObserve;
+    return handle_observe(registry, request);
+  }
+  if (op == "absorb") {
+    op_id = OpId::kAbsorb;
+    return handle_absorb(registry, request);
+  }
+  if (op == "stats") {
+    op_id = OpId::kStats;
+    return handle_stats(registry, request);
+  }
+  if (op == "estimate") {
+    op_id = OpId::kEstimate;
+    return handle_estimate(registry, request);
+  }
+  if (op == "close") {
+    op_id = OpId::kClose;
+    return handle_close(registry, request);
+  }
+  if (op == "metrics") {
+    op_id = OpId::kMetrics;
+    return handle_metrics(result.request_id);
+  }
   if (op == "shutdown") {
-    shutdown = true;
+    op_id = OpId::kShutdown;
+    result.shutdown = true;
     return response_head("shutdown", "") + "}";
   }
   throw DataError("unknown op \"" + op + "\"",
@@ -330,28 +542,39 @@ ProtocolResult handle_request(SessionRegistry& registry,
   const std::uint64_t start_ns = telemetry::now_ns();
   BMF_COUNTER_ADD("serve.requests", 1);
   ProtocolResult result;
+  result.request_id = next_request_id();
+  OpId op_id = OpId::kUnknown;
+  std::string session;
   try {
-    result.response =
-        dispatch(registry, line, result.shutdown, result.switch_to_binary);
+    const JsonValue request = parse_json(line);
+    BMF_HISTOGRAM_RECORD_US(
+        "serve.decode_us",
+        static_cast<double>(telemetry::now_ns() - start_ns) * 1e-3);
+    result.response = dispatch(registry, request, result, op_id, session);
   } catch (const DataError& e) {
-    BMF_COUNTER_ADD("serve.errors", 1);
+    record_error(ErrorClass::kData);
     result.response = error_response("DataError", e.what());
   } catch (const ConfigError& e) {
-    BMF_COUNTER_ADD("serve.errors", 1);
+    record_error(ErrorClass::kConfig);
     result.response = error_response("ConfigError", e.what());
   } catch (const NumericError& e) {
-    BMF_COUNTER_ADD("serve.errors", 1);
+    record_error(ErrorClass::kNumeric);
     result.response = error_response("NumericError", e.what());
   } catch (const ContractError& e) {
-    BMF_COUNTER_ADD("serve.errors", 1);
+    record_error(ErrorClass::kContract);
     result.response = error_response("ContractError", e.what());
   } catch (const std::exception& e) {
-    BMF_COUNTER_ADD("serve.errors", 1);
+    record_error(ErrorClass::kInternal);
     result.response = error_response("InternalError", e.what());
   }
-  BMF_HISTOGRAM_RECORD_US(
-      "serve.request_us",
-      static_cast<double>(telemetry::now_ns() - start_ns) * 1e-3);
+  const std::uint64_t elapsed_ns = telemetry::now_ns() - start_ns;
+  BMF_HISTOGRAM_RECORD_US("serve.request_us",
+                          static_cast<double>(elapsed_ns) * 1e-3);
+  record_op(op_id, elapsed_ns);
+  if (past_slow_threshold(elapsed_ns)) {
+    note_slow_request(op_id, session, result.request_id, elapsed_ns,
+                      line.size());
+  }
   return result;
 }
 
@@ -414,9 +637,9 @@ class PayloadReader {
 };
 
 std::string binary_observe(SessionRegistry& registry, std::uint16_t flags,
-                           std::string_view payload) {
+                           std::string_view payload, std::string& session_id) {
   PayloadReader reader(payload);
-  const std::string id(reader.read_string());
+  session_id.assign(reader.read_string());
   const std::size_t population =
       (flags & wire::kFlagPopulation) != 0 ? reader.read_u32() : 0;
   const std::uint32_t rows = reader.read_u32();
@@ -431,8 +654,8 @@ std::string binary_observe(SessionRegistry& registry, std::uint16_t flags,
   reader.expect_consumed();
   Matrix samples(rows, cols);
   std::memcpy(samples.data(), cells.data(), cells.size());
-  const std::size_t total = registry.get(id)->observe(samples, population);
-  BMF_COUNTER_ADD("serve.op.observe", 1);
+  const std::size_t total =
+      registry.get(session_id)->observe(samples, population);
   BMF_COUNTER_ADD("serve.observed_samples", rows);
   std::string out;
   wire::append_u32(out, rows);
@@ -440,14 +663,13 @@ std::string binary_observe(SessionRegistry& registry, std::uint16_t flags,
   return out;
 }
 
-std::string binary_absorb(SessionRegistry& registry,
-                          std::string_view payload) {
+std::string binary_absorb(SessionRegistry& registry, std::string_view payload,
+                          std::string& session_id) {
   PayloadReader reader(payload);
-  const std::string id(reader.read_string());
+  session_id.assign(reader.read_string());
   const stats::StatsShard shard = stats::parse_shard(reader.rest());
-  const std::shared_ptr<Session> session = registry.get(id);
+  const std::shared_ptr<Session> session = registry.get(session_id);
   const bool absorbed = session->absorb(shard);
-  BMF_COUNTER_ADD("serve.op.absorb", 1);
   std::string out;
   out += static_cast<char>(absorbed ? 0 : 1);  // duplicate marker
   wire::append_u64(out, session->observed_count());
@@ -455,16 +677,15 @@ std::string binary_absorb(SessionRegistry& registry,
 }
 
 std::string binary_stats(SessionRegistry& registry, std::uint16_t flags,
-                         std::string_view payload) {
+                         std::string_view payload, std::string& session_id) {
   PayloadReader reader(payload);
-  const std::string id(reader.read_string());
+  session_id.assign(reader.read_string());
   const std::size_t population =
       (flags & wire::kFlagPopulation) != 0 ? reader.read_u32() : 0;
   const std::uint64_t shard_id = reader.read_u64();
   reader.expect_consumed();
   const stats::StatsShard shard =
-      registry.get(id)->export_shard(shard_id, population);
-  BMF_COUNTER_ADD("serve.op.stats", 1);
+      registry.get(session_id)->export_shard(shard_id, population);
   return stats::serialize_shard(shard);
 }
 
@@ -487,21 +708,34 @@ BinaryResult handle_binary_request(SessionRegistry& registry,
   if (opcode == wire::kJson) {
     const ProtocolResult json = handle_request(registry, payload);
     result.shutdown = json.shutdown;
+    result.request_id = json.request_id;
     wire::append_frame(result.response, opcode, 0, json.response);
     return result;
   }
   const std::uint64_t start_ns = telemetry::now_ns();
   BMF_COUNTER_ADD("serve.requests", 1);
+  result.request_id = next_request_id();
+  OpId op_id = OpId::kUnknown;
+  switch (opcode) {
+    case wire::kObserve: op_id = OpId::kObserve; break;
+    case wire::kAbsorb: op_id = OpId::kAbsorb; break;
+    case wire::kStats: op_id = OpId::kStats; break;
+    case wire::kPing: op_id = OpId::kPing; break;
+    default: break;
+  }
   std::string body;
+  std::string session;
   std::uint16_t flags = 0;
   try {
     switch (opcode) {
       case wire::kObserve:
-        body = binary_observe(registry, req_flags, payload);
+        body = binary_observe(registry, req_flags, payload, session);
         break;
-      case wire::kAbsorb: body = binary_absorb(registry, payload); break;
+      case wire::kAbsorb:
+        body = binary_absorb(registry, payload, session);
+        break;
       case wire::kStats:
-        body = binary_stats(registry, req_flags, payload);
+        body = binary_stats(registry, req_flags, payload, session);
         break;
       case wire::kPing: break;
       default:
@@ -510,30 +744,37 @@ BinaryResult handle_binary_request(SessionRegistry& registry,
             ErrorContext{}.with_operation("serve_binary"));
     }
   } catch (const DataError& e) {
-    BMF_COUNTER_ADD("serve.errors", 1);
+    record_error(ErrorClass::kData);
     flags = wire::kFlagError;
     body = binary_error_payload("DataError", e.what());
   } catch (const ConfigError& e) {
-    BMF_COUNTER_ADD("serve.errors", 1);
+    record_error(ErrorClass::kConfig);
     flags = wire::kFlagError;
     body = binary_error_payload("ConfigError", e.what());
   } catch (const NumericError& e) {
-    BMF_COUNTER_ADD("serve.errors", 1);
+    record_error(ErrorClass::kNumeric);
     flags = wire::kFlagError;
     body = binary_error_payload("NumericError", e.what());
   } catch (const ContractError& e) {
-    BMF_COUNTER_ADD("serve.errors", 1);
+    record_error(ErrorClass::kContract);
     flags = wire::kFlagError;
     body = binary_error_payload("ContractError", e.what());
   } catch (const std::exception& e) {
-    BMF_COUNTER_ADD("serve.errors", 1);
+    record_error(ErrorClass::kInternal);
     flags = wire::kFlagError;
     body = binary_error_payload("InternalError", e.what());
   }
   wire::append_frame(result.response, opcode, flags, body);
-  BMF_HISTOGRAM_RECORD_US(
-      "serve.request_us",
-      static_cast<double>(telemetry::now_ns() - start_ns) * 1e-3);
+  // No serve.request_us record here: on the binary hot path the per-op
+  // latency histogram (record_op) already carries the timing, and the
+  // aggregate would be a second bucket scan per request. serve.request_us
+  // stays JSON-transport-only (where it additionally covers decode).
+  const std::uint64_t elapsed_ns = telemetry::now_ns() - start_ns;
+  record_op(op_id, elapsed_ns);
+  if (past_slow_threshold(elapsed_ns)) {
+    note_slow_request(op_id, session, result.request_id, elapsed_ns,
+                      payload.size());
+  }
   return result;
 }
 

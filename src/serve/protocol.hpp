@@ -7,6 +7,7 @@
 //
 //   {"op":"ping"}
 //   {"op":"hello","mode":"binary"}            (switch framing, see below)
+//   {"op":"metrics"}                          (telemetry snapshot, in-band)
 //   {"op":"open","session":"s1","estimator":"bmf","early":{...},
 //    "config":{...},"nominal":[...]}          (spec: serve/session.hpp)
 //   {"op":"observe","session":"s1","samples":[[..],[..]]}
@@ -28,6 +29,18 @@
 // answered in-band and never tear down the connection. The handler is
 // stateless apart from the shared SessionRegistry, so any number of
 // connections (or an in-process test) can drive it concurrently.
+//
+// Observability: every request draws a process-wide monotonic request id
+// (echoed by "ping" and "metrics" responses and carried on every
+// ProtocolResult/BinaryResult). "ping" and "hello" responses report
+// server_version, wire_version and uptime_s so peers can assert
+// compatibility. Requests slower than the process-wide slow-request
+// threshold (set_slow_request_threshold_us, default off) emit a structured
+// BMF_LOG_WARN with op/session/request id/latency/bytes and bump the
+// serve.slow_requests counter. Per-op counters (serve.<op>.requests) and
+// latency histograms (serve.<op>.latency_us) are recorded for both wire
+// modes; error responses additionally tick a per-class counter
+// (serve.errors.<class>).
 //
 // Binary mode: a connection that sends {"op":"hello","mode":"binary"} and
 // reads the {"ok":true,...} acknowledgement switches both directions to
@@ -67,6 +80,31 @@
 #include "serve/session.hpp"
 
 namespace bmfusion::serve {
+
+/// Server build version, stamped from the CMake project version and
+/// reported by ping/hello responses and the admin /statusz endpoint.
+#ifndef BMFUSION_VERSION
+#define BMFUSION_VERSION "0.0.0-dev"
+#endif
+inline constexpr const char* kServerVersion = BMFUSION_VERSION;
+
+/// Shard wire-format generation this server speaks (stat_wire v2 carries
+/// population ids); peers with a different generation must re-negotiate.
+inline constexpr std::uint32_t kWireVersion = 2;
+
+/// Process start time (latched on first call; bmf_serve calls it at boot)
+/// and the uptime derived from it, reported by ping/hello//statusz.
+[[nodiscard]] std::uint64_t process_start_ns();
+[[nodiscard]] double process_uptime_s();
+
+/// Draws the next process-wide monotonic request id (first id is 1).
+[[nodiscard]] std::uint64_t next_request_id();
+
+/// Requests taking at least `us` microseconds log a structured warning and
+/// tick serve.slow_requests. 0 (the default) disables the check. Applies
+/// process-wide to both wire modes and the stdio loop.
+void set_slow_request_threshold_us(double us);
+[[nodiscard]] double slow_request_threshold_us();
 
 namespace wire {
 
@@ -137,6 +175,8 @@ struct ProtocolResult {
   /// this connection to binary frames once `response` is on the wire. The
   /// stdio loop ignores it (pipes stay JSON).
   bool switch_to_binary = false;
+  /// The monotonic id assigned to this request.
+  std::uint64_t request_id = 0;
 };
 
 /// Parses and executes one request line against `registry`. All protocol
@@ -148,6 +188,8 @@ struct ProtocolResult {
 struct BinaryResult {
   std::string response;   ///< one complete response frame (header + payload)
   bool shutdown = false;  ///< true after a kJson-carried "shutdown"
+  /// The monotonic id assigned to this request.
+  std::uint64_t request_id = 0;
 };
 
 /// Executes one binary frame (already stripped of its header) against

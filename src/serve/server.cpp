@@ -20,6 +20,7 @@
 #include <utility>
 
 #include "common/contracts.hpp"
+#include "serve/admin.hpp"
 #include "serve/protocol.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -43,6 +44,41 @@ constexpr int kSendFlags = 0;
 /// firehose connection cannot starve its loop-mates.
 constexpr std::size_t kMaxReadPerEvent = 256u << 10;
 
+/// Admin requests are one GET line plus a handful of headers; anything
+/// bigger is not a scraper.
+constexpr std::size_t kMaxAdminRequestBytes = 8u << 10;
+
+/// Creates a non-blocking loopback listener; returns the fd and writes the
+/// bound port (useful with port 0). Throws DataError on failure.
+int listen_loopback(std::uint16_t port, int backlog,
+                    std::uint16_t& bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (fd < 0) socket_error("socket");
+  const int reuse = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    socket_error("bind");
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) < 0) {
+    ::close(fd);
+    socket_error("getsockname");
+  }
+  if (::listen(fd, backlog) < 0) {
+    ::close(fd);
+    socket_error("listen");
+  }
+  bound_port = ntohs(addr.sin_port);
+  return fd;
+}
+
 std::string oversized_line_response(std::size_t limit) {
   return "{\"ok\":false,\"error\":{\"type\":\"DataError\",\"message\":"
          "\"request exceeds max_request_bytes (" +
@@ -56,7 +92,7 @@ std::string oversized_line_response(std::size_t limit) {
 /// owns the accept path.
 class Server::IoLoop {
  public:
-  IoLoop(Server& server, bool owns_listener)
+  IoLoop(Server& server, bool owns_listener, std::size_t index)
       : server_(server), owns_listener_(owns_listener) {
     epoll_fd_ = ::epoll_create1(0);
     if (epoll_fd_ < 0) socket_error("epoll_create1");
@@ -72,7 +108,26 @@ class Server::IoLoop {
     if (owns_listener_) {
       event.data.fd = server_.listen_fd_;
       ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, server_.listen_fd_, &event);
+      if (server_.admin_listen_fd_ >= 0) {
+        event.data.fd = server_.admin_listen_fd_;
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, server_.admin_listen_fd_,
+                    &event);
+      }
     }
+#if BMFUSION_TELEMETRY_ENABLED
+    // Per-loop gauges are resolved once here (the name strings allocate),
+    // so publishing from the event loop stays allocation-free. Mirrors the
+    // fusion.population.<p>.* registration idiom.
+    const std::string prefix = "serve.loop." + std::to_string(index) + ".";
+    auto& registry = telemetry::Registry::instance();
+    gauge_connections_ = &registry.gauge(prefix + "connections");
+    gauge_read_bytes_ = &registry.gauge(prefix + "read_buffer_bytes");
+    gauge_write_bytes_ = &registry.gauge(prefix + "write_buffer_bytes");
+    gauge_inbox_ = &registry.gauge(prefix + "accept_inbox");
+    gauge_pipeline_ = &registry.gauge(prefix + "pipeline_depth");
+#else
+    (void)index;
+#endif
   }
 
   ~IoLoop() {
@@ -84,10 +139,10 @@ class Server::IoLoop {
   IoLoop& operator=(const IoLoop&) = delete;
 
   /// Hands a freshly accepted fd to this loop (callable from any thread).
-  void add_pending(int fd) {
+  void add_pending(int fd, bool admin) {
     {
       std::lock_guard<std::mutex> lock(inbox_mutex_);
-      inbox_.push_back(fd);
+      inbox_.push_back({fd, admin});
     }
     wake();
   }
@@ -111,6 +166,15 @@ class Server::IoLoop {
         dispatch_event(events[i]);
       }
       adopt_pending();
+#if BMFUSION_TELEMETRY_ENABLED
+      // Connection-count changes publish immediately so the gauge never
+      // lies about membership; the byte-level gauges refresh on a 64-batch
+      // stride — they are sampled by scrapes, not read per request.
+      if (connections_.size() != published_connections_ ||
+          (gauge_tick_++ & 63u) == 0) {
+        publish_loop_gauges();
+      }
+#endif
     }
     drain_and_close();
   }
@@ -119,13 +183,14 @@ class Server::IoLoop {
   /// in the inbox (a last-instant accept racing the stop flag).
   void close_leftovers() {
     std::lock_guard<std::mutex> lock(inbox_mutex_);
-    for (const int fd : inbox_) ::close(fd);
+    for (const auto& [fd, admin] : inbox_) ::close(fd);
     inbox_.clear();
   }
 
  private:
   struct Connection {
     int fd = -1;
+    bool admin = false;             ///< accepted on the admin listener
     bool binary = false;            ///< after a binary "hello"
     bool close_after_flush = false;
     bool reading_disabled = false;  ///< oversize / peer half-close
@@ -146,7 +211,11 @@ class Server::IoLoop {
       return;
     }
     if (owns_listener_ && fd == server_.listen_fd_) {
-      handle_accept();
+      handle_accept(server_.listen_fd_, /*admin=*/false);
+      return;
+    }
+    if (owns_listener_ && fd == server_.admin_listen_fd_) {
+      handle_accept(server_.admin_listen_fd_, /*admin=*/true);
       return;
     }
     const auto it = connections_.find(fd);
@@ -163,9 +232,9 @@ class Server::IoLoop {
     if ((event.events & EPOLLOUT) != 0) flush(conn);
   }
 
-  void handle_accept() {
+  void handle_accept(int listen_fd, bool admin) {
     while (true) {
-      const int fd = ::accept4(server_.listen_fd_, nullptr, nullptr,
+      const int fd = ::accept4(listen_fd, nullptr, nullptr,
                                SOCK_NONBLOCK | SOCK_CLOEXEC);
       if (fd < 0) {
         if (errno == EINTR || errno == ECONNABORTED) continue;
@@ -179,31 +248,40 @@ class Server::IoLoop {
       // would add ~40ms per round trip.
       const int nodelay = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof nodelay);
-      BMF_COUNTER_ADD("serve.connections", 1);
+      if (admin) {
+        BMF_COUNTER_ADD("serve.admin.connections", 1);
+      } else {
+        BMF_COUNTER_ADD("serve.connections", 1);
+      }
       const std::size_t index =
           server_.next_loop_.fetch_add(1, std::memory_order_relaxed) %
           server_.loops_.size();
       Server::IoLoop& target = *server_.loops_[index];
       if (&target == this) {
-        adopt(fd);
+        adopt(fd, admin);
       } else {
-        target.add_pending(fd);
+        target.add_pending(fd, admin);
       }
     }
   }
 
   void adopt_pending() {
-    std::vector<int> pending;
+    std::vector<std::pair<int, bool>> pending;
     {
       std::lock_guard<std::mutex> lock(inbox_mutex_);
       pending.swap(inbox_);
     }
-    for (const int fd : pending) adopt(fd);
+#if BMFUSION_TELEMETRY_ENABLED
+    // Handoff burst depth: how many accepted fds were waiting for this loop.
+    gauge_inbox_->set(static_cast<double>(pending.size()));
+#endif
+    for (const auto& [fd, admin] : pending) adopt(fd, admin);
   }
 
-  void adopt(int fd) {
+  void adopt(int fd, bool admin) {
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
+    conn->admin = admin;
     epoll_event event{};
     event.events = EPOLLIN;
     event.data.fd = fd;
@@ -271,8 +349,10 @@ class Server::IoLoop {
   /// requests where substr+erase-per-line was O(bytes^2). Returns false
   /// when the connection was destroyed.
   bool process_buffered(Connection& conn) {
+    if (conn.admin) return process_admin(conn);
     const std::size_t limit = server_.config_.max_request_bytes;
     bool fatal = false;
+    std::size_t handled = 0;
     while (!fatal) {
       if (!conn.binary) {
         const std::size_t scan_from = std::max(conn.in_pos, conn.scan_pos);
@@ -297,6 +377,7 @@ class Server::IoLoop {
           break;
         }
         ProtocolResult result = handle_request(server_.sessions_, line);
+        ++handled;
         conn.out += result.response;
         conn.out += '\n';
         if (result.switch_to_binary) conn.binary = true;
@@ -339,6 +420,7 @@ class Server::IoLoop {
         BinaryResult result =
             handle_binary_request(server_.sessions_, opcode, req_flags,
                                   payload);
+        ++handled;
         conn.out += result.response;
         if (result.shutdown) {
           conn.close_after_flush = true;
@@ -353,6 +435,50 @@ class Server::IoLoop {
       conn.scan_pos -= std::min(conn.scan_pos, conn.in_pos);
       conn.in_pos = 0;
     }
+#if BMFUSION_TELEMETRY_ENABLED
+    // Requests answered from one readable event = observed pipeline depth.
+    if (handled > 0) gauge_pipeline_->set(static_cast<double>(handled));
+#else
+    (void)handled;
+#endif
+    return true;
+  }
+
+  /// Admin plane: one HTTP GET per connection. Answers as soon as the
+  /// request line is complete (scrapers send the whole request in one
+  /// packet; trailing header bytes are ignored because reading stops),
+  /// then closes after the flush. Returns false when the connection was
+  /// destroyed.
+  bool process_admin(Connection& conn) {
+    const std::size_t newline = conn.in.find('\n');
+    if (newline == std::string::npos) {
+      if (conn.in.size() > kMaxAdminRequestBytes) {
+        destroy(conn);
+        return false;
+      }
+      return true;
+    }
+    std::string_view line(conn.in.data(), newline);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    // "METHOD SP PATH SP HTTP/x.x"; a bare path (no version) also works.
+    std::string_view method = line;
+    std::string_view path;
+    const std::size_t sp1 = line.find(' ');
+    if (sp1 != std::string_view::npos) {
+      method = line.substr(0, sp1);
+      const std::size_t sp2 = line.find(' ', sp1 + 1);
+      path = sp2 == std::string_view::npos
+                 ? line.substr(sp1 + 1)
+                 : line.substr(sp1 + 1, sp2 - sp1 - 1);
+    }
+    const std::size_t query = path.find('?');
+    if (query != std::string_view::npos) path = path.substr(0, query);
+    conn.out += handle_admin_request(method, path, server_.sessions_);
+    conn.reading_disabled = true;
+    conn.close_after_flush = true;
+    conn.in.clear();
+    conn.in_pos = 0;
+    conn.scan_pos = 0;
     return true;
   }
 
@@ -372,6 +498,14 @@ class Server::IoLoop {
   /// EPOLLOUT for the remainder. Returns false when the connection was
   /// destroyed (fully flushed close, dead peer, or slow-consumer cap).
   bool flush(Connection& conn) {
+#if BMFUSION_TELEMETRY_ENABLED
+    // Sampled 1-in-64: a flush is per event batch, so timing every one
+    // costs two clock reads per batch on the hot path; one sample per 64
+    // keeps the latency quantiles honest at ~zero steady-state cost.
+    const bool timed = conn.out_pos < conn.out.size() &&
+                       (flush_tick_++ & 63u) == 0;
+    const std::uint64_t start_ns = timed ? telemetry::now_ns() : 0;
+#endif
     while (conn.out_pos < conn.out.size()) {
       const ssize_t n =
           ::send(conn.fd, conn.out.data() + conn.out_pos,
@@ -385,6 +519,13 @@ class Server::IoLoop {
       destroy(conn);
       return false;
     }
+#if BMFUSION_TELEMETRY_ENABLED
+    if (timed) {
+      BMF_HISTOGRAM_RECORD_US(
+          "serve.write_us",
+          static_cast<double>(telemetry::now_ns() - start_ns) * 1e-3);
+    }
+#endif
     if (conn.out_pos == conn.out.size()) {
       conn.out.clear();
       conn.out_pos = 0;
@@ -454,13 +595,41 @@ class Server::IoLoop {
     }
   }
 
+#if BMFUSION_TELEMETRY_ENABLED
+  /// Publishes the per-loop gauges; O(connections), on membership changes
+  /// and every 64th epoll batch (see run()).
+  void publish_loop_gauges() {
+    std::size_t read_bytes = 0;
+    std::size_t write_bytes = 0;
+    for (const auto& [fd, conn] : connections_) {
+      read_bytes += conn->in.size() - conn->in_pos;
+      write_bytes += conn->out.size() - conn->out_pos;
+    }
+    published_connections_ = connections_.size();
+    gauge_connections_->set(static_cast<double>(published_connections_));
+    gauge_read_bytes_->set(static_cast<double>(read_bytes));
+    gauge_write_bytes_->set(static_cast<double>(write_bytes));
+  }
+#endif
+
   Server& server_;
   bool owns_listener_;
   int epoll_fd_ = -1;
   int wake_fd_ = -1;
   std::unordered_map<int, std::unique_ptr<Connection>> connections_;
   std::mutex inbox_mutex_;
-  std::vector<int> inbox_;
+  /// Freshly accepted (fd, is_admin) pairs awaiting adoption.
+  std::vector<std::pair<int, bool>> inbox_;
+#if BMFUSION_TELEMETRY_ENABLED
+  telemetry::Gauge* gauge_connections_ = nullptr;
+  telemetry::Gauge* gauge_read_bytes_ = nullptr;
+  telemetry::Gauge* gauge_write_bytes_ = nullptr;
+  telemetry::Gauge* gauge_inbox_ = nullptr;
+  telemetry::Gauge* gauge_pipeline_ = nullptr;
+  std::uint32_t flush_tick_ = 0;   ///< serve.write_us 1-in-64 sampler
+  std::uint32_t gauge_tick_ = 0;   ///< per-loop gauge publish stride
+  std::size_t published_connections_ = 0;  ///< last published gauge value
+#endif
 };
 
 Server::Server(ServerConfig config) : config_(config) {}
@@ -469,31 +638,20 @@ Server::~Server() { stop(); }
 
 void Server::start() {
   BMFUSION_REQUIRE(listen_fd_ < 0, "server already started");
-  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
-  if (fd < 0) socket_error("socket");
-  const int reuse = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(config_.port);
-  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    ::close(fd);
-    socket_error("bind");
+  BMFUSION_REQUIRE(config_.admin_port <= 65535,
+                   "admin_port must be -1 (disabled) or a valid port");
+  listen_fd_ = listen_loopback(config_.port, config_.backlog, bound_port_);
+  if (config_.admin_port >= 0) {
+    try {
+      admin_listen_fd_ =
+          listen_loopback(static_cast<std::uint16_t>(config_.admin_port),
+                          config_.backlog, bound_admin_port_);
+    } catch (...) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw;
+    }
   }
-  socklen_t addr_len = sizeof(addr);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) < 0) {
-    ::close(fd);
-    socket_error("getsockname");
-  }
-  if (::listen(fd, config_.backlog) < 0) {
-    ::close(fd);
-    socket_error("listen");
-  }
-  bound_port_ = ntohs(addr.sin_port);
-  listen_fd_ = fd;
   stopping_.store(false, std::memory_order_release);
   stopped_ = false;
 
@@ -504,8 +662,8 @@ void Server::start() {
   }
   loops_.reserve(io_threads);
   for (std::size_t i = 0; i < io_threads; ++i) {
-    loops_.push_back(std::make_unique<IoLoop>(*this, /*owns_listener=*/i ==
-                                                         0));
+    loops_.push_back(
+        std::make_unique<IoLoop>(*this, /*owns_listener=*/i == 0, i));
   }
   threads_.reserve(io_threads);
   for (std::size_t i = 0; i < io_threads; ++i) {
@@ -523,6 +681,7 @@ void Server::request_stop() {
   // itself stays allocated (so its number cannot be reused under a racing
   // accept) until stop() closes it after the join.
   if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (admin_listen_fd_ >= 0) ::shutdown(admin_listen_fd_, SHUT_RDWR);
   for (const auto& loop : loops_) loop->wake();
   // Taking the mutex orders the flag flip against wait()'s predicate
   // check, so the notify cannot slip between check and sleep. Callers of
@@ -543,6 +702,10 @@ void Server::stop() {
   loops_.clear();
   ::close(listen_fd_);
   listen_fd_ = -1;
+  if (admin_listen_fd_ >= 0) {
+    ::close(admin_listen_fd_);
+    admin_listen_fd_ = -1;
+  }
   stopped_ = true;
 }
 

@@ -339,7 +339,7 @@ std::shared_ptr<Session> SessionRegistry::open(const std::string& id,
                     ErrorContext{}.with_operation("serve_open").with_detail(
                         "id: " + id));
   }
-  BMF_GAUGE_SET("serve.sessions", sessions_.size());
+  update_gauges();
   return session;
 }
 
@@ -363,12 +363,50 @@ void SessionRegistry::close(const std::string& id) {
                         "id: " + id));
   }
   sessions_.erase(it);
-  BMF_GAUGE_SET("serve.sessions", sessions_.size());
+  update_gauges();
 }
 
 std::size_t SessionRegistry::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return sessions_.size();
+}
+
+void SessionRegistry::update_gauges() const {
+#if BMFUSION_TELEMETRY_ENABLED
+  std::size_t populations = 0;
+  std::size_t fusion_sessions = 0;
+  for (const auto& [id, session] : sessions_) {
+    populations += session->population_count();
+    fusion_sessions += session->is_fusion() ? 1 : 0;
+  }
+  BMF_GAUGE_SET("serve.sessions", sessions_.size());
+  BMF_GAUGE_SET("serve.open_populations", populations);
+  BMF_GAUGE_SET("serve.fusion_sessions", fusion_sessions);
+#endif
+}
+
+std::vector<SessionSummary> SessionRegistry::summaries() const {
+  std::vector<std::shared_ptr<Session>> open_sessions;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    open_sessions.reserve(sessions_.size());
+    for (const auto& [id, session] : sessions_) {
+      open_sessions.push_back(session);
+    }
+  }
+  // Per-session calls take the session mutex, so they run outside the
+  // registry lock (matching the lock order of the request handlers).
+  std::vector<SessionSummary> out;
+  out.reserve(open_sessions.size());
+  for (const auto& session : open_sessions) {
+    SessionSummary summary;
+    summary.id = session->id();
+    summary.estimator = session->estimator_name();
+    summary.populations = session->population_count();
+    summary.observed = session->observed_count();
+    out.push_back(std::move(summary));
+  }
+  return out;
 }
 
 }  // namespace bmfusion::serve

@@ -131,6 +131,14 @@ class Session {
   std::set<std::pair<std::uint64_t, std::uint64_t>> absorbed_shards_;
 };
 
+/// Point-in-time view of one open session, for /statusz and diagnostics.
+struct SessionSummary {
+  std::string id;
+  std::string estimator;     ///< "mle", "bmf", ..., "fusion"
+  std::size_t populations = 0;
+  std::size_t observed = 0;  ///< samples observed, summed over populations
+};
+
 /// Thread-safe id -> Session map.
 class SessionRegistry {
  public:
@@ -148,7 +156,16 @@ class SessionRegistry {
 
   [[nodiscard]] std::size_t size() const;
 
+  /// Snapshot of every open session, ordered by id. Sessions opened or
+  /// closed concurrently may or may not appear; each summary is internally
+  /// consistent.
+  [[nodiscard]] std::vector<SessionSummary> summaries() const;
+
  private:
+  /// Refreshes the serve.sessions / serve.fusion_sessions /
+  /// serve.open_populations gauges (caller holds mutex_).
+  void update_gauges() const;
+
   mutable std::mutex mutex_;
   std::map<std::string, std::shared_ptr<Session>> sessions_;
 };

@@ -91,28 +91,37 @@ std::string prometheus_text() {
   return prometheus_text(Registry::instance().snapshot());
 }
 
-std::string json_snapshot(const MetricsSnapshot& snapshot) {
+namespace {
+
+/// Shared body of json_snapshot() / json_snapshot_compact(): the pretty
+/// variant is byte-identical to the historical multi-line output; the
+/// compact variant has no newlines so it can ride a JSON-lines response.
+std::string json_snapshot_impl(const MetricsSnapshot& snapshot, bool pretty) {
+  const char* section = pretty ? ",\n  " : ",";
+  const char* first_item = pretty ? "\n    " : "";
+  const char* next_item = pretty ? ",\n    " : ",";
+  const char* close_map = pretty ? "\n  }" : "}";
   std::ostringstream out;
-  out << "{\n  \"telemetry_enabled\": "
+  out << (pretty ? "{\n  " : "{") << "\"telemetry_enabled\": "
       << (BMFUSION_TELEMETRY_ENABLED ? "true" : "false")
-      << ",\n  \"counters\": {";
+      << section << "\"counters\": {";
   for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
-    out << (i ? ",\n    " : "\n    ") << '"'
+    out << (i ? next_item : first_item) << '"'
         << json_escape(snapshot.counters[i].name)
         << "\": " << snapshot.counters[i].value;
   }
-  out << (snapshot.counters.empty() ? "}" : "\n  }");
-  out << ",\n  \"gauges\": {";
+  out << (snapshot.counters.empty() ? "}" : close_map);
+  out << section << "\"gauges\": {";
   for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
-    out << (i ? ",\n    " : "\n    ") << '"'
+    out << (i ? next_item : first_item) << '"'
         << json_escape(snapshot.gauges[i].name)
         << "\": " << format_double(snapshot.gauges[i].value);
   }
-  out << (snapshot.gauges.empty() ? "}" : "\n  }");
-  out << ",\n  \"histograms\": {";
+  out << (snapshot.gauges.empty() ? "}" : close_map);
+  out << section << "\"histograms\": {";
   for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
     const auto& h = snapshot.histograms[i];
-    out << (i ? ",\n    " : "\n    ") << '"' << json_escape(h.name)
+    out << (i ? next_item : first_item) << '"' << json_escape(h.name)
         << "\": {\"bounds\": [";
     for (std::size_t b = 0; b < h.data.bounds.size(); ++b) {
       out << (b ? ", " : "") << format_double(h.data.bounds[b]);
@@ -128,16 +137,31 @@ std::string json_snapshot(const MetricsSnapshot& snapshot) {
         << ", \"p99\": " << format_double(histogram_quantile(h.data, 0.99))
         << '}';
   }
-  out << (snapshot.histograms.empty() ? "}" : "\n  }");
+  out << (snapshot.histograms.empty() ? "}" : close_map);
   const TraceBuffer& trace = TraceBuffer::instance();
-  out << ",\n  \"trace\": {\"recorded\": " << trace.recorded_count()
+  out << section << "\"trace\": {\"recorded\": " << trace.recorded_count()
       << ", \"capacity\": " << TraceBuffer::kCapacity
-      << ", \"dropped\": " << trace.dropped_count() << "}\n}\n";
+      << ", \"dropped\": " << trace.dropped_count() << "}"
+      << (pretty ? "\n}\n" : "}");
   return out.str();
+}
+
+}  // namespace
+
+std::string json_snapshot(const MetricsSnapshot& snapshot) {
+  return json_snapshot_impl(snapshot, /*pretty=*/true);
 }
 
 std::string json_snapshot() {
   return json_snapshot(Registry::instance().snapshot());
+}
+
+std::string json_snapshot_compact(const MetricsSnapshot& snapshot) {
+  return json_snapshot_impl(snapshot, /*pretty=*/false);
+}
+
+std::string json_snapshot_compact() {
+  return json_snapshot_compact(Registry::instance().snapshot());
 }
 
 std::string chrome_trace_json(const std::vector<TraceEvent>& events) {
@@ -178,6 +202,19 @@ bool write_text_file(const std::string& path, const std::string& content) {
   out.flush();
   if (!out) {
     std::cerr << "telemetry: write to '" << path << "' failed\n";
+    return false;
+  }
+  return true;
+}
+
+bool write_text_file_atomic(const std::string& path,
+                            const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  if (!write_text_file(tmp, content)) return false;
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::cerr << "telemetry: rename '" << tmp << "' -> '" << path
+              << "' failed\n";
+    std::remove(tmp.c_str());
     return false;
   }
   return true;

@@ -27,6 +27,14 @@ namespace bmfusion::telemetry {
 /// Same, over the live registry and trace buffer.
 [[nodiscard]] std::string json_snapshot();
 
+/// Single-line variant of json_snapshot() (no newlines, no trailing
+/// newline), embeddable in JSON-lines protocol responses and /statusz.
+[[nodiscard]] std::string json_snapshot_compact(
+    const MetricsSnapshot& snapshot);
+
+/// Same, over the live registry and trace buffer.
+[[nodiscard]] std::string json_snapshot_compact();
+
 /// Chrome trace_event JSON ("traceEvents" array of ph:"X" complete events).
 /// Timestamps are normalized so the earliest span starts at ts=0.
 [[nodiscard]] std::string chrome_trace_json(
@@ -38,6 +46,12 @@ namespace bmfusion::telemetry {
 /// Writes `content` to `path`, replacing the file. Returns false (after
 /// printing to stderr) on I/O failure instead of throwing.
 bool write_text_file(const std::string& path, const std::string& content);
+
+/// Crash-safe variant for periodic snapshot writers: writes to
+/// `path + ".tmp"` and rename(2)s it over `path`, so a reader (or a kill
+/// signal) can never observe a half-written file.
+bool write_text_file_atomic(const std::string& path,
+                            const std::string& content);
 
 /// Convenience for CLI exit paths: writes a JSON metrics snapshot and/or a
 /// Chrome trace to the given paths; empty paths are skipped. Returns false

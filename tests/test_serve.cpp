@@ -1,9 +1,16 @@
 // Serve-layer contracts: the JSON-lines protocol over an in-process TCP
 // server (happy paths, in-band errors, idempotent shard absorption,
-// concurrent clients, pipelining, framing edge cases, fd hygiene) and the
-// stdio loop.
+// concurrent clients, pipelining, framing edge cases, fd hygiene), the
+// stdio loop, and the observability plane (admin HTTP endpoints, request
+// ids, slow-request tracing, per-op counters).
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstring>
@@ -16,9 +23,12 @@
 #include "common/json.hpp"
 #include "core/mle.hpp"
 #include "linalg/matrix.hpp"
+#include "log/log.hpp"
+#include "serve/admin.hpp"
 #include "serve/client.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace bmfusion {
 namespace {
@@ -632,6 +642,276 @@ TEST(ServeFusion, JsonSessionRoutesPopulationsAndEstimatesJointly) {
   EXPECT_EQ(slots[1].number_or("observed", 0.0), 48.0);
   EXPECT_NE(slots[1].find("independent"), nullptr);
   server.stop();
+}
+
+// ------------------------------------------------------ observability plane
+
+/// One raw HTTP exchange against the admin listener: connect, send
+/// `request` verbatim, read to EOF (the admin plane closes per response).
+std::string admin_exchange(std::uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent,
+                             request.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buffer[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string admin_get(std::uint16_t port, const std::string& path) {
+  return admin_exchange(port, "GET " + path + " HTTP/1.0\r\n\r\n");
+}
+
+std::string http_body(const std::string& response) {
+  const std::size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? "" : response.substr(split + 4);
+}
+
+double counter_value(const std::string& name) {
+  const telemetry::MetricsSnapshot snapshot =
+      telemetry::Registry::instance().snapshot();
+  for (const auto& counter : snapshot.counters) {
+    if (counter.name == name) return counter.value;
+  }
+  return 0.0;
+}
+
+TEST(ServeAdmin, EndpointsAnswerOverHttp) {
+  serve::ServerConfig config;
+  config.admin_port = 0;  // ephemeral
+  Server server(config);
+  server.start();
+  ASSERT_NE(server.admin_port(), 0);
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(is_ok(client.round_trip(
+      "{\"op\":\"open\",\"session\":\"adm\",\"estimator\":\"mle\"}")));
+  ASSERT_TRUE(is_ok(client.round_trip(
+      "{\"op\":\"observe\",\"session\":\"adm\",\"samples\":[[1,2],[3,4]]}")));
+
+  const std::string health = admin_get(server.admin_port(), "/healthz");
+  EXPECT_NE(health.find("200 OK"), std::string::npos);
+  EXPECT_EQ(http_body(health), "ok\n");
+
+  // /metrics: Prometheus text — every non-comment line is "name value".
+  const std::string metrics = admin_get(server.admin_port(), "/metrics");
+  EXPECT_NE(metrics.find("200 OK"), std::string::npos);
+  std::istringstream lines(http_body(metrics));
+  std::string line;
+  std::size_t samples = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    ASSERT_GT(space, 0u) << line;
+    EXPECT_NO_THROW((void)std::stod(line.substr(space + 1))) << line;
+    ++samples;
+  }
+  if (telemetry::enabled()) {
+    EXPECT_GT(samples, 0u);
+    EXPECT_NE(http_body(metrics).find("bmfusion_serve_observe_requests"),
+              std::string::npos);
+  }
+
+  // /metrics.json: the compact snapshot bmf_doctor --live ingests.
+  const JsonValue compact =
+      parse_json(http_body(admin_get(server.admin_port(), "/metrics.json")));
+  EXPECT_NE(compact.find("counters"), nullptr);
+  EXPECT_NE(compact.find("histograms"), nullptr);
+
+  // /statusz: versions, uptime, build flags, per-session summaries.
+  const JsonValue statusz =
+      parse_json(http_body(admin_get(server.admin_port(), "/statusz")));
+  EXPECT_TRUE(is_ok(statusz));
+  EXPECT_EQ(statusz.string_or("server_version", ""),
+            serve::kServerVersion);
+  EXPECT_EQ(statusz.number_or("wire_version", 0.0),
+            static_cast<double>(serve::kWireVersion));
+  EXPECT_GT(statusz.number_or("uptime_s", -1.0), 0.0);
+  const JsonValue* build = statusz.find("build");
+  ASSERT_NE(build, nullptr);
+  ASSERT_NE(build->find("telemetry"), nullptr);
+  EXPECT_EQ(build->find("telemetry")->as_bool(), telemetry::enabled());
+  const JsonValue* session_list = statusz.find("sessions");
+  ASSERT_NE(session_list, nullptr);
+  ASSERT_EQ(session_list->as_array().size(), 1u);
+  const JsonValue& entry = session_list->as_array()[0];
+  EXPECT_EQ(entry.string_or("id", ""), "adm");
+  EXPECT_EQ(entry.string_or("estimator", ""), "mle");
+  EXPECT_EQ(entry.number_or("observed", 0.0), 2.0);
+
+  // Unknown paths 404 with a hint; non-GET methods 405. Both leave the
+  // serve plane untouched.
+  EXPECT_NE(admin_get(server.admin_port(), "/nope").find("404"),
+            std::string::npos);
+  EXPECT_NE(
+      admin_exchange(server.admin_port(), "POST /metrics HTTP/1.0\r\n\r\n")
+          .find("405"),
+      std::string::npos);
+  EXPECT_TRUE(is_ok(client.round_trip("{\"op\":\"ping\"}")));
+  server.stop();
+}
+
+TEST(ServeAdmin, ScrapesRunConcurrentWithBinaryLoad) {
+  serve::ServerConfig config;
+  config.admin_port = 0;
+  Server server(config);
+  server.start();
+  const std::uint16_t admin_port = server.admin_port();
+
+  std::atomic<bool> load_failed{false};
+  std::thread load([&server, &load_failed] {
+    serve::LineClient binary;
+    if (!binary.connect_to(server.port()) || !binary.negotiate_binary()) {
+      load_failed = true;
+      return;
+    }
+    serve::Frame frame;
+    if (!binary.request_frame(
+            serve::wire::kJson,
+            "{\"op\":\"open\",\"session\":\"load\",\"estimator\":\"mle\"}",
+            frame) ||
+        !frame.ok()) {
+      load_failed = true;
+      return;
+    }
+    const Matrix samples = test_samples(32, 3, 0.5);
+    for (int round = 0; round < 200; ++round) {
+      if (!binary.request_frame(serve::wire::kObserve,
+                                binary_observe_payload("load", samples),
+                                frame) ||
+          !frame.ok()) {
+        load_failed = true;
+        return;
+      }
+    }
+  });
+  // Scrape every admin endpoint repeatedly while the binary stream runs on
+  // the same IoLoops; every response must be complete and well-formed.
+  for (int scrape = 0; scrape < 25; ++scrape) {
+    EXPECT_NE(admin_get(admin_port, "/healthz").find("200 OK"),
+              std::string::npos);
+    const std::string metrics = admin_get(admin_port, "/metrics");
+    EXPECT_NE(metrics.find("200 OK"), std::string::npos);
+    EXPECT_NO_THROW(
+        (void)parse_json(http_body(admin_get(admin_port, "/statusz"))));
+  }
+  load.join();
+  EXPECT_FALSE(load_failed);
+  server.stop();
+}
+
+TEST(ServeObservability, RequestIdsAreMonotonicUnderPipelining) {
+  Server server;
+  server.start();
+  serve::LineClient client;
+  ASSERT_TRUE(client.connect_to(server.port()));
+
+  // Three pings in one packet: the ids they echo must be strictly
+  // increasing even though all three are handled off a single read event.
+  ASSERT_TRUE(client.send_raw(
+      "{\"op\":\"ping\"}\n{\"op\":\"ping\"}\n{\"op\":\"ping\"}\n"));
+  double previous = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    std::string line;
+    ASSERT_TRUE(client.recv_line(line));
+    const JsonValue response = parse_json(line);
+    ASSERT_TRUE(is_ok(response));
+    const double id = response.number_or("request_id", 0.0);
+    EXPECT_GT(id, previous);
+    previous = id;
+  }
+  server.stop();
+}
+
+TEST(ServeObservability, SlowRequestsWarnAndCount) {
+  // Stderr off for the duration: the test *wants* warn records, just not
+  // in the test log.
+  log::Logger::instance().set_stderr_enabled(false);
+  serve::set_slow_request_threshold_us(1);  // everything is "slow"
+  const double before = counter_value("serve.slow_requests");
+  const std::uint64_t ring_before =
+      log::FlightRecorder::instance().recorded_count();
+
+  Server server;
+  server.start();
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  EXPECT_TRUE(is_ok(client.round_trip(
+      "{\"op\":\"open\",\"session\":\"slow\",\"estimator\":\"mle\"}")));
+  EXPECT_TRUE(is_ok(client.round_trip(
+      "{\"op\":\"observe\",\"session\":\"slow\",\"samples\":[[1],[2]]}")));
+  server.stop();
+
+  serve::set_slow_request_threshold_us(0);
+  log::Logger::instance().set_stderr_enabled(true);
+  if (telemetry::enabled()) {
+    EXPECT_GE(counter_value("serve.slow_requests"), before + 2.0);
+  }
+  EXPECT_GT(log::FlightRecorder::instance().recorded_count(), ring_before);
+  bool found = false;
+  for (const log::LogRecord& rec :
+       log::FlightRecorder::instance().snapshot()) {
+    if (std::string_view(rec.message) == "slow serve request") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ServeObservability, ObserveRequestsCounterIsExact) {
+  const double before = counter_value("serve.observe.requests");
+  Server server;
+  server.start();
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(is_ok(client.round_trip(
+      "{\"op\":\"open\",\"session\":\"cnt\",\"estimator\":\"mle\"}")));
+  constexpr int kObserves = 7;
+  for (int i = 0; i < kObserves; ++i) {
+    ASSERT_TRUE(is_ok(client.round_trip(
+        "{\"op\":\"observe\",\"session\":\"cnt\",\"samples\":[[1],[2]]}")));
+  }
+  server.stop();
+  if (telemetry::enabled()) {
+    EXPECT_EQ(counter_value("serve.observe.requests"), before + kObserves);
+  }
+}
+
+TEST(ServeObservability, StatuszAndAdminResponderWorkWithoutTransport) {
+  // The responder is transport-agnostic: drive it directly, no sockets.
+  SessionRegistry sessions;
+  const std::string response =
+      serve::handle_admin_request("GET", "/statusz", sessions);
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  const JsonValue statusz = parse_json(http_body(response));
+  EXPECT_TRUE(is_ok(statusz));
+  ASSERT_NE(statusz.find("sessions"), nullptr);
+  EXPECT_TRUE(statusz.find("sessions")->as_array().empty());
+  EXPECT_NE(
+      serve::handle_admin_request("GET", "/gone", sessions).find("404"),
+      std::string::npos);
+  EXPECT_NE(
+      serve::handle_admin_request("PUT", "/metrics", sessions).find("405"),
+      std::string::npos);
 }
 
 TEST(ServeBinary, PopulationFlagRoutesObserveAndStats) {

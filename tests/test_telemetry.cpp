@@ -269,6 +269,27 @@ TEST(MacroLayer, SteadyStateEmitsNoAllocations) {
   }
 }
 
+TEST(MacroLayer, PreResolvedGaugePointersEmitNoAllocations) {
+  // The serve IoLoops publish per-loop gauges (connections, buffer bytes,
+  // pipeline depth) through Gauge* members resolved once at construction —
+  // the dynamic-name twin of the macros' function-local statics. The
+  // resolution may allocate; every set() after it must not.
+  Gauge* gauge = nullptr;
+#if BMFUSION_TELEMETRY_ENABLED
+  gauge = &Registry::instance().gauge("test.macro.dynamic_gauge");
+#endif
+  const std::uint64_t before = common::allocation_count();
+  for (int i = 0; i < 256; ++i) {
+    if (gauge != nullptr) gauge->set(static_cast<double>(i));
+  }
+  const std::uint64_t after = common::allocation_count();
+  EXPECT_EQ(after - before, 0u);
+  if (enabled()) {
+    ASSERT_NE(gauge, nullptr);
+    EXPECT_EQ(gauge->value(), 255.0);
+  }
+}
+
 TEST(MacroLayer, OffModeStillEvaluatesToValidStatements) {
   // Compiles to no-ops when telemetry is OFF and to real updates when ON;
   // either way these statements must be usable in unbraced if/else bodies.

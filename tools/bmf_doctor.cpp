@@ -7,23 +7,176 @@
 //   bmf_doctor --snapshot snapshot.json --log run.log.jsonl
 //              --cv-surface surface.csv --bench BENCH_circuit.json
 //
+// Live mode polls a running bmf_serve daemon's admin plane instead of
+// reading files:
+//
+//   bmf_doctor --live 127.0.0.1:8081
+//
+// checks /healthz, validates /metrics, polls /metrics.json twice
+// (--live-interval-s apart) and renders the same report from the second
+// snapshot, plus live-only findings: slow-request growth between the polls
+// and fusion sessions that absorbed no shards during the interval.
+//
 // Prints a Markdown report (or JSON with --format json) covering numeric
 // health, warm-start hit rates, latency quantiles, the CV score surface and
 // bench deltas vs the previous record. Exits 1 when any finding is present
 // and --strict is set, so CI can gate on it.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <exception>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <thread>
 
 #include "common/cli.hpp"
 #include "common/contracts.hpp"
+#include "common/json.hpp"
 #include "core/diagnose.hpp"
+
+namespace {
+
+using bmfusion::DataError;
+using bmfusion::ErrorContext;
+
+struct HttpResponse {
+  int status = 0;
+  std::string body;
+};
+
+[[noreturn]] void live_error(const std::string& detail) {
+  throw DataError("live admin endpoint failure",
+                  ErrorContext{}.with_operation("doctor-live").with_detail(
+                      detail));
+}
+
+/// "host:port" or bare "port"; the admin plane only binds loopback, so the
+/// host must be 127.0.0.1 / localhost (or any dotted IPv4 for remote use
+/// through a tunnel).
+void parse_endpoint(const std::string& endpoint, std::string& host,
+                    std::uint16_t& port) {
+  host = "127.0.0.1";
+  std::string port_text = endpoint;
+  const std::size_t colon = endpoint.rfind(':');
+  if (colon != std::string::npos) {
+    host = endpoint.substr(0, colon);
+    port_text = endpoint.substr(colon + 1);
+    if (host == "localhost") host = "127.0.0.1";
+  }
+  char* end = nullptr;
+  const long value = std::strtol(port_text.c_str(), &end, 10);
+  if (port_text.empty() || *end != '\0' || value < 1 || value > 65535) {
+    live_error("bad --live endpoint '" + endpoint +
+               "' (expected host:port or port)");
+  }
+  port = static_cast<std::uint16_t>(value);
+}
+
+/// One blocking HTTP/1.0 GET over a fresh connection (the admin plane
+/// closes after each response, so reading to EOF is the framing).
+HttpResponse http_get(const std::string& host, std::uint16_t port,
+                      const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) live_error("socket: " + std::string(std::strerror(errno)));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    live_error("bad host '" + host + "' (expected a dotted IPv4 address)");
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    live_error("connect " + host + ":" + std::to_string(port) + ": " +
+               std::strerror(errno));
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent,
+                             0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      live_error("send " + path + ": " + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string raw;
+  char chunk[16 << 10];
+  while (true) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n > 0) {
+      raw.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;
+  }
+  ::close(fd);
+  const std::size_t header_end = raw.find("\r\n\r\n");
+  if (raw.compare(0, 5, "HTTP/") != 0 || header_end == std::string::npos) {
+    live_error("malformed HTTP response for " + path);
+  }
+  HttpResponse response;
+  const std::size_t space = raw.find(' ');
+  if (space == std::string::npos || space + 4 > raw.size()) {
+    live_error("malformed HTTP status line for " + path);
+  }
+  response.status = std::atoi(raw.c_str() + space + 1);
+  response.body = raw.substr(header_end + 4);
+  return response;
+}
+
+/// Checks that every line is a comment or "name value[ value]" — enough to
+/// catch truncated or interleaved exposition output.
+void validate_prometheus_text(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  std::size_t samples = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos || space == 0 || space + 1 >= line.size()) {
+      live_error("malformed /metrics line " + std::to_string(line_no) + ": " +
+                 line);
+    }
+    char* end = nullptr;
+    std::strtod(line.c_str() + space + 1, &end);
+    if (*end != '\0') {
+      live_error("non-numeric /metrics sample at line " +
+                 std::to_string(line_no) + ": " + line);
+    }
+    ++samples;
+  }
+  if (samples == 0) live_error("/metrics exposition carried no samples");
+}
+
+double snapshot_counter(const bmfusion::JsonValue& snapshot,
+                        const char* name) {
+  const bmfusion::JsonValue* counters = snapshot.find("counters");
+  if (counters == nullptr || !counters->is_object()) return 0.0;
+  return counters->number_or(name, 0.0);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using bmfusion::CliParser;
+  using bmfusion::JsonValue;
   using bmfusion::core::DoctorInputs;
   using bmfusion::core::DoctorThresholds;
   using bmfusion::core::RunReport;
@@ -34,6 +187,13 @@ int main(int argc, char** argv) {
   cli.add_flag("log", "", "JSON-lines structured log (bmf_cli --log-file)");
   cli.add_flag("bench", "", "BENCH_*.json history for newest-vs-previous deltas");
   cli.add_flag("cv-surface", "", "CV surface CSV (bmf_cli --cv-surface)");
+  cli.add_flag("live", "",
+               "poll a running bmf_serve admin plane (host:port or port) "
+               "instead of reading files");
+  cli.add_flag("live-interval-s", "1.0",
+               "seconds between the two --live polls used for growth checks");
+  cli.add_flag("max-serve-p99-ms", "0",
+               "flag serve op latency p99 above this many ms (0 = off)");
   cli.add_flag("format", "md", "report format: md or json");
   cli.add_flag("out", "", "write the report here instead of stdout");
   cli.add_flag("max-drop-pct", "5.0",
@@ -54,10 +214,12 @@ int main(int argc, char** argv) {
     inputs.log_path = cli.get_string("log");
     inputs.bench_path = cli.get_string("bench");
     inputs.cv_surface_path = cli.get_string("cv-surface");
-    if (inputs.snapshot_path.empty() && inputs.log_path.empty() &&
-        inputs.bench_path.empty() && inputs.cv_surface_path.empty()) {
+    const std::string live = cli.get_string("live");
+    if (live.empty() && inputs.snapshot_path.empty() &&
+        inputs.log_path.empty() && inputs.bench_path.empty() &&
+        inputs.cv_surface_path.empty()) {
       std::cerr << "bmf_doctor: no inputs given (need at least one of "
-                   "--snapshot/--log/--bench/--cv-surface)\n\n"
+                   "--snapshot/--log/--bench/--cv-surface/--live)\n\n"
                 << cli.help();
       return 2;
     }
@@ -68,12 +230,99 @@ int main(int argc, char** argv) {
     thresholds.max_disqualified_ratio =
         cli.get_double("max-disqualified-ratio");
     thresholds.min_mc_parallel_efficiency = cli.get_double("min-mc-efficiency");
+    thresholds.max_serve_p99_ms = cli.get_double("max-serve-p99-ms");
 
-    const RunReport report = bmfusion::core::diagnose_run(inputs, thresholds);
+    std::string live_preamble;
+    std::vector<std::string> live_findings;
+    if (!live.empty()) {
+      std::string host;
+      std::uint16_t port = 0;
+      parse_endpoint(live, host, port);
+      const double interval_s = cli.get_double("live-interval-s");
+      if (interval_s < 0) {
+        std::cerr << "bmf_doctor: --live-interval-s must be >= 0\n";
+        return 2;
+      }
+
+      const HttpResponse health = http_get(host, port, "/healthz");
+      if (health.status != 200) {
+        live_error("/healthz answered HTTP " + std::to_string(health.status));
+      }
+      validate_prometheus_text(http_get(host, port, "/metrics").body);
+      const HttpResponse statusz = http_get(host, port, "/statusz");
+      if (statusz.status != 200) {
+        live_error("/statusz answered HTTP " + std::to_string(statusz.status));
+      }
+      const JsonValue status = bmfusion::parse_json(statusz.body);
+
+      // Two polls bracket the growth window; the second one is the report.
+      const JsonValue first =
+          bmfusion::parse_json(http_get(host, port, "/metrics.json").body);
+      std::this_thread::sleep_for(std::chrono::duration<double>(interval_s));
+      const HttpResponse second = http_get(host, port, "/metrics.json");
+      inputs.snapshot_json = second.body;
+      const JsonValue latest = bmfusion::parse_json(second.body);
+
+      const double slow_growth =
+          snapshot_counter(latest, "serve.slow_requests") -
+          snapshot_counter(first, "serve.slow_requests");
+      if (slow_growth > 0) {
+        std::ostringstream os;
+        os << "live: serve.slow_requests grew by " << slow_growth << " in "
+           << interval_s << " s — the server is currently emitting slow "
+           << "requests";
+        live_findings.push_back(os.str());
+      }
+      const JsonValue* gauges = latest.find("gauges");
+      const double populations =
+          gauges != nullptr && gauges->is_object()
+              ? gauges->number_or("fusion.populations", 0.0)
+              : 0.0;
+      const double absorb_growth =
+          snapshot_counter(latest, "fusion.absorbed_shards") -
+          snapshot_counter(first, "fusion.absorbed_shards");
+      const double request_growth =
+          snapshot_counter(latest, "serve.requests") -
+          snapshot_counter(first, "serve.requests");
+      if (populations > 0 && request_growth > 0 && absorb_growth == 0) {
+        std::ostringstream os;
+        os << "live: fusion session(s) with " << populations
+           << " population(s) absorbed no shards while " << request_growth
+           << " request(s) arrived — absorb feed may be stalled";
+        live_findings.push_back(os.str());
+      }
+
+      std::ostringstream os;
+      os << "## Live server " << host << ":" << port << "\n\n"
+         << "- version: " << status.string_or("server_version", "?")
+         << " (wire v"
+         << static_cast<long>(status.number_or("wire_version", 0.0))
+         << "), uptime " << status.number_or("uptime_s", 0.0) << " s\n";
+      const JsonValue* sessions = status.find("sessions");
+      if (sessions != nullptr && sessions->is_array()) {
+        os << "- open sessions: " << sessions->as_array().size() << "\n";
+        for (const JsonValue& s : sessions->as_array()) {
+          os << "  - " << s.string_or("id", "?") << ": "
+             << s.string_or("estimator", "?") << ", "
+             << static_cast<long>(s.number_or("populations", 0.0))
+             << " population(s), "
+             << static_cast<long>(s.number_or("observed", 0.0))
+             << " sample(s)\n";
+        }
+      }
+      os << "\n";
+      live_preamble = os.str();
+    }
+
+    RunReport report = bmfusion::core::diagnose_run(inputs, thresholds);
+    report.findings.insert(report.findings.end(), live_findings.begin(),
+                           live_findings.end());
     const std::string format = cli.get_string("format");
     std::string rendered;
     if (format == "md" || format == "markdown") {
-      rendered = report.to_markdown();
+      rendered = live_preamble.empty()
+                     ? report.to_markdown()
+                     : report.to_markdown() + live_preamble;
     } else if (format == "json") {
       rendered = report.to_json();
     } else {

@@ -8,16 +8,104 @@
 // an estimate at any time — see README.md "Serving estimates" for a
 // runnable example. The process exits after a {"op":"shutdown"} request.
 //
-// --telemetry writes a metrics snapshot (request counters, estimate/request
-// latency histograms, session gauge) on exit; feed it to bmf_doctor.
+// Observability (see DESIGN.md "Observing a running server"):
+//   --admin-port N          HTTP GET /metrics | /healthz | /statusz on
+//                           127.0.0.1:N (0 = ephemeral, see
+//                           --admin-port-file)
+//   --slow-request-us T     log + count requests slower than T us
+//   --telemetry PATH        write a metrics snapshot to PATH on exit
+//   --telemetry-interval-s  additionally rewrite PATH every S seconds
+//                           (atomic rename, safe to scrape mid-write)
+// SIGINT/SIGTERM drain connections and still flush the final snapshot, so
+// a killed daemon leaves evidence.
 
+#include <pthread.h>
+#include <signal.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "common/cli.hpp"
+#include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "telemetry/export.hpp"
+
+namespace {
+
+/// Waits (in a dedicated thread, signals blocked everywhere else) for
+/// SIGINT/SIGTERM and stops the server. Woken by a self-signal on clean
+/// shutdown so the thread always joins.
+class SignalDrain {
+ public:
+  explicit SignalDrain(bmfusion::serve::Server& server) {
+    ::sigemptyset(&set_);
+    ::sigaddset(&set_, SIGINT);
+    ::sigaddset(&set_, SIGTERM);
+    ::pthread_sigmask(SIG_BLOCK, &set_, nullptr);
+    thread_ = std::thread([this, &server] {
+      int signo = 0;
+      ::sigwait(&set_, &signo);
+      if (!done_.load(std::memory_order_acquire)) {
+        std::cerr << "bmf_serve: caught signal " << signo << ", draining\n";
+        server.stop();
+      }
+    });
+  }
+
+  ~SignalDrain() {
+    done_.store(true, std::memory_order_release);
+    ::pthread_kill(thread_.native_handle(), SIGTERM);
+    thread_.join();
+  }
+
+ private:
+  sigset_t set_{};
+  std::atomic<bool> done_{false};
+  std::thread thread_;
+};
+
+/// Rewrites the telemetry snapshot every `interval_s` seconds via an
+/// atomic rename, so a scrape or a kill never sees a torn file.
+class PeriodicSnapshotWriter {
+ public:
+  PeriodicSnapshotWriter(std::string path, double interval_s)
+      : path_(std::move(path)) {
+    thread_ = std::thread([this, interval_s] {
+      const auto interval = std::chrono::duration<double>(interval_s);
+      std::unique_lock<std::mutex> lock(mutex_);
+      while (!cv_.wait_for(lock, interval, [this] { return stop_; })) {
+        lock.unlock();
+        bmfusion::telemetry::write_text_file_atomic(
+            path_, bmfusion::telemetry::json_snapshot());
+        lock.lock();
+      }
+    });
+  }
+
+  ~PeriodicSnapshotWriter() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  std::string path_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using bmfusion::CliParser;
@@ -34,12 +122,38 @@ int main(int argc, char** argv) {
   cli.add_flag("backlog", "128", "listen(2) backlog");
   cli.add_flag("max-request-mb", "4",
                "per-request size cap in MiB (JSON line or binary frame)");
+  cli.add_flag("admin-port", "-1",
+               "HTTP admin port on 127.0.0.1 serving /metrics, /healthz, "
+               "/statusz (-1 = disabled, 0 = ephemeral)");
+  cli.add_flag("admin-port-file", "",
+               "write the bound admin port here once listening");
+  cli.add_flag("slow-request-us", "0",
+               "warn-log and count requests slower than this (0 = off)");
   cli.add_flag("telemetry", "",
                "write a telemetry JSON snapshot here on exit");
+  cli.add_flag("telemetry-interval-s", "0",
+               "also rewrite the --telemetry snapshot every S seconds "
+               "(atomic rename; 0 = exit-only)");
 
   try {
     if (!cli.parse(argc, argv)) return 0;
+    (void)bmfusion::serve::process_start_ns();  // latch the uptime epoch
     const std::string telemetry_path = cli.get_string("telemetry");
+    const double telemetry_interval_s =
+        cli.get_double("telemetry-interval-s");
+    const double slow_request_us = cli.get_double("slow-request-us");
+    if (telemetry_interval_s < 0 || slow_request_us < 0) {
+      std::cerr << "bmf_serve: --telemetry-interval-s and --slow-request-us "
+                   "must be >= 0\n";
+      return 2;
+    }
+    bmfusion::serve::set_slow_request_threshold_us(slow_request_us);
+
+    std::unique_ptr<PeriodicSnapshotWriter> writer;
+    if (!telemetry_path.empty() && telemetry_interval_s > 0) {
+      writer = std::make_unique<PeriodicSnapshotWriter>(
+          telemetry_path, telemetry_interval_s);
+    }
 
     if (cli.get_bool("stdio")) {
       bmfusion::serve::SessionRegistry sessions;
@@ -48,8 +162,10 @@ int main(int argc, char** argv) {
       std::cerr << "bmf_serve: handled " << handled << " request(s)\n";
     } else {
       const long port = cli.get_int("port");
-      if (port < 0 || port > 65535) {
-        std::cerr << "bmf_serve: --port must be in [0, 65535]\n";
+      const long admin_port = cli.get_int("admin-port");
+      if (port < 0 || port > 65535 || admin_port < -1 || admin_port > 65535) {
+        std::cerr << "bmf_serve: --port must be in [0, 65535] and "
+                     "--admin-port in [-1, 65535]\n";
         return 2;
       }
       const long io_threads = cli.get_int("io-threads");
@@ -66,10 +182,15 @@ int main(int argc, char** argv) {
       config.backlog = static_cast<int>(backlog);
       config.max_request_bytes =
           static_cast<std::size_t>(max_request_mb) << 20;
+      config.admin_port = static_cast<int>(admin_port);
       bmfusion::serve::Server server(config);
+      SignalDrain drain(server);
       server.start();
-      std::cerr << "bmf_serve: listening on 127.0.0.1:" << server.port()
-                << "\n";
+      std::cerr << "bmf_serve: listening on 127.0.0.1:" << server.port();
+      if (server.admin_port() != 0) {
+        std::cerr << " (admin 127.0.0.1:" << server.admin_port() << ")";
+      }
+      std::cerr << "\n";
       const std::string port_file = cli.get_string("port-file");
       if (!port_file.empty()) {
         std::ofstream out(port_file, std::ios::trunc);
@@ -81,12 +202,24 @@ int main(int argc, char** argv) {
           return 2;
         }
       }
+      const std::string admin_port_file = cli.get_string("admin-port-file");
+      if (!admin_port_file.empty()) {
+        std::ofstream out(admin_port_file, std::ios::trunc);
+        out << server.admin_port() << "\n";
+        if (!out) {
+          std::cerr << "bmf_serve: cannot write --admin-port-file "
+                    << admin_port_file << "\n";
+          server.stop();
+          return 2;
+        }
+      }
       server.wait();
       std::cerr << "bmf_serve: shut down\n";
     }
 
+    writer.reset();  // stop the periodic writer before the final snapshot
     if (!telemetry_path.empty() &&
-        !bmfusion::telemetry::write_text_file(
+        !bmfusion::telemetry::write_text_file_atomic(
             telemetry_path, bmfusion::telemetry::json_snapshot())) {
       return 2;
     }

@@ -25,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "common/cli.hpp"
 #include "common/json.hpp"
 #include "serve/client.hpp"
@@ -346,6 +347,12 @@ int main(int argc, char** argv) {
                "fail when the client-side estimate p99 exceeds this");
   cli.add_flag("telemetry", "",
                "write the (in-process) server telemetry snapshot here");
+  cli.add_flag("json", "",
+               "append a BENCH record (bench bmf_soak / bmf_soak_binary) "
+               "to this JSON file");
+  cli.add_flag("label", "", "run label recorded in the --json record");
+  cli.add_flag("git", "", "git sha recorded in the --json record");
+  cli.add_flag("date", "", "date recorded in the --json record");
 
   try {
     if (!cli.parse(argc, argv)) return 0;
@@ -408,7 +415,7 @@ int main(int argc, char** argv) {
       server->wait();
       const std::string telemetry_path = cli.get_string("telemetry");
       if (!telemetry_path.empty()) {
-        bmfusion::telemetry::write_text_file(
+        bmfusion::telemetry::write_text_file_atomic(
             telemetry_path, bmfusion::telemetry::json_snapshot());
       }
       server.reset();
@@ -435,8 +442,10 @@ int main(int argc, char** argv) {
         elapsed_s > 0.0 ? static_cast<double>(observe_requests) / elapsed_s
                         : 0.0;
     const double observe_p50 = quantile_us(observe_us, 0.50);
+    const double observe_p95 = quantile_us(observe_us, 0.95);
     const double observe_p99 = quantile_us(observe_us, 0.99);
     const double estimate_p50 = quantile_us(estimate_us, 0.50);
+    const double estimate_p95 = quantile_us(estimate_us, 0.95);
     const double estimate_p99 = quantile_us(estimate_us, 0.99);
 
     std::string summary = "{\"observe_requests\":" +
@@ -453,14 +462,51 @@ int main(int argc, char** argv) {
     append_double(summary, observe_rps);
     summary += ",\"observe_p50_us\":";
     append_double(summary, observe_p50);
+    summary += ",\"observe_p95_us\":";
+    append_double(summary, observe_p95);
     summary += ",\"observe_p99_us\":";
     append_double(summary, observe_p99);
     summary += ",\"estimate_p50_us\":";
     append_double(summary, estimate_p50);
+    summary += ",\"estimate_p95_us\":";
+    append_double(summary, estimate_p95);
     summary += ",\"estimate_p99_us\":";
     append_double(summary, estimate_p99);
     summary += '}';
     std::cout << summary << std::endl;
+
+    // Perf-trajectory record: client-observed quantiles are the numbers a
+    // deployment actually experiences, so bench_check.py gates on these
+    // rather than on server-side histograms.
+    const std::string json_path = cli.get_string("json");
+    if (!json_path.empty()) {
+      const char* bench_name = options.binary ? "bmf_soak_binary" : "bmf_soak";
+      std::string record = std::string("{\"bench\": \"") + bench_name +
+                           "\", " +
+                           bmfusion::bench::run_metadata_json(cli, sessions) +
+                           ", \"mode\": \"" + mode + "\"" +
+                           ", \"sessions\": " + std::to_string(sessions) +
+                           ", \"requests\": " +
+                           std::to_string(observe_requests) +
+                           ", \"batch\": " + std::to_string(options.batch) +
+                           ", \"dim\": " + std::to_string(options.dim) +
+                           ", \"observe_throughput_rps\": ";
+      append_double(record, observe_rps);
+      record += ", \"latency_us\": {\"observe_p50\": ";
+      append_double(record, observe_p50);
+      record += ", \"observe_p95\": ";
+      append_double(record, observe_p95);
+      record += ", \"observe_p99\": ";
+      append_double(record, observe_p99);
+      record += ", \"estimate_p50\": ";
+      append_double(record, estimate_p50);
+      record += ", \"estimate_p95\": ";
+      append_double(record, estimate_p95);
+      record += ", \"estimate_p99\": ";
+      append_double(record, estimate_p99);
+      record += "}}";
+      bmfusion::bench::append_json_record(json_path, record);
+    }
 
     bool ok = failures == 0;
     const double min_rps = cli.get_double("min-observe-rps");
